@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation A6: UPB confidence-interval construction — the paper's
+ * profile-likelihood (likelihood-ratio / Wilks) interval vs a
+ * percentile bootstrap over full re-estimations.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+#include "stats/bootstrap.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Ablation A6",
+                  "profile-likelihood vs bootstrap 0.95 intervals "
+                  "for the UPB, n = 3000");
+
+    const Topology t2 = Topology::ultraSparcT2();
+
+    std::printf("%-16s %10s | %10s %12s | %10s %10s\n", "Benchmark",
+                "UPB", "prof lo", "prof hi", "boot lo", "boot hi");
+    for (Benchmark b : caseStudySuite()) {
+        SimulatedEngine engine(makeWorkload(b, 8));
+        core::RandomAssignmentSampler sampler(t2, 24, 4004);
+        std::vector<double> sample;
+        for (int i = 0; i < 3000; ++i)
+            sample.push_back(engine.measure(sampler.draw()));
+
+        const auto profile =
+            stats::estimateOptimalPerformance(sample);
+        const auto boot =
+            stats::bootstrapUpbInterval(sample, {}, 150, 11);
+
+        std::printf("%-16s %10s | %10s %12s | %10s %10s\n",
+                    benchmarkName(b).c_str(),
+                    profile.valid
+                        ? bench::mpps(profile.upb).c_str()
+                        : "invalid",
+                    bench::mpps(profile.upbLower).c_str(),
+                    std::isfinite(profile.upbUpper)
+                        ? bench::mpps(profile.upbUpper).c_str()
+                        : "unbounded",
+                    bench::mpps(boot.lower).c_str(),
+                    bench::mpps(boot.upper).c_str());
+    }
+    std::printf("\nthe bootstrap resamples the whole estimation "
+                "(threshold + fit + endpoint);\nagreement with the "
+                "profile interval supports the paper's "
+                "likelihood-ratio\nconstruction. Bootstrap costs "
+                "150 full re-fits per row.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation A8: cross-validation of the two simulation engines — the
+ * analytic fixed-point contention solver (the reproduction backbone)
+ * against the cycle-approximate machine with real set-associative
+ * caches and emergent queue backpressure.
+ *
+ * The EVT estimation only cares about the upper tail, so the key
+ * check is that both engines agree on the near-optimal region and on
+ * the estimated UPB, even where their mid-range populations differ.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/estimator.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/cycle_sim.hh"
+#include "sim/engine.hh"
+#include "stats/descriptive.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Ablation A8",
+                  "analytic contention model vs cycle-approximate "
+                  "simulation");
+
+    const Topology t2 = Topology::ultraSparcT2();
+
+    bench::section("per-assignment agreement (IPFwd-L1, 24 threads, "
+                   "120 random assignments)");
+    {
+        const Workload wl = makeWorkload(Benchmark::IpfwdL1, 8);
+        CycleSimEngine cycle(wl);
+        EngineOptions noiseless;
+        noiseless.noiseRelStdDev = 0.0;
+        SimulatedEngine analytic(wl, {}, noiseless);
+        core::RandomAssignmentSampler sampler(t2, 24, 8008);
+
+        std::vector<double> c;
+        std::vector<double> a;
+        for (int i = 0; i < 120; ++i) {
+            const auto assignment = sampler.draw();
+            c.push_back(cycle.measure(assignment));
+            a.push_back(analytic.deterministic(assignment));
+        }
+        std::printf("  analytic: mean %s, max %s MPPS\n",
+                    bench::mpps(stats::mean(a)).c_str(),
+                    bench::mpps(stats::maximum(a)).c_str());
+        std::printf("  cycle:    mean %s, max %s MPPS\n",
+                    bench::mpps(stats::mean(c)).c_str(),
+                    bench::mpps(stats::maximum(c)).c_str());
+        std::printf("  rank agreement (Pearson): %.3f\n",
+                    stats::pearsonCorrelation(a, c));
+    }
+
+    bench::section("structured near-optimal layout (both engines)");
+    for (Benchmark b : {Benchmark::IpfwdL1, Benchmark::Stateful}) {
+        const Workload wl = makeWorkload(b, 8);
+        CycleSimOptions long_run;
+        long_run.cycles = 150000;
+        long_run.warmupCycles = 30000;
+        CycleSimEngine cycle(wl, {}, long_run);
+        EngineOptions noiseless;
+        noiseless.noiseRelStdDev = 0.0;
+        SimulatedEngine analytic(wl, {}, noiseless);
+
+        std::vector<core::ContextId> ctx(24);
+        for (unsigned i = 0; i < 8; ++i) {
+            ctx[3 * i + 0] = (i * 2 + 1) * 4 + 0;
+            ctx[3 * i + 1] = (i * 2 + 0) * 4 + 0;
+            ctx[3 * i + 2] = (i * 2 + 1) * 4 + 1;
+        }
+        const core::Assignment ideal(t2, ctx);
+        const double c = cycle.measure(ideal);
+        const double a = analytic.deterministic(ideal);
+        std::printf("  %-16s analytic %s, cycle %s MPPS "
+                    "(delta %+.1f%%)\n", benchmarkName(b).c_str(),
+                    bench::mpps(a).c_str(), bench::mpps(c).c_str(),
+                    100.0 * (c - a) / a);
+    }
+
+    bench::section("UPB estimates from each engine (n = 400)");
+    {
+        const Workload wl = makeWorkload(Benchmark::IpfwdL1, 8);
+        CycleSimEngine cycle(wl);
+        SimulatedEngine analytic(wl);
+
+        stats::PotOptions pot;
+        pot.threshold.minExceedances = 15;
+        core::OptimalPerformanceEstimator cyc_est(cycle, t2, 24,
+                                                  1234, pot);
+        core::OptimalPerformanceEstimator ana_est(analytic, t2, 24,
+                                                  1234, pot);
+        const auto cr = cyc_est.extend(400);
+        const auto ar = ana_est.extend(400);
+        std::printf("  analytic: best %s, UPB %s MPPS\n",
+                    bench::mpps(ar.bestObserved).c_str(),
+                    ar.pot.valid ? bench::mpps(ar.pot.upb).c_str()
+                                 : "invalid");
+        std::printf("  cycle:    best %s, UPB %s MPPS\n",
+                    bench::mpps(cr.bestObserved).c_str(),
+                    cr.pot.valid ? bench::mpps(cr.pot.upb).c_str()
+                                 : "invalid");
+    }
+
+    std::printf("\nthe engines agree within a few percent on the "
+                "hand-built near-optimal\nlayout; their random-"
+                "assignment populations (and hence the UPB each "
+                "method\nestimates for *its own* machine) differ "
+                "because the cycle machine models\nconflict misses, "
+                "stochastic access streams and queue coupling that "
+                "the\nanalytic model abstracts. The statistical "
+                "method runs unchanged on either —\nits claims are "
+                "always about the engine that produced the "
+                "sample.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation A5: the two branches of Extreme Value Theory — the
+ * paper's Peaks-Over-Threshold method vs the classical block-maxima
+ * / GEV method — estimating the same optimal performance from the
+ * same samples.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+#include "stats/gev.hh"
+#include "stats/pot.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Ablation A5",
+                  "POT/GPD (the paper) vs block-maxima/GEV upper "
+                  "bound estimates, n = 5000");
+
+    const Topology t2 = Topology::ultraSparcT2();
+
+    std::printf("%-16s %12s %12s %12s %10s %10s\n", "Benchmark",
+                "best (MPPS)", "POT UPB", "GEV UPB", "xi(POT)",
+                "xi(GEV)");
+    for (Benchmark b : caseStudySuite()) {
+        SimulatedEngine engine(makeWorkload(b, 8));
+        core::RandomAssignmentSampler sampler(t2, 24, 3003);
+        std::vector<double> sample;
+        double best = 0.0;
+        for (int i = 0; i < 5000; ++i) {
+            sample.push_back(engine.measure(sampler.draw()));
+            best = std::max(best, sample.back());
+        }
+
+        const auto pot = stats::estimateOptimalPerformance(sample);
+        const auto gev = stats::blockMaximaEstimate(sample, 100);
+        const double gev_upb = gev.xi < 0.0
+            ? gev.upperEndpoint()
+            : std::numeric_limits<double>::infinity();
+
+        std::printf("%-16s %12s %12s %12s %10.3f %10.3f\n",
+                    benchmarkName(b).c_str(),
+                    bench::mpps(best).c_str(),
+                    pot.valid ? bench::mpps(pot.upb).c_str()
+                              : "invalid",
+                    std::isfinite(gev_upb)
+                        ? bench::mpps(gev_upb).c_str() : "unbounded",
+                    pot.fit.xi, gev.xi);
+    }
+    std::printf("\nboth EVT branches should agree on the endpoint "
+                "within a few percent; POT uses\nthe data more "
+                "efficiently (250 exceedances vs 100 block maxima), "
+                "matching the\nstandard recommendation the paper "
+                "follows.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation A9: architecture independence. The paper stresses that
+ * the method "scales to any number of cores and hardware contexts
+ * per core and does not require knowledge of the architecture of
+ * the target hardware." This sweep runs the identical pipeline —
+ * same workload, same statistics — across processor shapes from a
+ * small 4-core part to a 32-core massively multithreaded design.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/assignment_space.hh"
+#include "core/estimator.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Ablation A9",
+                  "the same method across processor shapes "
+                  "(IPFwd-L1, 8 instances, n = 2000)");
+
+    const Topology shapes[] = {
+        {4, 2, 4},    // half-size T2
+        {8, 2, 4},    // UltraSPARC T2 (the paper's machine)
+        {8, 1, 8},    // T1-style: one pipe of 8 strands per core
+        {16, 2, 4},   // doubled T2
+        {32, 4, 2},   // MMT future part: 256 contexts
+    };
+
+    std::printf("%-10s %9s %16s %12s %12s %8s\n", "shape", "ctxs",
+                "assign space", "best (MPPS)", "UPB (MPPS)",
+                "xi-hat");
+    for (const Topology &topo : shapes) {
+        const core::AssignmentSpace space(topo);
+        const auto count = space.countAssignments(24);
+
+        SimulatedEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+        // The O(T) sampler handles the near-full small shapes where
+        // the paper's rejection loop would practically never accept.
+        stats::PotOptions pot;
+        core::RandomAssignmentSampler sampler(
+            topo, 24, 1212, core::SamplingMethod::PartialFisherYates);
+        std::vector<double> sample;
+        double best = 0.0;
+        for (int i = 0; i < 2000; ++i) {
+            const double v = engine.measure(sampler.draw());
+            sample.push_back(v);
+            best = std::max(best, v);
+        }
+        const auto est = stats::estimateOptimalPerformance(sample,
+                                                           pot);
+        std::printf("%-10s %9u %16s %12s %12s %8.3f\n",
+                    topo.shapeString().c_str(), topo.contexts(),
+                    count.toScientific(2).c_str(),
+                    bench::mpps(best).c_str(),
+                    est.valid ? bench::mpps(est.upb).c_str()
+                              : "invalid",
+                    est.fit.xi);
+    }
+
+    std::printf("\nthe pipeline runs unmodified on every shape; "
+                "more contexts per workload mean\nless contention "
+                "and a tighter population, fewer mean more — the "
+                "method only sees\nthe performance sample.\n");
+    return 0;
+}

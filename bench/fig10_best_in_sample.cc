@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 10: performance of the best task assignment captured in
+ * random samples of 1000, 2000 and 5000 assignments, for the five
+ * case-study benchmarks (8 instances, 24 threads each).
+ *
+ * Paper observation: growing the sample from 1000 to 5000 improves
+ * the captured best only marginally (<= 0.6%).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/estimator.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Figure 10",
+                  "best-in-sample performance vs sample size, "
+                  "24-thread workloads");
+
+    const Topology t2 = Topology::ultraSparcT2();
+    const std::uint64_t seed = 123;
+
+    std::printf("%-16s %14s %14s %14s %14s\n", "Benchmark",
+                "n=1000 (MPPS)", "n=2000 (MPPS)", "n=5000 (MPPS)",
+                "gain 1k->5k");
+    for (Benchmark b : caseStudySuite()) {
+        SimulatedEngine engine(makeWorkload(b, 8));
+        core::OptimalPerformanceEstimator estimator(engine, t2, 24,
+                                                    seed);
+        // One growing sample: prefixes of it are the smaller runs.
+        const double best1000 = estimator.extend(1000).bestObserved;
+        const double best2000 = estimator.extend(1000).bestObserved;
+        const double best5000 = estimator.extend(3000).bestObserved;
+        std::printf("%-16s %14s %14s %14s %13.2f%%\n",
+                    benchmarkName(b).c_str(),
+                    bench::mpps(best1000).c_str(),
+                    bench::mpps(best2000).c_str(),
+                    bench::mpps(best5000).c_str(),
+                    100.0 * (best5000 - best1000) / best1000);
+    }
+    std::printf("\npaper: the 1000->5000 improvement is at most "
+                "0.6%% (IPFwd-Mem) and below\n0.25%% for the other "
+                "benchmarks. (seed %llu, 1.5 s per measurement)\n",
+                static_cast<unsigned long long>(seed));
+    return 0;
+}

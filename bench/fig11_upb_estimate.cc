@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 11: estimated optimal system performance (UPB point
+ * estimate with 0.95 confidence interval) for samples of 1000, 2000
+ * and 5000 assignments, five benchmarks.
+ *
+ * Paper observations: the point estimate is roughly constant across
+ * sample sizes; the confidence interval narrows significantly with
+ * the sample for all benchmarks except Aho-Corasick.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/estimator.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Figure 11",
+                  "estimated optimal performance (UPB) with 0.95 "
+                  "confidence intervals");
+
+    const Topology t2 = Topology::ultraSparcT2();
+    const std::uint64_t seed = 123;
+
+    std::printf("%-16s %6s %12s %12s %14s %10s\n", "Benchmark", "n",
+                "UPB (MPPS)", "CI lo", "CI hi", "m(exceed)");
+    for (Benchmark b : caseStudySuite()) {
+        SimulatedEngine engine(makeWorkload(b, 8));
+        core::OptimalPerformanceEstimator estimator(engine, t2, 24,
+                                                    seed);
+        std::size_t grown = 0;
+        for (std::size_t n : {1000u, 2000u, 5000u}) {
+            const auto result = estimator.extend(n - grown);
+            grown = n;
+            const auto &pot = result.pot;
+            std::printf("%-16s %6zu %12s %12s %14s %10zu\n",
+                        benchmarkName(b).c_str(), n,
+                        pot.valid ? bench::mpps(pot.upb).c_str()
+                                  : "invalid",
+                        bench::mpps(pot.upbLower).c_str(),
+                        std::isfinite(pot.upbUpper)
+                            ? bench::mpps(pot.upbUpper).c_str()
+                            : "unbounded",
+                        pot.exceedanceCount);
+        }
+    }
+    std::printf("\npaper: point estimates stable in n; CIs narrow "
+                "with n for all benchmarks\nexcept Aho-Corasick. "
+                "Exceedances capped at 5%% of the sample "
+                "(50/100/250).\n");
+    return 0;
+}

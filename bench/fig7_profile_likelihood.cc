@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 7: the profile log-likelihood L*(UPB) with the 0.95
+ * confidence cut L(xi-hat, UPB-hat) - chi2(0.95,1)/2 (Wilks), for
+ * the 24-thread IPFwd-L1 sample.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+#include "stats/pot.hh"
+#include "stats/special_functions.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using namespace statsched::sim;
+    using core::Topology;
+
+    bench::banner("Figure 7",
+                  "profile log-likelihood of the UPB with the "
+                  "likelihood-ratio confidence cut");
+
+    const Topology t2 = Topology::ultraSparcT2();
+    SimulatedEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::RandomAssignmentSampler sampler(t2, 24, 7777);
+    std::vector<double> sample;
+    for (int i = 0; i < 5000; ++i)
+        sample.push_back(engine.measure(sampler.draw()));
+
+    const auto est = stats::estimateOptimalPerformance(sample);
+    const auto sel = stats::selectThreshold(sample, {});
+
+    std::printf("threshold u = %s MPPS, m = %zu exceedances, "
+                "xi-hat = %.3f\n",
+                bench::mpps(est.threshold).c_str(),
+                sel.exceedances.size(), est.fit.xi);
+    std::printf("UPB point estimate = %s MPPS, max log-likelihood "
+                "L = %.3f\n",
+                bench::mpps(est.upb).c_str(), est.profileMaxLogLik);
+
+    const double cut = est.profileMaxLogLik -
+        0.5 * stats::chiSquaredQuantile(0.95, 1.0);
+    std::printf("0.95 cut level: L - chi2(0.95,1)/2 = %.3f\n", cut);
+
+    bench::section("L*(UPB) curve");
+    const double lo = est.maxObserved * 1.00002;
+    const double hi = std::isfinite(est.upbUpper)
+        ? est.upbUpper * 1.15
+        : est.upb + 6.0 * (est.upb - est.maxObserved);
+    const auto curve =
+        stats::profileCurve(est, sel.exceedances, lo, hi, 28);
+    for (const auto &[upb, l] : curve) {
+        std::printf("  UPB = %s MPPS   L* = %10.3f  %s\n",
+                    bench::mpps(upb).c_str(), l,
+                    l >= cut ? "| inside 95% CI" : "|");
+    }
+
+    bench::section("resulting confidence interval");
+    std::printf("  UPB in [%s, %s] MPPS at confidence 0.95\n",
+                bench::mpps(est.upbLower).c_str(),
+                std::isfinite(est.upbUpper)
+                ? bench::mpps(est.upbUpper).c_str() : "inf");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark harnesses.
+ *
+ * Every binary under bench/ regenerates one table or figure of the
+ * paper and prints the same rows/series the paper reports, plus the
+ * seeds and parameters used, so runs are exactly reproducible.
+ */
+
+#ifndef STATSCHED_BENCH_HARNESS_HH
+#define STATSCHED_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <string>
+
+namespace statsched
+{
+namespace bench
+{
+
+/** Prints a figure/table banner. */
+inline void
+banner(const std::string &experiment, const std::string &description)
+{
+    std::printf("============================================"
+                "====================\n");
+    std::printf("%s — %s\n", experiment.c_str(),
+                description.c_str());
+    std::printf("============================================"
+                "====================\n");
+}
+
+/** Prints a section separator. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/** Formats packets-per-second in millions with 3 decimals. */
+inline std::string
+mpps(double pps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", pps / 1e6);
+    return buf;
+}
+
+/** Formats a fraction as a percentage with 2 decimals. */
+inline std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", 100.0 * fraction);
+    return buf;
+}
+
+} // namespace bench
+} // namespace statsched
+
+#endif // STATSCHED_BENCH_HARNESS_HH

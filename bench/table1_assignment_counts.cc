@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 1: Number of different task assignments for applications
+ * running on the UltraSPARC T2 processor.
+ *
+ * Columns, as in the paper: workload size; number of possible task
+ * assignments (exact); time to run all assignments at 1 second each;
+ * time to predict all assignments at 1 microsecond each.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/assignment_space.hh"
+#include "num/duration.hh"
+
+int
+main()
+{
+    using namespace statsched;
+    using core::AssignmentSpace;
+    using core::Topology;
+    using num::BigUint;
+    using num::Duration;
+
+    bench::banner("Table 1",
+                  "number of task assignments on the UltraSPARC T2 "
+                  "(8 cores x 2 pipes x 4 strands)");
+
+    const AssignmentSpace space(Topology::ultraSparcT2());
+
+    std::printf("%-8s  %-14s  %-22s  %-22s\n", "Tasks",
+                "#Assignments", "Time to run all (1 s)",
+                "Time to predict all (1 us)");
+    for (unsigned tasks : {3u, 6u, 9u, 12u, 15u, 18u, 60u}) {
+        const BigUint count = space.countAssignments(tasks);
+        const Duration run_all = Duration::fromSeconds(count);
+        const Duration predict_all =
+            Duration::fromMicroseconds(count);
+        std::printf("%-8u  %-14s  %-22s  %-22s\n", tasks,
+                    count.toScientific(2).c_str(),
+                    run_all.toString().c_str(),
+                    predict_all.toString().c_str());
+    }
+
+    bench::section("exact counts (small workloads)");
+    for (unsigned tasks = 1; tasks <= 9; ++tasks) {
+        std::printf("  N(%u) = %s\n", tasks,
+                    space.countAssignments(tasks).toString().c_str());
+    }
+
+    bench::section("paper anchors");
+    std::printf("  N(3) = 11 (paper Section 2)           -> %s\n",
+                space.countAssignments(3).toString().c_str());
+    std::printf("  N(6) ~ 1500 (paper Figures 1/3)       -> %s\n",
+                space.countAssignments(6).toString().c_str());
+    const BigUint years =
+        space.countAssignments(60) / BigUint(31557600u);
+    std::printf("  60-task run-all ~ 1.75e51 years       -> %s "
+                "years\n", years.toScientific(2).c_str());
+    return 0;
+}

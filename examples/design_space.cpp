@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design-space exploration: how large is the assignment space of
+ * your processor, when is exhaustive search feasible, and how do the
+ * baseline schedulers compare to the exact optimum when it is?
+ *
+ * Usage:   ./examples/design_space [tasks]
+ *          (exhaustive part runs when tasks <= 7)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/assignment_space.hh"
+#include "core/baselines.hh"
+#include "core/capture_probability.hh"
+#include "core/enumerator.hh"
+#include "num/duration.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace statsched;
+    using core::Topology;
+
+    const unsigned tasks =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+
+    const Topology t2 = Topology::ultraSparcT2();
+    const core::AssignmentSpace space(t2);
+
+    std::printf("topology %s: %u hardware contexts\n",
+                t2.shapeString().c_str(), t2.contexts());
+    const num::BigUint count = space.countAssignments(tasks);
+    std::printf("assignments of %u tasks: %s (%s to run all at 1 s "
+                "each)\n", tasks, count.toScientific(3).c_str(),
+                num::Duration::fromSeconds(count).toString().c_str());
+
+    std::printf("random draws to capture a top-1%% assignment with "
+                "probability 0.99: %llu\n",
+                static_cast<unsigned long long>(
+                    core::requiredSampleSize(1.0, 0.99)));
+
+    if (tasks > 7 || tasks % 3 != 0) {
+        std::printf("\n(exhaustive comparison runs for 3 or 6 "
+                    "tasks; pass 3 or 6)\n");
+        return 0;
+    }
+
+    // Exhaustive search over the full space with the simulator.
+    sim::EngineOptions noiseless;
+    noiseless.noiseRelStdDev = 0.0;
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(sim::Benchmark::IpfwdIntAdd, tasks / 3),
+        {}, noiseless);
+
+    double best = 0.0;
+    double worst = 1e300;
+    core::Assignment best_assignment(t2, {0});
+    core::AssignmentEnumerator(t2, tasks).forEach(
+        [&](const core::Assignment &a) {
+            const double v = engine.deterministic(a);
+            if (v > best) {
+                best = v;
+                best_assignment = a;
+            }
+            worst = std::min(worst, v);
+            return true;
+        });
+
+    const double linux_like = engine.deterministic(
+        core::linuxLikeAssignment(t2, tasks));
+    const double naive = core::naiveExpectedPerformance(
+        engine, t2, tasks, 1000, 99);
+
+    std::printf("\nexhaustive optimum: %12.0f PPS  %s\n", best,
+                best_assignment.toString().c_str());
+    std::printf("worst assignment:   %12.0f PPS  (%.0f%% below "
+                "optimal)\n", worst, 100.0 * (best - worst) / best);
+    std::printf("Linux-like:         %12.0f PPS  (%.1f%% below "
+                "optimal)\n", linux_like,
+                100.0 * (best - linux_like) / best);
+    std::printf("naive (random):     %12.0f PPS  (%.1f%% below "
+                "optimal)\n", naive, 100.0 * (best - naive) / best);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Industrial scenario (paper Section 5.3): a customer requires the
+ * deployed assignment to be within X% of the optimal performance.
+ * The iterative algorithm keeps sampling random assignments —
+ * growing the sample by Ndelta at a time and re-estimating the
+ * optimum — until the captured best assignment meets the target.
+ *
+ * Usage:   ./examples/iterative_tuning [loss_percent] [benchmark]
+ *          benchmark in {ipfwd-l1, ipfwd-mem, analyzer, aho,
+ *          stateful}
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/iterative.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+statsched::sim::Benchmark
+parseBenchmark(const char *name)
+{
+    using statsched::sim::Benchmark;
+    if (!std::strcmp(name, "ipfwd-mem"))
+        return Benchmark::IpfwdMem;
+    if (!std::strcmp(name, "analyzer"))
+        return Benchmark::PacketAnalyzer;
+    if (!std::strcmp(name, "aho"))
+        return Benchmark::AhoCorasick;
+    if (!std::strcmp(name, "stateful"))
+        return Benchmark::Stateful;
+    return Benchmark::IpfwdL1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace statsched;
+
+    const double loss_percent =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 2.5;
+    const sim::Benchmark benchmark =
+        parseBenchmark(argc > 2 ? argv[2] : "ipfwd-l1");
+
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+    sim::SimulatedEngine engine(sim::makeWorkload(benchmark, 8));
+
+    core::IterativeOptions options;
+    options.initialSample = 1000;   // Ninit, as in the paper
+    options.incrementSample = 100;  // Ndelta
+    options.acceptableLoss = loss_percent / 100.0;
+    options.maxSample = 20000;
+
+    std::printf("benchmark: %s, acceptable loss: %.2f%%\n",
+                sim::benchmarkName(benchmark).c_str(), loss_percent);
+    std::printf("%-8s %14s %14s %10s\n", "n", "best (PPS)",
+                "UPB-hat (PPS)", "loss");
+
+    const auto run = core::iterativeAssignmentSearch(
+        engine, t2, engine.workload().taskCount(), /*seed=*/7,
+        options);
+
+    for (const auto &step : run.steps) {
+        std::printf("%-8zu %14.0f %14.0f %9.2f%%\n", step.sampleSize,
+                    step.bestObserved, step.upb, 100.0 * step.loss);
+    }
+
+    if (run.satisfied) {
+        std::printf("\ntarget met after %zu assignments "
+                    "(~%.0f minutes of measurements).\n",
+                    run.totalSampled,
+                    run.totalSampled * 1.5 / 60.0);
+        std::printf("deploy: %s\n",
+                    run.final.bestAssignment->toString().c_str());
+    } else {
+        std::printf("\ntarget NOT met within %zu assignments; "
+                    "best loss %.2f%%.\n", run.totalSampled,
+                    100.0 * run.steps.back().loss);
+    }
+    return 0;
+}

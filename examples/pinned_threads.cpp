@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Real pinned-thread execution: the Netra-DPS-style flow end to end
+ * on the host machine. Instead of the deterministic simulator, each
+ * sampled assignment is *actually executed*: the real packet kernels
+ * (src/net) run as R->P->T thread pipelines pinned to the host CPUs
+ * that correspond to the assigned hardware contexts, and measured
+ * throughput drives the same statistical machinery.
+ *
+ * Host CPUs differ from an UltraSPARC T2, so absolute numbers are
+ * illustrative — but the method is engine-agnostic by design (the
+ * paper's key claim).
+ *
+ * Usage:   ./examples/pinned_threads [samples] [instances]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/estimator.hh"
+#include "hw/pinned_executor.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace statsched;
+
+    const std::size_t samples =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+    const std::uint32_t instances =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+
+    hw::PinnedOptions options;
+    options.measureMillis = 100;
+    hw::PinnedThreadEngine engine(sim::Benchmark::IpfwdL1, instances,
+                                  options);
+
+    std::printf("engine: %s — real threads, %u ms per "
+                "measurement\n", engine.name().c_str(),
+                options.measureMillis);
+
+    core::OptimalPerformanceEstimator estimator(
+        engine, t2, 3 * instances, /*seed=*/11);
+    const auto result = estimator.extend(samples);
+
+    std::printf("measured %zu assignments in ~%.1f s of wall "
+                "clock\n", result.sample.size(),
+                result.sample.size() * options.measureMillis /
+                1000.0);
+    std::printf("best observed:     %.0f PPS\n",
+                result.bestObserved);
+    if (result.pot.valid) {
+        std::printf("estimated optimum: %.0f PPS  (95%% CI "
+                    "[%.0f, %.0f])\n", result.pot.upb,
+                    result.pot.upbLower, result.pot.upbUpper);
+        std::printf("xi-hat = %.3f, headroom = %.2f%%\n",
+                    result.pot.fit.xi,
+                    100.0 * result.estimatedLoss());
+    } else {
+        std::printf("tail estimate invalid at this sample size "
+                    "(xi-hat >= 0) — host noise is\nsubstantial; "
+                    "increase the sample or the measurement "
+                    "window.\n");
+    }
+    if (result.bestAssignment) {
+        std::printf("best assignment:   %s\n",
+                    result.bestAssignment->toString().c_str());
+    }
+    return 0;
+}

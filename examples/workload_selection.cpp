@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Workload selection on a single-sharing-level processor (paper
+ * Section 6): "In processors with one level of resource sharing, the
+ * presented methodology can be directly applied to address the
+ * workload selection problem. The designer has to generate a sample
+ * of random workloads, run them on the target machine, measure the
+ * performance of each workload, and follow the methodology we
+ * presented in Section 3."
+ *
+ * This example does exactly that: a pool of candidate single-thread
+ * services, an SMT processor whose contexts share everything (one
+ * core, one pipe), random K-of-N workload selections measured on the
+ * simulator, and the EVT machinery estimating the performance of the
+ * optimal selection.
+ *
+ * Usage:   ./examples/workload_selection [samples]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "stats/pot.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+/** Builds the candidate pool: N heterogeneous one-thread services. */
+std::vector<sim::TaskProfile>
+candidatePool(std::size_t n)
+{
+    std::vector<sim::TaskProfile> pool;
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::TaskProfile p;
+        p.name = "svc" + std::to_string(i);
+        // Deterministic variety: issue-hungry, cache-hungry and
+        // memory-bound services in rotation.
+        switch (i % 3) {
+          case 0:   // compute-leaning
+            p.issueDemand = 0.20 + 0.008 * (i % 7);
+            p.loadStoreFraction = 0.20;
+            p.l1dFootprintKb = 0.8;
+            p.instructionsPerPacket = 760.0 + 8.0 * (i % 5);
+            break;
+          case 1:   // cache-leaning
+            p.issueDemand = 0.18 + 0.006 * (i % 7);
+            p.loadStoreFraction = 0.38;
+            p.l1dFootprintKb = 1.2 + 0.1 * (i % 5);
+            p.instructionsPerPacket = 800.0 + 10.0 * (i % 5);
+            break;
+          default:  // memory-leaning
+            p.issueDemand = 0.17 + 0.005 * (i % 7);
+            p.loadStoreFraction = 0.32;
+            p.l1dFootprintKb = 1.0;
+            p.tableKb = 8192.0;
+            p.randomAccessFraction = 0.0006 + 0.0002 * (i % 4);
+            p.sharedDataId = 2000 + static_cast<std::uint32_t>(i);
+            p.instructionsPerPacket = 780.0;
+            break;
+        }
+        p.l1iFootprintKb = 2.0 + 0.5 * (i % 4);
+        p.codeId = 300 + static_cast<std::uint32_t>(i);
+        pool.push_back(p);
+    }
+    return pool;
+}
+
+/** Measures one K-subset selection as a workload of 1-thread apps. */
+double
+measureSelection(const std::vector<sim::TaskProfile> &pool,
+                 const std::vector<std::size_t> &selection,
+                 const core::Topology &smt)
+{
+    sim::Workload workload("selection");
+    for (std::size_t idx : selection) {
+        sim::AppInstance instance;
+        instance.name = pool[idx].name;
+        instance.stages = {pool[idx]};
+        workload.addInstance(std::move(instance));
+    }
+    sim::EngineOptions noiseless;
+    noiseless.noiseRelStdDev = 0.0;
+    sim::SimulatedEngine engine(std::move(workload), {}, noiseless);
+
+    // With one level of sharing the distribution of tasks over
+    // contexts is irrelevant — any placement gives the same result.
+    std::vector<core::ContextId> ctx(selection.size());
+    for (std::size_t i = 0; i < ctx.size(); ++i)
+        ctx[i] = static_cast<core::ContextId>(i);
+    return engine.deterministic(core::Assignment(smt, ctx));
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t samples =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+
+    // A single-level SMT processor: 16 contexts sharing one pipe's
+    // worth of everything (so only *workload selection* matters).
+    const core::Topology smt{1, 1, 16};
+    const std::size_t pool_size = 32;
+    const std::size_t select = 12;
+    const auto pool = candidatePool(pool_size);
+
+    std::printf("pool of %zu services, selecting %zu for the %s SMT "
+                "processor\n", pool_size, select,
+                smt.shapeString().c_str());
+
+    // Random K-subset sampling with replacement across samples.
+    stats::Rng rng(2021);
+    std::vector<double> measured;
+    double best = 0.0;
+    std::vector<std::size_t> best_selection;
+    std::vector<std::size_t> ids(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i)
+        ids[i] = i;
+
+    for (std::size_t s = 0; s < samples; ++s) {
+        // Partial Fisher-Yates K-subset.
+        for (std::size_t i = 0; i < select; ++i) {
+            const std::size_t j =
+                i + rng.uniformInt(pool_size - i);
+            std::swap(ids[i], ids[j]);
+        }
+        std::vector<std::size_t> selection(ids.begin(),
+                                           ids.begin() + select);
+        const double pps = measureSelection(pool, selection, smt);
+        measured.push_back(pps);
+        if (pps > best) {
+            best = pps;
+            best_selection = selection;
+        }
+    }
+
+    const auto est = stats::estimateOptimalPerformance(measured);
+    std::printf("sampled %zu workload selections\n", samples);
+    std::printf("best observed selection: %.0f PPS\n", best);
+    if (est.valid && est.fit.xi < -0.05) {
+        const bool bounded = std::isfinite(est.upbUpper) &&
+            est.upbUpper < 2.0 * est.upb;
+        std::printf("estimated optimal selection performance: "
+                    "%.0f PPS (95%% CI [%.0f, %s])\n", est.upb,
+                    est.upbLower,
+                    bounded ? std::to_string(
+                                  static_cast<long long>(
+                                      est.upbUpper)).c_str()
+                            : "unbounded above at this sample size");
+        std::printf("headroom over the best observed: %.2f%% "
+                    "(xi-hat = %.3f)\n",
+                    100.0 * est.improvementHeadroom(), est.fit.xi);
+    } else {
+        std::printf("tail shape xi-hat = %.3f is too close to zero "
+                    "for a reliable endpoint\nestimate — the "
+                    "diagnostic the framework provides before you "
+                    "trust a bound.\n", est.fit.xi);
+    }
+    std::printf("best selection:");
+    std::sort(best_selection.begin(), best_selection.end());
+    for (std::size_t idx : best_selection)
+        std::printf(" %s", pool[idx].name.c_str());
+    std::printf("\n");
+    return 0;
+}

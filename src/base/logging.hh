@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-termination helpers.
+ *
+ * Two failure modes are distinguished, following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated — a bug in this library.
+ *              Prints the message and calls std::abort() so a core dump or
+ *              debugger can capture the state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid argument). Prints the message
+ *              and exits with status 1.
+ *
+ * warn() and inform() print status messages without terminating.
+ */
+
+#ifndef STATSCHED_BASE_LOGGING_HH
+#define STATSCHED_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace statsched
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace statsched
+
+/** Terminate on an internal library bug. */
+#define STATSCHED_PANIC(msg) \
+    ::statsched::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Terminate on an unrecoverable user error. */
+#define STATSCHED_FATAL(msg) \
+    ::statsched::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Panic when an invariant does not hold. */
+#define STATSCHED_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            STATSCHED_PANIC(std::string("assertion failed: ") + (msg)); \
+    } while (0)
+
+#endif // STATSCHED_BASE_LOGGING_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Assignment implementation.
+ *
+ * The canonical key sorts task lists within pipes, sorts the two pipe
+ * lists within each core, and finally sorts the per-core descriptors —
+ * exactly the hardware symmetries (strand, pipe, core permutations)
+ * under which the contention model is invariant.
+ */
+
+#include "core/assignment.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace statsched
+{
+namespace core
+{
+
+Assignment::Assignment(const Topology &topology,
+                       std::vector<ContextId> contexts)
+    : topology_(topology), contexts_(std::move(contexts))
+{
+    STATSCHED_ASSERT(!contexts_.empty(), "empty assignment");
+    STATSCHED_ASSERT(isValid(topology_, contexts_),
+                     "invalid assignment: out of range or duplicate "
+                     "context");
+}
+
+bool
+Assignment::isValid(const Topology &topology,
+                    const std::vector<ContextId> &contexts)
+{
+    std::set<ContextId> seen;
+    for (ContextId ctx : contexts) {
+        if (ctx >= topology.contexts())
+            return false;
+        if (!seen.insert(ctx).second)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::vector<TaskId>>
+Assignment::tasksByPipe() const
+{
+    std::vector<std::vector<TaskId>> by_pipe(topology_.pipes());
+    for (TaskId t = 0; t < contexts_.size(); ++t)
+        by_pipe[pipeOf(t)].push_back(t);
+    return by_pipe;
+}
+
+std::vector<std::vector<TaskId>>
+Assignment::tasksByCore() const
+{
+    std::vector<std::vector<TaskId>> by_core(topology_.cores);
+    for (TaskId t = 0; t < contexts_.size(); ++t)
+        by_core[coreOf(t)].push_back(t);
+    return by_core;
+}
+
+std::string
+Assignment::canonicalKey() const
+{
+    // Build per-core descriptors: each core is the sorted pair of its
+    // two (sorted) pipe task lists; cores are then sorted as strings.
+    const auto by_pipe = tasksByPipe();
+    std::vector<std::string> core_keys;
+    core_keys.reserve(topology_.cores);
+
+    for (std::uint32_t c = 0; c < topology_.cores; ++c) {
+        std::vector<std::string> pipe_keys;
+        bool core_empty = true;
+        for (std::uint32_t p = 0; p < topology_.pipesPerCore; ++p) {
+            const auto &tasks = by_pipe[c * topology_.pipesPerCore + p];
+            std::string key = "[";
+            std::vector<TaskId> sorted(tasks);
+            std::sort(sorted.begin(), sorted.end());
+            for (TaskId t : sorted) {
+                key += std::to_string(t);
+                key += ",";
+            }
+            key += "]";
+            if (!tasks.empty())
+                core_empty = false;
+            pipe_keys.push_back(std::move(key));
+        }
+        if (core_empty)
+            continue;
+        std::sort(pipe_keys.begin(), pipe_keys.end());
+        std::string core_key = "{";
+        for (const auto &pk : pipe_keys)
+            core_key += pk;
+        core_key += "}";
+        core_keys.push_back(std::move(core_key));
+    }
+
+    std::sort(core_keys.begin(), core_keys.end());
+    std::string key;
+    for (const auto &ck : core_keys)
+        key += ck;
+    return key;
+}
+
+std::string
+Assignment::toString() const
+{
+    const auto by_pipe = tasksByPipe();
+    std::string out;
+    for (std::uint32_t c = 0; c < topology_.cores; ++c) {
+        bool core_empty = true;
+        for (std::uint32_t p = 0; p < topology_.pipesPerCore; ++p) {
+            if (!by_pipe[c * topology_.pipesPerCore + p].empty())
+                core_empty = false;
+        }
+        if (core_empty)
+            continue;
+        out += "{";
+        for (std::uint32_t p = 0; p < topology_.pipesPerCore; ++p) {
+            out += "[";
+            const auto &tasks = by_pipe[c * topology_.pipesPerCore + p];
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                if (i)
+                    out += " ";
+                out += "t" + std::to_string(tasks[i]);
+            }
+            out += "]";
+        }
+        out += "}";
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace statsched

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Task assignment: the mapping from tasks to hardware contexts.
+ *
+ * An Assignment binds each of T tasks to a distinct hardware context
+ * of a Topology — the static task-to-strand binding that Netra DPS
+ * performs at compile time (Section 4.2 of the paper). Performance is
+ * invariant under permutations of equivalent hardware (cores with each
+ * other, pipes within a core, strands within a pipe), so assignments
+ * also expose a *canonical key* identifying their equivalence class;
+ * the class count is what Table 1 of the paper reports.
+ */
+
+#ifndef STATSCHED_CORE_ASSIGNMENT_HH
+#define STATSCHED_CORE_ASSIGNMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topology.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/** Index of a task within a workload. */
+using TaskId = std::uint32_t;
+
+/**
+ * An assignment of tasks to hardware contexts.
+ */
+class Assignment
+{
+  public:
+    /**
+     * @param topology The processor shape.
+     * @param contexts contexts[t] is the hardware context of task t;
+     *                 all entries must be valid and pairwise distinct.
+     */
+    Assignment(const Topology &topology,
+               std::vector<ContextId> contexts);
+
+    /** @return number of tasks. */
+    std::size_t size() const { return contexts_.size(); }
+
+    /** @return the topology this assignment targets. */
+    const Topology &topology() const { return topology_; }
+
+    /** @return the context of a task. */
+    ContextId
+    contextOf(TaskId task) const
+    {
+        STATSCHED_ASSERT(task < contexts_.size(), "task out of range");
+        return contexts_[task];
+    }
+
+    /** @return the raw task -> context vector. */
+    const std::vector<ContextId> &contexts() const { return contexts_; }
+
+    /** @return the core of a task. */
+    std::uint32_t
+    coreOf(TaskId task) const
+    {
+        return topology_.coreOf(contextOf(task));
+    }
+
+    /** @return the chip-global pipe of a task. */
+    std::uint32_t
+    pipeOf(TaskId task) const
+    {
+        return topology_.pipeOf(contextOf(task));
+    }
+
+    /** @return tasks grouped by chip-global pipe (pipes() entries). */
+    std::vector<std::vector<TaskId>> tasksByPipe() const;
+
+    /** @return tasks grouped by core (cores() entries). */
+    std::vector<std::vector<TaskId>> tasksByCore() const;
+
+    /**
+     * Canonical key of the equivalence class under hardware symmetry:
+     * two assignments get equal keys iff one can be transformed into
+     * the other by permuting cores, permuting pipes within cores and
+     * permuting strands within pipes.
+     */
+    std::string canonicalKey() const;
+
+    /**
+     * Paper-style rendering, e.g. "{[t0 t2][]}{[t1][]}" — one {...}
+     * per occupied core, one [...] per pipe. Cores and pipes are
+     * printed in canonical order; empty cores are omitted.
+     */
+    std::string toString() const;
+
+    /**
+     * Validates a raw context vector without constructing.
+     *
+     * @return true iff all contexts are in range and distinct.
+     */
+    static bool isValid(const Topology &topology,
+                        const std::vector<ContextId> &contexts);
+
+  private:
+    Topology topology_;
+    std::vector<ContextId> contexts_;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_ASSIGNMENT_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * AssignmentSpace implementation.
+ */
+
+#include "core/assignment_space.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace statsched
+{
+namespace core
+{
+
+AssignmentSpace::AssignmentSpace(const Topology &topology)
+    : topology_(topology)
+{
+    STATSCHED_ASSERT(topology_.cores >= 1 &&
+                     topology_.pipesPerCore >= 1 &&
+                     topology_.strandsPerPipe >= 1,
+                     "degenerate topology");
+    buildCoreTable();
+}
+
+void
+AssignmentSpace::buildCoreTable()
+{
+    const std::uint32_t cap =
+        topology_.pipesPerCore * topology_.strandsPerPipe;
+    coreTable_.assign(cap + 1, num::BigUint());
+    coreTable_[0] = num::BigUint(1);
+
+    // Distribute k distinct tasks over `pipesPerCore` unlabeled pipes
+    // of capacity strandsPerPipe each. Computed by a nested DP that
+    // assigns pipe loads in non-increasing order; for each load
+    // multiset the number of set splits is the multinomial divided by
+    // the permutations of equal loads.
+    //
+    // For the common two-pipe case this reduces to the formula in the
+    // header; the DP handles any pipe count.
+    const std::uint32_t pipes = topology_.pipesPerCore;
+    const std::uint32_t spp = topology_.strandsPerPipe;
+
+    // Enumerate non-increasing load vectors recursively.
+    struct Enumerator
+    {
+        std::uint32_t pipes;
+        std::uint32_t spp;
+        num::BigUint total;
+
+        /**
+         * @param remaining tasks still to place
+         * @param max_load  upper bound for the next pipe's load
+         * @param pipes_left pipes still available
+         * @param ways      set-split count accumulated so far
+         * @param run_len   length of the current run of equal loads
+         * @param run_load  load value of the current run
+         */
+        void
+        recurse(std::uint32_t remaining, std::uint32_t max_load,
+                std::uint32_t pipes_left, num::BigUint ways,
+                std::uint32_t run_len, std::uint32_t run_load)
+        {
+            if (remaining == 0) {
+                total += ways;
+                return;
+            }
+            if (pipes_left == 0)
+                return;
+            const std::uint32_t hi = std::min(max_load,
+                                              std::min(spp, remaining));
+            for (std::uint32_t load = hi; load >= 1; --load) {
+                // Choose which tasks go into this pipe.
+                num::BigUint w =
+                    ways * num::BigUint::binomial(remaining, load);
+                // Divide by the run length when extending a run of
+                // equal loads: unordered pipes of equal size.
+                std::uint32_t new_run =
+                    (load == run_load) ? run_len + 1 : 1;
+                w /= num::BigUint(new_run);
+                recurse(remaining - load, load, pipes_left - 1,
+                        std::move(w), new_run, load);
+            }
+        }
+    };
+
+    for (std::uint32_t k = 1; k <= cap; ++k) {
+        Enumerator e{pipes, spp, num::BigUint()};
+        e.recurse(k, spp, pipes, num::BigUint(1), 0, 0);
+        coreTable_[k] = e.total;
+    }
+}
+
+num::BigUint
+AssignmentSpace::coreArrangements(std::uint32_t k) const
+{
+    STATSCHED_ASSERT(k < coreTable_.size(),
+                     "core occupancy exceeds capacity");
+    return coreTable_[k];
+}
+
+num::BigUint
+AssignmentSpace::countAssignments(std::uint32_t tasks) const
+{
+    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology_.contexts(),
+                     "task count out of range");
+
+    const std::uint32_t core_cap =
+        topology_.pipesPerCore * topology_.strandsPerPipe;
+
+    // memo[(t, cores_left)] = N(t, cores_left)
+    std::map<std::pair<std::uint32_t, std::uint32_t>, num::BigUint> memo;
+
+    // N(t, cores): place the block containing the lowest-numbered
+    // remaining task (size k), then recurse.
+    std::function<num::BigUint(std::uint32_t, std::uint32_t)> count =
+        [&](std::uint32_t t, std::uint32_t cores_left) -> num::BigUint {
+        if (t == 0)
+            return num::BigUint(1);
+        if (cores_left == 0)
+            return num::BigUint();
+        const auto key = std::make_pair(t, cores_left);
+        auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+
+        num::BigUint total;
+        const std::uint32_t k_max = std::min(t, core_cap);
+        for (std::uint32_t k = 1; k <= k_max; ++k) {
+            num::BigUint term =
+                num::BigUint::binomial(t - 1, k - 1);
+            term *= coreTable_[k];
+            term *= count(t - k, cores_left - 1);
+            total += term;
+        }
+        memo.emplace(key, total);
+        return total;
+    };
+
+    return count(tasks, topology_.cores);
+}
+
+num::BigUint
+AssignmentSpace::countLabeledPlacements(std::uint32_t tasks) const
+{
+    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology_.contexts(),
+                     "task count out of range");
+    num::BigUint total(1);
+    const std::uint32_t v = topology_.contexts();
+    for (std::uint32_t i = 0; i < tasks; ++i)
+        total *= num::BigUint(v - i);
+    return total;
+}
+
+} // namespace core
+} // namespace statsched

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Exact size of the task-assignment space (Table 1 of the paper).
+ *
+ * Assignments are counted up to hardware symmetry: cores are
+ * interchangeable, the pipes inside a core are interchangeable, and
+ * strands inside a pipe are unordered, while tasks are distinct. For
+ * the paper's 3-task example on the UltraSPARC T2 this yields exactly
+ * 11 assignments.
+ *
+ * The count is computed by dynamic programming over set partitions:
+ * the number of ways to arrange a specific set of k tasks on one core
+ * is
+ *
+ *     c(k) = sum over unordered pipe splits (j, k-j), j <= k-j,
+ *            j <= strandsPerPipe, k-j <= strandsPerPipe of
+ *            C(k, j)   [halved when j == k-j]
+ *
+ * and the total is the recursion over the block containing the
+ * lowest-numbered unplaced task:
+ *
+ *     N(t, cores) = sum_k C(t-1, k-1) * c(k) * N(t-k, cores-1).
+ *
+ * All arithmetic is exact (BigUint); counts reach ~10^58 for 60-task
+ * workloads.
+ */
+
+#ifndef STATSCHED_CORE_ASSIGNMENT_SPACE_HH
+#define STATSCHED_CORE_ASSIGNMENT_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hh"
+#include "num/big_uint.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Exact combinatorics of the assignment space of one topology.
+ */
+class AssignmentSpace
+{
+  public:
+    /** @param topology Processor shape; pipesPerCore <= 4 supported
+     *                  generically (any value works). */
+    explicit AssignmentSpace(const Topology &topology);
+
+    /** @return the topology. */
+    const Topology &topology() const { return topology_; }
+
+    /**
+     * Number of distinct ways to arrange k specific tasks on a single
+     * core (unordered pipes, unordered strands). c(0) == 1.
+     *
+     * @param k Number of tasks, 0 <= k <= per-core capacity.
+     */
+    num::BigUint coreArrangements(std::uint32_t k) const;
+
+    /**
+     * Total number of distinct assignments of `tasks` distinct tasks
+     * to the processor, up to hardware symmetry (the Table 1 numbers).
+     *
+     * @param tasks 1 <= tasks <= contexts().
+     */
+    num::BigUint countAssignments(std::uint32_t tasks) const;
+
+    /**
+     * Number of *labeled* placements: ordered choices of distinct
+     * contexts, i.e. V! / (V - T)!. This is the population the paper's
+     * uniform sampler (Step 1) draws from; each canonical class is
+     * represented by `labelings(class)` labeled placements.
+     */
+    num::BigUint countLabeledPlacements(std::uint32_t tasks) const;
+
+  private:
+    /** Per-core arrangement counts for 0..capacity tasks. */
+    void buildCoreTable();
+
+    Topology topology_;
+    std::vector<num::BigUint> coreTable_;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_ASSIGNMENT_SPACE_HH

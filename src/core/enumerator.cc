@@ -1,0 +1,184 @@
+/**
+ * @file
+ * AssignmentEnumerator implementation.
+ *
+ * Canonical representatives are generated as:
+ *  - set partition of tasks into core blocks, each block listed with
+ *    its minimum task first and blocks ordered by minimum task
+ *    (standard canonical set-partition order);
+ *  - within each block, a restricted-growth assignment of tasks to
+ *    pipes (a task may start pipe p only when pipes 0..p-1 are in
+ *    use), which enumerates each unordered pipe split exactly once;
+ *  - blocks are laid out on physical cores 0, 1, 2, ... and tasks on
+ *    strands in increasing order.
+ */
+
+#include "core/enumerator.hh"
+
+#include <algorithm>
+
+namespace statsched
+{
+namespace core
+{
+
+namespace
+{
+
+/**
+ * Recursion state shared by the enumeration.
+ */
+struct Walk
+{
+    const Topology &topo;
+    std::uint32_t tasks;
+    const std::function<bool(const Assignment &)> &visitor;
+    std::uint64_t visited = 0;
+    bool stopped = false;
+
+    /** contexts[t] for the assignment under construction. */
+    std::vector<ContextId> contexts;
+
+    /**
+     * Distributes the tasks of one core block over that core's pipes
+     * with a restricted-growth scheme, then continues with the next
+     * block.
+     *
+     * @param block      Tasks on this core, ascending.
+     * @param index      Position within the block being placed.
+     * @param pipe_load  Tasks already placed per pipe of this core.
+     * @param pipes_used Number of pipes opened so far.
+     * @param core       Physical core of this block.
+     * @param remaining  Bitmask of tasks not yet assigned to blocks.
+     * @param next_core  Physical core for the next block.
+     */
+    void
+    placeBlock(const std::vector<TaskId> &block, std::size_t index,
+               std::vector<std::uint32_t> &pipe_load,
+               std::uint32_t pipes_used, std::uint32_t core,
+               std::uint64_t remaining, std::uint32_t next_core)
+    {
+        if (stopped)
+            return;
+        if (index == block.size()) {
+            partition(remaining, next_core);
+            return;
+        }
+        const TaskId task = block[index];
+        const std::uint32_t max_pipe =
+            std::min(pipes_used + 1, topo.pipesPerCore);
+        for (std::uint32_t p = 0; p < max_pipe; ++p) {
+            if (pipe_load[p] >= topo.strandsPerPipe)
+                continue;
+            const ContextId ctx =
+                (core * topo.pipesPerCore + p) * topo.strandsPerPipe +
+                pipe_load[p];
+            contexts[task] = ctx;
+            ++pipe_load[p];
+            placeBlock(block, index + 1, pipe_load,
+                       std::max(pipes_used, p + 1), core, remaining,
+                       next_core);
+            --pipe_load[p];
+            if (stopped)
+                return;
+        }
+    }
+
+    /**
+     * Chooses the core block containing the lowest remaining task,
+     * then recurses.
+     *
+     * @param remaining Bitmask of unassigned tasks.
+     * @param core      Next physical core to fill.
+     */
+    void
+    partition(std::uint64_t remaining, std::uint32_t core)
+    {
+        if (stopped)
+            return;
+        if (remaining == 0) {
+            ++visited;
+            if (!visitor(Assignment(topo, contexts)))
+                stopped = true;
+            return;
+        }
+        if (core >= topo.cores)
+            return;
+
+        const std::uint32_t core_cap =
+            topo.pipesPerCore * topo.strandsPerPipe;
+        const TaskId lowest =
+            static_cast<TaskId>(__builtin_ctzll(remaining));
+        const std::uint64_t rest = remaining & ~(1ull << lowest);
+
+        // Enumerate subsets of `rest` of size <= core_cap - 1 to join
+        // the lowest task on this core, via the standard submask walk.
+        std::uint64_t sub = rest;
+        for (;;) {
+            if (static_cast<std::uint32_t>(
+                    __builtin_popcountll(sub)) <= core_cap - 1) {
+                std::vector<TaskId> block;
+                block.push_back(lowest);
+                for (std::uint64_t b = sub; b;) {
+                    const TaskId t =
+                        static_cast<TaskId>(__builtin_ctzll(b));
+                    block.push_back(t);
+                    b &= b - 1;
+                }
+                std::sort(block.begin(), block.end());
+                std::vector<std::uint32_t> pipe_load(topo.pipesPerCore,
+                                                     0);
+                placeBlock(block, 0, pipe_load, 0, core,
+                           rest & ~sub, core + 1);
+                if (stopped)
+                    return;
+            }
+            if (sub == 0)
+                break;
+            sub = (sub - 1) & rest;
+        }
+    }
+};
+
+} // anonymous namespace
+
+AssignmentEnumerator::AssignmentEnumerator(const Topology &topology,
+                                           std::uint32_t tasks)
+    : topology_(topology), tasks_(tasks)
+{
+    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology.contexts(),
+                     "workload size out of range");
+    STATSCHED_ASSERT(tasks <= 64, "bitmask enumeration limited to 64");
+}
+
+std::uint64_t
+AssignmentEnumerator::forEach(
+    const std::function<bool(const Assignment &)> &visitor) const
+{
+    Walk walk{topology_, tasks_, visitor, 0, false, {}};
+    walk.contexts.assign(tasks_, 0);
+    const std::uint64_t all = (tasks_ == 64)
+        ? ~0ull : ((1ull << tasks_) - 1);
+    walk.partition(all, 0);
+    return walk.visited;
+}
+
+std::vector<Assignment>
+AssignmentEnumerator::enumerateAll() const
+{
+    std::vector<Assignment> out;
+    forEach([&out](const Assignment &a) {
+        out.push_back(a);
+        return true;
+    });
+    return out;
+}
+
+std::uint64_t
+AssignmentEnumerator::count() const
+{
+    return forEach([](const Assignment &) { return true; });
+}
+
+} // namespace core
+} // namespace statsched

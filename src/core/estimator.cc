@@ -1,0 +1,46 @@
+/**
+ * @file
+ * OptimalPerformanceEstimator implementation.
+ */
+
+#include "core/estimator.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+OptimalPerformanceEstimator::OptimalPerformanceEstimator(
+    PerformanceEngine &engine, const Topology &topology,
+    std::uint32_t tasks, std::uint64_t seed,
+    const stats::PotOptions &options)
+    : engine_(engine), sampler_(topology, tasks, seed),
+      options_(options)
+{
+}
+
+EstimationResult
+OptimalPerformanceEstimator::extend(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        Assignment a = sampler_.draw();
+        const double perf = engine_.measure(a);
+        sample_.push_back(perf);
+        if (!best_ || perf > bestValue_) {
+            best_ = std::move(a);
+            bestValue_ = perf;
+        }
+    }
+
+    EstimationResult result;
+    result.sample = sample_;
+    result.bestAssignment = best_;
+    result.bestObserved = bestValue_;
+    result.pot = stats::estimateOptimalPerformance(sample_, options_);
+    result.modeledSeconds = static_cast<double>(sample_.size()) *
+        engine_.secondsPerMeasurement();
+    return result;
+}
+
+} // namespace core
+} // namespace statsched

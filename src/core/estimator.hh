@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Optimal-performance estimation over a measurement engine
+ * (Sections 3.3 and 5.2 of the paper).
+ *
+ * OptimalPerformanceEstimator drives the full method: draw a sample
+ * of iid random task assignments, measure each on the engine, then
+ * run the POT/EVT analysis to estimate the optimal system performance
+ * (UPB) with a confidence interval. It keeps the best observed
+ * assignment so callers can deploy it, and exposes the raw sample for
+ * diagnostics and the figure harnesses.
+ */
+
+#ifndef STATSCHED_CORE_ESTIMATOR_HH
+#define STATSCHED_CORE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/performance_engine.hh"
+#include "core/sampler.hh"
+#include "stats/pot.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Outcome of an estimation run.
+ */
+struct EstimationResult
+{
+    /** Measured performance of every sampled assignment. */
+    std::vector<double> sample;
+    /** The best assignment observed in the sample. */
+    std::optional<Assignment> bestAssignment;
+    /** Performance of the best observed assignment. */
+    double bestObserved = 0.0;
+    /** The POT estimate of the optimal system performance. */
+    stats::PotEstimate pot;
+    /** Modeled experimentation time in seconds. */
+    double modeledSeconds = 0.0;
+
+    /**
+     * Performance loss of the best observed assignment relative to
+     * the estimated optimum: (UPB - best) / UPB (Figure 12).
+     */
+    double
+    estimatedLoss() const
+    {
+        return pot.upb > 0.0 ? (pot.upb - bestObserved) / pot.upb : 0.0;
+    }
+};
+
+/**
+ * Runs the sampling + EVT estimation pipeline.
+ */
+class OptimalPerformanceEstimator
+{
+  public:
+    /**
+     * @param engine   Measurement engine (not owned).
+     * @param topology Processor shape.
+     * @param tasks    Workload size.
+     * @param seed     Sampler seed.
+     * @param options  POT configuration (threshold, estimator,
+     *                 confidence level).
+     */
+    OptimalPerformanceEstimator(PerformanceEngine &engine,
+                                const Topology &topology,
+                                std::uint32_t tasks, std::uint64_t seed,
+                                const stats::PotOptions &options = {});
+
+    /**
+     * Draws and measures `n` fresh assignments, then estimates the
+     * UPB from everything measured so far. Can be called repeatedly
+     * to grow the sample (the iterative algorithm does).
+     *
+     * @param n Assignments to add to the sample.
+     */
+    EstimationResult extend(std::size_t n);
+
+    /** @return measurements collected so far. */
+    const std::vector<double> &sample() const { return sample_; }
+
+    /** @return total assignments measured so far. */
+    std::size_t sampleSize() const { return sample_.size(); }
+
+  private:
+    PerformanceEngine &engine_;
+    RandomAssignmentSampler sampler_;
+    stats::PotOptions options_;
+    std::vector<double> sample_;
+    std::optional<Assignment> best_;
+    double bestValue_ = 0.0;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_ESTIMATOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Iterative algorithm implementation.
+ */
+
+#include "core/iterative.hh"
+
+#include <cmath>
+
+namespace statsched
+{
+namespace core
+{
+
+IterativeResult
+iterativeAssignmentSearch(PerformanceEngine &engine,
+                          const Topology &topology, std::uint32_t tasks,
+                          std::uint64_t seed,
+                          const IterativeOptions &options)
+{
+    STATSCHED_ASSERT(options.acceptableLoss > 0.0 &&
+                     options.acceptableLoss < 1.0,
+                     "acceptable loss out of (0,1)");
+    STATSCHED_ASSERT(options.initialSample >= 1 &&
+                     options.incrementSample >= 1,
+                     "sample sizes must be positive");
+
+    OptimalPerformanceEstimator estimator(engine, topology, tasks, seed,
+                                          options.pot);
+
+    IterativeResult result;
+    std::size_t to_draw = options.initialSample;
+
+    for (;;) {
+        result.final = estimator.extend(to_draw);
+        result.totalSampled = estimator.sampleSize();
+
+        // Step 3: compare the best observed assignment with the
+        // estimated optimal performance.
+        double target = options.useUpperConfidenceBound
+            ? result.final.pot.upbUpper : result.final.pot.upb;
+        if (!result.final.pot.valid || !std::isfinite(target)) {
+            // The tail estimate is unusable (e.g. xi >= 0 or an
+            // unbounded CI); keep sampling, more data regularizes
+            // the fit.
+            target = std::numeric_limits<double>::infinity();
+        }
+
+        IterativeStep step;
+        step.sampleSize = result.totalSampled;
+        step.bestObserved = result.final.bestObserved;
+        step.upb = result.final.pot.upb;
+        step.loss = std::isfinite(target) && target > 0.0
+            ? (target - result.final.bestObserved) / target : 1.0;
+        result.steps.push_back(step);
+
+        if (step.loss <= options.acceptableLoss) {
+            result.satisfied = true;
+            return result;
+        }
+        if (result.totalSampled >= options.maxSample)
+            return result;
+
+        to_draw = options.incrementSample;
+    }
+}
+
+} // namespace core
+} // namespace statsched

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Iterative task-assignment algorithm (Section 5.3, Figure 13 of the
+ * paper).
+ *
+ * The customer specifies the acceptable performance loss X% of the
+ * deployed assignment relative to the optimal one. The algorithm:
+ *
+ *   Step 1: run Ninit random assignments and measure each;
+ *   Step 2: estimate the optimal system performance (POT method);
+ *   Step 3: if (UPB - best)/UPB <= X%, stop and return the best
+ *           observed assignment;
+ *   Step 4: otherwise run Ndelta more random assignments, merge them
+ *           into the sample, and repeat from Step 2.
+ *
+ * Growing the sample both improves the captured best assignment and
+ * tightens the UPB estimate, so the loop converges (a safety cap on
+ * the total sample size guards pathological engines).
+ */
+
+#ifndef STATSCHED_CORE_ITERATIVE_HH
+#define STATSCHED_CORE_ITERATIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Parameters of the iterative algorithm.
+ */
+struct IterativeOptions
+{
+    std::size_t initialSample = 1000;   //!< Ninit (paper: 1000)
+    std::size_t incrementSample = 100;  //!< Ndelta (paper: 100)
+    /** Acceptable performance loss, e.g. 0.025 for 2.5%. */
+    double acceptableLoss = 0.025;
+    /** Safety cap on the total sample size. */
+    std::size_t maxSample = 100000;
+    /** POT configuration used in Step 2. */
+    stats::PotOptions pot;
+    /**
+     * When true, the loss is computed against the upper end of the
+     * UPB confidence interval instead of the point estimate
+     * (more conservative stopping).
+     */
+    bool useUpperConfidenceBound = false;
+};
+
+/**
+ * One Step 2/3 evaluation in the run record.
+ */
+struct IterativeStep
+{
+    std::size_t sampleSize = 0;   //!< sample size at this evaluation
+    double bestObserved = 0.0;    //!< best assignment so far
+    double upb = 0.0;             //!< estimated optimum
+    double loss = 0.0;            //!< (target - best) / target
+};
+
+/**
+ * Outcome of a full run of the iterative algorithm.
+ */
+struct IterativeResult
+{
+    EstimationResult final;            //!< last estimation
+    std::vector<IterativeStep> steps;  //!< per-iteration record
+    bool satisfied = false;            //!< loss target reached
+    std::size_t totalSampled = 0;      //!< assignments executed
+};
+
+/**
+ * Runs the iterative algorithm to completion.
+ *
+ * @param engine   Measurement engine.
+ * @param topology Processor shape.
+ * @param tasks    Workload size.
+ * @param seed     Sampler seed.
+ * @param options  Algorithm parameters.
+ */
+IterativeResult
+iterativeAssignmentSearch(PerformanceEngine &engine,
+                          const Topology &topology, std::uint32_t tasks,
+                          std::uint64_t seed,
+                          const IterativeOptions &options = {});
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_ITERATIVE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Local search implementation.
+ */
+
+#include "core/local_search.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+namespace
+{
+
+/**
+ * Proposes a neighbour: with equal probability relocate one task to
+ * a random free context or swap two tasks' contexts.
+ */
+std::vector<ContextId>
+proposeMove(const std::vector<ContextId> &contexts,
+            const Topology &topo, stats::Rng &rng)
+{
+    std::vector<ContextId> next(contexts);
+    const std::size_t t =
+        static_cast<std::size_t>(rng.uniformInt(next.size()));
+
+    if (next.size() >= 2 && (rng.next() & 1u)) {
+        // Swap two tasks.
+        std::size_t other =
+            static_cast<std::size_t>(rng.uniformInt(next.size() - 1));
+        if (other >= t)
+            ++other;
+        std::swap(next[t], next[other]);
+        return next;
+    }
+
+    // Relocate to a free context.
+    std::vector<bool> used(topo.contexts(), false);
+    for (ContextId c : contexts)
+        used[c] = true;
+    std::vector<ContextId> free_ctx;
+    for (ContextId c = 0; c < topo.contexts(); ++c) {
+        if (!used[c])
+            free_ctx.push_back(c);
+    }
+    if (free_ctx.empty()) {
+        // Full machine: fall back to a swap.
+        std::size_t other =
+            static_cast<std::size_t>(rng.uniformInt(next.size() - 1));
+        if (other >= t)
+            ++other;
+        std::swap(next[t], next[other]);
+        return next;
+    }
+    next[t] = free_ctx[rng.uniformInt(free_ctx.size())];
+    return next;
+}
+
+} // anonymous namespace
+
+LocalSearchResult
+localSearchRefine(PerformanceEngine &engine, const Assignment &start,
+                  const LocalSearchOptions &options)
+{
+    STATSCHED_ASSERT(options.budget >= 1 &&
+                     options.movesPerRound >= 1,
+                     "degenerate local-search options");
+
+    stats::Rng rng(options.seed);
+    const Topology &topo = start.topology();
+
+    LocalSearchResult result{start, engine.measure(start), 1, 0};
+    std::size_t stale_rounds = 0;
+
+    while (result.measurements < options.budget &&
+           stale_rounds < options.patience) {
+        // Propose and measure a round of candidate moves.
+        std::vector<ContextId> best_move;
+        double best_value = result.bestPerformance;
+        for (std::size_t m = 0;
+             m < options.movesPerRound &&
+             result.measurements < options.budget;
+             ++m) {
+            auto candidate =
+                proposeMove(result.best.contexts(), topo, rng);
+            const Assignment a(topo, candidate);
+            const double v = engine.measure(a);
+            ++result.measurements;
+            if (v > best_value) {
+                best_value = v;
+                best_move = std::move(candidate);
+            }
+        }
+
+        if (best_move.empty()) {
+            ++stale_rounds;
+            continue;
+        }
+        stale_rounds = 0;
+        ++result.improvements;
+        result.best = Assignment(topo, best_move);
+        result.bestPerformance = best_value;
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace statsched

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Local-search refinement of a task assignment.
+ *
+ * The paper's method *finds* a near-optimal assignment by sampling
+ * and *certifies* it with the EVT bound. A natural downstream
+ * combination is to polish the best sampled assignment with
+ * hill-climbing before deployment: move one task to a free context,
+ * or swap two tasks, keeping improvements. The EVT estimate then
+ * doubles as a certificate of how much the polished assignment still
+ * leaves on the table (bench/abl_local_search).
+ */
+
+#ifndef STATSCHED_CORE_LOCAL_SEARCH_HH
+#define STATSCHED_CORE_LOCAL_SEARCH_HH
+
+#include <cstdint>
+
+#include "core/performance_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Options of the hill climber.
+ */
+struct LocalSearchOptions
+{
+    /** Maximum engine measurements to spend. */
+    std::size_t budget = 500;
+    /** Candidate moves proposed per round (best one is taken). */
+    std::size_t movesPerRound = 16;
+    /** Stop after this many rounds without improvement. */
+    std::size_t patience = 5;
+    /** RNG seed for move proposals. */
+    std::uint64_t seed = 0x10ca1;
+};
+
+/**
+ * Result of a local-search run.
+ */
+struct LocalSearchResult
+{
+    Assignment best;                 //!< the refined assignment
+    double bestPerformance = 0.0;    //!< its measured performance
+    std::size_t measurements = 0;    //!< engine calls spent
+    std::size_t improvements = 0;    //!< accepted moves
+};
+
+/**
+ * Hill-climbs from a starting assignment under a measurement budget.
+ *
+ * Moves: relocate one task to a random free context, or swap the
+ * contexts of two tasks. Each round proposes `movesPerRound`
+ * candidates, measures them, and keeps the best if it improves on
+ * the incumbent.
+ *
+ * @param engine  Measurement engine.
+ * @param start   Starting assignment (e.g. the best sampled one).
+ * @param options Budget and move parameters.
+ */
+LocalSearchResult
+localSearchRefine(PerformanceEngine &engine, const Assignment &start,
+                  const LocalSearchOptions &options = {});
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_LOCAL_SEARCH_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Abstract performance measurement of a task assignment.
+ *
+ * The statistical method is a black-box procedure over "run this
+ * assignment and report its performance". PerformanceEngine is that
+ * black box: the simulator (sim::SimulatedEngine), the real pinned-
+ * thread executor (hw::PinnedThreadEngine), or — as Section 5.4 of
+ * the paper suggests — a performance predictor can all stand behind
+ * it without the statistics changing.
+ */
+
+#ifndef STATSCHED_CORE_PERFORMANCE_ENGINE_HH
+#define STATSCHED_CORE_PERFORMANCE_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/assignment.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Measures the performance of task assignments.
+ */
+class PerformanceEngine
+{
+  public:
+    virtual ~PerformanceEngine() = default;
+
+    /**
+     * Executes (or simulates, or predicts) one assignment and returns
+     * its performance. Units are engine-defined; the paper's case
+     * study uses processed packets per second (PPS). Higher is
+     * better.
+     */
+    virtual double measure(const Assignment &assignment) = 0;
+
+    /** @return a short description for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Wall-clock cost of one measurement in seconds, used to report
+     * experimentation time (the paper's measurements take ~1.5 s
+     * each). Defaults to 0 for instantaneous engines.
+     */
+    virtual double secondsPerMeasurement() const { return 0.0; }
+};
+
+/**
+ * Decorator that counts measurements and accumulates the modeled
+ * experimentation time of the wrapped engine.
+ */
+class MeteredEngine : public PerformanceEngine
+{
+  public:
+    /** @param inner Engine to wrap; not owned. */
+    explicit MeteredEngine(PerformanceEngine &inner) : inner_(inner) {}
+
+    double
+    measure(const Assignment &assignment) override
+    {
+        ++count_;
+        return inner_.measure(assignment);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    /** @return measurements performed through this decorator. */
+    std::uint64_t measurementCount() const { return count_; }
+
+    /** @return modeled experimentation seconds so far. */
+    double
+    modeledSeconds() const
+    {
+        return static_cast<double>(count_) *
+            inner_.secondsPerMeasurement();
+    }
+
+  private:
+    PerformanceEngine &inner_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_PERFORMANCE_ENGINE_HH

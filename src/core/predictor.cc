@@ -1,0 +1,180 @@
+/**
+ * @file
+ * TrainedPredictorEngine implementation.
+ */
+
+#include "core/predictor.hh"
+
+#include <cmath>
+
+#include "core/sampler.hh"
+#include "stats/descriptive.hh"
+#include "stats/linear_solve.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+std::vector<double>
+assignmentFeatures(const Assignment &assignment)
+{
+    const Topology &topo = assignment.topology();
+    const auto by_pipe = assignment.tasksByPipe();
+    const auto by_core = assignment.tasksByCore();
+
+    std::vector<double> f;
+    f.push_back(1.0);   // intercept
+
+    // Pipe-load histogram: number of pipes holding exactly k tasks,
+    // k = 2 .. strandsPerPipe (load-1 pipes are the baseline).
+    for (std::uint32_t k = 2; k <= topo.strandsPerPipe; ++k) {
+        int count = 0;
+        for (const auto &pipe : by_pipe)
+            count += (pipe.size() == k) ? 1 : 0;
+        f.push_back(static_cast<double>(count));
+    }
+
+    // Core-load histogram in coarse buckets.
+    const std::uint32_t core_cap =
+        topo.pipesPerCore * topo.strandsPerPipe;
+    int mid = 0;
+    int heavy = 0;
+    for (const auto &members : by_core) {
+        if (members.size() >= core_cap / 2 + 1)
+            ++heavy;
+        else if (members.size() >= 3)
+            ++mid;
+    }
+    f.push_back(static_cast<double>(mid));
+    f.push_back(static_cast<double>(heavy));
+
+    // Pairwise co-location pressure: same-pipe and same-core task
+    // pairs (quadratic crowding signals).
+    double same_pipe_pairs = 0.0;
+    for (const auto &pipe : by_pipe) {
+        const double k = static_cast<double>(pipe.size());
+        same_pipe_pairs += k * (k - 1.0) / 2.0;
+    }
+    double same_core_pairs = 0.0;
+    for (const auto &members : by_core) {
+        const double k = static_cast<double>(members.size());
+        same_core_pairs += k * (k - 1.0) / 2.0;
+    }
+    f.push_back(same_pipe_pairs);
+    f.push_back(same_core_pairs);
+
+    // Per-task pipe-load sum (linear crowding exposure).
+    double load_sum = 0.0;
+    for (TaskId t = 0; t < assignment.size(); ++t)
+        load_sum += static_cast<double>(
+            by_pipe[assignment.pipeOf(t)].size());
+    f.push_back(load_sum);
+
+    // Adjacent-task core co-location: tasks of the same pipeline
+    // instance sit at consecutive task ids, so consecutive-pair
+    // same-core counts capture queue locality without the predictor
+    // knowing the workload structure.
+    double adjacent_same_core = 0.0;
+    for (TaskId t = 0; t + 1 < assignment.size(); ++t) {
+        if (assignment.coreOf(t) == assignment.coreOf(t + 1))
+            adjacent_same_core += 1.0;
+    }
+    f.push_back(adjacent_same_core);
+
+    // Task-identity-aware features: heterogeneous tasks react
+    // differently to the same structural pressure, so the predictor
+    // also sees, per task, the load of its pipe, the population of
+    // its core, and whether it is co-located with its neighbours.
+    for (TaskId t = 0; t < assignment.size(); ++t) {
+        f.push_back(static_cast<double>(
+            by_pipe[assignment.pipeOf(t)].size()));
+        f.push_back(static_cast<double>(
+            by_core[assignment.coreOf(t)].size()));
+        double near = 0.0;
+        if (t > 0 && assignment.coreOf(t) == assignment.coreOf(t - 1))
+            near += 1.0;
+        if (t + 1 < assignment.size() &&
+            assignment.coreOf(t) == assignment.coreOf(t + 1))
+            near += 1.0;
+        f.push_back(near);
+    }
+
+    return f;
+}
+
+TrainedPredictorEngine::TrainedPredictorEngine(
+    PerformanceEngine &oracle, const Topology &topology,
+    std::uint32_t tasks, std::size_t training_n, std::uint64_t seed,
+    double lambda)
+    : topology_(topology), tasks_(tasks), oracleName_(oracle.name())
+{
+    STATSCHED_ASSERT(training_n >= 30,
+                     "predictor needs at least 30 training points");
+
+    RandomAssignmentSampler sampler(topology, tasks, seed);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(training_n);
+    targets.reserve(training_n);
+    for (std::size_t i = 0; i < training_n; ++i) {
+        const Assignment a = sampler.draw();
+        rows.push_back(assignmentFeatures(a));
+        targets.push_back(oracle.measure(a));
+    }
+    weights_ = stats::ridgeRegression(rows, targets, lambda);
+}
+
+double
+TrainedPredictorEngine::measure(const Assignment &assignment)
+{
+    const auto f = assignmentFeatures(assignment);
+    STATSCHED_ASSERT(f.size() == weights_.size(),
+                     "feature/weight size mismatch");
+    double v = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i)
+        v += weights_[i] * f[i];
+    return v;
+}
+
+std::string
+TrainedPredictorEngine::name() const
+{
+    return "predictor(" + oracleName_ + ")";
+}
+
+PredictorAccuracy
+TrainedPredictorEngine::evaluate(PerformanceEngine &oracle,
+                                 std::size_t n, std::uint64_t seed)
+{
+    STATSCHED_ASSERT(n >= 2, "need at least two evaluation points");
+    RandomAssignmentSampler sampler(topology_, tasks_, seed);
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(n);
+    actual.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Assignment a = sampler.draw();
+        predicted.push_back(measure(a));
+        actual.push_back(oracle.measure(a));
+    }
+
+    PredictorAccuracy acc;
+    const double m = stats::mean(actual);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    double abs_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ss_res += (actual[i] - predicted[i]) *
+            (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - m) * (actual[i] - m);
+        abs_err += std::fabs(actual[i] - predicted[i]);
+    }
+    acc.rSquared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+    acc.meanAbsErrorPct =
+        m > 0.0 ? abs_err / static_cast<double>(n) / m : 0.0;
+    return acc;
+}
+
+} // namespace core
+} // namespace statsched

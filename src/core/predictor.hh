@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Performance-predictor integration (Section 5.4 of the paper).
+ *
+ * "It may be the case that the time required to execute thousands of
+ * experiments on the target architecture is large or unfeasible. In
+ * that case, instead of execution of random task assignments on a
+ * target processor, the performance of each assignment in the sample
+ * can be predicted using a performance predictor. ... the accuracy of
+ * the integrated approach depends on the accuracy of the predictor."
+ *
+ * TrainedPredictorEngine realizes that integrated approach: it
+ * measures a small training sample on a real (slow) engine, fits a
+ * ridge regression over structural assignment features (pipe/core
+ * crowding histograms and co-location counts), and then serves
+ * predictions as a drop-in PerformanceEngine — so the whole
+ * statistical pipeline runs unchanged on predicted performance.
+ */
+
+#ifndef STATSCHED_CORE_PREDICTOR_HH
+#define STATSCHED_CORE_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/performance_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Structural feature vector of an assignment: intercept, pipe-load
+ * histogram (loads 2..strandsPerPipe), core-load histogram buckets,
+ * same-pipe and same-core task-pair counts, and per-task pipe-load
+ * sums. Exposed for tests and for custom predictors.
+ */
+std::vector<double> assignmentFeatures(const Assignment &assignment);
+
+/**
+ * Quality of a trained predictor on a held-out sample.
+ */
+struct PredictorAccuracy
+{
+    double rSquared = 0.0;        //!< coefficient of determination
+    double meanAbsErrorPct = 0.0; //!< mean |error| / mean target
+};
+
+/**
+ * Ridge-regression predictor trained on measured assignments.
+ */
+class TrainedPredictorEngine : public PerformanceEngine
+{
+  public:
+    /**
+     * Trains on `training_n` random assignments measured by `oracle`.
+     *
+     * @param oracle     The real engine to learn from (not owned;
+     *                   used only during construction).
+     * @param topology   Processor shape.
+     * @param tasks      Workload size.
+     * @param training_n Training sample size (>= 30).
+     * @param seed       Sampler seed for the training draws.
+     * @param lambda     Ridge strength.
+     */
+    TrainedPredictorEngine(PerformanceEngine &oracle,
+                           const Topology &topology,
+                           std::uint32_t tasks, std::size_t training_n,
+                           std::uint64_t seed, double lambda = 1e-6);
+
+    /** @return the predicted performance (instantaneous). */
+    double measure(const Assignment &assignment) override;
+
+    std::string name() const override;
+
+    /** Predictors are effectively free per prediction (the paper
+     *  assumes ~1 us). */
+    double secondsPerMeasurement() const override { return 1e-6; }
+
+    /**
+     * Evaluates accuracy on fresh assignments measured by the oracle.
+     *
+     * @param oracle Engine to compare against.
+     * @param n      Held-out sample size.
+     * @param seed   Sampler seed (use one distinct from training).
+     */
+    PredictorAccuracy evaluate(PerformanceEngine &oracle,
+                               std::size_t n, std::uint64_t seed);
+
+    /** @return the learned weights (intercept first). */
+    const std::vector<double> &weights() const { return weights_; }
+
+  private:
+    Topology topology_;
+    std::uint32_t tasks_;
+    std::string oracleName_;
+    std::vector<double> weights_;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_PREDICTOR_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Processor topology description (Section 4.1 of the paper).
+ *
+ * The UltraSPARC T2 comprises 8 cores; each core contains two hardware
+ * execution pipelines; each pipeline runs up to four strands, giving 64
+ * hardware contexts (virtual CPUs) and three levels of resource
+ * sharing:
+ *
+ *   - IntraPipe:  IFU / integer units, shared within a pipeline;
+ *   - IntraCore:  L1 caches, TLBs, LSU, FPU, crypto unit, shared
+ *                 within a core;
+ *   - InterCore:  L2, crossbar, memory controllers, shared chip-wide.
+ *
+ * Topology captures the (cores x pipes x strands) shape generically so
+ * the statistical method — which the paper stresses is architecture
+ * independent — works for any such processor.
+ */
+
+#ifndef STATSCHED_CORE_TOPOLOGY_HH
+#define STATSCHED_CORE_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/** Index of a hardware context (virtual CPU). */
+using ContextId = std::uint32_t;
+
+/**
+ * A three-level multithreaded processor shape.
+ */
+struct Topology
+{
+    std::uint32_t cores = 8;           //!< cores per chip
+    std::uint32_t pipesPerCore = 2;    //!< hardware pipelines per core
+    std::uint32_t strandsPerPipe = 4;  //!< strands per pipeline
+
+    /** @return total hardware contexts on the chip. */
+    std::uint32_t
+    contexts() const
+    {
+        return cores * pipesPerCore * strandsPerPipe;
+    }
+
+    /** @return total pipelines on the chip. */
+    std::uint32_t pipes() const { return cores * pipesPerCore; }
+
+    /** @return the core that owns a context. */
+    std::uint32_t
+    coreOf(ContextId ctx) const
+    {
+        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        return ctx / (pipesPerCore * strandsPerPipe);
+    }
+
+    /** @return the chip-global pipeline index of a context. */
+    std::uint32_t
+    pipeOf(ContextId ctx) const
+    {
+        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        return ctx / strandsPerPipe;
+    }
+
+    /** @return the pipeline index of a context within its core. */
+    std::uint32_t
+    pipeInCore(ContextId ctx) const
+    {
+        return pipeOf(ctx) % pipesPerCore;
+    }
+
+    /** @return the strand slot of a context within its pipeline. */
+    std::uint32_t
+    strandOf(ContextId ctx) const
+    {
+        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        return ctx % strandsPerPipe;
+    }
+
+    /** @return the first context of a chip-global pipeline. */
+    ContextId
+    firstContextOfPipe(std::uint32_t pipe) const
+    {
+        STATSCHED_ASSERT(pipe < pipes(), "pipe out of range");
+        return pipe * strandsPerPipe;
+    }
+
+    /** @return a short human-readable shape string, e.g. "8x2x4". */
+    std::string
+    shapeString() const
+    {
+        return std::to_string(cores) + "x" +
+            std::to_string(pipesPerCore) + "x" +
+            std::to_string(strandsPerPipe);
+    }
+
+    /** The UltraSPARC T2 shape used in the paper's case study. */
+    static Topology
+    ultraSparcT2()
+    {
+        return Topology{8, 2, 4};
+    }
+
+    friend bool
+    operator==(const Topology &a, const Topology &b)
+    {
+        return a.cores == b.cores && a.pipesPerCore == b.pipesPerCore &&
+            a.strandsPerPipe == b.strandsPerPipe;
+    }
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_TOPOLOGY_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * PinnedThreadEngine implementation.
+ */
+
+#include "hw/pinned_executor.hh"
+
+#include <pthread.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "net/aho_corasick.hh"
+#include "net/analyzer.hh"
+#include "net/flow_table.hh"
+#include "net/ipfwd.hh"
+#include "net/keywords.hh"
+#include "net/pipeline.hh"
+
+namespace statsched
+{
+namespace hw
+{
+
+namespace
+{
+
+/**
+ * Builds the P-stage kernel for a benchmark. The returned callable
+ * owns its state (table/automaton/...) via shared_ptr so it can be
+ * copied into the pipeline.
+ */
+net::ProcessFn
+makeProcessKernel(sim::Benchmark benchmark, std::uint32_t instance)
+{
+    using sim::Benchmark;
+    switch (benchmark) {
+      case Benchmark::IpfwdL1:
+      case Benchmark::IpfwdIntAdd:
+      case Benchmark::IpfwdIntMul:
+        {
+            auto table = std::make_shared<net::Ipv4ForwardingTable>(
+                net::IpfwdMode::L1Resident, 16, 0xf02d + instance);
+            return [table](net::Packet &p) {
+                return table->forward(p);
+            };
+        }
+      case Benchmark::IpfwdMem:
+        {
+            auto table = std::make_shared<net::Ipv4ForwardingTable>(
+                net::IpfwdMode::MemoryBound, 16, 0xf02d + instance);
+            return [table](net::Packet &p) {
+                return table->forward(p);
+            };
+        }
+      case Benchmark::PacketAnalyzer:
+        {
+            auto analyzer = std::make_shared<net::PacketAnalyzer>();
+            return [analyzer](net::Packet &p) {
+                analyzer->process(p);
+                return true;
+            };
+        }
+      case Benchmark::AhoCorasick:
+        {
+            // One automaton per engine would be shared; per instance
+            // mirrors the paper (same keyword set for all).
+            static const auto automaton =
+                std::make_shared<net::AhoCorasick>(
+                    net::dosKeywordSet());
+            return [](net::Packet &p) {
+                automaton->countMatches(p.payload(), p.payloadSize());
+                return true;
+            };
+        }
+      case Benchmark::IpsecEsp:
+        {
+            // A stand-in stream cipher: XOR keystream over the
+            // payload plus the forwarding fast path.
+            auto table = std::make_shared<net::Ipv4ForwardingTable>(
+                net::IpfwdMode::L1Resident, 16, 0xe5b + instance);
+            return [table](net::Packet &p) {
+                std::uint8_t key = 0x5a;
+                std::uint8_t *body = p.payload();
+                for (std::size_t i = 0; i < p.payloadSize(); ++i) {
+                    body[i] ^= key;
+                    key = static_cast<std::uint8_t>(key * 73 + 11);
+                }
+                return table->forward(p);
+            };
+        }
+      case Benchmark::Stateful:
+        {
+            auto table = std::make_shared<net::FlowTable>();
+            auto seq = std::make_shared<std::uint64_t>(0);
+            return [table, seq](net::Packet &p) {
+                table->update(p, (*seq)++);
+                return true;
+            };
+        }
+    }
+    STATSCHED_PANIC("unknown benchmark");
+}
+
+/** Pins the calling thread to one CPU; warns once on failure. */
+void
+pinSelfTo(unsigned cpu)
+{
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    const int rc = pthread_setaffinity_np(pthread_self(),
+                                          sizeof(set), &set);
+    if (rc != 0) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("pthread_setaffinity_np failed; running unpinned");
+        }
+    }
+}
+
+} // anonymous namespace
+
+PinnedThreadEngine::PinnedThreadEngine(sim::Benchmark benchmark,
+                                       std::uint32_t instances,
+                                       const PinnedOptions &options)
+    : benchmark_(benchmark), instances_(instances), options_(options)
+{
+    STATSCHED_ASSERT(instances >= 1, "need at least one instance");
+    STATSCHED_ASSERT(options.measureMillis >= 10,
+                     "measurement window too short");
+}
+
+unsigned
+PinnedThreadEngine::hostCpuOf(core::ContextId context)
+{
+    const unsigned n = std::max(1u,
+                                std::thread::hardware_concurrency());
+    return context % n;
+}
+
+double
+PinnedThreadEngine::measure(const core::Assignment &assignment)
+{
+    STATSCHED_ASSERT(assignment.size() == 3u * instances_,
+                     "assignment size must be 3 x instances");
+
+    std::vector<std::unique_ptr<net::Pipeline>> pipelines;
+    pipelines.reserve(instances_);
+    for (std::uint32_t i = 0; i < instances_; ++i) {
+        net::TrafficConfig traffic;
+        traffic.seed = 0x7a11 + i;
+        pipelines.push_back(std::make_unique<net::Pipeline>(
+            traffic, makeProcessKernel(benchmark_, i),
+            options_.queueDepth));
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(3 * instances_);
+    const bool pin = options_.pinThreads;
+
+    for (std::uint32_t i = 0; i < instances_; ++i) {
+        net::Pipeline *pipe = pipelines[i].get();
+        const core::TaskId base = 3 * i;
+        const unsigned cpu_r = hostCpuOf(assignment.contextOf(base));
+        const unsigned cpu_p =
+            hostCpuOf(assignment.contextOf(base + 1));
+        const unsigned cpu_t =
+            hostCpuOf(assignment.contextOf(base + 2));
+
+        threads.emplace_back([pipe, cpu_r, pin]() {
+            if (pin)
+                pinSelfTo(cpu_r);
+            while (!pipe->stopRequested())
+                pipe->receiveStep(64);
+        });
+        threads.emplace_back([pipe, cpu_p, pin]() {
+            if (pin)
+                pinSelfTo(cpu_p);
+            while (!pipe->stopRequested())
+                pipe->processStep(64);
+        });
+        threads.emplace_back([pipe, cpu_t, pin]() {
+            if (pin)
+                pinSelfTo(cpu_t);
+            while (!pipe->stopRequested())
+                pipe->transmitStep(64);
+        });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.measureMillis));
+    for (auto &pipe : pipelines)
+        pipe->requestStop();
+    for (auto &thread : threads)
+        thread.join();
+    const auto end = std::chrono::steady_clock::now();
+
+    std::uint64_t transmitted = 0;
+    for (const auto &pipe : pipelines)
+        transmitted += pipe->stats().transmitted;
+
+    const double seconds =
+        std::chrono::duration<double>(end - start).count();
+    return static_cast<double>(transmitted) / seconds;
+}
+
+std::string
+PinnedThreadEngine::name() const
+{
+    return "hw:" + sim::benchmarkName(benchmark_) + "(" +
+        std::to_string(instances_) + "x3)";
+}
+
+} // namespace hw
+} // namespace statsched

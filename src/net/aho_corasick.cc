@@ -1,0 +1,169 @@
+/**
+ * @file
+ * AhoCorasick implementation.
+ *
+ * Construction follows the classic three phases:
+ *  1. build the keyword trie (goto function);
+ *  2. BFS from the root to compute failure links;
+ *  3. convert to a dense delta function (goto + failure collapsed),
+ *     so the matching loop is a single table read per input byte.
+ * Output sets are represented as chains through the failure links to
+ * avoid duplicating pattern lists at every state.
+ */
+
+#include "net/aho_corasick.hh"
+
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+AhoCorasick::AhoCorasick(const std::vector<std::string> &patterns)
+    : patterns_(patterns)
+{
+    STATSCHED_ASSERT(!patterns_.empty(), "empty pattern set");
+    for (const auto &p : patterns_)
+        STATSCHED_ASSERT(!p.empty(), "empty pattern");
+
+    // Phase 1: trie. State 0 is the root.
+    std::vector<std::vector<std::uint32_t>> trie(1,
+        std::vector<std::uint32_t>(256, npos));
+    ownOutputs_.emplace_back();
+
+    for (std::uint32_t pi = 0; pi < patterns_.size(); ++pi) {
+        std::uint32_t state = 0;
+        for (unsigned char c : patterns_[pi]) {
+            if (trie[state][c] == npos) {
+                trie[state][c] =
+                    static_cast<std::uint32_t>(trie.size());
+                trie.emplace_back(
+                    std::vector<std::uint32_t>(256, npos));
+                ownOutputs_.emplace_back();
+            }
+            state = trie[state][c];
+        }
+        ownOutputs_[state].push_back(pi);
+    }
+
+    const std::size_t states = trie.size();
+    std::vector<std::uint32_t> fail(states, 0);
+    outputLink_.assign(states, 0);
+    outputHead_.assign(states, npos);
+
+    for (std::size_t s = 0; s < states; ++s) {
+        if (!ownOutputs_[s].empty())
+            outputHead_[s] = ownOutputs_[s].front();
+    }
+
+    // Phase 2: BFS failure links; root's missing edges loop to root.
+    std::queue<std::uint32_t> bfs;
+    for (int c = 0; c < 256; ++c) {
+        const std::uint32_t next = trie[0][c];
+        if (next == npos) {
+            trie[0][c] = 0;
+        } else {
+            fail[next] = 0;
+            bfs.push(next);
+        }
+    }
+    while (!bfs.empty()) {
+        const std::uint32_t s = bfs.front();
+        bfs.pop();
+
+        // The output link points at the nearest suffix state that
+        // emits something.
+        const std::uint32_t f = fail[s];
+        outputLink_[s] = (outputHead_[f] != npos) ? f : outputLink_[f];
+
+        for (int c = 0; c < 256; ++c) {
+            const std::uint32_t next = trie[s][c];
+            if (next == npos) {
+                // Phase 3 (merged): collapse failure into goto.
+                trie[s][c] = trie[f][c];
+            } else {
+                fail[next] = trie[f][c];
+                bfs.push(next);
+            }
+        }
+    }
+
+    // Flatten into the dense table.
+    transitions_.resize(states * 256);
+    for (std::size_t s = 0; s < states; ++s) {
+        for (int c = 0; c < 256; ++c)
+            transitions_[s * 256 + c] = trie[s][c];
+    }
+}
+
+std::size_t
+AhoCorasick::automatonBytes() const
+{
+    return transitions_.size() * sizeof(std::uint32_t) +
+        outputHead_.size() * sizeof(std::uint32_t) +
+        outputLink_.size() * sizeof(std::uint32_t);
+}
+
+std::vector<Match>
+AhoCorasick::findAll(const std::uint8_t *data, std::size_t len) const
+{
+    std::vector<Match> matches;
+    std::uint32_t state = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        state = transitions_[state * 256 + data[i]];
+        // Start at this state if it emits, else at its output link;
+        // state 0 (the root) never emits and doubles as "none".
+        std::uint32_t s = (outputHead_[state] != npos)
+            ? state : outputLink_[state];
+        while (s != 0) {
+            for (std::uint32_t pi : ownOutputs_[s])
+                matches.push_back({pi, i + 1});
+            s = outputLink_[s];
+        }
+    }
+    return matches;
+}
+
+std::vector<Match>
+AhoCorasick::findAll(const std::string &text) const
+{
+    return findAll(reinterpret_cast<const std::uint8_t *>(text.data()),
+                   text.size());
+}
+
+std::size_t
+AhoCorasick::countMatches(const std::uint8_t *data, std::size_t len)
+    const
+{
+    std::size_t count = 0;
+    std::uint32_t state = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        state = transitions_[state * 256 + data[i]];
+        std::uint32_t s = (outputHead_[state] != npos)
+            ? state : outputLink_[state];
+        while (s != 0) {
+            count += ownOutputs_[s].size();
+            s = outputLink_[s];
+        }
+    }
+    return count;
+}
+
+bool
+AhoCorasick::containsAny(const std::uint8_t *data, std::size_t len)
+    const
+{
+    std::uint32_t state = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        state = transitions_[state * 256 + data[i]];
+        if (outputHead_[state] != npos || outputLink_[state] != 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace net
+} // namespace statsched

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * PacketAnalyzer implementation.
+ */
+
+#include "net/analyzer.hh"
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+bool
+PacketFilter::matches(const Packet &packet) const
+{
+    if (!packet.hasIpv4())
+        return false;
+    const Ipv4Header ip = packet.ipv4();
+
+    if (protocol && ip.protocol != *protocol)
+        return false;
+    if (destinationPrefix) {
+        const auto &[prefix, bits] = *destinationPrefix;
+        if (bits > 0) {
+            const Ipv4Address mask = bits >= 32
+                ? 0xffffffffu : ~((1u << (32 - bits)) - 1);
+            if ((ip.destination & mask) != (prefix & mask))
+                return false;
+        }
+    }
+    if ((sourcePort || destinationPort) && packet.hasL4()) {
+        std::uint16_t sport = 0;
+        std::uint16_t dport = 0;
+        if (ip.protocol ==
+            static_cast<std::uint8_t>(IpProtocol::Tcp)) {
+            const TcpHeader t = packet.tcp();
+            sport = t.sourcePort;
+            dport = t.destinationPort;
+        } else {
+            const UdpHeader u = packet.udp();
+            sport = u.sourcePort;
+            dport = u.destinationPort;
+        }
+        if (sourcePort && sport != *sourcePort)
+            return false;
+        if (destinationPort && dport != *destinationPort)
+            return false;
+    } else if (sourcePort || destinationPort) {
+        return false;
+    }
+    return true;
+}
+
+PacketAnalyzer::PacketAnalyzer(std::size_t log_capacity)
+{
+    STATSCHED_ASSERT(log_capacity >= 1, "empty log ring");
+    ring_.resize(log_capacity);
+}
+
+void
+PacketAnalyzer::addFilter(PacketFilter filter)
+{
+    filters_.push_back(std::move(filter));
+}
+
+std::optional<LogRecord>
+PacketAnalyzer::process(const Packet &packet)
+{
+    ++stats_.captured;
+    stats_.bytes += packet.size();
+
+    if (!packet.hasIpv4() || !packet.hasL4()) {
+        ++stats_.malformed;
+        return std::nullopt;
+    }
+    ++stats_.decoded;
+
+    const Ipv4Header ip = packet.ipv4();
+    if (ip.protocol == static_cast<std::uint8_t>(IpProtocol::Tcp))
+        ++stats_.tcp;
+    else if (ip.protocol == static_cast<std::uint8_t>(IpProtocol::Udp))
+        ++stats_.udp;
+
+    bool selected = filters_.empty();
+    for (const auto &f : filters_) {
+        if (f.matches(packet)) {
+            selected = true;
+            break;
+        }
+    }
+    if (!selected)
+        return std::nullopt;
+    ++stats_.filtered;
+
+    LogRecord record;
+    const EthernetHeader eth = packet.ethernet();
+    record.macSource = eth.source;
+    record.macDestination = eth.destination;
+    record.timeToLive = ip.timeToLive;
+    record.l3Protocol = ip.protocol;
+    record.ipSource = ip.source;
+    record.ipDestination = ip.destination;
+    if (ip.protocol == static_cast<std::uint8_t>(IpProtocol::Tcp)) {
+        const TcpHeader t = packet.tcp();
+        record.sourcePort = t.sourcePort;
+        record.destinationPort = t.destinationPort;
+    } else {
+        const UdpHeader u = packet.udp();
+        record.sourcePort = u.sourcePort;
+        record.destinationPort = u.destinationPort;
+    }
+
+    ring_[ringNext_] = record;
+    ringNext_ = (ringNext_ + 1) % ring_.size();
+    if (ringNext_ == 0)
+        ringWrapped_ = true;
+    ++stats_.logged;
+    return record;
+}
+
+std::vector<LogRecord>
+PacketAnalyzer::logContents() const
+{
+    std::vector<LogRecord> out;
+    if (ringWrapped_) {
+        out.insert(out.end(), ring_.begin() + ringNext_, ring_.end());
+        out.insert(out.end(), ring_.begin(),
+                   ring_.begin() + ringNext_);
+    } else {
+        out.insert(out.end(), ring_.begin(),
+                   ring_.begin() + ringNext_);
+    }
+    return out;
+}
+
+} // namespace net
+} // namespace statsched

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Checksum implementation.
+ */
+
+#include "net/checksum.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+std::uint16_t
+internetChecksum(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i] << 8);
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t
+incrementalChecksumUpdate(std::uint16_t old_checksum,
+                          std::uint16_t old_word,
+                          std::uint16_t new_word)
+{
+    // RFC 1141: HC' = ~(~HC + ~m + m') with one's-complement sums.
+    std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+    sum += static_cast<std::uint16_t>(~old_word);
+    sum += new_word;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+} // namespace net
+} // namespace statsched

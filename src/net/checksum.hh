@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) and incremental update (RFC 1141).
+ *
+ * Used by the packet kernels for IPv4 header checksums: full
+ * computation when a header is (re)built, and the one's-complement
+ * incremental patch on the TTL-decrement fast path of IP forwarding.
+ */
+
+#ifndef STATSCHED_NET_CHECKSUM_HH
+#define STATSCHED_NET_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * One's-complement Internet checksum over a byte range.
+ *
+ * @param data Pointer to the first byte.
+ * @param len  Number of bytes (odd lengths are zero-padded).
+ * @return the 16-bit checksum in host order, ready to be stored in
+ *         big-endian field position.
+ */
+std::uint16_t internetChecksum(const std::uint8_t *data,
+                               std::size_t len);
+
+/**
+ * RFC 1141 incremental checksum update when one 16-bit word of the
+ * covered data changes.
+ *
+ * @param old_checksum Previous checksum value.
+ * @param old_word     The 16-bit word before the change.
+ * @param new_word     The 16-bit word after the change.
+ * @return the updated checksum.
+ */
+std::uint16_t incrementalChecksumUpdate(std::uint16_t old_checksum,
+                                        std::uint16_t old_word,
+                                        std::uint16_t new_word);
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_CHECKSUM_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Stateful flow tracking (Section 4.3).
+ *
+ * "The packets that belong to the same flow share the common
+ * information called the flow-record. ... The common main components
+ * of stateful packet processing are: (1) read the flow-keys of a
+ * packet; (2) use a hash function to determine the corresponding
+ * hash table entry; (3) access the hash table: lock, read, and
+ * update the flow-record of an already-existing flow, or create a
+ * flow-record for a new flow."
+ *
+ * FlowTable implements exactly this: the 5-tuple flow key, the nProbe
+ * hash function over the flow keys, a 2^16-entry bucketed hash table
+ * (the size the paper uses, sufficient for a fully utilized 10 Gb
+ * link), striped spinlocks for concurrent stage threads, and flow
+ * state transitions driven by TCP flags.
+ */
+
+#ifndef STATSCHED_NET_FLOW_TABLE_HH
+#define STATSCHED_NET_FLOW_TABLE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * The canonical 5-tuple flow key.
+ */
+struct FlowKey
+{
+    Ipv4Address sourceIp = 0;
+    Ipv4Address destinationIp = 0;
+    std::uint16_t sourcePort = 0;
+    std::uint16_t destinationPort = 0;
+    std::uint8_t protocol = 0;
+
+    friend bool
+    operator==(const FlowKey &a, const FlowKey &b)
+    {
+        return a.sourceIp == b.sourceIp &&
+            a.destinationIp == b.destinationIp &&
+            a.sourcePort == b.sourcePort &&
+            a.destinationPort == b.destinationPort &&
+            a.protocol == b.protocol;
+    }
+
+    /**
+     * Extracts the key from a packet.
+     *
+     * @return nullopt when the packet has no L4 header.
+     */
+    static std::optional<FlowKey> fromPacket(const Packet &packet);
+};
+
+/**
+ * nProbe-style flow hash: sums the flow-key fields and folds into
+ * the table index space.
+ */
+std::uint32_t nprobeFlowHash(const FlowKey &key);
+
+/** Lifecycle state of a tracked flow. */
+enum class FlowState : std::uint8_t
+{
+    New,           //!< first packet seen
+    Established,   //!< TCP handshake observed or UDP active
+    Closing,       //!< FIN observed
+    Closed         //!< RST or both FINs
+};
+
+/**
+ * Per-flow record.
+ */
+struct FlowRecord
+{
+    FlowKey key;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint8_t tcpFlagsSeen = 0;
+    FlowState state = FlowState::New;
+    std::uint64_t firstSeen = 0;   //!< packet sequence number
+    std::uint64_t lastSeen = 0;
+};
+
+/**
+ * Table update statistics.
+ */
+struct FlowTableStats
+{
+    std::uint64_t updates = 0;     //!< packets applied
+    std::uint64_t newFlows = 0;    //!< records created
+    std::uint64_t evictions = 0;   //!< records recycled on collision
+    std::uint64_t ignored = 0;     //!< packets without L4 headers
+};
+
+/**
+ * Fixed-size, striped-lock flow hash table.
+ */
+class FlowTable
+{
+  public:
+    /** The paper's table size: 2^16 entries. */
+    static constexpr std::size_t kEntries = 1u << 16;
+
+    /**
+     * @param buckets  Number of hash buckets (default kEntries).
+     * @param stripes  Number of lock stripes (power of two).
+     */
+    explicit FlowTable(std::size_t buckets = kEntries,
+                       std::size_t stripes = 256);
+
+    /**
+     * Applies one packet to the table (thread safe).
+     *
+     * @param packet   The packet.
+     * @param sequence Monotonic packet sequence number (timestamp
+     *                 substitute).
+     * @return the state of the flow after the update, or nullopt for
+     *         packets without flow keys.
+     */
+    std::optional<FlowState> update(const Packet &packet,
+                                    std::uint64_t sequence);
+
+    /** @return a copy of the record for a key, if present. */
+    std::optional<FlowRecord> find(const FlowKey &key) const;
+
+    /** @return number of active (non-empty) records. */
+    std::size_t activeFlows() const;
+
+    /** @return accumulated statistics (approximate under
+     *  concurrency). */
+    FlowTableStats stats() const;
+
+    /** @return table footprint in bytes (for cache reasoning). */
+    std::size_t tableBytes() const;
+
+  private:
+    struct Slot
+    {
+        bool occupied = false;
+        FlowRecord record;
+    };
+
+    /** A simple test-and-set spinlock (Netra DPS style: no OS). */
+    class Spinlock
+    {
+      public:
+        void
+        lock()
+        {
+            while (flag_.test_and_set(std::memory_order_acquire)) {
+            }
+        }
+
+        void
+        unlock()
+        {
+            flag_.clear(std::memory_order_release);
+        }
+
+      private:
+        std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+    };
+
+    Spinlock &stripeFor(std::size_t bucket) const;
+
+    std::vector<Slot> slots_;
+    mutable std::vector<Spinlock> stripes_;
+    std::atomic<std::uint64_t> updates_{0};
+    std::atomic<std::uint64_t> newFlows_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> ignored_{0};
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_FLOW_TABLE_HH

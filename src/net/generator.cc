@@ -1,0 +1,117 @@
+/**
+ * @file
+ * TrafficGenerator implementation.
+ */
+
+#include "net/generator.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "net/keywords.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    STATSCHED_ASSERT(config_.sourceCount >= 1 &&
+                     config_.destinationCount >= 1,
+                     "empty address range");
+    STATSCHED_ASSERT(config_.payloadMin <= config_.payloadMax,
+                     "inverted payload range");
+    STATSCHED_ASSERT(config_.tcpFraction >= 0.0 &&
+                     config_.tcpFraction <= 1.0,
+                     "TCP fraction out of [0,1]");
+}
+
+Packet
+TrafficGenerator::next()
+{
+    const bool tcp = rng_.uniform() < config_.tcpFraction;
+    const std::size_t l4_bytes = tcp ? tcpHeaderBytes : udpHeaderBytes;
+    const std::uint32_t payload = config_.payloadMin +
+        static_cast<std::uint32_t>(rng_.uniformInt(
+            config_.payloadMax - config_.payloadMin + 1));
+    const std::size_t frame =
+        ethernetHeaderBytes + ipv4HeaderBytes + l4_bytes + payload;
+
+    Packet pkt{std::vector<std::uint8_t>(frame, 0)};
+
+    EthernetHeader eth;
+    eth.destination = {0x00, 0x14, 0x4f, 0x01, 0x02, 0x03};
+    eth.source = {0x00, 0x14, 0x4f, 0xaa, 0xbb, 0xcc};
+    eth.etherType = 0x0800;
+    pkt.setEthernet(eth);
+
+    Ipv4Header ip;
+    ip.totalLength = static_cast<std::uint16_t>(
+        ipv4HeaderBytes + l4_bytes + payload);
+    ip.identification = ipId_++;
+    ip.timeToLive = 32 +
+        static_cast<std::uint8_t>(rng_.uniformInt(96));
+    ip.protocol = static_cast<std::uint8_t>(
+        tcp ? IpProtocol::Tcp : IpProtocol::Udp);
+    ip.source = config_.sourceBase + static_cast<Ipv4Address>(
+        rng_.uniformInt(config_.sourceCount));
+    ip.destination = config_.destinationBase + static_cast<Ipv4Address>(
+        rng_.uniformInt(config_.destinationCount));
+    pkt.setIpv4(ip);
+
+    const std::uint16_t sport = config_.portBase +
+        static_cast<std::uint16_t>(rng_.uniformInt(config_.portCount));
+    const std::uint16_t dport = config_.portBase +
+        static_cast<std::uint16_t>(rng_.uniformInt(config_.portCount));
+    if (tcp) {
+        TcpHeader h;
+        h.sourcePort = sport;
+        h.destinationPort = dport;
+        h.sequence = static_cast<std::uint32_t>(rng_.next());
+        h.acknowledgment = static_cast<std::uint32_t>(rng_.next());
+        h.flags = 0x18;   // PSH|ACK
+        h.window = 65535;
+        pkt.setTcp(h);
+    } else {
+        UdpHeader h;
+        h.sourcePort = sport;
+        h.destinationPort = dport;
+        h.length = static_cast<std::uint16_t>(udpHeaderBytes + payload);
+        pkt.setUdp(h);
+    }
+
+    // Payload: pseudo-random printable bytes, with an embedded
+    // keyword for a configurable fraction of packets.
+    std::uint8_t *body = pkt.payload();
+    for (std::uint32_t i = 0; i < payload; ++i)
+        body[i] = static_cast<std::uint8_t>(0x20 + rng_.uniformInt(95));
+    if (payload >= 48 && rng_.uniform() < config_.keywordFraction) {
+        const auto &keys = dosKeywordSet();
+        const std::string &kw =
+            keys[rng_.uniformInt(keys.size())];
+        if (kw.size() < payload) {
+            const std::size_t at =
+                rng_.uniformInt(payload - kw.size());
+            std::memcpy(body + at, kw.data(), kw.size());
+        }
+    }
+
+    ++generated_;
+    return pkt;
+}
+
+std::vector<Packet>
+TrafficGenerator::burst(std::size_t count)
+{
+    std::vector<Packet> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace net
+} // namespace statsched

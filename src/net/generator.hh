@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic traffic generator (the NTGen substitute).
+ *
+ * The paper saturates the system under test with NTGen, "a software
+ * tool that generates IPv4 TCP/UDP packets with configurable options
+ * to modify various packet header fields" (Section 4). This generator
+ * produces the same kind of traffic deterministically: configurable
+ * address/port ranges, protocol mix, payload sizes and payload
+ * content, from an explicit seed.
+ */
+
+#ifndef STATSCHED_NET_GENERATOR_HH
+#define STATSCHED_NET_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "stats/rng.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * Traffic configuration.
+ */
+struct TrafficConfig
+{
+    Ipv4Address sourceBase = 0x0a000000;        //!< 10.0.0.0
+    std::uint32_t sourceCount = 4096;           //!< distinct sources
+    Ipv4Address destinationBase = 0xc0a80000;   //!< 192.168.0.0
+    std::uint32_t destinationCount = 65536;     //!< distinct dests
+    std::uint16_t portBase = 1024;
+    std::uint16_t portCount = 16384;
+    /** Fraction of TCP packets (remainder UDP). */
+    double tcpFraction = 0.6;
+    std::uint32_t payloadMin = 26;              //!< 64 B frames
+    std::uint32_t payloadMax = 1458;            //!< 1500 B frames
+    /**
+     * Fraction of packets whose payload embeds a keyword from the
+     * intrusion-detection set (exercises Aho-Corasick match paths).
+     */
+    double keywordFraction = 0.02;
+    std::uint64_t seed = 0x7a11;
+};
+
+/**
+ * Deterministic NTGen-style packet source.
+ */
+class TrafficGenerator
+{
+  public:
+    /** @param config Traffic parameters. */
+    explicit TrafficGenerator(const TrafficConfig &config = {});
+
+    /** @return the configuration. */
+    const TrafficConfig &config() const { return config_; }
+
+    /** @return the next packet. */
+    Packet next();
+
+    /** @return a burst of `count` packets. */
+    std::vector<Packet> burst(std::size_t count);
+
+    /** @return packets generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    TrafficConfig config_;
+    stats::Rng rng_;
+    std::uint64_t generated_ = 0;
+    std::uint16_t ipId_ = 1;
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_GENERATOR_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ipv4ForwardingTable implementation.
+ */
+
+#include "net/ipfwd.hh"
+
+#include "base/logging.hh"
+#include "stats/rng.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+namespace
+{
+
+/** Entries in the L1-resident table: 512 x 8 B = 4 KB. */
+constexpr std::size_t smallEntries = 512;
+/** Chain entries in the memory-bound table: 4 M x 4 B = 16 MB. */
+constexpr std::size_t chainEntries = 4u << 20;
+/** Next-hop slots behind the chain. */
+constexpr std::size_t largeEntries = 65536;
+
+/** Multiplicative hash of an IPv4 address (Knuth). */
+inline std::uint32_t
+hashAddress(Ipv4Address a)
+{
+    return a * 2654435761u;
+}
+
+} // anonymous namespace
+
+Ipv4ForwardingTable::Ipv4ForwardingTable(IpfwdMode mode,
+                                         std::uint16_t ports,
+                                         std::uint64_t seed)
+    : mode_(mode), ports_(ports)
+{
+    STATSCHED_ASSERT(ports >= 1, "need at least one egress port");
+    stats::Rng rng(seed);
+
+    auto random_hop = [&rng, ports]() {
+        NextHop hop;
+        hop.egressPort =
+            static_cast<std::uint16_t>(rng.uniformInt(ports));
+        for (auto &b : hop.gatewayMac)
+            b = static_cast<std::uint8_t>(rng.uniformInt(256));
+        return hop;
+    };
+
+    if (mode_ == IpfwdMode::L1Resident) {
+        small_.resize(smallEntries);
+        for (auto &hop : small_)
+            hop = random_hop();
+        return;
+    }
+
+    // MemoryBound: a scrambled permutation chain. Each lookup starts
+    // at hash(dst) mod chainEntries, follows kLookupMemoryAccesses-1
+    // chained indices, and lands in a next-hop slot. The chain is a
+    // random permutation, so successive lookups have no locality —
+    // matching the paper's "lookup table entries are initialized to
+    // make IPFwd continuously access the main memory".
+    chain_.resize(chainEntries);
+    for (std::uint32_t i = 0; i < chainEntries; ++i)
+        chain_[i] = i;
+    for (std::size_t i = chainEntries - 1; i > 0; --i) {
+        const std::size_t j = rng.uniformInt(i + 1);
+        std::swap(chain_[i], chain_[j]);
+    }
+    large_.resize(largeEntries);
+    for (auto &hop : large_)
+        hop = random_hop();
+}
+
+std::size_t
+Ipv4ForwardingTable::tableBytes() const
+{
+    if (mode_ == IpfwdMode::L1Resident)
+        return small_.size() * sizeof(NextHop);
+    return chain_.size() * sizeof(std::uint32_t) +
+        large_.size() * sizeof(NextHop);
+}
+
+NextHop
+Ipv4ForwardingTable::lookup(Ipv4Address destination) const
+{
+    ++lookups_;
+    const std::uint32_t h = hashAddress(destination);
+    if (mode_ == IpfwdMode::L1Resident)
+        return small_[h % smallEntries];
+
+    std::uint32_t idx = h % chainEntries;
+    for (int hop = 1; hop < kLookupMemoryAccesses; ++hop)
+        idx = chain_[idx];
+    return large_[chain_[idx] % largeEntries];
+}
+
+bool
+Ipv4ForwardingTable::forward(Packet &packet) const
+{
+    if (!packet.hasIpv4())
+        return false;
+    if (!packet.decrementTtl())
+        return false;
+
+    const NextHop hop = lookup(packet.ipv4().destination);
+
+    EthernetHeader eth = packet.ethernet();
+    eth.source = eth.destination;
+    eth.destination = hop.gatewayMac;
+    packet.setEthernet(eth);
+    return true;
+}
+
+} // namespace net
+} // namespace statsched

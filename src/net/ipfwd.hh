@@ -1,0 +1,112 @@
+/**
+ * @file
+ * IP forwarding lookup (the IPFwd benchmark kernel, Section 4.3).
+ *
+ * "IPFwd makes the decision to forward a packet to the next hop based
+ * on the destination IP address." The kernel hashes the destination
+ * address into a next-hop table. Two memory behaviours bound the
+ * design space, mirroring the paper's two variants:
+ *
+ *  - L1Resident: a small table that fits in the 8 KB L1 data cache —
+ *    the best case (high locality);
+ *  - MemoryBound: a large table whose entries are chained through a
+ *    second level initialized to defeat locality — every lookup
+ *    performs dependent accesses that miss all caches, the worst
+ *    case used in network processing studies.
+ */
+
+#ifndef STATSCHED_NET_IPFWD_HH
+#define STATSCHED_NET_IPFWD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * Memory behaviour of the forwarding table.
+ */
+enum class IpfwdMode
+{
+    L1Resident,   //!< table fits in the L1 data cache
+    MemoryBound   //!< lookups chase pointers through a large array
+};
+
+/**
+ * Next-hop descriptor.
+ */
+struct NextHop
+{
+    std::uint16_t egressPort = 0;
+    MacAddress gatewayMac{};
+};
+
+/**
+ * Hash-based IPv4 forwarding table.
+ */
+class Ipv4ForwardingTable
+{
+  public:
+    /** Dependent memory accesses per MemoryBound lookup. */
+    static constexpr int kLookupMemoryAccesses = 2;
+
+    /**
+     * @param mode  Memory behaviour.
+     * @param ports Number of egress ports to spread next hops over.
+     * @param seed  Deterministic table initialization seed.
+     */
+    explicit Ipv4ForwardingTable(IpfwdMode mode = IpfwdMode::L1Resident,
+                                 std::uint16_t ports = 16,
+                                 std::uint64_t seed = 0xf02d);
+
+    /** @return the configured mode. */
+    IpfwdMode mode() const { return mode_; }
+
+    /** @return table size in bytes (for cache reasoning). */
+    std::size_t tableBytes() const;
+
+    /**
+     * Looks up the next hop for a destination address.
+     */
+    NextHop lookup(Ipv4Address destination) const;
+
+    /**
+     * Forwards one packet in place: looks up the next hop, rewrites
+     * the Ethernet addresses, and decrements the TTL with an
+     * incremental checksum update.
+     *
+     * @return false when the packet must be dropped (TTL expired or
+     *         not IPv4).
+     */
+    bool forward(Packet &packet) const;
+
+    /** @return lookups performed (statistics). */
+    std::uint64_t lookupCount() const { return lookups_; }
+
+  private:
+    IpfwdMode mode_;
+    std::uint16_t ports_;
+
+    /** Direct-mapped next-hop entries (L1Resident). */
+    std::vector<NextHop> small_;
+
+    /**
+     * MemoryBound storage: a large array of chained indices ending in
+     * a next-hop slot; the chain permutation is scrambled at
+     * construction so consecutive lookups share no locality.
+     */
+    std::vector<std::uint32_t> chain_;
+    std::vector<NextHop> large_;
+
+    mutable std::uint64_t lookups_ = 0;
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_IPFWD_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Measured per-packet cost summary of the src/net kernels.
+ *
+ * These constants document how the simulator's TaskProfile values
+ * (sim/benchmarks.cc) are grounded in the real kernels of this
+ * library. They are order-of-magnitude operation counts per packet
+ * observed on the reference implementations (see
+ * bench/micro_library.cc for the measurable quantities), not magic
+ * numbers:
+ *
+ *  - the Receive/Transmit stages move one descriptor through an
+ *    SpscQueue and touch one packet header: a few hundred simple
+ *    operations;
+ *  - IPFwd performs one hash, one (L1Resident) or
+ *    kLookupMemoryAccesses dependent (MemoryBound) table reads, an
+ *    Ethernet rewrite and the incremental TTL/checksum patch;
+ *  - the analyzer decodes three header layers and writes one
+ *    28-byte log record;
+ *  - Aho-Corasick reads one dense-table transition per payload byte
+ *    (hundreds to ~1500 bytes per packet);
+ *  - stateful processing hashes the 5-tuple, takes a stripe lock and
+ *    applies a read-modify-write to a 64-byte flow record.
+ */
+
+#ifndef STATSCHED_NET_KERNEL_COSTS_HH
+#define STATSCHED_NET_KERNEL_COSTS_HH
+
+namespace statsched
+{
+namespace net
+{
+
+/** Approximate instructions per packet for queue+NIU handling. */
+constexpr double kReceiveOpsPerPacket = 340.0;
+constexpr double kTransmitOpsPerPacket = 320.0;
+
+/** IPFwd processing, excluding table misses. */
+constexpr double kIpfwdOpsPerPacket = 540.0;
+
+/** Analyzer decode + filter + log. */
+constexpr double kAnalyzerOpsPerPacket = 900.0;
+
+/** Aho-Corasick per payload *byte* (one transition + output test). */
+constexpr double kAhoCorasickOpsPerByte = 7.0;
+
+/** Stateful flow update, excluding record misses. */
+constexpr double kStatefulOpsPerPacket = 700.0;
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_KERNEL_COSTS_HH

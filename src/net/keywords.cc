@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Built-in keyword set.
+ */
+
+#include "net/keywords.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+const std::vector<std::string> &
+dosKeywordSet()
+{
+    static const std::vector<std::string> keywords = {
+        // Protocol-abuse markers.
+        "GET / HTTP/1.0", "GET / HTTP/1.1", "POST / HTTP/1.1",
+        "HEAD / HTTP/1.0", "OPTIONS * HTTP/1.1",
+        "User-Agent: blank", "User-Agent: -", "X-Forwarded-For: 0",
+        "Host: 0.0.0.0", "Connection: keep-alive,keep-alive",
+        "Content-Length: -1", "Content-Length: 99999999",
+        "Range: bytes=0-,0-,0-", "Accept-Encoding: ,,,",
+        // Flood / amplification payload markers.
+        "\x07\x07\x07\x07flood", "udpflood", "synflood", "ackstorm",
+        "smurf_echo", "fraggle", "landattack", "teardrop_frag",
+        "ping_of_death", "bonk_offset", "boink", "nestea",
+        // Botnet command strings.
+        "!flood.start", "!flood.stop", "!udp ", "!syn ", "!icmp ",
+        "!packet ", "!attack ", "ddos.start", "ddos.stop",
+        ".advscan", ".asc ", ".scanall", "startflood",
+        // Malformed service banners.
+        "220 kaboom ftp", "USER ddos", "PASS ddos", "SITE EXEC %p",
+        "RETR ../../", "STOR ../../..", "\\x90\\x90\\x90\\x90",
+        // DNS/NTP/SSDP amplification queries.
+        "\x13\x37\xff\x01ANY", "monlist", "get_peers",
+        "M-SEARCH * HTTP/1.1", "ssdp:discover", "qtype=255",
+        // Slow-rate attack markers.
+        "slowloris", "X-a: b\r\n", "rudeadyet", "slowpost",
+        "Transfer-Encoding: chunked\r\n0\r\n",
+        // Classic shell / exploit fragments.
+        "/bin/sh", "/bin/bash -i", "cmd.exe /c", "powershell -enc",
+        "wget http://", "curl -s http://", "chmod 777",
+        "rm -rf /", "etc/passwd", "etc/shadow",
+        // Random-looking binary markers (shared prefixes).
+        "\xde\xad\xbe\xef", "\xde\xad\xc0\xde", "\xca\xfe\xba\xbe",
+        "\xfe\xed\xfa\xce", "\x41\x41\x41\x41\x41\x41\x41\x41",
+        "\x42\x42\x42\x42\x42\x42", "\x90\x90\x90\x90\x90\x90",
+    };
+    return keywords;
+}
+
+} // namespace net
+} // namespace statsched

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Intrusion-detection keyword set.
+ *
+ * The paper's Aho-Corasick benchmark searches packet payloads for the
+ * keywords of the Snort Denial-of-Service rule set (v2.9, Nov 2011).
+ * That rule text is licensed, so this library ships a representative
+ * substitute: a set of DoS-signature-like content strings with the
+ * same character: short-to-medium ASCII/byte patterns with shared
+ * prefixes. The automaton's behaviour (state count, transition
+ * density, match rate) — which is what the task-assignment study
+ * exercises — depends only on these structural properties.
+ */
+
+#ifndef STATSCHED_NET_KEYWORDS_HH
+#define STATSCHED_NET_KEYWORDS_HH
+
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * @return the built-in DoS-signature-like keyword set (~70 patterns).
+ */
+const std::vector<std::string> &dosKeywordSet();
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_KEYWORDS_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * LpmTrie implementation.
+ */
+
+#include "net/lpm_trie.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+struct LpmTrie::Node
+{
+    std::unique_ptr<Node> child[2];
+    std::optional<Route> route;
+};
+
+LpmTrie::LpmTrie() : root_(std::make_unique<Node>())
+{
+}
+
+LpmTrie::~LpmTrie() = default;
+LpmTrie::LpmTrie(LpmTrie &&) noexcept = default;
+LpmTrie &LpmTrie::operator=(LpmTrie &&) noexcept = default;
+
+namespace
+{
+
+/** @return bit `depth` (0 = MSB) of an address. */
+inline int
+bitAt(Ipv4Address address, std::uint8_t depth)
+{
+    return (address >> (31 - depth)) & 1u;
+}
+
+} // anonymous namespace
+
+std::string
+Route::toString() const
+{
+    return ipv4ToString(prefix) + "/" + std::to_string(length);
+}
+
+bool
+LpmTrie::insert(const Route &route)
+{
+    STATSCHED_ASSERT(route.length <= 32, "prefix length out of range");
+    // Host bits must be zero for a canonical prefix.
+    const Ipv4Address mask = route.length == 0
+        ? 0 : (route.length >= 32
+               ? 0xffffffffu : ~((1u << (32 - route.length)) - 1));
+    STATSCHED_ASSERT((route.prefix & ~mask) == 0,
+                     "prefix has host bits set");
+
+    Node *node = root_.get();
+    for (std::uint8_t depth = 0; depth < route.length; ++depth) {
+        const int b = bitAt(route.prefix, depth);
+        if (!node->child[b])
+            node->child[b] = std::make_unique<Node>();
+        node = node->child[b].get();
+    }
+    const bool replaced = node->route.has_value();
+    node->route = route;
+    if (!replaced)
+        ++routes_;
+    return replaced;
+}
+
+bool
+LpmTrie::remove(Ipv4Address prefix, std::uint8_t length)
+{
+    STATSCHED_ASSERT(length <= 32, "prefix length out of range");
+    Node *node = root_.get();
+    for (std::uint8_t depth = 0; depth < length && node; ++depth)
+        node = node->child[bitAt(prefix, depth)].get();
+    if (!node || !node->route)
+        return false;
+    node->route.reset();
+    --routes_;
+    // Note: empty chains are left in place; acceptable for routing
+    // tables whose prefix set churns in place.
+    return true;
+}
+
+std::optional<NextHop>
+LpmTrie::lookup(Ipv4Address address) const
+{
+    std::optional<NextHop> best;
+    const Node *node = root_.get();
+    std::uint8_t depth = 0;
+    while (node) {
+        if (node->route)
+            best = node->route->nextHop;
+        if (depth >= 32)
+            break;
+        node = node->child[bitAt(address, depth)].get();
+        ++depth;
+    }
+    return best;
+}
+
+std::optional<Route>
+LpmTrie::find(Ipv4Address prefix, std::uint8_t length) const
+{
+    const Node *node = root_.get();
+    for (std::uint8_t depth = 0; depth < length && node; ++depth)
+        node = node->child[bitAt(prefix, depth)].get();
+    if (node && node->route)
+        return node->route;
+    return std::nullopt;
+}
+
+std::vector<Route>
+LpmTrie::dump() const
+{
+    std::vector<Route> out;
+    // Iterative DFS.
+    std::vector<const Node *> stack = {root_.get()};
+    while (!stack.empty()) {
+        const Node *node = stack.back();
+        stack.pop_back();
+        if (node->route)
+            out.push_back(*node->route);
+        for (int b = 0; b < 2; ++b) {
+            if (node->child[b])
+                stack.push_back(node->child[b].get());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Route &a, const Route &b) {
+                  return a.prefix != b.prefix
+                      ? a.prefix < b.prefix : a.length < b.length;
+              });
+    return out;
+}
+
+} // namespace net
+} // namespace statsched

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Longest-prefix-match IPv4 routing table (binary trie).
+ *
+ * The hash-based Ipv4ForwardingTable models the paper's benchmark
+ * kernel; real routers forward on the longest matching prefix. This
+ * is a complete path-traversing binary trie: insert CIDR prefixes
+ * with next hops, look up the longest match per address, delete
+ * prefixes, and enumerate the table. Used by the extended forwarding
+ * example and to ground the per-lookup cost discussion in
+ * net/kernel_costs.hh (an LPM walk touches up to 32 nodes versus the
+ * benchmark's 1-2 hash probes).
+ */
+
+#ifndef STATSCHED_NET_LPM_TRIE_HH
+#define STATSCHED_NET_LPM_TRIE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipfwd.hh"
+#include "net/packet.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * An IPv4 route: prefix/length -> next hop.
+ */
+struct Route
+{
+    Ipv4Address prefix = 0;
+    std::uint8_t length = 0;    //!< 0..32
+    NextHop nextHop;
+
+    /** @return "a.b.c.d/len". */
+    std::string toString() const;
+};
+
+/**
+ * Binary LPM trie.
+ */
+class LpmTrie
+{
+  public:
+    LpmTrie();
+    ~LpmTrie();
+    LpmTrie(LpmTrie &&) noexcept;
+    LpmTrie &operator=(LpmTrie &&) noexcept;
+    LpmTrie(const LpmTrie &) = delete;
+    LpmTrie &operator=(const LpmTrie &) = delete;
+
+    /**
+     * Inserts or replaces a route.
+     *
+     * @return true if a route with the same prefix/length existed
+     *         and was replaced.
+     */
+    bool insert(const Route &route);
+
+    /**
+     * Removes a route.
+     *
+     * @return true if the exact prefix/length was present.
+     */
+    bool remove(Ipv4Address prefix, std::uint8_t length);
+
+    /**
+     * Longest-prefix-match lookup.
+     *
+     * @return the best matching route's next hop, or nullopt when no
+     *         route (not even a default) matches.
+     */
+    std::optional<NextHop> lookup(Ipv4Address address) const;
+
+    /** @return the exact route, if installed. */
+    std::optional<Route> find(Ipv4Address prefix,
+                              std::uint8_t length) const;
+
+    /** @return the number of installed routes. */
+    std::size_t size() const { return routes_; }
+
+    /** @return all routes, sorted by (prefix, length). */
+    std::vector<Route> dump() const;
+
+  private:
+    struct Node;
+    std::unique_ptr<Node> root_;
+    std::size_t routes_ = 0;
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_LPM_TRIE_HH

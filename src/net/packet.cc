@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Packet implementation.
+ */
+
+#include "net/packet.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "net/checksum.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+namespace
+{
+
+std::uint16_t
+read16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t
+read32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+        (static_cast<std::uint32_t>(p[1]) << 16) |
+        (static_cast<std::uint32_t>(p[2]) << 8) |
+        static_cast<std::uint32_t>(p[3]);
+}
+
+void
+write16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+}
+
+void
+write32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+} // anonymous namespace
+
+std::string
+ipv4ToString(Ipv4Address address)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u",
+                  (address >> 24) & 0xff, (address >> 16) & 0xff,
+                  (address >> 8) & 0xff, address & 0xff);
+    return buf;
+}
+
+bool
+Packet::hasIpv4() const
+{
+    if (size() < ethernetHeaderBytes + ipv4HeaderBytes)
+        return false;
+    const std::uint8_t *eth = bytes_.data();
+    if (read16(eth + 12) != 0x0800)
+        return false;
+    // Only option-less IPv4 headers are supported by the kernels.
+    return (bytes_[ethernetHeaderBytes] >> 4) == 4;
+}
+
+bool
+Packet::hasL4() const
+{
+    if (!hasIpv4())
+        return false;
+    const std::uint8_t proto = bytes_[ethernetHeaderBytes + 9];
+    const std::size_t l4 = ethernetHeaderBytes + ipv4HeaderBytes;
+    if (proto == static_cast<std::uint8_t>(IpProtocol::Tcp))
+        return size() >= l4 + tcpHeaderBytes;
+    if (proto == static_cast<std::uint8_t>(IpProtocol::Udp))
+        return size() >= l4 + udpHeaderBytes;
+    return false;
+}
+
+EthernetHeader
+Packet::ethernet() const
+{
+    STATSCHED_ASSERT(hasEthernet(), "truncated Ethernet header");
+    EthernetHeader h;
+    const std::uint8_t *p = bytes_.data();
+    for (int i = 0; i < 6; ++i) {
+        h.destination[i] = p[i];
+        h.source[i] = p[6 + i];
+    }
+    h.etherType = read16(p + 12);
+    return h;
+}
+
+Ipv4Header
+Packet::ipv4() const
+{
+    STATSCHED_ASSERT(hasIpv4(), "truncated IPv4 header");
+    const std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
+    Ipv4Header h;
+    h.versionIhl = p[0];
+    h.dscpEcn = p[1];
+    h.totalLength = read16(p + 2);
+    h.identification = read16(p + 4);
+    h.flagsFragment = read16(p + 6);
+    h.timeToLive = p[8];
+    h.protocol = p[9];
+    h.headerChecksum = read16(p + 10);
+    h.source = read32(p + 12);
+    h.destination = read32(p + 16);
+    return h;
+}
+
+TcpHeader
+Packet::tcp() const
+{
+    STATSCHED_ASSERT(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
+                     static_cast<std::uint8_t>(IpProtocol::Tcp),
+                     "not a TCP packet");
+    const std::uint8_t *p =
+        bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
+    TcpHeader h;
+    h.sourcePort = read16(p);
+    h.destinationPort = read16(p + 2);
+    h.sequence = read32(p + 4);
+    h.acknowledgment = read32(p + 8);
+    h.dataOffsetFlags = p[12];
+    h.flags = p[13];
+    h.window = read16(p + 14);
+    h.checksum = read16(p + 16);
+    h.urgentPointer = read16(p + 18);
+    return h;
+}
+
+UdpHeader
+Packet::udp() const
+{
+    STATSCHED_ASSERT(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
+                     static_cast<std::uint8_t>(IpProtocol::Udp),
+                     "not a UDP packet");
+    const std::uint8_t *p =
+        bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
+    UdpHeader h;
+    h.sourcePort = read16(p);
+    h.destinationPort = read16(p + 2);
+    h.length = read16(p + 4);
+    h.checksum = read16(p + 6);
+    return h;
+}
+
+void
+Packet::setEthernet(const EthernetHeader &header)
+{
+    STATSCHED_ASSERT(size() >= ethernetHeaderBytes,
+                     "frame too small for Ethernet");
+    std::uint8_t *p = bytes_.data();
+    for (int i = 0; i < 6; ++i) {
+        p[i] = header.destination[i];
+        p[6 + i] = header.source[i];
+    }
+    write16(p + 12, header.etherType);
+}
+
+void
+Packet::setIpv4(Ipv4Header header)
+{
+    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes,
+                     "frame too small for IPv4");
+    std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
+    p[0] = header.versionIhl;
+    p[1] = header.dscpEcn;
+    write16(p + 2, header.totalLength);
+    write16(p + 4, header.identification);
+    write16(p + 6, header.flagsFragment);
+    p[8] = header.timeToLive;
+    p[9] = header.protocol;
+    write16(p + 10, 0);
+    write32(p + 12, header.source);
+    write32(p + 16, header.destination);
+    write16(p + 10, internetChecksum(p, ipv4HeaderBytes));
+}
+
+void
+Packet::setTcp(const TcpHeader &header)
+{
+    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
+                     tcpHeaderBytes, "frame too small for TCP");
+    std::uint8_t *p =
+        bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
+    write16(p, header.sourcePort);
+    write16(p + 2, header.destinationPort);
+    write32(p + 4, header.sequence);
+    write32(p + 8, header.acknowledgment);
+    p[12] = header.dataOffsetFlags;
+    p[13] = header.flags;
+    write16(p + 14, header.window);
+    write16(p + 16, header.checksum);
+    write16(p + 18, header.urgentPointer);
+}
+
+void
+Packet::setUdp(const UdpHeader &header)
+{
+    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
+                     udpHeaderBytes, "frame too small for UDP");
+    std::uint8_t *p =
+        bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
+    write16(p, header.sourcePort);
+    write16(p + 2, header.destinationPort);
+    write16(p + 4, header.length);
+    write16(p + 6, header.checksum);
+}
+
+std::size_t
+Packet::payloadOffset() const
+{
+    STATSCHED_ASSERT(hasL4(), "no L4 header");
+    const std::uint8_t proto = bytes_[ethernetHeaderBytes + 9];
+    const std::size_t l4 = ethernetHeaderBytes + ipv4HeaderBytes;
+    if (proto == static_cast<std::uint8_t>(IpProtocol::Tcp))
+        return l4 + tcpHeaderBytes;
+    return l4 + udpHeaderBytes;
+}
+
+std::size_t
+Packet::payloadSize() const
+{
+    return size() - payloadOffset();
+}
+
+const std::uint8_t *
+Packet::payload() const
+{
+    return bytes_.data() + payloadOffset();
+}
+
+std::uint8_t *
+Packet::payload()
+{
+    return bytes_.data() + payloadOffset();
+}
+
+bool
+Packet::decrementTtl()
+{
+    STATSCHED_ASSERT(hasIpv4(), "no IPv4 header");
+    std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
+    if (p[8] == 0)
+        return false;
+    // RFC 1141 incremental checksum update for the TTL byte.
+    const std::uint16_t old_word = read16(p + 8);
+    p[8] -= 1;
+    const std::uint16_t new_word = read16(p + 8);
+    const std::uint16_t old_sum = read16(p + 10);
+    write16(p + 10,
+            incrementalChecksumUpdate(old_sum, old_word, new_word));
+    return true;
+}
+
+} // namespace net
+} // namespace statsched

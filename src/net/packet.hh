@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Network packet representation and header views.
+ *
+ * The benchmarks of the paper process IPv4 TCP/UDP traffic generated
+ * by NTGen over 10 Gb links (Section 4). Packet owns a raw byte
+ * buffer; the header structs provide typed, bounds-checked access to
+ * the Ethernet / IPv4 / TCP / UDP fields the kernels read and write.
+ * All multi-byte fields are kept in network byte order in the buffer
+ * and converted on access.
+ */
+
+#ifndef STATSCHED_NET_PACKET_HH
+#define STATSCHED_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace net
+{
+
+/** A 48-bit MAC address. */
+using MacAddress = std::array<std::uint8_t, 6>;
+
+/** IPv4 address in host byte order. */
+using Ipv4Address = std::uint32_t;
+
+/** @return dotted-quad rendering of an address. */
+std::string ipv4ToString(Ipv4Address address);
+
+/** IP protocol numbers used by the suite. */
+enum class IpProtocol : std::uint8_t
+{
+    Tcp = 6,
+    Udp = 17
+};
+
+/** Byte offsets and sizes of the supported headers. */
+constexpr std::size_t ethernetHeaderBytes = 14;
+constexpr std::size_t ipv4HeaderBytes = 20;     // no options
+constexpr std::size_t tcpHeaderBytes = 20;      // no options
+constexpr std::size_t udpHeaderBytes = 8;
+
+/**
+ * Decoded Ethernet header.
+ */
+struct EthernetHeader
+{
+    MacAddress destination{};
+    MacAddress source{};
+    std::uint16_t etherType = 0x0800;   //!< IPv4
+};
+
+/**
+ * Decoded IPv4 header (20-byte, option-less).
+ */
+struct Ipv4Header
+{
+    std::uint8_t versionIhl = 0x45;
+    std::uint8_t dscpEcn = 0;
+    std::uint16_t totalLength = 0;
+    std::uint16_t identification = 0;
+    std::uint16_t flagsFragment = 0;
+    std::uint8_t timeToLive = 64;
+    std::uint8_t protocol = 17;
+    std::uint16_t headerChecksum = 0;
+    Ipv4Address source = 0;
+    Ipv4Address destination = 0;
+};
+
+/**
+ * Decoded TCP header (20-byte, option-less).
+ */
+struct TcpHeader
+{
+    std::uint16_t sourcePort = 0;
+    std::uint16_t destinationPort = 0;
+    std::uint32_t sequence = 0;
+    std::uint32_t acknowledgment = 0;
+    std::uint8_t dataOffsetFlags = 0x50;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 0;
+    std::uint16_t checksum = 0;
+    std::uint16_t urgentPointer = 0;
+};
+
+/**
+ * Decoded UDP header.
+ */
+struct UdpHeader
+{
+    std::uint16_t sourcePort = 0;
+    std::uint16_t destinationPort = 0;
+    std::uint16_t length = 0;
+    std::uint16_t checksum = 0;
+};
+
+/**
+ * An owned raw packet with typed accessors.
+ */
+class Packet
+{
+  public:
+    Packet() = default;
+
+    /** Wraps a raw frame (copied). */
+    explicit Packet(std::vector<std::uint8_t> bytes)
+        : bytes_(std::move(bytes))
+    {
+    }
+
+    /** @return frame length in bytes. */
+    std::size_t size() const { return bytes_.size(); }
+
+    /** @return raw bytes. */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> &bytes() { return bytes_; }
+
+    /** @return true iff the frame holds a complete Ethernet header. */
+    bool hasEthernet() const { return size() >= ethernetHeaderBytes; }
+
+    /** @return true iff an IPv4 header follows the Ethernet header. */
+    bool hasIpv4() const;
+
+    /** @return true iff the L4 header of the IP protocol is present. */
+    bool hasL4() const;
+
+    /** Decodes the Ethernet header. @pre hasEthernet(). */
+    EthernetHeader ethernet() const;
+
+    /** Decodes the IPv4 header. @pre hasIpv4(). */
+    Ipv4Header ipv4() const;
+
+    /** Decodes a TCP header. @pre hasL4() and protocol == TCP. */
+    TcpHeader tcp() const;
+
+    /** Decodes a UDP header. @pre hasL4() and protocol == UDP. */
+    UdpHeader udp() const;
+
+    /** Writes the Ethernet header. */
+    void setEthernet(const EthernetHeader &header);
+
+    /**
+     * Writes the IPv4 header, recomputing its checksum.
+     */
+    void setIpv4(Ipv4Header header);
+
+    /** Writes a TCP header. */
+    void setTcp(const TcpHeader &header);
+
+    /** Writes a UDP header. */
+    void setUdp(const UdpHeader &header);
+
+    /** @return offset of the L4 payload within the frame. */
+    std::size_t payloadOffset() const;
+
+    /** @return length of the L4 payload. */
+    std::size_t payloadSize() const;
+
+    /** @return pointer to the L4 payload. */
+    const std::uint8_t *payload() const;
+    std::uint8_t *payload();
+
+    /**
+     * Decrements TTL and incrementally patches the IPv4 checksum
+     * (the IP-forwarding fast path).
+     *
+     * @return false if the TTL was already 0 (packet must be
+     *         dropped).
+     */
+    bool decrementTtl();
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_PACKET_HH

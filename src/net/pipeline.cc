@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Pipeline implementation.
+ */
+
+#include "net/pipeline.hh"
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+Pipeline::Pipeline(const TrafficConfig &traffic, ProcessFn process,
+                   std::size_t queue_depth)
+    : generator_(traffic), process_(std::move(process)),
+      rToP_(queue_depth), pToT_(queue_depth)
+{
+    STATSCHED_ASSERT(process_ != nullptr, "null process kernel");
+}
+
+std::size_t
+Pipeline::receiveStep(std::size_t batch)
+{
+    std::size_t handled = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+        auto pkt = std::make_unique<Packet>(generator_.next());
+        if (!rToP_.tryPush(std::move(pkt)))
+            break;
+        ++handled;
+    }
+    received_.fetch_add(handled, std::memory_order_relaxed);
+    return handled;
+}
+
+std::size_t
+Pipeline::processStep(std::size_t batch)
+{
+    std::size_t handled = 0;
+    std::unique_ptr<Packet> pkt;
+    for (std::size_t i = 0; i < batch; ++i) {
+        if (!rToP_.tryPop(pkt))
+            break;
+        ++handled;
+        if (!process_(*pkt)) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        processed_.fetch_add(1, std::memory_order_relaxed);
+        // A full downstream queue applies backpressure by busy
+        // retrying; under a stop request the packet is dropped so
+        // the stage can wind down.
+        while (!pToT_.tryPush(std::move(pkt))) {
+            if (stopRequested())
+                return handled;
+        }
+    }
+    return handled;
+}
+
+std::size_t
+Pipeline::transmitStep(std::size_t batch)
+{
+    std::size_t handled = 0;
+    std::unique_ptr<Packet> pkt;
+    for (std::size_t i = 0; i < batch; ++i) {
+        if (!pToT_.tryPop(pkt))
+            break;
+        ++handled;
+    }
+    transmitted_.fetch_add(handled, std::memory_order_relaxed);
+    return handled;
+}
+
+PipelineStats
+Pipeline::runInline(std::uint64_t packets)
+{
+    while (transmitted_.load(std::memory_order_relaxed) < packets) {
+        receiveStep(64);
+        processStep(64);
+        transmitStep(64);
+    }
+    return stats();
+}
+
+PipelineStats
+Pipeline::stats() const
+{
+    PipelineStats s;
+    s.received = received_.load(std::memory_order_relaxed);
+    s.processed = processed_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.transmitted = transmitted_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace net
+} // namespace statsched

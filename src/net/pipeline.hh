@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Three-stage software pipeline runner (Figure 9 of the paper).
+ *
+ * Pipeline wires a Receive stage (drains a traffic source), a
+ * benchmark-specific Process stage, and a Transmit stage (counts and
+ * releases packets) through SpscQueues, exactly like the Netra DPS
+ * benchmarks. It can run inline (single thread, for tests) or with
+ * real threads optionally pinned to CPUs (hw::PinnedThreadEngine).
+ */
+
+#ifndef STATSCHED_NET_PIPELINE_HH
+#define STATSCHED_NET_PIPELINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/generator.hh"
+#include "net/packet.hh"
+#include "net/spsc_queue.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * The Process-stage kernel interface: transform/inspect one packet.
+ * Returns false when the packet is dropped.
+ */
+using ProcessFn = std::function<bool(Packet &)>;
+
+/**
+ * Counters of one pipeline run.
+ */
+struct PipelineStats
+{
+    std::uint64_t received = 0;    //!< packets entering R
+    std::uint64_t processed = 0;   //!< packets surviving P
+    std::uint64_t dropped = 0;     //!< packets dropped by P
+    std::uint64_t transmitted = 0; //!< packets leaving T
+};
+
+/**
+ * One three-thread pipeline instance.
+ */
+class Pipeline
+{
+  public:
+    /**
+     * @param traffic      Traffic configuration for this instance's
+     *                     DMA channel.
+     * @param process      The P-stage kernel.
+     * @param queue_depth  Capacity of the R->P and P->T queues.
+     */
+    Pipeline(const TrafficConfig &traffic, ProcessFn process,
+             std::size_t queue_depth = 2048);
+
+    /**
+     * Runs the three stages inline (no threads) until `packets`
+     * packets have been transmitted.
+     *
+     * @return the run statistics.
+     */
+    PipelineStats runInline(std::uint64_t packets);
+
+    /** Stage bodies, exposed so a threaded executor can drive them.
+     *  Each call processes at most `batch` packets and returns the
+     *  number handled; the stop flag ends the stage loops. @{ */
+    std::size_t receiveStep(std::size_t batch);
+    std::size_t processStep(std::size_t batch);
+    std::size_t transmitStep(std::size_t batch);
+    /** @} */
+
+    /** Signals threaded stages to stop. */
+    void requestStop() { stop_.store(true, std::memory_order_release); }
+
+    /** @return true once a stop was requested. */
+    bool
+    stopRequested() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /** @return current statistics (exact only after stages stop). */
+    PipelineStats stats() const;
+
+  private:
+    TrafficGenerator generator_;
+    ProcessFn process_;
+    SpscQueue<std::unique_ptr<Packet>> rToP_;
+    SpscQueue<std::unique_ptr<Packet>> pToT_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> received_{0};
+    std::atomic<std::uint64_t> processed_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> transmitted_{0};
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_PIPELINE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lock-free single-producer / single-consumer ring queue.
+ *
+ * The paper's benchmarks connect their pipeline stages through
+ * shared-memory queues: "the receiving threads write the pointers to
+ * the packets into the R->P memory queues; the processing threads
+ * read the pointers from the memory queues ..." (Section 4.3.1).
+ * SpscQueue is that queue: a fixed-capacity power-of-two ring with
+ * acquire/release indices, safe for exactly one producer thread and
+ * one consumer thread, no locks, no allocation on the hot path.
+ */
+
+#ifndef STATSCHED_NET_SPSC_QUEUE_HH
+#define STATSCHED_NET_SPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace net
+{
+
+/**
+ * Bounded SPSC ring queue.
+ *
+ * @tparam T Element type (moved in/out).
+ */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /**
+     * @param capacity Ring capacity; rounded up to a power of two.
+     */
+    explicit SpscQueue(std::size_t capacity = 1024)
+    {
+        STATSCHED_ASSERT(capacity >= 2, "queue too small");
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** @return ring capacity. */
+    std::size_t capacity() const { return ring_.size(); }
+
+    /**
+     * Producer side: tries to enqueue.
+     *
+     * @return false when the queue is full.
+     */
+    bool
+    tryPush(T value)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        if (head - tail >= ring_.size())
+            return false;
+        ring_[head & mask_] = std::move(value);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: tries to dequeue.
+     *
+     * @param out Receives the element on success.
+     * @return false when the queue is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return false;
+        out = std::move(ring_[tail & mask_]);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** @return approximate element count (racy by nature). */
+    std::size_t
+    sizeApprox() const
+    {
+        return head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_acquire);
+    }
+
+    /** @return true when empty at the instant of the call. */
+    bool empty() const { return sizeApprox() == 0; }
+
+  private:
+    std::vector<T> ring_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace net
+} // namespace statsched
+
+#endif // STATSCHED_NET_SPSC_QUEUE_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * BigUint implementation: schoolbook arithmetic over 32-bit limbs.
+ *
+ * Operand sizes in this library stay below a few hundred limbs (the
+ * largest values are ~10^60), so the O(n^2) schoolbook algorithms are
+ * both simple and fast enough; no Karatsuba/FFT machinery is needed.
+ */
+
+#include "num/big_uint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace num
+{
+
+namespace
+{
+
+constexpr std::uint64_t limbBase = 1ull << 32;
+
+} // anonymous namespace
+
+BigUint::BigUint(std::uint64_t value)
+{
+    if (value) {
+        limbs_.push_back(static_cast<std::uint32_t>(value));
+        if (value >> 32)
+            limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+}
+
+BigUint::BigUint(const std::string &decimal)
+{
+    STATSCHED_ASSERT(!decimal.empty(), "empty decimal string");
+    for (char c : decimal) {
+        STATSCHED_ASSERT(c >= '0' && c <= '9',
+                         "non-digit in decimal string");
+        // this = this * 10 + digit
+        std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+        for (auto &limb : limbs_) {
+            std::uint64_t v = static_cast<std::uint64_t>(limb) * 10 + carry;
+            limb = static_cast<std::uint32_t>(v);
+            carry = v >> 32;
+        }
+        while (carry) {
+            limbs_.push_back(static_cast<std::uint32_t>(carry));
+            carry >>= 32;
+        }
+    }
+    trim();
+}
+
+void
+BigUint::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+std::size_t
+BigUint::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    std::size_t bits = (limbs_.size() - 1) * 32;
+    std::uint32_t top = limbs_.back();
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+std::size_t
+BigUint::digitCount() const
+{
+    return toString().size();
+}
+
+std::uint64_t
+BigUint::toUint64() const
+{
+    STATSCHED_ASSERT(fitsUint64(), "BigUint does not fit in 64 bits");
+    std::uint64_t v = 0;
+    if (limbs_.size() > 1)
+        v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+    if (!limbs_.empty())
+        v |= limbs_[0];
+    return v;
+}
+
+double
+BigUint::toDouble() const
+{
+    double v = 0.0;
+    for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+        v = v * static_cast<double>(limbBase) + static_cast<double>(*it);
+    return v;
+}
+
+std::string
+BigUint::toString() const
+{
+    if (limbs_.empty())
+        return "0";
+
+    // Repeatedly divide by 10^9 to peel off 9-digit decimal chunks.
+    std::vector<std::uint32_t> work(limbs_);
+    std::vector<std::uint32_t> chunks;
+    constexpr std::uint64_t chunk = 1000000000ull;
+    while (!work.empty()) {
+        std::uint64_t rem = 0;
+        for (std::size_t i = work.size(); i-- > 0;) {
+            std::uint64_t cur = (rem << 32) | work[i];
+            work[i] = static_cast<std::uint32_t>(cur / chunk);
+            rem = cur % chunk;
+        }
+        while (!work.empty() && work.back() == 0)
+            work.pop_back();
+        chunks.push_back(static_cast<std::uint32_t>(rem));
+    }
+
+    // The most significant chunk prints without zero padding; all others
+    // are zero padded to the full nine digits.
+    std::string out = std::to_string(chunks.back());
+    for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+        std::string part = std::to_string(chunks[i]);
+        out.append(9 - part.size(), '0');
+        out += part;
+    }
+    return out;
+}
+
+std::string
+BigUint::toScientific(int precision) const
+{
+    STATSCHED_ASSERT(precision >= 0, "negative precision");
+    std::string digits = toString();
+    if (digits == "0")
+        return "0";
+
+    std::size_t exponent = digits.size() - 1;
+    std::string mantissa;
+    mantissa.push_back(digits[0]);
+    if (precision > 0) {
+        mantissa.push_back('.');
+        for (int i = 0; i < precision; ++i) {
+            char c = (static_cast<std::size_t>(i) + 1 < digits.size())
+                ? digits[i + 1] : '0';
+            mantissa.push_back(c);
+        }
+    }
+    return mantissa + "e" + std::to_string(exponent);
+}
+
+int
+BigUint::compare(const BigUint &other) const
+{
+    if (limbs_.size() != other.limbs_.size())
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i])
+            return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUint &
+BigUint::operator+=(const BigUint &rhs)
+{
+    const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+    limbs_.resize(n, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry + limbs_[i];
+        if (i < rhs.limbs_.size())
+            sum += rhs.limbs_[i];
+        limbs_[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    if (carry)
+        limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return *this;
+}
+
+BigUint &
+BigUint::operator-=(const BigUint &rhs)
+{
+    STATSCHED_ASSERT(compare(rhs) >= 0, "BigUint subtraction underflow");
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+        if (i < rhs.limbs_.size())
+            diff -= rhs.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(limbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    trim();
+    return *this;
+}
+
+BigUint &
+BigUint::operator*=(const BigUint &rhs)
+{
+    if (isZero() || rhs.isZero()) {
+        limbs_.clear();
+        return *this;
+    }
+    std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limbs_[i];
+        for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+            std::uint64_t cur =
+                out[i + j] + a * rhs.limbs_[j] + carry;
+            out[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + rhs.limbs_.size();
+        while (carry) {
+            std::uint64_t cur = out[k] + carry;
+            out[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    limbs_ = std::move(out);
+    trim();
+    return *this;
+}
+
+BigUint
+BigUint::divMod(const BigUint &dividend, const BigUint &divisor,
+                BigUint &remainder_out)
+{
+    STATSCHED_ASSERT(!divisor.isZero(), "BigUint division by zero");
+
+    if (dividend.compare(divisor) < 0) {
+        remainder_out = dividend;
+        return BigUint();
+    }
+
+    // Simple bit-by-bit long division: shift the remainder left one bit
+    // at a time and subtract the divisor when possible. O(bits * limbs),
+    // fully adequate for the operand sizes in this library.
+    BigUint quotient;
+    BigUint remainder;
+    const std::size_t bits = dividend.bitLength();
+    quotient.limbs_.assign((bits + 31) / 32, 0);
+
+    for (std::size_t i = bits; i-- > 0;) {
+        // remainder <<= 1
+        std::uint32_t carry = 0;
+        for (auto &limb : remainder.limbs_) {
+            std::uint32_t next = limb >> 31;
+            limb = (limb << 1) | carry;
+            carry = next;
+        }
+        if (carry)
+            remainder.limbs_.push_back(carry);
+
+        // remainder |= bit i of dividend
+        if ((dividend.limbs_[i / 32] >> (i % 32)) & 1u) {
+            if (remainder.limbs_.empty())
+                remainder.limbs_.push_back(0);
+            remainder.limbs_[0] |= 1u;
+        }
+
+        if (remainder.compare(divisor) >= 0) {
+            remainder -= divisor;
+            quotient.limbs_[i / 32] |= (1u << (i % 32));
+        }
+    }
+
+    quotient.trim();
+    remainder.trim();
+    remainder_out = std::move(remainder);
+    return quotient;
+}
+
+BigUint &
+BigUint::operator/=(const BigUint &rhs)
+{
+    BigUint rem;
+    *this = divMod(*this, rhs, rem);
+    return *this;
+}
+
+BigUint &
+BigUint::operator%=(const BigUint &rhs)
+{
+    BigUint rem;
+    divMod(*this, rhs, rem);
+    *this = std::move(rem);
+    return *this;
+}
+
+BigUint
+BigUint::pow(const BigUint &base, unsigned exponent)
+{
+    BigUint result(1);
+    BigUint acc(base);
+    while (exponent) {
+        if (exponent & 1u)
+            result *= acc;
+        exponent >>= 1;
+        if (exponent)
+            acc *= acc;
+    }
+    return result;
+}
+
+BigUint
+BigUint::factorial(unsigned n)
+{
+    BigUint result(1);
+    for (unsigned i = 2; i <= n; ++i)
+        result *= BigUint(i);
+    return result;
+}
+
+BigUint
+BigUint::binomial(unsigned n, unsigned k)
+{
+    if (k > n)
+        return BigUint();
+    if (k > n - k)
+        k = n - k;
+    BigUint result(1);
+    for (unsigned i = 1; i <= k; ++i) {
+        result *= BigUint(n - k + i);
+        result /= BigUint(i);
+    }
+    return result;
+}
+
+} // namespace num
+} // namespace statsched

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integer arithmetic.
+ *
+ * The assignment-space counts reproduced in Table 1 of the paper reach
+ * roughly 10^58 for 60-task workloads on an UltraSPARC T2, far beyond any
+ * built-in integer type. BigUint provides exact addition, subtraction,
+ * multiplication, division, exponentiation, comparison and decimal /
+ * scientific formatting on magnitudes of that order.
+ *
+ * The representation is a little-endian vector of 32-bit limbs with no
+ * leading zero limbs (zero is the empty vector). All operations are
+ * value-semantic and never throw on overflow (the number simply grows);
+ * subtraction below zero and division by zero abort via panic().
+ */
+
+#ifndef STATSCHED_NUM_BIG_UINT_HH
+#define STATSCHED_NUM_BIG_UINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace num
+{
+
+/**
+ * Arbitrary-precision unsigned integer.
+ */
+class BigUint
+{
+  public:
+    /** Constructs zero. */
+    BigUint() = default;
+
+    /** Constructs from a built-in unsigned value. */
+    BigUint(std::uint64_t value);
+
+    /**
+     * Constructs from a decimal string.
+     *
+     * @param decimal Non-empty string of ASCII digits. Leading zeros are
+     *                permitted and ignored.
+     */
+    explicit BigUint(const std::string &decimal);
+
+    /** @return true iff the value is zero. */
+    bool isZero() const { return limbs_.empty(); }
+
+    /** @return the number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+    /** @return the number of decimal digits (1 for zero). */
+    std::size_t digitCount() const;
+
+    /**
+     * Converts to a built-in unsigned integer.
+     *
+     * @pre fitsUint64()
+     */
+    std::uint64_t toUint64() const;
+
+    /** @return true iff the value fits in 64 bits. */
+    bool fitsUint64() const { return limbs_.size() <= 2; }
+
+    /**
+     * Converts to the nearest double. Values above the double range
+     * return +infinity.
+     */
+    double toDouble() const;
+
+    /** @return the full decimal representation. */
+    std::string toString() const;
+
+    /**
+     * Formats as scientific notation, e.g. "1.75e51".
+     *
+     * @param precision Number of digits after the decimal point.
+     */
+    std::string toScientific(int precision = 2) const;
+
+    /** Three-way comparison: -1, 0 or +1. */
+    int compare(const BigUint &other) const;
+
+    BigUint &operator+=(const BigUint &rhs);
+    BigUint &operator-=(const BigUint &rhs);
+    BigUint &operator*=(const BigUint &rhs);
+    BigUint &operator/=(const BigUint &rhs);
+    BigUint &operator%=(const BigUint &rhs);
+
+    friend BigUint operator+(BigUint lhs, const BigUint &rhs)
+    { lhs += rhs; return lhs; }
+    friend BigUint operator-(BigUint lhs, const BigUint &rhs)
+    { lhs -= rhs; return lhs; }
+    friend BigUint operator*(BigUint lhs, const BigUint &rhs)
+    { lhs *= rhs; return lhs; }
+    friend BigUint operator/(BigUint lhs, const BigUint &rhs)
+    { lhs /= rhs; return lhs; }
+    friend BigUint operator%(BigUint lhs, const BigUint &rhs)
+    { lhs %= rhs; return lhs; }
+
+    friend bool operator==(const BigUint &a, const BigUint &b)
+    { return a.compare(b) == 0; }
+    friend bool operator!=(const BigUint &a, const BigUint &b)
+    { return a.compare(b) != 0; }
+    friend bool operator<(const BigUint &a, const BigUint &b)
+    { return a.compare(b) < 0; }
+    friend bool operator<=(const BigUint &a, const BigUint &b)
+    { return a.compare(b) <= 0; }
+    friend bool operator>(const BigUint &a, const BigUint &b)
+    { return a.compare(b) > 0; }
+    friend bool operator>=(const BigUint &a, const BigUint &b)
+    { return a.compare(b) >= 0; }
+
+    /**
+     * Quotient and remainder in one pass.
+     *
+     * @param dividend The value to divide.
+     * @param divisor  Non-zero divisor.
+     * @param remainder_out Receives dividend mod divisor.
+     * @return dividend / divisor (floor).
+     */
+    static BigUint divMod(const BigUint &dividend, const BigUint &divisor,
+                          BigUint &remainder_out);
+
+    /** @return base raised to the exponent (0^0 == 1). */
+    static BigUint pow(const BigUint &base, unsigned exponent);
+
+    /** @return n! as an exact integer. */
+    static BigUint factorial(unsigned n);
+
+    /** @return the binomial coefficient C(n, k) exactly (0 if k > n). */
+    static BigUint binomial(unsigned n, unsigned k);
+
+  private:
+    /** Drops leading zero limbs so the representation stays canonical. */
+    void trim();
+
+    /** Little-endian 32-bit limbs; empty means zero. */
+    std::vector<std::uint32_t> limbs_;
+};
+
+} // namespace num
+} // namespace statsched
+
+#endif // STATSCHED_NUM_BIG_UINT_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Duration implementation.
+ */
+
+#include "num/duration.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace statsched
+{
+namespace num
+{
+
+namespace
+{
+
+const BigUint microsPerSecond(1000000ull);
+const BigUint microsPerMinute(60ull * 1000000ull);
+const BigUint microsPerHour(3600ull * 1000000ull);
+const BigUint microsPerDay(86400ull * 1000000ull);
+// Julian year: 365.25 days.
+const BigUint microsPerYear(31557600ull * 1000000ull);
+
+/**
+ * Formats count/unit with one decimal digit, e.g. 7.5.
+ */
+std::string
+formatRatio(const BigUint &micros, const BigUint &unit)
+{
+    BigUint scaled = micros * BigUint(10u);
+    BigUint rem;
+    BigUint tenths = BigUint::divMod(scaled, unit, rem);
+    std::uint64_t t = tenths.toUint64();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu.%llu",
+                  static_cast<unsigned long long>(t / 10),
+                  static_cast<unsigned long long>(t % 10));
+    return buf;
+}
+
+} // anonymous namespace
+
+Duration
+Duration::fromMicroseconds(BigUint us)
+{
+    Duration d;
+    d.micros_ = std::move(us);
+    return d;
+}
+
+Duration
+Duration::fromSeconds(const BigUint &seconds)
+{
+    Duration d;
+    d.micros_ = seconds * microsPerSecond;
+    return d;
+}
+
+BigUint
+Duration::seconds() const
+{
+    return micros_ / microsPerSecond;
+}
+
+BigUint
+Duration::years() const
+{
+    return micros_ / microsPerYear;
+}
+
+std::string
+Duration::toString() const
+{
+    const BigUint yrs = years();
+    if (!yrs.isZero()) {
+        // 10^7 years or more: scientific notation.
+        if (yrs.digitCount() > 7)
+            return yrs.toScientific(2) + " years";
+        if (yrs.fitsUint64() && yrs.toUint64() >= 2)
+            return formatRatio(micros_, microsPerYear) + " years";
+        return formatRatio(micros_, microsPerYear) + " year";
+    }
+    if (micros_ >= microsPerDay)
+        return formatRatio(micros_, microsPerDay) + " days";
+    if (micros_ >= microsPerHour)
+        return formatRatio(micros_, microsPerHour) + " hours";
+    if (micros_ >= microsPerMinute)
+        return formatRatio(micros_, microsPerMinute) + " min";
+    if (micros_ >= microsPerSecond)
+        return formatRatio(micros_, microsPerSecond) + " s";
+    if (micros_.isZero())
+        return "0 us";
+    return micros_.toString() + " us";
+}
+
+} // namespace num
+} // namespace statsched

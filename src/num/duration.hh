@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Human-readable formatting of huge time spans.
+ *
+ * Table 1 of the paper converts assignment counts into "time to execute
+ * all assignments" (1 second each) and "time to predict all assignments"
+ * (1 microsecond each), reporting values from minutes up to 1.75e51
+ * years. Duration renders an exact BigUint number of microseconds in the
+ * same style: the largest sensible unit with a compact mantissa.
+ */
+
+#ifndef STATSCHED_NUM_DURATION_HH
+#define STATSCHED_NUM_DURATION_HH
+
+#include <string>
+
+#include "num/big_uint.hh"
+
+namespace statsched
+{
+namespace num
+{
+
+/**
+ * An exact duration held as an integral number of microseconds.
+ */
+class Duration
+{
+  public:
+    /** Constructs a zero duration. */
+    Duration() = default;
+
+    /** @return a duration of the given number of microseconds. */
+    static Duration fromMicroseconds(BigUint us);
+
+    /** @return a duration of the given number of seconds. */
+    static Duration fromSeconds(const BigUint &seconds);
+
+    /** @return the exact microsecond count. */
+    const BigUint &microseconds() const { return micros_; }
+
+    /** @return whole seconds (floor). */
+    BigUint seconds() const;
+
+    /** @return whole Julian years of 365.25 days (floor). */
+    BigUint years() const;
+
+    /**
+     * Renders with the largest unit whose count is at least one:
+     * e.g. "42 s", "7.0 days", "15.6 years", "1.75e51 years".
+     * Values of 10^7 years or more use scientific notation.
+     */
+    std::string toString() const;
+
+  private:
+    BigUint micros_;
+};
+
+} // namespace num
+} // namespace statsched
+
+#endif // STATSCHED_NUM_DURATION_HH

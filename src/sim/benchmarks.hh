@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's benchmark suite as simulated workloads (Section 4.3).
+ *
+ * Five multithreaded network benchmarks, each a three-thread pipeline
+ * (Receive -> Process -> Transmit, Figure 9), plus the two IPFwd
+ * variants of the motivation experiment (Figure 1):
+ *
+ *  - IPFwd-L1:      IP forwarding, lookup table resident in the L1
+ *                   data cache (best-case memory behaviour);
+ *  - IPFwd-Mem:     IP forwarding, lookup table initialized to force
+ *                   main-memory accesses (worst case);
+ *  - PacketAnalyzer: L2/L3/L4 header decode and logging;
+ *  - AhoCorasick:   payload keyword search with the Aho-Corasick
+ *                   automaton (Snort DoS rules);
+ *  - Stateful:      flow tracking in a 2^16-entry hash table (nProbe
+ *                   hash function);
+ *  - IPFwd-intadd / IPFwd-intmul: the 3-thread pipelined IPFwd
+ *                   variants whose processing kernel is integer add /
+ *                   integer multiply bound.
+ *
+ * The stage resource profiles are grounded in the packet-processing
+ * kernels of src/net (see net/kernel_costs.hh for the measured
+ * per-packet operation counts) and calibrated so the simulated
+ * magnitudes match those the paper reports: ~0.85 MPPS per IPFwd
+ * instance at best, a 0.715-1.7 MPPS assignment range for the
+ * 6-thread workload, and ~6.6 MPPS best-case for 24 threads of
+ * IPFwd-L1.
+ */
+
+#ifndef STATSCHED_SIM_BENCHMARKS_HH
+#define STATSCHED_SIM_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/** Benchmark identifiers for the suite of the case study. */
+enum class Benchmark
+{
+    IpfwdL1,
+    IpfwdMem,
+    PacketAnalyzer,
+    AhoCorasick,
+    Stateful,
+    IpfwdIntAdd,   //!< Figure 1 variant
+    IpfwdIntMul,   //!< Figure 1 variant
+    /** Extension workload (not in the paper's suite): ESP
+     *  encrypt-and-forward, whose P stage leans on the per-core
+     *  cryptographic unit — the third IntraCore resource the paper
+     *  lists (Section 4.1) but does not exercise. */
+    IpsecEsp
+};
+
+/** @return the paper's name of a benchmark. */
+std::string benchmarkName(Benchmark benchmark);
+
+/**
+ * Builds a workload of `instances` pipelined instances of one
+ * benchmark (the case study uses 8 instances = 24 threads).
+ *
+ * @param benchmark Which benchmark.
+ * @param instances Number of 3-thread instances, >= 1.
+ */
+Workload makeWorkload(Benchmark benchmark, std::uint32_t instances);
+
+/** The five case-study benchmarks (Sections 4.3 and 5). */
+std::vector<Benchmark> caseStudySuite();
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_BENCHMARKS_HH

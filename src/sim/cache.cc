@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SetAssociativeCache implementation.
+ */
+
+#include "sim/cache.hh"
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+namespace
+{
+
+std::uint32_t
+log2OfPowerOfTwo(std::uint32_t v)
+{
+    STATSCHED_ASSERT(v != 0 && (v & (v - 1)) == 0,
+                     "value must be a power of two");
+    std::uint32_t shift = 0;
+    while ((1u << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // anonymous namespace
+
+SetAssociativeCache::SetAssociativeCache(double size_kb,
+                                         std::uint32_t ways,
+                                         std::uint32_t line_bytes)
+    : ways_(ways), lineShift_(log2OfPowerOfTwo(line_bytes))
+{
+    STATSCHED_ASSERT(ways >= 1, "need at least one way");
+    STATSCHED_ASSERT(size_kb > 0.0, "empty cache");
+    const std::uint64_t total_lines = static_cast<std::uint64_t>(
+        size_kb * 1024.0 / line_bytes);
+    STATSCHED_ASSERT(total_lines >= ways,
+                     "cache smaller than one set");
+    std::uint32_t sets = static_cast<std::uint32_t>(
+        total_lines / ways);
+    // Round sets down to a power of two for cheap indexing.
+    while (sets & (sets - 1))
+        sets &= sets - 1;
+    sets_ = sets;
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+bool
+SetAssociativeCache::access(std::uint64_t address)
+{
+    ++accesses_;
+    ++clock_;
+    const std::uint64_t line_addr = address >> lineShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr) & (sets_ - 1);
+    const std::uint64_t tag = line_addr / sets_;
+
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = clock_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid &&
+                   line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+bool
+SetAssociativeCache::contains(std::uint64_t address) const
+{
+    const std::uint64_t line_addr = address >> lineShift_;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line_addr) & (sets_ - 1);
+    const std::uint64_t tag = line_addr / sets_;
+    const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssociativeCache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace sim
+} // namespace statsched

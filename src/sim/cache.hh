@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used by the cycle-approximate simulator (sim/cycle_sim.hh) to
+ * derive L1 hit/miss behaviour from actual address streams instead
+ * of the analytic footprint heuristic — the cross-validation between
+ * the two engines (bench/abl_cycle_vs_analytic) checks that the
+ * heuristic is faithful where it matters.
+ */
+
+#ifndef STATSCHED_SIM_CACHE_HH
+#define STATSCHED_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * A single-level set-associative LRU cache.
+ */
+class SetAssociativeCache
+{
+  public:
+    /**
+     * @param size_kb    Capacity in KB.
+     * @param ways       Associativity (>= 1).
+     * @param line_bytes Line size in bytes (power of two).
+     */
+    SetAssociativeCache(double size_kb, std::uint32_t ways,
+                        std::uint32_t line_bytes);
+
+    /**
+     * Performs one access.
+     *
+     * @param address Byte address.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t address);
+
+    /** @return true without updating state (lookup probe). */
+    bool contains(std::uint64_t address) const;
+
+    /** Invalidates all lines. */
+    void flush();
+
+    /** @return accesses so far. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** @return misses so far. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** @return miss ratio (0 when no accesses yet). */
+    double
+    missRatio() const
+    {
+        return accesses_ ? static_cast<double>(misses_) /
+            static_cast<double>(accesses_) : 0.0;
+    }
+
+    /** @return number of sets. */
+    std::uint32_t sets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t ways_;
+    std::uint32_t lineShift_;
+    std::uint32_t sets_;
+    std::vector<Line> lines_;   // sets_ x ways_, row-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_CACHE_HH

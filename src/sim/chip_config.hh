@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Chip resource configuration for the contention model.
+ *
+ * Captures the shared resources of the three sharing levels of the
+ * UltraSPARC T2 (Section 4.1, Figure 8 of the paper):
+ *
+ *   IntraPipe:  instruction issue — each hardware pipeline selects one
+ *               instruction per cycle among its strands;
+ *   IntraCore:  L1 instruction / data caches, the load-store unit, the
+ *               FPU and the cryptographic unit, shared by both pipes;
+ *   InterCore:  the L2 cache, the crossbar and the memory controllers,
+ *               shared chip-wide.
+ *
+ * Defaults follow the OpenSPARC T2 microarchitecture specification:
+ * 8 KB L1D, 16 KB L1I per core, 4 MB shared L2, 1.4 GHz clock, one
+ * load/store port per core, one FPU per core.
+ */
+
+#ifndef STATSCHED_SIM_CHIP_CONFIG_HH
+#define STATSCHED_SIM_CHIP_CONFIG_HH
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * Shared-resource capacities and penalty coefficients.
+ */
+struct ChipConfig
+{
+    double clockGhz = 1.4;          //!< strand clock in GHz
+
+    // IntraPipe level.
+    double pipeIssueWidth = 1.0;    //!< instructions/cycle per pipeline
+
+    // IntraCore level.
+    double l1dKb = 8.0;             //!< L1 data cache per core
+    double l1iKb = 16.0;            //!< L1 instruction cache per core
+    double lsuWidth = 1.0;          //!< load-store ops/cycle per core
+    double fpuWidth = 1.0;          //!< FP ops/cycle per core
+    double cryptoWidth = 1.0;       //!< crypto ops/cycle per core
+
+    // InterCore level.
+    double l2Kb = 4096.0;           //!< shared L2 capacity
+    /** Chip-wide off-chip access budget in accesses/cycle (four
+     *  dual-channel FBDIMM controllers on the T2). */
+    double memAccessWidth = 0.55;
+
+    // Penalty coefficients (extra cycles per access, expressed per
+    // instruction once multiplied by the access fractions).
+    double l1MissPenalty = 22.0;    //!< L1 miss, L2 hit (cycles)
+    double l2MissPenalty = 180.0;   //!< L2 miss to memory (cycles)
+    /** Memory-level parallelism divisor: fraction of a miss latency
+     *  exposed as stall (in-order cores hide little; 1.0 = none
+     *  hidden). */
+    double stallExposure = 0.8;
+
+    /** Baseline L1 miss probability with a resident working set. */
+    double l1BaseMissRate = 0.01;
+    /** Baseline L2 miss probability with a resident working set. */
+    double l2BaseMissRate = 0.005;
+
+    /**
+     * Extra stall cycles per packet paid by each endpoint of a
+     * software-pipeline queue whose partner lives on a *different
+     * core* (queue lines bounce through the crossbar/L2 instead of
+     * staying in the core's L1). The exposed fraction scales with
+     * the *square* of the endpoint's issue demand: an issue-saturated
+     * strand eats the full stall, while a latency-bound strand hides
+     * it behind queue slack and its existing dependence chains.
+     */
+    double queueCrossingCycles = 120.0;
+
+    /** Fixed-point iterations of the contention solver. */
+    int solverIterations = 40;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_CHIP_CONFIG_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * ContentionSolver implementation.
+ */
+
+#include "sim/contention.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Fraction of instruction fetches exposed to I-cache pressure. */
+constexpr double iFetchMissWeight = 0.05;
+
+/**
+ * Cache overflow fraction: how much of the working set spills out of
+ * a cache of the given capacity. 0 when resident, asymptotically 1.
+ */
+double
+overflowFraction(double footprint_kb, double capacity_kb)
+{
+    if (footprint_kb <= capacity_kb)
+        return 0.0;
+    return 1.0 - capacity_kb / footprint_kb;
+}
+
+/**
+ * Sums footprints of a group of tasks counting each shared structure
+ * (same non-zero id) once, at its largest member footprint.
+ *
+ * @param members     Task ids in the group.
+ * @param footprint   Per-task footprint accessor.
+ * @param share_id    Per-task sharing-id accessor.
+ */
+template <typename FootprintFn, typename ShareFn>
+double
+sharedFootprint(const std::vector<core::TaskId> &members,
+                FootprintFn footprint, ShareFn share_id)
+{
+    double total = 0.0;
+    std::map<std::uint32_t, double> shared;
+    for (core::TaskId t : members) {
+        const std::uint32_t id = share_id(t);
+        if (id == 0) {
+            total += footprint(t);
+        } else {
+            auto [it, inserted] = shared.emplace(id, footprint(t));
+            if (!inserted)
+                it->second = std::max(it->second, footprint(t));
+        }
+    }
+    for (const auto &[id, fp] : shared)
+        total += fp;
+    return total;
+}
+
+} // anonymous namespace
+
+std::vector<double>
+waterfill(const std::vector<double> &demands, double capacity)
+{
+    STATSCHED_ASSERT(capacity >= 0.0, "negative capacity");
+    std::vector<double> alloc(demands.size(), 0.0);
+    if (demands.empty())
+        return alloc;
+
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&demands](std::size_t a, std::size_t b) {
+                  return demands[a] < demands[b];
+              });
+
+    double remaining = capacity;
+    std::size_t left = demands.size();
+    for (std::size_t idx : order) {
+        const double fair = remaining / static_cast<double>(left);
+        const double d = std::max(0.0, demands[idx]);
+        const double granted = std::min(d, fair);
+        alloc[idx] = granted;
+        remaining -= granted;
+        --left;
+    }
+    return alloc;
+}
+
+ContentionSolver::ContentionSolver(const ChipConfig &config,
+                                   std::vector<TaskProfile> tasks)
+    : config_(config), tasks_(std::move(tasks))
+{
+    STATSCHED_ASSERT(!tasks_.empty(), "no tasks to solve");
+    for (const auto &t : tasks_) {
+        STATSCHED_ASSERT(t.issueDemand > 0.0 &&
+                         t.issueDemand <= config_.pipeIssueWidth,
+                         "issue demand out of (0, pipe width]");
+        STATSCHED_ASSERT(t.instructionsPerPacket > 0.0,
+                         "non-positive instructions per packet");
+    }
+}
+
+ContentionResult
+ContentionSolver::solve(const core::Assignment &assignment) const
+{
+    STATSCHED_ASSERT(assignment.size() == tasks_.size(),
+                     "assignment/task-count mismatch");
+    const core::Topology &topo = assignment.topology();
+    const std::size_t n = tasks_.size();
+
+    const auto by_pipe = assignment.tasksByPipe();
+    const auto by_core = assignment.tasksByCore();
+
+    // --- Cache pressure per core and chip-wide (assignment dependent,
+    // rate independent: computed once).
+    std::vector<double> l1d_miss_prob(topo.cores, 0.0);
+    std::vector<double> l1i_miss_prob(topo.cores, 0.0);
+    for (std::uint32_t c = 0; c < topo.cores; ++c) {
+        const auto &members = by_core[c];
+        if (members.empty())
+            continue;
+        // A bulk table thrashes at most about half the L1 (its lines
+        // are evicted at the access rate rather than pinning the
+        // whole cache), so its pressure contribution is capped.
+        const double d_fp = sharedFootprint(
+            members,
+            [this](core::TaskId t) {
+                return tasks_[t].l1dFootprintKb +
+                    std::min(tasks_[t].tableKb, 0.5 * config_.l1dKb);
+            },
+            [this](core::TaskId t) { return tasks_[t].sharedDataId; });
+        const double i_fp = sharedFootprint(
+            members,
+            [this](core::TaskId t) {
+                return tasks_[t].l1iFootprintKb;
+            },
+            [this](core::TaskId t) { return tasks_[t].codeId; });
+        // Hot working sets degrade gently just past capacity (LRU
+        // keeps the hottest lines resident), hence the cubic shaping
+        // of the overflow fraction.
+        const double d_ov = overflowFraction(d_fp, config_.l1dKb);
+        const double i_ov = overflowFraction(i_fp, config_.l1iKb);
+        l1d_miss_prob[c] = config_.l1BaseMissRate +
+            (1.0 - config_.l1BaseMissRate) * d_ov * d_ov * d_ov;
+        l1i_miss_prob[c] = config_.l1BaseMissRate +
+            (1.0 - config_.l1BaseMissRate) * i_ov * i_ov * i_ov;
+    }
+
+    // Chip-wide L2 pressure (shared structures counted once); bulk
+    // tables contribute their full size.
+    std::vector<core::TaskId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    const double l2_fp = sharedFootprint(
+        all,
+        [this](core::TaskId t) {
+            return tasks_[t].l2FootprintKb + tasks_[t].tableKb;
+        },
+        [this](core::TaskId t) { return tasks_[t].sharedDataId; });
+    const double l2_miss_prob = config_.l2BaseMissRate +
+        (1.0 - config_.l2BaseMissRate) *
+        overflowFraction(l2_fp, config_.l2Kb);
+
+    // --- Per-task stall-inclusive issue demand.
+    ContentionResult result;
+    result.l1dMissRate.resize(n);
+    result.l2MissRate.resize(n);
+    std::vector<double> demand(n);
+    std::vector<double> mem_frac(n);   // off-chip accesses per instr
+    for (std::size_t t = 0; t < n; ++t) {
+        const TaskProfile &p = tasks_[t];
+        const std::uint32_t c = assignment.coreOf(
+            static_cast<core::TaskId>(t));
+
+        // Hot working-set misses (caused by core co-runners) are
+        // refills of recently used lines, which remain L2 resident —
+        // they pay the L1 miss penalty. Bulk-structure accesses miss
+        // the L1 according to how much of the structure a private L1
+        // could hold, and go to memory with the chip-wide L2 miss
+        // probability.
+        const double d_miss = p.loadStoreFraction * l1d_miss_prob[c];
+        const double i_miss = iFetchMissWeight * l1i_miss_prob[c];
+        const double hot_miss = d_miss + i_miss;
+        const double table_miss = p.randomAccessFraction *
+            overflowFraction(p.tableKb, config_.l1dKb);
+        const double table_mem_miss = table_miss * l2_miss_prob;
+
+        result.l1dMissRate[t] = l1d_miss_prob[c];
+        result.l2MissRate[t] = l2_miss_prob;
+        mem_frac[t] = table_mem_miss;
+
+        const double base_cpi = 1.0 / p.issueDemand;
+        const double stall_cpi = config_.stallExposure *
+            ((hot_miss + table_miss - table_mem_miss) *
+             config_.l1MissPenalty +
+             table_mem_miss * config_.l2MissPenalty);
+        demand[t] = 1.0 / (base_cpi + stall_cpi);
+    }
+
+    // --- Fixed point over the shared-port arbiters.
+    std::vector<double> rate(demand);
+    std::vector<double> request(demand);
+    int iter = 0;
+    for (; iter < config_.solverIterations; ++iter) {
+        std::vector<double> cap(n,
+                                std::numeric_limits<double>::infinity());
+
+        // IntraPipe: issue bandwidth.
+        for (std::uint32_t pipe = 0; pipe < topo.pipes(); ++pipe) {
+            const auto &members = by_pipe[pipe];
+            if (members.empty())
+                continue;
+            std::vector<double> d;
+            d.reserve(members.size());
+            for (core::TaskId t : members)
+                d.push_back(request[t]);
+            const auto alloc = waterfill(d, config_.pipeIssueWidth);
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                cap[members[i]] =
+                    std::min(cap[members[i]], alloc[i]);
+            }
+        }
+
+        // IntraCore: LSU / FPU / crypto ports.
+        struct Port
+        {
+            double TaskProfile::*fraction;
+            double ChipConfig::*width;
+        };
+        static const Port ports[] = {
+            {&TaskProfile::loadStoreFraction, &ChipConfig::lsuWidth},
+            {&TaskProfile::fpFraction, &ChipConfig::fpuWidth},
+            {&TaskProfile::cryptoFraction, &ChipConfig::cryptoWidth},
+        };
+        for (const Port &port : ports) {
+            for (std::uint32_t c = 0; c < topo.cores; ++c) {
+                const auto &members = by_core[c];
+                if (members.empty())
+                    continue;
+                std::vector<double> d;
+                std::vector<core::TaskId> users;
+                for (core::TaskId t : members) {
+                    const double f = tasks_[t].*(port.fraction);
+                    if (f > 0.0) {
+                        users.push_back(t);
+                        d.push_back(request[t] * f);
+                    }
+                }
+                if (users.empty())
+                    continue;
+                const auto alloc =
+                    waterfill(d, config_.*(port.width));
+                for (std::size_t i = 0; i < users.size(); ++i) {
+                    const double f =
+                        tasks_[users[i]].*(port.fraction);
+                    cap[users[i]] =
+                        std::min(cap[users[i]], alloc[i] / f);
+                }
+            }
+        }
+
+        // InterCore: off-chip access budget.
+        {
+            std::vector<double> d;
+            std::vector<core::TaskId> users;
+            for (std::size_t t = 0; t < n; ++t) {
+                if (mem_frac[t] > 0.0) {
+                    users.push_back(static_cast<core::TaskId>(t));
+                    d.push_back(request[t] * mem_frac[t]);
+                }
+            }
+            if (!users.empty()) {
+                const auto alloc =
+                    waterfill(d, config_.memAccessWidth);
+                for (std::size_t i = 0; i < users.size(); ++i) {
+                    cap[users[i]] = std::min(
+                        cap[users[i]],
+                        alloc[i] / mem_frac[users[i]]);
+                }
+            }
+        }
+
+        // Combine with the intrinsic demand; damp the request update.
+        double max_delta = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            const double next = std::min(demand[t], cap[t]);
+            max_delta = std::max(max_delta,
+                                 std::fabs(next - rate[t]));
+            rate[t] = next;
+            request[t] = 0.5 * request[t] + 0.5 * next;
+        }
+        if (max_delta < 1e-12)
+            break;
+    }
+
+    result.rates = std::move(rate);
+    result.iterations = iter;
+    return result;
+}
+
+} // namespace sim
+} // namespace statsched

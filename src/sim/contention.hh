@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Three-level resource contention solver.
+ *
+ * Given a topology, a chip configuration, the task profiles and an
+ * assignment, the solver computes the steady-state instruction rate
+ * of every task (instructions per cycle) under contention at the
+ * three sharing levels of the UltraSPARC T2:
+ *
+ *  - IntraPipe: each pipeline issues one instruction per cycle,
+ *    shared among its strands by max-min fair water-filling;
+ *  - IntraCore: the co-runners' working sets inflate L1 miss rates
+ *    (shared code/data counted once), and the LSU / FPU / crypto
+ *    ports are water-filled per core;
+ *  - InterCore: the chip-wide L2 occupancy inflates L2 miss rates and
+ *    the off-chip access budget is water-filled chip-wide.
+ *
+ * Miss stalls lengthen a task's effective CPI, lowering the issue
+ * demand it presents to the arbiters; the mutual dependence is
+ * resolved by a damped fixed-point iteration (monotone in practice,
+ * converges in a few tens of rounds).
+ */
+
+#ifndef STATSCHED_SIM_CONTENTION_HH
+#define STATSCHED_SIM_CONTENTION_HH
+
+#include <vector>
+
+#include "core/assignment.hh"
+#include "sim/chip_config.hh"
+#include "sim/task_profile.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * Max-min fair water-filling: distributes `capacity` among demands,
+ * never giving a task more than it asks for. If total demand fits,
+ * everyone gets their demand.
+ *
+ * @param demands  Non-negative demands.
+ * @param capacity Non-negative capacity.
+ * @return per-task allocation, same order as demands.
+ */
+std::vector<double> waterfill(const std::vector<double> &demands,
+                              double capacity);
+
+/**
+ * Per-task solver outputs.
+ */
+struct ContentionResult
+{
+    /** Effective instruction rate per task (instructions/cycle). */
+    std::vector<double> rates;
+    /** Effective L1D miss probability per task. */
+    std::vector<double> l1dMissRate;
+    /** Effective L2 miss probability per task. */
+    std::vector<double> l2MissRate;
+    /** Fixed-point iterations executed. */
+    int iterations = 0;
+};
+
+/**
+ * Resolves contention for one assignment.
+ */
+class ContentionSolver
+{
+  public:
+    /**
+     * @param config Chip capacities and penalties.
+     * @param tasks  Task profiles, indexed by TaskId.
+     */
+    ContentionSolver(const ChipConfig &config,
+                     std::vector<TaskProfile> tasks);
+
+    /** @return the task profiles. */
+    const std::vector<TaskProfile> &tasks() const { return tasks_; }
+
+    /**
+     * Computes the steady-state rates for an assignment.
+     *
+     * @param assignment Assignment of all tasks (size must match the
+     *                   profile vector).
+     */
+    ContentionResult solve(const core::Assignment &assignment) const;
+
+  private:
+    ChipConfig config_;
+    std::vector<TaskProfile> tasks_;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_CONTENTION_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulated measurement engine.
+ *
+ * SimulatedEngine is the stand-in for the paper's physical testbed
+ * (two T5220 machines, NTGen saturating a 10 Gb link, Netra DPS
+ * executing the assignment — Section 4). It measures an assignment
+ * by resolving resource contention, converting stage instruction
+ * rates to packet rates, taking each pipeline's bottleneck stage, and
+ * summing instances — in processed packets per second, like the
+ * paper. Optional multiplicative Gaussian noise models run-to-run
+ * measurement variation; each measure() call draws fresh noise, so a
+ * sample of measurements is iid as the EVT analysis requires.
+ */
+
+#ifndef STATSCHED_SIM_ENGINE_HH
+#define STATSCHED_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/performance_engine.hh"
+#include "sim/contention.hh"
+#include "sim/workload.hh"
+#include "stats/rng.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * Configuration of the simulated measurement.
+ */
+struct EngineOptions
+{
+    /** Relative standard deviation of measurement noise (0 turns
+     *  noise off and makes measurements exactly repeatable). */
+    double noiseRelStdDev = 0.0005;
+    /** Noise RNG seed. */
+    std::uint64_t noiseSeed = 0x5eed;
+    /** Modeled wall-clock duration of one measurement; the paper's
+     *  runs process three million packets in ~1.5 s. */
+    double secondsPerMeasurement = 1.5;
+};
+
+/**
+ * PerformanceEngine backed by the contention model.
+ */
+class SimulatedEngine : public core::PerformanceEngine
+{
+  public:
+    /**
+     * @param workload Workload to schedule (copied).
+     * @param config   Chip configuration.
+     * @param options  Noise and timing options.
+     */
+    SimulatedEngine(Workload workload, const ChipConfig &config = {},
+                    const EngineOptions &options = {});
+
+    /** @return packets per second for the assignment (with noise). */
+    double measure(const core::Assignment &assignment) override;
+
+    /** @return deterministic PPS (no noise), for tests/baselines. */
+    double deterministic(const core::Assignment &assignment) const;
+
+    std::string name() const override;
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return options_.secondsPerMeasurement;
+    }
+
+    /** @return the workload driving this engine. */
+    const Workload &workload() const { return workload_; }
+
+    /** @return the chip configuration. */
+    const ChipConfig &config() const { return config_; }
+
+    /** @return per-instance PPS for an assignment (no noise). */
+    std::vector<double>
+    instanceThroughputs(const core::Assignment &assignment) const;
+
+  private:
+    Workload workload_;
+    ChipConfig config_;
+    EngineOptions options_;
+    ContentionSolver solver_;
+    stats::Rng noise_;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_ENGINE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-task resource-demand profile.
+ *
+ * A TaskProfile summarizes how one software thread exercises the
+ * shared hardware: how many instructions per cycle it would retire
+ * uncontended, which fraction of them touch each shared unit, and the
+ * cache working sets it drags along. The simulated benchmarks of
+ * sim/benchmarks.hh build their stage threads from these profiles,
+ * with values grounded in the packet-processing kernels of src/net.
+ */
+
+#ifndef STATSCHED_SIM_TASK_PROFILE_HH
+#define STATSCHED_SIM_TASK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * Role of a thread inside the three-stage software pipeline used by
+ * all the paper's benchmarks (Figure 9).
+ */
+enum class StageRole
+{
+    Receive,   //!< reads packets from the NIU, enqueues pointers
+    Process,   //!< the benchmark-specific packet processing
+    Transmit   //!< dequeues pointers, sends packets to the NIU
+};
+
+/** @return a short name for a stage role ("R", "P", "T"). */
+inline const char *
+stageRoleName(StageRole role)
+{
+    switch (role) {
+      case StageRole::Receive:
+        return "R";
+      case StageRole::Process:
+        return "P";
+      default:
+        return "T";
+    }
+}
+
+/**
+ * Resource demands of one thread.
+ */
+struct TaskProfile
+{
+    std::string name;                //!< e.g. "IPFwd-L1/P"
+    StageRole role = StageRole::Process;
+
+    /** Uncontended issue demand in instructions per cycle (<= pipe
+     *  issue width; in-order T2 strands sustain at most 1). */
+    double issueDemand = 0.7;
+
+    /** Fraction of instructions that are loads or stores. */
+    double loadStoreFraction = 0.25;
+    /** Fraction of instructions that are floating point. */
+    double fpFraction = 0.0;
+    /** Fraction of instructions using the crypto unit. */
+    double cryptoFraction = 0.0;
+
+    /** Private L1 data working set in KB. */
+    double l1dFootprintKb = 2.0;
+    /** Instruction working set in KB; threads sharing `codeId` in
+     *  the same core count it once (shared text). */
+    double l1iFootprintKb = 4.0;
+    /** L2 data working set in KB; threads sharing `sharedDataId`
+     *  count it once chip-wide. */
+    double l2FootprintKb = 16.0;
+
+    /** Identifier of the code image (equal => shared L1I lines). */
+    std::uint32_t codeId = 0;
+    /** Identifier of a shared data structure (0 = none). */
+    std::uint32_t sharedDataId = 0;
+
+    /**
+     * Size in KB of a bulk randomly accessed structure (IPFwd lookup
+     * table, Aho-Corasick automaton, stateful flow table); 0 = none.
+     * Accesses to it miss the caches according to how much of it
+     * fits; it is *not* part of the hot l1dFootprintKb.
+     */
+    double tableKb = 0.0;
+    /** Fraction of instructions that access the bulk structure. */
+    double randomAccessFraction = 0.0;
+
+    /** Instructions retired per processed packet by this stage. */
+    double instructionsPerPacket = 800.0;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_TASK_PROFILE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload implementation.
+ */
+
+#include "sim/workload.hh"
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+void
+Workload::addInstance(AppInstance instance)
+{
+    STATSCHED_ASSERT(!instance.stages.empty(),
+                     "instance with no stages");
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(tasks_.size());
+    for (std::size_t s = 0; s < instance.stages.size(); ++s) {
+        tasks_.push_back(instance.stages[s]);
+        if (s > 0) {
+            edges_.emplace_back(first + static_cast<std::uint32_t>(s)
+                                - 1,
+                                first + static_cast<std::uint32_t>(s));
+        }
+    }
+    ranges_.emplace_back(first,
+                         static_cast<std::uint32_t>(tasks_.size()) - 1);
+    instances_.push_back(std::move(instance));
+}
+
+std::uint32_t
+Workload::taskCount() const
+{
+    return static_cast<std::uint32_t>(tasks_.size());
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+Workload::instanceTaskRange(std::size_t instance) const
+{
+    STATSCHED_ASSERT(instance < ranges_.size(),
+                     "instance index out of range");
+    return ranges_[instance];
+}
+
+} // namespace sim
+} // namespace statsched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated workloads: pipelined application instances.
+ *
+ * Every benchmark of the paper is a three-thread software pipeline
+ * R -> P -> T communicating through shared-memory queues (Figure 9).
+ * A Workload is a set of such instances whose threads, flattened in
+ * instance order, are the tasks the assignment machinery schedules.
+ * The paper runs 8 instances (24 threads) of each benchmark in the
+ * case study and 2 instances (6 threads) in the Figures 1/3
+ * experiments.
+ */
+
+#ifndef STATSCHED_SIM_WORKLOAD_HH
+#define STATSCHED_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/task_profile.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * One application instance: an ordered chain of stage threads.
+ */
+struct AppInstance
+{
+    std::string name;                   //!< e.g. "IPFwd-L1#3"
+    /** Stage profiles in pipeline order (R, P..., T). */
+    std::vector<TaskProfile> stages;
+};
+
+/**
+ * A set of application instances scheduled together.
+ */
+class Workload
+{
+  public:
+    Workload() = default;
+
+    /** @param name Workload label used in reports. */
+    explicit Workload(std::string name) : name_(std::move(name)) {}
+
+    /** @return the workload label. */
+    const std::string &name() const { return name_; }
+
+    /** Appends one application instance. */
+    void addInstance(AppInstance instance);
+
+    /** @return the instances. */
+    const std::vector<AppInstance> &instances() const
+    { return instances_; }
+
+    /** @return total thread (task) count across instances. */
+    std::uint32_t taskCount() const;
+
+    /**
+     * @return flattened task profiles; index == TaskId used by
+     *         Assignment.
+     */
+    const std::vector<TaskProfile> &tasks() const { return tasks_; }
+
+    /**
+     * Pipeline queue edges as (producer task, consumer task) pairs in
+     * global task ids.
+     */
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+    edges() const
+    {
+        return edges_;
+    }
+
+    /** @return [first, last] global task range of an instance. */
+    std::pair<std::uint32_t, std::uint32_t>
+    instanceTaskRange(std::size_t instance) const;
+
+  private:
+    std::string name_;
+    std::vector<AppInstance> instances_;
+    std::vector<TaskProfile> tasks_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges_;
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_WORKLOAD_HH

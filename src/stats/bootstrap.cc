@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bootstrap implementation.
+ */
+
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+BootstrapInterval
+bootstrapUpbInterval(const std::vector<double> &sample,
+                     const PotOptions &options, std::size_t replicates,
+                     std::uint64_t seed)
+{
+    STATSCHED_ASSERT(replicates >= 50,
+                     "too few bootstrap replicates");
+    STATSCHED_ASSERT(!sample.empty(), "empty sample");
+
+    Rng rng(seed);
+    std::vector<double> upbs;
+    upbs.reserve(replicates);
+    std::vector<double> resample(sample.size());
+    BootstrapInterval out;
+
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (auto &x : resample)
+            x = sample[rng.uniformInt(sample.size())];
+        const auto est =
+            estimateOptimalPerformance(resample, options);
+        if (est.valid && std::isfinite(est.upb))
+            upbs.push_back(est.upb);
+        else
+            ++out.failed;
+    }
+
+    STATSCHED_ASSERT(upbs.size() >= replicates / 2,
+                     "bootstrap: too many invalid replicates");
+    std::sort(upbs.begin(), upbs.end());
+    const double alpha = 1.0 - options.confidenceLevel;
+    out.lower = quantileSorted(upbs, alpha / 2.0);
+    out.upper = quantileSorted(upbs, 1.0 - alpha / 2.0);
+    out.median = quantileSorted(upbs, 0.5);
+    out.replicates = upbs.size();
+    return out;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Descriptive statistics implementation.
+ */
+
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+minimum(const std::vector<double> &xs)
+{
+    STATSCHED_ASSERT(!xs.empty(), "minimum of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maximum(const std::vector<double> &xs)
+{
+    STATSCHED_ASSERT(!xs.empty(), "maximum of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+quantileSorted(const std::vector<double> &sorted_xs, double q)
+{
+    STATSCHED_ASSERT(!sorted_xs.empty(), "quantile of empty sample");
+    STATSCHED_ASSERT(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+    if (sorted_xs.size() == 1)
+        return sorted_xs[0];
+    const double pos = q * static_cast<double>(sorted_xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_xs[lo] + frac * (sorted_xs[hi] - sorted_xs[lo]);
+}
+
+std::vector<double>
+sortedCopy(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs;
+}
+
+LinearFit
+linearLeastSquares(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    STATSCHED_ASSERT(xs.size() == ys.size(), "size mismatch in OLS");
+    STATSCHED_ASSERT(xs.size() >= 2, "OLS needs at least two points");
+
+    const double n = static_cast<double>(xs.size());
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+
+    LinearFit fit;
+    if (sxx <= 0.0) {
+        // Degenerate vertical data: report a flat line, zero R^2.
+        fit.intercept = my;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    if (syy <= 0.0) {
+        // All y identical: a horizontal line fits perfectly.
+        fit.rSquared = 1.0;
+    } else {
+        fit.rSquared = (sxy * sxy) / (sxx * syy);
+    }
+    (void)n;
+    return fit;
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    STATSCHED_ASSERT(xs.size() == ys.size(),
+                     "size mismatch in correlation");
+    STATSCHED_ASSERT(xs.size() >= 2, "correlation needs >= 2 points");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace stats
+} // namespace statsched

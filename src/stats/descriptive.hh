@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Descriptive statistics over samples of doubles.
+ *
+ * Small free functions shared by the EVT machinery, the diagnostics and
+ * the benchmark harnesses: moments, extrema, order statistics and linear
+ * least squares (used for mean-excess linearity checks).
+ */
+
+#ifndef STATSCHED_STATS_DESCRIPTIVE_HH
+#define STATSCHED_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance (n-1 denominator); 0 for n < 2. */
+double variance(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum element. @pre non-empty. */
+double minimum(const std::vector<double> &xs);
+
+/** Maximum element. @pre non-empty. */
+double maximum(const std::vector<double> &xs);
+
+/**
+ * Quantile by linear interpolation of the order statistics (type-7,
+ * the R/NumPy default).
+ *
+ * @param sorted_xs Sample sorted in non-decreasing order.
+ * @param q         Quantile level in [0, 1].
+ * @pre non-empty, sorted.
+ */
+double quantileSorted(const std::vector<double> &sorted_xs, double q);
+
+/** Returns a sorted copy of the sample. */
+std::vector<double> sortedCopy(std::vector<double> xs);
+
+/**
+ * Result of a simple linear least-squares fit y ~ a + b x.
+ */
+struct LinearFit
+{
+    double intercept = 0.0;   //!< a
+    double slope = 0.0;       //!< b
+    double rSquared = 0.0;    //!< coefficient of determination
+};
+
+/**
+ * Ordinary least squares fit of y against x.
+ *
+ * @pre xs.size() == ys.size() and size >= 2.
+ */
+LinearFit linearLeastSquares(const std::vector<double> &xs,
+                             const std::vector<double> &ys);
+
+/**
+ * Pearson correlation coefficient of two equally sized samples.
+ *
+ * @pre sizes match and are >= 2.
+ */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Diagnostics implementation.
+ */
+
+#include "stats/diagnostics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+QuantilePlot
+gpdQuantilePlot(const std::vector<double> &exceedances, const Gpd &model)
+{
+    STATSCHED_ASSERT(exceedances.size() >= 2,
+                     "quantile plot needs >= 2 points");
+    std::vector<double> sorted = sortedCopy(exceedances);
+    const double m = static_cast<double>(sorted.size());
+
+    QuantilePlot plot;
+    std::vector<double> model_q;
+    std::vector<double> sample_q;
+    model_q.reserve(sorted.size());
+    sample_q.reserve(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double q = (static_cast<double>(i) + 0.5) / m;
+        const double mq = model.quantile(q);
+        model_q.push_back(mq);
+        sample_q.push_back(sorted[i]);
+        plot.points.emplace_back(mq, sorted[i]);
+    }
+    plot.correlation = pearsonCorrelation(model_q, sample_q);
+    plot.rSquared = linearLeastSquares(model_q, sample_q).rSquared;
+    return plot;
+}
+
+double
+ksStatistic(const std::vector<double> &exceedances, const Gpd &model)
+{
+    STATSCHED_ASSERT(!exceedances.empty(), "KS of empty sample");
+    std::vector<double> sorted = sortedCopy(exceedances);
+    const double m = static_cast<double>(sorted.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double g = model.cdf(sorted[i]);
+        const double lo = static_cast<double>(i) / m;
+        const double hi = static_cast<double>(i + 1) / m;
+        d = std::max(d, std::max(std::fabs(g - lo), std::fabs(hi - g)));
+    }
+    return d;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * GPD goodness-of-fit diagnostics (Section 3.3.2 of the paper).
+ *
+ * The paper uses two graphical checks before trusting a GPD model:
+ * the (rough) linearity of the upper mean-excess plot, and the
+ * quantile plot of sample quantiles against fitted GPD quantiles —
+ * "in all experiments, the form of quantile plots strongly suggest
+ * that samples of observations follow a Generalized Pareto
+ * Distribution". These helpers compute both plots and scalar
+ * summaries suitable for automated pass/fail checks.
+ */
+
+#ifndef STATSCHED_STATS_DIAGNOSTICS_HH
+#define STATSCHED_STATS_DIAGNOSTICS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "stats/gpd.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Quantile plot of exceedances against a fitted GPD.
+ */
+struct QuantilePlot
+{
+    /** Points (model quantile, sample quantile), ascending. */
+    std::vector<std::pair<double, double>> points;
+    /** Pearson correlation of the points; near 1 for a good fit. */
+    double correlation = 0.0;
+    /** R^2 of the identity-line regression through the points. */
+    double rSquared = 0.0;
+};
+
+/**
+ * Builds the quantile plot of exceedances vs. a GPD.
+ *
+ * Sample order statistics y_(i) are plotted against the model
+ * quantiles G^{-1}(q_i) with plotting positions q_i = (i-0.5)/m.
+ *
+ * @param exceedances Exceedances over the threshold (any order).
+ * @param model       Fitted GPD.
+ */
+QuantilePlot gpdQuantilePlot(const std::vector<double> &exceedances,
+                             const Gpd &model);
+
+/**
+ * One-sample Kolmogorov-Smirnov statistic of exceedances against a
+ * GPD: sup |F_n(y) - G(y)|. Used by tests as a fit-quality scalar
+ * (no p-value machinery; thresholds are calibrated per test).
+ */
+double ksStatistic(const std::vector<double> &exceedances,
+                   const Gpd &model);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_DIAGNOSTICS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ecdf implementation.
+ */
+
+#include "stats/ecdf.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+Ecdf::Ecdf(std::vector<double> sample)
+    : sorted_(std::move(sample))
+{
+    STATSCHED_ASSERT(!sorted_.empty(), "ECDF of empty sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+Ecdf::evaluate(double x) const
+{
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+        static_cast<double>(sorted_.size());
+}
+
+double
+Ecdf::quantile(double q) const
+{
+    return quantileSorted(sorted_, q);
+}
+
+double
+Ecdf::relativeSpread() const
+{
+    if (max() == 0.0)
+        return 0.0;
+    return (max() - min()) / max();
+}
+
+double
+Ecdf::topFractionSpread(double fraction) const
+{
+    STATSCHED_ASSERT(fraction > 0.0 && fraction < 1.0,
+                     "tail fraction out of (0,1)");
+    if (max() == 0.0)
+        return 0.0;
+    const double lower = quantile(1.0 - fraction);
+    return (max() - lower) / max();
+}
+
+std::vector<std::pair<double, double>>
+Ecdf::curve(std::size_t points) const
+{
+    STATSCHED_ASSERT(points >= 2, "need at least two curve points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    const double lo = min();
+    const double hi = max();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(points - 1);
+        out.emplace_back(x, evaluate(x));
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Empirical cumulative distribution function (Section 3.2 of the paper).
+ *
+ * The paper uses the CDF of all ~1500 assignments of a 6-thread workload
+ * (Figure 3) to show the assignment-induced performance spread, and
+ * notes that an ECDF built from a sample estimates the median part of
+ * the population CDF well but cannot infer the extreme upper tail —
+ * which is why EVT is needed. Ecdf implements evaluation, inversion and
+ * the tail-spread query used by the Figure 3 harness.
+ */
+
+#ifndef STATSCHED_STATS_ECDF_HH
+#define STATSCHED_STATS_ECDF_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Empirical CDF of a sample of observations.
+ */
+class Ecdf
+{
+  public:
+    /**
+     * Builds the ECDF; the sample is copied and sorted.
+     *
+     * @param sample Non-empty vector of observations.
+     */
+    explicit Ecdf(std::vector<double> sample);
+
+    /** @return number of observations. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /** @return F(x): the fraction of observations <= x. */
+    double evaluate(double x) const;
+
+    /**
+     * @return the empirical quantile at level q in [0, 1]
+     *         (type-7 interpolation).
+     */
+    double quantile(double q) const;
+
+    /** @return smallest observation. */
+    double min() const { return sorted_.front(); }
+
+    /** @return largest observation. */
+    double max() const { return sorted_.back(); }
+
+    /**
+     * Relative performance spread of the whole population:
+     * (max - min) / max. Figure 3 reports 58% for the 6-thread IPFwd
+     * workload.
+     */
+    double relativeSpread() const;
+
+    /**
+     * Relative spread within the best-performing fraction of the
+     * population: (max - q_{1-fraction}) / max. Figure 3 reports ~0.6%
+     * for the top 1%.
+     *
+     * @param fraction Tail fraction in (0, 1).
+     */
+    double topFractionSpread(double fraction) const;
+
+    /** @return the sorted observations (non-decreasing). */
+    const std::vector<double> &sorted() const { return sorted_; }
+
+    /**
+     * Evenly spaced plot points (x, F(x)) suitable for rendering the
+     * CDF curve.
+     *
+     * @param points Number of points, >= 2.
+     */
+    std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_ECDF_HH

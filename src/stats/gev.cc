@@ -1,0 +1,172 @@
+/**
+ * @file
+ * GEV implementation.
+ */
+
+#include "stats/gev.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/nelder_mead.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr double xiZeroTolerance = 1e-9;
+constexpr double infinity = std::numeric_limits<double>::infinity();
+
+} // anonymous namespace
+
+Gev::Gev(double xi, double mu, double sigma)
+    : xi_(xi), mu_(mu), sigma_(sigma)
+{
+    STATSCHED_ASSERT(sigma > 0.0, "GEV scale must be positive");
+    STATSCHED_ASSERT(std::isfinite(xi) && std::isfinite(mu),
+                     "GEV parameters must be finite");
+}
+
+double
+Gev::supportUpper() const
+{
+    if (xi_ < -xiZeroTolerance)
+        return mu_ - sigma_ / xi_;
+    return infinity;
+}
+
+double
+Gev::cdf(double x) const
+{
+    const double z = (x - mu_) / sigma_;
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return std::exp(-std::exp(-z));
+    const double t = 1.0 + xi_ * z;
+    if (t <= 0.0)
+        return xi_ > 0.0 ? 0.0 : 1.0;
+    return std::exp(-std::pow(t, -1.0 / xi_));
+}
+
+double
+Gev::pdf(double x) const
+{
+    const double z = (x - mu_) / sigma_;
+    if (std::fabs(xi_) < xiZeroTolerance) {
+        const double e = std::exp(-z);
+        return e * std::exp(-e) / sigma_;
+    }
+    const double t = 1.0 + xi_ * z;
+    if (t <= 0.0)
+        return 0.0;
+    const double tp = std::pow(t, -1.0 / xi_);
+    return tp / t * std::exp(-tp) / sigma_;
+}
+
+double
+Gev::logPdf(double x) const
+{
+    const double p = pdf(x);
+    if (p <= 0.0)
+        return -infinity;
+    return std::log(p);
+}
+
+double
+Gev::quantile(double p) const
+{
+    STATSCHED_ASSERT(p > 0.0 && p < 1.0, "probability out of (0,1)");
+    const double l = -std::log(p);
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return mu_ - sigma_ * std::log(l);
+    return mu_ + sigma_ / xi_ * (std::pow(l, -xi_) - 1.0);
+}
+
+double
+Gev::sampleFromUniform(double unit_uniform) const
+{
+    STATSCHED_ASSERT(unit_uniform > 0.0 && unit_uniform < 1.0,
+                     "uniform draw out of (0,1)");
+    return quantile(unit_uniform);
+}
+
+double
+GevFit::upperEndpoint() const
+{
+    return Gev(xi, mu, sigma).supportUpper();
+}
+
+GevFit
+fitGev(const std::vector<double> &maxima)
+{
+    STATSCHED_ASSERT(maxima.size() >= 10,
+                     "GEV fit needs at least 10 block maxima");
+
+    // Moment-based starting point (Gumbel approximation):
+    // sigma0 = sqrt(6) s / pi, mu0 = mean - 0.5772 sigma0.
+    const double m = mean(maxima);
+    const double s = stddev(maxima);
+    const double sigma0 = std::max(1e-12,
+                                   std::sqrt(6.0) * s / M_PI);
+    const double mu0 = m - 0.57721566 * sigma0;
+
+    auto negloglik = [&maxima](const std::vector<double> &p) {
+        const double xi = p[0];
+        const double mu = p[1];
+        const double sigma = p[2];
+        if (sigma <= 0.0)
+            return infinity;
+        const Gev gev(xi, mu, sigma);
+        double acc = 0.0;
+        for (double x : maxima) {
+            const double lp = gev.logPdf(x);
+            if (!std::isfinite(lp))
+                return infinity;
+            acc -= lp;
+        }
+        return acc;
+    };
+
+    NelderMeadOptions options;
+    options.maxIterations = 6000;
+    const auto result =
+        nelderMeadMinimize(negloglik, {-0.1, mu0, sigma0}, options);
+
+    GevFit fit;
+    fit.xi = result.point[0];
+    fit.mu = result.point[1];
+    fit.sigma = result.point[2];
+    fit.logLikelihood = -result.value;
+    fit.converged = result.converged && std::isfinite(result.value);
+    return fit;
+}
+
+GevFit
+blockMaximaEstimate(const std::vector<double> &sample,
+                    std::size_t blocks)
+{
+    STATSCHED_ASSERT(blocks >= 10, "need at least 10 blocks");
+    STATSCHED_ASSERT(sample.size() >= 2 * blocks,
+                     "blocks must hold at least 2 observations");
+
+    const std::size_t block_size = sample.size() / blocks;
+    std::vector<double> maxima;
+    maxima.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t begin = b * block_size;
+        const std::size_t end = (b + 1 == blocks)
+            ? sample.size() : begin + block_size;
+        maxima.push_back(*std::max_element(sample.begin() + begin,
+                                           sample.begin() + end));
+    }
+    return fitGev(maxima);
+}
+
+} // namespace stats
+} // namespace statsched

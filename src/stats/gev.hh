@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Generalized Extreme Value distribution and block-maxima estimation.
+ *
+ * The paper uses the Peaks-Over-Threshold branch of EVT; the other
+ * classical branch is the block-maxima method: partition the sample
+ * into blocks, take each block's maximum, and fit the GEV
+ *
+ *     H(x) = exp(-(1 + xi (x-mu)/sigma)^(-1/xi))    (xi != 0)
+ *     H(x) = exp(-exp(-(x-mu)/sigma))               (xi == 0)
+ *
+ * by maximum likelihood (Fisher-Tippett-Gnedenko). For xi < 0 the
+ * upper endpoint mu - sigma/xi estimates the same optimal-performance
+ * bound as the POT method, which makes block maxima a natural
+ * cross-check ablation (bench/abl_gev_vs_pot).
+ */
+
+#ifndef STATSCHED_STATS_GEV_HH
+#define STATSCHED_STATS_GEV_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * A Generalized Extreme Value distribution with fixed parameters.
+ */
+class Gev
+{
+  public:
+    /**
+     * @param xi    Shape parameter.
+     * @param mu    Location parameter.
+     * @param sigma Scale parameter, > 0.
+     */
+    Gev(double xi, double mu, double sigma);
+
+    double xi() const { return xi_; }
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+    /** Upper endpoint: mu - sigma/xi for xi < 0, else +infinity. */
+    double supportUpper() const;
+
+    /** Cumulative distribution function. */
+    double cdf(double x) const;
+
+    /** Probability density. */
+    double pdf(double x) const;
+
+    /** Log density; -infinity outside the support. */
+    double logPdf(double x) const;
+
+    /**
+     * Quantile function.
+     *
+     * @param p Probability in (0, 1).
+     */
+    double quantile(double p) const;
+
+    /** Draws one sample by inversion from a uniform in (0, 1). */
+    double sampleFromUniform(double unit_uniform) const;
+
+  private:
+    double xi_;
+    double mu_;
+    double sigma_;
+};
+
+/**
+ * Result of a GEV maximum-likelihood fit.
+ */
+struct GevFit
+{
+    double xi = 0.0;
+    double mu = 0.0;
+    double sigma = 1.0;
+    double logLikelihood = 0.0;
+    bool converged = false;
+
+    /** @return the fitted distribution. */
+    Gev distribution() const { return Gev(xi, mu, sigma); }
+
+    /** Upper endpoint estimate (finite only for xi < 0). */
+    double upperEndpoint() const;
+};
+
+/**
+ * Fits a GEV to block maxima by Nelder-Mead maximum likelihood.
+ *
+ * @param maxima At least 10 block maxima.
+ */
+GevFit fitGev(const std::vector<double> &maxima);
+
+/**
+ * Block-maxima estimate of the optimal performance: splits the
+ * sample into `blocks` contiguous blocks, takes each maximum, fits a
+ * GEV, and returns the fit (upper endpoint = UPB estimate when
+ * xi-hat < 0).
+ *
+ * @param sample Raw performance sample (order is irrelevant for iid
+ *               data).
+ * @param blocks Number of blocks (>= 10; sample.size()/blocks >= 2).
+ */
+GevFit blockMaximaEstimate(const std::vector<double> &sample,
+                           std::size_t blocks);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_GEV_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Gpd implementation.
+ *
+ * The |xi| < 1e-9 neighbourhood falls back to the exponential (xi = 0)
+ * formulas to avoid catastrophic cancellation in (1 + xi y / sigma)
+ * powers.
+ */
+
+#include "stats/gpd.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr double xiZeroTolerance = 1e-9;
+
+} // anonymous namespace
+
+Gpd::Gpd(double xi, double sigma)
+    : xi_(xi), sigma_(sigma)
+{
+    STATSCHED_ASSERT(sigma > 0.0, "GPD scale must be positive");
+    STATSCHED_ASSERT(std::isfinite(xi), "GPD shape must be finite");
+}
+
+double
+Gpd::supportUpper() const
+{
+    if (xi_ < -xiZeroTolerance)
+        return -sigma_ / xi_;
+    return std::numeric_limits<double>::infinity();
+}
+
+double
+Gpd::cdf(double y) const
+{
+    if (y <= 0.0)
+        return 0.0;
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return 1.0 - std::exp(-y / sigma_);
+    const double z = 1.0 + xi_ * y / sigma_;
+    if (z <= 0.0)
+        return 1.0;   // beyond the finite upper endpoint (xi < 0)
+    return 1.0 - std::pow(z, -1.0 / xi_);
+}
+
+double
+Gpd::pdf(double y) const
+{
+    if (y < 0.0)
+        return 0.0;
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return std::exp(-y / sigma_) / sigma_;
+    const double z = 1.0 + xi_ * y / sigma_;
+    if (z <= 0.0)
+        return 0.0;
+    return std::pow(z, -1.0 / xi_ - 1.0) / sigma_;
+}
+
+double
+Gpd::logPdf(double y) const
+{
+    if (y < 0.0)
+        return -std::numeric_limits<double>::infinity();
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return -std::log(sigma_) - y / sigma_;
+    const double z = 1.0 + xi_ * y / sigma_;
+    if (z <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return -std::log(sigma_) - (1.0 / xi_ + 1.0) * std::log(z);
+}
+
+double
+Gpd::quantile(double p) const
+{
+    STATSCHED_ASSERT(p >= 0.0 && p < 1.0, "probability out of [0,1)");
+    if (p == 0.0)
+        return 0.0;
+    if (std::fabs(xi_) < xiZeroTolerance)
+        return -sigma_ * std::log(1.0 - p);
+    return sigma_ / xi_ * (std::pow(1.0 - p, -xi_) - 1.0);
+}
+
+double
+Gpd::meanValue() const
+{
+    STATSCHED_ASSERT(xi_ < 1.0, "GPD mean undefined for xi >= 1");
+    return sigma_ / (1.0 - xi_);
+}
+
+double
+Gpd::sampleFromUniform(double unit_uniform) const
+{
+    STATSCHED_ASSERT(unit_uniform >= 0.0 && unit_uniform < 1.0,
+                     "uniform draw out of [0,1)");
+    return quantile(unit_uniform);
+}
+
+double
+Gpd::logLikelihood(const std::vector<double> &ys) const
+{
+    double acc = 0.0;
+    for (double y : ys) {
+        const double lp = logPdf(y);
+        if (!std::isfinite(lp))
+            return -std::numeric_limits<double>::infinity();
+        acc += lp;
+    }
+    return acc;
+}
+
+} // namespace stats
+} // namespace statsched

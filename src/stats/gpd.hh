@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Generalized Pareto Distribution (Theorem 1 of the paper).
+ *
+ * The Pickands–Balkema–de Haan theorem states that for a large class of
+ * distributions F, the conditional excess distribution above a high
+ * threshold is well approximated by the GPD
+ *
+ *     G(y) = 1 - (1 + xi*y/sigma)^(-1/xi)   (xi != 0)
+ *     G(y) = 1 - exp(-y/sigma)              (xi == 0)
+ *
+ * with shape xi and scale sigma > 0. For xi < 0 the support is the
+ * finite interval [0, -sigma/xi], which is what makes the upper
+ * performance bound u - sigma/xi estimable. The paper only needs the
+ * xi < 0 branch for estimation; the full distribution (including
+ * xi == 0 and xi > 0) is implemented here for completeness and testing.
+ */
+
+#ifndef STATSCHED_STATS_GPD_HH
+#define STATSCHED_STATS_GPD_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * A Generalized Pareto Distribution with fixed parameters.
+ */
+class Gpd
+{
+  public:
+    /**
+     * @param xi    Shape parameter (any real).
+     * @param sigma Scale parameter, must be > 0.
+     */
+    Gpd(double xi, double sigma);
+
+    double xi() const { return xi_; }
+    double sigma() const { return sigma_; }
+
+    /**
+     * Upper end of the support: -sigma/xi for xi < 0, +infinity
+     * otherwise.
+     */
+    double supportUpper() const;
+
+    /** Cumulative distribution function G(y); 0 below the support. */
+    double cdf(double y) const;
+
+    /** Probability density g(y); 0 outside the support. */
+    double pdf(double y) const;
+
+    /**
+     * Natural log of the density. Returns -infinity outside the
+     * support (used directly by the likelihood code).
+     */
+    double logPdf(double y) const;
+
+    /**
+     * Quantile function: y with G(y) = p.
+     *
+     * @param p Probability in [0, 1).
+     */
+    double quantile(double p) const;
+
+    /** Theoretical mean; defined for xi < 1. */
+    double meanValue() const;
+
+    /**
+     * Draws one sample by inversion.
+     *
+     * @param unit_uniform A value in [0, 1).
+     */
+    double sampleFromUniform(double unit_uniform) const;
+
+    /**
+     * Joint log-likelihood of a set of exceedances under this
+     * distribution. -infinity if any observation is outside the
+     * support.
+     */
+    double logLikelihood(const std::vector<double> &ys) const;
+
+  private:
+    double xi_;
+    double sigma_;
+};
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_GPD_HH

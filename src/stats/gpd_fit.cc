@@ -1,0 +1,149 @@
+/**
+ * @file
+ * GPD fitting implementation.
+ */
+
+#include "stats/gpd_fit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/nelder_mead.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr double infinity = std::numeric_limits<double>::infinity();
+
+/**
+ * Moment-based starting point for the MLE search; also the method-of-
+ * moments estimator itself. Matching mean m and variance v of
+ * GPD(xi, sigma):
+ *     xi    = (1 - m^2 / v) / 2
+ *     sigma = m (1 + m^2 / v) / 2
+ */
+GpdFit
+momentEstimate(const std::vector<double> &ys)
+{
+    GpdFit fit;
+    const double m = mean(ys);
+    const double v = variance(ys);
+    if (m <= 0.0 || v <= 0.0) {
+        fit.converged = false;
+        fit.xi = -0.1;
+        fit.sigma = std::max(m, 1e-12);
+        return fit;
+    }
+    const double ratio = m * m / v;
+    fit.xi = 0.5 * (1.0 - ratio);
+    fit.sigma = 0.5 * m * (1.0 + ratio);
+    fit.converged = fit.sigma > 0.0;
+    return fit;
+}
+
+/**
+ * Probability-weighted moments estimator (Hosking & Wallis 1987).
+ * With b0 the sample mean and b1 = sum (1 - p_i) y_(i) / n using
+ * plotting positions p_i = (i - 0.35) / n over the ascending order
+ * statistics:
+ *     xi    = 2 - b0 / (b0 - 2 b1)    ... in the (paper's) sign
+ *     sigma = 2 b0 b1 / (b0 - 2 b1)
+ *
+ * Hosking & Wallis use the k = -xi convention; the formulas below are
+ * already translated to the xi convention used throughout this library.
+ */
+GpdFit
+pwmEstimate(const std::vector<double> &ys)
+{
+    GpdFit fit;
+    std::vector<double> sorted = sortedCopy(ys);
+    const double n = static_cast<double>(sorted.size());
+    double b0 = 0.0;
+    double b1 = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double p = (static_cast<double>(i) + 1.0 - 0.35) / n;
+        b0 += sorted[i];
+        b1 += (1.0 - p) * sorted[i];
+    }
+    b0 /= n;
+    b1 /= n;
+    const double denom = b0 - 2.0 * b1;
+    if (denom <= 0.0 || b0 <= 0.0) {
+        fit.converged = false;
+        fit.xi = -0.1;
+        fit.sigma = std::max(b0, 1e-12);
+        return fit;
+    }
+    fit.xi = 2.0 - b0 / denom;
+    fit.sigma = 2.0 * b0 * b1 / denom;
+    fit.converged = fit.sigma > 0.0;
+    return fit;
+}
+
+} // anonymous namespace
+
+double
+gpdNegativeLogLikelihood(double xi, double sigma,
+                         const std::vector<double> &exceedances)
+{
+    if (sigma <= 0.0 || !std::isfinite(xi) || !std::isfinite(sigma))
+        return infinity;
+    const Gpd gpd(xi, sigma);
+    const double ll = gpd.logLikelihood(exceedances);
+    if (!std::isfinite(ll))
+        return infinity;
+    return -ll;
+}
+
+GpdFit
+fitGpd(const std::vector<double> &exceedances, GpdEstimator method)
+{
+    STATSCHED_ASSERT(exceedances.size() >= 5,
+                     "GPD fit needs at least 5 exceedances");
+    for (double y : exceedances)
+        STATSCHED_ASSERT(y > 0.0, "exceedances must be positive");
+
+    if (method == GpdEstimator::MethodOfMoments)
+        return momentEstimate(exceedances);
+    if (method == GpdEstimator::ProbabilityWeightedMoments)
+        return pwmEstimate(exceedances);
+
+    // Maximum likelihood: Nelder-Mead from the moment starting point.
+    // The feasibility constraints (sigma > 0 and, for xi < 0, all
+    // observations below -sigma/xi) are enforced by returning +inf.
+    GpdFit start = momentEstimate(exceedances);
+    const double y_max = maximum(exceedances);
+    // Ensure the starting point is feasible: for xi < 0 we need
+    // -sigma/xi > y_max.
+    if (start.xi < 0.0 && -start.sigma / start.xi <= y_max)
+        start.sigma = -start.xi * y_max * 1.05;
+    if (start.sigma <= 0.0)
+        start.sigma = y_max;
+
+    auto objective = [&exceedances](const std::vector<double> &p) {
+        return gpdNegativeLogLikelihood(p[0], p[1], exceedances);
+    };
+
+    NelderMeadOptions options;
+    options.maxIterations = 4000;
+    auto result = nelderMeadMinimize(objective,
+                                     {start.xi, start.sigma}, options);
+
+    GpdFit fit;
+    fit.xi = result.point[0];
+    fit.sigma = result.point[1];
+    fit.logLikelihood = -result.value;
+    fit.converged = result.converged && std::isfinite(result.value);
+    return fit;
+}
+
+} // namespace stats
+} // namespace statsched

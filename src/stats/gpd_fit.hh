@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parameter estimation for the Generalized Pareto Distribution
+ * (Section 3.3.2, Step 3 of the paper).
+ *
+ * The paper estimates (xi, sigma) by maximizing the joint
+ * log-likelihood of the exceedances with a Nelder-Mead search
+ * (Matlab fminsearch). That estimator is implemented here, together
+ * with two classic alternatives used by the estimator-comparison
+ * ablation: the method of moments and probability-weighted moments
+ * (Hosking & Wallis 1987).
+ */
+
+#ifndef STATSCHED_STATS_GPD_FIT_HH
+#define STATSCHED_STATS_GPD_FIT_HH
+
+#include <vector>
+
+#include "stats/gpd.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Estimation method selector.
+ */
+enum class GpdEstimator
+{
+    MaximumLikelihood,          //!< Nelder-Mead MLE (the paper's choice)
+    MethodOfMoments,            //!< matches sample mean and variance
+    ProbabilityWeightedMoments  //!< Hosking-Wallis PWM
+};
+
+/**
+ * Result of fitting a GPD to a set of exceedances.
+ */
+struct GpdFit
+{
+    double xi = 0.0;            //!< estimated shape
+    double sigma = 1.0;         //!< estimated scale
+    double logLikelihood = 0.0; //!< log-likelihood at the estimate
+    bool converged = false;     //!< optimizer / estimator succeeded
+
+    /** @return the fitted distribution object. */
+    Gpd distribution() const { return Gpd(xi, sigma); }
+};
+
+/**
+ * Negative joint log-likelihood of exceedances under GPD(xi, sigma);
+ * +infinity outside the feasible region. Exposed for tests and for the
+ * profile-likelihood code.
+ */
+double gpdNegativeLogLikelihood(double xi, double sigma,
+                                const std::vector<double> &exceedances);
+
+/**
+ * Fits a GPD to positive exceedances over a threshold.
+ *
+ * @param exceedances Values y_i = x_i - u > 0; at least 5 required.
+ * @param method      Estimation method.
+ * @return the fit; `converged` is false when the search failed (e.g.
+ *         degenerate data), in which case the parameters hold the best
+ *         point found.
+ */
+GpdFit fitGpd(const std::vector<double> &exceedances,
+              GpdEstimator method = GpdEstimator::MaximumLikelihood);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_GPD_FIT_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cholesky solve and ridge regression implementation.
+ */
+
+#include "stats/linear_solve.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+std::vector<double>
+choleskySolve(const Matrix &a, const std::vector<double> &b)
+{
+    const std::size_t n = a.size();
+    STATSCHED_ASSERT(b.size() == n, "dimension mismatch");
+
+    // Factor A = L L^T.
+    Matrix l(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                STATSCHED_ASSERT(sum > 0.0,
+                                 "matrix not positive definite");
+                l.at(i, i) = std::sqrt(sum);
+            } else {
+                l.at(i, j) = sum / l.at(j, j);
+            }
+        }
+    }
+
+    // Forward substitution L z = b.
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= l.at(i, k) * z[k];
+        z[i] = sum / l.at(i, i);
+    }
+
+    // Back substitution L^T x = z.
+    std::vector<double> x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = z[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            sum -= l.at(k, i) * x[k];
+        x[i] = sum / l.at(i, i);
+    }
+    return x;
+}
+
+std::vector<double>
+ridgeRegression(const std::vector<std::vector<double>> &rows,
+                const std::vector<double> &targets, double lambda)
+{
+    STATSCHED_ASSERT(!rows.empty(), "no training rows");
+    STATSCHED_ASSERT(rows.size() == targets.size(),
+                     "row/target count mismatch");
+    STATSCHED_ASSERT(lambda > 0.0, "ridge strength must be positive");
+
+    const std::size_t d = rows.front().size();
+    Matrix gram(d);
+    std::vector<double> rhs(d, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        STATSCHED_ASSERT(rows[r].size() == d,
+                         "ragged feature rows");
+        for (std::size_t i = 0; i < d; ++i) {
+            rhs[i] += rows[r][i] * targets[r];
+            for (std::size_t j = 0; j <= i; ++j)
+                gram.at(i, j) += rows[r][i] * rows[r][j];
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+        gram.at(i, i) += lambda;
+        // Mirror for the (unused) upper triangle, keeping the matrix
+        // honest for any future reader.
+        for (std::size_t j = 0; j < i; ++j)
+            gram.at(j, i) = gram.at(i, j);
+    }
+    return choleskySolve(gram, rhs);
+}
+
+} // namespace stats
+} // namespace statsched

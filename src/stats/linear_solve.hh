@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dense symmetric positive-definite linear solves (Cholesky).
+ *
+ * Small helper used by the ridge-regression performance predictor
+ * (core/predictor.hh): factor A = L Lᵀ and solve A w = b. Matrices in
+ * this library are tiny (tens of features), so a simple dense
+ * implementation is appropriate.
+ */
+
+#ifndef STATSCHED_STATS_LINEAR_SOLVE_HH
+#define STATSCHED_STATS_LINEAR_SOLVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Dense row-major square matrix.
+ */
+class Matrix
+{
+  public:
+    /** Builds an n x n zero matrix. */
+    explicit Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+    std::size_t size() const { return n_; }
+
+    double &
+    at(std::size_t r, std::size_t c)
+    {
+        return data_[r * n_ + c];
+    }
+
+    double
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * n_ + c];
+    }
+
+  private:
+    std::size_t n_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solves A x = b for symmetric positive-definite A via Cholesky.
+ *
+ * @param a Symmetric positive-definite matrix (only the lower
+ *          triangle is read).
+ * @param b Right-hand side, size a.size().
+ * @return the solution x.
+ * @note panics if the matrix is not positive definite (callers add a
+ *       ridge term to guarantee it).
+ */
+std::vector<double> choleskySolve(const Matrix &a,
+                                  const std::vector<double> &b);
+
+/**
+ * Ridge regression: w = (XᵀX + lambda I)⁻¹ Xᵀ y.
+ *
+ * @param rows    Feature vectors (equal lengths).
+ * @param targets One target per row.
+ * @param lambda  Ridge strength, > 0.
+ * @return the weight vector.
+ */
+std::vector<double>
+ridgeRegression(const std::vector<std::vector<double>> &rows,
+                const std::vector<double> &targets, double lambda);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_LINEAR_SOLVE_HH

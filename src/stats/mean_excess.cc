@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MeanExcess implementation.
+ */
+
+#include "stats/mean_excess.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+MeanExcess::MeanExcess(std::vector<double> sample)
+    : sorted_(std::move(sample))
+{
+    STATSCHED_ASSERT(!sorted_.empty(), "mean excess of empty sample");
+    std::sort(sorted_.begin(), sorted_.end());
+    suffixSum_.assign(sorted_.size() + 1, 0.0);
+    for (std::size_t i = sorted_.size(); i-- > 0;)
+        suffixSum_[i] = suffixSum_[i + 1] + sorted_[i];
+}
+
+double
+MeanExcess::evaluate(double u) const
+{
+    // k = index of the first observation strictly above u.
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), u);
+    const std::size_t k = static_cast<std::size_t>(it - sorted_.begin());
+    const std::size_t m = sorted_.size() - k;
+    if (m == 0)
+        return 0.0;
+    const double excess_sum =
+        suffixSum_[k] - u * static_cast<double>(m);
+    return excess_sum / static_cast<double>(m);
+}
+
+std::vector<std::pair<double, double>>
+MeanExcess::plot() const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(sorted_.size());
+    for (std::size_t i = 0; i + 1 < sorted_.size(); ++i) {
+        // Skip duplicate thresholds: e_n is a function of the value.
+        if (i > 0 && sorted_[i] == sorted_[i - 1])
+            continue;
+        out.emplace_back(sorted_[i], evaluate(sorted_[i]));
+    }
+    return out;
+}
+
+std::vector<std::pair<double, double>>
+MeanExcess::upperPlot(double q) const
+{
+    STATSCHED_ASSERT(q >= 0.0 && q < 1.0, "quantile out of [0,1)");
+    const double cut = quantileSorted(sorted_, q);
+    auto full = plot();
+    std::vector<std::pair<double, double>> out;
+    for (const auto &p : full) {
+        if (p.first >= cut)
+            out.push_back(p);
+    }
+    return out;
+}
+
+double
+MeanExcess::tailLinearity(double u) const
+{
+    auto full = plot();
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto &p : full) {
+        if (p.first >= u) {
+            xs.push_back(p.first);
+            ys.push_back(p.second);
+        }
+    }
+    if (xs.size() < 2)
+        return 0.0;
+    return linearLeastSquares(xs, ys).rSquared;
+}
+
+} // namespace stats
+} // namespace statsched

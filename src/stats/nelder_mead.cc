@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Nelder-Mead implementation (Lagarias et al. 1998 formulation, the
+ * algorithm behind Matlab's fminsearch).
+ */
+
+#include "stats/nelder_mead.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+/** A simplex vertex: point plus cached objective value. */
+struct Vertex
+{
+    std::vector<double> x;
+    double f;
+};
+
+std::vector<double>
+centroidExcludingWorst(const std::vector<Vertex> &simplex)
+{
+    const std::size_t n = simplex[0].x.size();
+    std::vector<double> c(n, 0.0);
+    for (std::size_t v = 0; v + 1 < simplex.size(); ++v) {
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] += simplex[v].x[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] /= static_cast<double>(simplex.size() - 1);
+    return c;
+}
+
+std::vector<double>
+affine(const std::vector<double> &base, const std::vector<double> &dir,
+       double t)
+{
+    std::vector<double> out(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        out[i] = base[i] + t * (dir[i] - base[i]);
+    return out;
+}
+
+} // anonymous namespace
+
+NelderMeadResult
+nelderMeadMinimize(const std::function<double(
+                       const std::vector<double> &)> &objective,
+                   const std::vector<double> &start,
+                   const NelderMeadOptions &options)
+{
+    STATSCHED_ASSERT(!start.empty(), "empty starting point");
+    const std::size_t n = start.size();
+
+    // fminsearch-style initial simplex: perturb each coordinate by 5%,
+    // or by 0.00025 when the coordinate is zero.
+    std::vector<Vertex> simplex;
+    simplex.reserve(n + 1);
+    simplex.push_back({start, objective(start)});
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> p(start);
+        if (p[i] != 0.0)
+            p[i] *= 1.05;
+        else
+            p[i] = 0.00025;
+        simplex.push_back({p, objective(p)});
+    }
+
+    auto by_value = [](const Vertex &a, const Vertex &b) {
+        return a.f < b.f;
+    };
+
+    NelderMeadResult result;
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+        std::sort(simplex.begin(), simplex.end(), by_value);
+
+        // Convergence: max coordinate spread and value spread.
+        double max_dx = 0.0;
+        for (std::size_t v = 1; v < simplex.size(); ++v) {
+            for (std::size_t i = 0; i < n; ++i) {
+                max_dx = std::max(
+                    max_dx,
+                    std::fabs(simplex[v].x[i] - simplex[0].x[i]));
+            }
+        }
+        const double df = std::fabs(simplex.back().f - simplex.front().f);
+        if (max_dx <= options.tolX && df <= options.tolF) {
+            result.converged = true;
+            result.iterations = iter;
+            break;
+        }
+        result.iterations = iter + 1;
+
+        const auto centroid = centroidExcludingWorst(simplex);
+        Vertex &worst = simplex.back();
+        const double f_best = simplex.front().f;
+        const double f_second_worst = simplex[simplex.size() - 2].f;
+
+        // Reflection.
+        auto xr = affine(centroid, worst.x, -options.reflection);
+        const double fr = objective(xr);
+
+        if (fr < f_best) {
+            // Expansion.
+            auto xe = affine(centroid, worst.x,
+                             -options.reflection * options.expansion);
+            const double fe = objective(xe);
+            if (fe < fr)
+                worst = {std::move(xe), fe};
+            else
+                worst = {std::move(xr), fr};
+            continue;
+        }
+        if (fr < f_second_worst) {
+            worst = {std::move(xr), fr};
+            continue;
+        }
+
+        // Contraction (outside if the reflected point improved on the
+        // worst vertex, inside otherwise).
+        if (fr < worst.f) {
+            auto xc = affine(centroid, xr, options.contraction);
+            const double fc = objective(xc);
+            if (fc <= fr) {
+                worst = {std::move(xc), fc};
+                continue;
+            }
+        } else {
+            auto xc = affine(centroid, worst.x, options.contraction);
+            const double fc = objective(xc);
+            if (fc < worst.f) {
+                worst = {std::move(xc), fc};
+                continue;
+            }
+        }
+
+        // Shrink towards the best vertex.
+        for (std::size_t v = 1; v < simplex.size(); ++v) {
+            simplex[v].x = affine(simplex[0].x, simplex[v].x,
+                                  options.shrink);
+            simplex[v].f = objective(simplex[v].x);
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    result.point = simplex.front().x;
+    result.value = simplex.front().f;
+    return result;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex minimizer.
+ *
+ * The paper estimates the GPD parameters and the UPB confidence
+ * interval with Matlab R2007a's fminsearch(), which is a Nelder-Mead
+ * simplex search. This is a faithful re-implementation with the same
+ * default coefficients (reflection 1, expansion 2, contraction 0.5,
+ * shrink 0.5) and fminsearch's initial simplex construction (5%
+ * perturbation per coordinate, 0.00025 for zero coordinates).
+ */
+
+#ifndef STATSCHED_STATS_NELDER_MEAD_HH
+#define STATSCHED_STATS_NELDER_MEAD_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Options controlling the simplex search.
+ */
+struct NelderMeadOptions
+{
+    double tolX = 1e-10;          //!< simplex size tolerance
+    double tolF = 1e-10;          //!< function value spread tolerance
+    std::size_t maxIterations = 2000;
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+};
+
+/**
+ * Result of a minimization run.
+ */
+struct NelderMeadResult
+{
+    std::vector<double> point;    //!< best point found
+    double value = 0.0;           //!< objective at the best point
+    std::size_t iterations = 0;   //!< iterations performed
+    bool converged = false;       //!< tolerances reached before maxIter
+};
+
+/**
+ * Minimizes an objective over R^n with the Nelder-Mead simplex.
+ *
+ * The objective may return +infinity to signal an infeasible point;
+ * the simplex then contracts away from it, which is how the GPD
+ * likelihood enforces its domain constraints.
+ *
+ * @param objective Function R^n -> R (may return +inf).
+ * @param start     Starting point (defines n; n >= 1).
+ * @param options   Tolerances and coefficients.
+ */
+NelderMeadResult
+nelderMeadMinimize(const std::function<double(
+                       const std::vector<double> &)> &objective,
+                   const std::vector<double> &start,
+                   const NelderMeadOptions &options = {});
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_NELDER_MEAD_HH

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * POT estimation implementation.
+ */
+
+#include "stats/pot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/special_functions.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr double infinity = std::numeric_limits<double>::infinity();
+/** Clamp range for the profiled shape: the GPD likelihood is unbounded
+ *  for xi < -1, so the profile restricts xi to [-1, 0). */
+constexpr double xiFloor = -1.0;
+constexpr double xiCeil = -1e-10;
+
+/**
+ * Golden-section maximization of a unimodal function on [lo, hi].
+ */
+template <typename F>
+double
+goldenSectionMax(F f, double lo, double hi, double tol, int max_iter)
+{
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double a = lo;
+    double b = hi;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+    for (int i = 0; i < max_iter && (b - a) > tol; ++i) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+/**
+ * Bisection for f(x) = 0 on [lo, hi] with f(lo), f(hi) of opposite
+ * sign.
+ */
+template <typename F>
+double
+bisect(F f, double lo, double hi, double tol, int max_iter)
+{
+    double flo = f(lo);
+    for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if ((flo <= 0.0) == (fmid <= 0.0)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // anonymous namespace
+
+double
+gpdLogLikelihoodUpb(double xi, double upb_minus_u,
+                    const std::vector<double> &ys)
+{
+    if (xi >= 0.0 || upb_minus_u <= 0.0)
+        return -infinity;
+    const double m = static_cast<double>(ys.size());
+    double sum_log = 0.0;
+    for (double y : ys) {
+        const double z = 1.0 - y / upb_minus_u;
+        if (z <= 0.0)
+            return -infinity;
+        sum_log += std::log(z);
+    }
+    return -m * std::log(-xi * upb_minus_u)
+        - (1.0 + 1.0 / xi) * sum_log;
+}
+
+std::pair<double, double>
+profileLogLikelihoodUpb(double upb_minus_u, const std::vector<double> &ys)
+{
+    const double m = static_cast<double>(ys.size());
+    double sum_log = 0.0;
+    for (double y : ys) {
+        const double z = 1.0 - y / upb_minus_u;
+        if (z <= 0.0)
+            return {-infinity, xiFloor};
+        sum_log += std::log(z);
+    }
+    // Unconstrained inner maximizer: xi* = mean log(1 - y_i/b).
+    double xi_star = sum_log / m;
+    xi_star = std::clamp(xi_star, xiFloor, xiCeil);
+    const double ll = -m * std::log(-xi_star * upb_minus_u)
+        - (1.0 + 1.0 / xi_star) * sum_log;
+    return {ll, xi_star};
+}
+
+double
+PotEstimate::tailQuantile(double population_fraction) const
+{
+    STATSCHED_ASSERT(population_fraction > 0.0 &&
+                     population_fraction <= exceedanceRate,
+                     "fraction must be within the fitted tail");
+    STATSCHED_ASSERT(valid, "no valid tail fit");
+    const double ratio = population_fraction / exceedanceRate;
+    return threshold + fit.sigma / fit.xi *
+        (std::pow(ratio, -fit.xi) - 1.0);
+}
+
+PotEstimate
+estimateOptimalPerformance(const std::vector<double> &sample,
+                           const PotOptions &options)
+{
+    STATSCHED_ASSERT(options.confidenceLevel > 0.0 &&
+                     options.confidenceLevel < 1.0,
+                     "confidence level out of (0,1)");
+
+    PotEstimate est;
+    est.confidenceLevel = options.confidenceLevel;
+    est.maxObserved = maximum(sample);
+
+    // A sample too small for threshold selection cannot support a
+    // tail estimate; report it as invalid instead of failing, so
+    // iterative callers can simply keep sampling.
+    if (sample.size() < 2 * options.threshold.minExceedances) {
+        est.valid = false;
+        est.upb = infinity;
+        est.upbLower = est.maxObserved;
+        est.upbUpper = infinity;
+        return est;
+    }
+
+    // Step 2: threshold.
+    auto selection = selectThreshold(sample, options.threshold);
+    est.threshold = selection.threshold;
+    est.exceedanceCount = selection.exceedances.size();
+    est.exceedanceRate = static_cast<double>(
+        selection.exceedances.size()) /
+        static_cast<double>(sample.size());
+    est.tailLinearity = selection.tailLinearity;
+    const std::vector<double> &ys = selection.exceedances;
+
+    // Step 3: GPD fit.
+    est.fit = fitGpd(ys, options.estimator);
+
+    // Step 4: UPB point estimate and profile-likelihood CI.
+    const double y_max = maximum(ys);
+
+    if (est.fit.xi >= 0.0) {
+        // The performance of a real system is bounded; a non-negative
+        // shape means the tail did not look bounded to the estimator.
+        // Report the estimate as invalid; the caller may enlarge the
+        // sample or change the threshold.
+        est.valid = false;
+        est.upb = infinity;
+        est.upbLower = est.maxObserved;
+        est.upbUpper = infinity;
+        return est;
+    }
+
+    est.upb = est.threshold - est.fit.sigma / est.fit.xi;
+    est.valid = true;
+
+    // Profile maximization over b = UPB - u. The profile consists of a
+    // clamped branch near b = y_max (inner xi pinned at -1, where
+    // L* = -m log b decreases) followed by the interior stationary
+    // branch that carries the regular maximum, so the search is
+    // restricted to the interior branch: first locate the branch
+    // switch b0 where the unconstrained inner maximizer
+    // xi*(b) = mean log(1 - y_i/b) crosses -1 (xi* increases with b),
+    // then golden-section on [b0, b_hi].
+    auto profile = [&ys](double b) {
+        return profileLogLikelihoodUpb(b, ys).first;
+    };
+    auto xi_unconstrained = [&ys](double b) {
+        double s = 0.0;
+        for (double y : ys)
+            s += std::log(1.0 - y / b);
+        return s / static_cast<double>(ys.size());
+    };
+    const double b_point = est.upb - est.threshold;
+    const double b_lo = y_max * (1.0 + 1e-9);
+    const double b_hi = std::max(b_point * 8.0, y_max * 16.0);
+
+    double b_interior = b_lo;
+    if (xi_unconstrained(b_lo) < xiFloor) {
+        b_interior = bisect(
+            [&xi_unconstrained](double b) {
+                return xi_unconstrained(b) - xiFloor;
+            },
+            b_lo, b_hi, y_max * 1e-12, 200);
+    }
+    const double b_hat = goldenSectionMax(profile, b_interior, b_hi,
+                                          y_max * 1e-10, 400);
+    est.profileMaxLogLik = profile(b_hat);
+
+    // Wilks cut: L*(UPB) >= Lmax - chi2(1-alpha, 1) / 2.
+    const double cut = est.profileMaxLogLik -
+        0.5 * chiSquaredQuantile(options.confidenceLevel, 1.0);
+    auto above_cut = [&profile, cut](double b) {
+        return profile(b) - cut;
+    };
+
+    // Lower bound: between the best observation and b_hat. The UPB can
+    // never undershoot the best observed assignment.
+    if (above_cut(b_lo) >= 0.0) {
+        est.upbLower = est.maxObserved;
+    } else {
+        const double b_root = bisect(above_cut, b_lo, b_hat,
+                                     y_max * 1e-9, 200);
+        est.upbLower = std::max(est.threshold + b_root,
+                                est.maxObserved);
+    }
+
+    // Upper bound: expand geometrically until the profile drops below
+    // the cut; it converges to the exponential-model likelihood, so it
+    // may stay above the cut forever (unbounded CI).
+    double b_up = std::max(b_hat * 2.0, y_max * 2.0);
+    bool bounded = false;
+    for (int i = 0; i < 60; ++i) {
+        if (above_cut(b_up) < 0.0) {
+            bounded = true;
+            break;
+        }
+        b_up *= 2.0;
+    }
+    if (bounded) {
+        const double b_root = bisect(above_cut, b_hat, b_up,
+                                     y_max * 1e-9, 200);
+        est.upbUpper = est.threshold + b_root;
+    } else {
+        est.upbUpper = infinity;
+    }
+
+    return est;
+}
+
+std::vector<std::pair<double, double>>
+profileCurve(const PotEstimate &estimate, const std::vector<double> &ys,
+             double lo, double hi, std::size_t points)
+{
+    STATSCHED_ASSERT(points >= 2, "need at least two curve points");
+    STATSCHED_ASSERT(hi > lo, "empty curve range");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double upb = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(points - 1);
+        const double b = upb - estimate.threshold;
+        out.emplace_back(upb, profileLogLikelihoodUpb(b, ys).first);
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Peaks-Over-Threshold estimation of the optimal system performance
+ * (Section 3.3 of the paper).
+ *
+ * Given the measured performance of a sample of iid random task
+ * assignments, the four steps of the paper are:
+ *
+ *  1. (Done by the caller / core::Sampler) collect the sample.
+ *  2. Select a threshold u — see stats/threshold.hh.
+ *  3. Fit a GPD to the exceedances y_i = x_i - u by maximum
+ *     likelihood — see stats/gpd_fit.hh.
+ *  4. Estimate the Upper Performance Bound UPB = u - sigma/xi (valid
+ *     for xi < 0) and its confidence interval via the likelihood-ratio
+ *     test: reparametrize the GPD in (xi, UPB), profile the
+ *     log-likelihood over xi, and apply Wilks' theorem — the interval
+ *     is { UPB : L*(UPB) > Lmax - chi2(1-alpha, 1)/2 }.
+ *
+ * The inner profile maximization has the closed form
+ * xi*(UPB) = mean_i log(1 - y_i/(UPB - u)), clamped to [-1, 0) where
+ * the GPD likelihood is bounded; the outer maximization and the two
+ * CI roots are found numerically (golden section + bisection), which
+ * mirrors the paper's iterative fminsearch procedure.
+ */
+
+#ifndef STATSCHED_STATS_POT_HH
+#define STATSCHED_STATS_POT_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "stats/gpd_fit.hh"
+#include "stats/threshold.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Options for the POT estimation.
+ */
+struct PotOptions
+{
+    ThresholdOptions threshold;
+    GpdEstimator estimator = GpdEstimator::MaximumLikelihood;
+    /** Confidence level for the UPB interval, e.g. 0.95. */
+    double confidenceLevel = 0.95;
+};
+
+/**
+ * Result of the POT estimation of the optimal performance.
+ */
+struct PotEstimate
+{
+    double threshold = 0.0;        //!< selected u
+    std::size_t exceedanceCount = 0;
+    GpdFit fit;                    //!< fitted (xi, sigma)
+    double maxObserved = 0.0;      //!< best assignment in the sample
+
+    double upb = 0.0;              //!< point estimate u - sigma/xi
+    double upbLower = 0.0;         //!< CI lower bound (>= maxObserved)
+    double upbUpper = 0.0;         //!< CI upper bound (may be +inf)
+    double confidenceLevel = 0.95;
+
+    double profileMaxLogLik = 0.0; //!< L(xi-hat, UPB-hat)
+    double tailLinearity = 0.0;    //!< mean-excess R^2 above u
+    bool valid = false;            //!< xi-hat < 0 and fit converged
+
+    /**
+     * Relative headroom of the best observed assignment:
+     * (upb - maxObserved) / upb. This is the "estimated possible
+     * performance improvement" of Figure 12.
+     */
+    double improvementHeadroom() const
+    { return upb > 0.0 ? (upb - maxObserved) / upb : 0.0; }
+
+    /** Fraction of the sample above the threshold (zeta_u). */
+    double exceedanceRate = 0.0;
+
+    /**
+     * Estimated performance of the best `population_fraction` of all
+     * assignments (e.g. 0.01 = the top 1% boundary), from the fitted
+     * tail: the (1 - fraction) population quantile
+     *
+     *   x_f = u + (sigma/xi) ((fraction/zeta_u)^(-xi) - 1) .
+     *
+     * Section 3.2 of the paper derives these boundaries from the
+     * exhaustive CDF; the fitted tail provides them from a sample.
+     *
+     * @param population_fraction Tail fraction in (0, exceedanceRate].
+     */
+    double tailQuantile(double population_fraction) const;
+};
+
+/**
+ * Log-likelihood of exceedances in the (xi, UPB) parametrization of
+ * the paper (Step 4(iii)):
+ *
+ *   L(xi, UPB | y) = -m log(-xi (UPB - u))
+ *                    - (1 + 1/xi) sum log(1 - y_i / (UPB - u))
+ *
+ * Returns -infinity outside the feasible region (xi >= 0 or
+ * UPB - u <= max y).
+ *
+ * @param xi          Shape, must be < 0 for a finite result.
+ * @param upb_minus_u UPB - u, must exceed every exceedance.
+ * @param ys          Exceedances.
+ */
+double gpdLogLikelihoodUpb(double xi, double upb_minus_u,
+                           const std::vector<double> &ys);
+
+/**
+ * Profile log-likelihood L*(UPB) = max_xi L(xi, UPB | y), with xi
+ * restricted to [-1, 0) where the likelihood is bounded.
+ *
+ * @param upb_minus_u UPB - u, must exceed every exceedance.
+ * @param ys          Exceedances.
+ * @return the pair (L*, argmax xi).
+ */
+std::pair<double, double>
+profileLogLikelihoodUpb(double upb_minus_u, const std::vector<double> &ys);
+
+/**
+ * Runs steps 2-4 of the POT method on a raw performance sample.
+ *
+ * @param sample  Measured performance of the random task assignments.
+ * @param options Threshold / estimator / confidence configuration.
+ */
+PotEstimate estimateOptimalPerformance(const std::vector<double> &sample,
+                                       const PotOptions &options = {});
+
+/**
+ * Points of the profile log-likelihood curve (Figure 7): pairs
+ * (UPB, L*(UPB)) over [lo, hi].
+ *
+ * @param estimate A previously computed POT estimate (for u and ys).
+ * @param ys       The exceedances used in the estimate.
+ * @param lo       Lowest UPB to evaluate (> max observed).
+ * @param hi       Highest UPB to evaluate.
+ * @param points   Number of curve points (>= 2).
+ */
+std::vector<std::pair<double, double>>
+profileCurve(const PotEstimate &estimate, const std::vector<double> &ys,
+             double lo, double hi, std::size_t points);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_POT_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Special function implementations.
+ *
+ * The incomplete gamma function uses the classic split: a power series
+ * for x < a + 1 and a Lentz continued fraction otherwise (Numerical
+ * Recipes style). The inverse uses a Wilson-Hilferty starting guess
+ * refined by Newton iterations on P(a, x).
+ */
+
+#include "stats/special_functions.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr int maxIterations = 500;
+constexpr double epsilon = 1e-15;
+constexpr double tiny = 1e-300;
+
+/**
+ * Lower incomplete gamma by power series; valid and fast for x < a + 1.
+ */
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int i = 0; i < maxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * epsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/**
+ * Upper incomplete gamma by modified Lentz continued fraction; valid for
+ * x >= a + 1.
+ */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= maxIterations; ++i) {
+        double an = -i * (i - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < epsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // anonymous namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
+    STATSCHED_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+regularizedGammaQ(double a, double x)
+{
+    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
+    STATSCHED_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaPSeries(a, x);
+    return gammaQContinuedFraction(a, x);
+}
+
+double
+inverseGammaP(double a, double p)
+{
+    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
+    STATSCHED_ASSERT(p >= 0.0 && p < 1.0, "probability out of [0,1)");
+    if (p == 0.0)
+        return 0.0;
+
+    // Wilson-Hilferty approximation as a starting point.
+    double g = std::lgamma(a);
+    double x;
+    if (a > 1.0) {
+        double z = normalQuantile(p);
+        double t = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a));
+        x = a * t * t * t;
+        if (x <= 0.0)
+            x = 1e-8;
+    } else {
+        double t = 1.0 - a * (0.253 + a * 0.12);
+        if (p < t)
+            x = std::pow(p / t, 1.0 / a);
+        else
+            x = 1.0 - std::log(1.0 - (p - t) / (1.0 - t));
+    }
+
+    // Newton refinement on P(a, x) - p = 0; the derivative is the gamma
+    // density. Halve the step when it would leave the domain.
+    for (int i = 0; i < 60; ++i) {
+        if (x <= 0.0)
+            x = 0.5 * (x + 1e-12);
+        double err = regularizedGammaP(a, x) - p;
+        double density =
+            std::exp(-x + (a - 1.0) * std::log(x) - g);
+        if (density <= 0.0)
+            break;
+        double step = err / density;
+        double next = x - step;
+        if (next <= 0.0)
+            next = 0.5 * x;
+        if (std::fabs(next - x) < 1e-14 * (x + 1e-14)) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    return x;
+}
+
+double
+chiSquaredCdf(double x, double df)
+{
+    STATSCHED_ASSERT(df > 0.0, "degrees of freedom must be positive");
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(0.5 * df, 0.5 * x);
+}
+
+double
+chiSquaredQuantile(double p, double df)
+{
+    STATSCHED_ASSERT(df > 0.0, "degrees of freedom must be positive");
+    return 2.0 * inverseGammaP(0.5 * df, p);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+normalQuantile(double p)
+{
+    STATSCHED_ASSERT(p > 0.0 && p < 1.0, "probability out of (0,1)");
+
+    // Acklam's rational approximation.
+    static const double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00
+    };
+    static const double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01
+    };
+    static const double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00, 2.938163982698783e+00
+    };
+    static const double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00
+    };
+    const double plow = 0.02425;
+    const double phigh = 1.0 - plow;
+
+    double x;
+    if (p < plow) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+             + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= phigh) {
+        double q = p - 0.5;
+        double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+             + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+             + 1.0);
+    } else {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+              + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step using the normal CDF.
+    double e = normalCdf(x) - p;
+    double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+} // namespace stats
+} // namespace statsched

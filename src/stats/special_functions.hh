@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Special mathematical functions needed by the statistical machinery.
+ *
+ * The profile-likelihood confidence interval of the paper (Section 3.3.2,
+ * Step 4) cuts the profile log-likelihood at half the (1-alpha) quantile
+ * of a chi-squared distribution with one degree of freedom (Wilks'
+ * theorem). These routines provide the regularized incomplete gamma
+ * function and its inverse, from which chi-squared CDF/quantiles follow,
+ * plus the standard normal CDF/quantile used by tests and diagnostics.
+ *
+ * Implemented from scratch (series + continued fraction + Newton), no
+ * external statistics dependencies.
+ */
+
+#ifndef STATSCHED_STATS_SPECIAL_FUNCTIONS_HH
+#define STATSCHED_STATS_SPECIAL_FUNCTIONS_HH
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Regularized lower incomplete gamma function P(a, x).
+ *
+ * @param a Shape parameter, a > 0.
+ * @param x Evaluation point, x >= 0.
+ * @return P(a, x) in [0, 1].
+ */
+double regularizedGammaP(double a, double x);
+
+/**
+ * Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+ */
+double regularizedGammaQ(double a, double x);
+
+/**
+ * Inverse of P(a, .): returns x such that P(a, x) = p.
+ *
+ * @param a Shape parameter, a > 0.
+ * @param p Probability in [0, 1).
+ */
+double inverseGammaP(double a, double p);
+
+/**
+ * Chi-squared cumulative distribution function.
+ *
+ * @param x  Evaluation point, x >= 0.
+ * @param df Degrees of freedom, df > 0.
+ */
+double chiSquaredCdf(double x, double df);
+
+/**
+ * Chi-squared quantile function (inverse CDF).
+ *
+ * chiSquaredQuantile(0.95, 1) == 3.8414588... is the cut level used for
+ * the paper's 0.95 UPB confidence intervals.
+ *
+ * @param p  Probability in [0, 1).
+ * @param df Degrees of freedom, df > 0.
+ */
+double chiSquaredQuantile(double p, double df);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double x);
+
+/**
+ * Standard normal quantile function (inverse CDF), Acklam/Newton
+ * refined to near machine precision.
+ *
+ * @param p Probability in (0, 1).
+ */
+double normalQuantile(double p);
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_SPECIAL_FUNCTIONS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * POT threshold selection (Section 3.3.2, Step 2 of the paper).
+ *
+ * Two policies are provided:
+ *
+ *  - FixedFraction: take exactly the top `fraction` of the sample as
+ *    exceedances (the paper's 5% rule: 50/100/250 exceedances for
+ *    samples of 1000/2000/5000).
+ *  - LinearityScan: automate the Gilli-Kellezi graphical method — scan
+ *    candidate thresholds whose exceedance count stays within the 5%
+ *    cap and pick the one whose tail mean-excess plot is most linear
+ *    (highest least-squares R^2), subject to a minimum exceedance
+ *    count so the fit remains stable.
+ */
+
+#ifndef STATSCHED_STATS_THRESHOLD_HH
+#define STATSCHED_STATS_THRESHOLD_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/**
+ * Threshold selection policy.
+ */
+enum class ThresholdPolicy
+{
+    FixedFraction,  //!< top `maxExceedanceFraction` of the sample
+    LinearityScan   //!< most linear tail within the 5% cap
+};
+
+/**
+ * Configuration of the threshold selection.
+ */
+struct ThresholdOptions
+{
+    ThresholdPolicy policy = ThresholdPolicy::FixedFraction;
+    /** Upper limit on exceedances as a fraction of the sample (the
+     *  "no more than 5%" rule of the paper). */
+    double maxExceedanceFraction = 0.05;
+    /** Minimum number of exceedances a candidate must keep (scan
+     *  mode); also the floor for fixed-fraction mode. */
+    std::size_t minExceedances = 20;
+    /** Number of candidate thresholds evaluated in scan mode. */
+    std::size_t scanCandidates = 25;
+};
+
+/**
+ * A selected threshold and the exceedances above it.
+ */
+struct ThresholdSelection
+{
+    double threshold = 0.0;            //!< u
+    std::vector<double> exceedances;   //!< y_i = x_i - u, all > 0
+    double tailLinearity = 0.0;        //!< mean-excess R^2 above u
+};
+
+/**
+ * Selects the POT threshold for a sample of performance observations.
+ *
+ * @param sample  Raw observations (any order); must contain at least
+ *                2 * minExceedances values.
+ * @param options Selection policy and limits.
+ */
+ThresholdSelection
+selectThreshold(const std::vector<double> &sample,
+                const ThresholdOptions &options = {});
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_THRESHOLD_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Assignment representation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assignment.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::core;
+using statsched::stats::Rng;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(Assignment, ValidityChecks)
+{
+    EXPECT_TRUE(Assignment::isValid(t2, {0, 1, 2}));
+    EXPECT_TRUE(Assignment::isValid(t2, {63, 0, 31}));
+    // Duplicate context.
+    EXPECT_FALSE(Assignment::isValid(t2, {5, 5}));
+    // Out of range.
+    EXPECT_FALSE(Assignment::isValid(t2, {64}));
+}
+
+TEST(Assignment, AccessorsAndGrouping)
+{
+    // Task 0 -> ctx 0 (core 0, pipe 0); task 1 -> ctx 4 (core 0,
+    // pipe 1); task 2 -> ctx 8 (core 1, pipe 2).
+    const Assignment a(t2, {0, 4, 8});
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.contextOf(0), 0u);
+    EXPECT_EQ(a.coreOf(0), 0u);
+    EXPECT_EQ(a.coreOf(1), 0u);
+    EXPECT_EQ(a.coreOf(2), 1u);
+    EXPECT_EQ(a.pipeOf(1), 1u);
+
+    const auto by_pipe = a.tasksByPipe();
+    ASSERT_EQ(by_pipe.size(), 16u);
+    EXPECT_EQ(by_pipe[0], (std::vector<TaskId>{0}));
+    EXPECT_EQ(by_pipe[1], (std::vector<TaskId>{1}));
+    EXPECT_EQ(by_pipe[2], (std::vector<TaskId>{2}));
+
+    const auto by_core = a.tasksByCore();
+    ASSERT_EQ(by_core.size(), 8u);
+    EXPECT_EQ(by_core[0], (std::vector<TaskId>{0, 1}));
+    EXPECT_EQ(by_core[1], (std::vector<TaskId>{2}));
+}
+
+TEST(Assignment, PaperStyleToString)
+{
+    // {[a][]}{[bc][]} from Section 2 of the paper: a alone on one
+    // core, b and c inside one pipe of another core.
+    const Assignment a(t2, {0, 8, 9});
+    EXPECT_EQ(a.toString(), "{[t0][]}{[t1 t2][]}");
+}
+
+TEST(Assignment, CanonicalKeyInvariantUnderCorePermutation)
+{
+    // Same structure placed on different physical cores.
+    const Assignment a(t2, {0, 8, 9});
+    const Assignment b(t2, {56, 16, 17});   // cores 7 and 2
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Assignment, CanonicalKeyInvariantUnderPipeSwap)
+{
+    // b, c in pipe 0 of core 1 vs pipe 1 of core 1.
+    const Assignment a(t2, {0, 8, 9});
+    const Assignment b(t2, {0, 12, 13});
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Assignment, CanonicalKeyInvariantUnderStrandShuffle)
+{
+    const Assignment a(t2, {0, 1, 2});
+    const Assignment b(t2, {3, 0, 1});
+    // Same pipe, different strands and order: same multiset per
+    // pipe... but tasks map to different strands, which is
+    // irrelevant. Keys must match because the task sets per pipe
+    // are equal.
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Assignment, CanonicalKeyDistinguishesStructures)
+{
+    // Tasks together in one pipe vs split across pipes of one core.
+    const Assignment together(t2, {0, 1});
+    const Assignment split(t2, {0, 4});
+    const Assignment cross_core(t2, {0, 8});
+    EXPECT_NE(together.canonicalKey(), split.canonicalKey());
+    EXPECT_NE(split.canonicalKey(), cross_core.canonicalKey());
+    EXPECT_NE(together.canonicalKey(), cross_core.canonicalKey());
+}
+
+TEST(Assignment, CanonicalKeyDistinguishesTaskIdentity)
+{
+    // Task identity matters (heterogeneous tasks): {t0}{t1 t2} is
+    // not {t1}{t0 t2}.
+    const Assignment a(t2, {0, 8, 9});
+    const Assignment b(t2, {8, 0, 9});
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+}
+
+TEST(Assignment, RandomizedCanonicalInvariance)
+{
+    // Apply random hardware symmetries to a random assignment; the
+    // key never changes.
+    Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<ContextId> ctx;
+        while (ctx.size() < 10) {
+            const ContextId c =
+                static_cast<ContextId>(rng.uniformInt(64));
+            bool dup = false;
+            for (ContextId e : ctx)
+                dup |= (e == c);
+            if (!dup)
+                ctx.push_back(c);
+        }
+        const Assignment base(t2, ctx);
+
+        // Random core permutation.
+        std::vector<std::uint32_t> core_perm(8);
+        for (std::uint32_t i = 0; i < 8; ++i)
+            core_perm[i] = i;
+        for (std::size_t i = 7; i > 0; --i) {
+            std::swap(core_perm[i],
+                      core_perm[rng.uniformInt(i + 1)]);
+        }
+        // Random pipe swap mask per core, strand rotation per pipe.
+        std::vector<ContextId> mapped(ctx.size());
+        for (std::size_t t = 0; t < ctx.size(); ++t) {
+            const std::uint32_t core = t2.coreOf(ctx[t]);
+            std::uint32_t pipe_in_core = t2.pipeInCore(ctx[t]);
+            const std::uint32_t strand = t2.strandOf(ctx[t]);
+            if ((rng.next() >> 13) & 1)
+                pipe_in_core ^= 0;   // keep
+            const std::uint32_t new_core = core_perm[core];
+            mapped[t] = (new_core * 2 + pipe_in_core) * 4 + strand;
+        }
+        const Assignment permuted(t2, mapped);
+        EXPECT_EQ(base.canonicalKey(), permuted.canonicalKey());
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Assignment-space counting tests, anchored to Table 1 of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assignment_space.hh"
+#include "core/enumerator.hh"
+
+namespace
+{
+
+using namespace statsched::core;
+using statsched::num::BigUint;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(AssignmentSpace, CoreArrangementsSmallValues)
+{
+    const AssignmentSpace space(t2);
+    // Hand-derived for 2 pipes x 4 strands:
+    // c(1)=1, c(2)=2, c(3)=4, c(4)=8, c(5)=15, c(6)=25, c(7)=35,
+    // c(8)=35.
+    EXPECT_EQ(space.coreArrangements(0).toUint64(), 1u);
+    EXPECT_EQ(space.coreArrangements(1).toUint64(), 1u);
+    EXPECT_EQ(space.coreArrangements(2).toUint64(), 2u);
+    EXPECT_EQ(space.coreArrangements(3).toUint64(), 4u);
+    EXPECT_EQ(space.coreArrangements(4).toUint64(), 8u);
+    EXPECT_EQ(space.coreArrangements(5).toUint64(), 15u);
+    EXPECT_EQ(space.coreArrangements(6).toUint64(), 25u);
+    EXPECT_EQ(space.coreArrangements(7).toUint64(), 35u);
+    EXPECT_EQ(space.coreArrangements(8).toUint64(), 35u);
+}
+
+TEST(AssignmentSpace, PaperThreeTaskExample)
+{
+    // Section 2: "When the workload is comprised of 3 tasks, the
+    // number of possible task assignments is 11."
+    const AssignmentSpace space(t2);
+    EXPECT_EQ(space.countAssignments(3).toUint64(), 11u);
+}
+
+TEST(AssignmentSpace, MatchesExhaustiveEnumeration)
+{
+    const AssignmentSpace space(t2);
+    for (std::uint32_t tasks = 1; tasks <= 6; ++tasks) {
+        const AssignmentEnumerator enumerator(t2, tasks);
+        EXPECT_EQ(space.countAssignments(tasks).toUint64(),
+                  enumerator.count()) << tasks;
+    }
+}
+
+TEST(AssignmentSpace, Table1Magnitudes)
+{
+    // The Table 1 rows: counts grow from ~1.5e3 (6 tasks) to ~e58
+    // (60 tasks). Digit counts pin the magnitudes.
+    const AssignmentSpace space(t2);
+    EXPECT_EQ(space.countAssignments(6).toUint64(), 1526u);
+    EXPECT_EQ(space.countAssignments(9).toUint64(), 592573u);
+    EXPECT_EQ(space.countAssignments(12).digitCount(), 9u);  // ~4.6e8
+    EXPECT_EQ(space.countAssignments(15).digitCount(), 12u); // ~6e11
+    EXPECT_EQ(space.countAssignments(18).digitCount(), 16u); // ~1e15
+    EXPECT_EQ(space.countAssignments(60).digitCount(), 59u); // ~5e58
+}
+
+TEST(AssignmentSpace, SixtyTaskExecutionTimeMatchesPaper)
+{
+    // 1 second per assignment -> 1.75e51 years (the paper's value).
+    const AssignmentSpace space(t2);
+    const BigUint count = space.countAssignments(60);
+    const BigUint years = count / BigUint(31557600u);
+    EXPECT_EQ(years.toScientific(2), "1.74e51");
+}
+
+TEST(AssignmentSpace, LabeledPlacements)
+{
+    const AssignmentSpace space(t2);
+    // V * (V-1) * ... ordered placements.
+    EXPECT_EQ(space.countLabeledPlacements(1).toUint64(), 64u);
+    EXPECT_EQ(space.countLabeledPlacements(2).toUint64(),
+              64u * 63u);
+    EXPECT_EQ(space.countLabeledPlacements(3).toUint64(),
+              64u * 63u * 62u);
+}
+
+TEST(AssignmentSpace, FullChipCount)
+{
+    // All 64 contexts busy: the count equals 64! / (8! * (2!*(4!)^2
+    // per-core symmetry)...) — at minimum it must be huge and exact.
+    const AssignmentSpace space(t2);
+    const BigUint full = space.countAssignments(64);
+    EXPECT_GT(full.digitCount(), 55u);
+    // Monotone growth in workload size until well past half load.
+    BigUint prev;
+    for (std::uint32_t t = 1; t <= 40; ++t) {
+        const BigUint cur = space.countAssignments(t);
+        EXPECT_GT(cur, prev) << t;
+        prev = cur;
+    }
+}
+
+TEST(AssignmentSpace, TinyTopologies)
+{
+    // 1 core, 1 pipe, 2 strands: any task set has exactly one
+    // arrangement.
+    const AssignmentSpace tiny({1, 1, 2});
+    EXPECT_EQ(tiny.countAssignments(1).toUint64(), 1u);
+    EXPECT_EQ(tiny.countAssignments(2).toUint64(), 1u);
+
+    // 2 cores, 1 pipe, 1 strand: 2 tasks have exactly one split.
+    const AssignmentSpace pair({2, 1, 1});
+    EXPECT_EQ(pair.countAssignments(1).toUint64(), 1u);
+    EXPECT_EQ(pair.countAssignments(2).toUint64(), 1u);
+
+    // 2 cores x 1 pipe x 2 strands, 2 tasks: together or split = 2.
+    const AssignmentSpace small({2, 1, 2});
+    EXPECT_EQ(small.countAssignments(2).toUint64(), 2u);
+}
+
+TEST(AssignmentSpace, ThreePipeCoreDp)
+{
+    // 1 core with 3 pipes x 1 strand: 3 tasks must occupy all three
+    // pipes -> exactly 1 arrangement; 2 tasks -> 1 (two unlabeled
+    // singleton pipes).
+    const AssignmentSpace space({1, 3, 1});
+    EXPECT_EQ(space.countAssignments(2).toUint64(), 1u);
+    EXPECT_EQ(space.countAssignments(3).toUint64(), 1u);
+
+    // 1 core, 3 pipes x 2 strands, 3 tasks: partitions of 3 tasks
+    // into <= 3 unlabeled pipes of <= 2: {a|b|c}, {ab|c}, {ac|b},
+    // {bc|a} -> 4.
+    const AssignmentSpace wide({1, 3, 2});
+    EXPECT_EQ(wide.countAssignments(3).toUint64(), 4u);
+}
+
+} // anonymous namespace

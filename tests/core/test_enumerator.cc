@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Exhaustive enumerator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/enumerator.hh"
+
+namespace
+{
+
+using namespace statsched::core;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(Enumerator, CountsMatchPaper)
+{
+    EXPECT_EQ(AssignmentEnumerator(t2, 3).count(), 11u);
+    // "the total number of possible task assignments is around 1500"
+    // for the 6-thread workloads of Figures 1 and 3.
+    EXPECT_EQ(AssignmentEnumerator(t2, 6).count(), 1526u);
+}
+
+TEST(Enumerator, EmitsDistinctCanonicalClasses)
+{
+    for (std::uint32_t tasks : {2u, 3u, 4u, 5u}) {
+        const AssignmentEnumerator enumerator(t2, tasks);
+        std::set<std::string> keys;
+        std::uint64_t visited = enumerator.forEach(
+            [&keys](const Assignment &a) {
+                keys.insert(a.canonicalKey());
+                return true;
+            });
+        EXPECT_EQ(keys.size(), visited) << tasks;
+    }
+}
+
+TEST(Enumerator, AssignmentsAreValidAndComplete)
+{
+    const AssignmentEnumerator enumerator(t2, 4);
+    enumerator.forEach([](const Assignment &a) {
+        EXPECT_EQ(a.size(), 4u);
+        EXPECT_TRUE(Assignment::isValid(a.topology(), a.contexts()));
+        return true;
+    });
+}
+
+TEST(Enumerator, EarlyStop)
+{
+    const AssignmentEnumerator enumerator(t2, 6);
+    int seen = 0;
+    const std::uint64_t visited = enumerator.forEach(
+        [&seen](const Assignment &) {
+            return ++seen < 10;
+        });
+    EXPECT_EQ(visited, 10u);
+    EXPECT_EQ(seen, 10);
+}
+
+TEST(Enumerator, EnumerateAllMaterializes)
+{
+    const auto all = AssignmentEnumerator(t2, 3).enumerateAll();
+    EXPECT_EQ(all.size(), 11u);
+}
+
+TEST(Enumerator, DeterministicOrder)
+{
+    const auto a = AssignmentEnumerator(t2, 4).enumerateAll();
+    const auto b = AssignmentEnumerator(t2, 4).enumerateAll();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].contexts(), b[i].contexts());
+}
+
+TEST(Enumerator, TinyTopologyFullLoad)
+{
+    // 2 cores x 1 pipe x 2 strands, 4 tasks fill the machine:
+    // partitions of {a,b,c,d} into two unlabeled pairs = 3.
+    const Topology tiny{2, 1, 2};
+    EXPECT_EQ(AssignmentEnumerator(tiny, 4).count(), 3u);
+}
+
+TEST(Enumerator, SingleTask)
+{
+    EXPECT_EQ(AssignmentEnumerator(t2, 1).count(), 1u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Local-search refinement tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hh"
+#include "core/local_search.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+using core::Assignment;
+using core::Topology;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+/** Engine rewarding spread: distinct pipes used. */
+class PipeSpreadEngine : public core::PerformanceEngine
+{
+  public:
+    double
+    measure(const Assignment &assignment) override
+    {
+        std::vector<bool> used(assignment.topology().pipes(), false);
+        for (core::TaskId t = 0; t < assignment.size(); ++t)
+            used[assignment.pipeOf(t)] = true;
+        double v = 0.0;
+        for (bool u : used)
+            v += u ? 1.0 : 0.0;
+        return v;
+    }
+
+    std::string name() const override { return "pipe-spread"; }
+};
+
+TEST(LocalSearch, ClimbsToTheSpreadOptimum)
+{
+    // Start fully packed; the optimum uses 6 distinct pipes.
+    PipeSpreadEngine engine;
+    const Assignment packed = core::packedAssignment(t2, 6);
+    ASSERT_EQ(engine.measure(packed), 2.0);
+
+    core::LocalSearchOptions options;
+    options.budget = 2000;
+    options.movesPerRound = 12;
+    options.patience = 20;
+    const auto result =
+        core::localSearchRefine(engine, packed, options);
+    EXPECT_DOUBLE_EQ(result.bestPerformance, 6.0);
+    EXPECT_GT(result.improvements, 0u);
+}
+
+TEST(LocalSearch, NeverReturnsWorseThanStart)
+{
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(sim::Benchmark::IpfwdL1, 8));
+    core::RandomAssignmentSampler sampler(t2, 24, 17);
+    const Assignment start = sampler.draw();
+    const double start_value = engine.deterministic(start);
+
+    core::LocalSearchOptions options;
+    options.budget = 150;
+    const auto result =
+        core::localSearchRefine(engine, start, options);
+    EXPECT_GE(result.bestPerformance, start_value * 0.999);
+    EXPECT_LE(result.measurements, 150u);
+    EXPECT_TRUE(Assignment::isValid(t2, result.best.contexts()));
+}
+
+TEST(LocalSearch, RespectsBudget)
+{
+    sim::SimulatedEngine inner(
+        sim::makeWorkload(sim::Benchmark::Stateful, 8));
+    core::MeteredEngine engine(inner);
+    core::RandomAssignmentSampler sampler(t2, 24, 18);
+    core::LocalSearchOptions options;
+    options.budget = 73;
+    options.patience = 1000;
+    core::localSearchRefine(engine, sampler.draw(), options);
+    EXPECT_LE(engine.measurementCount(), 73u);
+}
+
+TEST(LocalSearch, ImprovesRandomStartsOnTheSimulator)
+{
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(sim::Benchmark::IpfwdIntAdd, 2));
+    core::RandomAssignmentSampler sampler(t2, 6, 19);
+    // A mediocre random start should be improvable.
+    Assignment start = sampler.draw();
+    core::LocalSearchOptions options;
+    options.budget = 600;
+    options.patience = 10;
+    const auto result =
+        core::localSearchRefine(engine, start, options);
+    EXPECT_GT(result.bestPerformance,
+              engine.deterministic(start) * 0.999);
+}
+
+TEST(LocalSearch, FullMachineFallsBackToSwaps)
+{
+    PipeSpreadEngine engine;
+    const Assignment full = core::packedAssignment(t2, 64);
+    core::LocalSearchOptions options;
+    options.budget = 60;
+    const auto result =
+        core::localSearchRefine(engine, full, options);
+    // All pipes are necessarily used; no crash, no regression.
+    EXPECT_DOUBLE_EQ(result.bestPerformance, 16.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cross-topology property sweeps: counting, enumeration, sampling
+ * and canonicalization must agree on any processor shape (the
+ * paper's architecture-independence claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/assignment_space.hh"
+#include "core/baselines.hh"
+#include "core/enumerator.hh"
+#include "core/sampler.hh"
+
+namespace
+{
+
+using namespace statsched::core;
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+  protected:
+    Topology
+    topo() const
+    {
+        const auto [c, p, s] = GetParam();
+        return Topology{static_cast<std::uint32_t>(c),
+                        static_cast<std::uint32_t>(p),
+                        static_cast<std::uint32_t>(s)};
+    }
+};
+
+TEST_P(ShapeSweep, CountMatchesEnumerationForSmallWorkloads)
+{
+    const Topology shape = topo();
+    const AssignmentSpace space(shape);
+    const std::uint32_t max_tasks =
+        std::min<std::uint32_t>(5, shape.contexts());
+    for (std::uint32_t t = 1; t <= max_tasks; ++t) {
+        const AssignmentEnumerator enumerator(shape, t);
+        const auto count = space.countAssignments(t);
+        ASSERT_TRUE(count.fitsUint64());
+        EXPECT_EQ(count.toUint64(), enumerator.count())
+            << shape.shapeString() << " t=" << t;
+    }
+}
+
+TEST_P(ShapeSweep, EnumeratorEmitsDistinctClasses)
+{
+    const Topology shape = topo();
+    const std::uint32_t tasks =
+        std::min<std::uint32_t>(4, shape.contexts());
+    const AssignmentEnumerator enumerator(shape, tasks);
+    std::set<std::string> keys;
+    const std::uint64_t visited = enumerator.forEach(
+        [&keys](const Assignment &a) {
+            keys.insert(a.canonicalKey());
+            return true;
+        });
+    EXPECT_EQ(keys.size(), visited) << shape.shapeString();
+}
+
+TEST_P(ShapeSweep, BothSamplersProduceValidAssignments)
+{
+    const Topology shape = topo();
+    // The rejection loop's acceptance collapses as the workload
+    // approaches machine capacity, so it is exercised at quarter
+    // load; Fisher-Yates handles half load on every shape.
+    const std::uint32_t quarter = std::max<std::uint32_t>(
+        1, shape.contexts() / 4);
+    RandomAssignmentSampler rejection(shape, quarter, 31,
+                                      SamplingMethod::RejectionPaper);
+    for (int i = 0; i < 25; ++i) {
+        const Assignment a = rejection.draw();
+        EXPECT_TRUE(Assignment::isValid(shape, a.contexts()));
+    }
+
+    const std::uint32_t half = std::max<std::uint32_t>(
+        1, shape.contexts() / 2);
+    RandomAssignmentSampler fisher(
+        shape, half, 31, SamplingMethod::PartialFisherYates);
+    for (int i = 0; i < 25; ++i) {
+        const Assignment a = fisher.draw();
+        EXPECT_TRUE(Assignment::isValid(shape, a.contexts()));
+    }
+}
+
+TEST_P(ShapeSweep, LinuxLikeStaysBalanced)
+{
+    const Topology shape = topo();
+    for (std::uint32_t tasks = 1; tasks <= shape.contexts();
+         tasks += std::max<std::uint32_t>(1,
+                                          shape.contexts() / 5)) {
+        const Assignment a = linuxLikeAssignment(shape, tasks);
+        std::vector<int> per_core(shape.cores, 0);
+        for (TaskId t = 0; t < tasks; ++t)
+            ++per_core[a.coreOf(t)];
+        const auto [lo, hi] =
+            std::minmax_element(per_core.begin(), per_core.end());
+        EXPECT_LE(*hi - *lo, 1)
+            << shape.shapeString() << " tasks=" << tasks;
+    }
+}
+
+TEST_P(ShapeSweep, LabeledPlacementCountMatchesFormula)
+{
+    const Topology shape = topo();
+    const AssignmentSpace space(shape);
+    const std::uint32_t v = shape.contexts();
+    const std::uint32_t t = std::min<std::uint32_t>(3, v);
+    std::uint64_t expected = 1;
+    for (std::uint32_t i = 0; i < t; ++i)
+        expected *= (v - i);
+    EXPECT_EQ(space.countLabeledPlacements(t).toUint64(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1, 4),
+                      std::make_tuple(2, 1, 2),
+                      std::make_tuple(2, 2, 2),
+                      std::make_tuple(4, 2, 4),
+                      std::make_tuple(8, 2, 4),
+                      std::make_tuple(8, 1, 8),
+                      std::make_tuple(3, 3, 3),
+                      std::make_tuple(16, 4, 2)));
+
+} // anonymous namespace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Topology tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hh"
+
+namespace
+{
+
+using statsched::core::Topology;
+
+TEST(Topology, UltraSparcT2Shape)
+{
+    const Topology t2 = Topology::ultraSparcT2();
+    EXPECT_EQ(t2.cores, 8u);
+    EXPECT_EQ(t2.pipesPerCore, 2u);
+    EXPECT_EQ(t2.strandsPerPipe, 4u);
+    EXPECT_EQ(t2.contexts(), 64u);
+    EXPECT_EQ(t2.pipes(), 16u);
+    EXPECT_EQ(t2.shapeString(), "8x2x4");
+}
+
+TEST(Topology, ContextDecomposition)
+{
+    const Topology t2 = Topology::ultraSparcT2();
+    // Context 0: core 0, pipe 0, strand 0.
+    EXPECT_EQ(t2.coreOf(0), 0u);
+    EXPECT_EQ(t2.pipeOf(0), 0u);
+    EXPECT_EQ(t2.strandOf(0), 0u);
+    // Context 7: core 0, pipe 1 (second pipe), strand 3.
+    EXPECT_EQ(t2.coreOf(7), 0u);
+    EXPECT_EQ(t2.pipeOf(7), 1u);
+    EXPECT_EQ(t2.pipeInCore(7), 1u);
+    EXPECT_EQ(t2.strandOf(7), 3u);
+    // Context 63: core 7, pipe 15, strand 3.
+    EXPECT_EQ(t2.coreOf(63), 7u);
+    EXPECT_EQ(t2.pipeOf(63), 15u);
+    EXPECT_EQ(t2.strandOf(63), 3u);
+}
+
+TEST(Topology, FirstContextOfPipe)
+{
+    const Topology t2 = Topology::ultraSparcT2();
+    EXPECT_EQ(t2.firstContextOfPipe(0), 0u);
+    EXPECT_EQ(t2.firstContextOfPipe(1), 4u);
+    EXPECT_EQ(t2.firstContextOfPipe(15), 60u);
+}
+
+/** Shape sweep: decomposition is a bijection over all contexts. */
+class TopologyShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(TopologyShapes, DecompositionIsConsistent)
+{
+    const auto [cores, pipes, strands] = GetParam();
+    const Topology topo{static_cast<std::uint32_t>(cores),
+                        static_cast<std::uint32_t>(pipes),
+                        static_cast<std::uint32_t>(strands)};
+    for (std::uint32_t ctx = 0; ctx < topo.contexts(); ++ctx) {
+        const std::uint32_t core = topo.coreOf(ctx);
+        const std::uint32_t pipe = topo.pipeOf(ctx);
+        const std::uint32_t strand = topo.strandOf(ctx);
+        EXPECT_LT(core, topo.cores);
+        EXPECT_LT(pipe, topo.pipes());
+        EXPECT_LT(strand, topo.strandsPerPipe);
+        EXPECT_EQ(pipe / topo.pipesPerCore, core);
+        EXPECT_EQ(pipe * topo.strandsPerPipe + strand, ctx);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(2, 2, 2),
+                      std::make_tuple(8, 2, 4),
+                      std::make_tuple(4, 1, 8),
+                      std::make_tuple(16, 4, 2)));
+
+TEST(Topology, Equality)
+{
+    EXPECT_TRUE(Topology::ultraSparcT2() == Topology::ultraSparcT2());
+    EXPECT_FALSE(Topology::ultraSparcT2() == (Topology{4, 2, 4}));
+}
+
+} // anonymous namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pinned-thread engine tests (kept small: they run real threads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hw/pinned_executor.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::hw;
+using core::Assignment;
+using core::Topology;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(PinnedExecutor, HostCpuMappingWraps)
+{
+    const unsigned n =
+        std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_EQ(PinnedThreadEngine::hostCpuOf(0), 0u);
+    EXPECT_EQ(PinnedThreadEngine::hostCpuOf(n), 0u);
+    EXPECT_LT(PinnedThreadEngine::hostCpuOf(63), n);
+}
+
+TEST(PinnedExecutor, MeasuresPositiveThroughput)
+{
+    PinnedOptions options;
+    options.measureMillis = 60;
+    PinnedThreadEngine engine(sim::Benchmark::IpfwdL1, 1, options);
+    const Assignment a(t2, {0, 4, 1});
+    const double pps = engine.measure(a);
+    EXPECT_GT(pps, 0.0);
+    EXPECT_NEAR(engine.secondsPerMeasurement(), 0.06, 1e-9);
+}
+
+TEST(PinnedExecutor, RunsEveryBenchmarkKernel)
+{
+    for (sim::Benchmark b : sim::caseStudySuite()) {
+        PinnedOptions options;
+        options.measureMillis = 40;
+        PinnedThreadEngine engine(b, 1, options);
+        const Assignment a(t2, {0, 4, 1});
+        EXPECT_GT(engine.measure(a), 0.0) << sim::benchmarkName(b);
+    }
+}
+
+TEST(PinnedExecutor, MultiInstanceAggregates)
+{
+    PinnedOptions options;
+    options.measureMillis = 60;
+    PinnedThreadEngine engine(sim::Benchmark::PacketAnalyzer, 2,
+                              options);
+    const Assignment a(t2, {0, 4, 1, 8, 12, 9});
+    EXPECT_GT(engine.measure(a), 0.0);
+    EXPECT_NE(engine.name().find("Packet analyzer"),
+              std::string::npos);
+}
+
+} // anonymous namespace

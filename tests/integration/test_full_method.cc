@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Integration tests: the complete paper pipeline — random sampling,
+ * POT/EVT estimation, confidence intervals and the iterative
+ * algorithm — running against the simulated UltraSPARC T2 and the
+ * five case-study benchmarks, checking the qualitative results of
+ * Sections 5.1-5.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.hh"
+#include "core/enumerator.hh"
+#include "core/estimator.hh"
+#include "core/iterative.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+#include "stats/diagnostics.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+using core::Assignment;
+using core::Topology;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(FullMethod, EstimateInvariantsAcrossTheSuite)
+{
+    for (Benchmark b : caseStudySuite()) {
+        SimulatedEngine engine(makeWorkload(b, 8));
+        core::OptimalPerformanceEstimator estimator(engine, t2, 24,
+                                                    123);
+        const auto result = estimator.extend(1500);
+        ASSERT_TRUE(result.pot.valid) << benchmarkName(b);
+        // xi-hat < 0: bounded performance, as the paper argues.
+        EXPECT_LT(result.pot.fit.xi, 0.0) << benchmarkName(b);
+        // Ordering: best observed <= UPB point <= CI upper.
+        EXPECT_LE(result.bestObserved, result.pot.upb * 1.0005)
+            << benchmarkName(b);
+        EXPECT_GE(result.pot.upbLower,
+                  result.bestObserved * 0.999) << benchmarkName(b);
+        // Exceedances capped at 5% (75 of 1500).
+        EXPECT_LE(result.pot.exceedanceCount, 75u)
+            << benchmarkName(b);
+        // Loss within a plausible band (paper: below ~10% at this
+        // scale).
+        EXPECT_GE(result.estimatedLoss(), 0.0) << benchmarkName(b);
+        EXPECT_LE(result.estimatedLoss(), 0.15) << benchmarkName(b);
+    }
+}
+
+TEST(FullMethod, LossShrinksFromMidToLargeSamples)
+{
+    // Section 5.2: the best-in-sample closes on the estimated
+    // optimum as the sample grows (compare n=500 vs n=4000, which
+    // is robust to seed noise).
+    SimulatedEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::OptimalPerformanceEstimator estimator(engine, t2, 24, 321);
+    const auto small = estimator.extend(500);
+    const auto large = estimator.extend(3500);
+    ASSERT_TRUE(small.pot.valid);
+    ASSERT_TRUE(large.pot.valid);
+    EXPECT_GE(large.bestObserved, small.bestObserved);
+    EXPECT_LE(large.estimatedLoss(), small.estimatedLoss() + 0.02);
+}
+
+TEST(FullMethod, ExhaustiveSixThreadOptimumBeatsBaselines)
+{
+    // The Figure 1 experiment: exhaustive enumeration of the
+    // 6-thread workload; optimal > Linux-like > naive for intadd.
+    SimulatedEngine engine(makeWorkload(Benchmark::IpfwdIntAdd, 2),
+                           {}, {0.0, 1, 1.5});
+    double optimal = 0.0;
+    core::AssignmentEnumerator enumerator(t2, 6);
+    const std::uint64_t classes = enumerator.forEach(
+        [&engine, &optimal](const Assignment &a) {
+            optimal = std::max(optimal, engine.deterministic(a));
+            return true;
+        });
+    EXPECT_EQ(classes, 1526u);
+
+    const double linux_like = engine.deterministic(
+        core::linuxLikeAssignment(t2, 6));
+    const double naive = core::naiveExpectedPerformance(
+        engine, t2, 6, 300, 777);
+
+    EXPECT_GT(optimal, linux_like);
+    EXPECT_GT(linux_like, naive);
+    // Paper magnitudes: optimal ~1.7 MPPS, naive ~22% below it.
+    EXPECT_NEAR(optimal, 1.69e6, 0.12e6);
+    EXPECT_NEAR((optimal - naive) / naive, 0.22, 0.08);
+}
+
+TEST(FullMethod, SampledBestApproachesExhaustiveOptimum)
+{
+    // Section 3.1: several hundred random draws land in the top
+    // 1-2% of the 1526-class population.
+    SimulatedEngine engine(makeWorkload(Benchmark::IpfwdIntMul, 2),
+                           {}, {0.0, 1, 1.5});
+    double optimal = 0.0;
+    core::AssignmentEnumerator(t2, 6).forEach(
+        [&engine, &optimal](const Assignment &a) {
+            optimal = std::max(optimal, engine.deterministic(a));
+            return true;
+        });
+
+    core::RandomAssignmentSampler sampler(t2, 6, 888);
+    double best = 0.0;
+    for (int i = 0; i < 800; ++i)
+        best = std::max(best, engine.deterministic(sampler.draw()));
+    EXPECT_GT(best, 0.97 * optimal);
+}
+
+TEST(FullMethod, IterativeAlgorithmMeetsPaperStyleTargets)
+{
+    // Section 5.3: a few thousand assignments reach a 2.5% loss; a
+    // 10% target needs (weakly) fewer.
+    SimulatedEngine tight_engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::IterativeOptions tight;
+    tight.initialSample = 500;
+    tight.incrementSample = 100;
+    tight.acceptableLoss = 0.025;
+    tight.maxSample = 12000;
+    const auto tight_run = core::iterativeAssignmentSearch(
+        tight_engine, t2, 24, 999, tight);
+    EXPECT_TRUE(tight_run.satisfied);
+    EXPECT_LE(tight_run.totalSampled, 12000u);
+
+    SimulatedEngine loose_engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::IterativeOptions loose = tight;
+    loose.acceptableLoss = 0.10;
+    const auto loose_run = core::iterativeAssignmentSearch(
+        loose_engine, t2, 24, 999, loose);
+    EXPECT_TRUE(loose_run.satisfied);
+    EXPECT_LE(loose_run.totalSampled, tight_run.totalSampled);
+}
+
+TEST(FullMethod, GpdQuantilePlotIsStraightOnSuiteData)
+{
+    // Section 3.3.2: "the form of quantile plots strongly suggest
+    // that samples of observations follow a GPD".
+    SimulatedEngine engine(makeWorkload(Benchmark::Stateful, 8));
+    core::OptimalPerformanceEstimator estimator(engine, t2, 24, 55);
+    const auto result = estimator.extend(2000);
+    ASSERT_TRUE(result.pot.valid);
+
+    const auto sel = stats::selectThreshold(result.sample, {});
+    const auto plot = stats::gpdQuantilePlot(
+        sel.exceedances, result.pot.fit.distribution());
+    EXPECT_GT(plot.rSquared, 0.9);
+}
+
+TEST(FullMethod, MeteredExperimentTimeMatchesPaperScale)
+{
+    // Section 5.4: 1000/2000/5000 measurements at 1.5 s each are
+    // about 25/50/120 minutes of experimentation.
+    SimulatedEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::MeteredEngine metered(engine);
+    core::OptimalPerformanceEstimator estimator(metered, t2, 24, 1);
+    estimator.extend(1000);
+    EXPECT_NEAR(metered.modeledSeconds() / 60.0, 25.0, 0.1);
+}
+
+} // anonymous namespace

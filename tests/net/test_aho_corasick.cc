@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Aho-Corasick tests, including a naive-search oracle property test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/aho_corasick.hh"
+#include "net/keywords.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::net;
+using statsched::stats::Rng;
+
+/** Brute-force oracle: all occurrences of all patterns. */
+std::vector<Match>
+naiveFindAll(const std::vector<std::string> &patterns,
+             const std::string &text)
+{
+    std::vector<Match> matches;
+    for (std::uint32_t pi = 0; pi < patterns.size(); ++pi) {
+        const std::string &p = patterns[pi];
+        if (p.size() > text.size())
+            continue;
+        for (std::size_t i = 0; i + p.size() <= text.size(); ++i) {
+            if (text.compare(i, p.size(), p) == 0)
+                matches.push_back({pi, i + p.size()});
+        }
+    }
+    return matches;
+}
+
+void
+sortMatches(std::vector<Match> &ms)
+{
+    std::sort(ms.begin(), ms.end(),
+              [](const Match &a, const Match &b) {
+                  return a.endOffset != b.endOffset
+                      ? a.endOffset < b.endOffset
+                      : a.patternIndex < b.patternIndex;
+              });
+}
+
+TEST(AhoCorasick, ClassicPaperExample)
+{
+    // The example from Aho & Corasick (1975): {he, she, his, hers}.
+    const AhoCorasick ac({"he", "she", "his", "hers"});
+    auto matches = ac.findAll(std::string("ushers"));
+    sortMatches(matches);
+    // "ushers" contains she@4, he@4, hers@6.
+    ASSERT_EQ(matches.size(), 3u);
+    EXPECT_EQ(matches[0].endOffset, 4u);   // "he" or "she"
+    EXPECT_EQ(matches[1].endOffset, 4u);
+    EXPECT_EQ(matches[2].endOffset, 6u);   // "hers"
+    EXPECT_EQ(matches[2].patternIndex, 3u);
+}
+
+TEST(AhoCorasick, OverlappingAndNestedPatterns)
+{
+    const AhoCorasick ac({"aa", "aaa"});
+    auto matches = ac.findAll(std::string("aaaa"));
+    // "aa" at ends 2,3,4; "aaa" at ends 3,4.
+    EXPECT_EQ(matches.size(), 5u);
+    EXPECT_EQ(ac.countMatches(
+                  reinterpret_cast<const std::uint8_t *>("aaaa"), 4),
+              5u);
+}
+
+TEST(AhoCorasick, PatternEqualsText)
+{
+    const AhoCorasick ac({"abc"});
+    const auto matches = ac.findAll(std::string("abc"));
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].endOffset, 3u);
+    EXPECT_TRUE(ac.containsAny(
+        reinterpret_cast<const std::uint8_t *>("abc"), 3));
+}
+
+TEST(AhoCorasick, NoMatchInCleanText)
+{
+    const AhoCorasick ac({"needle", "pin"});
+    const std::string hay = "plain haystack text without them";
+    EXPECT_TRUE(ac.findAll(hay).empty());
+    EXPECT_FALSE(ac.containsAny(
+        reinterpret_cast<const std::uint8_t *>(hay.data()),
+        hay.size()));
+}
+
+TEST(AhoCorasick, DuplicatePatternsKeepTheirIndices)
+{
+    const AhoCorasick ac({"ab", "ab"});
+    auto matches = ac.findAll(std::string("ab"));
+    sortMatches(matches);
+    ASSERT_EQ(matches.size(), 2u);
+    EXPECT_EQ(matches[0].patternIndex, 0u);
+    EXPECT_EQ(matches[1].patternIndex, 1u);
+}
+
+TEST(AhoCorasick, BinaryPatterns)
+{
+    const std::string pattern("\x00\x01\xff\x02", 4);
+    const AhoCorasick ac({pattern});
+    std::string text(64, '\x00');
+    text.replace(10, 4, pattern);
+    const auto matches = ac.findAll(text);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].endOffset, 14u);
+}
+
+TEST(AhoCorasick, MatchesNaiveOracleOnRandomTexts)
+{
+    Rng rng(31);
+    const std::vector<std::string> patterns = {
+        "ab", "abc", "ba", "aab", "bba", "cab", "abab", "c"};
+    const AhoCorasick ac(patterns);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string text;
+        const int len = 20 + static_cast<int>(rng.uniformInt(200));
+        for (int i = 0; i < len; ++i) {
+            text.push_back(
+                static_cast<char>('a' + rng.uniformInt(3)));
+        }
+        auto expected = naiveFindAll(patterns, text);
+        auto actual = ac.findAll(text);
+        sortMatches(expected);
+        sortMatches(actual);
+        ASSERT_EQ(actual.size(), expected.size()) << text;
+        for (std::size_t i = 0; i < actual.size(); ++i)
+            EXPECT_TRUE(actual[i] == expected[i]) << text;
+    }
+}
+
+TEST(AhoCorasick, DosKeywordSetBuildsAndMatches)
+{
+    const auto &keywords = dosKeywordSet();
+    ASSERT_GE(keywords.size(), 60u);
+    const AhoCorasick ac(keywords);
+    EXPECT_GT(ac.stateCount(), keywords.size());
+    EXPECT_GT(ac.automatonBytes(), 100000u);
+
+    // Every keyword must match itself embedded in noise.
+    for (std::uint32_t pi = 0; pi < keywords.size(); ++pi) {
+        const std::string text =
+            "xxxx" + keywords[pi] + "yyyy";
+        const auto matches = ac.findAll(text);
+        bool found = false;
+        for (const Match &m : matches)
+            found |= (m.patternIndex == pi);
+        EXPECT_TRUE(found) << keywords[pi];
+    }
+}
+
+TEST(AhoCorasick, CountMatchesAgreesWithFindAll)
+{
+    const AhoCorasick ac(dosKeywordSet());
+    const std::string text =
+        "GET / HTTP/1.1 slowloris /bin/sh wget http://x etc/passwd";
+    const auto data =
+        reinterpret_cast<const std::uint8_t *>(text.data());
+    EXPECT_EQ(ac.countMatches(data, text.size()),
+              ac.findAll(text).size());
+}
+
+} // anonymous namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Packet analyzer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/analyzer.hh"
+#include "net/generator.hh"
+
+namespace
+{
+
+using namespace statsched::net;
+
+TEST(Analyzer, LogsThePaperFieldSet)
+{
+    TrafficConfig config;
+    config.tcpFraction = 1.0;
+    config.seed = 5;
+    TrafficGenerator gen(config);
+    PacketAnalyzer analyzer;
+
+    const Packet pkt = gen.next();
+    const auto record = analyzer.process(pkt);
+    ASSERT_TRUE(record.has_value());
+
+    const EthernetHeader eth = pkt.ethernet();
+    const Ipv4Header ip = pkt.ipv4();
+    const TcpHeader tcp = pkt.tcp();
+    EXPECT_EQ(record->macSource, eth.source);
+    EXPECT_EQ(record->macDestination, eth.destination);
+    EXPECT_EQ(record->timeToLive, ip.timeToLive);
+    EXPECT_EQ(record->l3Protocol, ip.protocol);
+    EXPECT_EQ(record->ipSource, ip.source);
+    EXPECT_EQ(record->ipDestination, ip.destination);
+    EXPECT_EQ(record->sourcePort, tcp.sourcePort);
+    EXPECT_EQ(record->destinationPort, tcp.destinationPort);
+}
+
+TEST(Analyzer, CountsProtocols)
+{
+    TrafficConfig config;
+    config.tcpFraction = 0.5;
+    config.seed = 6;
+    TrafficGenerator gen(config);
+    PacketAnalyzer analyzer;
+    for (int i = 0; i < 1000; ++i)
+        analyzer.process(gen.next());
+    const AnalyzerStats &stats = analyzer.stats();
+    EXPECT_EQ(stats.captured, 1000u);
+    EXPECT_EQ(stats.decoded, 1000u);
+    EXPECT_EQ(stats.tcp + stats.udp, 1000u);
+    EXPECT_GT(stats.tcp, 300u);
+    EXPECT_GT(stats.udp, 300u);
+    EXPECT_GT(stats.bytes, 64000u);
+}
+
+TEST(Analyzer, MalformedPacketsCounted)
+{
+    PacketAnalyzer analyzer;
+    Packet junk{std::vector<std::uint8_t>(8, 0)};
+    EXPECT_FALSE(analyzer.process(junk).has_value());
+    EXPECT_EQ(analyzer.stats().malformed, 1u);
+    EXPECT_EQ(analyzer.stats().logged, 0u);
+}
+
+TEST(Analyzer, ProtocolFilter)
+{
+    TrafficConfig config;
+    config.tcpFraction = 0.5;
+    config.seed = 7;
+    TrafficGenerator gen(config);
+    PacketAnalyzer analyzer;
+    PacketFilter tcp_only;
+    tcp_only.protocol = static_cast<std::uint8_t>(IpProtocol::Tcp);
+    analyzer.addFilter(tcp_only);
+
+    for (int i = 0; i < 500; ++i)
+        analyzer.process(gen.next());
+    const AnalyzerStats &stats = analyzer.stats();
+    EXPECT_EQ(stats.filtered, stats.tcp);
+    EXPECT_EQ(stats.logged, stats.tcp);
+}
+
+TEST(Analyzer, DestinationPrefixFilter)
+{
+    TrafficConfig config;
+    config.destinationBase = 0xc0a80000;
+    config.destinationCount = 512;   // 192.168.0.0 - 192.168.1.255
+    config.seed = 8;
+    TrafficGenerator gen(config);
+
+    PacketAnalyzer analyzer;
+    PacketFilter prefix;
+    prefix.destinationPrefix = {{0xc0a80000, 24}};  // 192.168.0.0/24
+    analyzer.addFilter(prefix);
+
+    int expected = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Packet pkt = gen.next();
+        if ((pkt.ipv4().destination & 0xffffff00) == 0xc0a80000)
+            ++expected;
+        analyzer.process(pkt);
+    }
+    EXPECT_EQ(analyzer.stats().logged,
+              static_cast<std::uint64_t>(expected));
+}
+
+TEST(Analyzer, PortFilter)
+{
+    TrafficConfig config;
+    config.portBase = 80;
+    config.portCount = 4;
+    config.seed = 9;
+    TrafficGenerator gen(config);
+    PacketAnalyzer analyzer;
+    PacketFilter port;
+    port.destinationPort = 81;
+    analyzer.addFilter(port);
+    for (int i = 0; i < 800; ++i)
+        analyzer.process(gen.next());
+    // Roughly a quarter of packets hit port 81.
+    EXPECT_GT(analyzer.stats().logged, 120u);
+    EXPECT_LT(analyzer.stats().logged, 280u);
+}
+
+TEST(Analyzer, MultipleFiltersAreDisjunctive)
+{
+    TrafficConfig config;
+    config.tcpFraction = 0.5;
+    config.seed = 10;
+    TrafficGenerator gen(config);
+    PacketAnalyzer analyzer;
+    PacketFilter tcp_only;
+    tcp_only.protocol = static_cast<std::uint8_t>(IpProtocol::Tcp);
+    PacketFilter udp_only;
+    udp_only.protocol = static_cast<std::uint8_t>(IpProtocol::Udp);
+    analyzer.addFilter(tcp_only);
+    analyzer.addFilter(udp_only);
+    for (int i = 0; i < 300; ++i)
+        analyzer.process(gen.next());
+    EXPECT_EQ(analyzer.stats().logged, 300u);
+}
+
+TEST(Analyzer, RingWrapsOldestFirst)
+{
+    TrafficGenerator gen{TrafficConfig{}};
+    PacketAnalyzer analyzer(8);
+    std::vector<Ipv4Address> sources;
+    for (int i = 0; i < 12; ++i) {
+        const Packet pkt = gen.next();
+        sources.push_back(pkt.ipv4().source);
+        analyzer.process(pkt);
+    }
+    const auto log = analyzer.logContents();
+    ASSERT_EQ(log.size(), 8u);
+    // The ring holds the last 8 packets, oldest first.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(log[i].ipSource, sources[4 + i]) << i;
+}
+
+TEST(Analyzer, RingBeforeWrapKeepsInsertionOrder)
+{
+    TrafficGenerator gen{TrafficConfig{}};
+    PacketAnalyzer analyzer(64);
+    for (int i = 0; i < 10; ++i)
+        analyzer.process(gen.next());
+    EXPECT_EQ(analyzer.logContents().size(), 10u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Stateful flow-table tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/flow_table.hh"
+#include "net/generator.hh"
+
+namespace
+{
+
+using namespace statsched::net;
+
+Packet
+tcpPacket(Ipv4Address src, Ipv4Address dst, std::uint16_t sport,
+          std::uint16_t dport, std::uint8_t flags)
+{
+    Packet pkt{std::vector<std::uint8_t>(
+        ethernetHeaderBytes + ipv4HeaderBytes + tcpHeaderBytes + 16,
+        0)};
+    EthernetHeader eth;
+    pkt.setEthernet(eth);
+    Ipv4Header ip;
+    ip.totalLength = ipv4HeaderBytes + tcpHeaderBytes + 16;
+    ip.protocol = static_cast<std::uint8_t>(IpProtocol::Tcp);
+    ip.source = src;
+    ip.destination = dst;
+    pkt.setIpv4(ip);
+    TcpHeader tcp;
+    tcp.sourcePort = sport;
+    tcp.destinationPort = dport;
+    tcp.flags = flags;
+    pkt.setTcp(tcp);
+    return pkt;
+}
+
+constexpr std::uint8_t kFin = 0x01;
+constexpr std::uint8_t kSyn = 0x02;
+constexpr std::uint8_t kRst = 0x04;
+constexpr std::uint8_t kAck = 0x10;
+
+TEST(FlowKey, ExtractedFromPacket)
+{
+    const Packet pkt = tcpPacket(1, 2, 10, 20, kSyn);
+    const auto key = FlowKey::fromPacket(pkt);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(key->sourceIp, 1u);
+    EXPECT_EQ(key->destinationIp, 2u);
+    EXPECT_EQ(key->sourcePort, 10);
+    EXPECT_EQ(key->destinationPort, 20);
+    EXPECT_EQ(key->protocol,
+              static_cast<std::uint8_t>(IpProtocol::Tcp));
+}
+
+TEST(FlowKey, HashIsDeterministicAndSpreads)
+{
+    FlowKey a{1, 2, 3, 4, 6};
+    EXPECT_EQ(nprobeFlowHash(a), nprobeFlowHash(a));
+    // Different flows mostly land in different buckets.
+    std::set<std::uint32_t> buckets;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        FlowKey k{0x0a000000 + i * 7919, 0xc0a80000 + i,
+                  static_cast<std::uint16_t>(1000 + i),
+                  static_cast<std::uint16_t>(2000 + i), 6};
+        buckets.insert(nprobeFlowHash(k) % FlowTable::kEntries);
+    }
+    EXPECT_GT(buckets.size(), 950u);
+}
+
+TEST(FlowTable, TracksPacketAndByteCounts)
+{
+    FlowTable table;
+    const Packet pkt = tcpPacket(1, 2, 10, 20, kAck);
+    table.update(pkt, 1);
+    table.update(pkt, 2);
+    table.update(pkt, 3);
+
+    const auto key = FlowKey::fromPacket(pkt);
+    const auto record = table.find(*key);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->packets, 3u);
+    EXPECT_EQ(record->bytes, 3u * pkt.size());
+    EXPECT_EQ(record->firstSeen, 1u);
+    EXPECT_EQ(record->lastSeen, 3u);
+    EXPECT_EQ(table.activeFlows(), 1u);
+}
+
+TEST(FlowTable, TcpStateMachineHandshakeAndClose)
+{
+    FlowTable table;
+    const Packet syn = tcpPacket(1, 2, 10, 20, kSyn);
+    const Packet synack = tcpPacket(1, 2, 10, 20, kSyn | kAck);
+    const Packet data = tcpPacket(1, 2, 10, 20, kAck);
+    const Packet fin1 = tcpPacket(1, 2, 10, 20, kFin | kAck);
+    const Packet fin2 = tcpPacket(1, 2, 10, 20, kFin | kAck);
+
+    EXPECT_EQ(table.update(syn, 1), FlowState::New);
+    EXPECT_EQ(table.update(synack, 2), FlowState::Established);
+    EXPECT_EQ(table.update(data, 3), FlowState::Established);
+    EXPECT_EQ(table.update(fin1, 4), FlowState::Closing);
+    EXPECT_EQ(table.update(fin2, 5), FlowState::Closed);
+}
+
+TEST(FlowTable, RstClosesImmediately)
+{
+    FlowTable table;
+    table.update(tcpPacket(1, 2, 10, 20, kSyn), 1);
+    EXPECT_EQ(table.update(tcpPacket(1, 2, 10, 20, kRst), 2),
+              FlowState::Closed);
+}
+
+TEST(FlowTable, UdpFlowsEstablishOnSecondPacket)
+{
+    FlowTable table;
+    Packet pkt{std::vector<std::uint8_t>(
+        ethernetHeaderBytes + ipv4HeaderBytes + udpHeaderBytes + 8,
+        0)};
+    EthernetHeader eth;
+    pkt.setEthernet(eth);
+    Ipv4Header ip;
+    ip.totalLength = ipv4HeaderBytes + udpHeaderBytes + 8;
+    ip.protocol = static_cast<std::uint8_t>(IpProtocol::Udp);
+    ip.source = 5;
+    ip.destination = 6;
+    pkt.setIpv4(ip);
+    UdpHeader udp;
+    udp.sourcePort = 53;
+    udp.destinationPort = 53;
+    pkt.setUdp(udp);
+
+    EXPECT_EQ(table.update(pkt, 1), FlowState::New);
+    EXPECT_EQ(table.update(pkt, 2), FlowState::Established);
+}
+
+TEST(FlowTable, CollisionEvictsOldFlow)
+{
+    // A 1-bucket table forces every distinct flow to collide.
+    FlowTable table(1, 1);
+    const Packet a = tcpPacket(1, 2, 10, 20, kAck);
+    const Packet b = tcpPacket(3, 4, 30, 40, kAck);
+    table.update(a, 1);
+    table.update(b, 2);
+    EXPECT_EQ(table.stats().newFlows, 2u);
+    EXPECT_EQ(table.stats().evictions, 1u);
+    // Flow A was recycled.
+    EXPECT_FALSE(table.find(*FlowKey::fromPacket(a)).has_value());
+    EXPECT_TRUE(table.find(*FlowKey::fromPacket(b)).has_value());
+}
+
+TEST(FlowTable, IgnoresPacketsWithoutL4)
+{
+    FlowTable table;
+    Packet junk{std::vector<std::uint8_t>(20, 0)};
+    EXPECT_FALSE(table.update(junk, 1).has_value());
+    EXPECT_EQ(table.stats().ignored, 1u);
+}
+
+TEST(FlowTable, PaperSizedTableFootprint)
+{
+    FlowTable table;
+    // 2^16 entries as in the paper; each record tens of bytes, so
+    // the table is megabytes (L2-thrashing scale).
+    EXPECT_GT(table.tableBytes(), 4u * 1024u * 1024u / 2u);
+}
+
+TEST(FlowTable, ConcurrentUpdatesAreConsistent)
+{
+    FlowTable table;
+    TrafficConfig config;
+    config.sourceCount = 64;
+    config.destinationCount = 64;
+    config.portCount = 8;
+    config.seed = 77;
+    // Pre-generate a shared packet set.
+    TrafficGenerator gen(config);
+    std::vector<Packet> packets = gen.burst(4000);
+
+    const int threads = 4;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < threads; ++w) {
+        workers.emplace_back([&table, &packets, w]() {
+            for (std::size_t i = w; i < packets.size(); i += 4)
+                table.update(packets[i], i);
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+
+    // Every L4 packet was applied exactly once.
+    std::uint64_t l4 = 0;
+    for (const auto &p : packets)
+        l4 += p.hasL4() ? 1 : 0;
+    EXPECT_EQ(table.stats().updates + table.stats().ignored,
+              packets.size());
+    EXPECT_EQ(table.stats().updates, l4);
+}
+
+} // anonymous namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Traffic generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "net/aho_corasick.hh"
+#include "net/generator.hh"
+#include "net/keywords.hh"
+
+namespace
+{
+
+using namespace statsched::net;
+
+TEST(Generator, DeterministicBySeed)
+{
+    TrafficConfig config;
+    config.seed = 7;
+    TrafficGenerator a(config);
+    TrafficGenerator b(config);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next().bytes(), b.next().bytes());
+}
+
+TEST(Generator, AddressesAndPortsInConfiguredRanges)
+{
+    TrafficConfig config;
+    config.sourceBase = 0x0a000000;
+    config.sourceCount = 16;
+    config.destinationBase = 0xc0a80000;
+    config.destinationCount = 8;
+    config.portBase = 5000;
+    config.portCount = 10;
+    TrafficGenerator gen(config);
+    for (int i = 0; i < 500; ++i) {
+        const Packet pkt = gen.next();
+        const Ipv4Header ip = pkt.ipv4();
+        EXPECT_GE(ip.source, config.sourceBase);
+        EXPECT_LT(ip.source, config.sourceBase + 16);
+        EXPECT_GE(ip.destination, config.destinationBase);
+        EXPECT_LT(ip.destination, config.destinationBase + 8);
+    }
+}
+
+TEST(Generator, ProtocolMixMatchesConfiguredFraction)
+{
+    TrafficConfig config;
+    config.tcpFraction = 0.7;
+    config.seed = 11;
+    TrafficGenerator gen(config);
+    int tcp = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const Packet pkt = gen.next();
+        if (pkt.ipv4().protocol ==
+            static_cast<std::uint8_t>(IpProtocol::Tcp))
+            ++tcp;
+    }
+    EXPECT_NEAR(static_cast<double>(tcp) / n, 0.7, 0.03);
+}
+
+TEST(Generator, PayloadSizesWithinBounds)
+{
+    TrafficConfig config;
+    config.payloadMin = 100;
+    config.payloadMax = 200;
+    TrafficGenerator gen(config);
+    for (int i = 0; i < 300; ++i) {
+        const Packet pkt = gen.next();
+        EXPECT_GE(pkt.payloadSize(), 100u);
+        EXPECT_LE(pkt.payloadSize(), 200u);
+    }
+}
+
+TEST(Generator, KeywordFractionControlsMatches)
+{
+    TrafficConfig with;
+    with.keywordFraction = 0.5;
+    with.payloadMin = 200;
+    with.payloadMax = 400;
+    with.seed = 13;
+    TrafficConfig without = with;
+    without.keywordFraction = 0.0;
+
+    const AhoCorasick automaton(dosKeywordSet());
+    auto match_rate = [&automaton](TrafficGenerator &gen) {
+        int matched = 0;
+        for (int i = 0; i < 1000; ++i) {
+            const Packet pkt = gen.next();
+            if (automaton.containsAny(pkt.payload(),
+                                      pkt.payloadSize()))
+                ++matched;
+        }
+        return matched / 1000.0;
+    };
+
+    TrafficGenerator gen_with(with);
+    TrafficGenerator gen_without(without);
+    EXPECT_GT(match_rate(gen_with), 0.40);
+    EXPECT_LT(match_rate(gen_without), 0.05);
+}
+
+TEST(Generator, BurstAndCounters)
+{
+    TrafficGenerator gen{TrafficConfig{}};
+    const auto packets = gen.burst(64);
+    EXPECT_EQ(packets.size(), 64u);
+    EXPECT_EQ(gen.generated(), 64u);
+}
+
+TEST(Generator, IpIdentificationIncrements)
+{
+    TrafficGenerator gen{TrafficConfig{}};
+    const Packet a = gen.next();
+    const Packet b = gen.next();
+    EXPECT_EQ(static_cast<std::uint16_t>(
+                  a.ipv4().identification + 1),
+              b.ipv4().identification);
+}
+
+} // anonymous namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Packet and checksum tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hh"
+#include "net/generator.hh"
+#include "net/packet.hh"
+
+namespace
+{
+
+using namespace statsched::net;
+
+Packet
+samplePacket(bool tcp)
+{
+    TrafficConfig config;
+    config.tcpFraction = tcp ? 1.0 : 0.0;
+    config.seed = 99;
+    TrafficGenerator gen(config);
+    return gen.next();
+}
+
+TEST(Checksum, Rfc1071ReferenceVector)
+{
+    // Classic example from RFC 1071 materials.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03,
+                                 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internetChecksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLengthPads)
+{
+    const std::uint8_t data[] = {0xab};
+    EXPECT_EQ(internetChecksum(data, 1),
+              static_cast<std::uint16_t>(~0xab00 & 0xffff));
+}
+
+TEST(Checksum, IncrementalMatchesRecompute)
+{
+    std::uint8_t header[20] = {
+        0x45, 0x00, 0x00, 0x54, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06,
+        0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+    const std::uint16_t sum = internetChecksum(header, 20);
+    header[10] = sum >> 8;
+    header[11] = sum & 0xff;
+
+    // Change TTL 0x40 -> 0x3f (word 8..9 is ttl|protocol).
+    const std::uint16_t old_word = (0x40 << 8) | 0x06;
+    const std::uint16_t new_word = (0x3f << 8) | 0x06;
+    header[8] = 0x3f;
+    const std::uint16_t patched =
+        incrementalChecksumUpdate(sum, old_word, new_word);
+    header[10] = 0;
+    header[11] = 0;
+    EXPECT_EQ(patched, internetChecksum(header, 20));
+}
+
+TEST(Packet, GeneratedTcpDecodesConsistently)
+{
+    const Packet pkt = samplePacket(true);
+    ASSERT_TRUE(pkt.hasEthernet());
+    ASSERT_TRUE(pkt.hasIpv4());
+    ASSERT_TRUE(pkt.hasL4());
+
+    const EthernetHeader eth = pkt.ethernet();
+    EXPECT_EQ(eth.etherType, 0x0800);
+
+    const Ipv4Header ip = pkt.ipv4();
+    EXPECT_EQ(ip.versionIhl, 0x45);
+    EXPECT_EQ(ip.protocol,
+              static_cast<std::uint8_t>(IpProtocol::Tcp));
+    EXPECT_EQ(ip.totalLength + ethernetHeaderBytes, pkt.size());
+
+    const TcpHeader tcp = pkt.tcp();
+    EXPECT_GE(tcp.sourcePort, 1024);
+}
+
+TEST(Packet, GeneratedIpv4ChecksumIsValid)
+{
+    // A valid IPv4 header checksums to zero over all 20 bytes.
+    const Packet pkt = samplePacket(false);
+    const std::uint8_t *ip = pkt.bytes().data() + ethernetHeaderBytes;
+    EXPECT_EQ(internetChecksum(ip, ipv4HeaderBytes), 0);
+}
+
+TEST(Packet, HeaderSetGetRoundTrip)
+{
+    Packet pkt{std::vector<std::uint8_t>(
+        ethernetHeaderBytes + ipv4HeaderBytes + udpHeaderBytes + 32,
+        0)};
+
+    EthernetHeader eth;
+    eth.destination = {1, 2, 3, 4, 5, 6};
+    eth.source = {7, 8, 9, 10, 11, 12};
+    pkt.setEthernet(eth);
+
+    Ipv4Header ip;
+    ip.totalLength = ipv4HeaderBytes + udpHeaderBytes + 32;
+    ip.timeToLive = 17;
+    ip.protocol = static_cast<std::uint8_t>(IpProtocol::Udp);
+    ip.source = 0x01020304;
+    ip.destination = 0x05060708;
+    pkt.setIpv4(ip);
+
+    UdpHeader udp;
+    udp.sourcePort = 1111;
+    udp.destinationPort = 2222;
+    udp.length = udpHeaderBytes + 32;
+    pkt.setUdp(udp);
+
+    EXPECT_EQ(pkt.ethernet().destination, eth.destination);
+    EXPECT_EQ(pkt.ipv4().source, 0x01020304u);
+    EXPECT_EQ(pkt.ipv4().timeToLive, 17);
+    EXPECT_EQ(pkt.udp().destinationPort, 2222);
+    EXPECT_EQ(pkt.payloadSize(), 32u);
+}
+
+TEST(Packet, TtlDecrementPatchesChecksumIncrementally)
+{
+    Packet pkt = samplePacket(true);
+    const std::uint8_t ttl_before = pkt.ipv4().timeToLive;
+    ASSERT_TRUE(pkt.decrementTtl());
+    EXPECT_EQ(pkt.ipv4().timeToLive, ttl_before - 1);
+    // Checksum must still validate.
+    const std::uint8_t *ip = pkt.bytes().data() + ethernetHeaderBytes;
+    EXPECT_EQ(internetChecksum(ip, ipv4HeaderBytes), 0);
+}
+
+TEST(Packet, TtlZeroIsDropped)
+{
+    Packet pkt = samplePacket(false);
+    Ipv4Header ip = pkt.ipv4();
+    ip.timeToLive = 0;
+    pkt.setIpv4(ip);
+    EXPECT_FALSE(pkt.decrementTtl());
+}
+
+TEST(Packet, TruncatedFramesRejected)
+{
+    Packet tiny{std::vector<std::uint8_t>(10, 0)};
+    EXPECT_FALSE(tiny.hasEthernet());
+    EXPECT_FALSE(tiny.hasIpv4());
+    EXPECT_FALSE(tiny.hasL4());
+
+    // Ethernet-only frame with non-IP ethertype.
+    Packet arp{std::vector<std::uint8_t>(64, 0)};
+    EthernetHeader eth;
+    eth.etherType = 0x0806;
+    arp.setEthernet(eth);
+    EXPECT_TRUE(arp.hasEthernet());
+    EXPECT_FALSE(arp.hasIpv4());
+}
+
+TEST(Packet, Ipv4ToStringFormatting)
+{
+    EXPECT_EQ(ipv4ToString(0xc0a80001), "192.168.0.1");
+    EXPECT_EQ(ipv4ToString(0), "0.0.0.0");
+    EXPECT_EQ(ipv4ToString(0xffffffff), "255.255.255.255");
+}
+
+} // anonymous namespace

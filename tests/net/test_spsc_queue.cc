@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SPSC queue tests: single-thread semantics and a two-thread stress
+ * run with checksum verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "net/spsc_queue.hh"
+
+namespace
+{
+
+using statsched::net::SpscQueue;
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscQueue, FifoOrder)
+{
+    SpscQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.tryPush(i));
+    int out = -1;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(q.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(SpscQueue, FullQueueRejectsPush)
+{
+    SpscQueue<int> q(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.tryPush(i));
+    EXPECT_FALSE(q.tryPush(99));
+    int out;
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_TRUE(q.tryPush(99));
+}
+
+TEST(SpscQueue, SizeApproxTracksOccupancy)
+{
+    SpscQueue<int> q(16);
+    EXPECT_TRUE(q.empty());
+    q.tryPush(1);
+    q.tryPush(2);
+    EXPECT_EQ(q.sizeApprox(), 2u);
+    int out;
+    q.tryPop(out);
+    EXPECT_EQ(q.sizeApprox(), 1u);
+}
+
+TEST(SpscQueue, MoveOnlyElements)
+{
+    SpscQueue<std::unique_ptr<int>> q(4);
+    EXPECT_TRUE(q.tryPush(std::make_unique<int>(42)));
+    std::unique_ptr<int> out;
+    EXPECT_TRUE(q.tryPop(out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesAllElements)
+{
+    SpscQueue<std::uint64_t> q(256);
+    constexpr std::uint64_t count = 200000;
+
+    std::uint64_t consumer_sum = 0;
+    std::uint64_t consumer_seen = 0;
+    std::thread consumer([&q, &consumer_sum, &consumer_seen]() {
+        std::uint64_t v;
+        std::uint64_t expected = 0;
+        bool ordered = true;
+        while (consumer_seen < count) {
+            if (q.tryPop(v)) {
+                // FIFO: values arrive in production order.
+                ordered &= (v == expected);
+                ++expected;
+                consumer_sum += v;
+                ++consumer_seen;
+            }
+        }
+        EXPECT_TRUE(ordered);
+    });
+
+    for (std::uint64_t i = 0; i < count;) {
+        if (q.tryPush(i))
+            ++i;
+    }
+    consumer.join();
+
+    EXPECT_EQ(consumer_seen, count);
+    EXPECT_EQ(consumer_sum, count * (count - 1) / 2);
+}
+
+} // anonymous namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Duration formatting tests, anchored to the Table 1 conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "num/big_uint.hh"
+#include "num/duration.hh"
+
+namespace
+{
+
+using statsched::num::BigUint;
+using statsched::num::Duration;
+
+TEST(Duration, ZeroAndMicroseconds)
+{
+    EXPECT_EQ(Duration().toString(), "0 us");
+    EXPECT_EQ(Duration::fromMicroseconds(BigUint(999u)).toString(),
+              "999 us");
+}
+
+TEST(Duration, SecondsMinutesHoursDays)
+{
+    EXPECT_EQ(Duration::fromSeconds(BigUint(42u)).toString(), "42.0 s");
+    EXPECT_EQ(Duration::fromSeconds(BigUint(90u)).toString(),
+              "1.5 min");
+    EXPECT_EQ(Duration::fromSeconds(BigUint(7200u)).toString(),
+              "2.0 hours");
+    EXPECT_EQ(Duration::fromSeconds(BigUint(86400u * 7)).toString(),
+              "7.0 days");
+}
+
+TEST(Duration, YearsUseJulianYear)
+{
+    // 31557600 s = 365.25 days.
+    EXPECT_EQ(Duration::fromSeconds(BigUint(31557600u)).toString(),
+              "1.0 year");
+    EXPECT_EQ(Duration::fromSeconds(
+                  BigUint(31557600ull * 15)).toString(),
+              "15.0 years");
+}
+
+TEST(Duration, Table1ExecuteAllNineTasks)
+{
+    // 592,573 assignments x 1 s each is about 7 days, as the paper
+    // reports for 9-task workloads.
+    Duration d = Duration::fromSeconds(BigUint(592573u));
+    EXPECT_EQ(d.toString(), "6.8 days");
+}
+
+TEST(Duration, Table1SixtyTasksIsAstronomical)
+{
+    // ~5.52e58 seconds = ~1.75e51 years (the paper's headline
+    // number for executing all assignments of a 60-task workload).
+    BigUint secs = BigUint(5516u) * BigUint::pow(BigUint(10u), 55);
+    Duration d = Duration::fromSeconds(secs);
+    const std::string s = d.toString();
+    EXPECT_NE(s.find("e51 years"), std::string::npos) << s;
+    EXPECT_EQ(s.substr(0, 3), "1.7") << s;
+}
+
+TEST(Duration, WholeUnitAccessors)
+{
+    Duration d = Duration::fromSeconds(BigUint(90u));
+    EXPECT_EQ(d.seconds().toUint64(), 90u);
+    EXPECT_TRUE(d.years().isZero());
+}
+
+} // anonymous namespace

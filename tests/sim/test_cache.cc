@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-associative cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using statsched::sim::SetAssociativeCache;
+using statsched::stats::Rng;
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssociativeCache cache(8.0, 4, 16);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x100f));   // same 16 B line
+    EXPECT_FALSE(cache.access(0x1010));  // next line
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, GeometryDerivedCorrectly)
+{
+    // 8 KB, 4-way, 16 B lines: 512 lines / 4 ways = 128 sets.
+    SetAssociativeCache cache(8.0, 4, 16);
+    EXPECT_EQ(cache.sets(), 128u);
+}
+
+TEST(Cache, LruEvictsOldestWithinSet)
+{
+    // Direct construction of conflicting lines: same set index,
+    // different tags. Set stride = sets * line = 128*16 = 2048.
+    SetAssociativeCache cache(8.0, 4, 16);
+    const std::uint64_t stride = 128 * 16;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(cache.access(i * stride));
+    // All four resident.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(cache.contains(i * stride));
+    // Touch 0 to refresh it, then insert a 5th conflicting line:
+    // line 1 (the LRU) must be evicted.
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(4 * stride));
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1 * stride));
+}
+
+TEST(Cache, ResidentWorkingSetHasNoSteadyMisses)
+{
+    SetAssociativeCache cache(8.0, 4, 16);
+    // 4 KB working set walked cyclically: after the first pass,
+    // everything hits.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t addr = 0; addr < 4096; addr += 16)
+            cache.access(addr);
+    }
+    // 256 cold misses, then hits only.
+    EXPECT_EQ(cache.misses(), 256u);
+}
+
+TEST(Cache, OversizedWorkingSetThrashes)
+{
+    SetAssociativeCache cache(8.0, 4, 16);
+    // A 32 KB cyclic walk never fits: steady-state miss ratio ~1
+    // under LRU with a cyclic pattern.
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t addr = 0; addr < 32768; addr += 16)
+            cache.access(addr);
+    }
+    EXPECT_GT(cache.missRatio(), 0.9);
+}
+
+TEST(Cache, RandomAccessMissRatioTracksCapacityRatio)
+{
+    // Random accesses over a working set W >> C miss with
+    // probability about 1 - C/W.
+    SetAssociativeCache cache(8.0, 4, 16);
+    Rng rng(5);
+    const std::uint64_t span = 64 * 1024;
+    // Warm up.
+    for (int i = 0; i < 20000; ++i)
+        cache.access(rng.uniformInt(span));
+    const std::uint64_t warm_miss = cache.misses();
+    const std::uint64_t warm_acc = cache.accesses();
+    for (int i = 0; i < 40000; ++i)
+        cache.access(rng.uniformInt(span));
+    const double steady_ratio =
+        static_cast<double>(cache.misses() - warm_miss) /
+        static_cast<double>(cache.accesses() - warm_acc);
+    EXPECT_NEAR(steady_ratio, 1.0 - 8.0 / 64.0, 0.05);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssociativeCache cache(8.0, 4, 16);
+    cache.access(0x42);
+    EXPECT_TRUE(cache.contains(0x42));
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x42));
+}
+
+TEST(Cache, ContainsDoesNotPerturbState)
+{
+    SetAssociativeCache cache(8.0, 4, 16);
+    cache.access(0x1000);
+    const std::uint64_t accesses = cache.accesses();
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_FALSE(cache.contains(0x9000));
+    EXPECT_EQ(cache.accesses(), accesses);
+}
+
+} // anonymous namespace

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Contention solver tests: water-filling properties and the physical
+ * invariants of the three-level model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/contention.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+using core::Assignment;
+using core::Topology;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(Waterfill, UnderloadedGivesEveryoneTheirDemand)
+{
+    const auto alloc = waterfill({0.2, 0.3, 0.4}, 1.0);
+    EXPECT_DOUBLE_EQ(alloc[0], 0.2);
+    EXPECT_DOUBLE_EQ(alloc[1], 0.3);
+    EXPECT_DOUBLE_EQ(alloc[2], 0.4);
+}
+
+TEST(Waterfill, OverloadedSharesFairly)
+{
+    const auto alloc = waterfill({1.0, 1.0, 1.0, 1.0}, 1.0);
+    for (double a : alloc)
+        EXPECT_DOUBLE_EQ(a, 0.25);
+}
+
+TEST(Waterfill, SmallDemandsSatisfiedFirst)
+{
+    // Max-min fairness: the 0.1 demand is fully served; the rest
+    // split the remainder equally.
+    const auto alloc = waterfill({0.1, 0.9, 0.9}, 1.0);
+    EXPECT_DOUBLE_EQ(alloc[0], 0.1);
+    EXPECT_NEAR(alloc[1], 0.45, 1e-12);
+    EXPECT_NEAR(alloc[2], 0.45, 1e-12);
+}
+
+TEST(Waterfill, ConservationAndCaps)
+{
+    const std::vector<double> demands = {0.5, 0.3, 0.8, 0.05, 0.6};
+    const auto alloc = waterfill(demands, 1.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+        EXPECT_LE(alloc[i], demands[i] + 1e-12);
+        EXPECT_GE(alloc[i], 0.0);
+        total += alloc[i];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Waterfill, EmptyAndZeroCapacity)
+{
+    EXPECT_TRUE(waterfill({}, 1.0).empty());
+    const auto alloc = waterfill({0.5, 0.5}, 0.0);
+    EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+    EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+}
+
+/** A minimal homogeneous profile for solver tests. */
+TaskProfile
+plainTask(double demand = 0.4)
+{
+    TaskProfile p;
+    p.issueDemand = demand;
+    p.loadStoreFraction = 0.3;
+    p.l1dFootprintKb = 1.0;
+    p.l1iFootprintKb = 2.0;
+    p.l2FootprintKb = 8.0;
+    p.codeId = 1;
+    p.instructionsPerPacket = 500.0;
+    return p;
+}
+
+TEST(Contention, SingleTaskGetsItsDemand)
+{
+    ContentionSolver solver({}, {plainTask(0.4)});
+    const auto result = solver.solve(Assignment(t2, {0}));
+    ASSERT_EQ(result.rates.size(), 1u);
+    // Alone on the chip: only the tiny baseline miss stalls apply.
+    EXPECT_NEAR(result.rates[0], 0.4, 0.02);
+}
+
+TEST(Contention, PipeSharingSplitsIssueBandwidth)
+{
+    std::vector<TaskProfile> tasks(4, plainTask(0.9));
+    ContentionSolver solver({}, tasks);
+    // All four in one pipe.
+    const auto packed = solver.solve(Assignment(t2, {0, 1, 2, 3}));
+    for (double r : packed.rates)
+        EXPECT_NEAR(r, 0.25, 0.01);
+    // Spread across four pipes: full demand (minus baseline).
+    const auto spread =
+        solver.solve(Assignment(t2, {0, 4, 8, 12}));
+    for (double r : spread.rates)
+        EXPECT_GT(r, 0.8);
+}
+
+TEST(Contention, SpreadingNeverHurts)
+{
+    // Rates under a fully packed placement are component-wise below
+    // the fully spread placement.
+    std::vector<TaskProfile> tasks(8, plainTask(0.6));
+    ContentionSolver solver({}, tasks);
+    const auto packed = solver.solve(
+        Assignment(t2, {0, 1, 2, 3, 4, 5, 6, 7}));
+    std::vector<core::ContextId> spread_ctx;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        spread_ctx.push_back(i * 8);
+    const auto spread = solver.solve(Assignment(t2, spread_ctx));
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_LE(packed.rates[i], spread.rates[i] + 1e-9) << i;
+}
+
+TEST(Contention, HardwareSymmetryInvariance)
+{
+    // Moving the whole structure to different cores leaves rates
+    // unchanged.
+    std::vector<TaskProfile> tasks = {plainTask(0.5), plainTask(0.7),
+                                      plainTask(0.3)};
+    ContentionSolver solver({}, tasks);
+    const auto a = solver.solve(Assignment(t2, {0, 1, 8}));
+    const auto b = solver.solve(Assignment(t2, {48, 49, 24}));
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(a.rates[i], b.rates[i], 1e-12) << i;
+}
+
+TEST(Contention, CacheCrowdingRaisesMissRates)
+{
+    // Two tasks with large private hot sets: same core vs separate
+    // cores.
+    TaskProfile heavy = plainTask(0.4);
+    heavy.l1dFootprintKb = 6.0;
+    heavy.codeId = 0;
+    std::vector<TaskProfile> tasks = {heavy, heavy};
+    ContentionSolver solver({}, tasks);
+    const auto same_core = solver.solve(Assignment(t2, {0, 4}));
+    const auto diff_core = solver.solve(Assignment(t2, {0, 8}));
+    EXPECT_GT(same_core.l1dMissRate[0], diff_core.l1dMissRate[0]);
+    EXPECT_LT(same_core.rates[0], diff_core.rates[0]);
+}
+
+TEST(Contention, SharedCodeDoesNotSelfThrash)
+{
+    // Two tasks running the SAME code image in one core share the
+    // L1I footprint; distinct images double it.
+    TaskProfile a = plainTask(0.4);
+    a.l1iFootprintKb = 12.0;
+    a.codeId = 7;
+    TaskProfile b = a;
+    b.codeId = 7;       // same image
+    TaskProfile c = a;
+    c.codeId = 8;       // different image
+
+    ContentionSolver shared({}, {a, b});
+    ContentionSolver distinct({}, {a, c});
+    const auto s = shared.solve(Assignment(t2, {0, 4}));
+    const auto d = distinct.solve(Assignment(t2, {0, 4}));
+    EXPECT_GT(s.rates[0], d.rates[0]);
+}
+
+TEST(Contention, SharedDataCountedOncePerStructure)
+{
+    TaskProfile a = plainTask(0.4);
+    a.l1dFootprintKb = 5.0;
+    a.sharedDataId = 42;
+    TaskProfile b = a;          // same structure
+    TaskProfile c = a;
+    c.sharedDataId = 43;        // different structure
+
+    ContentionSolver shared({}, {a, b});
+    ContentionSolver distinct({}, {a, c});
+    const auto s = shared.solve(Assignment(t2, {0, 4}));
+    const auto d = distinct.solve(Assignment(t2, {0, 4}));
+    EXPECT_LE(s.l1dMissRate[0], d.l1dMissRate[0]);
+    EXPECT_GE(s.rates[0], d.rates[0]);
+}
+
+TEST(Contention, BulkTableMissesGoToMemory)
+{
+    // A task with a DRAM-sized table sees L2 misses; one with a
+    // small table does not.
+    TaskProfile mem = plainTask(0.4);
+    mem.tableKb = 16384.0;
+    mem.randomAccessFraction = 0.01;
+    mem.sharedDataId = 5;
+    TaskProfile small = plainTask(0.4);
+    small.tableKb = 4.0;
+    small.randomAccessFraction = 0.01;
+    small.sharedDataId = 6;
+
+    ContentionSolver mem_solver({}, {mem});
+    ContentionSolver small_solver({}, {small});
+    const auto m = mem_solver.solve(Assignment(t2, {0}));
+    const auto s = small_solver.solve(Assignment(t2, {0}));
+    EXPECT_GT(m.l2MissRate[0], 0.5);
+    EXPECT_LT(m.rates[0], s.rates[0]);
+}
+
+TEST(Contention, FpuPortSharedPerCore)
+{
+    TaskProfile fp = plainTask(0.9);
+    fp.fpFraction = 0.8;
+    std::vector<TaskProfile> tasks(2, fp);
+    ContentionSolver solver({}, tasks);
+    // Same core, different pipes: the FPU port binds
+    // (2 x 0.9 x 0.8 = 1.44 > 1.0 port width).
+    const auto same = solver.solve(Assignment(t2, {0, 4}));
+    // Different cores: two FPUs.
+    const auto diff = solver.solve(Assignment(t2, {0, 8}));
+    EXPECT_LT(same.rates[0], diff.rates[0]);
+    EXPECT_NEAR(same.rates[0] * 0.8 + same.rates[1] * 0.8, 1.0,
+                0.05);
+}
+
+TEST(Contention, SolverConvergesQuickly)
+{
+    std::vector<TaskProfile> tasks(24, plainTask(0.5));
+    ContentionSolver solver({}, tasks);
+    std::vector<core::ContextId> ctx(24);
+    std::iota(ctx.begin(), ctx.end(), 0);
+    const auto result = solver.solve(Assignment(t2, ctx));
+    EXPECT_LT(result.iterations, 40);
+    for (double r : result.rates) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LE(r, 0.5 + 1e-9);
+    }
+}
+
+} // anonymous namespace

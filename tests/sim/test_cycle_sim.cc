@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cycle-approximate simulator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/cycle_sim.hh"
+#include "sim/engine.hh"
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+using core::Assignment;
+using core::ContextId;
+using core::Topology;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+Assignment
+structuredLayout(std::uint32_t instances)
+{
+    std::vector<ContextId> ctx(3 * instances);
+    for (std::uint32_t i = 0; i < instances; ++i) {
+        ctx[3 * i + 0] = (i * 2 + 1) * 4 + 0;
+        ctx[3 * i + 1] = (i * 2 + 0) * 4 + 0;
+        ctx[3 * i + 2] = (i * 2 + 1) * 4 + 1;
+    }
+    return Assignment(t2, ctx);
+}
+
+TEST(CycleSim, DeterministicPerAssignment)
+{
+    CycleSimEngine engine(makeWorkload(Benchmark::IpfwdL1, 2));
+    const Assignment a = structuredLayout(2);
+    EXPECT_DOUBLE_EQ(engine.measure(a), engine.measure(a));
+}
+
+TEST(CycleSim, PositiveAndBoundedThroughput)
+{
+    CycleSimEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    core::RandomAssignmentSampler sampler(t2, 24, 3);
+    for (int i = 0; i < 10; ++i) {
+        const double pps = engine.measure(sampler.draw());
+        EXPECT_GT(pps, 1e5);
+        EXPECT_LT(pps, 2e7);
+    }
+}
+
+TEST(CycleSim, AgreesWithAnalyticOnStructuredLayout)
+{
+    // The cross-validation anchor: both engines within ~10% on the
+    // near-ideal assignment that dominates the EVT tail.
+    CycleSimOptions options;
+    options.cycles = 120000;
+    options.warmupCycles = 30000;
+    CycleSimEngine cycle(makeWorkload(Benchmark::IpfwdL1, 8), {},
+                         options);
+    EngineOptions noiseless;
+    noiseless.noiseRelStdDev = 0.0;
+    SimulatedEngine analytic(makeWorkload(Benchmark::IpfwdL1, 8), {},
+                             noiseless);
+    const Assignment ideal = structuredLayout(8);
+    const double c = cycle.measure(ideal);
+    const double a = analytic.deterministic(ideal);
+    EXPECT_NEAR(c, a, 0.10 * a);
+}
+
+TEST(CycleSim, PackedPlacementIsWorse)
+{
+    CycleSimEngine engine(makeWorkload(Benchmark::IpfwdL1, 8));
+    const double structured = engine.measure(structuredLayout(8));
+    std::vector<ContextId> packed_ctx(24);
+    for (ContextId i = 0; i < 24; ++i)
+        packed_ctx[i] = i;
+    const double packed =
+        engine.measure(Assignment(t2, packed_ctx));
+    EXPECT_GT(structured, packed);
+}
+
+TEST(CycleSim, RanksAssignmentsLikeTheAnalyticModel)
+{
+    CycleSimEngine cycle(makeWorkload(Benchmark::IpfwdL1, 8));
+    EngineOptions noiseless;
+    noiseless.noiseRelStdDev = 0.0;
+    SimulatedEngine analytic(makeWorkload(Benchmark::IpfwdL1, 8), {},
+                             noiseless);
+    core::RandomAssignmentSampler sampler(t2, 24, 4);
+    std::vector<double> c;
+    std::vector<double> a;
+    for (int i = 0; i < 40; ++i) {
+        const auto assignment = sampler.draw();
+        c.push_back(cycle.measure(assignment));
+        a.push_back(analytic.deterministic(assignment));
+    }
+    EXPECT_GT(stats::pearsonCorrelation(c, a), 0.4);
+}
+
+TEST(CycleSim, MemoryBoundVariantIsSlower)
+{
+    CycleSimEngine l1(makeWorkload(Benchmark::IpfwdL1, 4));
+    CycleSimEngine mem(makeWorkload(Benchmark::IpfwdMem, 4));
+    const Assignment layout = structuredLayout(4);
+    EXPECT_GT(l1.measure(layout), mem.measure(layout));
+}
+
+TEST(CycleSim, ModeledSecondsMatchSimulatedInterval)
+{
+    CycleSimOptions options;
+    options.cycles = 140000;
+    options.warmupCycles = 14000;
+    CycleSimEngine engine(makeWorkload(Benchmark::IpfwdL1, 1), {},
+                          options);
+    // 154000 cycles at 1.4 GHz = 110 microseconds.
+    EXPECT_NEAR(engine.secondsPerMeasurement(), 154000.0 / 1.4e9,
+                1e-12);
+    EXPECT_NE(engine.name().find("cyclesim"), std::string::npos);
+}
+
+TEST(CycleSim, QueueDepthLimitsDecoupling)
+{
+    // A deep queue lets the receive stage run ahead; a depth-1
+    // queue serializes the pipeline. Throughput must not increase
+    // when the queue shrinks.
+    CycleSimOptions deep;
+    deep.queueDepth = 64;
+    CycleSimOptions shallow;
+    shallow.queueDepth = 1;
+    CycleSimEngine deep_engine(makeWorkload(Benchmark::IpfwdL1, 2),
+                               {}, deep);
+    CycleSimEngine shallow_engine(
+        makeWorkload(Benchmark::IpfwdL1, 2), {}, shallow);
+    const Assignment layout = structuredLayout(2);
+    EXPECT_GE(deep_engine.measure(layout) * 1.02,
+              shallow_engine.measure(layout));
+}
+
+} // anonymous namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Randomized property tests of the contention solver: conservation,
+ * fairness and monotonicity under arbitrary demands and placements.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sampler.hh"
+#include "sim/contention.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+using core::Assignment;
+using core::Topology;
+using stats::Rng;
+
+const Topology t2 = Topology::ultraSparcT2();
+
+TEST(WaterfillProperties, RandomizedInvariants)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(6);
+        std::vector<double> demands;
+        for (std::size_t i = 0; i < n; ++i)
+            demands.push_back(rng.uniform() * 1.5);
+        const double capacity = rng.uniform() * 2.0;
+        const auto alloc = waterfill(demands, capacity);
+
+        double total = 0.0;
+        double total_demand = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Never exceeds the demand, never negative.
+            ASSERT_GE(alloc[i], -1e-12);
+            ASSERT_LE(alloc[i], demands[i] + 1e-12);
+            total += alloc[i];
+            total_demand += demands[i];
+        }
+        // Work conserving: uses min(capacity, total demand).
+        ASSERT_NEAR(total, std::min(capacity, total_demand), 1e-9);
+
+        // Max-min fairness: if i is throttled (alloc < demand), no
+        // one else gets strictly more than i's allocation.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (alloc[i] < demands[i] - 1e-9) {
+                for (std::size_t j = 0; j < n; ++j)
+                    ASSERT_LE(alloc[j], alloc[i] + 1e-9);
+            }
+        }
+    }
+}
+
+TaskProfile
+randomTask(Rng &rng, std::uint32_t id)
+{
+    TaskProfile p;
+    p.issueDemand = 0.1 + 0.85 * rng.uniform();
+    p.loadStoreFraction = 0.1 + 0.4 * rng.uniform();
+    p.l1dFootprintKb = 0.5 + 3.0 * rng.uniform();
+    p.l1iFootprintKb = 2.0 + 6.0 * rng.uniform();
+    p.l2FootprintKb = 8.0 + 32.0 * rng.uniform();
+    p.codeId = 1 + id % 4;
+    p.instructionsPerPacket = 300.0 + 900.0 * rng.uniform();
+    if (rng.uniform() < 0.3) {
+        p.tableKb = 64.0 + 4096.0 * rng.uniform();
+        p.randomAccessFraction = 0.001 + 0.004 * rng.uniform();
+        p.sharedDataId = 100 + id;
+    }
+    return p;
+}
+
+TEST(SolverProperties, RatesBoundedByDemandOnRandomWorkloads)
+{
+    Rng rng(202);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::uint32_t n =
+            2 + static_cast<std::uint32_t>(rng.uniformInt(22));
+        std::vector<TaskProfile> tasks;
+        for (std::uint32_t i = 0; i < n; ++i)
+            tasks.push_back(randomTask(rng, i));
+        ContentionSolver solver({}, tasks);
+        core::RandomAssignmentSampler sampler(t2, n,
+                                              300 + trial);
+        const auto result = solver.solve(sampler.draw());
+        ASSERT_EQ(result.rates.size(), n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ASSERT_GT(result.rates[i], 0.0);
+            ASSERT_LE(result.rates[i],
+                      tasks[i].issueDemand + 1e-9);
+            ASSERT_GE(result.l1dMissRate[i], 0.0);
+            ASSERT_LE(result.l1dMissRate[i], 1.0);
+            ASSERT_GE(result.l2MissRate[i], 0.0);
+            ASSERT_LE(result.l2MissRate[i], 1.0);
+        }
+    }
+}
+
+TEST(SolverProperties, PipeIssueNeverOversubscribed)
+{
+    Rng rng(303);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint32_t n = 8 +
+            static_cast<std::uint32_t>(rng.uniformInt(16));
+        std::vector<TaskProfile> tasks;
+        for (std::uint32_t i = 0; i < n; ++i)
+            tasks.push_back(randomTask(rng, i));
+        ContentionSolver solver({}, tasks);
+        core::RandomAssignmentSampler sampler(t2, n, 400 + trial);
+        const Assignment a = sampler.draw();
+        const auto result = solver.solve(a);
+
+        std::vector<double> pipe_rate(t2.pipes(), 0.0);
+        for (std::uint32_t i = 0; i < n; ++i)
+            pipe_rate[a.pipeOf(i)] += result.rates[i];
+        for (double r : pipe_rate)
+            ASSERT_LE(r, 1.0 + 1e-6);
+    }
+}
+
+TEST(SolverProperties, AddingACoTenantNeverHelps)
+{
+    // Component-wise monotonicity: placing one more task in an
+    // occupied pipe cannot raise any existing task's rate.
+    Rng rng(404);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<TaskProfile> tasks;
+        for (std::uint32_t i = 0; i < 4; ++i)
+            tasks.push_back(randomTask(rng, i));
+
+        // Three tasks spread out; the fourth joins task 0's pipe
+        // (same core) vs a far-away pipe.
+        ContentionSolver solver({}, tasks);
+        const Assignment crowded(t2, {0, 8, 16, 1});
+        const Assignment spread(t2, {0, 8, 16, 24});
+        const auto c = solver.solve(crowded);
+        const auto s = solver.solve(spread);
+        for (int i = 0; i < 3; ++i)
+            ASSERT_LE(c.rates[i], s.rates[i] + 1e-9) << trial;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Workload container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/benchmarks.hh"
+#include "sim/workload.hh"
+
+namespace
+{
+
+using namespace statsched::sim;
+
+AppInstance
+instanceOf(const std::string &name)
+{
+    AppInstance inst;
+    inst.name = name;
+    TaskProfile r;
+    r.role = StageRole::Receive;
+    TaskProfile p;
+    p.role = StageRole::Process;
+    TaskProfile t;
+    t.role = StageRole::Transmit;
+    inst.stages = {r, p, t};
+    return inst;
+}
+
+TEST(Workload, FlattensTasksInInstanceOrder)
+{
+    Workload wl("w");
+    wl.addInstance(instanceOf("a"));
+    wl.addInstance(instanceOf("b"));
+    EXPECT_EQ(wl.taskCount(), 6u);
+    EXPECT_EQ(wl.tasks()[0].role, StageRole::Receive);
+    EXPECT_EQ(wl.tasks()[1].role, StageRole::Process);
+    EXPECT_EQ(wl.tasks()[2].role, StageRole::Transmit);
+    EXPECT_EQ(wl.tasks()[3].role, StageRole::Receive);
+}
+
+TEST(Workload, EdgesFollowPipelineOrder)
+{
+    Workload wl("w");
+    wl.addInstance(instanceOf("a"));
+    wl.addInstance(instanceOf("b"));
+    const auto &edges = wl.edges();
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_EQ(edges[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+    EXPECT_EQ(edges[1], (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+    EXPECT_EQ(edges[2], (std::pair<std::uint32_t, std::uint32_t>{3, 4}));
+    EXPECT_EQ(edges[3], (std::pair<std::uint32_t, std::uint32_t>{4, 5}));
+}
+
+TEST(Workload, InstanceTaskRanges)
+{
+    Workload wl("w");
+    wl.addInstance(instanceOf("a"));
+    wl.addInstance(instanceOf("b"));
+    EXPECT_EQ(wl.instanceTaskRange(0),
+              (std::pair<std::uint32_t, std::uint32_t>{0, 2}));
+    EXPECT_EQ(wl.instanceTaskRange(1),
+              (std::pair<std::uint32_t, std::uint32_t>{3, 5}));
+}
+
+TEST(Benchmarks, SuiteContainsTheFivePaperBenchmarks)
+{
+    const auto suite = caseStudySuite();
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(benchmarkName(suite[0]), "IPFwd-L1");
+    EXPECT_EQ(benchmarkName(suite[1]), "IPFwd-Mem");
+    EXPECT_EQ(benchmarkName(suite[2]), "Packet analyzer");
+    EXPECT_EQ(benchmarkName(suite[3]), "Aho-Corasick");
+    EXPECT_EQ(benchmarkName(suite[4]), "Stateful");
+}
+
+TEST(Benchmarks, EightInstancesMakeTwentyFourThreads)
+{
+    // The paper's case study: 8 instances = 24 simultaneous threads.
+    for (Benchmark b : caseStudySuite()) {
+        const Workload wl = makeWorkload(b, 8);
+        EXPECT_EQ(wl.taskCount(), 24u);
+        EXPECT_EQ(wl.instances().size(), 8u);
+        EXPECT_EQ(wl.edges().size(), 16u);
+    }
+}
+
+TEST(Benchmarks, StageRolesAndProfilesSane)
+{
+    for (Benchmark b : caseStudySuite()) {
+        const Workload wl = makeWorkload(b, 2);
+        for (const auto &task : wl.tasks()) {
+            EXPECT_GT(task.issueDemand, 0.0);
+            EXPECT_LE(task.issueDemand, 1.0);
+            EXPECT_GE(task.loadStoreFraction, 0.0);
+            EXPECT_LE(task.loadStoreFraction, 1.0);
+            EXPECT_GT(task.instructionsPerPacket, 0.0);
+            EXPECT_GT(task.l1iFootprintKb, 0.0);
+        }
+        EXPECT_EQ(wl.tasks()[0].role, StageRole::Receive);
+        EXPECT_EQ(wl.tasks()[1].role, StageRole::Process);
+        EXPECT_EQ(wl.tasks()[2].role, StageRole::Transmit);
+    }
+}
+
+TEST(Benchmarks, AhoCorasickSharesItsAutomaton)
+{
+    // All AC instances share the same automaton structure (same
+    // keyword set), unlike the per-instance tables of IPFwd.
+    const Workload ac = makeWorkload(Benchmark::AhoCorasick, 4);
+    std::uint32_t shared_id = 0;
+    for (const auto &task : ac.tasks()) {
+        if (task.role == StageRole::Process) {
+            if (shared_id == 0)
+                shared_id = task.sharedDataId;
+            EXPECT_EQ(task.sharedDataId, shared_id);
+        }
+    }
+    const Workload fwd = makeWorkload(Benchmark::IpfwdL1, 4);
+    std::set<std::uint32_t> ids;
+    for (const auto &task : fwd.tasks()) {
+        if (task.role == StageRole::Process)
+            ids.insert(task.sharedDataId);
+    }
+    EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(Benchmarks, MemoryVariantHasLargerTable)
+{
+    const Workload l1 = makeWorkload(Benchmark::IpfwdL1, 1);
+    const Workload mem = makeWorkload(Benchmark::IpfwdMem, 1);
+    EXPECT_LT(l1.tasks()[1].tableKb, 16.0);
+    EXPECT_GT(mem.tasks()[1].tableKb, 1024.0);
+}
+
+TEST(Benchmarks, IntAddDemandsMoreIssueThanIntMul)
+{
+    const Workload add = makeWorkload(Benchmark::IpfwdIntAdd, 1);
+    const Workload mul = makeWorkload(Benchmark::IpfwdIntMul, 1);
+    EXPECT_GT(add.tasks()[1].issueDemand,
+              1.5 * mul.tasks()[1].issueDemand);
+}
+
+TEST(Benchmarks, IpsecUsesTheCryptoUnit)
+{
+    // Extension workload: the P stage is the only one in the library
+    // with a non-zero crypto fraction.
+    const Workload ipsec = makeWorkload(Benchmark::IpsecEsp, 2);
+    EXPECT_GT(ipsec.tasks()[1].cryptoFraction, 0.5);
+    for (Benchmark b : caseStudySuite()) {
+        const Workload wl = makeWorkload(b, 1);
+        for (const auto &task : wl.tasks())
+            EXPECT_DOUBLE_EQ(task.cryptoFraction, 0.0);
+    }
+    EXPECT_EQ(benchmarkName(Benchmark::IpsecEsp), "IPsec-ESP");
+}
+
+TEST(Benchmarks, NamesEncodeInstanceCount)
+{
+    const Workload wl = makeWorkload(Benchmark::Stateful, 8);
+    EXPECT_NE(wl.name().find("Stateful"), std::string::npos);
+    EXPECT_NE(wl.name().find("8x3"), std::string::npos);
+}
+
+} // anonymous namespace

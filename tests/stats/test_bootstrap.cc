@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bootstrap confidence interval tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+std::vector<double>
+boundedSample(double cap, int n, std::uint64_t seed)
+{
+    // Survival (1 - x/cap)^2 near the endpoint (xi = -0.5).
+    Rng rng(seed);
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(cap * (1.0 - std::sqrt(1.0 - rng.uniform())));
+    return xs;
+}
+
+TEST(Bootstrap, IntervalBracketsTheEndpoint)
+{
+    const auto xs = boundedSample(100.0, 3000, 1);
+    const auto interval =
+        bootstrapUpbInterval(xs, {}, 120, 99);
+    EXPECT_GE(interval.replicates, 100u);
+    EXPECT_LE(interval.lower, 100.0);
+    EXPECT_GE(interval.upper, 99.0);
+    EXPECT_GE(interval.median, interval.lower);
+    EXPECT_LE(interval.median, interval.upper);
+    // The interval is tight at this sample size.
+    EXPECT_LT(interval.upper - interval.lower, 10.0);
+}
+
+TEST(Bootstrap, AgreesWithProfileLikelihoodOrderOfMagnitude)
+{
+    const auto xs = boundedSample(100.0, 3000, 2);
+    const auto profile = estimateOptimalPerformance(xs);
+    ASSERT_TRUE(profile.valid);
+    const auto boot = bootstrapUpbInterval(xs, {}, 120, 7);
+    // The two intervals overlap and the point estimate sits inside
+    // the bootstrap interval.
+    EXPECT_LE(boot.lower, profile.upb);
+    EXPECT_GE(boot.upper * 1.02, profile.upb);
+    if (std::isfinite(profile.upbUpper)) {
+        EXPECT_LT(boot.lower, profile.upbUpper);
+        EXPECT_GT(boot.upper, profile.upbLower);
+    }
+}
+
+TEST(Bootstrap, DeterministicBySeed)
+{
+    const auto xs = boundedSample(10.0, 1500, 3);
+    const auto a = bootstrapUpbInterval(xs, {}, 80, 5);
+    const auto b = bootstrapUpbInterval(xs, {}, 80, 5);
+    EXPECT_DOUBLE_EQ(a.lower, b.lower);
+    EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+} // anonymous namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Descriptive statistics tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(Descriptive, MeanVarianceKnown)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    // Unbiased variance of this classic sample is 32/7.
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+}
+
+TEST(Descriptive, MinMax)
+{
+    std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(minimum(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maximum(xs), 7.0);
+}
+
+TEST(Descriptive, QuantileType7Interpolation)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantileSorted(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, SortedCopyDoesNotMutate)
+{
+    std::vector<double> xs = {3.0, 1.0, 2.0};
+    auto sorted = sortedCopy(xs);
+    EXPECT_EQ(sorted, (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(xs[0], 3.0);
+}
+
+TEST(Descriptive, LinearLeastSquaresExactLine)
+{
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.5 * i - 7.0);
+    }
+    const LinearFit fit = linearLeastSquares(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-12);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(Descriptive, LinearLeastSquaresNoisyLine)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(i * 0.1);
+        ys.push_back(1.5 * i * 0.1 + 3.0 + rng.normal(0.0, 0.05));
+    }
+    const LinearFit fit = linearLeastSquares(xs, ys);
+    EXPECT_NEAR(fit.slope, 1.5, 0.01);
+    EXPECT_NEAR(fit.intercept, 3.0, 0.05);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(Descriptive, LinearLeastSquaresDegenerate)
+{
+    // Constant y: perfect horizontal fit.
+    const LinearFit flat =
+        linearLeastSquares({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+    EXPECT_DOUBLE_EQ(flat.intercept, 5.0);
+    EXPECT_DOUBLE_EQ(flat.rSquared, 1.0);
+
+    // Constant x: no slope recoverable.
+    const LinearFit vertical =
+        linearLeastSquares({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(vertical.slope, 0.0);
+    EXPECT_DOUBLE_EQ(vertical.rSquared, 0.0);
+}
+
+TEST(Descriptive, PearsonCorrelation)
+{
+    EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0,
+                1e-12);
+    EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(pearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+} // anonymous namespace

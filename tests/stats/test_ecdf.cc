@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ecdf tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/ecdf.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using statsched::stats::Ecdf;
+using statsched::stats::Rng;
+
+TEST(Ecdf, StepFunctionSemantics)
+{
+    Ecdf ecdf({1.0, 2.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(2.5), 0.75);
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(ecdf.evaluate(99.0), 1.0);
+}
+
+TEST(Ecdf, MinMaxAndSpread)
+{
+    // The Figure 3 example: 0.715 to 1.7 MPPS is a 58% spread.
+    Ecdf ecdf({715000.0, 1000000.0, 1700000.0});
+    EXPECT_DOUBLE_EQ(ecdf.min(), 715000.0);
+    EXPECT_DOUBLE_EQ(ecdf.max(), 1700000.0);
+    EXPECT_NEAR(ecdf.relativeSpread(), 0.5794, 1e-4);
+}
+
+TEST(Ecdf, TopFractionSpread)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 1000; ++i)
+        xs.push_back(static_cast<double>(i));
+    Ecdf ecdf(xs);
+    // Top 1%: values above the 0.99 quantile (~990.01 interpolated).
+    EXPECT_NEAR(ecdf.topFractionSpread(0.01),
+                (1000.0 - 990.01) / 1000.0, 1e-4);
+}
+
+TEST(Ecdf, QuantileMatchesSortedSample)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 999; ++i)
+        xs.push_back(rng.uniform());
+    Ecdf ecdf(xs);
+    EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), ecdf.min());
+    EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), ecdf.max());
+    EXPECT_NEAR(ecdf.quantile(0.5), 0.5, 0.05);
+}
+
+TEST(Ecdf, CurveIsMonotone)
+{
+    Rng rng(4);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(rng.normal(10.0, 2.0));
+    Ecdf ecdf(xs);
+    const auto curve = ecdf.curve(64);
+    ASSERT_EQ(curve.size(), 64u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].first, curve[i - 1].first);
+        EXPECT_GE(curve[i].second, curve[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, ConvergesToTrueUniformCdf)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.uniform());
+    Ecdf ecdf(xs);
+    for (double x = 0.1; x < 1.0; x += 0.1)
+        EXPECT_NEAR(ecdf.evaluate(x), x, 0.02) << x;
+}
+
+} // anonymous namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * GEV distribution and block-maxima tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/gev.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(Gev, GumbelSpecialCase)
+{
+    const Gev gumbel(0.0, 0.0, 1.0);
+    // H(0) = exp(-1).
+    EXPECT_NEAR(gumbel.cdf(0.0), std::exp(-1.0), 1e-12);
+    EXPECT_TRUE(std::isinf(gumbel.supportUpper()));
+    // Mode at mu: density e^-1.
+    EXPECT_NEAR(gumbel.pdf(0.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Gev, NegativeShapeFiniteEndpoint)
+{
+    const Gev gev(-0.5, 10.0, 2.0);
+    EXPECT_DOUBLE_EQ(gev.supportUpper(), 14.0);
+    EXPECT_DOUBLE_EQ(gev.cdf(15.0), 1.0);
+    EXPECT_DOUBLE_EQ(gev.pdf(15.0), 0.0);
+}
+
+TEST(Gev, CdfQuantileRoundTrip)
+{
+    for (double xi : {-0.5, -0.2, 0.0, 0.3}) {
+        const Gev gev(xi, 5.0, 1.5);
+        for (double p : {0.05, 0.25, 0.5, 0.9, 0.99}) {
+            EXPECT_NEAR(gev.cdf(gev.quantile(p)), p, 1e-10)
+                << "xi=" << xi << " p=" << p;
+        }
+    }
+}
+
+TEST(Gev, LogPdfMatchesPdf)
+{
+    const Gev gev(-0.3, 2.0, 1.0);
+    for (double x : {1.0, 2.0, 4.0}) {
+        EXPECT_NEAR(gev.logPdf(x), std::log(gev.pdf(x)), 1e-12);
+    }
+}
+
+TEST(Gev, FitRecoversParameters)
+{
+    Rng rng(77);
+    const Gev truth(-0.3, 100.0, 5.0);
+    std::vector<double> maxima;
+    for (int i = 0; i < 3000; ++i) {
+        double u = rng.uniform();
+        while (u <= 0.0)
+            u = rng.uniform();
+        maxima.push_back(truth.sampleFromUniform(u));
+    }
+    const GevFit fit = fitGev(maxima);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.xi, -0.3, 0.06);
+    EXPECT_NEAR(fit.mu, 100.0, 0.5);
+    EXPECT_NEAR(fit.sigma, 5.0, 0.5);
+    EXPECT_NEAR(fit.upperEndpoint(), truth.supportUpper(), 2.0);
+}
+
+TEST(Gev, BlockMaximaEstimatesEndpoint)
+{
+    // Bounded population with endpoint 50: survival ~ (1-x/50)^2.
+    Rng rng(78);
+    std::vector<double> sample;
+    for (int i = 0; i < 20000; ++i) {
+        sample.push_back(
+            50.0 * (1.0 - std::sqrt(1.0 - rng.uniform())));
+    }
+    const GevFit fit = blockMaximaEstimate(sample, 100);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_LT(fit.xi, 0.0);
+    EXPECT_NEAR(fit.upperEndpoint(), 50.0, 1.5);
+}
+
+TEST(Gev, BlockMaximaHandlesUnevenBlocks)
+{
+    Rng rng(79);
+    std::vector<double> sample;
+    for (int i = 0; i < 1013; ++i)   // not divisible by 25
+        sample.push_back(rng.uniform());
+    const GevFit fit = blockMaximaEstimate(sample, 25);
+    EXPECT_TRUE(std::isfinite(fit.xi));
+    EXPECT_GT(fit.sigma, 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Generalized Pareto Distribution tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/gpd.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using statsched::stats::Gpd;
+using statsched::stats::Rng;
+
+TEST(Gpd, ExponentialSpecialCase)
+{
+    const Gpd gpd(0.0, 2.0);
+    EXPECT_NEAR(gpd.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(gpd.pdf(0.0), 0.5, 1e-12);
+    EXPECT_TRUE(std::isinf(gpd.supportUpper()));
+    EXPECT_NEAR(gpd.meanValue(), 2.0, 1e-12);
+}
+
+TEST(Gpd, NegativeShapeHasFiniteEndpoint)
+{
+    const Gpd gpd(-0.5, 2.0);
+    EXPECT_DOUBLE_EQ(gpd.supportUpper(), 4.0);
+    EXPECT_DOUBLE_EQ(gpd.cdf(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(gpd.cdf(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(gpd.pdf(5.0), 0.0);
+    EXPECT_TRUE(std::isinf(gpd.logPdf(5.0)));
+    EXPECT_LT(gpd.logPdf(5.0), 0.0);
+}
+
+TEST(Gpd, PositiveShapeHeavyTail)
+{
+    const Gpd gpd(0.5, 1.0);
+    EXPECT_TRUE(std::isinf(gpd.supportUpper()));
+    // Survival decays polynomially: 1-G(y) = (1 + y/2)^-2.
+    EXPECT_NEAR(1.0 - gpd.cdf(2.0), std::pow(2.0, -2.0), 1e-12);
+}
+
+TEST(Gpd, CdfQuantileRoundTrip)
+{
+    for (double xi : {-0.7, -0.3, -0.05, 0.0, 0.2, 0.8}) {
+        const Gpd gpd(xi, 1.7);
+        for (double p : {0.0, 0.1, 0.5, 0.9, 0.99}) {
+            const double y = gpd.quantile(p);
+            EXPECT_NEAR(gpd.cdf(y), p, 1e-10)
+                << "xi=" << xi << " p=" << p;
+        }
+    }
+}
+
+TEST(Gpd, PdfIntegratesToCdf)
+{
+    // Trapezoidal integration of the density reproduces the CDF.
+    const Gpd gpd(-0.35, 2.0);
+    const double upper = gpd.supportUpper();
+    double acc = 0.0;
+    const int steps = 200000;
+    const double h = upper / steps;
+    for (int i = 0; i < steps; ++i) {
+        const double a = i * h;
+        const double b = a + h;
+        acc += 0.5 * (gpd.pdf(a) + gpd.pdf(b)) * h;
+        if (i == steps / 2) {
+            EXPECT_NEAR(acc, gpd.cdf(b), 1e-4);
+        }
+    }
+    EXPECT_NEAR(acc, 1.0, 1e-3);
+}
+
+TEST(Gpd, LogPdfMatchesLogOfPdf)
+{
+    const Gpd gpd(-0.2, 3.0);
+    for (double y : {0.1, 1.0, 5.0, 12.0}) {
+        if (gpd.pdf(y) > 0.0) {
+            EXPECT_NEAR(gpd.logPdf(y), std::log(gpd.pdf(y)), 1e-12)
+                << y;
+        }
+    }
+}
+
+TEST(Gpd, SampleMeanMatchesTheory)
+{
+    Rng rng(123);
+    for (double xi : {-0.5, -0.2, 0.0, 0.3}) {
+        const Gpd gpd(xi, 2.0);
+        double sum = 0.0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i)
+            sum += gpd.sampleFromUniform(rng.uniform());
+        EXPECT_NEAR(sum / n, gpd.meanValue(),
+                    0.05 * gpd.meanValue()) << "xi=" << xi;
+    }
+}
+
+TEST(Gpd, SamplesStayInSupport)
+{
+    Rng rng(7);
+    const Gpd gpd(-0.4, 1.0);
+    const double upper = gpd.supportUpper();
+    for (int i = 0; i < 10000; ++i) {
+        const double y = gpd.sampleFromUniform(rng.uniform());
+        EXPECT_GE(y, 0.0);
+        EXPECT_LE(y, upper);
+    }
+}
+
+TEST(Gpd, LogLikelihoodSumsLogPdf)
+{
+    const Gpd gpd(-0.3, 1.5);
+    const std::vector<double> ys = {0.5, 1.0, 2.0};
+    double expected = 0.0;
+    for (double y : ys)
+        expected += gpd.logPdf(y);
+    EXPECT_NEAR(gpd.logLikelihood(ys), expected, 1e-12);
+}
+
+TEST(Gpd, LogLikelihoodInfeasibleObservation)
+{
+    const Gpd gpd(-0.5, 1.0);   // support [0, 2]
+    EXPECT_TRUE(std::isinf(gpd.logLikelihood({0.5, 3.0})));
+}
+
+/** Near-zero shape continuity: xi -> 0 limits match exponential. */
+class GpdShapeContinuity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GpdShapeContinuity, MatchesExponentialNearZero)
+{
+    const double y = GetParam();
+    const Gpd exp_gpd(0.0, 1.3);
+    const Gpd near_gpd(1e-12, 1.3);
+    EXPECT_NEAR(exp_gpd.cdf(y), near_gpd.cdf(y), 1e-9);
+    EXPECT_NEAR(exp_gpd.pdf(y), near_gpd.pdf(y), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, GpdShapeContinuity,
+                         ::testing::Values(0.1, 0.7, 1.9, 4.2, 9.9));
+
+} // anonymous namespace

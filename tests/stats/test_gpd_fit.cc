@@ -1,0 +1,141 @@
+/**
+ * @file
+ * GPD parameter estimation tests: recovery on synthetic data for all
+ * three estimators (the paper's MLE plus the moment/PWM ablation
+ * alternatives).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/gpd.hh"
+#include "stats/gpd_fit.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+std::vector<double>
+synthetic(double xi, double sigma, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const Gpd gpd(xi, sigma);
+    std::vector<double> ys;
+    ys.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        double y = gpd.sampleFromUniform(rng.uniform());
+        if (y <= 0.0)
+            y = 1e-12;
+        ys.push_back(y);
+    }
+    return ys;
+}
+
+/** Parameter grid for recovery tests: (xi, sigma). */
+class GpdRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(GpdRecovery, MaximumLikelihoodRecoversParameters)
+{
+    const auto [xi, sigma] = GetParam();
+    const auto ys = synthetic(xi, sigma, 4000, 42);
+    const GpdFit fit = fitGpd(ys, GpdEstimator::MaximumLikelihood);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.xi, xi, 0.08) << "sigma-hat=" << fit.sigma;
+    EXPECT_NEAR(fit.sigma, sigma, 0.12 * sigma);
+}
+
+TEST_P(GpdRecovery, MethodOfMomentsRecoversParameters)
+{
+    const auto [xi, sigma] = GetParam();
+    // Moments need xi < 1/2 for finite variance; grid satisfies it.
+    const auto ys = synthetic(xi, sigma, 4000, 43);
+    const GpdFit fit = fitGpd(ys, GpdEstimator::MethodOfMoments);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.xi, xi, 0.12);
+    EXPECT_NEAR(fit.sigma, sigma, 0.15 * sigma);
+}
+
+TEST_P(GpdRecovery, PwmRecoversParameters)
+{
+    const auto [xi, sigma] = GetParam();
+    const auto ys = synthetic(xi, sigma, 4000, 44);
+    const GpdFit fit =
+        fitGpd(ys, GpdEstimator::ProbabilityWeightedMoments);
+    EXPECT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.xi, xi, 0.1);
+    EXPECT_NEAR(fit.sigma, sigma, 0.12 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, GpdRecovery,
+    ::testing::Values(std::make_pair(-0.6, 1.0),
+                      std::make_pair(-0.4, 2.0),
+                      std::make_pair(-0.25, 0.5),
+                      std::make_pair(-0.1, 3.0),
+                      std::make_pair(0.2, 1.0)));
+
+TEST(GpdFit, NegativeLogLikelihoodInfeasibleRegions)
+{
+    const std::vector<double> ys = {0.5, 1.0, 2.0};
+    EXPECT_TRUE(std::isinf(gpdNegativeLogLikelihood(-0.1, -1.0, ys)));
+    EXPECT_TRUE(std::isinf(gpdNegativeLogLikelihood(-0.1, 0.0, ys)));
+    // xi=-1, sigma=1 -> support [0,1] excludes y=2.
+    EXPECT_TRUE(std::isinf(gpdNegativeLogLikelihood(-1.0, 1.0, ys)));
+    // Feasible point is finite.
+    EXPECT_TRUE(std::isfinite(
+        gpdNegativeLogLikelihood(-0.1, 2.0, ys)));
+}
+
+TEST(GpdFit, MleBeatsOrMatchesOthersInLikelihood)
+{
+    const auto ys = synthetic(-0.3, 1.0, 1500, 77);
+    const GpdFit mle = fitGpd(ys, GpdEstimator::MaximumLikelihood);
+    const GpdFit mom = fitGpd(ys, GpdEstimator::MethodOfMoments);
+    const GpdFit pwm =
+        fitGpd(ys, GpdEstimator::ProbabilityWeightedMoments);
+    const double ll_mom =
+        -gpdNegativeLogLikelihood(mom.xi, mom.sigma, ys);
+    const double ll_pwm =
+        -gpdNegativeLogLikelihood(pwm.xi, pwm.sigma, ys);
+    EXPECT_GE(mle.logLikelihood, ll_mom - 1e-6);
+    EXPECT_GE(mle.logLikelihood, ll_pwm - 1e-6);
+}
+
+TEST(GpdFit, ExponentialDataGivesNearZeroShape)
+{
+    Rng rng(5);
+    std::vector<double> ys;
+    for (int i = 0; i < 5000; ++i)
+        ys.push_back(-2.0 * std::log(1.0 - rng.uniform()));
+    const GpdFit fit = fitGpd(ys);
+    EXPECT_NEAR(fit.xi, 0.0, 0.06);
+    EXPECT_NEAR(fit.sigma, 2.0, 0.15);
+}
+
+TEST(GpdFit, UniformDataGivesMinusOneShape)
+{
+    // Uniform(0, b) is GPD with xi = -1, sigma = b.
+    Rng rng(6);
+    std::vector<double> ys;
+    for (int i = 0; i < 5000; ++i)
+        ys.push_back(3.0 * rng.uniform() + 1e-9);
+    const GpdFit fit = fitGpd(ys);
+    EXPECT_NEAR(fit.xi, -1.0, 0.1);
+    EXPECT_NEAR(fit.sigma, 3.0, 0.3);
+}
+
+TEST(GpdFit, SmallSampleStillConverges)
+{
+    const auto ys = synthetic(-0.4, 1.0, 30, 9);
+    const GpdFit fit = fitGpd(ys);
+    EXPECT_TRUE(std::isfinite(fit.xi));
+    EXPECT_GT(fit.sigma, 0.0);
+}
+
+} // anonymous namespace

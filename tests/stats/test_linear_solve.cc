@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cholesky solve and ridge regression tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/linear_solve.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(CholeskySolve, IdentitySystem)
+{
+    Matrix a(3);
+    for (int i = 0; i < 3; ++i)
+        a.at(i, i) = 1.0;
+    const auto x = choleskySolve(a, {1.0, 2.0, 3.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(CholeskySolve, KnownSpdSystem)
+{
+    // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+    Matrix a(2);
+    a.at(0, 0) = 4.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 3.0;
+    const auto x = choleskySolve(a, {10.0, 9.0});
+    EXPECT_NEAR(x[0], 1.5, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolve, RandomSpdRoundTrip)
+{
+    Rng rng(4);
+    const std::size_t n = 8;
+    // Build A = B B^T + I (SPD) and verify A x = b round trips.
+    Matrix b(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b.at(i, j) = rng.normal();
+    Matrix a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = (i == j) ? 1.0 : 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                s += b.at(i, k) * b.at(j, k);
+            a.at(i, j) = s;
+        }
+    }
+    std::vector<double> truth(n);
+    for (auto &v : truth)
+        v = rng.normal();
+    std::vector<double> rhs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            rhs[i] += a.at(i, j) * truth[j];
+
+    const auto x = choleskySolve(a, rhs);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], truth[i], 1e-8);
+}
+
+TEST(RidgeRegression, RecoversLinearModel)
+{
+    Rng rng(5);
+    const std::vector<double> w_true = {3.0, -2.0, 0.5};
+    std::vector<std::vector<double>> rows;
+    std::vector<double> ys;
+    for (int i = 0; i < 500; ++i) {
+        std::vector<double> row = {1.0, rng.normal(), rng.normal()};
+        double y = 0.0;
+        for (int j = 0; j < 3; ++j)
+            y += w_true[j] * row[j];
+        rows.push_back(row);
+        ys.push_back(y + rng.normal(0.0, 0.01));
+    }
+    const auto w = ridgeRegression(rows, ys, 1e-8);
+    for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(w[j], w_true[j], 0.01) << j;
+}
+
+TEST(RidgeRegression, RidgeShrinksCollinearWeights)
+{
+    // Duplicated feature: heavy ridge splits the weight evenly.
+    std::vector<std::vector<double>> rows;
+    std::vector<double> ys;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.1;
+        rows.push_back({x, x});
+        ys.push_back(2.0 * x);
+    }
+    const auto w = ridgeRegression(rows, ys, 1e-3);
+    EXPECT_NEAR(w[0], w[1], 1e-6);
+    EXPECT_NEAR(w[0] + w[1], 2.0, 0.01);
+}
+
+} // anonymous namespace

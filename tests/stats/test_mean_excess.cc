@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Mean-excess function tests, including the analytical signatures the
+ * paper relies on (linearity for GPD tails).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "stats/gpd.hh"
+#include "stats/mean_excess.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(MeanExcess, HandComputedSmallSample)
+{
+    // Sample {1, 2, 3, 4}: e(1.5) = mean{0.5, 1.5, 2.5} = 1.5.
+    MeanExcess me({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(me.evaluate(1.5), 1.5);
+    // e(3) = mean{1} = 1; threshold comparisons are strict.
+    EXPECT_DOUBLE_EQ(me.evaluate(3.0), 1.0);
+    // Nothing exceeds the maximum.
+    EXPECT_DOUBLE_EQ(me.evaluate(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(me.evaluate(99.0), 0.0);
+}
+
+TEST(MeanExcess, SortedAccessor)
+{
+    MeanExcess me({3.0, 1.0, 2.0});
+    EXPECT_EQ(me.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MeanExcess, ExponentialHasConstantMeanExcess)
+{
+    // Memorylessness: e(u) == mean for the exponential distribution.
+    Rng rng(21);
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i)
+        xs.push_back(-2.0 * std::log(1.0 - rng.uniform()));
+    MeanExcess me(std::move(xs));
+    for (double u : {0.5, 1.0, 2.0, 4.0})
+        EXPECT_NEAR(me.evaluate(u), 2.0, 0.1) << u;
+}
+
+TEST(MeanExcess, UniformHasLinearDecreasingMeanExcess)
+{
+    // Uniform(0, 1): e(u) = (1-u)/2.
+    Rng rng(22);
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i)
+        xs.push_back(rng.uniform());
+    MeanExcess me(std::move(xs));
+    for (double u : {0.1, 0.3, 0.5, 0.7, 0.9})
+        EXPECT_NEAR(me.evaluate(u), (1.0 - u) / 2.0, 0.01) << u;
+}
+
+TEST(MeanExcess, GpdTailHasTheoreticalSlope)
+{
+    // GPD(xi, sigma): e(u) = (sigma + xi u) / (1 - xi).
+    const double xi = -0.4;
+    const double sigma = 2.0;
+    Rng rng(23);
+    const Gpd gpd(xi, sigma);
+    std::vector<double> xs;
+    for (int i = 0; i < 200000; ++i)
+        xs.push_back(gpd.sampleFromUniform(rng.uniform()));
+    MeanExcess me(std::move(xs));
+    for (double u : {0.5, 1.5, 2.5, 3.5}) {
+        EXPECT_NEAR(me.evaluate(u), (sigma + xi * u) / (1.0 - xi),
+                    0.05) << u;
+    }
+}
+
+TEST(MeanExcess, PlotSkipsDuplicatesAndExcludesMax)
+{
+    MeanExcess me({1.0, 1.0, 2.0, 3.0});
+    const auto plot = me.plot();
+    // Points at 1 and 2 only (3 is the maximum).
+    ASSERT_EQ(plot.size(), 2u);
+    EXPECT_DOUBLE_EQ(plot[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(plot[1].first, 2.0);
+}
+
+TEST(MeanExcess, UpperPlotRestrictsRange)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    MeanExcess me(std::move(xs));
+    const auto upper = me.upperPlot(0.9);
+    ASSERT_FALSE(upper.empty());
+    for (const auto &p : upper)
+        EXPECT_GE(p.first, 90.0);
+}
+
+TEST(MeanExcess, TailLinearityHighForGpdSample)
+{
+    Rng rng(24);
+    const Gpd gpd(-0.35, 1.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(gpd.sampleFromUniform(rng.uniform()));
+    MeanExcess me(std::move(xs));
+    const double u = quantileSorted(me.sorted(), 0.5);
+    EXPECT_GT(me.tailLinearity(u), 0.9);
+}
+
+TEST(MeanExcess, TailLinearityDegenerate)
+{
+    MeanExcess me({1.0, 2.0});
+    // Only one plot point above any threshold: reports 0.
+    EXPECT_DOUBLE_EQ(me.tailLinearity(1.5), 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Nelder-Mead optimizer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/nelder_mead.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(NelderMead, QuadraticBowl1D)
+{
+    auto f = [](const std::vector<double> &x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + 1.0;
+    };
+    const auto result = nelderMeadMinimize(f, {0.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.point[0], 3.0, 1e-6);
+    EXPECT_NEAR(result.value, 1.0, 1e-9);
+}
+
+TEST(NelderMead, QuadraticBowl4D)
+{
+    auto f = [](const std::vector<double> &x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double d = x[i] - static_cast<double>(i);
+            s += (i + 1) * d * d;
+        }
+        return s;
+    };
+    const auto result = nelderMeadMinimize(f, {5.0, 5.0, 5.0, 5.0});
+    EXPECT_TRUE(result.converged);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(result.point[i], static_cast<double>(i), 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock)
+{
+    auto f = [](const std::vector<double> &x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 10000;
+    const auto result = nelderMeadMinimize(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+    EXPECT_NEAR(result.point[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, HandlesInfiniteRegions)
+{
+    // Constrained bowl: +inf outside x > 0.5; minimum at the
+    // boundary-interior point 1.0.
+    auto f = [](const std::vector<double> &x) {
+        if (x[0] <= 0.5)
+            return std::numeric_limits<double>::infinity();
+        return (x[0] - 1.0) * (x[0] - 1.0);
+    };
+    const auto result = nelderMeadMinimize(f, {2.0});
+    EXPECT_NEAR(result.point[0], 1.0, 1e-6);
+}
+
+TEST(NelderMead, StartingAtZeroUsesAbsolutePerturbation)
+{
+    auto f = [](const std::vector<double> &x) {
+        return x[0] * x[0] + (x[1] - 0.001) * (x[1] - 0.001);
+    };
+    const auto result = nelderMeadMinimize(f, {0.0, 0.0});
+    EXPECT_NEAR(result.point[0], 0.0, 1e-6);
+    EXPECT_NEAR(result.point[1], 0.001, 1e-6);
+}
+
+TEST(NelderMead, RespectsIterationBudget)
+{
+    auto f = [](const std::vector<double> &x) {
+        return std::sin(x[0]) + 0.01 * x[0] * x[0];
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 3;
+    const auto result = nelderMeadMinimize(f, {10.0}, options);
+    EXPECT_FALSE(result.converged);
+    EXPECT_LE(result.iterations, 3u);
+}
+
+TEST(NelderMead, MatlabStyleAbsoluteValue)
+{
+    // Non-smooth objective still converges to the kink.
+    auto f = [](const std::vector<double> &x) {
+        return std::fabs(x[0] - 2.5) + std::fabs(x[1] + 1.5);
+    };
+    const auto result = nelderMeadMinimize(f, {0.0, 0.0});
+    EXPECT_NEAR(result.point[0], 2.5, 1e-5);
+    EXPECT_NEAR(result.point[1], -1.5, 1e-5);
+}
+
+} // anonymous namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * RNG statistical sanity tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/rng.hh"
+
+namespace
+{
+
+using statsched::stats::Rng;
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossBuckets)
+{
+    Rng rng(4);
+    const std::uint64_t buckets = 7;
+    std::vector<int> counts(buckets, 0);
+    const int n = 140000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(buckets)];
+    // Chi-squared test at a generous threshold.
+    const double expected = static_cast<double>(n) / buckets;
+    double chi2 = 0.0;
+    for (int c : counts)
+        chi2 += (c - expected) * (c - expected) / expected;
+    // 99.9% quantile of chi2 with 6 df is 22.46.
+    EXPECT_LT(chi2, 22.46);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(3), 3u);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(6);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum_sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish)
+{
+    Rng parent(8);
+    Rng child = parent.split();
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(parent.next());
+        seen.insert(child.next());
+    }
+    // No collisions between the streams in a short window.
+    EXPECT_EQ(seen.size(), 2000u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Special-function accuracy tests against published table values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special_functions.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+TEST(SpecialFunctions, GammaPBoundaries)
+{
+    EXPECT_DOUBLE_EQ(regularizedGammaP(1.0, 0.0), 0.0);
+    EXPECT_NEAR(regularizedGammaP(1.0, 1e3), 1.0, 1e-12);
+    EXPECT_NEAR(regularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0),
+                1e-12);
+}
+
+TEST(SpecialFunctions, GammaPPlusQIsOne)
+{
+    for (double a : {0.3, 0.5, 1.0, 2.5, 7.0, 25.0}) {
+        for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 40.0}) {
+            EXPECT_NEAR(regularizedGammaP(a, x) +
+                        regularizedGammaQ(a, x), 1.0, 1e-12)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(SpecialFunctions, GammaPHalfIsErf)
+{
+    // P(1/2, x) = erf(sqrt(x)).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+        EXPECT_NEAR(regularizedGammaP(0.5, x),
+                    std::erf(std::sqrt(x)), 1e-10) << x;
+    }
+}
+
+TEST(SpecialFunctions, InverseGammaPRoundTrip)
+{
+    for (double a : {0.4, 0.5, 1.0, 2.0, 5.0, 12.0, 50.0}) {
+        for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                         0.999}) {
+            const double x = inverseGammaP(a, p);
+            EXPECT_NEAR(regularizedGammaP(a, x), p, 1e-8)
+                << "a=" << a << " p=" << p;
+        }
+    }
+}
+
+TEST(SpecialFunctions, ChiSquaredQuantileTableValues)
+{
+    // Published chi-squared table values.
+    EXPECT_NEAR(chiSquaredQuantile(0.95, 1), 3.841458821, 1e-6);
+    EXPECT_NEAR(chiSquaredQuantile(0.99, 1), 6.634896601, 1e-6);
+    EXPECT_NEAR(chiSquaredQuantile(0.90, 1), 2.705543454, 1e-6);
+    EXPECT_NEAR(chiSquaredQuantile(0.95, 2), 5.991464547, 1e-6);
+    EXPECT_NEAR(chiSquaredQuantile(0.99, 5), 15.08627247, 1e-6);
+    EXPECT_NEAR(chiSquaredQuantile(0.50, 10), 9.341818446, 1e-6);
+}
+
+TEST(SpecialFunctions, ChiSquaredCdfQuantileRoundTrip)
+{
+    for (double df : {1.0, 2.0, 3.0, 7.5, 30.0}) {
+        for (double p : {0.05, 0.5, 0.95, 0.999}) {
+            const double x = chiSquaredQuantile(p, df);
+            EXPECT_NEAR(chiSquaredCdf(x, df), p, 1e-8)
+                << "df=" << df << " p=" << p;
+        }
+    }
+}
+
+TEST(SpecialFunctions, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-15);
+    EXPECT_NEAR(normalCdf(1.0), 0.841344746, 1e-8);
+    EXPECT_NEAR(normalCdf(-1.959963985), 0.025, 1e-8);
+    EXPECT_NEAR(normalCdf(3.0), 0.998650102, 1e-8);
+}
+
+TEST(SpecialFunctions, NormalQuantileKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963985, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829304, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.0001), -3.719016485, 1e-7);
+}
+
+TEST(SpecialFunctions, NormalQuantileCdfRoundTrip)
+{
+    for (double p = 0.001; p < 0.999; p += 0.0217) {
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-10) << p;
+    }
+}
+
+/** Parameterized chi-squared symmetry: quantile is monotone in p. */
+class ChiSquaredMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ChiSquaredMonotone, QuantileMonotoneInProbability)
+{
+    const double df = GetParam();
+    double prev = 0.0;
+    for (double p = 0.05; p < 1.0; p += 0.05) {
+        const double q = chiSquaredQuantile(p, df);
+        EXPECT_GT(q, prev) << "df=" << df << " p=" << p;
+        prev = q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesOfFreedom, ChiSquaredMonotone,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 10.0,
+                                           50.0));
+
+} // anonymous namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tail-quantile estimation tests (the paper's Section 3.2 top-P%
+ * performance boundaries, derived from the fitted tail instead of
+ * the exhaustive CDF).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/pot.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+/** Bounded population: survival (1 - x/cap)^2 (xi = -0.5). */
+std::vector<double>
+boundedSample(double cap, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(cap * (1.0 - std::sqrt(1.0 - rng.uniform())));
+    return xs;
+}
+
+/** True upper quantile of that population at tail fraction f. */
+double
+trueQuantile(double cap, double f)
+{
+    // 1 - F(x) = (1 - x/cap)^2 = f  =>  x = cap (1 - sqrt(f)).
+    return cap * (1.0 - std::sqrt(f));
+}
+
+TEST(TailQuantile, MatchesTrueQuantiles)
+{
+    const double cap = 1000.0;
+    const auto xs = boundedSample(cap, 8000, 3);
+    const auto est = estimateOptimalPerformance(xs);
+    ASSERT_TRUE(est.valid);
+    for (double f : {0.04, 0.02, 0.01, 0.005, 0.001}) {
+        EXPECT_NEAR(est.tailQuantile(f), trueQuantile(cap, f),
+                    0.01 * cap) << f;
+    }
+}
+
+TEST(TailQuantile, MonotoneAndAnchored)
+{
+    const auto xs = boundedSample(50.0, 5000, 4);
+    const auto est = estimateOptimalPerformance(xs);
+    ASSERT_TRUE(est.valid);
+
+    // The full tail fraction reproduces the threshold.
+    EXPECT_NEAR(est.tailQuantile(est.exceedanceRate), est.threshold,
+                1e-9);
+    // Smaller fractions give higher boundaries, approaching the UPB.
+    double prev = est.threshold;
+    for (double f = est.exceedanceRate / 2.0; f > 1e-6; f /= 2.0) {
+        const double q = est.tailQuantile(f);
+        EXPECT_GT(q, prev);
+        EXPECT_LT(q, est.upb * 1.0001);
+        prev = q;
+    }
+}
+
+TEST(TailQuantile, TopOnePercentSpreadLikeFigure3)
+{
+    // "The performance difference in P% of the best-performing task
+    // assignments can be directly determined from the CDF" — here
+    // from the fitted tail: spread = (UPB - q(P)) / UPB.
+    const auto xs = boundedSample(100.0, 6000, 5);
+    const auto est = estimateOptimalPerformance(xs);
+    ASSERT_TRUE(est.valid);
+    const double spread =
+        (est.upb - est.tailQuantile(0.01)) / est.upb;
+    // True value: 1 - (1 - sqrt(0.01)) = 0.1.
+    EXPECT_NEAR(spread, 0.1, 0.02);
+}
+
+TEST(TailQuantile, ExceedanceRateIsRecorded)
+{
+    const auto xs = boundedSample(10.0, 2000, 6);
+    const auto est = estimateOptimalPerformance(xs);
+    EXPECT_NEAR(est.exceedanceRate, 0.05, 0.001);
+}
+
+} // anonymous namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * POT threshold selection tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/gpd.hh"
+#include "stats/rng.hh"
+#include "stats/threshold.hh"
+
+namespace
+{
+
+using namespace statsched::stats;
+
+std::vector<double>
+normalSample(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(rng.normal(100.0, 10.0));
+    return xs;
+}
+
+TEST(Threshold, FixedFractionTakesTopFivePercent)
+{
+    const auto xs = normalSample(2000, 1);
+    ThresholdOptions options;
+    options.policy = ThresholdPolicy::FixedFraction;
+    const auto sel = selectThreshold(xs, options);
+    // 5% of 2000 = 100 exceedances (fewer only under ties).
+    EXPECT_EQ(sel.exceedances.size(), 100u);
+    for (double y : sel.exceedances)
+        EXPECT_GT(y, 0.0);
+}
+
+TEST(Threshold, PaperExceedanceCounts)
+{
+    // The paper's samples of 1000 / 2000 / 5000 use at most
+    // 50 / 100 / 250 exceedances.
+    for (int n : {1000, 2000, 5000}) {
+        const auto xs = normalSample(n, 100 + n);
+        const auto sel = selectThreshold(xs, {});
+        EXPECT_EQ(sel.exceedances.size(),
+                  static_cast<std::size_t>(n / 20)) << n;
+    }
+}
+
+TEST(Threshold, ExceedancesMatchSortedTail)
+{
+    const auto xs = normalSample(400, 2);
+    auto sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const auto sel = selectThreshold(xs, {});
+    ASSERT_EQ(sel.exceedances.size(), 20u);
+    // The largest exceedance reconstructs the sample maximum.
+    double max_y = 0.0;
+    for (double y : sel.exceedances)
+        max_y = std::max(max_y, y);
+    EXPECT_DOUBLE_EQ(sel.threshold + max_y, sorted.back());
+    // The threshold equals the highest excluded order statistic.
+    EXPECT_DOUBLE_EQ(sel.threshold, sorted[sorted.size() - 21]);
+}
+
+TEST(Threshold, LinearityScanStaysWithinCap)
+{
+    const auto xs = normalSample(3000, 3);
+    ThresholdOptions options;
+    options.policy = ThresholdPolicy::LinearityScan;
+    options.minExceedances = 30;
+    const auto sel = selectThreshold(xs, options);
+    EXPECT_GE(sel.exceedances.size(), 30u);
+    EXPECT_LE(sel.exceedances.size(), 150u);
+    EXPECT_GT(sel.tailLinearity, 0.0);
+}
+
+TEST(Threshold, LinearityScanPrefersLinearTail)
+{
+    // A GPD sample has a linear mean-excess tail, so the scan should
+    // report high linearity at its pick.
+    Rng rng(4);
+    const Gpd gpd(-0.4, 2.0);
+    std::vector<double> xs;
+    for (int i = 0; i < 4000; ++i)
+        xs.push_back(gpd.sampleFromUniform(rng.uniform()));
+    ThresholdOptions options;
+    options.policy = ThresholdPolicy::LinearityScan;
+    const auto sel = selectThreshold(xs, options);
+    EXPECT_GT(sel.tailLinearity, 0.85);
+}
+
+TEST(Threshold, RespectsMinimumExceedances)
+{
+    const auto xs = normalSample(200, 5);
+    ThresholdOptions options;
+    options.minExceedances = 15;
+    const auto sel = selectThreshold(xs, options);
+    // 5% of 200 = 10 < minimum, so the floor applies.
+    EXPECT_GE(sel.exceedances.size(), 15u);
+}
+
+} // anonymous namespace

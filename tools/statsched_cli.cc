@@ -1,0 +1,361 @@
+/**
+ * @file
+ * statsched — command-line front end to the library.
+ *
+ * Subcommands:
+ *   count     size of the assignment space (Table 1 style)
+ *   capture   capture-probability / sample-size math (Figure 2)
+ *   enumerate exhaustive listing of canonical assignments
+ *   baselines naive / Linux-like / packed performance on a benchmark
+ *   estimate  sample + EVT estimation of the optimal performance
+ *   iterate   the Section-5.3 iterative algorithm
+ *
+ * Run `statsched_cli help` for usage. All stochastic commands accept
+ * --seed and are fully reproducible.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/assignment_space.hh"
+#include "core/baselines.hh"
+#include "core/capture_probability.hh"
+#include "core/enumerator.hh"
+#include "core/estimator.hh"
+#include "core/iterative.hh"
+#include "num/duration.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+/** Simple --key value argument map. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) != 0) {
+                std::fprintf(stderr, "expected --option, got %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            values_[argv[i] + 2] = argv[i + 1];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end()
+            ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end()
+            ? fallback : std::strtod(it->second.c_str(), nullptr);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+core::Topology
+parseTopology(const std::string &spec)
+{
+    // "CxPxS", e.g. "8x2x4".
+    unsigned c = 8;
+    unsigned p = 2;
+    unsigned s = 4;
+    if (std::sscanf(spec.c_str(), "%ux%ux%u", &c, &p, &s) != 3) {
+        std::fprintf(stderr, "bad topology '%s' (want CxPxS)\n",
+                     spec.c_str());
+        std::exit(2);
+    }
+    return core::Topology{c, p, s};
+}
+
+sim::Benchmark
+parseBenchmark(const std::string &name)
+{
+    using sim::Benchmark;
+    if (name == "ipfwd-l1")
+        return Benchmark::IpfwdL1;
+    if (name == "ipfwd-mem")
+        return Benchmark::IpfwdMem;
+    if (name == "analyzer")
+        return Benchmark::PacketAnalyzer;
+    if (name == "aho")
+        return Benchmark::AhoCorasick;
+    if (name == "stateful")
+        return Benchmark::Stateful;
+    if (name == "intadd")
+        return Benchmark::IpfwdIntAdd;
+    if (name == "intmul")
+        return Benchmark::IpfwdIntMul;
+    std::fprintf(stderr, "unknown benchmark '%s' (ipfwd-l1, "
+                 "ipfwd-mem, analyzer, aho, stateful, intadd, "
+                 "intmul)\n", name.c_str());
+    std::exit(2);
+}
+
+int
+cmdCount(const Args &args)
+{
+    const core::Topology topo =
+        parseTopology(args.get("topology", "8x2x4"));
+    const long tasks = args.getInt("tasks", 24);
+    if (tasks < 1 ||
+        tasks > static_cast<long>(topo.contexts())) {
+        std::fprintf(stderr, "tasks out of range for %s\n",
+                     topo.shapeString().c_str());
+        return 2;
+    }
+    const core::AssignmentSpace space(topo);
+    const auto count =
+        space.countAssignments(static_cast<std::uint32_t>(tasks));
+    std::printf("topology %s (%u contexts), %ld tasks\n",
+                topo.shapeString().c_str(), topo.contexts(), tasks);
+    std::printf("assignments: %s", count.toScientific(4).c_str());
+    if (count.fitsUint64())
+        std::printf(" (exactly %s)", count.toString().c_str());
+    std::printf("\n");
+    std::printf("run all at 1 s each:     %s\n",
+                num::Duration::fromSeconds(count).toString().c_str());
+    std::printf("predict all at 1 us:     %s\n",
+                num::Duration::fromMicroseconds(count)
+                    .toString().c_str());
+    return 0;
+}
+
+int
+cmdCapture(const Args &args)
+{
+    const double percent = args.getDouble("percent", 1.0);
+    const double target = args.getDouble("target", 0.99);
+    const long n = args.getInt("samples", 0);
+    if (n > 0) {
+        std::printf("P(capture top %.2f%% in %ld draws) = %.6f\n",
+                    percent, n,
+                    core::captureProbability(
+                        percent, static_cast<std::uint64_t>(n)));
+    } else {
+        std::printf("draws for P(capture top %.2f%%) >= %.4f: "
+                    "%llu\n", percent, target,
+                    static_cast<unsigned long long>(
+                        core::requiredSampleSize(percent, target)));
+    }
+    return 0;
+}
+
+int
+cmdEnumerate(const Args &args)
+{
+    const core::Topology topo =
+        parseTopology(args.get("topology", "8x2x4"));
+    const long tasks = args.getInt("tasks", 3);
+    const long limit = args.getInt("limit", 50);
+    if (tasks < 1 || tasks > 8) {
+        std::fprintf(stderr,
+                     "enumerate supports 1..8 tasks (space grows "
+                     "as Table 1 shows)\n");
+        return 2;
+    }
+    core::AssignmentEnumerator enumerator(
+        topo, static_cast<std::uint32_t>(tasks));
+    long shown = 0;
+    const std::uint64_t total = enumerator.forEach(
+        [&shown, limit](const core::Assignment &a) {
+            if (shown < limit) {
+                std::printf("%6ld  %s\n", shown + 1,
+                            a.toString().c_str());
+            }
+            ++shown;
+            return true;
+        });
+    std::printf("total canonical assignments: %llu%s\n",
+                static_cast<unsigned long long>(total),
+                total > static_cast<std::uint64_t>(limit)
+                    ? " (listing truncated; use --limit)" : "");
+    return 0;
+}
+
+int
+cmdBaselines(const Args &args)
+{
+    const sim::Benchmark benchmark =
+        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
+    const long instances = args.getInt("instances", 8);
+    const long seed = args.getInt("seed", 1);
+    const core::Topology topo = core::Topology::ultraSparcT2();
+
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(benchmark,
+                          static_cast<std::uint32_t>(instances)));
+    const std::uint32_t tasks = engine.workload().taskCount();
+
+    const double naive = core::naiveExpectedPerformance(
+        engine, topo, tasks, 1000, static_cast<std::uint64_t>(seed));
+    const double linux_like = engine.measure(
+        core::linuxLikeAssignment(topo, tasks));
+    const double packed = engine.measure(
+        core::packedAssignment(topo, tasks));
+    std::printf("%s, %ld instances (%u tasks) on %s\n",
+                sim::benchmarkName(benchmark).c_str(), instances,
+                tasks, topo.shapeString().c_str());
+    std::printf("naive (random mean):  %12.0f PPS\n", naive);
+    std::printf("Linux-like balanced:  %12.0f PPS\n", linux_like);
+    std::printf("packed (pessimal):    %12.0f PPS\n", packed);
+    return 0;
+}
+
+int
+cmdEstimate(const Args &args)
+{
+    const sim::Benchmark benchmark =
+        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
+    const long instances = args.getInt("instances", 8);
+    const long samples = args.getInt("samples", 2000);
+    const long seed = args.getInt("seed", 42);
+    const core::Topology topo = core::Topology::ultraSparcT2();
+
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(benchmark,
+                          static_cast<std::uint32_t>(instances)));
+    core::OptimalPerformanceEstimator estimator(
+        engine, topo, engine.workload().taskCount(),
+        static_cast<std::uint64_t>(seed));
+    const auto result =
+        estimator.extend(static_cast<std::size_t>(samples));
+
+    std::printf("%s: %ld random assignments (seed %ld)\n",
+                engine.name().c_str(), samples, seed);
+    std::printf("best observed:      %12.0f PPS\n",
+                result.bestObserved);
+    if (result.pot.valid) {
+        std::printf("estimated optimum:  %12.0f PPS  "
+                    "[%.0f, %.0f] @ 0.95\n", result.pot.upb,
+                    result.pot.upbLower, result.pot.upbUpper);
+        std::printf("tail shape xi-hat:  %12.3f\n",
+                    result.pot.fit.xi);
+        std::printf("headroom:           %11.2f%%\n",
+                    100.0 * result.estimatedLoss());
+    } else {
+        std::printf("tail estimate invalid (xi >= 0 or sample too "
+                    "small)\n");
+    }
+    if (result.bestAssignment) {
+        std::printf("best assignment:    %s\n",
+                    result.bestAssignment->toString().c_str());
+    }
+    return 0;
+}
+
+int
+cmdIterate(const Args &args)
+{
+    const sim::Benchmark benchmark =
+        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
+    const long instances = args.getInt("instances", 8);
+    const double loss = args.getDouble("loss", 2.5);
+    const long seed = args.getInt("seed", 7);
+    const core::Topology topo = core::Topology::ultraSparcT2();
+
+    sim::SimulatedEngine engine(
+        sim::makeWorkload(benchmark,
+                          static_cast<std::uint32_t>(instances)));
+    core::IterativeOptions options;
+    options.acceptableLoss = loss / 100.0;
+    options.initialSample =
+        static_cast<std::size_t>(args.getInt("ninit", 1000));
+    options.incrementSample =
+        static_cast<std::size_t>(args.getInt("ndelta", 100));
+    options.maxSample =
+        static_cast<std::size_t>(args.getInt("max", 20000));
+    options.useUpperConfidenceBound =
+        args.getInt("confident", 0) != 0;
+
+    const auto run = core::iterativeAssignmentSearch(
+        engine, topo, engine.workload().taskCount(),
+        static_cast<std::uint64_t>(seed), options);
+    std::printf("target loss %.2f%%: %s after %zu assignments "
+                "(%zu iterations)\n", loss,
+                run.satisfied ? "met" : "NOT met",
+                run.totalSampled, run.steps.size());
+    std::printf("final: best %.0f PPS, UPB %.0f PPS, loss %.2f%%\n",
+                run.final.bestObserved, run.final.pot.upb,
+                100.0 * run.steps.back().loss);
+    return 0;
+}
+
+int
+cmdHelp()
+{
+    std::printf(
+        "statsched — statistical task-assignment toolkit "
+        "(ASPLOS'12 reproduction)\n\n"
+        "usage: statsched_cli <command> [--option value ...]\n\n"
+        "commands:\n"
+        "  count      --tasks N [--topology CxPxS]\n"
+        "  capture    --percent P [--samples N | --target T]\n"
+        "  enumerate  --tasks N [--topology CxPxS] [--limit K]\n"
+        "  baselines  --benchmark B [--instances K] [--seed S]\n"
+        "  estimate   --benchmark B [--instances K] [--samples N] "
+        "[--seed S]\n"
+        "  iterate    --benchmark B [--loss PCT] [--ninit N] "
+        "[--ndelta N]\n"
+        "             [--max N] [--confident 1]\n"
+        "  help\n\n"
+        "benchmarks: ipfwd-l1 ipfwd-mem analyzer aho stateful "
+        "intadd intmul\n");
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdHelp();
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+
+    if (command == "count")
+        return cmdCount(args);
+    if (command == "capture")
+        return cmdCapture(args);
+    if (command == "enumerate")
+        return cmdEnumerate(args);
+    if (command == "baselines")
+        return cmdBaselines(args);
+    if (command == "estimate")
+        return cmdEstimate(args);
+    if (command == "iterate")
+        return cmdIterate(args);
+    if (command == "help" || command == "--help")
+        return cmdHelp();
+
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    cmdHelp();
+    return 2;
+}
