@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Wall-clock speedup of the parallel batch measurement engine.
+ *
+ * The paper's bottleneck is experimentation time: a 10k-sample
+ * estimate is 10 000 independent measurements (Section 5.3). This
+ * harness times the same generate-then-batch estimate serially and
+ * on the ParallelEngine worker pool, verifies the results are
+ * bit-identical, and reports the speedup. On an 8-core host the
+ * parallel run is expected to be >= 3x faster; on a single-core
+ * container the numbers simply document the overhead.
+ *
+ * Usage: bench_parallel_speedup [samples] [threads]
+ *        (defaults: 10000 samples, hardware concurrency)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/estimator.hh"
+#include "core/memoizing_engine.hh"
+#include "core/parallel_engine.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+double
+seconds(std::chrono::steady_clock::time_point from,
+        std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+struct TimedRun
+{
+    double wallSeconds = 0.0;
+    core::EstimationResult result;
+};
+
+TimedRun
+runEstimate(core::PerformanceEngine &engine, std::size_t samples)
+{
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+    core::OptimalPerformanceEstimator estimator(engine, t2, 24, 42);
+    const auto start = std::chrono::steady_clock::now();
+    TimedRun run;
+    run.result = estimator.extend(samples);
+    run.wallSeconds = seconds(start, std::chrono::steady_clock::now());
+    return run;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t samples = argc > 1
+        ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+        : 10000;
+    const unsigned threads = argc > 2
+        ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10))
+        : std::max(1u, std::thread::hardware_concurrency());
+
+    bench::banner("parallel speedup",
+                  "serial vs parallel batch measurement of one "
+                  "estimate");
+    std::printf("samples %zu, pool threads %u, benchmark IPFwd-L1 "
+                "x8 (24 tasks)\n", samples, threads);
+
+    bench::section("serial (--threads 1)");
+    sim::SimulatedEngine serial_sim(
+        sim::makeWorkload(sim::Benchmark::IpfwdL1, 8));
+    const TimedRun serial = runEstimate(serial_sim, samples);
+    std::printf("wall %.3f s, best %s MPPS, UPB %s MPPS\n",
+                serial.wallSeconds,
+                bench::mpps(serial.result.bestObserved).c_str(),
+                bench::mpps(serial.result.pot.upb).c_str());
+
+    bench::section("parallel");
+    sim::SimulatedEngine parallel_sim(
+        sim::makeWorkload(sim::Benchmark::IpfwdL1, 8));
+    core::ParallelEngine pool(parallel_sim, threads);
+    const TimedRun parallel = runEstimate(pool, samples);
+    std::printf("wall %.3f s, best %s MPPS, UPB %s MPPS\n",
+                parallel.wallSeconds,
+                bench::mpps(parallel.result.bestObserved).c_str(),
+                bench::mpps(parallel.result.pot.upb).c_str());
+
+    bench::section("memoized parallel");
+    sim::SimulatedEngine memo_sim(
+        sim::makeWorkload(sim::Benchmark::IpfwdL1, 8));
+    core::ParallelEngine memo_pool(memo_sim, threads);
+    core::MemoizingEngine memo(memo_pool);
+    core::MeteredEngine meter(memo);
+    const TimedRun memoized = runEstimate(meter, samples);
+    const core::EngineStats stats = meter.stats();
+    std::printf("wall %.3f s, cache hit rate %s (%llu distinct "
+                "classes)\n", memoized.wallSeconds,
+                bench::pct(stats.cacheHitRate()).c_str(),
+                static_cast<unsigned long long>(stats.cacheMisses));
+
+    bench::section("verdict");
+    const bool identical =
+        serial.result.sample == parallel.result.sample &&
+        serial.result.bestObserved == parallel.result.bestObserved;
+    std::printf("serial == parallel results: %s\n",
+                identical ? "yes (bit-identical)" : "NO — BUG");
+    if (parallel.wallSeconds > 0.0) {
+        std::printf("speedup: %.2fx on %u thread(s)\n",
+                    serial.wallSeconds / parallel.wallSeconds,
+                    threads);
+    }
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Small shared command-line option parser.
+ *
+ * Replaces the ad-hoc `--key value` pair scanner the CLI grew up
+ * with, which silently dropped a trailing odd token and accepted any
+ * unknown option. OptionParser requires options to be declared up
+ * front, supports boolean flags and both `--key value` and
+ * `--key=value` spellings, and reports unknown options, missing
+ * values and malformed numbers as errors instead of guessing.
+ *
+ * Header-only; no dependencies beyond the standard library.
+ */
+
+#ifndef STATSCHED_BASE_CLI_HH
+#define STATSCHED_BASE_CLI_HH
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace base
+{
+
+/**
+ * Declared-options command-line parser.
+ *
+ * Usage:
+ *     OptionParser parser;
+ *     parser.addOption("samples", "2000", "sample size");
+ *     parser.addFlag("no-memoize", "disable the measurement cache");
+ *     if (!parser.parse(argc, argv, 2)) {
+ *         fprintf(stderr, "%s\n", parser.error().c_str());
+ *         return 2;
+ *     }
+ *     long n = parser.getInt("samples");
+ */
+class OptionParser
+{
+  public:
+    /**
+     * Declares a value-taking option.
+     *
+     * @param name     Option name without the leading "--".
+     * @param fallback Value reported when the option is absent.
+     * @param help     One-line description for usage text.
+     */
+    OptionParser &
+    addOption(const std::string &name, const std::string &fallback,
+              const std::string &help = "")
+    {
+        specs_[name] = Spec{false, fallback, help};
+        return *this;
+    }
+
+    /**
+     * Declares a boolean flag: present means true, no value is
+     * consumed (`--flag` or `--flag=1` / `--flag=0`).
+     */
+    OptionParser &
+    addFlag(const std::string &name, const std::string &help = "")
+    {
+        specs_[name] = Spec{true, "0", help};
+        return *this;
+    }
+
+    /**
+     * Parses argv[first..argc). On failure returns false and leaves
+     * the reason in error().
+     */
+    bool
+    parse(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string token = argv[i];
+            if (token.rfind("--", 0) != 0) {
+                error_ = "expected --option, got '" + token + "'";
+                return false;
+            }
+            token.erase(0, 2);
+
+            std::string value;
+            bool has_inline = false;
+            const auto eq = token.find('=');
+            if (eq != std::string::npos) {
+                value = token.substr(eq + 1);
+                token.resize(eq);
+                has_inline = true;
+            }
+
+            const auto spec = specs_.find(token);
+            if (spec == specs_.end()) {
+                error_ = "unknown option '--" + token + "'";
+                return false;
+            }
+            if (spec->second.isFlag) {
+                values_[token] = has_inline ? value : "1";
+                continue;
+            }
+            if (!has_inline) {
+                if (i + 1 >= argc) {
+                    error_ = "missing value for '--" + token + "'";
+                    return false;
+                }
+                value = argv[++i];
+            }
+            if (value.empty()) {
+                error_ = "empty value for '--" + token + "'";
+                return false;
+            }
+            values_[token] = value;
+        }
+        return true;
+    }
+
+    /** @return the failure reason after parse() returned false. */
+    const std::string &error() const { return error_; }
+
+    /** @return true if the option appeared on the command line. */
+    bool
+    given(const std::string &name) const
+    {
+        return values_.count(name) != 0;
+    }
+
+    /** @return the option's value, or its declared fallback. */
+    std::string
+    get(const std::string &name) const
+    {
+        const auto it = values_.find(name);
+        if (it != values_.end())
+            return it->second;
+        const auto spec = specs_.find(name);
+        return spec == specs_.end() ? "" : spec->second.fallback;
+    }
+
+    /** @return a declared flag's state. */
+    bool
+    flag(const std::string &name) const
+    {
+        const std::string v = get(name);
+        return !v.empty() && v != "0" && v != "false";
+    }
+
+    /** @return the option parsed as a long (fallback on absence). */
+    long
+    getInt(const std::string &name) const
+    {
+        return std::strtol(get(name).c_str(), nullptr, 10);
+    }
+
+    /** @return the option parsed as a double (fallback on
+     *  absence). */
+    double
+    getDouble(const std::string &name) const
+    {
+        return std::strtod(get(name).c_str(), nullptr);
+    }
+
+    /** @return "  --name VALUE  help" lines for usage text. */
+    std::string
+    usage() const
+    {
+        std::string text;
+        for (const auto &[name, spec] : specs_) {
+            text += "  --" + name;
+            if (!spec.isFlag)
+                text += " <" + spec.fallback + ">";
+            if (!spec.help.empty())
+                text += "  " + spec.help;
+            text += "\n";
+        }
+        return text;
+    }
+
+  private:
+    struct Spec
+    {
+        bool isFlag = false;
+        std::string fallback;
+        std::string help;
+    };
+
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::string error_;
+};
+
+} // namespace base
+} // namespace statsched
+
+#endif // STATSCHED_BASE_CLI_HH

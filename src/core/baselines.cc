@@ -76,10 +76,9 @@ naiveExpectedPerformance(PerformanceEngine &engine,
 {
     STATSCHED_ASSERT(draws >= 1, "need at least one draw");
     RandomAssignmentSampler sampler(topology, tasks, seed);
-    std::vector<double> values;
-    values.reserve(draws);
-    for (std::size_t i = 0; i < draws; ++i)
-        values.push_back(engine.measure(sampler.draw()));
+    const std::vector<Assignment> batch = sampler.drawSample(draws);
+    std::vector<double> values(batch.size());
+    engine.measureBatch(batch, values);
     return stats::mean(values);
 }
 

@@ -22,13 +22,18 @@ OptimalPerformanceEstimator::OptimalPerformanceEstimator(
 EstimationResult
 OptimalPerformanceEstimator::extend(std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        Assignment a = sampler_.draw();
-        const double perf = engine_.measure(a);
-        sample_.push_back(perf);
-        if (!best_ || perf > bestValue_) {
-            best_ = std::move(a);
-            bestValue_ = perf;
+    // Generate-then-batch: draw the whole extension first (the
+    // sampler stream is identical to the interleaved path), then hand
+    // the engine one batch it can parallelize or deduplicate.
+    std::vector<Assignment> batch = sampler_.drawSample(n);
+    std::vector<double> values(batch.size());
+    engine_.measureBatch(batch, values);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        sample_.push_back(values[i]);
+        if (!best_ || values[i] > bestValue_) {
+            best_ = std::move(batch[i]);
+            bestValue_ = values[i];
         }
     }
 

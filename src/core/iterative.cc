@@ -50,6 +50,8 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
         step.sampleSize = result.totalSampled;
         step.bestObserved = result.final.bestObserved;
         step.upb = result.final.pot.upb;
+        step.upbUpper = result.final.pot.upbUpper;
+        step.lossTarget = target;
         step.loss = std::isfinite(target) && target > 0.0
             ? (target - result.final.bestObserved) / target : 1.0;
         result.steps.push_back(step);

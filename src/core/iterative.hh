@@ -54,13 +54,24 @@ struct IterativeOptions
 
 /**
  * One Step 2/3 evaluation in the run record.
+ *
+ * `upb` is always the POT *point estimate* of the optimum, never the
+ * confidence bound; `upbUpper` is the upper end of its confidence
+ * interval. The stopping rule compares against `lossTarget`, which is
+ * `upb` normally and `upbUpper` when
+ * IterativeOptions::useUpperConfidenceBound is set — both are
+ * recorded so reports can reproduce either loss definition.
  */
 struct IterativeStep
 {
     std::size_t sampleSize = 0;   //!< sample size at this evaluation
     double bestObserved = 0.0;    //!< best assignment so far
-    double upb = 0.0;             //!< estimated optimum
-    double loss = 0.0;            //!< (target - best) / target
+    double upb = 0.0;             //!< UPB point estimate
+    double upbUpper = 0.0;        //!< upper CI bound of the UPB
+    /** Denominator of the stopping rule: upb, or upbUpper under
+     *  useUpperConfidenceBound (infinite when the fit is unusable). */
+    double lossTarget = 0.0;
+    double loss = 0.0;            //!< (lossTarget - best) / lossTarget
 };
 
 /**

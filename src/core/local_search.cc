@@ -80,21 +80,32 @@ localSearchRefine(PerformanceEngine &engine, const Assignment &start,
 
     while (result.measurements < options.budget &&
            stale_rounds < options.patience) {
-        // Propose and measure a round of candidate moves.
+        // Propose the whole round first, then measure it as one
+        // batch the engine can parallelize or deduplicate. The
+        // proposals depend only on the RNG and the incumbent, which
+        // is fixed within a round, so this is identical to the
+        // propose-measure-propose interleaving.
+        const std::size_t moves =
+            std::min(options.movesPerRound,
+                     options.budget - result.measurements);
+        std::vector<Assignment> candidates;
+        candidates.reserve(moves);
+        for (std::size_t m = 0; m < moves; ++m) {
+            candidates.emplace_back(
+                topo, proposeMove(result.best.contexts(), topo, rng));
+        }
+        std::vector<double> values(candidates.size());
+        engine.measureBatch(candidates, values);
+        result.measurements += candidates.size();
+
+        // Keep the round's best strictly-improving move (ties keep
+        // the earliest, as the serial scan did).
         std::vector<ContextId> best_move;
         double best_value = result.bestPerformance;
-        for (std::size_t m = 0;
-             m < options.movesPerRound &&
-             result.measurements < options.budget;
-             ++m) {
-            auto candidate =
-                proposeMove(result.best.contexts(), topo, rng);
-            const Assignment a(topo, candidate);
-            const double v = engine.measure(a);
-            ++result.measurements;
-            if (v > best_value) {
-                best_value = v;
-                best_move = std::move(candidate);
+        for (std::size_t m = 0; m < candidates.size(); ++m) {
+            if (values[m] > best_value) {
+                best_value = values[m];
+                best_move = candidates[m].contexts();
             }
         }
 

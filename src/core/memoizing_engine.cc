@@ -1,0 +1,116 @@
+/**
+ * @file
+ * MemoizingEngine implementation.
+ */
+
+#include "core/memoizing_engine.hh"
+
+#include <limits>
+#include <vector>
+
+namespace statsched
+{
+namespace core
+{
+
+double
+MemoizingEngine::measure(const Assignment &assignment)
+{
+    const std::string key = assignment.canonicalKey();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+
+    // Measure outside the lock; concurrent first measurements of the
+    // same class both run, the first insert wins and both values are
+    // draws of the same distribution.
+    const double value = inner_.measure(assignment);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.emplace(key, value).first->second;
+}
+
+void
+MemoizingEngine::measureBatch(std::span<const Assignment> batch,
+                              std::span<double> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    if (batch.empty())
+        return;
+
+    // Pass 1: resolve cache hits and collect the unique misses in
+    // first-occurrence order. `slot[i]` is the miss sub-batch index
+    // of item i, or SIZE_MAX for a hit.
+    constexpr std::size_t kHit =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<std::string> keys(batch.size());
+    std::vector<std::size_t> slot(batch.size(), kHit);
+    std::vector<Assignment> misses;
+    std::unordered_map<std::string, std::size_t> pending;
+    std::uint64_t hit_count = 0;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            keys[i] = batch[i].canonicalKey();
+            const auto cached = cache_.find(keys[i]);
+            if (cached != cache_.end()) {
+                out[i] = cached->second;
+                ++hit_count;
+                continue;
+            }
+            const auto dup = pending.find(keys[i]);
+            if (dup != pending.end()) {
+                // Duplicate inside the batch: share the first
+                // occurrence's measurement.
+                slot[i] = dup->second;
+                ++hit_count;
+                continue;
+            }
+            slot[i] = misses.size();
+            pending.emplace(keys[i], misses.size());
+            misses.push_back(batch[i]);
+        }
+    }
+
+    hits_.fetch_add(hit_count, std::memory_order_relaxed);
+    misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+    if (misses.empty())
+        return;
+
+    // Pass 2: one engine measurement per distinct uncached class.
+    std::vector<double> values(misses.size());
+    inner_.measureBatch(misses, values);
+
+    // Pass 3: fill results and publish to the cache.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (slot[i] != kHit)
+            out[i] = values[slot[i]];
+    }
+    for (const auto &[key, index] : pending)
+        cache_.emplace(key, values[index]);
+}
+
+std::size_t
+MemoizingEngine::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+MemoizingEngine::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace core
+} // namespace statsched

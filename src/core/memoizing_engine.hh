@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Measurement memoization over the assignment symmetry classes.
+ *
+ * The iterative algorithm and the local search re-measure assignments
+ * they have already paid ~1.5 s for: random sampling with replacement
+ * repeats classes (especially for small workloads, Table 1), and hill
+ * climbing revisits neighbours. Performance is invariant under the
+ * hardware symmetries (cores, pipes within a core, strands within a
+ * pipe — the same equivalence Table 1 counts), so the cache key is
+ * the Assignment::canonicalKey() of the equivalence class, not the
+ * labeled placement.
+ *
+ * Semantics: a cache hit replays the first measured value of the
+ * class instead of drawing a fresh noisy measurement. For noiseless
+ * engines this is exact; for noisy engines it trades iid noise on
+ * duplicates for a large experimentation-time saving (the duplicate
+ * would measure the *same* true value, so only the noise realization
+ * differs). Disable with --no-memoize where strict iid noise matters.
+ *
+ * Composition: place the memoizer *above* a ParallelEngine —
+ * MemoizingEngine dedups the batch and forwards only the misses, so
+ * the pool measures each distinct class once. The decorator is
+ * thread-safe for concurrent measure() calls, but it deliberately
+ * publishes no parallelKernel of its own.
+ */
+
+#ifndef STATSCHED_CORE_MEMOIZING_ENGINE_HH
+#define STATSCHED_CORE_MEMOIZING_ENGINE_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/performance_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Decorator that caches measurements per canonical assignment class.
+ */
+class MemoizingEngine : public PerformanceEngine
+{
+  public:
+    /** @param inner Engine to wrap; not owned. */
+    explicit MemoizingEngine(PerformanceEngine &inner)
+        : inner_(inner)
+    {
+    }
+
+    double measure(const Assignment &assignment) override;
+
+    /**
+     * Measures a batch with intra-batch deduplication: each canonical
+     * class present in the batch (or the cache) is forwarded to the
+     * wrapped engine at most once, in first-occurrence order — so for
+     * a fixed input batch the miss sub-batch, and therefore the
+     * results, are deterministic.
+     */
+    void measureBatch(std::span<const Assignment> batch,
+                      std::span<double> out) override;
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    void
+    collectStats(EngineStats &stats) const override
+    {
+        const std::uint64_t hits =
+            hits_.load(std::memory_order_relaxed);
+        stats.cacheHits += hits;
+        stats.cacheMisses += misses_.load(std::memory_order_relaxed);
+        // Hits cost no experimentation time; a MeteredEngine above
+        // this decorator metered them, so give the time back.
+        stats.modeledSeconds -= static_cast<double>(hits) *
+            inner_.secondsPerMeasurement();
+        inner_.collectStats(stats);
+    }
+
+    /** @return measurements served from the cache. */
+    std::uint64_t
+    hitCount() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    /** @return distinct canonical classes measured so far. */
+    std::size_t size() const;
+
+    /** Drops all cached measurements. */
+    void clear();
+
+  private:
+    PerformanceEngine &inner_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, double> cache_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_MEMOIZING_ENGINE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parallel batch evaluation of task assignments.
+ *
+ * The paper's experimentation cost is thousands of independent
+ * measurements (Section 5.3); the simulated engine is pure, so a
+ * batch of assignments is embarrassingly parallel. ParallelEngine is
+ * a decorator that fans measureBatch() out over a persistent pool of
+ * std::thread workers pulling fixed-size chunks from an atomic work
+ * queue.
+ *
+ * Determinism: the decorator only parallelizes engines that publish a
+ * parallelKernel() — a pure function of (assignment, batch index) —
+ * and every worker writes out[i] for the indices it claims, so the
+ * result vector is bit-identical to the serial path regardless of
+ * thread count or scheduling. Engines without a kernel (e.g.
+ * hw::PinnedThreadEngine, which owns the physical machine) fall back
+ * to the wrapped serial measureBatch().
+ */
+
+#ifndef STATSCHED_CORE_PARALLEL_ENGINE_HH
+#define STATSCHED_CORE_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/performance_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Decorator that measures batches on a worker pool.
+ */
+class ParallelEngine : public PerformanceEngine
+{
+  public:
+    /**
+     * @param inner   Engine to wrap; not owned. Parallel speedup
+     *                requires inner.parallelKernel() to be non-empty.
+     * @param threads Total threads used per batch including the
+     *                caller; 0 selects the hardware concurrency.
+     */
+    explicit ParallelEngine(PerformanceEngine &inner,
+                            unsigned threads = 0);
+
+    ~ParallelEngine() override;
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    /** Single measurements bypass the pool. */
+    double
+    measure(const Assignment &assignment) override
+    {
+        return inner_.measure(assignment);
+    }
+
+    void measureBatch(std::span<const Assignment> batch,
+                      std::span<double> out) override;
+
+    /** Transparent: exposes the wrapped engine's kernel unchanged. */
+    BatchKernel
+    parallelKernel(std::size_t batchSize) override
+    {
+        return inner_.parallelKernel(batchSize);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    void
+    collectStats(EngineStats &stats) const override
+    {
+        inner_.collectStats(stats);
+    }
+
+    /** @return threads used per batch (callers + workers). */
+    unsigned threads() const { return threads_; }
+
+  private:
+    /**
+     * One batch in flight. Workers take a shared_ptr snapshot of the
+     * current job under the pool mutex, so a late worker from a
+     * previous batch can never touch the fields of the next one.
+     */
+    struct Job
+    {
+        const Assignment *batch = nullptr;
+        double *out = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        BatchKernel kernel;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+    };
+
+    void workerLoop();
+    /** Claims and evaluates chunks until the job is drained. */
+    void runChunks(Job &job);
+
+    PerformanceEngine &inner_;
+    unsigned threads_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable finished_;
+    std::shared_ptr<Job> job_;       //!< current job, guarded by mutex_
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_PARALLEL_ENGINE_HH

@@ -1,6 +1,6 @@
 /**
  * @file
- * Abstract performance measurement of a task assignment.
+ * Abstract performance measurement of task assignments.
  *
  * The statistical method is a black-box procedure over "run this
  * assignment and report its performance". PerformanceEngine is that
@@ -8,12 +8,28 @@
  * thread executor (hw::PinnedThreadEngine), or — as Section 5.4 of
  * the paper suggests — a performance predictor can all stand behind
  * it without the statistics changing.
+ *
+ * The interface is batch-first: the method's cost is dominated by
+ * thousands of ~1.5 s measurements (Section 5.3), and every consumer
+ * (estimator, iterative algorithm, local search, baselines) naturally
+ * produces whole batches of assignments to measure. Engines that can
+ * evaluate items of a batch independently publish a *batch kernel*
+ * (parallelKernel()), which core::ParallelEngine fans out over a
+ * worker pool; engines without one (e.g. the pinned-thread executor,
+ * which owns the physical machine) fall back to the serial loop.
+ *
+ * Decorators (MeteredEngine here, core::ParallelEngine and
+ * core::MemoizingEngine in their own headers) compose freely; each
+ * contributes its counters to one EngineStats through collectStats().
  */
 
 #ifndef STATSCHED_CORE_PERFORMANCE_ENGINE_HH
 #define STATSCHED_CORE_PERFORMANCE_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 
 #include "core/assignment.hh"
@@ -22,6 +38,49 @@ namespace statsched
 {
 namespace core
 {
+
+/**
+ * Measures one item of a batch: kernel(assignment, i) returns the
+ * performance of `assignment` at position `i` of the batch the kernel
+ * was created for. Kernels must be safe to invoke concurrently from
+ * multiple threads and must not depend on evaluation order — this is
+ * the contract that makes parallel batches bit-identical to serial
+ * ones.
+ */
+using BatchKernel =
+    std::function<double(const Assignment &, std::size_t)>;
+
+/**
+ * Aggregated statistics of a (possibly decorated) engine stack,
+ * filled in by PerformanceEngine::collectStats().
+ */
+struct EngineStats
+{
+    /** Measurements requested through the stack (cache hits
+     *  included). */
+    std::uint64_t measurements = 0;
+    /** measureBatch() invocations. */
+    std::uint64_t batches = 0;
+    /** Measurements served from a memoization cache. */
+    std::uint64_t cacheHits = 0;
+    /** Measurements that missed the cache and hit the inner engine. */
+    std::uint64_t cacheMisses = 0;
+    /** Modeled experimentation seconds actually spent on the inner
+     *  engine (cache hits cost nothing). */
+    double modeledSeconds = 0.0;
+
+    /** @return cache hits / lookups, or 0 with no cache in the
+     *  stack. */
+    double
+    cacheHitRate() const
+    {
+        const std::uint64_t lookups = cacheHits + cacheMisses;
+        return lookups == 0
+            ? 0.0
+            : static_cast<double>(cacheHits) /
+                static_cast<double>(lookups);
+    }
+};
 
 /**
  * Measures the performance of task assignments.
@@ -39,6 +98,44 @@ class PerformanceEngine
      */
     virtual double measure(const Assignment &assignment) = 0;
 
+    /**
+     * Measures a batch of assignments; out[i] receives the
+     * performance of batch[i]. The default implementation is the
+     * serial loop over measure(), so every engine supports batches;
+     * engines with independent per-item evaluation override it (or
+     * publish a parallelKernel()) for speed.
+     *
+     * @param batch Assignments to measure.
+     * @param out   Results, same size as `batch`.
+     */
+    virtual void
+    measureBatch(std::span<const Assignment> batch,
+                 std::span<double> out)
+    {
+        STATSCHED_ASSERT(batch.size() == out.size(),
+                         "batch/result size mismatch");
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            out[i] = measure(batch[i]);
+    }
+
+    /**
+     * Publishes a thread-safe kernel for one upcoming batch of
+     * `batchSize` measurements, or an empty function if this engine
+     * cannot evaluate batch items concurrently (the default).
+     *
+     * Creating a kernel *reserves* the engine's per-measurement state
+     * (e.g. the simulator's noise indices) for the whole batch up
+     * front, so the kernel is a pure function of (assignment, index):
+     * any thread may evaluate any subset of indices in any order and
+     * the results are identical to the serial path.
+     */
+    virtual BatchKernel
+    parallelKernel(std::size_t batchSize)
+    {
+        (void)batchSize;
+        return {};
+    }
+
     /** @return a short description for reports. */
     virtual std::string name() const = 0;
 
@@ -48,11 +145,24 @@ class PerformanceEngine
      * each). Defaults to 0 for instantaneous engines.
      */
     virtual double secondsPerMeasurement() const { return 0.0; }
+
+    /**
+     * Accumulates this engine's statistics into `stats`. Decorators
+     * add their counters and forward to the wrapped engine, so one
+     * call on the top of a stack sees the whole composition. The
+     * default contributes nothing.
+     */
+    virtual void collectStats(EngineStats &stats) const
+    {
+        (void)stats;
+    }
 };
 
 /**
- * Decorator that counts measurements and accumulates the modeled
- * experimentation time of the wrapped engine.
+ * Decorator that counts measurements and batches and accumulates the
+ * modeled experimentation time of the wrapped engine. All counters
+ * are atomic, so the decorator may sit on either side of a
+ * core::ParallelEngine.
  */
 class MeteredEngine : public PerformanceEngine
 {
@@ -63,8 +173,29 @@ class MeteredEngine : public PerformanceEngine
     double
     measure(const Assignment &assignment) override
     {
-        ++count_;
+        count_.fetch_add(1, std::memory_order_relaxed);
         return inner_.measure(assignment);
+    }
+
+    void
+    measureBatch(std::span<const Assignment> batch,
+                 std::span<double> out) override
+    {
+        count_.fetch_add(batch.size(), std::memory_order_relaxed);
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        inner_.measureBatch(batch, out);
+    }
+
+    BatchKernel
+    parallelKernel(std::size_t batchSize) override
+    {
+        BatchKernel kernel = inner_.parallelKernel(batchSize);
+        if (!kernel)
+            return {};
+        return [this, kernel](const Assignment &a, std::size_t i) {
+            count_.fetch_add(1, std::memory_order_relaxed);
+            return kernel(a, i);
+        };
     }
 
     std::string name() const override { return inner_.name(); }
@@ -75,20 +206,38 @@ class MeteredEngine : public PerformanceEngine
         return inner_.secondsPerMeasurement();
     }
 
-    /** @return measurements performed through this decorator. */
-    std::uint64_t measurementCount() const { return count_; }
-
-    /** @return modeled experimentation seconds so far. */
-    double
-    modeledSeconds() const
+    void
+    collectStats(EngineStats &stats) const override
     {
-        return static_cast<double>(count_) *
+        const std::uint64_t n =
+            count_.load(std::memory_order_relaxed);
+        stats.measurements += n;
+        stats.batches += batches_.load(std::memory_order_relaxed);
+        stats.modeledSeconds += static_cast<double>(n) *
             inner_.secondsPerMeasurement();
+        inner_.collectStats(stats);
+    }
+
+    /**
+     * @return the statistics of the whole stack below (and including)
+     *         this decorator.
+     *
+     * Note on modeledSeconds: a MeteredEngine above a memoization
+     * cache meters *requested* measurements; the cache subtracts the
+     * hits it absorbed, so the total reflects time actually spent.
+     */
+    EngineStats
+    stats() const
+    {
+        EngineStats s;
+        collectStats(s);
+        return s;
     }
 
   private:
     PerformanceEngine &inner_;
-    std::uint64_t count_ = 0;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> batches_{0};
 };
 
 } // namespace core

@@ -113,15 +113,15 @@ TrainedPredictorEngine::TrainedPredictorEngine(
                      "predictor needs at least 30 training points");
 
     RandomAssignmentSampler sampler(topology, tasks, seed);
+    const std::vector<Assignment> sample =
+        sampler.drawSample(training_n);
+    std::vector<double> targets(sample.size());
+    oracle.measureBatch(sample, targets);
+
     std::vector<std::vector<double>> rows;
-    std::vector<double> targets;
     rows.reserve(training_n);
-    targets.reserve(training_n);
-    for (std::size_t i = 0; i < training_n; ++i) {
-        const Assignment a = sampler.draw();
+    for (const Assignment &a : sample)
         rows.push_back(assignmentFeatures(a));
-        targets.push_back(oracle.measure(a));
-    }
     weights_ = stats::ridgeRegression(rows, targets, lambda);
 }
 
@@ -149,15 +149,11 @@ TrainedPredictorEngine::evaluate(PerformanceEngine &oracle,
 {
     STATSCHED_ASSERT(n >= 2, "need at least two evaluation points");
     RandomAssignmentSampler sampler(topology_, tasks_, seed);
-    std::vector<double> predicted;
-    std::vector<double> actual;
-    predicted.reserve(n);
-    actual.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const Assignment a = sampler.draw();
-        predicted.push_back(measure(a));
-        actual.push_back(oracle.measure(a));
-    }
+    const std::vector<Assignment> sample = sampler.drawSample(n);
+    std::vector<double> predicted(sample.size());
+    std::vector<double> actual(sample.size());
+    measureBatch(sample, predicted);
+    oracle.measureBatch(sample, actual);
 
     PredictorAccuracy acc;
     const double m = stats::mean(actual);

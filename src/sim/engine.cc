@@ -19,8 +19,7 @@ SimulatedEngine::SimulatedEngine(Workload workload,
                                  const ChipConfig &config,
                                  const EngineOptions &options)
     : workload_(std::move(workload)), config_(config),
-      options_(options), solver_(config, workload_.tasks()),
-      noise_(options.noiseSeed)
+      options_(options), solver_(config, workload_.tasks())
 {
     STATSCHED_ASSERT(workload_.taskCount() > 0, "empty workload");
     STATSCHED_ASSERT(options_.noiseRelStdDev >= 0.0,
@@ -89,15 +88,51 @@ SimulatedEngine::deterministic(const core::Assignment &assignment) const
 }
 
 double
+SimulatedEngine::noiseFactorAt(std::uint64_t index) const
+{
+    if (options_.noiseRelStdDev == 0.0)
+        return 1.0;
+    // SplitMix64 finalizer over (seed, index): an independent noise
+    // substream per measurement index, so a batch item's noise does
+    // not depend on which thread evaluates it or in what order.
+    std::uint64_t z = options_.noiseSeed +
+        (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    stats::Rng rng(z ^ (z >> 31));
+    const double factor =
+        1.0 + options_.noiseRelStdDev * rng.normal();
+    // Clamp pathological draws; throughput cannot be negative.
+    return std::max(0.0, factor);
+}
+
+double
 SimulatedEngine::measure(const core::Assignment &assignment)
 {
-    const double base = deterministic(assignment);
-    if (options_.noiseRelStdDev == 0.0)
-        return base;
-    const double factor =
-        1.0 + options_.noiseRelStdDev * noise_.normal();
-    // Clamp pathological draws; throughput cannot be negative.
-    return base * std::max(0.0, factor);
+    const std::uint64_t index =
+        noiseCursor_.fetch_add(1, std::memory_order_relaxed);
+    return deterministic(assignment) * noiseFactorAt(index);
+}
+
+void
+SimulatedEngine::measureBatch(std::span<const core::Assignment> batch,
+                              std::span<double> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    const auto kernel = parallelKernel(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        out[i] = kernel(batch[i], i);
+}
+
+core::BatchKernel
+SimulatedEngine::parallelKernel(std::size_t batchSize)
+{
+    const std::uint64_t base =
+        noiseCursor_.fetch_add(batchSize, std::memory_order_relaxed);
+    return [this, base](const core::Assignment &a, std::size_t i) {
+        return deterministic(a) * noiseFactorAt(base + i);
+    };
 }
 
 std::string

@@ -9,13 +9,21 @@
  * rates to packet rates, taking each pipeline's bottleneck stage, and
  * summing instances — in processed packets per second, like the
  * paper. Optional multiplicative Gaussian noise models run-to-run
- * measurement variation; each measure() call draws fresh noise, so a
+ * measurement variation; each measurement draws fresh noise, so a
  * sample of measurements is iid as the EVT analysis requires.
+ *
+ * Noise is *seeded per measurement index*, not per call: the k-th
+ * measurement since construction perturbs its value with an RNG
+ * seeded from (noiseSeed, k). A batch reserves its index range up
+ * front, so evaluating the batch serially, chunked, or on many
+ * threads (core::ParallelEngine) produces bit-identical results, and
+ * measure() itself is safe to call concurrently.
  */
 
 #ifndef STATSCHED_SIM_ENGINE_HH
 #define STATSCHED_SIM_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -61,6 +69,15 @@ class SimulatedEngine : public core::PerformanceEngine
     /** @return packets per second for the assignment (with noise). */
     double measure(const core::Assignment &assignment) override;
 
+    void measureBatch(std::span<const core::Assignment> batch,
+                      std::span<double> out) override;
+
+    /**
+     * Reserves the next `batchSize` noise indices and returns the
+     * pure per-item kernel over them (see PerformanceEngine).
+     */
+    core::BatchKernel parallelKernel(std::size_t batchSize) override;
+
     /** @return deterministic PPS (no noise), for tests/baselines. */
     double deterministic(const core::Assignment &assignment) const;
 
@@ -83,11 +100,15 @@ class SimulatedEngine : public core::PerformanceEngine
     instanceThroughputs(const core::Assignment &assignment) const;
 
   private:
+    /** Multiplicative noise factor of measurement `index`. */
+    double noiseFactorAt(std::uint64_t index) const;
+
     Workload workload_;
     ChipConfig config_;
     EngineOptions options_;
     ContentionSolver solver_;
-    stats::Rng noise_;
+    /** Next unassigned measurement index (noise substream id). */
+    std::atomic<std::uint64_t> noiseCursor_{0};
 };
 
 } // namespace sim

@@ -165,6 +165,18 @@ estimateOptimalPerformance(const std::vector<double> &sample,
     est.tailLinearity = selection.tailLinearity;
     const std::vector<double> &ys = selection.exceedances;
 
+    // Ties at the threshold (e.g. a memoized engine replaying cached
+    // values over a tiny assignment space) can leave fewer strict
+    // exceedances than the count the threshold targeted; too few
+    // cannot support a fit, so report invalid rather than fail.
+    if (ys.size() < options.threshold.minExceedances) {
+        est.valid = false;
+        est.upb = infinity;
+        est.upbLower = est.maxObserved;
+        est.upbUpper = infinity;
+        return est;
+    }
+
     // Step 3: GPD fit.
     est.fit = fitGpd(ys, options.estimator);
 

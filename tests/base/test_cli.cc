@@ -1,0 +1,141 @@
+/**
+ * @file
+ * OptionParser tests, including the failure modes the old ad-hoc
+ * argument scanner got wrong (silently dropped trailing token,
+ * accepted unknown options).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "base/cli.hh"
+
+namespace
+{
+
+using statsched::base::OptionParser;
+
+/** argv builder: parse("estimate", "--samples", "50") etc. */
+template <typename... Tokens>
+bool
+parseTokens(OptionParser &parser, Tokens... tokens)
+{
+    std::array<const char *, sizeof...(Tokens) + 2> argv{
+        "statsched_cli", "cmd", tokens...};
+    return parser.parse(static_cast<int>(argv.size()),
+                        const_cast<char **>(argv.data()), 2);
+}
+
+OptionParser
+makeParser()
+{
+    OptionParser parser;
+    parser.addOption("samples", "2000", "sample size");
+    parser.addOption("loss", "2.5", "acceptable loss");
+    parser.addOption("benchmark", "ipfwd-l1", "workload");
+    parser.addFlag("no-memoize", "disable the cache");
+    return parser;
+}
+
+TEST(OptionParser, DefaultsApplyWhenAbsent)
+{
+    OptionParser parser = makeParser();
+    ASSERT_TRUE(parseTokens(parser));
+    EXPECT_EQ(parser.getInt("samples"), 2000);
+    EXPECT_DOUBLE_EQ(parser.getDouble("loss"), 2.5);
+    EXPECT_EQ(parser.get("benchmark"), "ipfwd-l1");
+    EXPECT_FALSE(parser.flag("no-memoize"));
+    EXPECT_FALSE(parser.given("samples"));
+}
+
+TEST(OptionParser, ParsesSpaceAndEqualsSyntax)
+{
+    OptionParser parser = makeParser();
+    ASSERT_TRUE(parseTokens(parser, "--samples", "512",
+                            "--loss=1.25", "--benchmark=aho"));
+    EXPECT_EQ(parser.getInt("samples"), 512);
+    EXPECT_DOUBLE_EQ(parser.getDouble("loss"), 1.25);
+    EXPECT_EQ(parser.get("benchmark"), "aho");
+    EXPECT_TRUE(parser.given("samples"));
+}
+
+TEST(OptionParser, FlagsConsumeNoValue)
+{
+    OptionParser parser = makeParser();
+    // "--no-memoize" sits between an option and its value; it must
+    // not swallow "--samples"'s argument.
+    ASSERT_TRUE(parseTokens(parser, "--no-memoize", "--samples",
+                            "64"));
+    EXPECT_TRUE(parser.flag("no-memoize"));
+    EXPECT_EQ(parser.getInt("samples"), 64);
+}
+
+TEST(OptionParser, FlagAcceptsExplicitBoolean)
+{
+    OptionParser parser = makeParser();
+    ASSERT_TRUE(parseTokens(parser, "--no-memoize=0"));
+    EXPECT_FALSE(parser.flag("no-memoize"));
+
+    OptionParser again = makeParser();
+    ASSERT_TRUE(parseTokens(again, "--no-memoize=1"));
+    EXPECT_TRUE(again.flag("no-memoize"));
+}
+
+TEST(OptionParser, RejectsUnknownOption)
+{
+    OptionParser parser = makeParser();
+    EXPECT_FALSE(parseTokens(parser, "--bogus", "3"));
+    EXPECT_NE(parser.error().find("unknown option"),
+              std::string::npos);
+    EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+}
+
+TEST(OptionParser, RejectsTrailingOptionWithoutValue)
+{
+    // The old parser's `i + 1 < argc` loop silently ignored this.
+    OptionParser parser = makeParser();
+    EXPECT_FALSE(parseTokens(parser, "--samples"));
+    EXPECT_NE(parser.error().find("missing value"),
+              std::string::npos);
+}
+
+TEST(OptionParser, RejectsEmptyValue)
+{
+    // "--samples=" would otherwise parse as 0 and blow up far from
+    // the command line (e.g. an empty sample in the estimator).
+    OptionParser parser = makeParser();
+    EXPECT_FALSE(parseTokens(parser, "--samples="));
+    EXPECT_NE(parser.error().find("empty value"), std::string::npos);
+
+    OptionParser spaced = makeParser();
+    EXPECT_FALSE(parseTokens(spaced, "--samples", ""));
+    EXPECT_NE(spaced.error().find("empty value"), std::string::npos);
+}
+
+TEST(OptionParser, RejectsBarePositionalToken)
+{
+    OptionParser parser = makeParser();
+    EXPECT_FALSE(parseTokens(parser, "samples", "3"));
+    EXPECT_NE(parser.error().find("expected --option"),
+              std::string::npos);
+}
+
+TEST(OptionParser, LastOccurrenceWins)
+{
+    OptionParser parser = makeParser();
+    ASSERT_TRUE(parseTokens(parser, "--samples", "10",
+                            "--samples=20"));
+    EXPECT_EQ(parser.getInt("samples"), 20);
+}
+
+TEST(OptionParser, UsageListsDeclaredOptions)
+{
+    const OptionParser parser = makeParser();
+    const std::string usage = parser.usage();
+    EXPECT_NE(usage.find("--samples"), std::string::npos);
+    EXPECT_NE(usage.find("--no-memoize"), std::string::npos);
+    EXPECT_NE(usage.find("sample size"), std::string::npos);
+}
+
+} // anonymous namespace

@@ -83,7 +83,7 @@ TEST(LocalSearch, RespectsBudget)
     options.budget = 73;
     options.patience = 1000;
     core::localSearchRefine(engine, sampler.draw(), options);
-    EXPECT_LE(engine.measurementCount(), 73u);
+    EXPECT_LE(engine.stats().measurements, 73u);
 }
 
 TEST(LocalSearch, ImprovesRandomStartsOnTheSimulator)

@@ -163,7 +163,7 @@ TEST(FullMethod, MeteredExperimentTimeMatchesPaperScale)
     core::MeteredEngine metered(engine);
     core::OptimalPerformanceEstimator estimator(metered, t2, 24, 1);
     estimator.extend(1000);
-    EXPECT_NEAR(metered.modeledSeconds() / 60.0, 25.0, 0.1);
+    EXPECT_NEAR(metered.stats().modeledSeconds / 60.0, 25.0, 0.1);
 }
 
 } // anonymous namespace

@@ -190,8 +190,9 @@ TEST(MeteredEngine, CountsAndModelsTime)
     const Assignment a = structuredLayout(1);
     metered.measure(a);
     metered.measure(a);
-    EXPECT_EQ(metered.measurementCount(), 2u);
-    EXPECT_NEAR(metered.modeledSeconds(), 3.0, 1e-12);
+    const core::EngineStats stats = metered.stats();
+    EXPECT_EQ(stats.measurements, 2u);
+    EXPECT_NEAR(stats.modeledSeconds, 3.0, 1e-12);
 }
 
 } // anonymous namespace

@@ -11,22 +11,25 @@
  *   iterate   the Section-5.3 iterative algorithm
  *
  * Run `statsched_cli help` for usage. All stochastic commands accept
- * --seed and are fully reproducible.
+ * --seed and are fully reproducible; --threads only changes how the
+ * measurement batches are scheduled, never the results.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/cli.hh"
 #include "core/assignment_space.hh"
 #include "core/baselines.hh"
 #include "core/capture_probability.hh"
 #include "core/enumerator.hh"
 #include "core/estimator.hh"
 #include "core/iterative.hh"
+#include "core/memoizing_engine.hh"
+#include "core/parallel_engine.hh"
 #include "num/duration.hh"
 #include "sim/benchmarks.hh"
 #include "sim/engine.hh"
@@ -35,49 +38,7 @@ namespace
 {
 
 using namespace statsched;
-
-/** Simple --key value argument map. */
-class Args
-{
-  public:
-    Args(int argc, char **argv, int first)
-    {
-        for (int i = first; i + 1 < argc; i += 2) {
-            if (std::strncmp(argv[i], "--", 2) != 0) {
-                std::fprintf(stderr, "expected --option, got %s\n",
-                             argv[i]);
-                std::exit(2);
-            }
-            values_[argv[i] + 2] = argv[i + 1];
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end() ? fallback : it->second;
-    }
-
-    long
-    getInt(const std::string &key, long fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end()
-            ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
-    }
-
-    double
-    getDouble(const std::string &key, double fallback) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end()
-            ? fallback : std::strtod(it->second.c_str(), nullptr);
-    }
-
-  private:
-    std::map<std::string, std::string> values_;
-};
+using base::OptionParser;
 
 core::Topology
 parseTopology(const std::string &spec)
@@ -118,12 +79,129 @@ parseBenchmark(const std::string &name)
     std::exit(2);
 }
 
-int
-cmdCount(const Args &args)
+/** Parses the command's options or exits with its usage text. */
+void
+parseOrDie(OptionParser &parser, const std::string &command, int argc,
+           char **argv)
 {
-    const core::Topology topo =
-        parseTopology(args.get("topology", "8x2x4"));
-    const long tasks = args.getInt("tasks", 24);
+    if (!parser.parse(argc, argv, 2)) {
+        std::fprintf(stderr, "%s: %s\noptions:\n%s", command.c_str(),
+                     parser.error().c_str(), parser.usage().c_str());
+        std::exit(2);
+    }
+}
+
+/**
+ * Reads a numeric option that must be strictly positive (sample
+ * sizes, task counts); exits with a parse-style error otherwise, so
+ * "--samples 0" fails at the command line instead of deep in the
+ * estimator.
+ */
+long
+positiveOrDie(const OptionParser &parser, const std::string &command,
+              const std::string &name)
+{
+    const long value = parser.getInt(name);
+    if (value <= 0) {
+        std::fprintf(stderr, "%s: '--%s' must be positive (got %s)\n",
+                     command.c_str(), name.c_str(),
+                     parser.get(name).c_str());
+        std::exit(2);
+    }
+    return value;
+}
+
+/** Declares the options shared by every measurement command. */
+void
+addEngineOptions(OptionParser &parser)
+{
+    parser.addOption("benchmark", "ipfwd-l1", "workload kernel");
+    parser.addOption("instances", "8", "pipeline instances");
+    parser.addOption("threads", "0",
+                     "measurement threads (0 = hardware)");
+    parser.addFlag("no-memoize",
+                   "measure duplicate assignments afresh");
+}
+
+/**
+ * The standard measurement stack:
+ * Metered(Memoizing?(Parallel(Simulated))). Memoization dedups each
+ * batch; the pool measures the distinct assignments; the meter on
+ * top sees every requested measurement.
+ */
+struct EngineStack
+{
+    std::unique_ptr<sim::SimulatedEngine> simulated;
+    std::unique_ptr<core::ParallelEngine> parallel;
+    std::unique_ptr<core::MemoizingEngine> memoizing;
+    std::unique_ptr<core::MeteredEngine> metered;
+
+    core::PerformanceEngine &top() { return *metered; }
+    const sim::SimulatedEngine &sim() const { return *simulated; }
+};
+
+EngineStack
+makeEngineStack(const OptionParser &args)
+{
+    const long instances = positiveOrDie(args, "engine", "instances");
+    const long threads = args.getInt("threads");
+    if (threads < 0) {
+        std::fprintf(stderr,
+                     "engine: '--threads' must be >= 0 (got %s)\n",
+                     args.get("threads").c_str());
+        std::exit(2);
+    }
+
+    EngineStack stack;
+    stack.simulated = std::make_unique<sim::SimulatedEngine>(
+        sim::makeWorkload(parseBenchmark(args.get("benchmark")),
+                          static_cast<std::uint32_t>(instances)));
+    stack.parallel = std::make_unique<core::ParallelEngine>(
+        *stack.simulated, static_cast<unsigned>(threads));
+    core::PerformanceEngine *below = stack.parallel.get();
+    if (!args.flag("no-memoize")) {
+        stack.memoizing =
+            std::make_unique<core::MemoizingEngine>(*below);
+        below = stack.memoizing.get();
+    }
+    stack.metered = std::make_unique<core::MeteredEngine>(*below);
+    return stack;
+}
+
+void
+printEngineReport(const EngineStack &stack)
+{
+    const core::EngineStats stats = stack.metered->stats();
+    std::printf("engine: %u thread(s), memoize %s\n",
+                stack.parallel->threads(),
+                stack.memoizing ? "on" : "off");
+    std::printf("measurements:       %12llu in %llu batches\n",
+                static_cast<unsigned long long>(stats.measurements),
+                static_cast<unsigned long long>(stats.batches));
+    if (stack.memoizing) {
+        std::printf("cache hit rate:     %11.2f%%  "
+                    "(%llu of %llu served from cache)\n",
+                    100.0 * stats.cacheHitRate(),
+                    static_cast<unsigned long long>(stats.cacheHits),
+                    static_cast<unsigned long long>(
+                        stats.cacheHits + stats.cacheMisses));
+    }
+    std::printf("modeled time:       %11.1f min "
+                "(at %.1f s per real measurement)\n",
+                stats.modeledSeconds / 60.0,
+                stack.sim().secondsPerMeasurement());
+}
+
+int
+cmdCount(int argc, char **argv)
+{
+    OptionParser args;
+    args.addOption("topology", "8x2x4", "processor shape CxPxS");
+    args.addOption("tasks", "24", "workload size");
+    parseOrDie(args, "count", argc, argv);
+
+    const core::Topology topo = parseTopology(args.get("topology"));
+    const long tasks = args.getInt("tasks");
     if (tasks < 1 ||
         tasks > static_cast<long>(topo.contexts())) {
         std::fprintf(stderr, "tasks out of range for %s\n",
@@ -148,11 +226,17 @@ cmdCount(const Args &args)
 }
 
 int
-cmdCapture(const Args &args)
+cmdCapture(int argc, char **argv)
 {
-    const double percent = args.getDouble("percent", 1.0);
-    const double target = args.getDouble("target", 0.99);
-    const long n = args.getInt("samples", 0);
+    OptionParser args;
+    args.addOption("percent", "1.0", "top-percent band");
+    args.addOption("target", "0.99", "capture probability wanted");
+    args.addOption("samples", "0", "draws (0: solve for draws)");
+    parseOrDie(args, "capture", argc, argv);
+
+    const double percent = args.getDouble("percent");
+    const double target = args.getDouble("target");
+    const long n = args.getInt("samples");
     if (n > 0) {
         std::printf("P(capture top %.2f%% in %ld draws) = %.6f\n",
                     percent, n,
@@ -168,12 +252,17 @@ cmdCapture(const Args &args)
 }
 
 int
-cmdEnumerate(const Args &args)
+cmdEnumerate(int argc, char **argv)
 {
-    const core::Topology topo =
-        parseTopology(args.get("topology", "8x2x4"));
-    const long tasks = args.getInt("tasks", 3);
-    const long limit = args.getInt("limit", 50);
+    OptionParser args;
+    args.addOption("topology", "8x2x4", "processor shape CxPxS");
+    args.addOption("tasks", "3", "workload size (1..8)");
+    args.addOption("limit", "50", "listing length cap");
+    parseOrDie(args, "enumerate", argc, argv);
+
+    const core::Topology topo = parseTopology(args.get("topology"));
+    const long tasks = args.getInt("tasks");
+    const long limit = args.getInt("limit");
     if (tasks < 1 || tasks > 8) {
         std::fprintf(stderr,
                      "enumerate supports 1..8 tasks (space grows "
@@ -200,55 +289,61 @@ cmdEnumerate(const Args &args)
 }
 
 int
-cmdBaselines(const Args &args)
+cmdBaselines(int argc, char **argv)
 {
-    const sim::Benchmark benchmark =
-        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
-    const long instances = args.getInt("instances", 8);
-    const long seed = args.getInt("seed", 1);
-    const core::Topology topo = core::Topology::ultraSparcT2();
+    OptionParser args;
+    addEngineOptions(args);
+    args.addOption("seed", "1", "sampler seed");
+    args.addOption("draws", "1000", "random draws for the mean");
+    parseOrDie(args, "baselines", argc, argv);
 
-    sim::SimulatedEngine engine(
-        sim::makeWorkload(benchmark,
-                          static_cast<std::uint32_t>(instances)));
-    const std::uint32_t tasks = engine.workload().taskCount();
+    const core::Topology topo = core::Topology::ultraSparcT2();
+    EngineStack stack = makeEngineStack(args);
+    const std::uint32_t tasks = stack.sim().workload().taskCount();
 
     const double naive = core::naiveExpectedPerformance(
-        engine, topo, tasks, 1000, static_cast<std::uint64_t>(seed));
-    const double linux_like = engine.measure(
+        stack.top(), topo, tasks,
+        static_cast<std::size_t>(
+            positiveOrDie(args, "baselines", "draws")),
+        static_cast<std::uint64_t>(args.getInt("seed")));
+    const double linux_like = stack.top().measure(
         core::linuxLikeAssignment(topo, tasks));
-    const double packed = engine.measure(
+    const double packed = stack.top().measure(
         core::packedAssignment(topo, tasks));
     std::printf("%s, %ld instances (%u tasks) on %s\n",
-                sim::benchmarkName(benchmark).c_str(), instances,
-                tasks, topo.shapeString().c_str());
+                sim::benchmarkName(
+                    parseBenchmark(args.get("benchmark"))).c_str(),
+                args.getInt("instances"), tasks,
+                topo.shapeString().c_str());
     std::printf("naive (random mean):  %12.0f PPS\n", naive);
     std::printf("Linux-like balanced:  %12.0f PPS\n", linux_like);
     std::printf("packed (pessimal):    %12.0f PPS\n", packed);
+    printEngineReport(stack);
     return 0;
 }
 
 int
-cmdEstimate(const Args &args)
+cmdEstimate(int argc, char **argv)
 {
-    const sim::Benchmark benchmark =
-        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
-    const long instances = args.getInt("instances", 8);
-    const long samples = args.getInt("samples", 2000);
-    const long seed = args.getInt("seed", 42);
+    OptionParser args;
+    addEngineOptions(args);
+    args.addOption("samples", "2000", "random assignments to draw");
+    args.addOption("seed", "42", "sampler seed");
+    parseOrDie(args, "estimate", argc, argv);
+
+    const long samples = positiveOrDie(args, "estimate", "samples");
+    const long seed = args.getInt("seed");
     const core::Topology topo = core::Topology::ultraSparcT2();
 
-    sim::SimulatedEngine engine(
-        sim::makeWorkload(benchmark,
-                          static_cast<std::uint32_t>(instances)));
+    EngineStack stack = makeEngineStack(args);
     core::OptimalPerformanceEstimator estimator(
-        engine, topo, engine.workload().taskCount(),
+        stack.top(), topo, stack.sim().workload().taskCount(),
         static_cast<std::uint64_t>(seed));
     const auto result =
         estimator.extend(static_cast<std::size_t>(samples));
 
     std::printf("%s: %ld random assignments (seed %ld)\n",
-                engine.name().c_str(), samples, seed);
+                stack.top().name().c_str(), samples, seed);
     std::printf("best observed:      %12.0f PPS\n",
                 result.bestObserved);
     if (result.pot.valid) {
@@ -267,36 +362,41 @@ cmdEstimate(const Args &args)
         std::printf("best assignment:    %s\n",
                     result.bestAssignment->toString().c_str());
     }
+    printEngineReport(stack);
     return 0;
 }
 
 int
-cmdIterate(const Args &args)
+cmdIterate(int argc, char **argv)
 {
-    const sim::Benchmark benchmark =
-        parseBenchmark(args.get("benchmark", "ipfwd-l1"));
-    const long instances = args.getInt("instances", 8);
-    const double loss = args.getDouble("loss", 2.5);
-    const long seed = args.getInt("seed", 7);
+    OptionParser args;
+    addEngineOptions(args);
+    args.addOption("loss", "2.5", "acceptable loss percent");
+    args.addOption("seed", "7", "sampler seed");
+    args.addOption("ninit", "1000", "initial sample size");
+    args.addOption("ndelta", "100", "per-iteration increment");
+    args.addOption("max", "20000", "total sample cap");
+    args.addFlag("confident",
+                 "stop against the upper CI bound of the UPB");
+    parseOrDie(args, "iterate", argc, argv);
+
+    const double loss = args.getDouble("loss");
     const core::Topology topo = core::Topology::ultraSparcT2();
 
-    sim::SimulatedEngine engine(
-        sim::makeWorkload(benchmark,
-                          static_cast<std::uint32_t>(instances)));
+    EngineStack stack = makeEngineStack(args);
     core::IterativeOptions options;
     options.acceptableLoss = loss / 100.0;
-    options.initialSample =
-        static_cast<std::size_t>(args.getInt("ninit", 1000));
-    options.incrementSample =
-        static_cast<std::size_t>(args.getInt("ndelta", 100));
-    options.maxSample =
-        static_cast<std::size_t>(args.getInt("max", 20000));
-    options.useUpperConfidenceBound =
-        args.getInt("confident", 0) != 0;
+    options.initialSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "ninit"));
+    options.incrementSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "ndelta"));
+    options.maxSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "max"));
+    options.useUpperConfidenceBound = args.flag("confident");
 
     const auto run = core::iterativeAssignmentSearch(
-        engine, topo, engine.workload().taskCount(),
-        static_cast<std::uint64_t>(seed), options);
+        stack.top(), topo, stack.sim().workload().taskCount(),
+        static_cast<std::uint64_t>(args.getInt("seed")), options);
     std::printf("target loss %.2f%%: %s after %zu assignments "
                 "(%zu iterations)\n", loss,
                 run.satisfied ? "met" : "NOT met",
@@ -304,6 +404,11 @@ cmdIterate(const Args &args)
     std::printf("final: best %.0f PPS, UPB %.0f PPS, loss %.2f%%\n",
                 run.final.bestObserved, run.final.pot.upb,
                 100.0 * run.steps.back().loss);
+    if (run.final.bestAssignment) {
+        std::printf("best assignment:    %s\n",
+                    run.final.bestAssignment->toString().c_str());
+    }
+    printEngineReport(stack);
     return 0;
 }
 
@@ -313,18 +418,23 @@ cmdHelp()
     std::printf(
         "statsched — statistical task-assignment toolkit "
         "(ASPLOS'12 reproduction)\n\n"
-        "usage: statsched_cli <command> [--option value ...]\n\n"
+        "usage: statsched_cli <command> [--option value | "
+        "--option=value | --flag ...]\n\n"
         "commands:\n"
         "  count      --tasks N [--topology CxPxS]\n"
         "  capture    --percent P [--samples N | --target T]\n"
         "  enumerate  --tasks N [--topology CxPxS] [--limit K]\n"
-        "  baselines  --benchmark B [--instances K] [--seed S]\n"
+        "  baselines  --benchmark B [--instances K] [--seed S] "
+        "[--draws N]\n"
         "  estimate   --benchmark B [--instances K] [--samples N] "
         "[--seed S]\n"
         "  iterate    --benchmark B [--loss PCT] [--ninit N] "
         "[--ndelta N]\n"
-        "             [--max N] [--confident 1]\n"
+        "             [--max N] [--confident]\n"
         "  help\n\n"
+        "measurement commands also take --threads N (0 = hardware "
+        "concurrency)\nand --no-memoize (measure duplicate "
+        "assignments afresh).\n\n"
         "benchmarks: ipfwd-l1 ipfwd-mem analyzer aho stateful "
         "intadd intmul\n");
     return 0;
@@ -338,20 +448,19 @@ main(int argc, char **argv)
     if (argc < 2)
         return cmdHelp();
     const std::string command = argv[1];
-    const Args args(argc, argv, 2);
 
     if (command == "count")
-        return cmdCount(args);
+        return cmdCount(argc, argv);
     if (command == "capture")
-        return cmdCapture(args);
+        return cmdCapture(argc, argv);
     if (command == "enumerate")
-        return cmdEnumerate(args);
+        return cmdEnumerate(argc, argv);
     if (command == "baselines")
-        return cmdBaselines(args);
+        return cmdBaselines(argc, argv);
     if (command == "estimate")
-        return cmdEstimate(args);
+        return cmdEstimate(argc, argv);
     if (command == "iterate")
-        return cmdIterate(args);
+        return cmdIterate(argc, argv);
     if (command == "help" || command == "--help")
         return cmdHelp();
 
