@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ci_methods.dir/abl_ci_methods.cc.o"
+  "CMakeFiles/abl_ci_methods.dir/abl_ci_methods.cc.o.d"
+  "abl_ci_methods"
+  "abl_ci_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ci_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cycle_vs_analytic.dir/abl_cycle_vs_analytic.cc.o"
+  "CMakeFiles/abl_cycle_vs_analytic.dir/abl_cycle_vs_analytic.cc.o.d"
+  "abl_cycle_vs_analytic"
+  "abl_cycle_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cycle_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_estimator_comparison.dir/abl_estimator_comparison.cc.o"
+  "CMakeFiles/abl_estimator_comparison.dir/abl_estimator_comparison.cc.o.d"
+  "abl_estimator_comparison"
+  "abl_estimator_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_estimator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gev_vs_pot.dir/abl_gev_vs_pot.cc.o"
+  "CMakeFiles/abl_gev_vs_pot.dir/abl_gev_vs_pot.cc.o.d"
+  "abl_gev_vs_pot"
+  "abl_gev_vs_pot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gev_vs_pot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

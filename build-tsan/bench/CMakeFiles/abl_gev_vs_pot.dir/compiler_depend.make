@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_gev_vs_pot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_gev_vs_pot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_local_search.dir/abl_local_search.cc.o"
+  "CMakeFiles/abl_local_search.dir/abl_local_search.cc.o.d"
+  "abl_local_search"
+  "abl_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

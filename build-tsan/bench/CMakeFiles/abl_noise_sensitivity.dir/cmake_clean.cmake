@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_noise_sensitivity.dir/abl_noise_sensitivity.cc.o"
+  "CMakeFiles/abl_noise_sensitivity.dir/abl_noise_sensitivity.cc.o.d"
+  "abl_noise_sensitivity"
+  "abl_noise_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_noise_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_predictor.dir/abl_predictor.cc.o"
+  "CMakeFiles/abl_predictor.dir/abl_predictor.cc.o.d"
+  "abl_predictor"
+  "abl_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_topology_sweep.dir/abl_topology_sweep.cc.o"
+  "CMakeFiles/abl_topology_sweep.dir/abl_topology_sweep.cc.o.d"
+  "abl_topology_sweep"
+  "abl_topology_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_topology_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_quantile_plot.dir/diag_quantile_plot.cc.o"
+  "CMakeFiles/diag_quantile_plot.dir/diag_quantile_plot.cc.o.d"
+  "diag_quantile_plot"
+  "diag_quantile_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_quantile_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

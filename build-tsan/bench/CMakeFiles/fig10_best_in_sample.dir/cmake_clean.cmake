@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_best_in_sample.dir/fig10_best_in_sample.cc.o"
+  "CMakeFiles/fig10_best_in_sample.dir/fig10_best_in_sample.cc.o.d"
+  "fig10_best_in_sample"
+  "fig10_best_in_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_best_in_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

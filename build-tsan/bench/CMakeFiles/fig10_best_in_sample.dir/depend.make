@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_best_in_sample.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_upb_estimate.dir/fig11_upb_estimate.cc.o"
+  "CMakeFiles/fig11_upb_estimate.dir/fig11_upb_estimate.cc.o.d"
+  "fig11_upb_estimate"
+  "fig11_upb_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_upb_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_improvement.dir/fig12_improvement.cc.o"
+  "CMakeFiles/fig12_improvement.dir/fig12_improvement.cc.o.d"
+  "fig12_improvement"
+  "fig12_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

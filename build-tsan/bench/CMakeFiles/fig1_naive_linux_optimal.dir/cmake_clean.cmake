@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_naive_linux_optimal.dir/fig1_naive_linux_optimal.cc.o"
+  "CMakeFiles/fig1_naive_linux_optimal.dir/fig1_naive_linux_optimal.cc.o.d"
+  "fig1_naive_linux_optimal"
+  "fig1_naive_linux_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_naive_linux_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

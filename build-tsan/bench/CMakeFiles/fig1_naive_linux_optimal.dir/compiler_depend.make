@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_naive_linux_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_naive_linux_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_capture_probability.dir/fig2_capture_probability.cc.o"
+  "CMakeFiles/fig2_capture_probability.dir/fig2_capture_probability.cc.o.d"
+  "fig2_capture_probability"
+  "fig2_capture_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_capture_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cdf.dir/fig3_cdf.cc.o"
+  "CMakeFiles/fig3_cdf.dir/fig3_cdf.cc.o.d"
+  "fig3_cdf"
+  "fig3_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

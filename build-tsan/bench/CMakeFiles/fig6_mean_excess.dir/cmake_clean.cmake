@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mean_excess.dir/fig6_mean_excess.cc.o"
+  "CMakeFiles/fig6_mean_excess.dir/fig6_mean_excess.cc.o.d"
+  "fig6_mean_excess"
+  "fig6_mean_excess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mean_excess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_profile_likelihood.dir/fig7_profile_likelihood.cc.o"
+  "CMakeFiles/fig7_profile_likelihood.dir/fig7_profile_likelihood.cc.o.d"
+  "fig7_profile_likelihood"
+  "fig7_profile_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_profile_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

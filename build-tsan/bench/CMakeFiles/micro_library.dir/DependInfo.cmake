@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_library.cc" "bench/CMakeFiles/micro_library.dir/micro_library.cc.o" "gcc" "bench/CMakeFiles/micro_library.dir/micro_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/statsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/statsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_library.dir/micro_library.cc.o"
+  "CMakeFiles/micro_library.dir/micro_library.cc.o.d"
+  "micro_library"
+  "micro_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_assignment_counts.dir/table1_assignment_counts.cc.o"
+  "CMakeFiles/table1_assignment_counts.dir/table1_assignment_counts.cc.o.d"
+  "table1_assignment_counts"
+  "table1_assignment_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_assignment_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-tsan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig2 "/root/repo/build-tsan/bench/fig2_capture_probability")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_parallel_speedup "/root/repo/build-tsan/bench/bench_parallel_speedup" "500" "4")
+set_tests_properties(bench_smoke_parallel_speedup PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")

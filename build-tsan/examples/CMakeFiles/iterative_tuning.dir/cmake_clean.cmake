@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_tuning.dir/iterative_tuning.cpp.o"
+  "CMakeFiles/iterative_tuning.dir/iterative_tuning.cpp.o.d"
+  "iterative_tuning"
+  "iterative_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

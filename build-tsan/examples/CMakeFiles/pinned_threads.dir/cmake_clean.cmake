@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinned_threads.dir/pinned_threads.cpp.o"
+  "CMakeFiles/pinned_threads.dir/pinned_threads.cpp.o.d"
+  "pinned_threads"
+  "pinned_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinned_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_selection.dir/workload_selection.cpp.o"
+  "CMakeFiles/workload_selection.dir/workload_selection.cpp.o.d"
+  "workload_selection"
+  "workload_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/core/CMakeFiles/statsched_core.dir/assignment.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/assignment.cc.o.d"
+  "/root/repo/src/core/assignment_space.cc" "src/core/CMakeFiles/statsched_core.dir/assignment_space.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/assignment_space.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/statsched_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/capture_probability.cc" "src/core/CMakeFiles/statsched_core.dir/capture_probability.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/capture_probability.cc.o.d"
+  "/root/repo/src/core/enumerator.cc" "src/core/CMakeFiles/statsched_core.dir/enumerator.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/enumerator.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/statsched_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/iterative.cc" "src/core/CMakeFiles/statsched_core.dir/iterative.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/iterative.cc.o.d"
+  "/root/repo/src/core/local_search.cc" "src/core/CMakeFiles/statsched_core.dir/local_search.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/local_search.cc.o.d"
+  "/root/repo/src/core/memoizing_engine.cc" "src/core/CMakeFiles/statsched_core.dir/memoizing_engine.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/memoizing_engine.cc.o.d"
+  "/root/repo/src/core/parallel_engine.cc" "src/core/CMakeFiles/statsched_core.dir/parallel_engine.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/parallel_engine.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/statsched_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/core/CMakeFiles/statsched_core.dir/sampler.cc.o" "gcc" "src/core/CMakeFiles/statsched_core.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

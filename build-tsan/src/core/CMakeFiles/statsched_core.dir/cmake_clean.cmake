@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_core.dir/assignment.cc.o"
+  "CMakeFiles/statsched_core.dir/assignment.cc.o.d"
+  "CMakeFiles/statsched_core.dir/assignment_space.cc.o"
+  "CMakeFiles/statsched_core.dir/assignment_space.cc.o.d"
+  "CMakeFiles/statsched_core.dir/baselines.cc.o"
+  "CMakeFiles/statsched_core.dir/baselines.cc.o.d"
+  "CMakeFiles/statsched_core.dir/capture_probability.cc.o"
+  "CMakeFiles/statsched_core.dir/capture_probability.cc.o.d"
+  "CMakeFiles/statsched_core.dir/enumerator.cc.o"
+  "CMakeFiles/statsched_core.dir/enumerator.cc.o.d"
+  "CMakeFiles/statsched_core.dir/estimator.cc.o"
+  "CMakeFiles/statsched_core.dir/estimator.cc.o.d"
+  "CMakeFiles/statsched_core.dir/iterative.cc.o"
+  "CMakeFiles/statsched_core.dir/iterative.cc.o.d"
+  "CMakeFiles/statsched_core.dir/local_search.cc.o"
+  "CMakeFiles/statsched_core.dir/local_search.cc.o.d"
+  "CMakeFiles/statsched_core.dir/memoizing_engine.cc.o"
+  "CMakeFiles/statsched_core.dir/memoizing_engine.cc.o.d"
+  "CMakeFiles/statsched_core.dir/parallel_engine.cc.o"
+  "CMakeFiles/statsched_core.dir/parallel_engine.cc.o.d"
+  "CMakeFiles/statsched_core.dir/predictor.cc.o"
+  "CMakeFiles/statsched_core.dir/predictor.cc.o.d"
+  "CMakeFiles/statsched_core.dir/sampler.cc.o"
+  "CMakeFiles/statsched_core.dir/sampler.cc.o.d"
+  "libstatsched_core.a"
+  "libstatsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

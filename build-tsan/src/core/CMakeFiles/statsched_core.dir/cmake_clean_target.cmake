@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstatsched_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_hw.dir/pinned_executor.cc.o"
+  "CMakeFiles/statsched_hw.dir/pinned_executor.cc.o.d"
+  "libstatsched_hw.a"
+  "libstatsched_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aho_corasick.cc" "src/net/CMakeFiles/statsched_net.dir/aho_corasick.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/net/analyzer.cc" "src/net/CMakeFiles/statsched_net.dir/analyzer.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/analyzer.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/statsched_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/flow_table.cc" "src/net/CMakeFiles/statsched_net.dir/flow_table.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/flow_table.cc.o.d"
+  "/root/repo/src/net/generator.cc" "src/net/CMakeFiles/statsched_net.dir/generator.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/generator.cc.o.d"
+  "/root/repo/src/net/ipfwd.cc" "src/net/CMakeFiles/statsched_net.dir/ipfwd.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/ipfwd.cc.o.d"
+  "/root/repo/src/net/keywords.cc" "src/net/CMakeFiles/statsched_net.dir/keywords.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/keywords.cc.o.d"
+  "/root/repo/src/net/lpm_trie.cc" "src/net/CMakeFiles/statsched_net.dir/lpm_trie.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/lpm_trie.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/statsched_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pipeline.cc" "src/net/CMakeFiles/statsched_net.dir/pipeline.cc.o" "gcc" "src/net/CMakeFiles/statsched_net.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

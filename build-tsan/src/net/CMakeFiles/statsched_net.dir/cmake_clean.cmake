@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_net.dir/aho_corasick.cc.o"
+  "CMakeFiles/statsched_net.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/statsched_net.dir/analyzer.cc.o"
+  "CMakeFiles/statsched_net.dir/analyzer.cc.o.d"
+  "CMakeFiles/statsched_net.dir/checksum.cc.o"
+  "CMakeFiles/statsched_net.dir/checksum.cc.o.d"
+  "CMakeFiles/statsched_net.dir/flow_table.cc.o"
+  "CMakeFiles/statsched_net.dir/flow_table.cc.o.d"
+  "CMakeFiles/statsched_net.dir/generator.cc.o"
+  "CMakeFiles/statsched_net.dir/generator.cc.o.d"
+  "CMakeFiles/statsched_net.dir/ipfwd.cc.o"
+  "CMakeFiles/statsched_net.dir/ipfwd.cc.o.d"
+  "CMakeFiles/statsched_net.dir/keywords.cc.o"
+  "CMakeFiles/statsched_net.dir/keywords.cc.o.d"
+  "CMakeFiles/statsched_net.dir/lpm_trie.cc.o"
+  "CMakeFiles/statsched_net.dir/lpm_trie.cc.o.d"
+  "CMakeFiles/statsched_net.dir/packet.cc.o"
+  "CMakeFiles/statsched_net.dir/packet.cc.o.d"
+  "CMakeFiles/statsched_net.dir/pipeline.cc.o"
+  "CMakeFiles/statsched_net.dir/pipeline.cc.o.d"
+  "libstatsched_net.a"
+  "libstatsched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/num/big_uint.cc" "src/num/CMakeFiles/statsched_num.dir/big_uint.cc.o" "gcc" "src/num/CMakeFiles/statsched_num.dir/big_uint.cc.o.d"
+  "/root/repo/src/num/duration.cc" "src/num/CMakeFiles/statsched_num.dir/duration.cc.o" "gcc" "src/num/CMakeFiles/statsched_num.dir/duration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

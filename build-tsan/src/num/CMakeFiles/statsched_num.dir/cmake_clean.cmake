@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_num.dir/big_uint.cc.o"
+  "CMakeFiles/statsched_num.dir/big_uint.cc.o.d"
+  "CMakeFiles/statsched_num.dir/duration.cc.o"
+  "CMakeFiles/statsched_num.dir/duration.cc.o.d"
+  "libstatsched_num.a"
+  "libstatsched_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/benchmarks.cc" "src/sim/CMakeFiles/statsched_sim.dir/benchmarks.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/benchmarks.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/statsched_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/contention.cc" "src/sim/CMakeFiles/statsched_sim.dir/contention.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/contention.cc.o.d"
+  "/root/repo/src/sim/cycle_sim.cc" "src/sim/CMakeFiles/statsched_sim.dir/cycle_sim.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/cycle_sim.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/statsched_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/statsched_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/statsched_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_sim.dir/benchmarks.cc.o"
+  "CMakeFiles/statsched_sim.dir/benchmarks.cc.o.d"
+  "CMakeFiles/statsched_sim.dir/cache.cc.o"
+  "CMakeFiles/statsched_sim.dir/cache.cc.o.d"
+  "CMakeFiles/statsched_sim.dir/contention.cc.o"
+  "CMakeFiles/statsched_sim.dir/contention.cc.o.d"
+  "CMakeFiles/statsched_sim.dir/cycle_sim.cc.o"
+  "CMakeFiles/statsched_sim.dir/cycle_sim.cc.o.d"
+  "CMakeFiles/statsched_sim.dir/engine.cc.o"
+  "CMakeFiles/statsched_sim.dir/engine.cc.o.d"
+  "CMakeFiles/statsched_sim.dir/workload.cc.o"
+  "CMakeFiles/statsched_sim.dir/workload.cc.o.d"
+  "libstatsched_sim.a"
+  "libstatsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

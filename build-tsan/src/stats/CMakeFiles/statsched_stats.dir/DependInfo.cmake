@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/statsched_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/statsched_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/diagnostics.cc" "src/stats/CMakeFiles/statsched_stats.dir/diagnostics.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/diagnostics.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/statsched_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/gev.cc" "src/stats/CMakeFiles/statsched_stats.dir/gev.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/gev.cc.o.d"
+  "/root/repo/src/stats/gpd.cc" "src/stats/CMakeFiles/statsched_stats.dir/gpd.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/gpd.cc.o.d"
+  "/root/repo/src/stats/gpd_fit.cc" "src/stats/CMakeFiles/statsched_stats.dir/gpd_fit.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/gpd_fit.cc.o.d"
+  "/root/repo/src/stats/linear_solve.cc" "src/stats/CMakeFiles/statsched_stats.dir/linear_solve.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/linear_solve.cc.o.d"
+  "/root/repo/src/stats/mean_excess.cc" "src/stats/CMakeFiles/statsched_stats.dir/mean_excess.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/mean_excess.cc.o.d"
+  "/root/repo/src/stats/nelder_mead.cc" "src/stats/CMakeFiles/statsched_stats.dir/nelder_mead.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/stats/pot.cc" "src/stats/CMakeFiles/statsched_stats.dir/pot.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/pot.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/statsched_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/threshold.cc" "src/stats/CMakeFiles/statsched_stats.dir/threshold.cc.o" "gcc" "src/stats/CMakeFiles/statsched_stats.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

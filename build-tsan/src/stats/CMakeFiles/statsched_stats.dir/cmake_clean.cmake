@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/statsched_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/descriptive.cc.o"
+  "CMakeFiles/statsched_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/diagnostics.cc.o"
+  "CMakeFiles/statsched_stats.dir/diagnostics.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/ecdf.cc.o"
+  "CMakeFiles/statsched_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/gev.cc.o"
+  "CMakeFiles/statsched_stats.dir/gev.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/gpd.cc.o"
+  "CMakeFiles/statsched_stats.dir/gpd.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/gpd_fit.cc.o"
+  "CMakeFiles/statsched_stats.dir/gpd_fit.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/linear_solve.cc.o"
+  "CMakeFiles/statsched_stats.dir/linear_solve.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/mean_excess.cc.o"
+  "CMakeFiles/statsched_stats.dir/mean_excess.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/nelder_mead.cc.o"
+  "CMakeFiles/statsched_stats.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/pot.cc.o"
+  "CMakeFiles/statsched_stats.dir/pot.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/special_functions.cc.o"
+  "CMakeFiles/statsched_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/statsched_stats.dir/threshold.cc.o"
+  "CMakeFiles/statsched_stats.dir/threshold.cc.o.d"
+  "libstatsched_stats.a"
+  "libstatsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_assignment.cc" "tests/CMakeFiles/test_core.dir/core/test_assignment.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_assignment.cc.o.d"
+  "/root/repo/tests/core/test_assignment_space.cc" "tests/CMakeFiles/test_core.dir/core/test_assignment_space.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_assignment_space.cc.o.d"
+  "/root/repo/tests/core/test_baselines.cc" "tests/CMakeFiles/test_core.dir/core/test_baselines.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baselines.cc.o.d"
+  "/root/repo/tests/core/test_capture_probability.cc" "tests/CMakeFiles/test_core.dir/core/test_capture_probability.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_capture_probability.cc.o.d"
+  "/root/repo/tests/core/test_engines.cc" "tests/CMakeFiles/test_core.dir/core/test_engines.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_engines.cc.o.d"
+  "/root/repo/tests/core/test_enumerator.cc" "tests/CMakeFiles/test_core.dir/core/test_enumerator.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_enumerator.cc.o.d"
+  "/root/repo/tests/core/test_estimator.cc" "tests/CMakeFiles/test_core.dir/core/test_estimator.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_estimator.cc.o.d"
+  "/root/repo/tests/core/test_local_search.cc" "tests/CMakeFiles/test_core.dir/core/test_local_search.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_local_search.cc.o.d"
+  "/root/repo/tests/core/test_predictor.cc" "tests/CMakeFiles/test_core.dir/core/test_predictor.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_predictor.cc.o.d"
+  "/root/repo/tests/core/test_sampler.cc" "tests/CMakeFiles/test_core.dir/core/test_sampler.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sampler.cc.o.d"
+  "/root/repo/tests/core/test_shape_properties.cc" "tests/CMakeFiles/test_core.dir/core/test_shape_properties.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_shape_properties.cc.o.d"
+  "/root/repo/tests/core/test_topology.cc" "tests/CMakeFiles/test_core.dir/core/test_topology.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hw/CMakeFiles/statsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/statsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/statsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

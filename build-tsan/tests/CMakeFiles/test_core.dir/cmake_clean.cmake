@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_assignment.cc.o"
+  "CMakeFiles/test_core.dir/core/test_assignment.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_assignment_space.cc.o"
+  "CMakeFiles/test_core.dir/core/test_assignment_space.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_baselines.cc.o"
+  "CMakeFiles/test_core.dir/core/test_baselines.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_capture_probability.cc.o"
+  "CMakeFiles/test_core.dir/core/test_capture_probability.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_engines.cc.o"
+  "CMakeFiles/test_core.dir/core/test_engines.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_enumerator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_enumerator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_estimator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_estimator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_local_search.cc.o"
+  "CMakeFiles/test_core.dir/core/test_local_search.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_predictor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_predictor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sampler.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sampler.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_shape_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_shape_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_topology.cc.o"
+  "CMakeFiles/test_core.dir/core/test_topology.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_aho_corasick.cc" "tests/CMakeFiles/test_net.dir/net/test_aho_corasick.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_aho_corasick.cc.o.d"
+  "/root/repo/tests/net/test_analyzer.cc" "tests/CMakeFiles/test_net.dir/net/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_analyzer.cc.o.d"
+  "/root/repo/tests/net/test_flow_table.cc" "tests/CMakeFiles/test_net.dir/net/test_flow_table.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flow_table.cc.o.d"
+  "/root/repo/tests/net/test_generator.cc" "tests/CMakeFiles/test_net.dir/net/test_generator.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_generator.cc.o.d"
+  "/root/repo/tests/net/test_ipfwd.cc" "tests/CMakeFiles/test_net.dir/net/test_ipfwd.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ipfwd.cc.o.d"
+  "/root/repo/tests/net/test_lpm_trie.cc" "tests/CMakeFiles/test_net.dir/net/test_lpm_trie.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_lpm_trie.cc.o.d"
+  "/root/repo/tests/net/test_packet.cc" "tests/CMakeFiles/test_net.dir/net/test_packet.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_packet.cc.o.d"
+  "/root/repo/tests/net/test_pipeline.cc" "tests/CMakeFiles/test_net.dir/net/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_pipeline.cc.o.d"
+  "/root/repo/tests/net/test_spsc_queue.cc" "tests/CMakeFiles/test_net.dir/net/test_spsc_queue.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_spsc_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hw/CMakeFiles/statsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/statsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/statsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

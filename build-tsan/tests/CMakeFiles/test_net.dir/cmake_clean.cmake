@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_aho_corasick.cc.o"
+  "CMakeFiles/test_net.dir/net/test_aho_corasick.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_analyzer.cc.o"
+  "CMakeFiles/test_net.dir/net/test_analyzer.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow_table.cc.o"
+  "CMakeFiles/test_net.dir/net/test_flow_table.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_generator.cc.o"
+  "CMakeFiles/test_net.dir/net/test_generator.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_ipfwd.cc.o"
+  "CMakeFiles/test_net.dir/net/test_ipfwd.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_lpm_trie.cc.o"
+  "CMakeFiles/test_net.dir/net/test_lpm_trie.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_packet.cc.o"
+  "CMakeFiles/test_net.dir/net/test_packet.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_pipeline.cc.o"
+  "CMakeFiles/test_net.dir/net/test_pipeline.cc.o.d"
+  "CMakeFiles/test_net.dir/net/test_spsc_queue.cc.o"
+  "CMakeFiles/test_net.dir/net/test_spsc_queue.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_num.dir/num/test_big_uint.cc.o"
+  "CMakeFiles/test_num.dir/num/test_big_uint.cc.o.d"
+  "CMakeFiles/test_num.dir/num/test_duration.cc.o"
+  "CMakeFiles/test_num.dir/num/test_duration.cc.o.d"
+  "test_num"
+  "test_num.pdb"
+  "test_num[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

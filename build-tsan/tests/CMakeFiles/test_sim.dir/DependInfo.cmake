@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_contention.cc" "tests/CMakeFiles/test_sim.dir/sim/test_contention.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_contention.cc.o.d"
+  "/root/repo/tests/sim/test_cycle_sim.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cycle_sim.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cycle_sim.cc.o.d"
+  "/root/repo/tests/sim/test_engine.cc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cc.o.d"
+  "/root/repo/tests/sim/test_solver_properties.cc" "tests/CMakeFiles/test_sim.dir/sim/test_solver_properties.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_solver_properties.cc.o.d"
+  "/root/repo/tests/sim/test_workload.cc" "tests/CMakeFiles/test_sim.dir/sim/test_workload.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hw/CMakeFiles/statsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/statsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/statsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_contention.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_contention.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cycle_sim.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cycle_sim.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_solver_properties.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_solver_properties.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_workload.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_workload.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

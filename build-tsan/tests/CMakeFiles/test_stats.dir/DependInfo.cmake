@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_bootstrap.cc" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cc.o.d"
+  "/root/repo/tests/stats/test_descriptive.cc" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cc.o.d"
+  "/root/repo/tests/stats/test_diagnostics.cc" "tests/CMakeFiles/test_stats.dir/stats/test_diagnostics.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_diagnostics.cc.o.d"
+  "/root/repo/tests/stats/test_ecdf.cc" "tests/CMakeFiles/test_stats.dir/stats/test_ecdf.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_ecdf.cc.o.d"
+  "/root/repo/tests/stats/test_gev.cc" "tests/CMakeFiles/test_stats.dir/stats/test_gev.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_gev.cc.o.d"
+  "/root/repo/tests/stats/test_gpd.cc" "tests/CMakeFiles/test_stats.dir/stats/test_gpd.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_gpd.cc.o.d"
+  "/root/repo/tests/stats/test_gpd_fit.cc" "tests/CMakeFiles/test_stats.dir/stats/test_gpd_fit.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_gpd_fit.cc.o.d"
+  "/root/repo/tests/stats/test_linear_solve.cc" "tests/CMakeFiles/test_stats.dir/stats/test_linear_solve.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_linear_solve.cc.o.d"
+  "/root/repo/tests/stats/test_mean_excess.cc" "tests/CMakeFiles/test_stats.dir/stats/test_mean_excess.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_mean_excess.cc.o.d"
+  "/root/repo/tests/stats/test_nelder_mead.cc" "tests/CMakeFiles/test_stats.dir/stats/test_nelder_mead.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_nelder_mead.cc.o.d"
+  "/root/repo/tests/stats/test_pot.cc" "tests/CMakeFiles/test_stats.dir/stats/test_pot.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_pot.cc.o.d"
+  "/root/repo/tests/stats/test_rng.cc" "tests/CMakeFiles/test_stats.dir/stats/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_rng.cc.o.d"
+  "/root/repo/tests/stats/test_special_functions.cc" "tests/CMakeFiles/test_stats.dir/stats/test_special_functions.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_special_functions.cc.o.d"
+  "/root/repo/tests/stats/test_tail_quantile.cc" "tests/CMakeFiles/test_stats.dir/stats/test_tail_quantile.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_tail_quantile.cc.o.d"
+  "/root/repo/tests/stats/test_threshold.cc" "tests/CMakeFiles/test_stats.dir/stats/test_threshold.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hw/CMakeFiles/statsched_hw.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/statsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/statsched_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/statsched_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/statsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/num/CMakeFiles/statsched_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_num[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_base[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_hw[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")

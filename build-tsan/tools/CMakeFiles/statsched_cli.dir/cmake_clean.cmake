@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsched_cli.dir/statsched_cli.cc.o"
+  "CMakeFiles/statsched_cli.dir/statsched_cli.cc.o.d"
+  "statsched_cli"
+  "statsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

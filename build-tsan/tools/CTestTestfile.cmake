@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build-tsan/tools/statsched_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_count "/root/repo/build-tsan/tools/statsched_cli" "count" "--tasks" "24")
+set_tests_properties(cli_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_count_custom_topology "/root/repo/build-tsan/tools/statsched_cli" "count" "--tasks" "6" "--topology" "4x2x2")
+set_tests_properties(cli_count_custom_topology PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_capture_prob "/root/repo/build-tsan/tools/statsched_cli" "capture" "--percent" "1" "--samples" "500")
+set_tests_properties(cli_capture_prob PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_capture_size "/root/repo/build-tsan/tools/statsched_cli" "capture" "--percent" "2" "--target" "0.99")
+set_tests_properties(cli_capture_size PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_enumerate "/root/repo/build-tsan/tools/statsched_cli" "enumerate" "--tasks" "3")
+set_tests_properties(cli_enumerate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baselines "/root/repo/build-tsan/tools/statsched_cli" "baselines" "--benchmark" "intmul" "--instances" "2")
+set_tests_properties(cli_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build-tsan/tools/statsched_cli" "estimate" "--benchmark" "ipfwd-l1" "--samples" "400" "--seed" "9")
+set_tests_properties(cli_estimate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_iterate "/root/repo/build-tsan/tools/statsched_cli" "iterate" "--benchmark" "aho" "--loss" "10" "--ninit" "300" "--ndelta" "100" "--max" "2000")
+set_tests_properties(cli_iterate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_parallel "/root/repo/build-tsan/tools/statsched_cli" "estimate" "--benchmark=ipfwd-l1" "--samples=400" "--seed=9" "--threads=4")
+set_tests_properties(cli_estimate_parallel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate_no_memoize "/root/repo/build-tsan/tools/statsched_cli" "estimate" "--benchmark" "ipfwd-l1" "--samples" "400" "--seed" "9" "--threads" "1" "--no-memoize")
+set_tests_properties(cli_estimate_no_memoize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_option "/root/repo/build-tsan/tools/statsched_cli" "estimate" "--bogus" "1")
+set_tests_properties(cli_rejects_unknown_option PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_value "/root/repo/build-tsan/tools/statsched_cli" "estimate" "--samples")
+set_tests_properties(cli_rejects_missing_value PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
