@@ -1,0 +1,40 @@
+# Guard test: no build tree may ever be committed again.
+#
+# A build-tsan/ tree (object files, CMake caches, binaries) was once
+# checked in by accident; .gitignore now excludes build*/, and this
+# script makes the mistake a test failure instead of a review catch.
+#
+# Run as: cmake -DREPO_DIR=<source dir> -P check_no_tracked_build_files.cmake
+# Passes trivially when the source tree is not a git checkout (e.g. a
+# tarball build) or git is unavailable.
+
+if(NOT DEFINED REPO_DIR)
+    message(FATAL_ERROR "REPO_DIR not set")
+endif()
+
+find_program(GIT_EXECUTABLE git)
+if(NOT GIT_EXECUTABLE OR NOT EXISTS "${REPO_DIR}/.git")
+    message(STATUS "not a git checkout; nothing to check")
+    return()
+endif()
+
+execute_process(
+    COMMAND "${GIT_EXECUTABLE}" ls-files -- "build*/**"
+    WORKING_DIRECTORY "${REPO_DIR}"
+    OUTPUT_VARIABLE tracked
+    RESULT_VARIABLE status
+    OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+if(NOT status EQUAL 0)
+    message(STATUS "git ls-files failed (${status}); nothing to check")
+    return()
+endif()
+
+if(NOT tracked STREQUAL "")
+    message(FATAL_ERROR
+            "tracked files under a build directory:\n${tracked}\n"
+            "Build trees are generated artifacts; remove them with "
+            "'git rm -r --cached <dir>' (build*/ is gitignored).")
+endif()
+
+message(STATUS "no tracked files under build*/")

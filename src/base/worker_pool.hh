@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Persistent worker pool for embarrassingly parallel index ranges.
+ *
+ * Extracted from core::ParallelEngine so other fan-out sites (the
+ * bootstrap resampler, benchmarks) can share the same machinery: a
+ * fixed set of std::thread workers pulling fixed-size chunks of an
+ * index range from an atomic claim counter. The calling thread
+ * participates in every run, so a pool constructed with `threads == 1`
+ * has no workers and degenerates to a serial loop — callers never need
+ * a separate serial code path.
+ *
+ * Determinism: run() invokes task(begin, end) over disjoint chunks
+ * covering [0, n) exactly once each. Which thread runs a chunk is
+ * scheduling-dependent, but as long as the task writes only to
+ * per-index slots the overall result is independent of thread count
+ * and interleaving.
+ */
+
+#ifndef STATSCHED_BASE_WORKER_POOL_HH
+#define STATSCHED_BASE_WORKER_POOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace statsched
+{
+namespace base
+{
+
+/**
+ * Pool of persistent workers executing chunked index ranges.
+ */
+class WorkerPool
+{
+  public:
+    /** Task over a half-open index chunk [begin, end). */
+    using ChunkTask = std::function<void(std::size_t, std::size_t)>;
+
+    /** Maps 0 to the hardware concurrency (at least 1). */
+    static unsigned
+    resolveThreads(unsigned requested)
+    {
+        if (requested != 0)
+            return requested;
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+
+    /**
+     * Chunks small enough to balance uneven item costs, large enough
+     * to amortize the atomic claim.
+     */
+    static std::size_t
+    defaultChunk(std::size_t n, unsigned threads)
+    {
+        const std::size_t target =
+            n / (static_cast<std::size_t>(threads) * 4);
+        return std::clamp<std::size_t>(target, 1, 64);
+    }
+
+    /**
+     * @param threads Total threads participating in each run including
+     *                the caller; 0 selects the hardware concurrency.
+     */
+    explicit WorkerPool(unsigned threads = 0)
+        : threads_(resolveThreads(threads))
+    {
+        // The calling thread participates in every run, so the pool
+        // holds threads_ - 1 workers.
+        for (unsigned i = 1; i < threads_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** @return threads participating per run (caller + workers). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Runs task over every chunk of [0, n) and returns once all n
+     * indices are done. The caller participates; with no workers this
+     * is a plain serial loop.
+     *
+     * @param n     Number of indices.
+     * @param chunk Chunk size (>= 1); use defaultChunk() if unsure.
+     * @param task  Chunk body; must only touch per-index state.
+     */
+    void
+    run(std::size_t n, std::size_t chunk, const ChunkTask &task)
+    {
+        if (n == 0)
+            return;
+        if (workers_.empty() || n == 1) {
+            task(0, n);
+            return;
+        }
+
+        auto job = std::make_shared<Job>();
+        job->n = n;
+        job->chunk = std::max<std::size_t>(chunk, 1);
+        job->task = &task;
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = job;
+        }
+        wake_.notify_all();
+
+        runChunks(*job);
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        finished_.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) == job->n;
+        });
+        // Clear the published job so destruction cannot race a worker
+        // that never woke for it.
+        job_.reset();
+    }
+
+  private:
+    /**
+     * One run in flight. Workers take a shared_ptr snapshot of the
+     * current job under the pool mutex, so a late worker from a
+     * previous run can never touch the fields of the next one.
+     */
+    struct Job
+    {
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        const ChunkTask *task = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+    };
+
+    /** Claims and evaluates chunks until the job is drained. */
+    void
+    runChunks(Job &job)
+    {
+        for (;;) {
+            const std::size_t begin =
+                job.next.fetch_add(job.chunk,
+                                   std::memory_order_relaxed);
+            if (begin >= job.n)
+                return;
+            const std::size_t end = std::min(begin + job.chunk, job.n);
+            (*job.task)(begin, end);
+            const std::size_t finished =
+                job.done.fetch_add(end - begin,
+                                   std::memory_order_acq_rel) +
+                (end - begin);
+            if (finished == job.n) {
+                // Pair the notification with the mutex so the waiter
+                // cannot miss it between predicate check and sleep.
+                { std::lock_guard<std::mutex> lock(mutex_); }
+                finished_.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::shared_ptr<Job> seen;
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stopping_ || (job_ && job_ != seen);
+                });
+                if (stopping_)
+                    return;
+                job = job_;
+                seen = job;
+            }
+            runChunks(*job);
+        }
+    }
+
+    unsigned threads_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable finished_;
+    std::shared_ptr<Job> job_;       //!< current job, guarded by mutex_
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace base
+} // namespace statsched
+
+#endif // STATSCHED_BASE_WORKER_POOL_HH

@@ -13,9 +13,9 @@ namespace core
 OptimalPerformanceEstimator::OptimalPerformanceEstimator(
     PerformanceEngine &engine, const Topology &topology,
     std::uint32_t tasks, std::uint64_t seed,
-    const stats::PotOptions &options)
+    const stats::PotOptions &options, bool warmStartFits)
     : engine_(engine), sampler_(topology, tasks, seed),
-      options_(options)
+      options_(options), accumulator_(options, warmStartFits)
 {
 }
 
@@ -36,12 +36,13 @@ OptimalPerformanceEstimator::extend(std::size_t n)
             bestValue_ = values[i];
         }
     }
+    accumulator_.extend(values);
 
     EstimationResult result;
     result.sample = sample_;
     result.bestAssignment = best_;
     result.bestObserved = bestValue_;
-    result.pot = stats::estimateOptimalPerformance(sample_, options_);
+    result.pot = accumulator_.estimate();
     result.modeledSeconds = static_cast<double>(sample_.size()) *
         engine_.secondsPerMeasurement();
     return result;

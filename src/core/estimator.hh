@@ -21,6 +21,7 @@
 #include "core/performance_engine.hh"
 #include "core/sampler.hh"
 #include "stats/pot.hh"
+#include "stats/pot_accumulator.hh"
 
 namespace statsched
 {
@@ -61,17 +62,23 @@ class OptimalPerformanceEstimator
 {
   public:
     /**
-     * @param engine   Measurement engine (not owned).
-     * @param topology Processor shape.
-     * @param tasks    Workload size.
-     * @param seed     Sampler seed.
-     * @param options  POT configuration (threshold, estimator,
-     *                 confidence level).
+     * @param engine        Measurement engine (not owned).
+     * @param topology      Processor shape.
+     * @param tasks         Workload size.
+     * @param seed          Sampler seed.
+     * @param options       POT configuration (threshold, estimator,
+     *                      confidence level).
+     * @param warmStartFits Seed each round's GPD fit from the previous
+     *                      round's (faster; likelihood agrees with the
+     *                      cold fit to ~1e-9). Disable for results
+     *                      bit-identical to the from-scratch
+     *                      estimateOptimalPerformance() pipeline.
      */
     OptimalPerformanceEstimator(PerformanceEngine &engine,
                                 const Topology &topology,
                                 std::uint32_t tasks, std::uint64_t seed,
-                                const stats::PotOptions &options = {});
+                                const stats::PotOptions &options = {},
+                                bool warmStartFits = true);
 
     /**
      * Draws and measures `n` fresh assignments, then estimates the
@@ -92,7 +99,10 @@ class OptimalPerformanceEstimator
     PerformanceEngine &engine_;
     RandomAssignmentSampler sampler_;
     stats::PotOptions options_;
+    /** Measurements in collection order (the public sample() view). */
     std::vector<double> sample_;
+    /** Incremental POT state over the same measurements. */
+    stats::PotAccumulator accumulator_;
     std::optional<Assignment> best_;
     double bestValue_ = 0.0;
 };

@@ -26,7 +26,8 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
                      "sample sizes must be positive");
 
     OptimalPerformanceEstimator estimator(engine, topology, tasks, seed,
-                                          options.pot);
+                                          options.pot,
+                                          options.warmStartFits);
 
     IterativeResult result;
     std::size_t to_draw = options.initialSample;

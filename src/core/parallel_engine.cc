@@ -5,101 +5,17 @@
 
 #include "core/parallel_engine.hh"
 
-#include <algorithm>
+#include "base/logging.hh"
 
 namespace statsched
 {
 namespace core
 {
 
-namespace
-{
-
-unsigned
-resolveThreads(unsigned requested)
-{
-    if (requested != 0)
-        return requested;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
-
-/**
- * Chunks small enough to balance uneven item costs, large enough to
- * amortize the atomic claim.
- */
-std::size_t
-chunkSize(std::size_t n, unsigned threads)
-{
-    const std::size_t target = n / (static_cast<std::size_t>(threads) * 4);
-    return std::clamp<std::size_t>(target, 1, 64);
-}
-
-} // anonymous namespace
-
 ParallelEngine::ParallelEngine(PerformanceEngine &inner,
                                unsigned threads)
-    : inner_(inner), threads_(resolveThreads(threads))
+    : inner_(inner), pool_(threads)
 {
-    // The calling thread participates in every batch, so the pool
-    // holds threads_ - 1 workers.
-    for (unsigned i = 1; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
-}
-
-ParallelEngine::~ParallelEngine()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
-    }
-    wake_.notify_all();
-    for (auto &worker : workers_)
-        worker.join();
-}
-
-void
-ParallelEngine::runChunks(Job &job)
-{
-    for (;;) {
-        const std::size_t begin =
-            job.next.fetch_add(job.chunk, std::memory_order_relaxed);
-        if (begin >= job.n)
-            return;
-        const std::size_t end = std::min(begin + job.chunk, job.n);
-        for (std::size_t i = begin; i < end; ++i)
-            job.out[i] = job.kernel(job.batch[i], i);
-        const std::size_t finished =
-            job.done.fetch_add(end - begin,
-                               std::memory_order_acq_rel) +
-            (end - begin);
-        if (finished == job.n) {
-            // Pair the notification with the mutex so the waiter
-            // cannot miss it between predicate check and sleep.
-            { std::lock_guard<std::mutex> lock(mutex_); }
-            finished_.notify_all();
-        }
-    }
-}
-
-void
-ParallelEngine::workerLoop()
-{
-    std::shared_ptr<Job> seen;
-    for (;;) {
-        std::shared_ptr<Job> job;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return stopping_ || (job_ && job_ != seen);
-            });
-            if (stopping_)
-                return;
-            job = job_;
-            seen = job;
-        }
-        runChunks(*job);
-    }
 }
 
 void
@@ -117,34 +33,17 @@ ParallelEngine::measureBatch(std::span<const Assignment> batch,
         inner_.measureBatch(batch, out);
         return;
     }
-    if (workers_.empty() || batch.size() == 1) {
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            out[i] = kernel(batch[i], i);
-        return;
-    }
 
-    auto job = std::make_shared<Job>();
-    job->batch = batch.data();
-    job->out = out.data();
-    job->n = batch.size();
-    job->chunk = chunkSize(batch.size(), threads_);
-    job->kernel = std::move(kernel);
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job_ = job;
-    }
-    wake_.notify_all();
-
-    runChunks(*job);
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    finished_.wait(lock, [&] {
-        return job->done.load(std::memory_order_acquire) == job->n;
-    });
-    // Clear the published job so destruction cannot race a worker
-    // that never woke for it.
-    job_.reset();
+    const Assignment *items = batch.data();
+    double *results = out.data();
+    pool_.run(batch.size(),
+              base::WorkerPool::defaultChunk(batch.size(),
+                                             pool_.threads()),
+              [&kernel, items, results](std::size_t begin,
+                                        std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i)
+                      results[i] = kernel(items[i], i);
+              });
 }
 
 } // namespace core

@@ -5,9 +5,9 @@
  * The paper's experimentation cost is thousands of independent
  * measurements (Section 5.3); the simulated engine is pure, so a
  * batch of assignments is embarrassingly parallel. ParallelEngine is
- * a decorator that fans measureBatch() out over a persistent pool of
- * std::thread workers pulling fixed-size chunks from an atomic work
- * queue.
+ * a decorator that fans measureBatch() out over a persistent
+ * base::WorkerPool of std::thread workers pulling fixed-size chunks
+ * from an atomic work queue.
  *
  * Determinism: the decorator only parallelizes engines that publish a
  * parallelKernel() — a pure function of (assignment, batch index) —
@@ -21,13 +21,7 @@
 #ifndef STATSCHED_CORE_PARALLEL_ENGINE_HH
 #define STATSCHED_CORE_PARALLEL_ENGINE_HH
 
-#include <atomic>
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
-
+#include "base/worker_pool.hh"
 #include "core/performance_engine.hh"
 
 namespace statsched
@@ -49,8 +43,6 @@ class ParallelEngine : public PerformanceEngine
      */
     explicit ParallelEngine(PerformanceEngine &inner,
                             unsigned threads = 0);
-
-    ~ParallelEngine() override;
 
     ParallelEngine(const ParallelEngine &) = delete;
     ParallelEngine &operator=(const ParallelEngine &) = delete;
@@ -87,38 +79,11 @@ class ParallelEngine : public PerformanceEngine
     }
 
     /** @return threads used per batch (callers + workers). */
-    unsigned threads() const { return threads_; }
+    unsigned threads() const { return pool_.threads(); }
 
   private:
-    /**
-     * One batch in flight. Workers take a shared_ptr snapshot of the
-     * current job under the pool mutex, so a late worker from a
-     * previous batch can never touch the fields of the next one.
-     */
-    struct Job
-    {
-        const Assignment *batch = nullptr;
-        double *out = nullptr;
-        std::size_t n = 0;
-        std::size_t chunk = 1;
-        BatchKernel kernel;
-        std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> done{0};
-    };
-
-    void workerLoop();
-    /** Claims and evaluates chunks until the job is drained. */
-    void runChunks(Job &job);
-
     PerformanceEngine &inner_;
-    unsigned threads_;
-
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable finished_;
-    std::shared_ptr<Job> job_;       //!< current job, guarded by mutex_
-    bool stopping_ = false;
-    std::vector<std::thread> workers_;
+    base::WorkerPool pool_;
 };
 
 } // namespace core

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/worker_pool.hh"
 #include "stats/descriptive.hh"
 #include "stats/rng.hh"
 
@@ -20,25 +21,46 @@ namespace stats
 BootstrapInterval
 bootstrapUpbInterval(const std::vector<double> &sample,
                      const PotOptions &options, std::size_t replicates,
-                     std::uint64_t seed)
+                     std::uint64_t seed, unsigned threads)
 {
     STATSCHED_ASSERT(replicates >= 50,
                      "too few bootstrap replicates");
     STATSCHED_ASSERT(!sample.empty(), "empty sample");
 
-    Rng rng(seed);
+    // Pre-generate one independent seed per replicate: replicate b's
+    // resampling stream is a pure function of (seed, b), never of the
+    // order in which replicates execute.
+    Rng master(seed);
+    std::vector<std::uint64_t> replicate_seeds(replicates);
+    for (auto &s : replicate_seeds)
+        s = master.next();
+
+    std::vector<double> replicate_upb(replicates, 0.0);
+    std::vector<std::uint8_t> replicate_ok(replicates, 0);
+
+    base::WorkerPool pool(threads == 0 ? 0 : threads);
+    pool.run(replicates, 1,
+             [&](std::size_t begin, std::size_t end) {
+                 std::vector<double> resample(sample.size());
+                 for (std::size_t b = begin; b < end; ++b) {
+                     Rng rng(replicate_seeds[b]);
+                     for (auto &x : resample)
+                         x = sample[rng.uniformInt(sample.size())];
+                     const auto est =
+                         estimateOptimalPerformance(resample, options);
+                     if (est.valid && std::isfinite(est.upb)) {
+                         replicate_upb[b] = est.upb;
+                         replicate_ok[b] = 1;
+                     }
+                 }
+             });
+
+    BootstrapInterval out;
     std::vector<double> upbs;
     upbs.reserve(replicates);
-    std::vector<double> resample(sample.size());
-    BootstrapInterval out;
-
     for (std::size_t b = 0; b < replicates; ++b) {
-        for (auto &x : resample)
-            x = sample[rng.uniformInt(sample.size())];
-        const auto est =
-            estimateOptimalPerformance(resample, options);
-        if (est.valid && std::isfinite(est.upb))
-            upbs.push_back(est.upb);
+        if (replicate_ok[b])
+            upbs.push_back(replicate_upb[b]);
         else
             ++out.failed;
     }

@@ -38,16 +38,23 @@ struct BootstrapInterval
 /**
  * Percentile-bootstrap confidence interval of the UPB.
  *
+ * Each replicate resamples with its own RNG, seeded from a SplitMix
+ * stream derived from `seed` before any work is dispatched, so the
+ * result is bit-identical for every thread count (including 1): the
+ * replicate streams never depend on execution order.
+ *
  * @param sample     Raw performance sample.
  * @param options    POT options (confidenceLevel sets the percentile
  *                   coverage).
  * @param replicates Number of bootstrap replicates (>= 50).
  * @param seed       Resampling RNG seed.
+ * @param threads    Threads used for the replicate fits, including the
+ *                   caller; 0 selects the hardware concurrency.
  */
 BootstrapInterval
 bootstrapUpbInterval(const std::vector<double> &sample,
                      const PotOptions &options, std::size_t replicates,
-                     std::uint64_t seed);
+                     std::uint64_t seed, unsigned threads = 1);
 
 } // namespace stats
 } // namespace statsched

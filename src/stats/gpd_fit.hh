@@ -60,12 +60,20 @@ double gpdNegativeLogLikelihood(double xi, double sigma,
  *
  * @param exceedances Values y_i = x_i - u > 0; at least 5 required.
  * @param method      Estimation method.
+ * @param warmStart   Optional starting point for the MLE search,
+ *                    typically the previous round's fit when the sample
+ *                    is grown iteratively. Only used when it converged
+ *                    with finite parameters and sigma > 0; the search
+ *                    then starts from a smaller simplex than the cold
+ *                    moment-estimate start. Ignored by the closed-form
+ *                    estimators.
  * @return the fit; `converged` is false when the search failed (e.g.
  *         degenerate data), in which case the parameters hold the best
  *         point found.
  */
 GpdFit fitGpd(const std::vector<double> &exceedances,
-              GpdEstimator method = GpdEstimator::MaximumLikelihood);
+              GpdEstimator method = GpdEstimator::MaximumLikelihood,
+              const GpdFit *warmStart = nullptr);
 
 } // namespace stats
 } // namespace statsched

@@ -20,6 +20,24 @@ MeanExcess::MeanExcess(std::vector<double> sample)
 {
     STATSCHED_ASSERT(!sorted_.empty(), "mean excess of empty sample");
     std::sort(sorted_.begin(), sorted_.end());
+    buildSuffixSums();
+}
+
+MeanExcess
+MeanExcess::fromSorted(std::vector<double> sorted)
+{
+    STATSCHED_ASSERT(!sorted.empty(), "mean excess of empty sample");
+    STATSCHED_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
+                     "fromSorted() requires ascending order");
+    MeanExcess me;
+    me.sorted_ = std::move(sorted);
+    me.buildSuffixSums();
+    return me;
+}
+
+void
+MeanExcess::buildSuffixSums()
+{
     suffixSum_.assign(sorted_.size() + 1, 0.0);
     for (std::size_t i = sorted_.size(); i-- > 0;)
         suffixSum_[i] = suffixSum_[i + 1] + sorted_[i];
@@ -70,14 +88,23 @@ MeanExcess::upperPlot(double q) const
 double
 MeanExcess::tailLinearity(double u) const
 {
-    auto full = plot();
+    // Walk only the tail of the sorted sample instead of materializing
+    // the full plot and filtering: lower_bound lands on the first
+    // occurrence of the first value >= u, so the duplicate-skipping
+    // below visits exactly the plot points that the full plot would
+    // have kept, in the same order.
+    const auto begin = std::lower_bound(sorted_.begin(), sorted_.end(), u);
     std::vector<double> xs;
     std::vector<double> ys;
-    for (const auto &p : full) {
-        if (p.first >= u) {
-            xs.push_back(p.first);
-            ys.push_back(p.second);
-        }
+    for (auto it = begin; it != sorted_.end(); ++it) {
+        const std::size_t i =
+            static_cast<std::size_t>(it - sorted_.begin());
+        if (i + 1 >= sorted_.size())
+            break;  // the maximum has no exceedances, never plotted
+        if (it != begin && *it == *(it - 1))
+            continue;
+        xs.push_back(*it);
+        ys.push_back(evaluate(*it));
     }
     if (xs.size() < 2)
         return 0.0;

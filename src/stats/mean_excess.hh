@@ -38,6 +38,15 @@ class MeanExcess
      */
     explicit MeanExcess(std::vector<double> sample);
 
+    /**
+     * Builds the mean-excess function from an already ascending-sorted
+     * sample, skipping the O(n log n) sort. Used by incremental callers
+     * that maintain the sorted order across sample extensions.
+     *
+     * @param sorted Observations in ascending order.
+     */
+    static MeanExcess fromSorted(std::vector<double> sorted);
+
     /** @return the sorted underlying sample. */
     const std::vector<double> &sorted() const { return sorted_; }
 
@@ -73,6 +82,11 @@ class MeanExcess
     double tailLinearity(double u) const;
 
   private:
+    MeanExcess() = default;
+
+    /** Fills suffixSum_ from sorted_. */
+    void buildSuffixSums();
+
     std::vector<double> sorted_;
     /** Suffix sums of the sorted sample, for O(log n) evaluation. */
     std::vector<double> suffixSum_;

@@ -62,17 +62,18 @@ nelderMeadMinimize(const std::function<double(
     STATSCHED_ASSERT(!start.empty(), "empty starting point");
     const std::size_t n = start.size();
 
-    // fminsearch-style initial simplex: perturb each coordinate by 5%,
-    // or by 0.00025 when the coordinate is zero.
+    // fminsearch-style initial simplex: perturb each coordinate by
+    // initialPerturbation (5% by default), or by zeroPerturbation when
+    // the coordinate is zero.
     std::vector<Vertex> simplex;
     simplex.reserve(n + 1);
     simplex.push_back({start, objective(start)});
     for (std::size_t i = 0; i < n; ++i) {
         std::vector<double> p(start);
         if (p[i] != 0.0)
-            p[i] *= 1.05;
+            p[i] *= 1.0 + options.initialPerturbation;
         else
-            p[i] = 0.00025;
+            p[i] = options.zeroPerturbation;
         simplex.push_back({p, objective(p)});
     }
 

@@ -34,6 +34,13 @@ struct NelderMeadOptions
     double expansion = 2.0;
     double contraction = 0.5;
     double shrink = 0.5;
+    /** Relative per-coordinate perturbation of the initial simplex
+     *  (fminsearch uses 5%). Warm-started searches that begin near the
+     *  optimum shrink this so iterations go into contraction instead
+     *  of re-walking a too-large simplex. */
+    double initialPerturbation = 0.05;
+    /** Absolute perturbation used for zero coordinates. */
+    double zeroPerturbation = 0.00025;
 };
 
 /**

@@ -131,6 +131,35 @@ profileLogLikelihoodUpb(double upb_minus_u, const std::vector<double> &ys);
 PotEstimate estimateOptimalPerformance(const std::vector<double> &sample,
                                        const PotOptions &options = {});
 
+namespace detail
+{
+
+/**
+ * Marks an estimate as unusable (no bounded tail): valid = false, the
+ * point estimate and upper bound become +inf and the lower bound falls
+ * back to the best observation. maxObserved must already be set.
+ */
+void markPotEstimateInvalid(PotEstimate &est);
+
+/**
+ * Steps 3-4 (GPD fit + profile-likelihood CI) on an already selected
+ * exceedance set. Shared between estimateOptimalPerformance() and the
+ * incremental PotAccumulator so the two paths cannot drift: given the
+ * same exceedances and options they produce bit-identical estimates.
+ *
+ * @param est        In/out: threshold, exceedance counts, maxObserved
+ *                   and confidenceLevel must already be filled in.
+ * @param ys         Exceedances over est.threshold (>= 5).
+ * @param options    POT configuration.
+ * @param warm_start Optional previous-round fit to seed the MLE search
+ *                   (nullptr = cold start from the moment estimate).
+ */
+void finishPotEstimate(PotEstimate &est, const std::vector<double> &ys,
+                       const PotOptions &options,
+                       const GpdFit *warm_start);
+
+} // namespace detail
+
 /**
  * Points of the profile log-likelihood curve (Figure 7): pairs
  * (UPB, L*(UPB)) over [lo, hi].

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * PotAccumulator implementation.
+ */
+
+#include "stats/pot_accumulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "stats/mean_excess.hh"
+
+namespace statsched
+{
+namespace stats
+{
+
+PotAccumulator::PotAccumulator(const PotOptions &options,
+                               bool warmStartFits)
+    : options_(options), warmStartFits_(warmStartFits)
+{
+    STATSCHED_ASSERT(options.confidenceLevel > 0.0 &&
+                     options.confidenceLevel < 1.0,
+                     "confidence level out of (0,1)");
+}
+
+void
+PotAccumulator::extend(const std::vector<double> &values)
+{
+    if (values.empty())
+        return;
+    const double batch_max =
+        *std::max_element(values.begin(), values.end());
+    pendingMax_ = havePending_ ? std::max(pendingMax_, batch_max)
+                               : batch_max;
+    havePending_ = true;
+
+    // Sort the k new values, then merge into the n already sorted:
+    // O(k log k + n) instead of the O((n + k) log (n + k)) full
+    // re-sort. Equal values are indistinguishable, so the merged
+    // sequence is exactly what sorting the cumulative sample produces.
+    const auto old_n =
+        static_cast<std::vector<double>::difference_type>(sorted_.size());
+    sorted_.insert(sorted_.end(), values.begin(), values.end());
+    std::sort(sorted_.begin() + old_n, sorted_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + old_n,
+                       sorted_.end());
+}
+
+PotEstimate
+PotAccumulator::estimate()
+{
+    STATSCHED_ASSERT(!sorted_.empty(), "estimate over an empty sample");
+
+    PotEstimate est;
+    est.confidenceLevel = options_.confidenceLevel;
+    est.maxObserved = sorted_.back();
+
+    const std::size_t n = sorted_.size();
+    if (n < 2 * options_.threshold.minExceedances) {
+        // Too small for threshold selection; keep accumulating. The
+        // pending batch stays pending — no tail has been selected yet
+        // for it to be compared against.
+        detail::markPotEstimateInvalid(est);
+        return est;
+    }
+
+    const std::size_t cap = exceedanceCap(n, options_.threshold);
+
+    // Tail-unchanged shortcut: under the fixed-fraction policy, if the
+    // exceedance cap did not grow and every value added since the last
+    // estimate sits at or below the previous threshold, then the top
+    // cap + 1 order statistics — and with them the threshold, the
+    // strict exceedances and the tail mean-excess plot — are exactly
+    // what they were. The previous estimate is still the answer; only
+    // the exceedance rate (denominator n) moved.
+    if (havePrevious_ &&
+        options_.threshold.policy == ThresholdPolicy::FixedFraction &&
+        cap == previousCap_ &&
+        (!havePending_ || pendingMax_ <= previous_.threshold)) {
+        ++shortcutHits_;
+        havePending_ = false;
+        previous_.exceedanceRate =
+            static_cast<double>(previous_.exceedanceCount) /
+            static_cast<double>(n);
+        return previous_;
+    }
+
+    // Full path: threshold selection over the maintained sorted sample
+    // (no re-sort), then the shared fit + CI pipeline.
+    auto me = MeanExcess::fromSorted(sorted_);
+    auto selection =
+        selectThresholdFromMeanExcess(me, options_.threshold);
+    est.threshold = selection.threshold;
+    est.exceedanceCount = selection.exceedances.size();
+    est.exceedanceRate =
+        static_cast<double>(selection.exceedances.size()) /
+        static_cast<double>(n);
+    est.tailLinearity = selection.tailLinearity;
+    const std::vector<double> &ys = selection.exceedances;
+
+    havePrevious_ = true;
+    previousCap_ = cap;
+    havePending_ = false;
+
+    if (ys.size() < options_.threshold.minExceedances) {
+        detail::markPotEstimateInvalid(est);
+        previous_ = est;
+        return est;
+    }
+
+    const GpdFit *warm =
+        (warmStartFits_ && haveLastFit_) ? &lastFit_ : nullptr;
+    detail::finishPotEstimate(est, ys, options_, warm);
+    if (est.fit.converged) {
+        lastFit_ = est.fit;
+        haveLastFit_ = true;
+    }
+    previous_ = est;
+    return est;
+}
+
+} // namespace stats
+} // namespace statsched

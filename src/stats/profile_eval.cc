@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ProfileEvaluator implementation.
+ */
+
+#include "stats/profile_eval.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace statsched
+{
+namespace stats
+{
+
+namespace
+{
+
+constexpr double infinity = std::numeric_limits<double>::infinity();
+
+} // anonymous namespace
+
+ProfileEvaluator::ProfileEvaluator(const std::vector<double> &ys)
+    : ys_(ys), m_(static_cast<double>(ys.size()))
+{
+    // b is never NaN, so a NaN bit pattern marks an empty slot.
+    keys_.fill(std::bit_cast<std::uint64_t>(
+        std::numeric_limits<double>::quiet_NaN()));
+}
+
+const ProfileEvaluator::Point &
+ProfileEvaluator::evaluate(double b)
+{
+    ++evaluations_;
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(b);
+    for (std::size_t s = 0; s < cacheSlots; ++s) {
+        if (keys_[s] == key)
+            return points_[s];
+    }
+
+    const std::size_t slot = nextSlot_;
+    nextSlot_ = (nextSlot_ + 1) % cacheSlots;
+    keys_[slot] = key;
+    Point &point = points_[slot];
+    point = Point{};
+
+    ++passes_;
+    double sum_log = 0.0;
+    for (double y : ys_) {
+        const double z = 1.0 - y / b;
+        if (z <= 0.0) {
+            point.sumLog = -infinity;
+            point.xiRaw = -infinity;
+            point.xiStar = profileXiFloor;
+            point.logLik = -infinity;
+            return point;
+        }
+        sum_log += std::log(z);
+    }
+    point.sumLog = sum_log;
+    point.xiRaw = sum_log / m_;
+    point.xiStar = std::clamp(point.xiRaw, profileXiFloor,
+                              profileXiCeil);
+    point.logLik = -m_ * std::log(-point.xiStar * b) -
+        (1.0 + 1.0 / point.xiStar) * sum_log;
+    return point;
+}
+
+} // namespace stats
+} // namespace statsched

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fused, memoized evaluation of the UPB profile log-likelihood.
+ *
+ * The POT confidence-interval construction (stats/pot) evaluates the
+ * profile log-likelihood L*(b), b = UPB - u, hundreds of times per
+ * estimate: branch location needs the unconstrained inner maximizer
+ * xi(b), the golden-section outer search and the two Wilks-root
+ * bisections need L*(b) itself. All of these derive from the single
+ * exceedance pass
+ *
+ *     sum_log(b) = sum_i log(1 - y_i / b) ,
+ *
+ * so evaluating them separately — as the original implementation did —
+ * doubles (or worse) the number of O(m) log-loops. ProfileEvaluator
+ * computes the pass once per distinct b and derives every quantity
+ * from it; repeated requests for a recent b (the root bisections
+ * re-probe their endpoints, the maximizer is re-evaluated after the
+ * search) are served from a small exact-key ring cache — small and
+ * linear-probed on purpose: repeats always target a recent b, and a
+ * hash table's per-lookup overhead would rival the fused pass itself
+ * at realistic exceedance counts.
+ *
+ * All arithmetic matches profileLogLikelihoodUpb() operation for
+ * operation, so results are bit-identical to unfused evaluation.
+ */
+
+#ifndef STATSCHED_STATS_PROFILE_EVAL_HH
+#define STATSCHED_STATS_PROFILE_EVAL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace statsched
+{
+namespace stats
+{
+
+/** Clamp range for the profiled shape: the GPD likelihood is unbounded
+ *  for xi < -1, so the profile restricts xi to [-1, 0). */
+constexpr double profileXiFloor = -1.0;
+constexpr double profileXiCeil = -1e-10;
+
+/**
+ * One-pass-per-b profile likelihood evaluator over a fixed exceedance
+ * set.
+ */
+class ProfileEvaluator
+{
+  public:
+    /** Everything derivable from one exceedance pass at a given b. */
+    struct Point
+    {
+        double sumLog = 0.0; //!< sum log(1 - y_i/b); -inf if infeasible
+        double xiRaw = 0.0;  //!< unclamped inner maximizer sum_log / m
+        double xiStar = 0.0; //!< xiRaw clamped to [-1, 0)
+        double logLik = 0.0; //!< L*(b); -inf if b <= max y
+    };
+
+    /**
+     * @param ys Exceedances; referenced, not copied — must outlive
+     *           the evaluator.
+     */
+    explicit ProfileEvaluator(const std::vector<double> &ys);
+
+    /** Evaluates (or recalls) the profile quantities at b. */
+    const Point &evaluate(double b);
+
+    /** @return L*(b). */
+    double profile(double b) { return evaluate(b).logLik; }
+
+    /** @return the unclamped inner maximizer xi(b) = mean log term. */
+    double xiRaw(double b) { return evaluate(b).xiRaw; }
+
+    /** @return total evaluate() calls. */
+    std::size_t evaluations() const { return evaluations_; }
+
+    /** @return O(m) exceedance passes actually executed. */
+    std::size_t passes() const { return passes_; }
+
+  private:
+    static constexpr std::size_t cacheSlots = 8;
+
+    const std::vector<double> &ys_;
+    double m_;
+    /** Ring of the most recent distinct evaluations, keyed by the bit
+     *  pattern of b (slots start at an impossible NaN key). */
+    std::array<std::uint64_t, cacheSlots> keys_;
+    std::array<Point, cacheSlots> points_;
+    std::size_t nextSlot_ = 0;
+    std::size_t evaluations_ = 0;
+    std::size_t passes_ = 0;
+};
+
+} // namespace stats
+} // namespace statsched
+
+#endif // STATSCHED_STATS_PROFILE_EVAL_HH

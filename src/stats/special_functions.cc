@@ -28,6 +28,23 @@ constexpr double epsilon = 1e-15;
 constexpr double tiny = 1e-300;
 
 /**
+ * Thread-safe log-gamma. C lgamma() stores the sign of Gamma(x) in the
+ * global `signgam`, which is a data race when estimates run
+ * concurrently (the parallel bootstrap does); lgamma_r returns the
+ * exact same value and writes the sign to an out-parameter instead.
+ */
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
+/**
  * Lower incomplete gamma by power series; valid and fast for x < a + 1.
  */
 double
@@ -43,7 +60,7 @@ gammaPSeries(double a, double x)
         if (std::fabs(term) < std::fabs(sum) * epsilon)
             break;
     }
-    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return sum * std::exp(-x + a * std::log(x) - logGamma(a));
 }
 
 /**
@@ -72,7 +89,7 @@ gammaQContinuedFraction(double a, double x)
         if (std::fabs(delta - 1.0) < epsilon)
             break;
     }
-    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return h * std::exp(-x + a * std::log(x) - logGamma(a));
 }
 
 } // anonymous namespace
@@ -110,7 +127,7 @@ inverseGammaP(double a, double p)
         return 0.0;
 
     // Wilson-Hilferty approximation as a starting point.
-    double g = std::lgamma(a);
+    double g = logGamma(a);
     double x;
     if (a > 1.0) {
         double z = normalQuantile(p);

@@ -45,26 +45,37 @@ selectionFromCount(const std::vector<double> &sorted, std::size_t count,
 
 } // anonymous namespace
 
+std::size_t
+exceedanceCap(std::size_t sample_size, const ThresholdOptions &options)
+{
+    return std::max<std::size_t>(
+        options.minExceedances,
+        static_cast<std::size_t>(
+            std::floor(options.maxExceedanceFraction *
+                       static_cast<double>(sample_size))));
+}
+
 ThresholdSelection
 selectThreshold(const std::vector<double> &sample,
                 const ThresholdOptions &options)
+{
+    return selectThresholdFromMeanExcess(MeanExcess{sample}, options);
+}
+
+ThresholdSelection
+selectThresholdFromMeanExcess(const MeanExcess &me,
+                              const ThresholdOptions &options)
 {
     STATSCHED_ASSERT(options.maxExceedanceFraction > 0.0 &&
                      options.maxExceedanceFraction < 1.0,
                      "exceedance fraction out of (0,1)");
     STATSCHED_ASSERT(options.minExceedances >= 5,
                      "need at least 5 exceedances for a GPD fit");
-    STATSCHED_ASSERT(sample.size() >= 2 * options.minExceedances,
+    const std::vector<double> &sorted = me.sorted();
+    STATSCHED_ASSERT(sorted.size() >= 2 * options.minExceedances,
                      "sample too small for threshold selection");
 
-    MeanExcess me{sample};
-    const std::vector<double> &sorted = me.sorted();
-
-    const std::size_t cap = std::max<std::size_t>(
-        options.minExceedances,
-        static_cast<std::size_t>(
-            std::floor(options.maxExceedanceFraction *
-                       static_cast<double>(sorted.size()))));
+    const std::size_t cap = exceedanceCap(sorted.size(), options);
 
     if (options.policy == ThresholdPolicy::FixedFraction)
         return selectionFromCount(sorted, cap, me);

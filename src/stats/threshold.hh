@@ -71,6 +71,32 @@ ThresholdSelection
 selectThreshold(const std::vector<double> &sample,
                 const ThresholdOptions &options = {});
 
+class MeanExcess;
+
+/**
+ * Same selection as selectThreshold(), but over a pre-built MeanExcess
+ * (which owns the sorted sample), skipping the O(n log n) sort. Callers
+ * that keep the sample sorted incrementally use this; the result is
+ * bit-identical to selectThreshold() on the same sample because
+ * selectThreshold() merely delegates here.
+ *
+ * @param me      Mean-excess function over the sample; me.sorted() must
+ *                contain at least 2 * minExceedances values.
+ * @param options Selection policy and limits.
+ */
+ThresholdSelection
+selectThresholdFromMeanExcess(const MeanExcess &me,
+                              const ThresholdOptions &options = {});
+
+/**
+ * Exceedance-count cap the selection applies for a sample of size n:
+ * max(minExceedances, floor(maxExceedanceFraction * n)). Exposed so
+ * incremental callers can detect that growing the sample cannot change
+ * the selected tail.
+ */
+std::size_t exceedanceCap(std::size_t sample_size,
+                          const ThresholdOptions &options);
+
 } // namespace stats
 } // namespace statsched
 

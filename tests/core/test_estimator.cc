@@ -107,6 +107,28 @@ TEST(Estimator, ExtendGrowsSample)
     EXPECT_EQ(result.sample.size(), 750u);
 }
 
+TEST(Estimator, ColdIncrementalMatchesClassicPipeline)
+{
+    // The estimator now runs on the incremental PotAccumulator; with
+    // warm starts off its POT result must be bit-for-bit what the
+    // from-scratch pipeline computes on the same cumulative sample.
+    SyntheticEngine engine(1e6, 14);
+    OptimalPerformanceEstimator estimator(engine, t2, 12, 21, {},
+                                          false);
+    for (int round = 0; round < 4; ++round) {
+        const auto result = estimator.extend(round == 0 ? 1000 : 200);
+        const auto scratch =
+            statsched::stats::estimateOptimalPerformance(result.sample);
+        EXPECT_EQ(result.pot.valid, scratch.valid);
+        EXPECT_DOUBLE_EQ(result.pot.threshold, scratch.threshold);
+        EXPECT_DOUBLE_EQ(result.pot.upb, scratch.upb);
+        EXPECT_DOUBLE_EQ(result.pot.upbLower, scratch.upbLower);
+        EXPECT_DOUBLE_EQ(result.pot.upbUpper, scratch.upbUpper);
+        EXPECT_DOUBLE_EQ(result.pot.fit.xi, scratch.fit.xi);
+        EXPECT_DOUBLE_EQ(result.pot.fit.sigma, scratch.fit.sigma);
+    }
+}
+
 TEST(Estimator, BestObservedNeverDecreases)
 {
     SyntheticEngine engine(1e6, 5);

@@ -329,6 +329,9 @@ cmdEstimate(int argc, char **argv)
     addEngineOptions(args);
     args.addOption("samples", "2000", "random assignments to draw");
     args.addOption("seed", "42", "sampler seed");
+    args.addFlag("cold-fits",
+                 "restart every GPD fit from the moment estimate "
+                 "(bit-identical to from-scratch estimation)");
     parseOrDie(args, "estimate", argc, argv);
 
     const long samples = positiveOrDie(args, "estimate", "samples");
@@ -338,7 +341,7 @@ cmdEstimate(int argc, char **argv)
     EngineStack stack = makeEngineStack(args);
     core::OptimalPerformanceEstimator estimator(
         stack.top(), topo, stack.sim().workload().taskCount(),
-        static_cast<std::uint64_t>(seed));
+        static_cast<std::uint64_t>(seed), {}, !args.flag("cold-fits"));
     const auto result =
         estimator.extend(static_cast<std::size_t>(samples));
 
@@ -378,6 +381,9 @@ cmdIterate(int argc, char **argv)
     args.addOption("max", "20000", "total sample cap");
     args.addFlag("confident",
                  "stop against the upper CI bound of the UPB");
+    args.addFlag("cold-fits",
+                 "restart every GPD fit from the moment estimate "
+                 "(bit-identical to from-scratch estimation)");
     parseOrDie(args, "iterate", argc, argv);
 
     const double loss = args.getDouble("loss");
@@ -393,6 +399,7 @@ cmdIterate(int argc, char **argv)
     options.maxSample = static_cast<std::size_t>(
         positiveOrDie(args, "iterate", "max"));
     options.useUpperConfidenceBound = args.flag("confident");
+    options.warmStartFits = !args.flag("cold-fits");
 
     const auto run = core::iterativeAssignmentSearch(
         stack.top(), topo, stack.sim().workload().taskCount(),
@@ -428,9 +435,10 @@ cmdHelp()
         "[--draws N]\n"
         "  estimate   --benchmark B [--instances K] [--samples N] "
         "[--seed S]\n"
+        "             [--cold-fits]\n"
         "  iterate    --benchmark B [--loss PCT] [--ninit N] "
         "[--ndelta N]\n"
-        "             [--max N] [--confident]\n"
+        "             [--max N] [--confident] [--cold-fits]\n"
         "  help\n\n"
         "measurement commands also take --threads N (0 = hardware "
         "concurrency)\nand --no-memoize (measure duplicate "
