@@ -26,14 +26,26 @@ OptimalPerformanceEstimator::extend(std::size_t n)
     // sampler stream is identical to the interleaved path), then hand
     // the engine one batch it can parallelize or deduplicate.
     std::vector<Assignment> batch = sampler_.drawSample(n);
-    std::vector<double> values(batch.size());
-    engine_.measureBatch(batch, values);
+    std::vector<MeasurementOutcome> outcomes(batch.size());
+    engine_.measureBatchOutcome(batch, outcomes);
 
+    // Only valid readings enter the sample; a failed measurement says
+    // nothing about where the assignment sits in the performance
+    // distribution, so excluding it leaves the sample iid.
+    std::vector<double> values;
+    values.reserve(batch.size());
+    attempted_ += batch.size();
     for (std::size_t i = 0; i < batch.size(); ++i) {
-        sample_.push_back(values[i]);
-        if (!best_ || values[i] > bestValue_) {
+        if (!outcomes[i].ok()) {
+            ++failed_;
+            continue;
+        }
+        const double v = outcomes[i].value;
+        values.push_back(v);
+        sample_.push_back(v);
+        if (!best_ || v > bestValue_) {
             best_ = std::move(batch[i]);
-            bestValue_ = values[i];
+            bestValue_ = v;
         }
     }
     accumulator_.extend(values);
@@ -42,8 +54,18 @@ OptimalPerformanceEstimator::extend(std::size_t n)
     result.sample = sample_;
     result.bestAssignment = best_;
     result.bestObserved = bestValue_;
-    result.pot = accumulator_.estimate();
-    result.modeledSeconds = static_cast<double>(sample_.size()) *
+    result.attempted = attempted_;
+    result.failed = failed_;
+    if (accumulator_.size() == 0) {
+        // Everything failed so far; report an invalid estimate with a
+        // structured reason rather than asserting on an empty sample.
+        result.pot.confidenceLevel = options_.confidenceLevel;
+        stats::detail::markPotEstimateInvalid(
+            result.pot, "no valid measurements");
+    } else {
+        result.pot = accumulator_.estimate();
+    }
+    result.modeledSeconds = static_cast<double>(attempted_) *
         engine_.secondsPerMeasurement();
     return result;
 }

@@ -33,7 +33,7 @@ namespace core
  */
 struct EstimationResult
 {
-    /** Measured performance of every sampled assignment. */
+    /** Measured performance of every *valid* sampled assignment. */
     std::vector<double> sample;
     /** The best assignment observed in the sample. */
     std::optional<Assignment> bestAssignment;
@@ -41,8 +41,15 @@ struct EstimationResult
     double bestObserved = 0.0;
     /** The POT estimate of the optimal system performance. */
     stats::PotEstimate pot;
-    /** Modeled experimentation time in seconds. */
+    /** Modeled experimentation time in seconds (failed measurements
+     *  occupy the testbed too, so this counts attempts). */
     double modeledSeconds = 0.0;
+    /** Cumulative measurements attempted, including failed ones. */
+    std::size_t attempted = 0;
+    /** Cumulative attempts that failed and were excluded from the
+     *  sample (see the engine failure channel in
+     *  performance_engine.hh). */
+    std::size_t failed = 0;
 
     /**
      * Performance loss of the best observed assignment relative to
@@ -85,26 +92,40 @@ class OptimalPerformanceEstimator
      * UPB from everything measured so far. Can be called repeatedly
      * to grow the sample (the iterative algorithm does).
      *
+     * Failed measurements (engine outcome not ok) are excluded from
+     * the sample rather than poisoning the fit; the result reports
+     * them through `attempted` / `failed`. When every measurement so
+     * far has failed the estimate comes back invalid with a
+     * structured reason instead of asserting.
+     *
      * @param n Assignments to add to the sample.
      */
     EstimationResult extend(std::size_t n);
 
-    /** @return measurements collected so far. */
+    /** @return valid measurements collected so far. */
     const std::vector<double> &sample() const { return sample_; }
 
-    /** @return total assignments measured so far. */
+    /** @return valid measurements accumulated so far. */
     std::size_t sampleSize() const { return sample_.size(); }
+
+    /** @return measurements attempted, including failed ones. */
+    std::size_t attempted() const { return attempted_; }
+
+    /** @return attempts that failed and were excluded. */
+    std::size_t failedCount() const { return failed_; }
 
   private:
     PerformanceEngine &engine_;
     RandomAssignmentSampler sampler_;
     stats::PotOptions options_;
-    /** Measurements in collection order (the public sample() view). */
+    /** Valid measurements in collection order (the sample() view). */
     std::vector<double> sample_;
     /** Incremental POT state over the same measurements. */
     stats::PotAccumulator accumulator_;
     std::optional<Assignment> best_;
     double bestValue_ = 0.0;
+    std::size_t attempted_ = 0;
+    std::size_t failed_ = 0;
 };
 
 } // namespace core

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * FaultInjectingEngine implementation.
+ */
+
+#include "core/fault_injection.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** FNV-1a over the labeled contexts of an assignment. */
+std::uint64_t
+assignmentHash(const Assignment &assignment)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const ContextId context : assignment.contexts()) {
+        h ^= static_cast<std::uint64_t>(context);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+FaultInjectingEngine::FaultInjectingEngine(PerformanceEngine &inner,
+                                           const FaultOptions &options)
+    : inner_(inner), options_(options)
+{
+    STATSCHED_ASSERT(options.hangRate >= 0.0 &&
+                     options.transientRate >= 0.0 &&
+                     options.garbageRate >= 0.0 &&
+                     options.outlierRate >= 0.0,
+                     "fault rates must be non-negative");
+    STATSCHED_ASSERT(options.totalRate() <= 1.0,
+                     "fault rates sum past 1");
+    STATSCHED_ASSERT(options.outlierFactor > 0.0,
+                     "outlier factor must be positive");
+    STATSCHED_ASSERT(options.hangSeconds >= 0.0,
+                     "negative hang cost");
+}
+
+FaultInjectingEngine::FaultKind
+FaultInjectingEngine::faultAt(std::uint64_t index,
+                              const Assignment &assignment) const
+{
+    // One uniform variate from a SplitMix64 finalizer over
+    // (seed, index, assignment): pure, thread-free, and independent
+    // of the wrapped engine's noise stream.
+    const std::uint64_t z = mix64(
+        options_.seed ^
+        (index + 1) * 0x9e3779b97f4a7c15ull ^
+        assignmentHash(assignment));
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+
+    double edge = options_.hangRate;
+    if (u < edge)
+        return FaultKind::Hang;
+    edge += options_.transientRate;
+    if (u < edge)
+        return FaultKind::Transient;
+    edge += options_.garbageRate;
+    if (u < edge)
+        return FaultKind::Garbage;
+    edge += options_.outlierRate;
+    if (u < edge)
+        return FaultKind::Outlier;
+    return FaultKind::None;
+}
+
+MeasurementOutcome
+FaultInjectingEngine::applyFault(
+    std::uint64_t index, const Assignment &assignment,
+    const std::function<double()> &cleanValue)
+{
+    switch (faultAt(index, assignment)) {
+      case FaultKind::None:
+        return MeasurementOutcome::classify(cleanValue());
+      case FaultKind::Outlier:
+        // A silently wrong reading: delivered Ok, value inflated.
+        outliers_.fetch_add(1, std::memory_order_relaxed);
+        return MeasurementOutcome::classify(
+            cleanValue() * options_.outlierFactor);
+      case FaultKind::Garbage:
+        {
+            garbage_.fetch_add(1, std::memory_order_relaxed);
+            MeasurementOutcome outcome;
+            outcome.value = std::numeric_limits<double>::quiet_NaN();
+            outcome.status = MeasureStatus::Invalid;
+            return outcome;
+        }
+      case FaultKind::Transient:
+        transients_.fetch_add(1, std::memory_order_relaxed);
+        return MeasurementOutcome::failure(MeasureStatus::Errored);
+      case FaultKind::Hang:
+        hangs_.fetch_add(1, std::memory_order_relaxed);
+        return MeasurementOutcome::failure(MeasureStatus::TimedOut);
+    }
+    STATSCHED_PANIC("unreachable fault kind");
+}
+
+MeasurementOutcome
+FaultInjectingEngine::measureOutcome(const Assignment &assignment)
+{
+    OutcomeKernel kernel = outcomeKernel(1);
+    if (kernel)
+        return kernel(assignment, 0);
+    const std::uint64_t index =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    return applyFault(index, assignment, [&] {
+        return inner_.measure(assignment);
+    });
+}
+
+double
+FaultInjectingEngine::measure(const Assignment &assignment)
+{
+    return measureOutcome(assignment).valueOrNaN();
+}
+
+void
+FaultInjectingEngine::measureBatchOutcome(
+    std::span<const Assignment> batch,
+    std::span<MeasurementOutcome> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    if (batch.empty())
+        return;
+    OutcomeKernel kernel = outcomeKernel(batch.size());
+    if (kernel) {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            out[i] = kernel(batch[i], i);
+        return;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::uint64_t index =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        out[i] = applyFault(index, batch[i], [&, i] {
+            return inner_.measure(batch[i]);
+        });
+    }
+}
+
+OutcomeKernel
+FaultInjectingEngine::outcomeKernel(std::size_t batchSize)
+{
+    BatchKernel inner_kernel = inner_.parallelKernel(batchSize);
+    if (!inner_kernel)
+        return {};
+    // Reserve the fault indices for the whole batch up front, like
+    // the simulator's noise indices: the kernel is then pure in
+    // (assignment, batch index). A faulted item simply leaves its
+    // inner noise index unused.
+    const std::uint64_t base =
+        cursor_.fetch_add(batchSize, std::memory_order_relaxed);
+    return [this, inner_kernel, base](const Assignment &a,
+                                      std::size_t i) {
+        return applyFault(base + i, a, [&] {
+            return inner_kernel(a, i);
+        });
+    };
+}
+
+BatchKernel
+FaultInjectingEngine::parallelKernel(std::size_t batchSize)
+{
+    OutcomeKernel kernel = outcomeKernel(batchSize);
+    if (!kernel)
+        return {};
+    return [kernel](const Assignment &a, std::size_t i) {
+        return kernel(a, i).valueOrNaN();
+    };
+}
+
+void
+FaultInjectingEngine::collectStats(EngineStats &stats) const
+{
+    const std::uint64_t hangs =
+        hangs_.load(std::memory_order_relaxed);
+    stats.failures += hangs +
+        transients_.load(std::memory_order_relaxed) +
+        garbage_.load(std::memory_order_relaxed);
+    // A hang occupies the testbed until the watchdog fires; charge
+    // the difference over the normal measurement a meter above
+    // already accounted for.
+    stats.modeledSeconds += static_cast<double>(hangs) *
+        std::max(0.0, options_.hangSeconds -
+                          inner_.secondsPerMeasurement());
+    inner_.collectStats(stats);
+}
+
+} // namespace core
+} // namespace statsched

@@ -33,8 +33,34 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
     std::size_t to_draw = options.initialSample;
 
     for (;;) {
+        const std::size_t valid_before = estimator.sampleSize();
+        const std::size_t attempted_before = estimator.attempted();
+        const std::size_t failed_before = estimator.failedCount();
+
         result.final = estimator.extend(to_draw);
+
+        // Top the round back up to its quota of *valid* points: a
+        // failed measurement carries no information, so without
+        // replacement draws a faulty testbed would silently shrink
+        // Ndelta and slow convergence. Bounded rounds keep a
+        // mostly-dead engine from retrying forever.
+        std::size_t top_ups = 0;
+        if (options.topUpFailedMeasurements) {
+            for (std::size_t round = 0;
+                 round < options.maxTopUpRounds; ++round) {
+                const std::size_t gained =
+                    estimator.sampleSize() - valid_before;
+                if (gained >= to_draw)
+                    break;
+                const std::size_t deficit = to_draw - gained;
+                top_ups += deficit;
+                result.final = estimator.extend(deficit);
+            }
+        }
+
         result.totalSampled = estimator.sampleSize();
+        result.totalAttempted = estimator.attempted();
+        result.totalFailed = estimator.failedCount();
 
         // Step 3: compare the best observed assignment with the
         // estimated optimal performance.
@@ -55,13 +81,27 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
         step.lossTarget = target;
         step.loss = std::isfinite(target) && target > 0.0
             ? (target - result.final.bestObserved) / target : 1.0;
+        step.attempted = estimator.attempted() - attempted_before;
+        step.failed = estimator.failedCount() - failed_before;
+        step.topUps = top_ups;
         result.steps.push_back(step);
 
-        if (step.loss <= options.acceptableLoss) {
+        if (step.loss <= options.acceptableLoss &&
+            result.totalSampled > 0) {
             result.satisfied = true;
             return result;
         }
-        if (result.totalSampled >= options.maxSample)
+        if (estimator.sampleSize() == valid_before) {
+            // Every attempt in a full round (including top-ups)
+            // failed; more rounds would spin against a dead engine.
+            result.abortReason =
+                "every measurement in a full round failed";
+            return result;
+        }
+        // The safety cap counts attempts: failed measurements consume
+        // testbed time too, and a high fault rate must not extend the
+        // experiment unboundedly.
+        if (result.totalAttempted >= options.maxSample)
             return result;
 
         to_draw = options.incrementSample;

@@ -16,12 +16,21 @@
  * Growing the sample both improves the captured best assignment and
  * tightens the UPB estimate, so the loop converges (a safety cap on
  * the total sample size guards pathological engines).
+ *
+ * Failure awareness: measurements that fail (see the engine failure
+ * channel in performance_engine.hh) are excluded from the sample, and
+ * by default each round tops itself back up with replacement draws so
+ * Ninit / Ndelta count valid points. A round in which *every* attempt
+ * fails aborts the loop with IterativeResult::abortReason instead of
+ * spinning forever; the safety cap counts attempts, so a mostly-broken
+ * testbed still terminates.
  */
 
 #ifndef STATSCHED_CORE_ITERATIVE_HH
 #define STATSCHED_CORE_ITERATIVE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/estimator.hh"
@@ -56,6 +65,15 @@ struct IterativeOptions
      * Step 2 bit-identical to from-scratch estimation.
      */
     bool warmStartFits = true;
+    /**
+     * When measurements fail (engine failure channel), draw
+     * replacements so every round still contributes its full quota of
+     * valid points — Ninit / Ndelta count *valid* measurements, not
+     * attempts. Disable to keep the paper's fixed draw counts.
+     */
+    bool topUpFailedMeasurements = true;
+    /** Bound on replacement rounds per iteration when topping up. */
+    std::size_t maxTopUpRounds = 3;
 };
 
 /**
@@ -78,6 +96,9 @@ struct IterativeStep
      *  useUpperConfidenceBound (infinite when the fit is unusable). */
     double lossTarget = 0.0;
     double loss = 0.0;            //!< (lossTarget - best) / lossTarget
+    std::size_t attempted = 0;    //!< measurements attempted this round
+    std::size_t failed = 0;       //!< attempts that failed this round
+    std::size_t topUps = 0;       //!< replacement draws this round
 };
 
 /**
@@ -88,7 +109,12 @@ struct IterativeResult
     EstimationResult final;            //!< last estimation
     std::vector<IterativeStep> steps;  //!< per-iteration record
     bool satisfied = false;            //!< loss target reached
-    std::size_t totalSampled = 0;      //!< assignments executed
+    std::size_t totalSampled = 0;      //!< valid measurements kept
+    std::size_t totalAttempted = 0;    //!< measurements attempted
+    std::size_t totalFailed = 0;       //!< attempts that failed
+    /** Non-empty when the loop gave up rather than converged, e.g.
+     *  "every measurement in a full round failed". */
+    std::string abortReason;
 };
 
 /**

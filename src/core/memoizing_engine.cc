@@ -98,6 +98,92 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
         cache_.emplace(key, values[index]);
 }
 
+MeasurementOutcome
+MemoizingEngine::measureOutcome(const Assignment &assignment)
+{
+    const std::string key = assignment.canonicalKey();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return MeasurementOutcome::classify(it->second);
+        }
+    }
+
+    const MeasurementOutcome outcome =
+        inner_.measureOutcome(assignment);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!outcome.ok())
+        return outcome;
+    std::lock_guard<std::mutex> lock(mutex_);
+    MeasurementOutcome result = outcome;
+    result.value = cache_.emplace(key, outcome.value).first->second;
+    return result;
+}
+
+void
+MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
+                                     std::span<MeasurementOutcome> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    if (batch.empty())
+        return;
+
+    // Same three-pass structure as the double channel; see
+    // measureBatch() for the slot/pending bookkeeping.
+    constexpr std::size_t kHit =
+        std::numeric_limits<std::size_t>::max();
+    std::vector<std::string> keys(batch.size());
+    std::vector<std::size_t> slot(batch.size(), kHit);
+    std::vector<Assignment> misses;
+    std::unordered_map<std::string, std::size_t> pending;
+    std::uint64_t hit_count = 0;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            keys[i] = batch[i].canonicalKey();
+            const auto cached = cache_.find(keys[i]);
+            if (cached != cache_.end()) {
+                out[i] = MeasurementOutcome::classify(cached->second);
+                ++hit_count;
+                continue;
+            }
+            const auto dup = pending.find(keys[i]);
+            if (dup != pending.end()) {
+                slot[i] = dup->second;
+                ++hit_count;
+                continue;
+            }
+            slot[i] = misses.size();
+            pending.emplace(keys[i], misses.size());
+            misses.push_back(batch[i]);
+        }
+    }
+
+    hits_.fetch_add(hit_count, std::memory_order_relaxed);
+    misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+    if (misses.empty())
+        return;
+
+    std::vector<MeasurementOutcome> outcomes(misses.size());
+    inner_.measureBatchOutcome(misses, outcomes);
+
+    // Duplicates of a failed first occurrence share the failed
+    // outcome; only successful readings are published to the cache.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (slot[i] != kHit)
+            out[i] = outcomes[slot[i]];
+    }
+    for (const auto &[key, index] : pending) {
+        if (outcomes[index].ok())
+            cache_.emplace(key, outcomes[index].value);
+    }
+}
+
 std::size_t
 MemoizingEngine::size() const
 {

@@ -28,6 +28,7 @@
 #ifndef STATSCHED_CORE_MEMOIZING_ENGINE_HH
 #define STATSCHED_CORE_MEMOIZING_ENGINE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <string>
@@ -64,6 +65,25 @@ class MemoizingEngine : public PerformanceEngine
     void measureBatch(std::span<const Assignment> batch,
                       std::span<double> out) override;
 
+    /**
+     * Failure-aware single measurement: cache hits replay as Ok
+     * outcomes; only successful fresh readings enter the cache, so a
+     * transient failure is retried on the next request instead of
+     * being replayed forever.
+     */
+    MeasurementOutcome
+    measureOutcome(const Assignment &assignment) override;
+
+    /**
+     * Outcome analogue of measureBatch(): same intra-batch
+     * deduplication (duplicates of a failed first occurrence share
+     * its failed outcome), but failed outcomes are never cached
+     * across batches.
+     */
+    void measureBatchOutcome(
+        std::span<const Assignment> batch,
+        std::span<MeasurementOutcome> out) override;
+
     std::string name() const override { return inner_.name(); }
 
     double
@@ -80,9 +100,14 @@ class MemoizingEngine : public PerformanceEngine
         stats.cacheHits += hits;
         stats.cacheMisses += misses_.load(std::memory_order_relaxed);
         // Hits cost no experimentation time; a MeteredEngine above
-        // this decorator metered them, so give the time back.
-        stats.modeledSeconds -= static_cast<double>(hits) *
-            inner_.secondsPerMeasurement();
+        // this decorator metered them, so give the time back. The
+        // refund assumes the sanctioned ordering (meter above the
+        // cache — see performance_engine.hh); the clamp keeps an
+        // unsanctioned stack from reporting negative time.
+        stats.modeledSeconds = std::max(
+            0.0,
+            stats.modeledSeconds - static_cast<double>(hits) *
+                inner_.secondsPerMeasurement());
         inner_.collectStats(stats);
     }
 

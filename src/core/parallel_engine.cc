@@ -46,5 +46,32 @@ ParallelEngine::measureBatch(std::span<const Assignment> batch,
               });
 }
 
+void
+ParallelEngine::measureBatchOutcome(std::span<const Assignment> batch,
+                                    std::span<MeasurementOutcome> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    if (batch.empty())
+        return;
+
+    OutcomeKernel kernel = inner_.outcomeKernel(batch.size());
+    if (!kernel) {
+        inner_.measureBatchOutcome(batch, out);
+        return;
+    }
+
+    const Assignment *items = batch.data();
+    MeasurementOutcome *results = out.data();
+    pool_.run(batch.size(),
+              base::WorkerPool::defaultChunk(batch.size(),
+                                             pool_.threads()),
+              [&kernel, items, results](std::size_t begin,
+                                        std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i)
+                      results[i] = kernel(items[i], i);
+              });
+}
+
 } // namespace core
 } // namespace statsched

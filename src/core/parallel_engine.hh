@@ -57,11 +57,28 @@ class ParallelEngine : public PerformanceEngine
     void measureBatch(std::span<const Assignment> batch,
                       std::span<double> out) override;
 
+    MeasurementOutcome
+    measureOutcome(const Assignment &assignment) override
+    {
+        return inner_.measureOutcome(assignment);
+    }
+
+    /** Outcome batches fan out exactly like double batches. */
+    void measureBatchOutcome(
+        std::span<const Assignment> batch,
+        std::span<MeasurementOutcome> out) override;
+
     /** Transparent: exposes the wrapped engine's kernel unchanged. */
     BatchKernel
     parallelKernel(std::size_t batchSize) override
     {
         return inner_.parallelKernel(batchSize);
+    }
+
+    OutcomeKernel
+    outcomeKernel(std::size_t batchSize) override
+    {
+        return inner_.outcomeKernel(batchSize);
     }
 
     std::string name() const override { return inner_.name(); }

@@ -18,19 +18,54 @@
  * worker pool; engines without one (e.g. the pinned-thread executor,
  * which owns the physical machine) fall back to the serial loop.
  *
- * Decorators (MeteredEngine here, core::ParallelEngine and
- * core::MemoizingEngine in their own headers) compose freely; each
+ * Failure channel: real measurements can fail — a pinned pipeline
+ * thread hangs, a counter wraps, a reading comes back NaN. The
+ * outcome interface (measureOutcome / measureBatchOutcome /
+ * outcomeKernel) mirrors the double interface but reports a
+ * MeasurementOutcome per item, so failure-aware consumers (the
+ * estimator, the iterative algorithm) can exclude failed readings
+ * from the statistical sample instead of corrupting the tail fit.
+ * Engines that only implement the double channel get the outcome
+ * channel for free: non-finite values classify as failed.
+ *
+ * Decorators (MeteredEngine here, core::ParallelEngine,
+ * core::MemoizingEngine, core::FaultInjectingEngine and
+ * core::ResilientEngine in their own headers) compose freely; each
  * contributes its counters to one EngineStats through collectStats().
+ *
+ * Sanctioned decorator ordering (outermost first):
+ *
+ *   Metered(Memoizing(Resilient(Parallel(FaultInjecting(inner)))))
+ *
+ * with any subset of the middle layers present. The stats contract
+ * depends on two ordering rules:
+ *
+ *  - MeteredEngine sits ABOVE MemoizingEngine. The meter charges
+ *    secondsPerMeasurement() for every *requested* measurement and
+ *    the memoizer refunds the hits it absorbed; a meter below the
+ *    memoizer would never see the hits, and the refund would be
+ *    subtracted from time that was never charged (collectStats()
+ *    clamps the total at zero, but the split is meaningless).
+ *  - MeteredEngine/MemoizingEngine sit ABOVE ResilientEngine. The
+ *    resilient layer charges its retries and backoff itself;
+ *    metering below it would double-count retry attempts as
+ *    requested measurements.
+ *
+ * ParallelEngine is transparent to the counters, so the meter may sit
+ * on either side of it (tests/core/test_engines.cc pins both down).
  */
 
 #ifndef STATSCHED_CORE_PERFORMANCE_ENGINE_HH
 #define STATSCHED_CORE_PERFORMANCE_ENGINE_HH
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/assignment.hh"
 
@@ -51,6 +86,89 @@ using BatchKernel =
     std::function<double(const Assignment &, std::size_t)>;
 
 /**
+ * Why a measurement did not produce a usable reading.
+ */
+enum class MeasureStatus : std::uint8_t
+{
+    Ok = 0,      //!< the value is a valid reading
+    Invalid,     //!< the engine returned NaN/inf or garbage
+    TimedOut,    //!< the measurement hung and was reaped by a watchdog
+    Errored,     //!< the measurement failed transiently (I/O, runtime)
+    Quarantined, //!< the assignment is quarantined; not measured at all
+};
+
+/** @return a short lowercase name for reports ("ok", "timed-out"...). */
+inline const char *
+measureStatusName(MeasureStatus status)
+{
+    switch (status) {
+      case MeasureStatus::Ok:          return "ok";
+      case MeasureStatus::Invalid:     return "invalid";
+      case MeasureStatus::TimedOut:    return "timed-out";
+      case MeasureStatus::Errored:     return "errored";
+      case MeasureStatus::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+/**
+ * Result of one measurement attempt (or of a retried sequence of
+ * attempts when a core::ResilientEngine is in the stack).
+ */
+struct MeasurementOutcome
+{
+    /** The reading; meaningful only when ok(). */
+    double value = 0.0;
+    MeasureStatus status = MeasureStatus::Ok;
+    /** Attempts spent producing this outcome (1 without retries). */
+    std::uint32_t attempts = 1;
+
+    bool ok() const { return status == MeasureStatus::Ok; }
+
+    /** @return the value, or quiet NaN for failed outcomes — the
+     *  double-channel view of this outcome. */
+    double
+    valueOrNaN() const
+    {
+        return ok() ? value
+                    : std::numeric_limits<double>::quiet_NaN();
+    }
+
+    /**
+     * Classifies a double-channel reading: finite values are Ok,
+     * NaN/inf readings are Invalid. This is the bridge that gives
+     * every double-only engine a failure channel.
+     */
+    static MeasurementOutcome
+    classify(double v)
+    {
+        MeasurementOutcome outcome;
+        outcome.value = v;
+        if (!std::isfinite(v))
+            outcome.status = MeasureStatus::Invalid;
+        return outcome;
+    }
+
+    /** @return a failed outcome with the given status. */
+    static MeasurementOutcome
+    failure(MeasureStatus status, std::uint32_t attempts = 1)
+    {
+        MeasurementOutcome outcome;
+        outcome.status = status;
+        outcome.attempts = attempts;
+        return outcome;
+    }
+};
+
+/**
+ * Outcome-channel analogue of BatchKernel: same purity and
+ * thread-safety contract, but each item reports a full
+ * MeasurementOutcome.
+ */
+using OutcomeKernel =
+    std::function<MeasurementOutcome(const Assignment &, std::size_t)>;
+
+/**
  * Aggregated statistics of a (possibly decorated) engine stack,
  * filled in by PerformanceEngine::collectStats().
  */
@@ -66,8 +184,17 @@ struct EngineStats
     /** Measurements that missed the cache and hit the inner engine. */
     std::uint64_t cacheMisses = 0;
     /** Modeled experimentation seconds actually spent on the inner
-     *  engine (cache hits cost nothing). */
+     *  engine (cache hits cost nothing; retries, backoff waits and
+     *  watchdog timeouts cost extra). */
     double modeledSeconds = 0.0;
+    /** Failed measurement attempts observed anywhere in the stack
+     *  (injected faults, watchdog timeouts, invalid readings). */
+    std::uint64_t failures = 0;
+    /** Extra attempts spent by a ResilientEngine (retries of failed
+     *  measurements and re-measurements of screened outliers). */
+    std::uint64_t retries = 0;
+    /** Assignment classes quarantined for persistent failure. */
+    std::uint64_t quarantined = 0;
 
     /** @return cache hits / lookups, or 0 with no cache in the
      *  stack. */
@@ -136,6 +263,52 @@ class PerformanceEngine
         return {};
     }
 
+    /**
+     * Failure-aware single measurement. The default classifies the
+     * double channel: finite readings are Ok, non-finite ones are
+     * Invalid. Engines that can distinguish failure modes (timeouts,
+     * transient errors) override this.
+     */
+    virtual MeasurementOutcome
+    measureOutcome(const Assignment &assignment)
+    {
+        return MeasurementOutcome::classify(measure(assignment));
+    }
+
+    /**
+     * Failure-aware batch measurement; out[i] receives the outcome of
+     * batch[i]. The default runs the double-channel measureBatch()
+     * and classifies each reading, so every engine supports it.
+     */
+    virtual void
+    measureBatchOutcome(std::span<const Assignment> batch,
+                        std::span<MeasurementOutcome> out)
+    {
+        STATSCHED_ASSERT(batch.size() == out.size(),
+                         "batch/result size mismatch");
+        std::vector<double> values(batch.size());
+        measureBatch(batch, values);
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            out[i] = MeasurementOutcome::classify(values[i]);
+    }
+
+    /**
+     * Outcome-channel batch kernel, with the same reservation and
+     * purity contract as parallelKernel(). The default wraps the
+     * double-channel kernel in classification; engines without a
+     * kernel return an empty function.
+     */
+    virtual OutcomeKernel
+    outcomeKernel(std::size_t batchSize)
+    {
+        BatchKernel kernel = parallelKernel(batchSize);
+        if (!kernel)
+            return {};
+        return [kernel](const Assignment &a, std::size_t i) {
+            return MeasurementOutcome::classify(kernel(a, i));
+        };
+    }
+
     /** @return a short description for reports. */
     virtual std::string name() const = 0;
 
@@ -190,6 +363,34 @@ class MeteredEngine : public PerformanceEngine
     parallelKernel(std::size_t batchSize) override
     {
         BatchKernel kernel = inner_.parallelKernel(batchSize);
+        if (!kernel)
+            return {};
+        return [this, kernel](const Assignment &a, std::size_t i) {
+            count_.fetch_add(1, std::memory_order_relaxed);
+            return kernel(a, i);
+        };
+    }
+
+    MeasurementOutcome
+    measureOutcome(const Assignment &assignment) override
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        return inner_.measureOutcome(assignment);
+    }
+
+    void
+    measureBatchOutcome(std::span<const Assignment> batch,
+                        std::span<MeasurementOutcome> out) override
+    {
+        count_.fetch_add(batch.size(), std::memory_order_relaxed);
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        inner_.measureBatchOutcome(batch, out);
+    }
+
+    OutcomeKernel
+    outcomeKernel(std::size_t batchSize) override
+    {
+        OutcomeKernel kernel = inner_.outcomeKernel(batchSize);
         if (!kernel)
             return {};
         return [this, kernel](const Assignment &a, std::size_t i) {

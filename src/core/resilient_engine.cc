@@ -1,0 +1,274 @@
+/**
+ * @file
+ * ResilientEngine implementation.
+ */
+
+#include "core/resilient_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+namespace
+{
+
+/** Median of a non-empty vector (consumed); even sizes average the
+ *  two middle order statistics. */
+double
+medianOf(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1
+        ? values[n / 2]
+        : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // anonymous namespace
+
+ResilientEngine::ResilientEngine(PerformanceEngine &inner,
+                                 const ResilientOptions &options)
+    : inner_(inner), options_(options)
+{
+    STATSCHED_ASSERT(options.maxAttempts >= 1,
+                     "need at least one attempt");
+    STATSCHED_ASSERT(options.backoffBaseSeconds >= 0.0 &&
+                     options.backoffFactor >= 1.0,
+                     "backoff must not shrink");
+    STATSCHED_ASSERT(options.screenRelDeviation > 0.0,
+                     "screening deviation must be positive");
+    STATSCHED_ASSERT(options.quarantineAfter >= 1,
+                     "quarantine threshold must be positive");
+}
+
+void
+ResilientEngine::runWithRetries(std::span<const Assignment> batch,
+                                std::span<MeasurementOutcome> out)
+{
+    // Indices still lacking a valid reading, in ascending order —
+    // retry sub-batches are therefore deterministic, and so are the
+    // measurement indices the layers below reserve for them.
+    std::vector<std::size_t> pending(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        pending[i] = i;
+
+    double backoff = 0.0;
+    double wait = options_.backoffBaseSeconds;
+    for (std::uint32_t attempt = 1;
+         attempt <= options_.maxAttempts && !pending.empty();
+         ++attempt) {
+        std::vector<Assignment> sub;
+        sub.reserve(pending.size());
+        for (const std::size_t idx : pending)
+            sub.push_back(batch[idx]);
+        std::vector<MeasurementOutcome> outcomes(sub.size());
+        inner_.measureBatchOutcome(sub, outcomes);
+
+        std::vector<std::size_t> still_failed;
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            MeasurementOutcome outcome = outcomes[k];
+            outcome.attempts = attempt;
+            out[pending[k]] = outcome;
+            if (!outcome.ok())
+                still_failed.push_back(pending[k]);
+        }
+        pending = std::move(still_failed);
+
+        if (!pending.empty() && attempt < options_.maxAttempts) {
+            retries_.fetch_add(pending.size(),
+                               std::memory_order_relaxed);
+            backoff += static_cast<double>(pending.size()) * wait;
+            wait *= options_.backoffFactor;
+        }
+    }
+
+    for (const std::size_t idx : pending)
+        recordExhaustion(batch[idx]);
+    if (backoff > 0.0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        backoffSeconds_ += backoff;
+    }
+}
+
+void
+ResilientEngine::screenOutliers(std::span<const Assignment> batch,
+                                std::span<MeasurementOutcome> out)
+{
+    const std::uint32_t k = options_.screenWidth;
+    if (k < 2 || batch.empty())
+        return;
+
+    std::vector<double> valid;
+    valid.reserve(batch.size());
+    for (const auto &outcome : out) {
+        if (outcome.ok())
+            valid.push_back(outcome.value);
+    }
+    // A single reading has no peers to be an outlier against.
+    if (valid.size() < 2)
+        return;
+    const double median = medianOf(std::move(valid));
+    if (!(std::abs(median) > 0.0))
+        return;
+
+    std::vector<std::size_t> suspects;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (out[i].ok() &&
+            std::abs(out[i].value - median) >
+                options_.screenRelDeviation * std::abs(median)) {
+            suspects.push_back(i);
+        }
+    }
+    if (suspects.empty())
+        return;
+
+    // One sub-batch holding every suspect k-1 times, in ascending
+    // index order, keeps the re-measurement deterministic.
+    std::vector<Assignment> sub;
+    sub.reserve(suspects.size() * (k - 1));
+    for (const std::size_t idx : suspects) {
+        for (std::uint32_t r = 0; r + 1 < k; ++r)
+            sub.push_back(batch[idx]);
+    }
+    std::vector<MeasurementOutcome> outcomes(sub.size());
+    inner_.measureBatchOutcome(sub, outcomes);
+    retries_.fetch_add(sub.size(), std::memory_order_relaxed);
+
+    for (std::size_t s = 0; s < suspects.size(); ++s) {
+        const std::size_t idx = suspects[s];
+        std::vector<double> readings{out[idx].value};
+        for (std::uint32_t r = 0; r + 1 < k; ++r) {
+            const auto &re = outcomes[s * (k - 1) + r];
+            if (re.ok())
+                readings.push_back(re.value);
+        }
+        out[idx].value = medianOf(std::move(readings));
+        out[idx].attempts += k - 1;
+        screened_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ResilientEngine::recordExhaustion(const Assignment &assignment)
+{
+    const std::string key = assignment.canonicalKey();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint32_t count = ++exhaustions_[key];
+    if (count >= options_.quarantineAfter &&
+        quarantine_.insert(key).second) {
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ResilientEngine::measureBatchOutcome(std::span<const Assignment> batch,
+                                     std::span<MeasurementOutcome> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    if (batch.empty())
+        return;
+
+    // Quarantined classes are rejected before any measurement.
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (quarantine_.count(batch[i].canonicalKey()) != 0) {
+                out[i] = MeasurementOutcome::failure(
+                    MeasureStatus::Quarantined, 0);
+            } else {
+                live.push_back(i);
+            }
+        }
+    }
+    if (live.empty())
+        return;
+
+    if (live.size() == batch.size()) {
+        runWithRetries(batch, out);
+        screenOutliers(batch, out);
+        return;
+    }
+
+    std::vector<Assignment> sub;
+    sub.reserve(live.size());
+    for (const std::size_t idx : live)
+        sub.push_back(batch[idx]);
+    std::vector<MeasurementOutcome> outcomes(sub.size());
+    runWithRetries(sub, outcomes);
+    screenOutliers(sub, outcomes);
+    for (std::size_t k = 0; k < live.size(); ++k)
+        out[live[k]] = outcomes[k];
+}
+
+MeasurementOutcome
+ResilientEngine::measureOutcome(const Assignment &assignment)
+{
+    MeasurementOutcome outcome;
+    measureBatchOutcome(std::span(&assignment, 1),
+                        std::span(&outcome, 1));
+    return outcome;
+}
+
+double
+ResilientEngine::measure(const Assignment &assignment)
+{
+    return measureOutcome(assignment).valueOrNaN();
+}
+
+void
+ResilientEngine::measureBatch(std::span<const Assignment> batch,
+                              std::span<double> out)
+{
+    STATSCHED_ASSERT(batch.size() == out.size(),
+                     "batch/result size mismatch");
+    std::vector<MeasurementOutcome> outcomes(batch.size());
+    measureBatchOutcome(batch, outcomes);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        out[i] = outcomes[i].valueOrNaN();
+}
+
+void
+ResilientEngine::collectStats(EngineStats &stats) const
+{
+    stats.retries += retries_.load(std::memory_order_relaxed);
+    stats.quarantined +=
+        quarantined_.load(std::memory_order_relaxed);
+    // Extra attempts occupy the testbed like first attempts do; the
+    // meter above only charged the requested measurements.
+    stats.modeledSeconds +=
+        static_cast<double>(
+            retries_.load(std::memory_order_relaxed)) *
+        inner_.secondsPerMeasurement();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.modeledSeconds += backoffSeconds_;
+    }
+    inner_.collectStats(stats);
+}
+
+bool
+ResilientEngine::isQuarantined(const Assignment &assignment) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.count(assignment.canonicalKey()) != 0;
+}
+
+std::size_t
+ResilientEngine::quarantineSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.size();
+}
+
+} // namespace core
+} // namespace statsched

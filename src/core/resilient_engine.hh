@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Fault-tolerant measurement over an unreliable engine.
+ *
+ * ResilientEngine is the recovery layer of the measurement stack: it
+ * turns the per-item failure channel of the wrapped engine into the
+ * best valid readings it can produce within a bounded effort budget.
+ * Three mechanisms compose:
+ *
+ *  - Retry with exponential backoff. A failed attempt (Errored,
+ *    TimedOut, Invalid) is retried up to maxAttempts total attempts;
+ *    the r-th retry waits backoffBaseSeconds * backoffFactor^r of
+ *    *modeled* time, accounted in EngineStats::modeledSeconds just
+ *    like the measurements themselves — reliability is priced into
+ *    the experimentation budget, not hidden.
+ *
+ *  - Median-of-k screening. A reading that deviates from its batch's
+ *    median by more than screenRelDeviation (relative) is suspected
+ *    to be a silent outlier (e.g. an OS hiccup inflating one run);
+ *    it is re-measured screenWidth - 1 more times and the median of
+ *    all screenWidth readings is delivered. Off by default —
+ *    screening trades experimentation time for robustness.
+ *
+ *  - Quarantine. An assignment class whose measurement exhausts all
+ *    attempts quarantineAfter times is quarantined: further requests
+ *    return MeasureStatus::Quarantined immediately and the wrapped
+ *    engine is never consulted for it again. This keeps a
+ *    pathological assignment (one that wedges the testbed) from
+ *    eating the retry budget of every future round.
+ *
+ * Determinism: retries and screening re-measurements are issued as
+ * sub-batches in ascending original-index order, so the measurement
+ * indices the layers below reserve — and with them the injected
+ * faults and noise of core::FaultInjectingEngine /
+ * sim::SimulatedEngine — are bit-identical under any
+ * core::ParallelEngine thread count.
+ *
+ * Place this decorator above a ParallelEngine (retry sub-batches fan
+ * out over the pool) and below a MemoizingEngine/MeteredEngine (see
+ * the ordering notes in performance_engine.hh).
+ */
+
+#ifndef STATSCHED_CORE_RESILIENT_ENGINE_HH
+#define STATSCHED_CORE_RESILIENT_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/performance_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Retry, screening and quarantine configuration.
+ */
+struct ResilientOptions
+{
+    /** Total attempts per measurement (1 = no retries). */
+    std::uint32_t maxAttempts = 4;
+    /** Modeled seconds waited before the first retry. */
+    double backoffBaseSeconds = 0.5;
+    /** Backoff multiplier per further retry. */
+    double backoffFactor = 2.0;
+    /** Median-of-k width; 0 or 1 disables outlier screening. */
+    std::uint32_t screenWidth = 0;
+    /** Relative deviation from the batch median that triggers
+     *  screening, e.g. 0.5 = reading off by more than 50%. */
+    double screenRelDeviation = 0.5;
+    /** Full attempt-exhaustions of one assignment class before it is
+     *  quarantined. */
+    std::uint32_t quarantineAfter = 1;
+};
+
+/**
+ * Decorator that retries, screens and quarantines measurements of an
+ * unreliable wrapped engine.
+ */
+class ResilientEngine : public PerformanceEngine
+{
+  public:
+    /**
+     * @param inner   Engine to wrap; not owned.
+     * @param options Retry/screening/quarantine parameters.
+     */
+    ResilientEngine(PerformanceEngine &inner,
+                    const ResilientOptions &options = {});
+
+    double measure(const Assignment &assignment) override;
+
+    MeasurementOutcome
+    measureOutcome(const Assignment &assignment) override;
+
+    void measureBatchOutcome(
+        std::span<const Assignment> batch,
+        std::span<MeasurementOutcome> out) override;
+
+    void measureBatch(std::span<const Assignment> batch,
+                      std::span<double> out) override;
+
+    /** Deliberately publishes no kernels: retries are stateful. */
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    /**
+     * Contributes retries, quarantine count and the modeled cost of
+     * the extra attempts and backoff waits.
+     */
+    void collectStats(EngineStats &stats) const override;
+
+    /** @return true when the assignment's class is quarantined. */
+    bool isQuarantined(const Assignment &assignment) const;
+
+    /** @return assignment classes currently quarantined. */
+    std::size_t quarantineSize() const;
+
+    /** @return extra attempts spent on retries and screening. */
+    std::uint64_t
+    retryCount() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
+
+    /** @return readings replaced by a median-of-k re-measurement. */
+    std::uint64_t
+    screenedCount() const
+    {
+        return screened_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Measures `batch` with retry rounds; `out` same size. Returns
+     *  the indices that ultimately failed. */
+    void runWithRetries(std::span<const Assignment> batch,
+                        std::span<MeasurementOutcome> out);
+
+    /** Median-of-k screening pass over a measured batch. */
+    void screenOutliers(std::span<const Assignment> batch,
+                        std::span<MeasurementOutcome> out);
+
+    /** Records a full attempt exhaustion; quarantines at the limit. */
+    void recordExhaustion(const Assignment &assignment);
+
+    PerformanceEngine &inner_;
+    ResilientOptions options_;
+
+    mutable std::mutex mutex_;
+    /** Quarantined canonical classes. */
+    std::unordered_set<std::string> quarantine_;
+    /** Full exhaustions per class, for the quarantine threshold. */
+    std::unordered_map<std::string, std::uint32_t> exhaustions_;
+
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> screened_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    /** Modeled backoff seconds accumulated; guarded by mutex_. */
+    double backoffSeconds_ = 0.0;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_RESILIENT_ENGINE_HH

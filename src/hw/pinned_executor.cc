@@ -7,8 +7,11 @@
 
 #include <pthread.h>
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -123,6 +126,30 @@ pinSelfTo(unsigned cpu)
     }
 }
 
+/**
+ * State shared between a measurement run and its stage threads. Held
+ * through a shared_ptr captured by every thread, so when the watchdog
+ * abandons a wedged run the pipelines stay alive until the last stage
+ * thread — including the wedged one — eventually exits.
+ */
+struct RunState
+{
+    std::vector<std::unique_ptr<net::Pipeline>> pipelines;
+    std::atomic<std::size_t> active{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    /** Called by each stage thread on exit. */
+    void
+    stageDone()
+    {
+        if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex);
+            cv.notify_all();
+        }
+    }
+};
+
 } // anonymous namespace
 
 PinnedThreadEngine::PinnedThreadEngine(sim::Benchmark benchmark,
@@ -146,68 +173,124 @@ PinnedThreadEngine::hostCpuOf(core::ContextId context)
 double
 PinnedThreadEngine::measure(const core::Assignment &assignment)
 {
+    return measureOutcome(assignment).valueOrNaN();
+}
+
+core::MeasurementOutcome
+PinnedThreadEngine::measureOutcome(const core::Assignment &assignment)
+{
     STATSCHED_ASSERT(assignment.size() == 3u * instances_,
                      "assignment size must be 3 x instances");
 
-    std::vector<std::unique_ptr<net::Pipeline>> pipelines;
-    pipelines.reserve(instances_);
+    auto state = std::make_shared<RunState>();
+    state->pipelines.reserve(instances_);
     for (std::uint32_t i = 0; i < instances_; ++i) {
         net::TrafficConfig traffic;
         traffic.seed = 0x7a11 + i;
-        pipelines.push_back(std::make_unique<net::Pipeline>(
+        state->pipelines.push_back(std::make_unique<net::Pipeline>(
             traffic, makeProcessKernel(benchmark_, i),
             options_.queueDepth));
     }
+    state->active.store(3 * instances_, std::memory_order_relaxed);
 
     std::vector<std::thread> threads;
     threads.reserve(3 * instances_);
     const bool pin = options_.pinThreads;
 
     for (std::uint32_t i = 0; i < instances_; ++i) {
-        net::Pipeline *pipe = pipelines[i].get();
+        net::Pipeline *pipe = state->pipelines[i].get();
         const core::TaskId base = 3 * i;
         const unsigned cpu_r = hostCpuOf(assignment.contextOf(base));
         const unsigned cpu_p =
             hostCpuOf(assignment.contextOf(base + 1));
         const unsigned cpu_t =
             hostCpuOf(assignment.contextOf(base + 2));
+        const auto hang =
+            i == 0 ? options_.testHangRelease : nullptr;
 
-        threads.emplace_back([pipe, cpu_r, pin]() {
+        threads.emplace_back([state, pipe, cpu_r, pin]() {
             if (pin)
                 pinSelfTo(cpu_r);
             while (!pipe->stopRequested())
                 pipe->receiveStep(64);
+            state->stageDone();
         });
-        threads.emplace_back([pipe, cpu_p, pin]() {
+        threads.emplace_back([state, pipe, cpu_p, pin, hang]() {
             if (pin)
                 pinSelfTo(cpu_p);
             while (!pipe->stopRequested())
                 pipe->processStep(64);
+            // Test hook: simulate a wedged stage that ignores the
+            // stop request until released.
+            if (hang) {
+                while (!hang->load(std::memory_order_acquire))
+                    std::this_thread::yield();
+            }
+            state->stageDone();
         });
-        threads.emplace_back([pipe, cpu_t, pin]() {
+        threads.emplace_back([state, pipe, cpu_t, pin]() {
             if (pin)
                 pinSelfTo(cpu_t);
             while (!pipe->stopRequested())
                 pipe->transmitStep(64);
+            state->stageDone();
         });
     }
 
     const auto start = std::chrono::steady_clock::now();
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.measureMillis));
-    for (auto &pipe : pipelines)
+    for (auto &pipe : state->pipelines)
         pipe->requestStop();
+
+    if (options_.watchdogMillis > 0) {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        const bool reaped = state->cv.wait_for(
+            lock,
+            std::chrono::milliseconds(options_.watchdogMillis),
+            [&state] {
+                return state->active.load(
+                           std::memory_order_acquire) == 0;
+            });
+        lock.unlock();
+        if (!reaped) {
+            // A stage is wedged. Abandon the run: the threads keep
+            // the pipelines alive through `state`, so detaching is
+            // safe, and the caller gets a failed measurement instead
+            // of a hung experiment.
+            for (auto &thread : threads)
+                thread.detach();
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            warn("PinnedThreadEngine: watchdog expired; abandoning "
+                 "a wedged measurement run");
+            return core::MeasurementOutcome::failure(
+                core::MeasureStatus::TimedOut);
+        }
+    }
     for (auto &thread : threads)
         thread.join();
     const auto end = std::chrono::steady_clock::now();
 
     std::uint64_t transmitted = 0;
-    for (const auto &pipe : pipelines)
+    for (const auto &pipe : state->pipelines)
         transmitted += pipe->stats().transmitted;
 
     const double seconds =
         std::chrono::duration<double>(end - start).count();
-    return static_cast<double>(transmitted) / seconds;
+    return core::MeasurementOutcome::classify(
+        static_cast<double>(transmitted) / seconds);
+}
+
+void
+PinnedThreadEngine::collectStats(core::EngineStats &stats) const
+{
+    const std::uint64_t timeouts =
+        timeouts_.load(std::memory_order_relaxed);
+    stats.failures += timeouts;
+    // A reaped run occupied the testbed for the watchdog grace period
+    // on top of the measurement window the meter already charged.
+    stats.modeledSeconds += static_cast<double>(timeouts) *
+        options_.watchdogMillis / 1000.0;
 }
 
 std::string

@@ -20,7 +20,9 @@
 #ifndef STATSCHED_HW_PINNED_EXECUTOR_HH
 #define STATSCHED_HW_PINNED_EXECUTOR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/performance_engine.hh"
@@ -44,6 +46,22 @@ struct PinnedOptions
     /** When false, threads run unpinned (for hosts where affinity
      *  calls are not permitted). */
     bool pinThreads = true;
+    /**
+     * Watchdog grace period after the stop request, in milliseconds.
+     * A stage thread that has not exited by then is presumed wedged:
+     * the run's threads are abandoned (they keep their pipelines
+     * alive and are reaped by the OS on exit) and the measurement is
+     * reported as MeasureStatus::TimedOut instead of blocking the
+     * whole experiment. 0 restores the unconditional join.
+     */
+    std::uint32_t watchdogMillis = 2000;
+    /**
+     * Test hook: when set, the P stage of instance 0 spins after the
+     * stop request until the flag becomes true, simulating a wedged
+     * stage. Tests release the flag afterwards so the abandoned
+     * thread exits promptly. Never set in production use.
+     */
+    std::shared_ptr<std::atomic<bool>> testHangRelease;
 };
 
 /**
@@ -62,8 +80,17 @@ class PinnedThreadEngine : public core::PerformanceEngine
                        std::uint32_t instances,
                        const PinnedOptions &options = {});
 
-    /** @return measured packets per second of the assignment. */
+    /** @return measured packets per second of the assignment, or NaN
+     *  when the run timed out. */
     double measure(const core::Assignment &assignment) override;
+
+    /**
+     * Measures with watchdog supervision: a run whose stage threads
+     * do not exit within watchdogMillis of the stop request yields
+     * MeasureStatus::TimedOut rather than wedging the caller.
+     */
+    core::MeasurementOutcome
+    measureOutcome(const core::Assignment &assignment) override;
 
     std::string name() const override;
 
@@ -73,6 +100,17 @@ class PinnedThreadEngine : public core::PerformanceEngine
         return options_.measureMillis / 1000.0;
     }
 
+    /** Contributes watchdog timeouts as failures plus the modeled
+     *  time the wedged runs occupied the testbed. */
+    void collectStats(core::EngineStats &stats) const override;
+
+    /** @return runs reaped by the watchdog. */
+    std::uint64_t
+    timeoutCount() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
     /** @return the host CPU a context maps to. */
     static unsigned hostCpuOf(core::ContextId context);
 
@@ -80,6 +118,7 @@ class PinnedThreadEngine : public core::PerformanceEngine
     sim::Benchmark benchmark_;
     std::uint32_t instances_;
     PinnedOptions options_;
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace hw

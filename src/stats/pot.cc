@@ -118,9 +118,10 @@ namespace detail
 {
 
 void
-markPotEstimateInvalid(PotEstimate &est)
+markPotEstimateInvalid(PotEstimate &est, const char *reason)
 {
     est.valid = false;
+    est.invalidReason = reason;
     est.upb = infinity;
     est.upbLower = est.maxObserved;
     est.upbUpper = infinity;
@@ -195,7 +196,7 @@ finishPotEstimate(PotEstimate &est, const std::vector<double> &ys,
         // shape means the tail did not look bounded to the estimator.
         // Report the estimate as invalid; the caller may enlarge the
         // sample or change the threshold.
-        markPotEstimateInvalid(est);
+        markPotEstimateInvalid(est, "tail not bounded (xi >= 0)");
         return;
     }
 
@@ -278,13 +279,28 @@ estimateOptimalPerformance(const std::vector<double> &sample,
 
     PotEstimate est;
     est.confidenceLevel = options.confidenceLevel;
+
+    // Non-finite values (a failed measurement leaking through as NaN
+    // or inf) would poison the sort, the threshold selection and the
+    // likelihood; report a structured failure instead of propagating.
+    for (const double x : sample) {
+        if (!std::isfinite(x)) {
+            warn("estimateOptimalPerformance: non-finite sample "
+                 "value; use the engine outcome channel to exclude "
+                 "failed measurements");
+            detail::markPotEstimateInvalid(
+                est, "non-finite sample values");
+            return est;
+        }
+    }
     est.maxObserved = maximum(sample);
 
     // A sample too small for threshold selection cannot support a
     // tail estimate; report it as invalid instead of failing, so
     // iterative callers can simply keep sampling.
     if (sample.size() < 2 * options.threshold.minExceedances) {
-        detail::markPotEstimateInvalid(est);
+        detail::markPotEstimateInvalid(
+            est, "sample too small for threshold selection");
         return est;
     }
 
@@ -303,7 +319,8 @@ estimateOptimalPerformance(const std::vector<double> &sample,
     // exceedances than the count the threshold targeted; too few
     // cannot support a fit, so report invalid rather than fail.
     if (ys.size() < options.threshold.minExceedances) {
-        detail::markPotEstimateInvalid(est);
+        detail::markPotEstimateInvalid(
+            est, "too few strict exceedances above the threshold");
         return est;
     }
 

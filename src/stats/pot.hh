@@ -27,6 +27,7 @@
 #define STATSCHED_STATS_POT_HH
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -67,6 +68,10 @@ struct PotEstimate
     double profileMaxLogLik = 0.0; //!< L(xi-hat, UPB-hat)
     double tailLinearity = 0.0;    //!< mean-excess R^2 above u
     bool valid = false;            //!< xi-hat < 0 and fit converged
+    /** Structured reason when !valid ("sample too small", "tail not
+     *  bounded (xi >= 0)", "non-finite sample values", ...); empty
+     *  for valid estimates. */
+    std::string invalidReason;
 
     /**
      * Relative headroom of the best observed assignment:
@@ -138,8 +143,13 @@ namespace detail
  * Marks an estimate as unusable (no bounded tail): valid = false, the
  * point estimate and upper bound become +inf and the lower bound falls
  * back to the best observation. maxObserved must already be set.
+ *
+ * @param reason Short structured diagnostic recorded in
+ *               PotEstimate::invalidReason.
  */
-void markPotEstimateInvalid(PotEstimate &est);
+void markPotEstimateInvalid(PotEstimate &est,
+                            const char *reason = "tail estimate "
+                                                 "unusable");
 
 /**
  * Steps 3-4 (GPD fit + profile-likelihood CI) on an already selected

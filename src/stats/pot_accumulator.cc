@@ -6,6 +6,8 @@
 #include "stats/pot_accumulator.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 
 #include "base/logging.hh"
 #include "stats/mean_excess.hh"
@@ -29,8 +31,37 @@ PotAccumulator::extend(const std::vector<double> &values)
 {
     if (values.empty())
         return;
+
+    // Non-finite values (failed measurements leaking through the
+    // double channel) would corrupt the maintained order and every
+    // later fit; reject them here with a diagnostic instead of
+    // poisoning the sample. Callers measuring through the engine
+    // outcome channel never hit this path.
+    const std::size_t bad = static_cast<std::size_t>(
+        std::count_if(values.begin(), values.end(), [](double v) {
+            return !std::isfinite(v);
+        }));
+    std::vector<double> finite;
+    const std::vector<double> *batch = &values;
+    if (bad != 0) {
+        if (rejectedNonFinite_ == 0) {
+            warn("PotAccumulator: rejecting non-finite sample "
+                 "value(s); exclude failed measurements before "
+                 "extending");
+        }
+        rejectedNonFinite_ += bad;
+        finite.reserve(values.size() - bad);
+        std::copy_if(values.begin(), values.end(),
+                     std::back_inserter(finite), [](double v) {
+                         return std::isfinite(v);
+                     });
+        batch = &finite;
+    }
+    if (batch->empty())
+        return;
+
     const double batch_max =
-        *std::max_element(values.begin(), values.end());
+        *std::max_element(batch->begin(), batch->end());
     pendingMax_ = havePending_ ? std::max(pendingMax_, batch_max)
                                : batch_max;
     havePending_ = true;
@@ -41,7 +72,7 @@ PotAccumulator::extend(const std::vector<double> &values)
     // sequence is exactly what sorting the cumulative sample produces.
     const auto old_n =
         static_cast<std::vector<double>::difference_type>(sorted_.size());
-    sorted_.insert(sorted_.end(), values.begin(), values.end());
+    sorted_.insert(sorted_.end(), batch->begin(), batch->end());
     std::sort(sorted_.begin() + old_n, sorted_.end());
     std::inplace_merge(sorted_.begin(), sorted_.begin() + old_n,
                        sorted_.end());
@@ -61,7 +92,8 @@ PotAccumulator::estimate()
         // Too small for threshold selection; keep accumulating. The
         // pending batch stays pending — no tail has been selected yet
         // for it to be compared against.
-        detail::markPotEstimateInvalid(est);
+        detail::markPotEstimateInvalid(
+            est, "sample too small for threshold selection");
         return est;
     }
 
@@ -104,7 +136,8 @@ PotAccumulator::estimate()
     havePending_ = false;
 
     if (ys.size() < options_.threshold.minExceedances) {
-        detail::markPotEstimateInvalid(est);
+        detail::markPotEstimateInvalid(
+            est, "too few strict exceedances above the threshold");
         previous_ = est;
         return est;
     }

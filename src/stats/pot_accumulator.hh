@@ -78,6 +78,9 @@ class PotAccumulator
      */
     std::size_t shortcutHits() const { return shortcutHits_; }
 
+    /** @return non-finite values rejected by extend(). */
+    std::size_t rejectedNonFinite() const { return rejectedNonFinite_; }
+
   private:
     PotOptions options_;
     bool warmStartFits_;
@@ -96,6 +99,8 @@ class PotAccumulator
     bool havePending_ = false;
 
     std::size_t shortcutHits_ = 0;
+    /** Non-finite values rejected by extend(). */
+    std::size_t rejectedNonFinite_ = 0;
 };
 
 } // namespace stats

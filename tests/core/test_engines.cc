@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -268,6 +269,80 @@ TEST(MeteredEngine, CountsThroughLocalSearchBudget)
     options.patience = 1000;
     core::localSearchRefine(meter, sampler.draw(), options);
     EXPECT_LE(meter.stats().measurements, 73u);
+}
+
+TEST(MeteredEngine, UnsanctionedOrderingClampsInsteadOfGoingNegative)
+{
+    // Meter BELOW the memoizer (against the ordering rules in
+    // performance_engine.hh): the meter never sees the cache hits, so
+    // the memoizer's refund would drive modeledSeconds negative. The
+    // clamp keeps the report at zero rather than nonsense.
+    auto sim = makeSim();
+    core::MeteredEngine meter(sim);
+    core::MemoizingEngine memo(meter);
+
+    const auto batch = drawBatch(1);
+    memo.measure(batch[0]);
+    memo.measure(batch[0]);   // cache hit the meter never saw
+
+    core::EngineStats stats;
+    memo.collectStats(stats);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_GE(stats.modeledSeconds, 0.0);
+    // The sanctioned ordering reports the same workload correctly.
+    auto sim2 = makeSim();
+    core::MemoizingEngine memo2(sim2);
+    core::MeteredEngine meter2(memo2);
+    meter2.measure(batch[0]);
+    meter2.measure(batch[0]);
+    EXPECT_NEAR(meter2.stats().modeledSeconds, 1.5, 1e-12);
+}
+
+TEST(MeteredEngine, OutcomeChannelCountsLikeTheDoubleChannel)
+{
+    auto sim = makeSim();
+    core::MeteredEngine meter(sim);
+    const auto batch = drawBatch(6);
+    std::vector<core::MeasurementOutcome> outcomes(batch.size());
+    meter.measureBatchOutcome(batch, outcomes);
+    meter.measureOutcome(batch[0]);
+
+    const core::EngineStats stats = meter.stats();
+    EXPECT_EQ(stats.measurements, 7u);
+    EXPECT_EQ(stats.batches, 1u);
+    for (const auto &outcome : outcomes)
+        EXPECT_TRUE(outcome.ok());
+}
+
+TEST(MemoizingEngine, FailedOutcomesAreNotCached)
+{
+    // First reading fails, second succeeds: the failure must not be
+    // replayed from the cache.
+    class FailOnceEngine : public core::PerformanceEngine
+    {
+      public:
+        double
+        measure(const Assignment &) override
+        {
+            return first_++ == 0
+                ? std::numeric_limits<double>::quiet_NaN() : 42.0;
+        }
+        std::string name() const override { return "fail-once"; }
+
+      private:
+        int first_ = 0;
+    };
+
+    FailOnceEngine inner;
+    core::MemoizingEngine memo(inner);
+    const auto a = drawBatch(1)[0];
+    EXPECT_FALSE(memo.measureOutcome(a).ok());
+    const auto second = memo.measureOutcome(a);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value, 42.0);
+    // Now cached: replayed without a third inner measurement.
+    EXPECT_EQ(memo.measureOutcome(a).value, 42.0);
+    EXPECT_EQ(memo.hitCount(), 1u);
 }
 
 TEST(ParallelEngine, ConcurrentStackIsRaceFree)

@@ -20,6 +20,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "stats/bootstrap.hh"
@@ -244,6 +245,41 @@ TEST(GpdFitWarmStart, UnusableWarmStartFallsBackToCold)
     EXPECT_TRUE(sameBits(fallback.xi, cold.xi));
     EXPECT_TRUE(sameBits(fallback.sigma, cold.sigma));
     EXPECT_TRUE(sameBits(fallback.logLikelihood, cold.logLikelihood));
+}
+
+TEST(PotAccumulator, RejectsNonFiniteValuesOnExtend)
+{
+    // Failed measurements leaking through the double channel must not
+    // enter the maintained sample — the later estimates must equal
+    // those over the finite values alone.
+    Rng rng(71);
+    auto xs = boundedSample(180.0, 1200, rng);
+
+    PotAccumulator clean(PotOptions{}, false);
+    clean.extend(xs);
+
+    auto dirty_batch = xs;
+    dirty_batch.insert(dirty_batch.begin() + 100,
+                       std::numeric_limits<double>::quiet_NaN());
+    dirty_batch.push_back(std::numeric_limits<double>::infinity());
+    dirty_batch.push_back(-std::numeric_limits<double>::infinity());
+    PotAccumulator dirty(PotOptions{}, false);
+    dirty.extend(dirty_batch);
+
+    EXPECT_EQ(dirty.rejectedNonFinite(), 3u);
+    EXPECT_EQ(dirty.size(), clean.size());
+    EXPECT_EQ(dirty.sorted(), clean.sorted());
+
+    const auto est_clean = clean.estimate();
+    const auto est_dirty = dirty.estimate();
+    ASSERT_TRUE(est_clean.valid);
+    ASSERT_TRUE(est_dirty.valid);
+    EXPECT_TRUE(sameBits(est_clean.upb, est_dirty.upb));
+
+    // An all-garbage batch is a no-op.
+    dirty.extend({std::numeric_limits<double>::quiet_NaN()});
+    EXPECT_EQ(dirty.rejectedNonFinite(), 4u);
+    EXPECT_EQ(dirty.size(), clean.size());
 }
 
 TEST(Bootstrap, ParallelBitwiseEqualsSerial)

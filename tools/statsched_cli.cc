@@ -27,9 +27,11 @@
 #include "core/capture_probability.hh"
 #include "core/enumerator.hh"
 #include "core/estimator.hh"
+#include "core/fault_injection.hh"
 #include "core/iterative.hh"
 #include "core/memoizing_engine.hh"
 #include "core/parallel_engine.hh"
+#include "core/resilient_engine.hh"
 #include "num/duration.hh"
 #include "sim/benchmarks.hh"
 #include "sim/engine.hh"
@@ -121,18 +123,34 @@ addEngineOptions(OptionParser &parser)
                      "measurement threads (0 = hardware)");
     parser.addFlag("no-memoize",
                    "measure duplicate assignments afresh");
+    parser.addOption("fault-rate", "0",
+                     "injected transient failure percent");
+    parser.addOption("fault-garbage", "0",
+                     "injected NaN reading percent");
+    parser.addOption("fault-outlier", "0",
+                     "injected silent outlier percent");
+    parser.addOption("fault-hang", "0",
+                     "injected modeled hang percent");
+    parser.addOption("fault-seed", "1024023",
+                     "fault injection seed");
+    parser.addOption("retries", "3",
+                     "retry attempts per failed measurement");
 }
 
 /**
- * The standard measurement stack:
- * Metered(Memoizing?(Parallel(Simulated))). Memoization dedups each
- * batch; the pool measures the distinct assignments; the meter on
- * top sees every requested measurement.
+ * The standard measurement stack (performance_engine.hh ordering):
+ * Metered(Memoizing?(Resilient?(Parallel(FaultInjecting?(Sim))))).
+ * Fault injection (when any --fault-* rate is set) corrupts
+ * measurements deterministically; the pool fans batches out; the
+ * resilient layer retries and quarantines; memoization dedups each
+ * batch; the meter on top sees every requested measurement.
  */
 struct EngineStack
 {
     std::unique_ptr<sim::SimulatedEngine> simulated;
+    std::unique_ptr<core::FaultInjectingEngine> faulty;
     std::unique_ptr<core::ParallelEngine> parallel;
+    std::unique_ptr<core::ResilientEngine> resilient;
     std::unique_ptr<core::MemoizingEngine> memoizing;
     std::unique_ptr<core::MeteredEngine> metered;
 
@@ -152,13 +170,47 @@ makeEngineStack(const OptionParser &args)
         std::exit(2);
     }
 
+    core::FaultOptions faults;
+    faults.transientRate = args.getDouble("fault-rate") / 100.0;
+    faults.garbageRate = args.getDouble("fault-garbage") / 100.0;
+    faults.outlierRate = args.getDouble("fault-outlier") / 100.0;
+    faults.hangRate = args.getDouble("fault-hang") / 100.0;
+    faults.seed =
+        static_cast<std::uint64_t>(args.getInt("fault-seed"));
+    if (faults.totalRate() > 1.0) {
+        std::fprintf(stderr, "engine: fault rates add up to more "
+                     "than 100%%\n");
+        std::exit(2);
+    }
+    const long retries = args.getInt("retries");
+    if (retries < 0) {
+        std::fprintf(stderr,
+                     "engine: '--retries' must be >= 0 (got %s)\n",
+                     args.get("retries").c_str());
+        std::exit(2);
+    }
+
     EngineStack stack;
     stack.simulated = std::make_unique<sim::SimulatedEngine>(
         sim::makeWorkload(parseBenchmark(args.get("benchmark")),
                           static_cast<std::uint32_t>(instances)));
+    core::PerformanceEngine *below = stack.simulated.get();
+    if (faults.totalRate() > 0.0) {
+        stack.faulty = std::make_unique<core::FaultInjectingEngine>(
+            *below, faults);
+        below = stack.faulty.get();
+    }
     stack.parallel = std::make_unique<core::ParallelEngine>(
-        *stack.simulated, static_cast<unsigned>(threads));
-    core::PerformanceEngine *below = stack.parallel.get();
+        *below, static_cast<unsigned>(threads));
+    below = stack.parallel.get();
+    if (stack.faulty) {
+        core::ResilientOptions resilience;
+        resilience.maxAttempts =
+            static_cast<std::uint32_t>(retries) + 1;
+        stack.resilient = std::make_unique<core::ResilientEngine>(
+            *below, resilience);
+        below = stack.resilient.get();
+    }
     if (!args.flag("no-memoize")) {
         stack.memoizing =
             std::make_unique<core::MemoizingEngine>(*below);
@@ -185,6 +237,15 @@ printEngineReport(const EngineStack &stack)
                     static_cast<unsigned long long>(stats.cacheHits),
                     static_cast<unsigned long long>(
                         stats.cacheHits + stats.cacheMisses));
+    }
+    if (stack.faulty || stats.failures != 0 || stats.retries != 0 ||
+        stats.quarantined != 0) {
+        std::printf("failed attempts:    %12llu  (retried %llu, "
+                    "quarantined %llu)\n",
+                    static_cast<unsigned long long>(stats.failures),
+                    static_cast<unsigned long long>(stats.retries),
+                    static_cast<unsigned long long>(
+                        stats.quarantined));
     }
     std::printf("modeled time:       %11.1f min "
                 "(at %.1f s per real measurement)\n",
@@ -358,8 +419,12 @@ cmdEstimate(int argc, char **argv)
         std::printf("headroom:           %11.2f%%\n",
                     100.0 * result.estimatedLoss());
     } else {
-        std::printf("tail estimate invalid (xi >= 0 or sample too "
-                    "small)\n");
+        std::printf("tail estimate invalid (%s)\n",
+                    result.pot.invalidReason.c_str());
+    }
+    if (result.failed != 0) {
+        std::printf("failed measurements:%12zu of %zu attempted\n",
+                    result.failed, result.attempted);
     }
     if (result.bestAssignment) {
         std::printf("best assignment:    %s\n",
@@ -408,6 +473,12 @@ cmdIterate(int argc, char **argv)
                 "(%zu iterations)\n", loss,
                 run.satisfied ? "met" : "NOT met",
                 run.totalSampled, run.steps.size());
+    if (!run.abortReason.empty())
+        std::printf("aborted: %s\n", run.abortReason.c_str());
+    if (run.totalFailed != 0) {
+        std::printf("failed measurements: %zu of %zu attempted\n",
+                    run.totalFailed, run.totalAttempted);
+    }
     std::printf("final: best %.0f PPS, UPB %.0f PPS, loss %.2f%%\n",
                 run.final.bestObserved, run.final.pot.upb,
                 100.0 * run.steps.back().loss);
@@ -443,6 +514,11 @@ cmdHelp()
         "measurement commands also take --threads N (0 = hardware "
         "concurrency)\nand --no-memoize (measure duplicate "
         "assignments afresh).\n\n"
+        "fault tolerance: --fault-rate / --fault-garbage / "
+        "--fault-outlier /\n--fault-hang PCT inject deterministic "
+        "measurement faults (seeded by\n--fault-seed); --retries N "
+        "bounds the recovery attempts per failed\nmeasurement "
+        "(default 3).\n\n"
         "benchmarks: ipfwd-l1 ipfwd-mem analyzer aho stateful "
         "intadd intmul\n");
     return 0;
