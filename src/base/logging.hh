@@ -60,11 +60,9 @@ inform(const std::string &msg)
 #define STATSCHED_FATAL(msg) \
     ::statsched::fatalImpl(__FILE__, __LINE__, (msg))
 
-/** Panic when an invariant does not hold. */
-#define STATSCHED_ASSERT(cond, msg) \
-    do { \
-        if (!(cond)) \
-            STATSCHED_PANIC(std::string("assertion failed: ") + (msg)); \
-    } while (0)
+// Invariant checking lives in base/check.hh (SCHED_REQUIRE /
+// SCHED_ENSURE / SCHED_INVARIANT / SCHED_UNREACHABLE); the old
+// STATSCHED_ASSERT macro is gone and the lint forbids reintroducing
+// it.
 
 #endif // STATSCHED_BASE_LOGGING_HH

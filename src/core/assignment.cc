@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <set>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -22,10 +23,10 @@ Assignment::Assignment(const Topology &topology,
                        std::vector<ContextId> contexts)
     : topology_(topology), contexts_(std::move(contexts))
 {
-    STATSCHED_ASSERT(!contexts_.empty(), "empty assignment");
-    STATSCHED_ASSERT(isValid(topology_, contexts_),
-                     "invalid assignment: out of range or duplicate "
-                     "context");
+    SCHED_REQUIRE(!contexts_.empty(), "empty assignment");
+    SCHED_REQUIRE(isValid(topology_, contexts_),
+                  "invalid assignment: out of range or duplicate "
+                  "context");
 }
 
 bool

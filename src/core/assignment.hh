@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/check.hh"
 #include "core/topology.hh"
 
 namespace statsched
@@ -52,7 +53,7 @@ class Assignment
     ContextId
     contextOf(TaskId task) const
     {
-        STATSCHED_ASSERT(task < contexts_.size(), "task out of range");
+        SCHED_REQUIRE(task < contexts_.size(), "task out of range");
         return contexts_[task];
     }
 

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <utility>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -18,10 +19,10 @@ namespace core
 AssignmentSpace::AssignmentSpace(const Topology &topology)
     : topology_(topology)
 {
-    STATSCHED_ASSERT(topology_.cores >= 1 &&
-                     topology_.pipesPerCore >= 1 &&
-                     topology_.strandsPerPipe >= 1,
-                     "degenerate topology");
+    SCHED_REQUIRE(topology_.cores >= 1 &&
+                  topology_.pipesPerCore >= 1 &&
+                  topology_.strandsPerPipe >= 1,
+                  "degenerate topology");
     buildCoreTable();
 }
 
@@ -97,16 +98,16 @@ AssignmentSpace::buildCoreTable()
 num::BigUint
 AssignmentSpace::coreArrangements(std::uint32_t k) const
 {
-    STATSCHED_ASSERT(k < coreTable_.size(),
-                     "core occupancy exceeds capacity");
+    SCHED_REQUIRE(k < coreTable_.size(),
+                  "core occupancy exceeds capacity");
     return coreTable_[k];
 }
 
 num::BigUint
 AssignmentSpace::countAssignments(std::uint32_t tasks) const
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology_.contexts(),
-                     "task count out of range");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology_.contexts(),
+                  "task count out of range");
 
     const std::uint32_t core_cap =
         topology_.pipesPerCore * topology_.strandsPerPipe;
@@ -146,8 +147,8 @@ AssignmentSpace::countAssignments(std::uint32_t tasks) const
 num::BigUint
 AssignmentSpace::countLabeledPlacements(std::uint32_t tasks) const
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology_.contexts(),
-                     "task count out of range");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology_.contexts(),
+                  "task count out of range");
     num::BigUint total(1);
     const std::uint32_t v = topology_.contexts();
     for (std::uint32_t i = 0; i < tasks; ++i)

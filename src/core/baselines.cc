@@ -5,6 +5,7 @@
 
 #include "core/baselines.hh"
 
+#include "base/check.hh"
 #include "core/sampler.hh"
 #include "stats/descriptive.hh"
 
@@ -16,8 +17,8 @@ namespace core
 Assignment
 linuxLikeAssignment(const Topology &topology, std::uint32_t tasks)
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology.contexts(),
-                     "workload size out of range");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology.contexts(),
+                  "workload size out of range");
 
     // Round-robin over cores; within each core, round-robin over
     // pipes; within each pipe, strands fill in order. Track per-pipe
@@ -61,8 +62,8 @@ linuxLikeAssignment(const Topology &topology, std::uint32_t tasks)
 Assignment
 packedAssignment(const Topology &topology, std::uint32_t tasks)
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology.contexts(),
-                     "workload size out of range");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology.contexts(),
+                  "workload size out of range");
     std::vector<ContextId> contexts(tasks);
     for (TaskId t = 0; t < tasks; ++t)
         contexts[t] = t;
@@ -74,7 +75,7 @@ naiveExpectedPerformance(PerformanceEngine &engine,
                          const Topology &topology, std::uint32_t tasks,
                          std::size_t draws, std::uint64_t seed)
 {
-    STATSCHED_ASSERT(draws >= 1, "need at least one draw");
+    SCHED_REQUIRE(draws >= 1, "need at least one draw");
     RandomAssignmentSampler sampler(topology, tasks, seed);
     const std::vector<Assignment> batch = sampler.drawSample(draws);
     std::vector<double> values(batch.size());

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -18,8 +18,8 @@ namespace core
 double
 captureProbability(double percent, std::uint64_t n)
 {
-    STATSCHED_ASSERT(percent > 0.0 && percent < 100.0,
-                     "percent out of (0,100)");
+    SCHED_REQUIRE(percent > 0.0 && percent < 100.0,
+                  "percent out of (0,100)");
     // log1p-based evaluation keeps precision for tiny P and large n.
     const double log_miss = std::log1p(-percent / 100.0);
     return -std::expm1(static_cast<double>(n) * log_miss);
@@ -28,10 +28,10 @@ captureProbability(double percent, std::uint64_t n)
 std::uint64_t
 requiredSampleSize(double percent, double target)
 {
-    STATSCHED_ASSERT(percent > 0.0 && percent < 100.0,
-                     "percent out of (0,100)");
-    STATSCHED_ASSERT(target > 0.0 && target < 1.0,
-                     "target probability out of (0,1)");
+    SCHED_REQUIRE(percent > 0.0 && percent < 100.0,
+                  "percent out of (0,100)");
+    SCHED_REQUIRE(target > 0.0 && target < 1.0,
+                  "target probability out of (0,1)");
     const double log_miss = std::log1p(-percent / 100.0);
     const double n = std::log1p(-target) / log_miss;
     return static_cast<std::uint64_t>(std::ceil(n - 1e-12));
@@ -40,8 +40,8 @@ requiredSampleSize(double percent, double target)
 std::vector<std::pair<std::uint64_t, double>>
 captureCurve(double percent, std::uint64_t max_n, std::size_t points)
 {
-    STATSCHED_ASSERT(points >= 2, "need at least two curve points");
-    STATSCHED_ASSERT(max_n >= 1, "empty curve range");
+    SCHED_REQUIRE(points >= 2, "need at least two curve points");
+    SCHED_REQUIRE(max_n >= 1, "empty curve range");
     std::vector<std::pair<std::uint64_t, double>> out;
     out.reserve(points);
     const double log_max = std::log(static_cast<double>(max_n));

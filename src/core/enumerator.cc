@@ -16,6 +16,7 @@
 #include "core/enumerator.hh"
 
 #include <algorithm>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -146,9 +147,9 @@ AssignmentEnumerator::AssignmentEnumerator(const Topology &topology,
                                            std::uint32_t tasks)
     : topology_(topology), tasks_(tasks)
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology.contexts(),
-                     "workload size out of range");
-    STATSCHED_ASSERT(tasks <= 64, "bitmask enumeration limited to 64");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology.contexts(),
+                  "workload size out of range");
+    SCHED_REQUIRE(tasks <= 64, "bitmask enumeration limited to 64");
 }
 
 std::uint64_t

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace statsched
@@ -46,17 +47,17 @@ FaultInjectingEngine::FaultInjectingEngine(PerformanceEngine &inner,
                                            const FaultOptions &options)
     : inner_(inner), options_(options)
 {
-    STATSCHED_ASSERT(options.hangRate >= 0.0 &&
-                     options.transientRate >= 0.0 &&
-                     options.garbageRate >= 0.0 &&
-                     options.outlierRate >= 0.0,
-                     "fault rates must be non-negative");
-    STATSCHED_ASSERT(options.totalRate() <= 1.0,
-                     "fault rates sum past 1");
-    STATSCHED_ASSERT(options.outlierFactor > 0.0,
-                     "outlier factor must be positive");
-    STATSCHED_ASSERT(options.hangSeconds >= 0.0,
-                     "negative hang cost");
+    SCHED_REQUIRE(options.hangRate >= 0.0 &&
+                  options.transientRate >= 0.0 &&
+                  options.garbageRate >= 0.0 &&
+                  options.outlierRate >= 0.0,
+                  "fault rates must be non-negative");
+    SCHED_REQUIRE(options.totalRate() <= 1.0,
+                  "fault rates sum past 1");
+    SCHED_REQUIRE(options.outlierFactor > 0.0,
+                  "outlier factor must be positive");
+    SCHED_REQUIRE(options.hangSeconds >= 0.0,
+                  "negative hang cost");
 }
 
 FaultInjectingEngine::FaultKind
@@ -115,7 +116,7 @@ FaultInjectingEngine::applyFault(
         hangs_.fetch_add(1, std::memory_order_relaxed);
         return MeasurementOutcome::failure(MeasureStatus::TimedOut);
     }
-    STATSCHED_PANIC("unreachable fault kind");
+    SCHED_UNREACHABLE("unreachable fault kind");
 }
 
 MeasurementOutcome
@@ -142,8 +143,8 @@ FaultInjectingEngine::measureBatchOutcome(
     std::span<const Assignment> batch,
     std::span<MeasurementOutcome> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
     OutcomeKernel kernel = outcomeKernel(batch.size());

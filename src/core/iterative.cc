@@ -6,6 +6,7 @@
 #include "core/iterative.hh"
 
 #include <cmath>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -18,12 +19,12 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
                           std::uint64_t seed,
                           const IterativeOptions &options)
 {
-    STATSCHED_ASSERT(options.acceptableLoss > 0.0 &&
-                     options.acceptableLoss < 1.0,
-                     "acceptable loss out of (0,1)");
-    STATSCHED_ASSERT(options.initialSample >= 1 &&
-                     options.incrementSample >= 1,
-                     "sample sizes must be positive");
+    SCHED_REQUIRE(options.acceptableLoss > 0.0 &&
+                  options.acceptableLoss < 1.0,
+                  "acceptable loss out of (0,1)");
+    SCHED_REQUIRE(options.initialSample >= 1 &&
+                  options.incrementSample >= 1,
+                  "sample sizes must be positive");
 
     OptimalPerformanceEstimator estimator(engine, topology, tasks, seed,
                                           options.pot,

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/check.hh"
 #include "stats/rng.hh"
 
 namespace statsched
@@ -68,9 +69,9 @@ LocalSearchResult
 localSearchRefine(PerformanceEngine &engine, const Assignment &start,
                   const LocalSearchOptions &options)
 {
-    STATSCHED_ASSERT(options.budget >= 1 &&
-                     options.movesPerRound >= 1,
-                     "degenerate local-search options");
+    SCHED_REQUIRE(options.budget >= 1 &&
+                  options.movesPerRound >= 1,
+                  "degenerate local-search options");
 
     stats::Rng rng(options.seed);
     const Topology &topo = start.topology();

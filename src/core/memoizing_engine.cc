@@ -5,8 +5,10 @@
 
 #include "core/memoizing_engine.hh"
 
+#include <cmath>
 #include <limits>
 #include <vector>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -31,6 +33,11 @@ MemoizingEngine::measure(const Assignment &assignment)
     // draws of the same distribution.
     const double value = inner_.measure(assignment);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    // Failed readings (NaN from a quarantined or errored outcome
+    // below) must not poison the cache: the class would stay invalid
+    // forever even after the inner engine recovers.
+    if (!std::isfinite(value))
+        return value;
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.emplace(key, value).first->second;
 }
@@ -39,8 +46,8 @@ void
 MemoizingEngine::measureBatch(std::span<const Assignment> batch,
                               std::span<double> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
 
@@ -52,6 +59,7 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
     std::vector<std::string> keys(batch.size());
     std::vector<std::size_t> slot(batch.size(), kHit);
     std::vector<Assignment> misses;
+    std::vector<std::string> missKeys;
     std::unordered_map<std::string, std::size_t> pending;
     std::uint64_t hit_count = 0;
 
@@ -76,6 +84,7 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
             slot[i] = misses.size();
             pending.emplace(keys[i], misses.size());
             misses.push_back(batch[i]);
+            missKeys.push_back(keys[i]);
         }
     }
 
@@ -88,14 +97,19 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
     std::vector<double> values(misses.size());
     inner_.measureBatch(misses, values);
 
-    // Pass 3: fill results and publish to the cache.
+    // Pass 3: fill results and publish to the cache, walking the
+    // misses in first-occurrence order. Failed readings (NaN from a
+    // quarantined or errored outcome below) are handed back but never
+    // cached — a poisoned entry would mark the class invalid forever.
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (slot[i] != kHit)
             out[i] = values[slot[i]];
     }
-    for (const auto &[key, index] : pending)
-        cache_.emplace(key, values[index]);
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+        if (std::isfinite(values[m]))
+            cache_.emplace(missKeys[m], values[m]);
+    }
 }
 
 MeasurementOutcome
@@ -126,8 +140,8 @@ void
 MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
                                      std::span<MeasurementOutcome> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
 
@@ -138,6 +152,7 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
     std::vector<std::string> keys(batch.size());
     std::vector<std::size_t> slot(batch.size(), kHit);
     std::vector<Assignment> misses;
+    std::vector<std::string> missKeys;
     std::unordered_map<std::string, std::size_t> pending;
     std::uint64_t hit_count = 0;
 
@@ -160,6 +175,7 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
             slot[i] = misses.size();
             pending.emplace(keys[i], misses.size());
             misses.push_back(batch[i]);
+            missKeys.push_back(keys[i]);
         }
     }
 
@@ -172,15 +188,16 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
     inner_.measureBatchOutcome(misses, outcomes);
 
     // Duplicates of a failed first occurrence share the failed
-    // outcome; only successful readings are published to the cache.
+    // outcome; only successful readings are published to the cache,
+    // in first-occurrence order.
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (slot[i] != kHit)
             out[i] = outcomes[slot[i]];
     }
-    for (const auto &[key, index] : pending) {
-        if (outcomes[index].ok())
-            cache_.emplace(key, outcomes[index].value);
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+        if (outcomes[m].ok())
+            cache_.emplace(missKeys[m], outcomes[m].value);
     }
 }
 

@@ -5,7 +5,10 @@
 
 #include "core/parallel_engine.hh"
 
-#include "base/logging.hh"
+#include <exception>
+#include <limits>
+
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -22,8 +25,8 @@ void
 ParallelEngine::measureBatch(std::span<const Assignment> batch,
                              std::span<double> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
 
@@ -41,8 +44,19 @@ ParallelEngine::measureBatch(std::span<const Assignment> batch,
                                              pool_.threads()),
               [&kernel, items, results](std::size_t begin,
                                         std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i)
-                      results[i] = kernel(items[i], i);
+                  // A contract violation (or any error) inside a
+                  // kernel must not unwind through the worker pool —
+                  // that would std::terminate the process. Failed
+                  // items degrade to NaN, which downstream consumers
+                  // classify as invalid readings.
+                  for (std::size_t i = begin; i < end; ++i) {
+                      try {
+                          results[i] = kernel(items[i], i);
+                      } catch (const std::exception &) {
+                          results[i] = std::numeric_limits<
+                              double>::quiet_NaN();
+                      }
+                  }
               });
 }
 
@@ -50,8 +64,8 @@ void
 ParallelEngine::measureBatchOutcome(std::span<const Assignment> batch,
                                     std::span<MeasurementOutcome> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
 
@@ -68,8 +82,18 @@ ParallelEngine::measureBatchOutcome(std::span<const Assignment> batch,
                                              pool_.threads()),
               [&kernel, items, results](std::size_t begin,
                                         std::size_t end) {
-                  for (std::size_t i = begin; i < end; ++i)
-                      results[i] = kernel(items[i], i);
+                  // See measureBatch(): contain per-item failures on
+                  // the worker thread. Here they surface as
+                  // structured Errored outcomes, so a resilient
+                  // layer above can retry or quarantine the class.
+                  for (std::size_t i = begin; i < end; ++i) {
+                      try {
+                          results[i] = kernel(items[i], i);
+                      } catch (const std::exception &) {
+                          results[i] = MeasurementOutcome::failure(
+                              MeasureStatus::Errored);
+                      }
+                  }
               });
 }
 

@@ -67,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "base/check.hh"
 #include "core/assignment.hh"
 
 namespace statsched
@@ -239,8 +240,8 @@ class PerformanceEngine
     measureBatch(std::span<const Assignment> batch,
                  std::span<double> out)
     {
-        STATSCHED_ASSERT(batch.size() == out.size(),
-                         "batch/result size mismatch");
+        SCHED_REQUIRE(batch.size() == out.size(),
+                      "batch/result size mismatch");
         for (std::size_t i = 0; i < batch.size(); ++i)
             out[i] = measure(batch[i]);
     }
@@ -284,8 +285,8 @@ class PerformanceEngine
     measureBatchOutcome(std::span<const Assignment> batch,
                         std::span<MeasurementOutcome> out)
     {
-        STATSCHED_ASSERT(batch.size() == out.size(),
-                         "batch/result size mismatch");
+        SCHED_REQUIRE(batch.size() == out.size(),
+                      "batch/result size mismatch");
         std::vector<double> values(batch.size());
         measureBatch(batch, values);
         for (std::size_t i = 0; i < batch.size(); ++i)

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "base/check.hh"
 #include "core/sampler.hh"
 #include "stats/descriptive.hh"
 #include "stats/linear_solve.hh"
@@ -109,8 +110,8 @@ TrainedPredictorEngine::TrainedPredictorEngine(
     double lambda)
     : topology_(topology), tasks_(tasks), oracleName_(oracle.name())
 {
-    STATSCHED_ASSERT(training_n >= 30,
-                     "predictor needs at least 30 training points");
+    SCHED_REQUIRE(training_n >= 30,
+                  "predictor needs at least 30 training points");
 
     RandomAssignmentSampler sampler(topology, tasks, seed);
     const std::vector<Assignment> sample =
@@ -129,8 +130,8 @@ double
 TrainedPredictorEngine::measure(const Assignment &assignment)
 {
     const auto f = assignmentFeatures(assignment);
-    STATSCHED_ASSERT(f.size() == weights_.size(),
-                     "feature/weight size mismatch");
+    SCHED_INVARIANT(f.size() == weights_.size(),
+                    "feature/weight size mismatch");
     double v = 0.0;
     for (std::size_t i = 0; i < f.size(); ++i)
         v += weights_[i] * f[i];
@@ -147,7 +148,7 @@ PredictorAccuracy
 TrainedPredictorEngine::evaluate(PerformanceEngine &oracle,
                                  std::size_t n, std::uint64_t seed)
 {
-    STATSCHED_ASSERT(n >= 2, "need at least two evaluation points");
+    SCHED_REQUIRE(n >= 2, "need at least two evaluation points");
     RandomAssignmentSampler sampler(topology_, tasks_, seed);
     const std::vector<Assignment> sample = sampler.drawSample(n);
     std::vector<double> predicted(sample.size());

@@ -7,9 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <vector>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -37,15 +38,15 @@ ResilientEngine::ResilientEngine(PerformanceEngine &inner,
                                  const ResilientOptions &options)
     : inner_(inner), options_(options)
 {
-    STATSCHED_ASSERT(options.maxAttempts >= 1,
-                     "need at least one attempt");
-    STATSCHED_ASSERT(options.backoffBaseSeconds >= 0.0 &&
-                     options.backoffFactor >= 1.0,
-                     "backoff must not shrink");
-    STATSCHED_ASSERT(options.screenRelDeviation > 0.0,
-                     "screening deviation must be positive");
-    STATSCHED_ASSERT(options.quarantineAfter >= 1,
-                     "quarantine threshold must be positive");
+    SCHED_REQUIRE(options.maxAttempts >= 1,
+                  "need at least one attempt");
+    SCHED_REQUIRE(options.backoffBaseSeconds >= 0.0 &&
+                  options.backoffFactor >= 1.0,
+                  "backoff must not shrink");
+    SCHED_REQUIRE(options.screenRelDeviation > 0.0,
+                  "screening deviation must be positive");
+    SCHED_REQUIRE(options.quarantineAfter >= 1,
+                  "quarantine threshold must be positive");
 }
 
 void
@@ -69,7 +70,16 @@ ResilientEngine::runWithRetries(std::span<const Assignment> batch,
         for (const std::size_t idx : pending)
             sub.push_back(batch[idx]);
         std::vector<MeasurementOutcome> outcomes(sub.size());
-        inner_.measureBatchOutcome(sub, outcomes);
+        try {
+            inner_.measureBatchOutcome(sub, outcomes);
+        } catch (const std::exception &) {
+            // A contract violation (or any error) below becomes a
+            // structured Errored outcome for the whole sub-batch;
+            // the normal retry/quarantine ladder takes it from here.
+            for (auto &outcome : outcomes)
+                outcome = MeasurementOutcome::failure(
+                    MeasureStatus::Errored);
+        }
 
         std::vector<std::size_t> still_failed;
         for (std::size_t k = 0; k < pending.size(); ++k) {
@@ -138,7 +148,13 @@ ResilientEngine::screenOutliers(std::span<const Assignment> batch,
             sub.push_back(batch[idx]);
     }
     std::vector<MeasurementOutcome> outcomes(sub.size());
-    inner_.measureBatchOutcome(sub, outcomes);
+    try {
+        inner_.measureBatchOutcome(sub, outcomes);
+    } catch (const std::exception &) {
+        // Re-measurement failed wholesale; keep the original
+        // suspect readings rather than replacing them with less.
+        return;
+    }
     retries_.fetch_add(sub.size(), std::memory_order_relaxed);
 
     for (std::size_t s = 0; s < suspects.size(); ++s) {
@@ -171,8 +187,8 @@ void
 ResilientEngine::measureBatchOutcome(std::span<const Assignment> batch,
                                      std::span<MeasurementOutcome> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     if (batch.empty())
         return;
 
@@ -229,8 +245,8 @@ void
 ResilientEngine::measureBatch(std::span<const Assignment> batch,
                               std::span<double> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     std::vector<MeasurementOutcome> outcomes(batch.size());
     measureBatchOutcome(batch, outcomes);
     for (std::size_t i = 0; i < batch.size(); ++i)

@@ -6,6 +6,7 @@
 #include "core/sampler.hh"
 
 #include <numeric>
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -17,8 +18,8 @@ RandomAssignmentSampler::RandomAssignmentSampler(
     SamplingMethod method)
     : topology_(topology), tasks_(tasks), rng_(seed), method_(method)
 {
-    STATSCHED_ASSERT(tasks >= 1 && tasks <= topology.contexts(),
-                     "workload size out of range");
+    SCHED_REQUIRE(tasks >= 1 && tasks <= topology.contexts(),
+                  "workload size out of range");
 }
 
 Assignment

@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <string>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -56,7 +56,7 @@ struct Topology
     std::uint32_t
     coreOf(ContextId ctx) const
     {
-        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        SCHED_REQUIRE(ctx < contexts(), "context out of range");
         return ctx / (pipesPerCore * strandsPerPipe);
     }
 
@@ -64,7 +64,7 @@ struct Topology
     std::uint32_t
     pipeOf(ContextId ctx) const
     {
-        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        SCHED_REQUIRE(ctx < contexts(), "context out of range");
         return ctx / strandsPerPipe;
     }
 
@@ -79,7 +79,7 @@ struct Topology
     std::uint32_t
     strandOf(ContextId ctx) const
     {
-        STATSCHED_ASSERT(ctx < contexts(), "context out of range");
+        SCHED_REQUIRE(ctx < contexts(), "context out of range");
         return ctx % strandsPerPipe;
     }
 
@@ -87,7 +87,7 @@ struct Topology
     ContextId
     firstContextOfPipe(std::uint32_t pipe) const
     {
-        STATSCHED_ASSERT(pipe < pipes(), "pipe out of range");
+        SCHED_REQUIRE(pipe < pipes(), "pipe out of range");
         return pipe * strandsPerPipe;
     }
 

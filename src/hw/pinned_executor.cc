@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "net/aho_corasick.hh"
 #include "net/analyzer.hh"
@@ -105,7 +106,7 @@ makeProcessKernel(sim::Benchmark benchmark, std::uint32_t instance)
             };
         }
     }
-    STATSCHED_PANIC("unknown benchmark");
+    SCHED_UNREACHABLE("unknown benchmark");
 }
 
 /** Pins the calling thread to one CPU; warns once on failure. */
@@ -157,9 +158,9 @@ PinnedThreadEngine::PinnedThreadEngine(sim::Benchmark benchmark,
                                        const PinnedOptions &options)
     : benchmark_(benchmark), instances_(instances), options_(options)
 {
-    STATSCHED_ASSERT(instances >= 1, "need at least one instance");
-    STATSCHED_ASSERT(options.measureMillis >= 10,
-                     "measurement window too short");
+    SCHED_REQUIRE(instances >= 1, "need at least one instance");
+    SCHED_REQUIRE(options.measureMillis >= 10,
+                  "measurement window too short");
 }
 
 unsigned
@@ -179,8 +180,8 @@ PinnedThreadEngine::measure(const core::Assignment &assignment)
 core::MeasurementOutcome
 PinnedThreadEngine::measureOutcome(const core::Assignment &assignment)
 {
-    STATSCHED_ASSERT(assignment.size() == 3u * instances_,
-                     "assignment size must be 3 x instances");
+    SCHED_REQUIRE(assignment.size() == 3u * instances_,
+                  "assignment size must be 3 x instances");
 
     auto state = std::make_shared<RunState>();
     state->pipelines.reserve(instances_);

@@ -15,7 +15,7 @@
 
 #include <queue>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -25,9 +25,9 @@ namespace net
 AhoCorasick::AhoCorasick(const std::vector<std::string> &patterns)
     : patterns_(patterns)
 {
-    STATSCHED_ASSERT(!patterns_.empty(), "empty pattern set");
+    SCHED_REQUIRE(!patterns_.empty(), "empty pattern set");
     for (const auto &p : patterns_)
-        STATSCHED_ASSERT(!p.empty(), "empty pattern");
+        SCHED_REQUIRE(!p.empty(), "empty pattern");
 
     // Phase 1: trie. State 0 is the root.
     std::vector<std::vector<std::uint32_t>> trie(1,

@@ -5,7 +5,7 @@
 
 #include "net/analyzer.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -55,7 +55,7 @@ PacketFilter::matches(const Packet &packet) const
 
 PacketAnalyzer::PacketAnalyzer(std::size_t log_capacity)
 {
-    STATSCHED_ASSERT(log_capacity >= 1, "empty log ring");
+    SCHED_REQUIRE(log_capacity >= 1, "empty log ring");
     ring_.resize(log_capacity);
 }
 

@@ -5,7 +5,7 @@
 
 #include "net/flow_table.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -49,9 +49,9 @@ nprobeFlowHash(const FlowKey &key)
 FlowTable::FlowTable(std::size_t buckets, std::size_t stripes)
     : slots_(buckets), stripes_(stripes)
 {
-    STATSCHED_ASSERT(buckets >= 1, "empty flow table");
-    STATSCHED_ASSERT(stripes >= 1 && (stripes & (stripes - 1)) == 0,
-                     "stripes must be a power of two");
+    SCHED_REQUIRE(buckets >= 1, "empty flow table");
+    SCHED_REQUIRE(stripes >= 1 && (stripes & (stripes - 1)) == 0,
+                  "stripes must be a power of two");
 }
 
 FlowTable::Spinlock &

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "net/keywords.hh"
 
 namespace statsched
@@ -19,14 +19,14 @@ namespace net
 TrafficGenerator::TrafficGenerator(const TrafficConfig &config)
     : config_(config), rng_(config.seed)
 {
-    STATSCHED_ASSERT(config_.sourceCount >= 1 &&
-                     config_.destinationCount >= 1,
-                     "empty address range");
-    STATSCHED_ASSERT(config_.payloadMin <= config_.payloadMax,
-                     "inverted payload range");
-    STATSCHED_ASSERT(config_.tcpFraction >= 0.0 &&
-                     config_.tcpFraction <= 1.0,
-                     "TCP fraction out of [0,1]");
+    SCHED_REQUIRE(config_.sourceCount >= 1 &&
+                  config_.destinationCount >= 1,
+                  "empty address range");
+    SCHED_REQUIRE(config_.payloadMin <= config_.payloadMax,
+                  "inverted payload range");
+    SCHED_REQUIRE(config_.tcpFraction >= 0.0 &&
+                  config_.tcpFraction <= 1.0,
+                  "TCP fraction out of [0,1]");
 }
 
 Packet

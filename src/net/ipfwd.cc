@@ -5,7 +5,7 @@
 
 #include "net/ipfwd.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/rng.hh"
 
 namespace statsched
@@ -37,7 +37,7 @@ Ipv4ForwardingTable::Ipv4ForwardingTable(IpfwdMode mode,
                                          std::uint64_t seed)
     : mode_(mode), ports_(ports)
 {
-    STATSCHED_ASSERT(ports >= 1, "need at least one egress port");
+    SCHED_REQUIRE(ports >= 1, "need at least one egress port");
     stats::Rng rng(seed);
 
     auto random_hop = [&rng, ports]() {

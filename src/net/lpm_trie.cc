@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -49,13 +49,13 @@ Route::toString() const
 bool
 LpmTrie::insert(const Route &route)
 {
-    STATSCHED_ASSERT(route.length <= 32, "prefix length out of range");
+    SCHED_REQUIRE(route.length <= 32, "prefix length out of range");
     // Host bits must be zero for a canonical prefix.
     const Ipv4Address mask = route.length == 0
         ? 0 : (route.length >= 32
                ? 0xffffffffu : ~((1u << (32 - route.length)) - 1));
-    STATSCHED_ASSERT((route.prefix & ~mask) == 0,
-                     "prefix has host bits set");
+    SCHED_REQUIRE((route.prefix & ~mask) == 0,
+                  "prefix has host bits set");
 
     Node *node = root_.get();
     for (std::uint8_t depth = 0; depth < route.length; ++depth) {
@@ -74,7 +74,7 @@ LpmTrie::insert(const Route &route)
 bool
 LpmTrie::remove(Ipv4Address prefix, std::uint8_t length)
 {
-    STATSCHED_ASSERT(length <= 32, "prefix length out of range");
+    SCHED_REQUIRE(length <= 32, "prefix length out of range");
     Node *node = root_.get();
     for (std::uint8_t depth = 0; depth < length && node; ++depth)
         node = node->child[bitAt(prefix, depth)].get();

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "net/checksum.hh"
 
 namespace statsched
@@ -90,7 +90,7 @@ Packet::hasL4() const
 EthernetHeader
 Packet::ethernet() const
 {
-    STATSCHED_ASSERT(hasEthernet(), "truncated Ethernet header");
+    SCHED_REQUIRE(hasEthernet(), "truncated Ethernet header");
     EthernetHeader h;
     const std::uint8_t *p = bytes_.data();
     for (int i = 0; i < 6; ++i) {
@@ -104,7 +104,7 @@ Packet::ethernet() const
 Ipv4Header
 Packet::ipv4() const
 {
-    STATSCHED_ASSERT(hasIpv4(), "truncated IPv4 header");
+    SCHED_REQUIRE(hasIpv4(), "truncated IPv4 header");
     const std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
     Ipv4Header h;
     h.versionIhl = p[0];
@@ -123,9 +123,9 @@ Packet::ipv4() const
 TcpHeader
 Packet::tcp() const
 {
-    STATSCHED_ASSERT(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
-                     static_cast<std::uint8_t>(IpProtocol::Tcp),
-                     "not a TCP packet");
+    SCHED_REQUIRE(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
+                  static_cast<std::uint8_t>(IpProtocol::Tcp),
+                  "not a TCP packet");
     const std::uint8_t *p =
         bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
     TcpHeader h;
@@ -144,9 +144,9 @@ Packet::tcp() const
 UdpHeader
 Packet::udp() const
 {
-    STATSCHED_ASSERT(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
-                     static_cast<std::uint8_t>(IpProtocol::Udp),
-                     "not a UDP packet");
+    SCHED_REQUIRE(hasL4() && bytes_[ethernetHeaderBytes + 9] ==
+                  static_cast<std::uint8_t>(IpProtocol::Udp),
+                  "not a UDP packet");
     const std::uint8_t *p =
         bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
     UdpHeader h;
@@ -160,8 +160,8 @@ Packet::udp() const
 void
 Packet::setEthernet(const EthernetHeader &header)
 {
-    STATSCHED_ASSERT(size() >= ethernetHeaderBytes,
-                     "frame too small for Ethernet");
+    SCHED_REQUIRE(size() >= ethernetHeaderBytes,
+                  "frame too small for Ethernet");
     std::uint8_t *p = bytes_.data();
     for (int i = 0; i < 6; ++i) {
         p[i] = header.destination[i];
@@ -173,8 +173,8 @@ Packet::setEthernet(const EthernetHeader &header)
 void
 Packet::setIpv4(Ipv4Header header)
 {
-    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes,
-                     "frame too small for IPv4");
+    SCHED_REQUIRE(size() >= ethernetHeaderBytes + ipv4HeaderBytes,
+                  "frame too small for IPv4");
     std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
     p[0] = header.versionIhl;
     p[1] = header.dscpEcn;
@@ -192,8 +192,8 @@ Packet::setIpv4(Ipv4Header header)
 void
 Packet::setTcp(const TcpHeader &header)
 {
-    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
-                     tcpHeaderBytes, "frame too small for TCP");
+    SCHED_REQUIRE(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
+                  tcpHeaderBytes, "frame too small for TCP");
     std::uint8_t *p =
         bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
     write16(p, header.sourcePort);
@@ -210,8 +210,8 @@ Packet::setTcp(const TcpHeader &header)
 void
 Packet::setUdp(const UdpHeader &header)
 {
-    STATSCHED_ASSERT(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
-                     udpHeaderBytes, "frame too small for UDP");
+    SCHED_REQUIRE(size() >= ethernetHeaderBytes + ipv4HeaderBytes +
+                  udpHeaderBytes, "frame too small for UDP");
     std::uint8_t *p =
         bytes_.data() + ethernetHeaderBytes + ipv4HeaderBytes;
     write16(p, header.sourcePort);
@@ -223,7 +223,7 @@ Packet::setUdp(const UdpHeader &header)
 std::size_t
 Packet::payloadOffset() const
 {
-    STATSCHED_ASSERT(hasL4(), "no L4 header");
+    SCHED_REQUIRE(hasL4(), "no L4 header");
     const std::uint8_t proto = bytes_[ethernetHeaderBytes + 9];
     const std::size_t l4 = ethernetHeaderBytes + ipv4HeaderBytes;
     if (proto == static_cast<std::uint8_t>(IpProtocol::Tcp))
@@ -252,7 +252,7 @@ Packet::payload()
 bool
 Packet::decrementTtl()
 {
-    STATSCHED_ASSERT(hasIpv4(), "no IPv4 header");
+    SCHED_REQUIRE(hasIpv4(), "no IPv4 header");
     std::uint8_t *p = bytes_.data() + ethernetHeaderBytes;
     if (p[8] == 0)
         return false;

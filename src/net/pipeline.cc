@@ -5,7 +5,7 @@
 
 #include "net/pipeline.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -17,7 +17,7 @@ Pipeline::Pipeline(const TrafficConfig &traffic, ProcessFn process,
     : generator_(traffic), process_(std::move(process)),
       rToP_(queue_depth), pToT_(queue_depth)
 {
-    STATSCHED_ASSERT(process_ != nullptr, "null process kernel");
+    SCHED_REQUIRE(process_ != nullptr, "null process kernel");
 }
 
 std::size_t

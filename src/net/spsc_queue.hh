@@ -18,7 +18,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -39,7 +39,7 @@ class SpscQueue
      */
     explicit SpscQueue(std::size_t capacity = 1024)
     {
-        STATSCHED_ASSERT(capacity >= 2, "queue too small");
+        SCHED_REQUIRE(capacity >= 2, "queue too small");
         std::size_t cap = 2;
         while (cap < capacity)
             cap <<= 1;

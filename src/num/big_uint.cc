@@ -13,7 +13,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -38,10 +38,10 @@ BigUint::BigUint(std::uint64_t value)
 
 BigUint::BigUint(const std::string &decimal)
 {
-    STATSCHED_ASSERT(!decimal.empty(), "empty decimal string");
+    SCHED_REQUIRE(!decimal.empty(), "empty decimal string");
     for (char c : decimal) {
-        STATSCHED_ASSERT(c >= '0' && c <= '9',
-                         "non-digit in decimal string");
+        SCHED_REQUIRE(c >= '0' && c <= '9',
+                      "non-digit in decimal string");
         // this = this * 10 + digit
         std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
         for (auto &limb : limbs_) {
@@ -87,7 +87,7 @@ BigUint::digitCount() const
 std::uint64_t
 BigUint::toUint64() const
 {
-    STATSCHED_ASSERT(fitsUint64(), "BigUint does not fit in 64 bits");
+    SCHED_REQUIRE(fitsUint64(), "BigUint does not fit in 64 bits");
     std::uint64_t v = 0;
     if (limbs_.size() > 1)
         v = static_cast<std::uint64_t>(limbs_[1]) << 32;
@@ -141,7 +141,7 @@ BigUint::toString() const
 std::string
 BigUint::toScientific(int precision) const
 {
-    STATSCHED_ASSERT(precision >= 0, "negative precision");
+    SCHED_REQUIRE(precision >= 0, "negative precision");
     std::string digits = toString();
     if (digits == "0")
         return "0";
@@ -193,7 +193,7 @@ BigUint::operator+=(const BigUint &rhs)
 BigUint &
 BigUint::operator-=(const BigUint &rhs)
 {
-    STATSCHED_ASSERT(compare(rhs) >= 0, "BigUint subtraction underflow");
+    SCHED_REQUIRE(compare(rhs) >= 0, "BigUint subtraction underflow");
     std::int64_t borrow = 0;
     for (std::size_t i = 0; i < limbs_.size(); ++i) {
         std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
@@ -245,7 +245,7 @@ BigUint
 BigUint::divMod(const BigUint &dividend, const BigUint &divisor,
                 BigUint &remainder_out)
 {
-    STATSCHED_ASSERT(!divisor.isZero(), "BigUint division by zero");
+    SCHED_REQUIRE(!divisor.isZero(), "BigUint division by zero");
 
     if (dividend.compare(divisor) < 0) {
         remainder_out = dividend;

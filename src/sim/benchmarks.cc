@@ -11,6 +11,7 @@
 
 #include "sim/benchmarks.hh"
 
+#include "base/check.hh"
 #include "base/logging.hh"
 
 namespace statsched
@@ -103,13 +104,13 @@ benchmarkName(Benchmark benchmark)
       case Benchmark::IpsecEsp:
         return "IPsec-ESP";
     }
-    STATSCHED_PANIC("unknown benchmark");
+    SCHED_UNREACHABLE("unknown benchmark");
 }
 
 Workload
 makeWorkload(Benchmark benchmark, std::uint32_t instances)
 {
-    STATSCHED_ASSERT(instances >= 1, "need at least one instance");
+    SCHED_REQUIRE(instances >= 1, "need at least one instance");
 
     Workload workload(benchmarkName(benchmark) + "(" +
                       std::to_string(instances) + "x3)");

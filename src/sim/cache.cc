@@ -5,7 +5,7 @@
 
 #include "sim/cache.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -18,8 +18,8 @@ namespace
 std::uint32_t
 log2OfPowerOfTwo(std::uint32_t v)
 {
-    STATSCHED_ASSERT(v != 0 && (v & (v - 1)) == 0,
-                     "value must be a power of two");
+    SCHED_REQUIRE(v != 0 && (v & (v - 1)) == 0,
+                  "value must be a power of two");
     std::uint32_t shift = 0;
     while ((1u << shift) < v)
         ++shift;
@@ -33,12 +33,12 @@ SetAssociativeCache::SetAssociativeCache(double size_kb,
                                          std::uint32_t line_bytes)
     : ways_(ways), lineShift_(log2OfPowerOfTwo(line_bytes))
 {
-    STATSCHED_ASSERT(ways >= 1, "need at least one way");
-    STATSCHED_ASSERT(size_kb > 0.0, "empty cache");
+    SCHED_REQUIRE(ways >= 1, "need at least one way");
+    SCHED_REQUIRE(size_kb > 0.0, "empty cache");
     const std::uint64_t total_lines = static_cast<std::uint64_t>(
         size_kb * 1024.0 / line_bytes);
-    STATSCHED_ASSERT(total_lines >= ways,
-                     "cache smaller than one set");
+    SCHED_REQUIRE(total_lines >= ways,
+                  "cache smaller than one set");
     std::uint32_t sets = static_cast<std::uint32_t>(
         total_lines / ways);
     // Round sets down to a power of two for cheap indexing.

@@ -11,7 +11,7 @@
 #include <map>
 #include <numeric>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -71,7 +71,7 @@ sharedFootprint(const std::vector<core::TaskId> &members,
 std::vector<double>
 waterfill(const std::vector<double> &demands, double capacity)
 {
-    STATSCHED_ASSERT(capacity >= 0.0, "negative capacity");
+    SCHED_REQUIRE(capacity >= 0.0, "negative capacity");
     std::vector<double> alloc(demands.size(), 0.0);
     if (demands.empty())
         return alloc;
@@ -100,21 +100,21 @@ ContentionSolver::ContentionSolver(const ChipConfig &config,
                                    std::vector<TaskProfile> tasks)
     : config_(config), tasks_(std::move(tasks))
 {
-    STATSCHED_ASSERT(!tasks_.empty(), "no tasks to solve");
+    SCHED_REQUIRE(!tasks_.empty(), "no tasks to solve");
     for (const auto &t : tasks_) {
-        STATSCHED_ASSERT(t.issueDemand > 0.0 &&
-                         t.issueDemand <= config_.pipeIssueWidth,
-                         "issue demand out of (0, pipe width]");
-        STATSCHED_ASSERT(t.instructionsPerPacket > 0.0,
-                         "non-positive instructions per packet");
+        SCHED_REQUIRE(t.issueDemand > 0.0 &&
+                      t.issueDemand <= config_.pipeIssueWidth,
+                      "issue demand out of (0, pipe width]");
+        SCHED_REQUIRE(t.instructionsPerPacket > 0.0,
+                      "non-positive instructions per packet");
     }
 }
 
 ContentionResult
 ContentionSolver::solve(const core::Assignment &assignment) const
 {
-    STATSCHED_ASSERT(assignment.size() == tasks_.size(),
-                     "assignment/task-count mismatch");
+    SCHED_REQUIRE(assignment.size() == tasks_.size(),
+                  "assignment/task-count mismatch");
     const core::Topology &topo = assignment.topology();
     const std::size_t n = tasks_.size();
 

@@ -9,7 +9,7 @@
 #include <memory>
 #include <vector>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "sim/cache.hh"
 #include "stats/rng.hh"
 
@@ -57,10 +57,10 @@ CycleSimEngine::CycleSimEngine(Workload workload,
     : workload_(std::move(workload)), config_(config),
       options_(options)
 {
-    STATSCHED_ASSERT(workload_.taskCount() > 0, "empty workload");
-    STATSCHED_ASSERT(options_.cycles >= 1000,
-                     "simulate at least 1000 cycles");
-    STATSCHED_ASSERT(options_.queueDepth >= 1, "empty stage queues");
+    SCHED_REQUIRE(workload_.taskCount() > 0, "empty workload");
+    SCHED_REQUIRE(options_.cycles >= 1000,
+                  "simulate at least 1000 cycles");
+    SCHED_REQUIRE(options_.queueDepth >= 1, "empty stage queues");
 }
 
 double
@@ -74,8 +74,8 @@ CycleSimEngine::secondsPerMeasurement() const
 double
 CycleSimEngine::measure(const core::Assignment &assignment)
 {
-    STATSCHED_ASSERT(assignment.size() == workload_.taskCount(),
-                     "assignment/workload mismatch");
+    SCHED_REQUIRE(assignment.size() == workload_.taskCount(),
+                  "assignment/workload mismatch");
     const core::Topology &topo = assignment.topology();
     const auto &tasks = workload_.tasks();
     const auto &edges = workload_.edges();

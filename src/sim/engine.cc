@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -21,9 +21,9 @@ SimulatedEngine::SimulatedEngine(Workload workload,
     : workload_(std::move(workload)), config_(config),
       options_(options), solver_(config, workload_.tasks())
 {
-    STATSCHED_ASSERT(workload_.taskCount() > 0, "empty workload");
-    STATSCHED_ASSERT(options_.noiseRelStdDev >= 0.0,
-                     "negative noise level");
+    SCHED_REQUIRE(workload_.taskCount() > 0, "empty workload");
+    SCHED_REQUIRE(options_.noiseRelStdDev >= 0.0,
+                  "negative noise level");
 }
 
 std::vector<double>
@@ -118,8 +118,8 @@ void
 SimulatedEngine::measureBatch(std::span<const core::Assignment> batch,
                               std::span<double> out)
 {
-    STATSCHED_ASSERT(batch.size() == out.size(),
-                     "batch/result size mismatch");
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
     const auto kernel = parallelKernel(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i)
         out[i] = kernel(batch[i], i);

@@ -5,7 +5,7 @@
 
 #include "sim/workload.hh"
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -15,8 +15,8 @@ namespace sim
 void
 Workload::addInstance(AppInstance instance)
 {
-    STATSCHED_ASSERT(!instance.stages.empty(),
-                     "instance with no stages");
+    SCHED_REQUIRE(!instance.stages.empty(),
+                  "instance with no stages");
     const std::uint32_t first =
         static_cast<std::uint32_t>(tasks_.size());
     for (std::size_t s = 0; s < instance.stages.size(); ++s) {
@@ -41,8 +41,8 @@ Workload::taskCount() const
 std::pair<std::uint32_t, std::uint32_t>
 Workload::instanceTaskRange(std::size_t instance) const
 {
-    STATSCHED_ASSERT(instance < ranges_.size(),
-                     "instance index out of range");
+    SCHED_REQUIRE(instance < ranges_.size(),
+                  "instance index out of range");
     return ranges_[instance];
 }
 

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "base/worker_pool.hh"
 #include "stats/descriptive.hh"
 #include "stats/rng.hh"
@@ -23,9 +23,9 @@ bootstrapUpbInterval(const std::vector<double> &sample,
                      const PotOptions &options, std::size_t replicates,
                      std::uint64_t seed, unsigned threads)
 {
-    STATSCHED_ASSERT(replicates >= 50,
-                     "too few bootstrap replicates");
-    STATSCHED_ASSERT(!sample.empty(), "empty sample");
+    SCHED_REQUIRE(replicates >= 50,
+                  "too few bootstrap replicates");
+    SCHED_REQUIRE(!sample.empty(), "empty sample");
 
     // Pre-generate one independent seed per replicate: replicate b's
     // resampling stream is a pure function of (seed, b), never of the
@@ -65,8 +65,8 @@ bootstrapUpbInterval(const std::vector<double> &sample,
             ++out.failed;
     }
 
-    STATSCHED_ASSERT(upbs.size() >= replicates / 2,
-                     "bootstrap: too many invalid replicates");
+    SCHED_ENSURE(upbs.size() >= replicates / 2,
+                 "bootstrap: too many invalid replicates");
     std::sort(upbs.begin(), upbs.end());
     const double alpha = 1.0 - options.confidenceLevel;
     out.lower = quantileSorted(upbs, alpha / 2.0);

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -47,22 +47,22 @@ stddev(const std::vector<double> &xs)
 double
 minimum(const std::vector<double> &xs)
 {
-    STATSCHED_ASSERT(!xs.empty(), "minimum of empty sample");
+    SCHED_REQUIRE(!xs.empty(), "minimum of empty sample");
     return *std::min_element(xs.begin(), xs.end());
 }
 
 double
 maximum(const std::vector<double> &xs)
 {
-    STATSCHED_ASSERT(!xs.empty(), "maximum of empty sample");
+    SCHED_REQUIRE(!xs.empty(), "maximum of empty sample");
     return *std::max_element(xs.begin(), xs.end());
 }
 
 double
 quantileSorted(const std::vector<double> &sorted_xs, double q)
 {
-    STATSCHED_ASSERT(!sorted_xs.empty(), "quantile of empty sample");
-    STATSCHED_ASSERT(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
+    SCHED_REQUIRE(!sorted_xs.empty(), "quantile of empty sample");
+    SCHED_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level out of [0,1]");
     if (sorted_xs.size() == 1)
         return sorted_xs[0];
     const double pos = q * static_cast<double>(sorted_xs.size() - 1);
@@ -83,8 +83,8 @@ LinearFit
 linearLeastSquares(const std::vector<double> &xs,
                    const std::vector<double> &ys)
 {
-    STATSCHED_ASSERT(xs.size() == ys.size(), "size mismatch in OLS");
-    STATSCHED_ASSERT(xs.size() >= 2, "OLS needs at least two points");
+    SCHED_REQUIRE(xs.size() == ys.size(), "size mismatch in OLS");
+    SCHED_REQUIRE(xs.size() >= 2, "OLS needs at least two points");
 
     const double n = static_cast<double>(xs.size());
     const double mx = mean(xs);
@@ -122,9 +122,9 @@ double
 pearsonCorrelation(const std::vector<double> &xs,
                    const std::vector<double> &ys)
 {
-    STATSCHED_ASSERT(xs.size() == ys.size(),
-                     "size mismatch in correlation");
-    STATSCHED_ASSERT(xs.size() >= 2, "correlation needs >= 2 points");
+    SCHED_REQUIRE(xs.size() == ys.size(),
+                  "size mismatch in correlation");
+    SCHED_REQUIRE(xs.size() >= 2, "correlation needs >= 2 points");
     const double mx = mean(xs);
     const double my = mean(ys);
     double sxx = 0.0;

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/descriptive.hh"
 
 namespace statsched
@@ -19,8 +19,8 @@ namespace stats
 QuantilePlot
 gpdQuantilePlot(const std::vector<double> &exceedances, const Gpd &model)
 {
-    STATSCHED_ASSERT(exceedances.size() >= 2,
-                     "quantile plot needs >= 2 points");
+    SCHED_REQUIRE(exceedances.size() >= 2,
+                  "quantile plot needs >= 2 points");
     std::vector<double> sorted = sortedCopy(exceedances);
     const double m = static_cast<double>(sorted.size());
 
@@ -44,7 +44,7 @@ gpdQuantilePlot(const std::vector<double> &exceedances, const Gpd &model)
 double
 ksStatistic(const std::vector<double> &exceedances, const Gpd &model)
 {
-    STATSCHED_ASSERT(!exceedances.empty(), "KS of empty sample");
+    SCHED_REQUIRE(!exceedances.empty(), "KS of empty sample");
     std::vector<double> sorted = sortedCopy(exceedances);
     const double m = static_cast<double>(sorted.size());
     double d = 0.0;

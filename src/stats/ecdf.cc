@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/descriptive.hh"
 
 namespace statsched
@@ -18,7 +18,7 @@ namespace stats
 Ecdf::Ecdf(std::vector<double> sample)
     : sorted_(std::move(sample))
 {
-    STATSCHED_ASSERT(!sorted_.empty(), "ECDF of empty sample");
+    SCHED_REQUIRE(!sorted_.empty(), "ECDF of empty sample");
     std::sort(sorted_.begin(), sorted_.end());
 }
 
@@ -47,8 +47,8 @@ Ecdf::relativeSpread() const
 double
 Ecdf::topFractionSpread(double fraction) const
 {
-    STATSCHED_ASSERT(fraction > 0.0 && fraction < 1.0,
-                     "tail fraction out of (0,1)");
+    SCHED_REQUIRE(fraction > 0.0 && fraction < 1.0,
+                  "tail fraction out of (0,1)");
     if (max() == 0.0)
         return 0.0;
     const double lower = quantile(1.0 - fraction);
@@ -58,7 +58,7 @@ Ecdf::topFractionSpread(double fraction) const
 std::vector<std::pair<double, double>>
 Ecdf::curve(std::size_t points) const
 {
-    STATSCHED_ASSERT(points >= 2, "need at least two curve points");
+    SCHED_REQUIRE(points >= 2, "need at least two curve points");
     std::vector<std::pair<double, double>> out;
     out.reserve(points);
     const double lo = min();

@@ -9,7 +9,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/descriptive.hh"
 #include "stats/nelder_mead.hh"
 
@@ -29,9 +29,9 @@ constexpr double infinity = std::numeric_limits<double>::infinity();
 Gev::Gev(double xi, double mu, double sigma)
     : xi_(xi), mu_(mu), sigma_(sigma)
 {
-    STATSCHED_ASSERT(sigma > 0.0, "GEV scale must be positive");
-    STATSCHED_ASSERT(std::isfinite(xi) && std::isfinite(mu),
-                     "GEV parameters must be finite");
+    SCHED_REQUIRE(sigma > 0.0, "GEV scale must be positive");
+    SCHED_REQUIRE(std::isfinite(xi) && std::isfinite(mu),
+                  "GEV parameters must be finite");
 }
 
 double
@@ -81,7 +81,7 @@ Gev::logPdf(double x) const
 double
 Gev::quantile(double p) const
 {
-    STATSCHED_ASSERT(p > 0.0 && p < 1.0, "probability out of (0,1)");
+    SCHED_REQUIRE(p > 0.0 && p < 1.0, "probability out of (0,1)");
     const double l = -std::log(p);
     if (std::fabs(xi_) < xiZeroTolerance)
         return mu_ - sigma_ * std::log(l);
@@ -91,8 +91,8 @@ Gev::quantile(double p) const
 double
 Gev::sampleFromUniform(double unit_uniform) const
 {
-    STATSCHED_ASSERT(unit_uniform > 0.0 && unit_uniform < 1.0,
-                     "uniform draw out of (0,1)");
+    SCHED_REQUIRE(unit_uniform > 0.0 && unit_uniform < 1.0,
+                  "uniform draw out of (0,1)");
     return quantile(unit_uniform);
 }
 
@@ -105,8 +105,8 @@ GevFit::upperEndpoint() const
 GevFit
 fitGev(const std::vector<double> &maxima)
 {
-    STATSCHED_ASSERT(maxima.size() >= 10,
-                     "GEV fit needs at least 10 block maxima");
+    SCHED_REQUIRE(maxima.size() >= 10,
+                  "GEV fit needs at least 10 block maxima");
 
     // Moment-based starting point (Gumbel approximation):
     // sigma0 = sqrt(6) s / pi, mu0 = mean - 0.5772 sigma0.
@@ -151,9 +151,9 @@ GevFit
 blockMaximaEstimate(const std::vector<double> &sample,
                     std::size_t blocks)
 {
-    STATSCHED_ASSERT(blocks >= 10, "need at least 10 blocks");
-    STATSCHED_ASSERT(sample.size() >= 2 * blocks,
-                     "blocks must hold at least 2 observations");
+    SCHED_REQUIRE(blocks >= 10, "need at least 10 blocks");
+    SCHED_REQUIRE(sample.size() >= 2 * blocks,
+                  "blocks must hold at least 2 observations");
 
     const std::size_t block_size = sample.size() / blocks;
     std::vector<double> maxima;

@@ -12,7 +12,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -29,8 +29,8 @@ constexpr double xiZeroTolerance = 1e-9;
 Gpd::Gpd(double xi, double sigma)
     : xi_(xi), sigma_(sigma)
 {
-    STATSCHED_ASSERT(sigma > 0.0, "GPD scale must be positive");
-    STATSCHED_ASSERT(std::isfinite(xi), "GPD shape must be finite");
+    SCHED_REQUIRE(sigma > 0.0, "GPD scale must be positive");
+    SCHED_REQUIRE(std::isfinite(xi), "GPD shape must be finite");
 }
 
 double
@@ -83,7 +83,7 @@ Gpd::logPdf(double y) const
 double
 Gpd::quantile(double p) const
 {
-    STATSCHED_ASSERT(p >= 0.0 && p < 1.0, "probability out of [0,1)");
+    SCHED_REQUIRE(p >= 0.0 && p < 1.0, "probability out of [0,1)");
     if (p == 0.0)
         return 0.0;
     if (std::fabs(xi_) < xiZeroTolerance)
@@ -94,15 +94,15 @@ Gpd::quantile(double p) const
 double
 Gpd::meanValue() const
 {
-    STATSCHED_ASSERT(xi_ < 1.0, "GPD mean undefined for xi >= 1");
+    SCHED_REQUIRE(xi_ < 1.0, "GPD mean undefined for xi >= 1");
     return sigma_ / (1.0 - xi_);
 }
 
 double
 Gpd::sampleFromUniform(double unit_uniform) const
 {
-    STATSCHED_ASSERT(unit_uniform >= 0.0 && unit_uniform < 1.0,
-                     "uniform draw out of [0,1)");
+    SCHED_REQUIRE(unit_uniform >= 0.0 && unit_uniform < 1.0,
+                  "uniform draw out of [0,1)");
     return quantile(unit_uniform);
 }
 

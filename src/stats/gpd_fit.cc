@@ -9,7 +9,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/descriptive.hh"
 #include "stats/nelder_mead.hh"
 
@@ -128,10 +128,10 @@ GpdFit
 fitGpd(const std::vector<double> &exceedances, GpdEstimator method,
        const GpdFit *warm_start)
 {
-    STATSCHED_ASSERT(exceedances.size() >= 5,
-                     "GPD fit needs at least 5 exceedances");
+    SCHED_REQUIRE(exceedances.size() >= 5,
+                  "GPD fit needs at least 5 exceedances");
     for (double y : exceedances)
-        STATSCHED_ASSERT(y > 0.0, "exceedances must be positive");
+        SCHED_REQUIRE(y > 0.0, "exceedances must be positive");
 
     if (method == GpdEstimator::MethodOfMoments)
         return momentEstimate(exceedances);

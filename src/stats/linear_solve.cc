@@ -7,7 +7,7 @@
 
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -18,7 +18,7 @@ std::vector<double>
 choleskySolve(const Matrix &a, const std::vector<double> &b)
 {
     const std::size_t n = a.size();
-    STATSCHED_ASSERT(b.size() == n, "dimension mismatch");
+    SCHED_REQUIRE(b.size() == n, "dimension mismatch");
 
     // Factor A = L L^T.
     Matrix l(n);
@@ -28,8 +28,8 @@ choleskySolve(const Matrix &a, const std::vector<double> &b)
             for (std::size_t k = 0; k < j; ++k)
                 sum -= l.at(i, k) * l.at(j, k);
             if (i == j) {
-                STATSCHED_ASSERT(sum > 0.0,
-                                 "matrix not positive definite");
+                SCHED_INVARIANT(sum > 0.0,
+                                "matrix not positive definite");
                 l.at(i, i) = std::sqrt(sum);
             } else {
                 l.at(i, j) = sum / l.at(j, j);
@@ -61,17 +61,17 @@ std::vector<double>
 ridgeRegression(const std::vector<std::vector<double>> &rows,
                 const std::vector<double> &targets, double lambda)
 {
-    STATSCHED_ASSERT(!rows.empty(), "no training rows");
-    STATSCHED_ASSERT(rows.size() == targets.size(),
-                     "row/target count mismatch");
-    STATSCHED_ASSERT(lambda > 0.0, "ridge strength must be positive");
+    SCHED_REQUIRE(!rows.empty(), "no training rows");
+    SCHED_REQUIRE(rows.size() == targets.size(),
+                  "row/target count mismatch");
+    SCHED_REQUIRE(lambda > 0.0, "ridge strength must be positive");
 
     const std::size_t d = rows.front().size();
     Matrix gram(d);
     std::vector<double> rhs(d, 0.0);
     for (std::size_t r = 0; r < rows.size(); ++r) {
-        STATSCHED_ASSERT(rows[r].size() == d,
-                         "ragged feature rows");
+        SCHED_REQUIRE(rows[r].size() == d,
+                      "ragged feature rows");
         for (std::size_t i = 0; i < d; ++i) {
             rhs[i] += rows[r][i] * targets[r];
             for (std::size_t j = 0; j <= i; ++j)

@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/descriptive.hh"
 
 namespace statsched
@@ -18,7 +18,7 @@ namespace stats
 MeanExcess::MeanExcess(std::vector<double> sample)
     : sorted_(std::move(sample))
 {
-    STATSCHED_ASSERT(!sorted_.empty(), "mean excess of empty sample");
+    SCHED_REQUIRE(!sorted_.empty(), "mean excess of empty sample");
     std::sort(sorted_.begin(), sorted_.end());
     buildSuffixSums();
 }
@@ -26,9 +26,9 @@ MeanExcess::MeanExcess(std::vector<double> sample)
 MeanExcess
 MeanExcess::fromSorted(std::vector<double> sorted)
 {
-    STATSCHED_ASSERT(!sorted.empty(), "mean excess of empty sample");
-    STATSCHED_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
-                     "fromSorted() requires ascending order");
+    SCHED_REQUIRE(!sorted.empty(), "mean excess of empty sample");
+    SCHED_REQUIRE(std::is_sorted(sorted.begin(), sorted.end()),
+                  "fromSorted() requires ascending order");
     MeanExcess me;
     me.sorted_ = std::move(sorted);
     me.buildSuffixSums();
@@ -74,7 +74,7 @@ MeanExcess::plot() const
 std::vector<std::pair<double, double>>
 MeanExcess::upperPlot(double q) const
 {
-    STATSCHED_ASSERT(q >= 0.0 && q < 1.0, "quantile out of [0,1)");
+    SCHED_REQUIRE(q >= 0.0 && q < 1.0, "quantile out of [0,1)");
     const double cut = quantileSorted(sorted_, q);
     auto full = plot();
     std::vector<std::pair<double, double>> out;

@@ -10,7 +10,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -59,7 +59,7 @@ nelderMeadMinimize(const std::function<double(
                    const std::vector<double> &start,
                    const NelderMeadOptions &options)
 {
-    STATSCHED_ASSERT(!start.empty(), "empty starting point");
+    SCHED_REQUIRE(!start.empty(), "empty starting point");
     const std::size_t n = start.size();
 
     // fminsearch-style initial simplex: perturb each coordinate by

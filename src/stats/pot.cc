@@ -15,6 +15,7 @@
 #include <cmath>
 #include <limits>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "stats/descriptive.hh"
 #include "stats/profile_eval.hh"
@@ -169,10 +170,10 @@ profileLogLikelihoodUpb(double upb_minus_u, const std::vector<double> &ys)
 double
 PotEstimate::tailQuantile(double population_fraction) const
 {
-    STATSCHED_ASSERT(population_fraction > 0.0 &&
-                     population_fraction <= exceedanceRate,
-                     "fraction must be within the fitted tail");
-    STATSCHED_ASSERT(valid, "no valid tail fit");
+    SCHED_REQUIRE(population_fraction > 0.0 &&
+                  population_fraction <= exceedanceRate,
+                  "fraction must be within the fitted tail");
+    SCHED_REQUIRE(valid, "no valid tail fit");
     const double ratio = population_fraction / exceedanceRate;
     return threshold + fit.sigma / fit.xi *
         (std::pow(ratio, -fit.xi) - 1.0);
@@ -273,9 +274,9 @@ PotEstimate
 estimateOptimalPerformance(const std::vector<double> &sample,
                            const PotOptions &options)
 {
-    STATSCHED_ASSERT(options.confidenceLevel > 0.0 &&
-                     options.confidenceLevel < 1.0,
-                     "confidence level out of (0,1)");
+    SCHED_REQUIRE(options.confidenceLevel > 0.0 &&
+                  options.confidenceLevel < 1.0,
+                  "confidence level out of (0,1)");
 
     PotEstimate est;
     est.confidenceLevel = options.confidenceLevel;
@@ -332,8 +333,8 @@ std::vector<std::pair<double, double>>
 profileCurve(const PotEstimate &estimate, const std::vector<double> &ys,
              double lo, double hi, std::size_t points)
 {
-    STATSCHED_ASSERT(points >= 2, "need at least two curve points");
-    STATSCHED_ASSERT(hi > lo, "empty curve range");
+    SCHED_REQUIRE(points >= 2, "need at least two curve points");
+    SCHED_REQUIRE(hi > lo, "empty curve range");
     std::vector<std::pair<double, double>> out;
     out.reserve(points);
     for (std::size_t i = 0; i < points; ++i) {

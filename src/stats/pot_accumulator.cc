@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "base/check.hh"
 #include "base/logging.hh"
 #include "stats/mean_excess.hh"
 
@@ -21,9 +22,9 @@ PotAccumulator::PotAccumulator(const PotOptions &options,
                                bool warmStartFits)
     : options_(options), warmStartFits_(warmStartFits)
 {
-    STATSCHED_ASSERT(options.confidenceLevel > 0.0 &&
-                     options.confidenceLevel < 1.0,
-                     "confidence level out of (0,1)");
+    SCHED_REQUIRE(options.confidenceLevel > 0.0 &&
+                  options.confidenceLevel < 1.0,
+                  "confidence level out of (0,1)");
 }
 
 void
@@ -81,7 +82,7 @@ PotAccumulator::extend(const std::vector<double> &values)
 PotEstimate
 PotAccumulator::estimate()
 {
-    STATSCHED_ASSERT(!sorted_.empty(), "estimate over an empty sample");
+    SCHED_REQUIRE(!sorted_.empty(), "estimate over an empty sample");
 
     PotEstimate est;
     est.confidenceLevel = options_.confidenceLevel;

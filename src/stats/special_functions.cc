@@ -13,7 +13,7 @@
 #include <cmath>
 #include <limits>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 
 namespace statsched
 {
@@ -97,8 +97,8 @@ gammaQContinuedFraction(double a, double x)
 double
 regularizedGammaP(double a, double x)
 {
-    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
-    STATSCHED_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    SCHED_REQUIRE(a > 0.0, "gamma shape must be positive");
+    SCHED_REQUIRE(x >= 0.0, "gamma argument must be non-negative");
     if (x == 0.0)
         return 0.0;
     if (x < a + 1.0)
@@ -109,8 +109,8 @@ regularizedGammaP(double a, double x)
 double
 regularizedGammaQ(double a, double x)
 {
-    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
-    STATSCHED_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    SCHED_REQUIRE(a > 0.0, "gamma shape must be positive");
+    SCHED_REQUIRE(x >= 0.0, "gamma argument must be non-negative");
     if (x == 0.0)
         return 1.0;
     if (x < a + 1.0)
@@ -121,8 +121,8 @@ regularizedGammaQ(double a, double x)
 double
 inverseGammaP(double a, double p)
 {
-    STATSCHED_ASSERT(a > 0.0, "gamma shape must be positive");
-    STATSCHED_ASSERT(p >= 0.0 && p < 1.0, "probability out of [0,1)");
+    SCHED_REQUIRE(a > 0.0, "gamma shape must be positive");
+    SCHED_REQUIRE(p >= 0.0 && p < 1.0, "probability out of [0,1)");
     if (p == 0.0)
         return 0.0;
 
@@ -169,7 +169,7 @@ inverseGammaP(double a, double p)
 double
 chiSquaredCdf(double x, double df)
 {
-    STATSCHED_ASSERT(df > 0.0, "degrees of freedom must be positive");
+    SCHED_REQUIRE(df > 0.0, "degrees of freedom must be positive");
     if (x <= 0.0)
         return 0.0;
     return regularizedGammaP(0.5 * df, 0.5 * x);
@@ -178,7 +178,7 @@ chiSquaredCdf(double x, double df)
 double
 chiSquaredQuantile(double p, double df)
 {
-    STATSCHED_ASSERT(df > 0.0, "degrees of freedom must be positive");
+    SCHED_REQUIRE(df > 0.0, "degrees of freedom must be positive");
     return 2.0 * inverseGammaP(0.5 * df, p);
 }
 
@@ -191,7 +191,7 @@ normalCdf(double x)
 double
 normalQuantile(double p)
 {
-    STATSCHED_ASSERT(p > 0.0 && p < 1.0, "probability out of (0,1)");
+    SCHED_REQUIRE(p > 0.0 && p < 1.0, "probability out of (0,1)");
 
     // Acklam's rational approximation.
     static const double a[] = {

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "base/logging.hh"
+#include "base/check.hh"
 #include "stats/mean_excess.hh"
 
 namespace statsched
@@ -30,8 +30,8 @@ selectionFromCount(const std::vector<double> &sorted, std::size_t count,
                    const MeanExcess &me)
 {
     ThresholdSelection sel;
-    STATSCHED_ASSERT(count >= 1 && count < sorted.size(),
-                     "invalid exceedance count");
+    SCHED_REQUIRE(count >= 1 && count < sorted.size(),
+                  "invalid exceedance count");
     const std::size_t cut = sorted.size() - count;
     sel.threshold = sorted[cut - 1];
     for (std::size_t i = cut; i < sorted.size(); ++i) {
@@ -66,14 +66,14 @@ ThresholdSelection
 selectThresholdFromMeanExcess(const MeanExcess &me,
                               const ThresholdOptions &options)
 {
-    STATSCHED_ASSERT(options.maxExceedanceFraction > 0.0 &&
-                     options.maxExceedanceFraction < 1.0,
-                     "exceedance fraction out of (0,1)");
-    STATSCHED_ASSERT(options.minExceedances >= 5,
-                     "need at least 5 exceedances for a GPD fit");
+    SCHED_REQUIRE(options.maxExceedanceFraction > 0.0 &&
+                  options.maxExceedanceFraction < 1.0,
+                  "exceedance fraction out of (0,1)");
+    SCHED_REQUIRE(options.minExceedances >= 5,
+                  "need at least 5 exceedances for a GPD fit");
     const std::vector<double> &sorted = me.sorted();
-    STATSCHED_ASSERT(sorted.size() >= 2 * options.minExceedances,
-                     "sample too small for threshold selection");
+    SCHED_REQUIRE(sorted.size() >= 2 * options.minExceedances,
+                  "sample too small for threshold selection");
 
     const std::size_t cap = exceedanceCap(sorted.size(), options);
 

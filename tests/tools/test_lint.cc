@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the statsched_lint rule engine.
+ *
+ * Two halves: deliberately-seeded bad snippets must fire exactly the
+ * expected rule ids (so every rule is proven live, not just
+ * documented), and the real source tree must lint clean (so the
+ * rules describe the code that actually ships).
+ *
+ * The snippets are ordinary string literals — the linter strips
+ * literals before matching, so this file itself stays clean under
+ * the tree-wide run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+using statsched::lint::Finding;
+using statsched::lint::lintContent;
+using statsched::lint::lintTree;
+using statsched::lint::ruleCatalogue;
+
+/** @return all rule ids fired on the snippet. */
+std::vector<std::string>
+firedRules(const std::string &path, const std::string &content)
+{
+    std::vector<std::string> rules;
+    for (const Finding &finding : lintContent(path, content))
+        rules.push_back(finding.rule);
+    return rules;
+}
+
+bool
+fired(const std::vector<std::string> &rules, const std::string &id)
+{
+    return std::find(rules.begin(), rules.end(), id) != rules.end();
+}
+
+TEST(Lint, WallclockFiresInDeterministicModule)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "double f() {\n"
+        "    auto t = std::chrono::steady_clock::now();\n"
+        "    return time(nullptr);\n"
+        "}\n";
+    const auto rules = firedRules("src/stats/foo.cc", snippet);
+    EXPECT_TRUE(fired(rules, "statsched-wallclock"));
+    // Two independent wall-clock reads, two findings.
+    EXPECT_EQ(2, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-wallclock")));
+}
+
+TEST(Lint, WallclockAllowedOutsideDeterministicModules)
+{
+    const std::string snippet =
+        "#include \"hw/foo.hh\"\n"
+        "double f() { return time(nullptr); }\n";
+    EXPECT_FALSE(fired(firedRules("src/hw/foo.cc", snippet),
+                       "statsched-wallclock"));
+}
+
+TEST(Lint, AmbientRngFires)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "int f() { std::random_device rd; return rand(); }\n";
+    const auto rules = firedRules("src/core/foo.cc", snippet);
+    EXPECT_TRUE(fired(rules, "statsched-ambient-rng"));
+}
+
+TEST(Lint, UnorderedIterationFires)
+{
+    const std::string snippet =
+        "#include \"sim/foo.hh\"\n"
+        "#include <unordered_map>\n"
+        "double f(const std::unordered_map<int, double> &weights) {\n"
+        "    double sum = 0.0;\n"
+        "    for (const auto &entry : weights)\n"
+        "        sum += entry.second;\n"
+        "    return sum;\n"
+        "}\n";
+    EXPECT_TRUE(fired(firedRules("src/sim/foo.cc", snippet),
+                      "statsched-unordered-iteration"));
+}
+
+TEST(Lint, UnorderedIteratorLoopFires)
+{
+    const std::string snippet =
+        "#include \"num/foo.hh\"\n"
+        "#include <unordered_set>\n"
+        "int f() {\n"
+        "    std::unordered_set<int> seen;\n"
+        "    int n = 0;\n"
+        "    for (auto it = seen.begin(); it != seen.end(); ++it)\n"
+        "        ++n;\n"
+        "    return n;\n"
+        "}\n";
+    EXPECT_TRUE(fired(firedRules("src/num/foo.cc", snippet),
+                      "statsched-unordered-iteration"));
+}
+
+TEST(Lint, UnorderedLookupDoesNotFire)
+{
+    // find()/count()/emplace() are order-independent; only
+    // iteration leaks hash order.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include <unordered_map>\n"
+        "double f(const std::unordered_map<int, double> &cache) {\n"
+        "    const auto it = cache.find(7);\n"
+        "    return it == cache.end() ? 0.0 : it->second;\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.cc", snippet),
+                       "statsched-unordered-iteration"));
+}
+
+TEST(Lint, RawAssertFires)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "#include <cassert>\n"
+        "void f(int n) { assert(n > 0); }\n";
+    const auto rules = firedRules("src/stats/foo.cc", snippet);
+    EXPECT_EQ(2, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-raw-assert")));
+}
+
+TEST(Lint, LegacyStatschedAssertFires)
+{
+    const std::string snippet =
+        "#include \"net/foo.hh\"\n"
+        "void f(int n) { STATSCHED_ASSERT(n > 0, \"positive\"); }\n";
+    EXPECT_TRUE(fired(firedRules("src/net/foo.cc", snippet),
+                      "statsched-raw-assert"));
+}
+
+TEST(Lint, ContractMacrosAreClean)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "#include \"base/check.hh\"\n"
+        "void f(int n) { SCHED_REQUIRE(n > 0, \"positive\"); }\n";
+    EXPECT_TRUE(firedRules("src/stats/foo.cc", snippet).empty());
+}
+
+TEST(Lint, StdoutFiresInLibraryCode)
+{
+    const std::string snippet =
+        "#include \"num/foo.hh\"\n"
+        "#include <cstdio>\n"
+        "void f() { printf(\"hello\\n\"); }\n";
+    EXPECT_TRUE(fired(firedRules("src/num/foo.cc", snippet),
+                      "statsched-stdout"));
+}
+
+TEST(Lint, StderrLoggingIsClean)
+{
+    const std::string snippet =
+        "#include \"num/foo.hh\"\n"
+        "#include <cstdio>\n"
+        "void f() { std::fprintf(stderr, \"warn\\n\"); }\n";
+    EXPECT_FALSE(fired(firedRules("src/num/foo.cc", snippet),
+                       "statsched-stdout"));
+}
+
+TEST(Lint, StdoutAllowedInTools)
+{
+    const std::string snippet =
+        "#include <cstdio>\n"
+        "int main() { printf(\"report\\n\"); }\n";
+    EXPECT_TRUE(firedRules("tools/report.cc", snippet).empty());
+}
+
+TEST(Lint, IncludeGuardMissingFires)
+{
+    const std::string snippet =
+        "#pragma once\n"
+        "int f();\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.hh", snippet),
+                      "statsched-include-guard"));
+}
+
+TEST(Lint, IncludeGuardWrongNameFires)
+{
+    const std::string snippet =
+        "#ifndef FOO_H\n"
+        "#define FOO_H\n"
+        "#endif\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.hh", snippet),
+                      "statsched-include-guard"));
+}
+
+TEST(Lint, CanonicalIncludeGuardIsClean)
+{
+    const std::string snippet =
+        "#ifndef STATSCHED_CORE_FOO_HH\n"
+        "#define STATSCHED_CORE_FOO_HH\n"
+        "int f();\n"
+        "#endif // STATSCHED_CORE_FOO_HH\n";
+    EXPECT_TRUE(firedRules("src/core/foo.hh", snippet).empty());
+}
+
+TEST(Lint, OwnHeaderFirstFires)
+{
+    const std::string snippet =
+        "#include <vector>\n"
+        "#include \"core/foo.hh\"\n"
+        "int f() { return 1; }\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.cc", snippet),
+                      "statsched-include-own-first"));
+}
+
+TEST(Lint, OwnHeaderFirstClean)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include <vector>\n"
+        "int f() { return 1; }\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.cc", snippet),
+                       "statsched-include-own-first"));
+}
+
+TEST(Lint, NolintWithReasonSuppresses)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include <unordered_map>\n"
+        "double f(const std::unordered_map<int, double> &m) {\n"
+        "    double s = 0.0;\n"
+        "    for (const auto &e : m)"
+        " // NOLINT(statsched-unordered-iteration): summed, so"
+        " order-independent\n"
+        "        s += e.second;\n"
+        "    return s;\n"
+        "}\n";
+    const auto rules = firedRules("src/core/foo.cc", snippet);
+    EXPECT_FALSE(fired(rules, "statsched-unordered-iteration"));
+    EXPECT_FALSE(fired(rules, "statsched-nolint-reason"));
+}
+
+TEST(Lint, NolintWithoutReasonIsItselfAFinding)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include <unordered_map>\n"
+        "double f(const std::unordered_map<int, double> &m) {\n"
+        "    double s = 0.0;\n"
+        "    for (const auto &e : m)"
+        " // NOLINT(statsched-unordered-iteration)\n"
+        "        s += e.second;\n"
+        "    return s;\n"
+        "}\n";
+    const auto rules = firedRules("src/core/foo.cc", snippet);
+    EXPECT_FALSE(fired(rules, "statsched-unordered-iteration"));
+    EXPECT_TRUE(fired(rules, "statsched-nolint-reason"));
+}
+
+TEST(Lint, NolintOnlySuppressesTheNamedRule)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "int f() { return rand(); }"
+        " // NOLINT(statsched-wallclock): wrong rule named\n";
+    EXPECT_TRUE(fired(firedRules("src/stats/foo.cc", snippet),
+                      "statsched-ambient-rng"));
+}
+
+TEST(Lint, CommentsAndStringsDoNotFire)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "// calling rand() here would break determinism\n"
+        "/* and so would std::cout << time(nullptr); */\n"
+        "const char *kDoc = \"uses rand() and assert()\";\n";
+    EXPECT_TRUE(firedRules("src/stats/foo.cc", snippet).empty());
+}
+
+TEST(Lint, FindingFormatIsMachineReadable)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "int f() { return rand(); }\n";
+    const auto findings = lintContent("src/stats/foo.cc", snippet);
+    ASSERT_EQ(1u, findings.size());
+    EXPECT_EQ(0u, findings[0].format().find(
+                      "src/stats/foo.cc:2: [statsched-ambient-rng]"));
+}
+
+TEST(Lint, CatalogueCoversEveryRuleId)
+{
+    std::vector<std::string> ids;
+    for (const auto &rule : ruleCatalogue())
+        ids.push_back(rule.id);
+    for (const char *expected :
+         {"statsched-wallclock", "statsched-ambient-rng",
+          "statsched-unordered-iteration", "statsched-raw-assert",
+          "statsched-stdout", "statsched-include-guard",
+          "statsched-include-own-first", "statsched-nolint-reason"}) {
+        EXPECT_TRUE(fired(ids, expected)) << expected;
+    }
+}
+
+/**
+ * The real tree must be clean: every convention the linter enforces
+ * is a convention the code actually follows. STATSCHED_SOURCE_DIR is
+ * injected by the build so the test finds the tree from any ctest
+ * working directory.
+ */
+TEST(Lint, SourceTreeIsClean)
+{
+    const auto findings = lintTree(STATSCHED_SOURCE_DIR);
+    for (const Finding &finding : findings)
+        ADD_FAILURE() << finding.format();
+    EXPECT_TRUE(findings.empty());
+}
+
+} // anonymous namespace

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * statsched_lint rule engine implementation.
+ *
+ * Matching is token/regex-level over comment- and string-stripped
+ * lines: precise enough for the repo's own conventions, with no
+ * libclang dependency. Each rule documents what it matches and why
+ * the convention exists; see lint.hh for the catalogue overview.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace statsched
+{
+namespace lint
+{
+
+namespace
+{
+
+/** Rule ids, in catalogue order. */
+const char *const kWallclock = "statsched-wallclock";
+const char *const kAmbientRng = "statsched-ambient-rng";
+const char *const kUnorderedIteration = "statsched-unordered-iteration";
+const char *const kRawAssert = "statsched-raw-assert";
+const char *const kStdout = "statsched-stdout";
+const char *const kIncludeGuard = "statsched-include-guard";
+const char *const kIncludeOwnFirst = "statsched-include-own-first";
+const char *const kNolintReason = "statsched-nolint-reason";
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(),
+                  suffix) == 0;
+}
+
+/** Modules whose code must be a pure function of its seeds. */
+bool
+isDeterministicModule(const std::string &path)
+{
+    return startsWith(path, "src/core/") ||
+        startsWith(path, "src/stats/") ||
+        startsWith(path, "src/sim/") || startsWith(path, "src/num/");
+}
+
+/** Library code: everything under src/. */
+bool
+isLibrary(const std::string &path)
+{
+    return startsWith(path, "src/");
+}
+
+/**
+ * Splits content into lines with comments and string/char literals
+ * blanked out (replaced by spaces, so column positions survive).
+ * Block comments may span lines; the line count is preserved.
+ */
+std::vector<std::string>
+stripCommentsAndStrings(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    bool in_block_comment = false;
+
+    std::istringstream stream(content);
+    while (std::getline(stream, line)) {
+        std::string out(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (in_block_comment) {
+                if (line[i] == '*' && i + 1 < line.size() &&
+                    line[i + 1] == '/') {
+                    in_block_comment = false;
+                    ++i;
+                }
+                continue;
+            }
+            const char c = line[i];
+            if (c == '/' && i + 1 < line.size()) {
+                if (line[i + 1] == '/')
+                    break; // rest of the line is a comment
+                if (line[i + 1] == '*') {
+                    in_block_comment = true;
+                    ++i;
+                    continue;
+                }
+            }
+            if (c == '"' || c == '\'') {
+                const char quote = c;
+                out[i] = quote;
+                ++i;
+                while (i < line.size()) {
+                    if (line[i] == '\\') {
+                        ++i;
+                    } else if (line[i] == quote) {
+                        out[i] = quote;
+                        break;
+                    }
+                    ++i;
+                }
+                continue;
+            }
+            out[i] = c;
+        }
+        lines.push_back(std::move(out));
+    }
+    return lines;
+}
+
+/** Raw (unstripped) lines, for NOLINT directive parsing. */
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream stream(content);
+    while (std::getline(stream, line))
+        lines.push_back(std::move(line));
+    return lines;
+}
+
+/**
+ * Per-line suppression state parsed from NOLINT directives.
+ */
+struct Suppression
+{
+    std::set<std::string> rules; //!< suppressed rule ids on this line
+    bool missingReason = false;  //!< directive present, reason absent
+};
+
+Suppression
+parseNolint(const std::string &raw_line)
+{
+    Suppression sup;
+    static const std::regex directive(
+        R"(//\s*NOLINT\(([^)]*)\)(.*))");
+    std::smatch m;
+    if (!std::regex_search(raw_line, m, directive))
+        return sup;
+
+    std::string rule;
+    std::istringstream rules(m[1].str());
+    while (std::getline(rules, rule, ',')) {
+        rule.erase(0, rule.find_first_not_of(" \t"));
+        rule.erase(rule.find_last_not_of(" \t") + 1);
+        if (!rule.empty())
+            sup.rules.insert(rule);
+    }
+
+    // The reason is mandatory: "): <non-empty text>".
+    static const std::regex reason(R"(^\s*:\s*\S)");
+    if (!std::regex_search(m[2].str(), reason))
+        sup.missingReason = true;
+    return sup;
+}
+
+/** Collects names of variables declared as unordered containers. */
+std::vector<std::string>
+unorderedContainerNames(const std::vector<std::string> &stripped)
+{
+    std::vector<std::string> names;
+    for (const std::string &line : stripped) {
+        std::size_t pos = 0;
+        while (true) {
+            const std::size_t map_pos =
+                line.find("unordered_map<", pos);
+            const std::size_t set_pos =
+                line.find("unordered_set<", pos);
+            std::size_t at = std::min(map_pos, set_pos);
+            if (at == std::string::npos)
+                break;
+            // Walk past the template argument list, balancing <>.
+            std::size_t i = line.find('<', at);
+            int depth = 0;
+            for (; i < line.size(); ++i) {
+                if (line[i] == '<')
+                    ++depth;
+                else if (line[i] == '>' && --depth == 0)
+                    break;
+            }
+            pos = at + 1;
+            if (i >= line.size())
+                continue; // declaration spans lines; next line's
+                          // name capture will not match — rare, and
+                          // the iteration regex still needs the name
+            ++i;
+            while (i < line.size() &&
+                   (std::isspace(static_cast<unsigned char>(
+                        line[i])) ||
+                    line[i] == '&'))
+                ++i;
+            std::size_t name_begin = i;
+            while (i < line.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        line[i])) ||
+                    line[i] == '_'))
+                ++i;
+            if (i > name_begin)
+                names.push_back(
+                    line.substr(name_begin, i - name_begin));
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()),
+                names.end());
+    return names;
+}
+
+/** @return the canonical include guard for a header path
+ *  ("src/base/check.hh" -> "STATSCHED_BASE_CHECK_HH"). */
+std::string
+canonicalGuard(std::string path)
+{
+    if (startsWith(path, "src/"))
+        path = path.substr(4);
+    std::string guard = "STATSCHED_";
+    for (const char c : path) {
+        guard += std::isalnum(static_cast<unsigned char>(c))
+            ? static_cast<char>(
+                  std::toupper(static_cast<unsigned char>(c)))
+            : '_';
+    }
+    return guard;
+}
+
+/** Rules that match single stripped lines with a regex. */
+struct LineRule
+{
+    const char *id;
+    std::regex pattern;
+    const char *message;
+    bool deterministicOnly; //!< false: applies to all of src/
+};
+
+const std::vector<LineRule> &
+lineRules()
+{
+    static const std::vector<LineRule> rules = [] {
+        std::vector<LineRule> r;
+        r.push_back(
+            {kWallclock,
+             std::regex(
+                 R"((\bchrono::(steady_clock|system_clock|high_resolution_clock)\b)|(\b(steady_clock|system_clock|high_resolution_clock)::now\s*\()|(\btime\s*\(\s*(NULL|nullptr|0)?\s*\))|(\bgettimeofday\b)|(\bclock_gettime\b)|(\bclock\s*\(\s*\)))"),
+             "wall-clock read in a deterministic module; measurements "
+             "must be pure functions of their seeds",
+             true});
+        r.push_back(
+            {kAmbientRng,
+             std::regex(
+                 R"((\brand\s*\(\s*\))|(\bsrand\s*\()|(\brandom_device\b)|(\bdrand48\s*\()|(\brandom\s*\(\s*\)))"),
+             "ambient randomness in a deterministic module; draw from "
+             "an explicitly seeded stats::Rng",
+             true});
+        r.push_back(
+            {kRawAssert,
+             std::regex(
+                 R"((\bassert\s*\()|(\bSTATSCHED_ASSERT\s*\()|(#\s*include\s*<cassert>)|(#\s*include\s*<assert\.h>))"),
+             "raw assert in library code; use the base/check.hh "
+             "contracts (SCHED_REQUIRE/SCHED_ENSURE/SCHED_INVARIANT)",
+             false});
+        r.push_back(
+            {kStdout,
+             std::regex(
+                 R"((\bstd::cout\b)|(\bprintf\s*\()|(\bputs\s*\())"),
+             "stdout write in library code; report through return "
+             "values or stderr logging (base/logging.hh)",
+             false});
+        return r;
+    }();
+    return rules;
+}
+
+void
+applyLineRules(const std::string &path,
+               const std::vector<std::string> &stripped,
+               const std::vector<std::string> &raw,
+               std::vector<Finding> &findings)
+{
+    const bool deterministic = isDeterministicModule(path);
+    const bool library = isLibrary(path);
+    if (!library)
+        return;
+
+    // Iteration over unordered containers is only detectable with
+    // the declared names in hand.
+    std::regex iteration_pattern;
+    bool have_names = false;
+    if (deterministic) {
+        const std::vector<std::string> names =
+            unorderedContainerNames(stripped);
+        if (!names.empty()) {
+            std::string alternation;
+            for (const std::string &name : names) {
+                if (!alternation.empty())
+                    alternation += '|';
+                alternation += name;
+            }
+            iteration_pattern = std::regex(
+                "(for\\s*\\([^;)]*:\\s*(this->)?(" + alternation +
+                ")\\s*\\))|(\\b(" + alternation +
+                ")\\s*\\.\\s*(begin|cbegin|rbegin)\\s*\\()");
+            have_names = true;
+        }
+    }
+
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const Suppression sup = parseNolint(raw[i]);
+        if (sup.missingReason) {
+            findings.push_back(
+                {path, i + 1, kNolintReason,
+                 "NOLINT suppression without a reason; write "
+                 "NOLINT(statsched-<rule>): <why this is safe>"});
+        }
+        for (const LineRule &rule : lineRules()) {
+            if (rule.deterministicOnly && !deterministic)
+                continue;
+            if (sup.rules.count(rule.id) != 0)
+                continue;
+            if (std::regex_search(stripped[i], rule.pattern))
+                findings.push_back(
+                    {path, i + 1, rule.id, rule.message});
+        }
+        if (have_names &&
+            sup.rules.count(kUnorderedIteration) == 0 &&
+            std::regex_search(stripped[i], iteration_pattern)) {
+            findings.push_back(
+                {path, i + 1, kUnorderedIteration,
+                 "iteration over an unordered container in a "
+                 "deterministic module; hash order is not part of "
+                 "the determinism contract"});
+        }
+    }
+}
+
+void
+applyHeaderGuardRule(const std::string &path,
+                     const std::vector<std::string> &stripped,
+                     const std::vector<std::string> &raw,
+                     std::vector<Finding> &findings)
+{
+    if (!endsWith(path, ".hh"))
+        return;
+
+    const std::string guard = canonicalGuard(path);
+    std::size_t ifndef_line = 0;
+    bool has_ifndef = false;
+    bool has_define = false;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        const std::string &line = stripped[i];
+        if (!has_ifndef &&
+            line.find("#ifndef " + guard) != std::string::npos) {
+            has_ifndef = true;
+            ifndef_line = i;
+        }
+        if (line.find("#define " + guard) != std::string::npos)
+            has_define = true;
+    }
+    if (!has_ifndef || !has_define) {
+        if (!parseNolint(raw.empty() ? std::string() : raw[0])
+                 .rules.count(kIncludeGuard)) {
+            findings.push_back(
+                {path, has_ifndef ? ifndef_line + 1 : 1,
+                 kIncludeGuard,
+                 "missing or non-canonical include guard; expected "
+                 "#ifndef/#define " +
+                     guard});
+        }
+    }
+}
+
+void
+applyOwnHeaderFirstRule(const std::string &path,
+                        const std::vector<std::string> &raw,
+                        std::vector<Finding> &findings)
+{
+    if (!endsWith(path, ".cc") || !isLibrary(path))
+        return;
+
+    // src/core/foo.cc must include "core/foo.hh" before any other
+    // include, so every public header is proven self-contained.
+    std::string expected = path.substr(4);
+    expected = expected.substr(0, expected.size() - 3) + ".hh";
+
+    // Matched against the raw lines: include paths are string-like
+    // tokens, which the stripped view blanks out.
+    static const std::regex include_pattern(
+        "^\\s*#\\s*include\\s*[\"<]([^\">]+)[\">]");
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(raw[i], m, include_pattern))
+            continue;
+        if (m[1].str() != expected &&
+            parseNolint(raw[i]).rules.count(kIncludeOwnFirst) == 0) {
+            findings.push_back(
+                {path, i + 1, kIncludeOwnFirst,
+                 "first include must be this file's own header \"" +
+                     expected + "\""});
+        }
+        return; // only the first include matters
+    }
+}
+
+} // anonymous namespace
+
+std::string
+Finding::format() const
+{
+    return file + ":" + std::to_string(line) + ": [" + rule + "] " +
+        message;
+}
+
+const std::vector<RuleInfo> &
+ruleCatalogue()
+{
+    static const std::vector<RuleInfo> catalogue = {
+        {kWallclock,
+         "deterministic modules (src/core, src/stats, src/sim, "
+         "src/num) must not read wall clocks; replicated runs must "
+         "be bit-identical"},
+        {kAmbientRng,
+         "deterministic modules must draw randomness only from "
+         "explicitly seeded stats::Rng streams"},
+        {kUnorderedIteration,
+         "deterministic modules must not iterate unordered "
+         "containers; hash order varies across libraries and runs"},
+        {kRawAssert,
+         "library code reports invariant violations through "
+         "base/check.hh contracts, not process-aborting asserts"},
+        {kStdout,
+         "library code must not write to stdout; drivers own the "
+         "output stream"},
+        {kIncludeGuard,
+         "headers carry canonical STATSCHED_<PATH>_HH include "
+         "guards"},
+        {kIncludeOwnFirst,
+         "a .cc file includes its own header first, proving the "
+         "header self-contained"},
+        {kNolintReason,
+         "every NOLINT suppression names its rule and justifies "
+         "itself with a reason"},
+    };
+    return catalogue;
+}
+
+std::vector<Finding>
+lintContent(const std::string &path, const std::string &content)
+{
+    std::vector<Finding> findings;
+    const std::vector<std::string> raw = splitLines(content);
+    const std::vector<std::string> stripped =
+        stripCommentsAndStrings(content);
+
+    applyLineRules(path, stripped, raw, findings);
+    applyHeaderGuardRule(path, stripped, raw, findings);
+    applyOwnHeaderFirstRule(path, raw, findings);
+    return findings;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+
+    std::vector<std::string> files;
+    for (const char *dir :
+         {"src", "tools", "bench", "tests", "examples"}) {
+        const fs::path base = fs::path(root) / dir;
+        if (!fs::exists(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp")
+                continue;
+            files.push_back(
+                fs::relative(entry.path(), root).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> findings;
+    for (const std::string &file : files) {
+        std::ifstream in(fs::path(root) / file);
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::vector<Finding> file_findings =
+            lintContent(file, content.str());
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+    }
+    return findings;
+}
+
+} // namespace lint
+} // namespace statsched

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * statsched_lint — repo-specific static analysis for the statsched
+ * tree.
+ *
+ * The statistical method is only as trustworthy as the determinism of
+ * its measurement stack: ParallelEngine batches, fault injection and
+ * bootstrap replicates are all specified to be bit-identical across
+ * thread counts, which no general-purpose linter can check for us.
+ * This tool enforces the repo-specific rules mechanically, at the
+ * token/regex level (no libclang dependency), so CI can prove the
+ * conventions instead of trusting them:
+ *
+ *   statsched-wallclock            no wall-clock reads in
+ *                                  deterministic modules
+ *   statsched-ambient-rng          no ambient randomness (rand(),
+ *                                  random_device) in deterministic
+ *                                  modules
+ *   statsched-unordered-iteration  no iteration over unordered
+ *                                  containers in deterministic
+ *                                  modules
+ *   statsched-raw-assert           no raw assert()/STATSCHED_ASSERT
+ *                                  in library code (use base/check.hh
+ *                                  contracts)
+ *   statsched-stdout               no std::cout/printf in library
+ *                                  code (stderr logging only)
+ *   statsched-include-guard        canonical STATSCHED_* include
+ *                                  guards in headers
+ *   statsched-include-own-first    a .cc file includes its own header
+ *                                  first
+ *   statsched-nolint-reason        every NOLINT suppression carries a
+ *                                  reason
+ *
+ * Suppression syntax, on the offending line:
+ *
+ *   ... // NOLINT(statsched-<rule>): <reason>
+ *
+ * The reason is mandatory; a bare NOLINT(statsched-...) is itself a
+ * finding. Findings print as "file:line: [rule-id] message" so both
+ * humans and CI annotations can consume them.
+ */
+
+#ifndef STATSCHED_TOOLS_LINT_LINT_HH
+#define STATSCHED_TOOLS_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace lint
+{
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file;    //!< path as given to the linter
+    std::size_t line;    //!< 1-based line number
+    std::string rule;    //!< rule id ("statsched-wallclock", ...)
+    std::string message; //!< human-readable explanation
+
+    /** @return "file:line: [rule] message" (machine-readable). */
+    std::string format() const;
+};
+
+/** One entry of the rule catalogue (for --list-rules and docs). */
+struct RuleInfo
+{
+    std::string id;
+    std::string rationale;
+};
+
+/** @return the catalogue of every rule this linter enforces. */
+const std::vector<RuleInfo> &ruleCatalogue();
+
+/**
+ * Lints one in-memory file.
+ *
+ * @param path    Repo-relative path; selects which rules apply
+ *                (deterministic-module rules fire only under
+ *                src/core, src/stats, src/sim and src/num; library
+ *                rules under src/).
+ * @param content Full file content.
+ * @return all unsuppressed findings, in line order.
+ */
+std::vector<Finding> lintContent(const std::string &path,
+                                 const std::string &content);
+
+/**
+ * Lints every .cc/.hh file under root's src/, tools/, bench/, tests/
+ * and examples/ directories (build trees are never scanned).
+ *
+ * @param root Repository root.
+ * @return all findings, sorted by path then line.
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+} // namespace lint
+} // namespace statsched
+
+#endif // STATSCHED_TOOLS_LINT_LINT_HH

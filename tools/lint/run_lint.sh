@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds (if needed) and runs statsched_lint over the repository,
+# exactly as the `lint` ctest and the CI lint job do:
+#
+#   tools/lint/run_lint.sh [build-dir]
+#
+# The build directory defaults to ./build. Exit status 0 means the
+# tree is clean; 1 means findings were reported.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target statsched_lint
+
+exec "$build_dir/tools/lint/statsched_lint" --root "$repo_root"
