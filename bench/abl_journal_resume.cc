@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Ablation A12: cost of crash safety. Sweeps campaign length and
+ * measures (a) the journal's size on disk — the write-ahead log is
+ * the only durability overhead an uninterrupted campaign pays besides
+ * the per-batch fsync — and (b) the wall-clock cost of resuming after
+ * a mid-campaign kill, split into journal replay (fast-forwarding
+ * the engine stack through recorded outcomes) versus measuring the
+ * remainder fresh. Each resume is verified bit-identical to the
+ * uninterrupted run: a resumed campaign that disagreed with the run
+ * it continues would be worse than no resume at all.
+ *
+ * Accepts `--quick` to shrink the sweep for the CI smoke run.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/campaign.hh"
+#include "core/fault_injection.hh"
+#include "core/parallel_engine.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+using core::CampaignOptions;
+using core::CampaignResult;
+using core::Topology;
+
+/** The substrate below the journal: Parallel(Fault(Sim)). */
+struct Substrate
+{
+    sim::SimulatedEngine sim;
+    core::FaultInjectingEngine faulty;
+    core::ParallelEngine parallel;
+
+    Substrate()
+        : sim(sim::makeWorkload(sim::Benchmark::IpfwdL1, 8)),
+          faulty(sim, faults()), parallel(faulty, 4)
+    {
+    }
+
+    static core::FaultOptions
+    faults()
+    {
+        core::FaultOptions f;
+        f.transientRate = 0.05;
+        return f;
+    }
+};
+
+CampaignOptions
+campaignOptions(std::size_t maxSample, const std::string &journal)
+{
+    CampaignOptions options;
+    options.iterative.initialSample = 200;
+    options.iterative.incrementSample = 100;
+    options.iterative.acceptableLoss = 0.0001; // run to the cap
+    options.iterative.maxSample = maxSample;
+    options.journalPath = journal;
+    options.configHash = 0xa12;
+    options.resilient = true;
+    options.memoize = true;
+    return options;
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    bench::banner("Ablation A12",
+                  "journal size and resume overhead vs campaign "
+                  "length, kill at ~60% of the journal");
+
+    const Topology t2 = Topology::ultraSparcT2();
+    const std::string dir =
+        std::filesystem::temp_directory_path().string();
+    const std::string fullPath = dir + "/statsched_a12_full.journal";
+    const std::string tornPath = dir + "/statsched_a12_torn.journal";
+
+    std::printf("%-8s %9s %9s %8s %9s %9s %9s %8s\n", "samples",
+                "journal", "bytes/m", "fresh", "resume", "replayed",
+                "fresh-m", "match");
+    std::printf("%-8s %9s %9s %8s %9s %9s %9s %8s\n", "", "(KiB)",
+                "", "(ms)", "(ms)", "", "", "");
+
+    std::vector<std::size_t> sweep = quick
+        ? std::vector<std::size_t>{400, 800}
+        : std::vector<std::size_t>{500, 1000, 2000, 4000, 8000};
+    bool allMatch = true;
+    for (const std::size_t maxSample : sweep) {
+        // Uninterrupted journaled run: the durability baseline.
+        const auto freshStart = std::chrono::steady_clock::now();
+        Substrate fresh;
+        const CampaignResult baseline = core::runCampaign(
+            fresh.parallel, t2, 24, 5,
+            campaignOptions(maxSample, fullPath));
+        const double freshMs = millisSince(freshStart);
+        if (!baseline.ran) {
+            std::fprintf(stderr, "baseline failed: %s\n",
+                         baseline.journalError.c_str());
+            return 1;
+        }
+        const auto journalBytes = static_cast<std::uint64_t>(
+            std::filesystem::file_size(fullPath));
+
+        // Kill at ~60%: truncate the journal mid-record and resume.
+        std::filesystem::copy_file(
+            fullPath, tornPath,
+            std::filesystem::copy_options::overwrite_existing);
+        std::filesystem::resize_file(tornPath,
+                                     journalBytes * 6 / 10);
+        const auto resumeStart = std::chrono::steady_clock::now();
+        Substrate continuation;
+        CampaignOptions resumeOptions =
+            campaignOptions(maxSample, tornPath);
+        resumeOptions.resume = true;
+        const CampaignResult resumed = core::runCampaign(
+            continuation.parallel, t2, 24, 5, resumeOptions);
+        const double resumeMs = millisSince(resumeStart);
+
+        const bool match = resumed.ran &&
+            resumed.journalError.empty() &&
+            resumed.search.final.pot.upb ==
+                baseline.search.final.pot.upb &&
+            resumed.search.final.bestObserved ==
+                baseline.search.final.bestObserved &&
+            resumed.search.totalSampled ==
+                baseline.search.totalSampled;
+        allMatch = allMatch && match;
+
+        std::printf(
+            "%-8zu %9.1f %9.1f %8.1f %9.1f %9llu %9llu %8s\n",
+            maxSample, journalBytes / 1024.0,
+            static_cast<double>(journalBytes) /
+                static_cast<double>(baseline.recordedMeasurements),
+            freshMs, resumeMs,
+            static_cast<unsigned long long>(
+                resumed.replayedMeasurements),
+            static_cast<unsigned long long>(
+                resumed.recordedMeasurements),
+            match ? "yes" : "NO");
+    }
+
+    std::filesystem::remove(fullPath);
+    std::filesystem::remove(tornPath);
+
+    if (!allMatch) {
+        std::fprintf(stderr, "\nFAIL: a resumed campaign diverged "
+                             "from its uninterrupted baseline\n");
+        return 1;
+    }
+    std::printf("\nevery resume was bit-identical to its "
+                "uninterrupted baseline\n");
+    return 0;
+}

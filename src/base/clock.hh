@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Injectable time source.
+ *
+ * The deterministic modules (src/core, src/stats, src/sim, src/num)
+ * must be pure functions of their seeds — the project lint forbids
+ * direct wall-clock reads there, because replicated runs must be
+ * bit-identical. Yet a production campaign needs wall-clock deadlines
+ * ("stop after two hours of testbed time"). Clock reconciles the two:
+ * core code receives time through this interface, the CLI injects
+ * SteadyClock (the only place outside src/hw that reads a real
+ * clock), and tests inject ManualClock to script time deterministically.
+ *
+ * The lint rule `statsched-wallclock` enforces that this header (and
+ * src/hw, which owns real measurement timing) are the only sanctioned
+ * time sources; see tools/lint.
+ */
+
+#ifndef STATSCHED_BASE_CLOCK_HH
+#define STATSCHED_BASE_CLOCK_HH
+
+#include <chrono>
+
+namespace statsched
+{
+namespace base
+{
+
+/**
+ * Monotonic time source, in seconds from an arbitrary origin.
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** @return monotonic seconds; only differences are meaningful. */
+    virtual double nowSeconds() = 0;
+};
+
+/**
+ * Real monotonic clock (std::chrono::steady_clock). Inject into
+ * production campaigns; never construct one inside src/core.
+ */
+class SteadyClock : public Clock
+{
+  public:
+    double
+    nowSeconds() override
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+};
+
+/**
+ * Scriptable clock for tests: time moves only when advance() is
+ * called, so deadline logic is exercised deterministically.
+ */
+class ManualClock : public Clock
+{
+  public:
+    /** @param start Initial reading in seconds. */
+    explicit ManualClock(double start = 0.0) : now_(start) {}
+
+    double nowSeconds() override { return now_; }
+
+    /** Moves time forward by `seconds` (must be >= 0). */
+    void advance(double seconds) { now_ += seconds; }
+
+    /** Jumps to an absolute reading. */
+    void set(double seconds) { now_ = seconds; }
+
+  private:
+    double now_;
+};
+
+} // namespace base
+} // namespace statsched
+
+#endif // STATSCHED_BASE_CLOCK_HH

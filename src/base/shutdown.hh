@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Process-wide graceful-shutdown flag.
+ *
+ * A production campaign must survive operator interruption: SIGINT /
+ * SIGTERM set a flag, in-flight measurement batches drain, and the
+ * campaign runner emits a final checkpoint and a partial report
+ * instead of dying mid-write. The flag lives here, in src/base,
+ * because signal disposition is process state: core code never reads
+ * it directly — the campaign runner receives it as an injected
+ * `stopRequested` callback (see core/campaign.hh), so tests can
+ * script interruption deterministically without touching signals.
+ */
+
+#ifndef STATSCHED_BASE_SHUTDOWN_HH
+#define STATSCHED_BASE_SHUTDOWN_HH
+
+#include <csignal>
+
+namespace statsched
+{
+namespace base
+{
+
+namespace detail
+{
+/** The only state a signal handler may touch. */
+inline volatile std::sig_atomic_t g_shutdownRequested = 0;
+
+extern "C" inline void
+shutdownSignalHandler(int)
+{
+    g_shutdownRequested = 1;
+}
+} // namespace detail
+
+/** @return true once a shutdown was requested (signal or manual). */
+inline bool
+shutdownRequested()
+{
+    return detail::g_shutdownRequested != 0;
+}
+
+/** Requests a shutdown programmatically (tests, embedders). */
+inline void
+requestShutdown()
+{
+    detail::g_shutdownRequested = 1;
+}
+
+/** Clears the flag (tests re-using one process). */
+inline void
+resetShutdown()
+{
+    detail::g_shutdownRequested = 0;
+}
+
+/**
+ * Routes SIGINT and SIGTERM to the shutdown flag. Call once from the
+ * driver before starting a campaign; the second signal of the same
+ * kind falls back to the default disposition is NOT installed — the
+ * handler stays armed, so a stuck drain still requires SIGKILL.
+ */
+inline void
+installShutdownHandlers()
+{
+    std::signal(SIGINT, detail::shutdownSignalHandler);
+    std::signal(SIGTERM, detail::shutdownSignalHandler);
+}
+
+} // namespace base
+} // namespace statsched
+
+#endif // STATSCHED_BASE_SHUTDOWN_HH

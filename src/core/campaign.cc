@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Campaign runtime implementation.
+ */
+
+#include "core/campaign.hh"
+
+#include <optional>
+#include <utility>
+
+#include "base/check.hh"
+#include "base/clock.hh"
+#include "core/memoizing_engine.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+CampaignResult
+runCampaign(PerformanceEngine &engine, const Topology &topology,
+            std::uint32_t tasks, std::uint64_t seed,
+            const CampaignOptions &options)
+{
+    SCHED_REQUIRE(options.deadlineSeconds <= 0.0 ||
+                  options.clock != nullptr,
+                  "a wall-clock deadline requires an injected clock");
+    SCHED_REQUIRE(!options.resume || !options.journalPath.empty(),
+                  "resume requires a journal path");
+
+    CampaignResult result;
+    const JournalHeader header = JournalHeader::forCampaign(
+        topology, tasks, seed, options.configHash);
+
+    // Journal layer. On resume the recovered identity header must
+    // match this campaign exactly: replaying outcomes of a different
+    // seed, shape or engine configuration would not crash — it would
+    // silently produce statistics of a run that never happened.
+    std::optional<JournalingEngine> journaling;
+    if (!options.journalPath.empty()) {
+        if (options.resume) {
+            JournalRecovery recovery =
+                recoverJournal(options.journalPath);
+            if (!recovery.headerValid) {
+                result.journalError =
+                    "cannot resume: " + recovery.error;
+                return result;
+            }
+            if (!(recovery.header == header)) {
+                result.journalError =
+                    "cannot resume: journal identity (seed, "
+                    "topology, tasks or configuration hash) does "
+                    "not match this campaign";
+                return result;
+            }
+            result.resumed = true;
+            result.journalTruncatedBytes = recovery.truncatedBytes;
+            journaling.emplace(
+                engine, MeasurementJournal(options.journalPath,
+                                           recovery.validBytes));
+            journaling->queueReplay(std::move(recovery.batches));
+        } else {
+            journaling.emplace(
+                engine,
+                MeasurementJournal(options.journalPath, header));
+        }
+    }
+
+    // Upper decorators, in the sanctioned order (see
+    // performance_engine.hh): Metered(Memoizing(Resilient(journal))).
+    PerformanceEngine *stack =
+        journaling ? static_cast<PerformanceEngine *>(&*journaling)
+                   : &engine;
+    std::optional<ResilientEngine> resilient;
+    if (options.resilient) {
+        resilient.emplace(*stack, options.resilience);
+        stack = &*resilient;
+    }
+    std::optional<MemoizingEngine> memoizing;
+    if (options.memoize) {
+        memoizing.emplace(*stack);
+        stack = &*memoizing;
+    }
+    MeteredEngine metered(*stack);
+
+    const double startSeconds =
+        options.clock != nullptr ? options.clock->nowSeconds() : 0.0;
+
+    IterativeOptions iterative = options.iterative;
+    iterative.stopCheck =
+        [&](std::size_t round) -> IterativeStop {
+        if (journaling)
+            journaling->setRound(static_cast<std::uint32_t>(round));
+        if (options.stopRequested && options.stopRequested())
+            return {AbortKind::Interrupted,
+                    "shutdown requested; sampled state checkpointed"};
+        if (options.deadlineSeconds > 0.0) {
+            const double elapsed =
+                options.clock->nowSeconds() - startSeconds;
+            if (elapsed >= options.deadlineSeconds)
+                return {AbortKind::DeadlineExceeded,
+                        "wall-clock deadline of " +
+                            std::to_string(options.deadlineSeconds) +
+                            " s exceeded"};
+        }
+        if (options.maxMeasurements > 0 &&
+            metered.stats().measurements >= options.maxMeasurements)
+            return {AbortKind::BudgetExhausted,
+                    "measurement budget of " +
+                        std::to_string(options.maxMeasurements) +
+                        " exhausted"};
+        if (options.maxRounds > 0 && round >= options.maxRounds)
+            return {AbortKind::RoundLimit,
+                    "round budget of " +
+                        std::to_string(options.maxRounds) +
+                        " exhausted"};
+        return {};
+    };
+
+    result.search = iterativeAssignmentSearch(metered, topology,
+                                              tasks, seed, iterative);
+    result.ran = true;
+    result.engineStats = metered.stats();
+
+    if (journaling) {
+        result.replayedMeasurements =
+            journaling->replayedMeasurements();
+        result.recordedMeasurements =
+            journaling->recordedMeasurements();
+        if (journaling->mismatch())
+            result.journalError = "journal replay diverged: " +
+                journaling->mismatchDetail();
+
+        // Final checkpoint: even an aborted campaign leaves a synced
+        // summary of how far it got, and the Complete/Aborted kind
+        // tells the next resume (and the operator) what happened.
+        JournalCheckpoint checkpoint;
+        checkpoint.kind = result.aborted() ? CheckpointKind::Aborted
+                                           : CheckpointKind::Complete;
+        checkpoint.round =
+            static_cast<std::uint32_t>(result.search.steps.size());
+        checkpoint.attempted = result.search.totalAttempted;
+        checkpoint.sampled = result.search.totalSampled;
+        checkpoint.best = result.search.final.bestObserved;
+        journaling->checkpoint(checkpoint);
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace statsched

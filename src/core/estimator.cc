@@ -5,6 +5,9 @@
 
 #include "core/estimator.hh"
 
+#include "base/check.hh"
+#include "base/logging.hh"
+
 namespace statsched
 {
 namespace core
@@ -63,7 +66,24 @@ OptimalPerformanceEstimator::extend(std::size_t n)
         stats::detail::markPotEstimateInvalid(
             result.pot, "no valid measurements");
     } else {
-        result.pot = accumulator_.estimate();
+        try {
+            result.pot = accumulator_.estimate();
+        } catch (const ContractViolation &violation) {
+            // A contract trip inside the tail machinery (degenerate
+            // exceedance set, pathological fit input) must not kill a
+            // campaign thousands of measurements in. Degrade to the
+            // best-observed fallback and keep sampling; the next
+            // round's larger sample usually regularizes the fit.
+            warn(std::string("estimator: tail estimation failed "
+                                   "(") + violation.what() +
+                       "); degrading to best-observed fallback");
+            result.pot = stats::PotEstimate();
+            result.pot.confidenceLevel = options_.confidenceLevel;
+            result.pot.maxObserved = bestValue_;
+            stats::detail::markPotEstimateDegraded(
+                result.pot, "tail estimation raised a contract "
+                            "violation");
+        }
     }
     result.modeledSeconds = static_cast<double>(attempted_) *
         engine_.secondsPerMeasurement();

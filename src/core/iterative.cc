@@ -32,8 +32,23 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
 
     IterativeResult result;
     std::size_t to_draw = options.initialSample;
+    std::size_t round = 0;
 
-    for (;;) {
+    for (;; ++round) {
+        // External stop conditions (shutdown, deadline, budgets) are
+        // probed at round boundaries only: a round's batches always
+        // drain, so stopping never tears a batch and a journaled run
+        // resumes on a group boundary.
+        if (options.stopCheck) {
+            IterativeStop stop = options.stopCheck(round);
+            if (stop.kind != AbortKind::None) {
+                result.abortKind = stop.kind;
+                result.abortReason = stop.reason.empty()
+                    ? abortKindName(stop.kind) : stop.reason;
+                return result;
+            }
+        }
+
         const std::size_t valid_before = estimator.sampleSize();
         const std::size_t attempted_before = estimator.attempted();
         const std::size_t failed_before = estimator.failedCount();
@@ -95,6 +110,7 @@ iterativeAssignmentSearch(PerformanceEngine &engine,
         if (estimator.sampleSize() == valid_before) {
             // Every attempt in a full round (including top-ups)
             // failed; more rounds would spin against a dead engine.
+            result.abortKind = AbortKind::EngineFailure;
             result.abortReason =
                 "every measurement in a full round failed";
             return result;

@@ -30,6 +30,7 @@
 #define STATSCHED_CORE_ITERATIVE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,45 @@ namespace statsched
 {
 namespace core
 {
+
+/**
+ * Why an iterative run stopped before reaching its loss target.
+ */
+enum class AbortKind : std::uint8_t
+{
+    None = 0,         //!< no abort (converged, or hit the sample cap)
+    EngineFailure,    //!< every measurement in a full round failed
+    Interrupted,      //!< shutdown requested (SIGINT/SIGTERM)
+    DeadlineExceeded, //!< wall-clock deadline passed
+    BudgetExhausted,  //!< measurement budget consumed
+    RoundLimit,       //!< round budget consumed
+};
+
+/** @return a short kebab-case name for reports and exit-code maps. */
+inline const char *
+abortKindName(AbortKind kind)
+{
+    switch (kind) {
+      case AbortKind::None:             return "none";
+      case AbortKind::EngineFailure:    return "engine-failure";
+      case AbortKind::Interrupted:      return "interrupted";
+      case AbortKind::DeadlineExceeded: return "deadline-exceeded";
+      case AbortKind::BudgetExhausted:  return "budget-exhausted";
+      case AbortKind::RoundLimit:       return "round-limit";
+    }
+    return "unknown";
+}
+
+/**
+ * Verdict of an IterativeOptions::stopCheck probe: kind None means
+ * keep going, anything else stops the loop with that abort kind and
+ * human-readable reason.
+ */
+struct IterativeStop
+{
+    AbortKind kind = AbortKind::None;
+    std::string reason;
+};
 
 /**
  * Parameters of the iterative algorithm.
@@ -74,6 +114,17 @@ struct IterativeOptions
     bool topUpFailedMeasurements = true;
     /** Bound on replacement rounds per iteration when topping up. */
     std::size_t maxTopUpRounds = 3;
+    /**
+     * Probed at the top of every round — before the round's
+     * measurements — with the zero-based round index. Returning a
+     * kind other than None stops the loop gracefully: in-flight
+     * batches have drained (rounds are the drain unit), the result
+     * carries the abort kind and reason, and everything sampled so
+     * far is preserved. The campaign runner (core/campaign.hh) hooks
+     * shutdown requests, wall-clock deadlines and budgets in here so
+     * the search loop itself stays free of clocks and signals.
+     */
+    std::function<IterativeStop(std::size_t round)> stopCheck;
 };
 
 /**
@@ -115,6 +166,9 @@ struct IterativeResult
     /** Non-empty when the loop gave up rather than converged, e.g.
      *  "every measurement in a full round failed". */
     std::string abortReason;
+    /** Structured counterpart of abortReason; None when the loop
+     *  converged or ran into its sample cap. */
+    AbortKind abortKind = AbortKind::None;
 };
 
 /**

@@ -122,8 +122,22 @@ void
 markPotEstimateInvalid(PotEstimate &est, const char *reason)
 {
     est.valid = false;
+    est.status = EstimateStatus::Invalid;
     est.invalidReason = reason;
     est.upb = infinity;
+    est.upbLower = est.maxObserved;
+    est.upbUpper = infinity;
+}
+
+void
+markPotEstimateDegraded(PotEstimate &est, const char *reason)
+{
+    est.valid = false;
+    est.status = EstimateStatus::Degraded;
+    est.invalidReason = reason;
+    // Best-observed fallback: the sample maximum is the one bound the
+    // data guarantees without any tail model.
+    est.upb = est.maxObserved;
     est.upbLower = est.maxObserved;
     est.upbUpper = infinity;
 }
@@ -192,6 +206,16 @@ finishPotEstimate(PotEstimate &est, const std::vector<double> &ys,
     // Step 4: UPB point estimate and profile-likelihood CI.
     const double y_max = maximum(ys);
 
+    // A fit that did not converge, or converged to unusable
+    // parameters, cannot support the UPB algebra below: report a
+    // degraded estimate (best-observed fallback) instead of computing
+    // garbage or tripping a contract check mid-campaign.
+    if (!est.fit.converged || !std::isfinite(est.fit.xi) ||
+        !std::isfinite(est.fit.sigma) || est.fit.sigma <= 0.0) {
+        markPotEstimateDegraded(est, "GPD fit did not converge");
+        return;
+    }
+
     if (est.fit.xi >= 0.0) {
         // The performance of a real system is bounded; a non-negative
         // shape means the tail did not look bounded to the estimator.
@@ -202,7 +226,12 @@ finishPotEstimate(PotEstimate &est, const std::vector<double> &ys,
     }
 
     est.upb = est.threshold - est.fit.sigma / est.fit.xi;
+    if (!std::isfinite(est.upb) || est.upb <= est.threshold) {
+        markPotEstimateDegraded(est, "UPB point estimate not finite");
+        return;
+    }
     est.valid = true;
+    est.status = EstimateStatus::Ok;
 
     // Profile maximization over b = UPB - u. The profile consists of a
     // clamped branch near b = y_max (inner xi pinned at -1, where
@@ -228,6 +257,13 @@ finishPotEstimate(PotEstimate &est, const std::vector<double> &ys,
     const double b_hat = goldenSectionMax(profile, b_interior, b_hi,
                                           y_max * goldenTol, 400);
     est.profileMaxLogLik = profile(b_hat);
+    if (!std::isfinite(est.profileMaxLogLik)) {
+        // The bracketing never found a finite profile maximum; the CI
+        // roots below would chase -inf. Keep the run alive instead.
+        markPotEstimateDegraded(
+            est, "profile-likelihood bracketing failed");
+        return;
+    }
 
     // Wilks cut: L*(UPB) >= Lmax - chi2(1-alpha, 1) / 2.
     const double cut = est.profileMaxLogLik -

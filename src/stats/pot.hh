@@ -27,6 +27,7 @@
 #define STATSCHED_STATS_POT_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +52,34 @@ struct PotOptions
 };
 
 /**
+ * Usability grade of a POT estimate.
+ *
+ * The split matters to long campaigns: an Invalid estimate carries no
+ * tail information (keep sampling against an infinite target), while a
+ * Degraded one fell back to the best-observed performance as the UPB
+ * point estimate with the sample maximum as the only lower bound —
+ * usable for reporting, deliberately useless as a stopping target.
+ */
+enum class EstimateStatus : std::uint8_t
+{
+    Ok = 0,   //!< bounded tail, converged fit, trustworthy CI
+    Degraded, //!< fit/CI failed; best-observed + sample-max fallback
+    Invalid,  //!< no tail estimate at all (too few points, xi >= 0...)
+};
+
+/** @return a short lowercase name ("ok", "degraded", "invalid"). */
+inline const char *
+estimateStatusName(EstimateStatus status)
+{
+    switch (status) {
+      case EstimateStatus::Ok:       return "ok";
+      case EstimateStatus::Degraded: return "degraded";
+      case EstimateStatus::Invalid:  return "invalid";
+    }
+    return "unknown";
+}
+
+/**
  * Result of the POT estimation of the optimal performance.
  */
 struct PotEstimate
@@ -68,6 +97,8 @@ struct PotEstimate
     double profileMaxLogLik = 0.0; //!< L(xi-hat, UPB-hat)
     double tailLinearity = 0.0;    //!< mean-excess R^2 above u
     bool valid = false;            //!< xi-hat < 0 and fit converged
+    /** Structured grade of the estimate; valid iff status == Ok. */
+    EstimateStatus status = EstimateStatus::Invalid;
     /** Structured reason when !valid ("sample too small", "tail not
      *  bounded (xi >= 0)", "non-finite sample values", ...); empty
      *  for valid estimates. */
@@ -150,6 +181,20 @@ namespace detail
 void markPotEstimateInvalid(PotEstimate &est,
                             const char *reason = "tail estimate "
                                                  "unusable");
+
+/**
+ * Marks an estimate as degraded: the tail machinery ran but its output
+ * cannot be trusted (non-converged fit, non-finite parameters, failed
+ * CI bracketing). The estimate falls back to the only numbers the raw
+ * sample guarantees — the best observed performance as the UPB point
+ * estimate and lower bound, an unbounded upper bound — so a campaign
+ * can keep reporting and sampling instead of dying on a contract
+ * violation mid-run. maxObserved must already be set.
+ *
+ * @param reason Short structured diagnostic recorded in
+ *               PotEstimate::invalidReason.
+ */
+void markPotEstimateDegraded(PotEstimate &est, const char *reason);
 
 /**
  * Steps 3-4 (GPD fit + profile-likelihood CI) on an already selected

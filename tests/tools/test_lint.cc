@@ -59,12 +59,42 @@ TEST(Lint, WallclockFiresInDeterministicModule)
                             std::string("statsched-wallclock")));
 }
 
-TEST(Lint, WallclockAllowedOutsideDeterministicModules)
+TEST(Lint, WallclockFiresOutsideDeterministicModules)
 {
-    const std::string snippet =
+    // base::Clock is the only sanctioned time source everywhere in
+    // src/ — a direct read in e.g. src/core or src/net would make a
+    // campaign unreplayable even though src/net is not on the
+    // deterministic-module list.
+    const std::string coreSnippet =
+        "#include \"core/foo.hh\"\n"
+        "double f() { return "
+        "std::chrono::steady_clock::now().time_since_epoch().count();"
+        " }\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.cc", coreSnippet),
+                      "statsched-wallclock"));
+    const std::string netSnippet =
+        "#include \"net/foo.hh\"\n"
+        "double f() { return time(nullptr); }\n";
+    EXPECT_TRUE(fired(firedRules("src/net/foo.cc", netSnippet),
+                      "statsched-wallclock"));
+}
+
+TEST(Lint, WallclockAllowedInClockExemptModules)
+{
+    // src/base implements base::Clock itself; src/hw measures real
+    // elapsed time. Both may read wall clocks directly.
+    const std::string hwSnippet =
         "#include \"hw/foo.hh\"\n"
         "double f() { return time(nullptr); }\n";
-    EXPECT_FALSE(fired(firedRules("src/hw/foo.cc", snippet),
+    EXPECT_FALSE(fired(firedRules("src/hw/foo.cc", hwSnippet),
+                       "statsched-wallclock"));
+    const std::string baseSnippet =
+        "#include \"base/foo.hh\"\n"
+        "double f() {\n"
+        "    auto t = std::chrono::steady_clock::now();\n"
+        "    return t.time_since_epoch().count();\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/base/foo.cc", baseSnippet),
                        "statsched-wallclock"));
 }
 

@@ -67,6 +67,19 @@ isLibrary(const std::string &path)
 }
 
 /**
+ * Modules allowed to read wall clocks directly. src/base owns the
+ * base::Clock abstraction itself; src/hw drives real hardware where
+ * elapsed time IS the measurement. Everything else in src/ must go
+ * through an injected base::Clock so runs stay replayable.
+ */
+bool
+isClockExempt(const std::string &path)
+{
+    return startsWith(path, "src/base/") ||
+        startsWith(path, "src/hw/");
+}
+
+/**
  * Splits content into lines with comments and string/char literals
  * blanked out (replaced by spaces, so column positions survive).
  * Block comments may span lines; the line count is preserved.
@@ -238,14 +251,36 @@ canonicalGuard(std::string path)
     return guard;
 }
 
+/** Where a line rule applies within src/. */
+enum class RuleScope
+{
+    Library,       //!< all of src/
+    Deterministic, //!< src/core, src/stats, src/sim, src/num
+    ClockManaged,  //!< src/ minus the clock-exempt modules
+};
+
 /** Rules that match single stripped lines with a regex. */
 struct LineRule
 {
     const char *id;
     std::regex pattern;
     const char *message;
-    bool deterministicOnly; //!< false: applies to all of src/
+    RuleScope scope;
 };
+
+bool
+ruleApplies(RuleScope scope, const std::string &path)
+{
+    switch (scope) {
+    case RuleScope::Library:
+        return true; // applyLineRules already filtered to src/
+    case RuleScope::Deterministic:
+        return isDeterministicModule(path);
+    case RuleScope::ClockManaged:
+        return !isClockExempt(path);
+    }
+    return true;
+}
 
 const std::vector<LineRule> &
 lineRules()
@@ -256,30 +291,30 @@ lineRules()
             {kWallclock,
              std::regex(
                  R"((\bchrono::(steady_clock|system_clock|high_resolution_clock)\b)|(\b(steady_clock|system_clock|high_resolution_clock)::now\s*\()|(\btime\s*\(\s*(NULL|nullptr|0)?\s*\))|(\bgettimeofday\b)|(\bclock_gettime\b)|(\bclock\s*\(\s*\)))"),
-             "wall-clock read in a deterministic module; measurements "
-             "must be pure functions of their seeds",
-             true});
+             "direct wall-clock read; base::Clock is the only "
+             "sanctioned time source outside src/base and src/hw",
+             RuleScope::ClockManaged});
         r.push_back(
             {kAmbientRng,
              std::regex(
                  R"((\brand\s*\(\s*\))|(\bsrand\s*\()|(\brandom_device\b)|(\bdrand48\s*\()|(\brandom\s*\(\s*\)))"),
              "ambient randomness in a deterministic module; draw from "
              "an explicitly seeded stats::Rng",
-             true});
+             RuleScope::Deterministic});
         r.push_back(
             {kRawAssert,
              std::regex(
                  R"((\bassert\s*\()|(\bSTATSCHED_ASSERT\s*\()|(#\s*include\s*<cassert>)|(#\s*include\s*<assert\.h>))"),
              "raw assert in library code; use the base/check.hh "
              "contracts (SCHED_REQUIRE/SCHED_ENSURE/SCHED_INVARIANT)",
-             false});
+             RuleScope::Library});
         r.push_back(
             {kStdout,
              std::regex(
                  R"((\bstd::cout\b)|(\bprintf\s*\()|(\bputs\s*\())"),
              "stdout write in library code; report through return "
              "values or stderr logging (base/logging.hh)",
-             false});
+             RuleScope::Library});
         return r;
     }();
     return rules;
@@ -327,7 +362,7 @@ applyLineRules(const std::string &path,
                  "NOLINT(statsched-<rule>): <why this is safe>"});
         }
         for (const LineRule &rule : lineRules()) {
-            if (rule.deterministicOnly && !deterministic)
+            if (!ruleApplies(rule.scope, path))
                 continue;
             if (sup.rules.count(rule.id) != 0)
                 continue;
@@ -429,9 +464,10 @@ ruleCatalogue()
 {
     static const std::vector<RuleInfo> catalogue = {
         {kWallclock,
-         "deterministic modules (src/core, src/stats, src/sim, "
-         "src/num) must not read wall clocks; replicated runs must "
-         "be bit-identical"},
+         "base::Clock is the only sanctioned time source in src/; "
+         "only src/base (which implements it) and src/hw (where "
+         "elapsed time is the measurement) may read wall clocks "
+         "directly"},
         {kAmbientRng,
          "deterministic modules must draw randomness only from "
          "explicitly seeded stats::Rng streams"},

@@ -22,8 +22,11 @@
 #include <vector>
 
 #include "base/cli.hh"
+#include "base/clock.hh"
+#include "base/shutdown.hh"
 #include "core/assignment_space.hh"
 #include "core/baselines.hh"
+#include "core/campaign.hh"
 #include "core/capture_probability.hh"
 #include "core/enumerator.hh"
 #include "core/estimator.hh"
@@ -156,10 +159,20 @@ struct EngineStack
 
     core::PerformanceEngine &top() { return *metered; }
     const sim::SimulatedEngine &sim() const { return *simulated; }
+
+    /** The below-journal substrate (Parallel(Fault?(Sim))) for
+     *  commands that let core::runCampaign own the upper layers. */
+    core::PerformanceEngine &substrate() { return *parallel; }
 };
 
+/**
+ * @param withUpperLayers false builds only the measurement substrate
+ *        (sim + faults + pool); the campaign runner then adds the
+ *        resilient/memoizing/metered layers itself, above its
+ *        journal.
+ */
 EngineStack
-makeEngineStack(const OptionParser &args)
+makeEngineStack(const OptionParser &args, bool withUpperLayers = true)
 {
     const long instances = positiveOrDie(args, "engine", "instances");
     const long threads = args.getInt("threads");
@@ -203,6 +216,8 @@ makeEngineStack(const OptionParser &args)
     stack.parallel = std::make_unique<core::ParallelEngine>(
         *below, static_cast<unsigned>(threads));
     below = stack.parallel.get();
+    if (!withUpperLayers)
+        return stack;
     if (stack.faulty) {
         core::ResilientOptions resilience;
         resilience.maxAttempts =
@@ -221,36 +236,45 @@ makeEngineStack(const OptionParser &args)
 }
 
 void
-printEngineReport(const EngineStack &stack)
+printEngineStats(std::FILE *out, const EngineStack &stack,
+                 const core::EngineStats &stats, bool memoize)
 {
-    const core::EngineStats stats = stack.metered->stats();
-    std::printf("engine: %u thread(s), memoize %s\n",
-                stack.parallel->threads(),
-                stack.memoizing ? "on" : "off");
-    std::printf("measurements:       %12llu in %llu batches\n",
-                static_cast<unsigned long long>(stats.measurements),
-                static_cast<unsigned long long>(stats.batches));
-    if (stack.memoizing) {
-        std::printf("cache hit rate:     %11.2f%%  "
-                    "(%llu of %llu served from cache)\n",
-                    100.0 * stats.cacheHitRate(),
-                    static_cast<unsigned long long>(stats.cacheHits),
-                    static_cast<unsigned long long>(
-                        stats.cacheHits + stats.cacheMisses));
+    std::fprintf(out, "engine: %u thread(s), memoize %s\n",
+                 stack.parallel->threads(), memoize ? "on" : "off");
+    std::fprintf(out, "measurements:       %12llu in %llu batches\n",
+                 static_cast<unsigned long long>(stats.measurements),
+                 static_cast<unsigned long long>(stats.batches));
+    if (memoize) {
+        std::fprintf(out,
+                     "cache hit rate:     %11.2f%%  "
+                     "(%llu of %llu served from cache)\n",
+                     100.0 * stats.cacheHitRate(),
+                     static_cast<unsigned long long>(stats.cacheHits),
+                     static_cast<unsigned long long>(
+                         stats.cacheHits + stats.cacheMisses));
     }
     if (stack.faulty || stats.failures != 0 || stats.retries != 0 ||
         stats.quarantined != 0) {
-        std::printf("failed attempts:    %12llu  (retried %llu, "
-                    "quarantined %llu)\n",
-                    static_cast<unsigned long long>(stats.failures),
-                    static_cast<unsigned long long>(stats.retries),
-                    static_cast<unsigned long long>(
-                        stats.quarantined));
+        std::fprintf(out,
+                     "failed attempts:    %12llu  (retried %llu, "
+                     "quarantined %llu)\n",
+                     static_cast<unsigned long long>(stats.failures),
+                     static_cast<unsigned long long>(stats.retries),
+                     static_cast<unsigned long long>(
+                         stats.quarantined));
     }
-    std::printf("modeled time:       %11.1f min "
-                "(at %.1f s per real measurement)\n",
-                stats.modeledSeconds / 60.0,
-                stack.sim().secondsPerMeasurement());
+    std::fprintf(out,
+                 "modeled time:       %11.1f min "
+                 "(at %.1f s per real measurement)\n",
+                 stats.modeledSeconds / 60.0,
+                 stack.sim().secondsPerMeasurement());
+}
+
+void
+printEngineReport(const EngineStack &stack)
+{
+    printEngineStats(stdout, stack, stack.metered->stats(),
+                     stack.memoizing != nullptr);
 }
 
 int
@@ -434,6 +458,44 @@ cmdEstimate(int argc, char **argv)
     return 0;
 }
 
+/** FNV-1a of the canonical campaign-configuration string. */
+std::uint64_t
+hashConfigString(const std::string &config)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : config) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Exit-code map of the iterate command (documented in cmdHelp and
+ * README): a campaign that did not deliver its target must not exit
+ * 0, and the distinct codes let scripts distinguish "search gave up"
+ * from "operator/budget stopped it".
+ */
+int
+campaignExitCode(const core::CampaignResult &result)
+{
+    if (!result.ran || !result.journalError.empty())
+        return 2; // unusable/mismatched/diverged journal
+    switch (result.search.abortKind) {
+      case core::AbortKind::None:
+        break;
+      case core::AbortKind::EngineFailure:
+        return 4; // dead engine / everything quarantined
+      case core::AbortKind::Interrupted:
+        return 5; // SIGINT/SIGTERM, checkpointed
+      case core::AbortKind::DeadlineExceeded:
+      case core::AbortKind::BudgetExhausted:
+      case core::AbortKind::RoundLimit:
+        return 6; // budget stop, checkpointed
+    }
+    return result.search.satisfied ? 0 : 3; // 3: hit the sample cap
+}
+
 int
 cmdIterate(int argc, char **argv)
 {
@@ -449,45 +511,145 @@ cmdIterate(int argc, char **argv)
     args.addFlag("cold-fits",
                  "restart every GPD fit from the moment estimate "
                  "(bit-identical to from-scratch estimation)");
+    args.addOption("journal", "",
+                   "crash-safe measurement journal path");
+    args.addFlag("resume",
+                 "resume a campaign from its --journal file");
+    args.addOption("deadline-s", "0",
+                   "wall-clock budget in seconds (0 = none)");
+    args.addOption("max-measurements", "0",
+                   "measurement budget (0 = none)");
+    args.addOption("max-rounds", "0", "round budget (0 = none)");
     parseOrDie(args, "iterate", argc, argv);
 
     const double loss = args.getDouble("loss");
     const core::Topology topo = core::Topology::ultraSparcT2();
 
-    EngineStack stack = makeEngineStack(args);
-    core::IterativeOptions options;
-    options.acceptableLoss = loss / 100.0;
-    options.initialSample = static_cast<std::size_t>(
-        positiveOrDie(args, "iterate", "ninit"));
-    options.incrementSample = static_cast<std::size_t>(
-        positiveOrDie(args, "iterate", "ndelta"));
-    options.maxSample = static_cast<std::size_t>(
-        positiveOrDie(args, "iterate", "max"));
-    options.useUpperConfidenceBound = args.flag("confident");
-    options.warmStartFits = !args.flag("cold-fits");
+    if (args.flag("resume") && args.get("journal").empty()) {
+        std::fprintf(stderr,
+                     "iterate: '--resume' requires '--journal'\n");
+        return 2;
+    }
+    const double deadline = args.getDouble("deadline-s");
+    const long maxMeasurements = args.getInt("max-measurements");
+    const long maxRounds = args.getInt("max-rounds");
+    if (deadline < 0 || maxMeasurements < 0 || maxRounds < 0) {
+        std::fprintf(stderr, "iterate: budgets must be >= 0\n");
+        return 2;
+    }
 
-    const auto run = core::iterativeAssignmentSearch(
-        stack.top(), topo, stack.sim().workload().taskCount(),
-        static_cast<std::uint64_t>(args.getInt("seed")), options);
+    // The campaign runner owns the upper decorators (so its journal
+    // can sit between them and the measurement substrate); the CLI
+    // only builds Parallel(Fault?(Sim)).
+    EngineStack stack =
+        makeEngineStack(args, /*withUpperLayers=*/false);
+
+    core::CampaignOptions campaign;
+    campaign.iterative.acceptableLoss = loss / 100.0;
+    campaign.iterative.initialSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "ninit"));
+    campaign.iterative.incrementSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "ndelta"));
+    campaign.iterative.maxSample = static_cast<std::size_t>(
+        positiveOrDie(args, "iterate", "max"));
+    campaign.iterative.useUpperConfidenceBound =
+        args.flag("confident");
+    campaign.iterative.warmStartFits = !args.flag("cold-fits");
+
+    campaign.journalPath = args.get("journal");
+    campaign.resume = args.flag("resume");
+    campaign.deadlineSeconds = deadline;
+    campaign.maxMeasurements =
+        static_cast<std::uint64_t>(maxMeasurements);
+    campaign.maxRounds = static_cast<std::size_t>(maxRounds);
+    campaign.memoize = !args.flag("no-memoize");
+    campaign.resilient = stack.faulty != nullptr;
+    campaign.resilience.maxAttempts =
+        static_cast<std::uint32_t>(args.getInt("retries")) + 1;
+
+    // Identity hash: everything that steers measurement results or
+    // the search trajectory (threads deliberately excluded — the
+    // results are bit-identical under any thread count; budgets and
+    // deadlines excluded — tightening or dropping them across a
+    // resume is legitimate).
+    campaign.configHash = hashConfigString(
+        args.get("benchmark") + "|" + args.get("instances") + "|" +
+        args.get("fault-rate") + "|" + args.get("fault-garbage") +
+        "|" + args.get("fault-outlier") + "|" +
+        args.get("fault-hang") + "|" + args.get("fault-seed") + "|" +
+        args.get("retries") + "|" + args.get("loss") + "|" +
+        args.get("ninit") + "|" + args.get("ndelta") + "|" +
+        args.get("max") + "|" +
+        (args.flag("confident") ? "c1" : "c0") + "|" +
+        (args.flag("cold-fits") ? "f1" : "f0") + "|" +
+        (args.flag("no-memoize") ? "m0" : "m1"));
+
+    // Wall clock and signals are injected here, at the edge: src/core
+    // stays deterministic (see the statsched-wallclock lint rule).
+    base::SteadyClock clock;
+    campaign.clock = &clock;
+    base::installShutdownHandlers();
+    campaign.stopRequested = [] { return base::shutdownRequested(); };
+
+    const core::CampaignResult result = core::runCampaign(
+        stack.substrate(), topo, stack.sim().workload().taskCount(),
+        static_cast<std::uint64_t>(args.getInt("seed")), campaign);
+
+    if (!result.ran) {
+        std::fprintf(stderr, "iterate: %s\n",
+                     result.journalError.c_str());
+        return campaignExitCode(result);
+    }
+
+    // stdout carries only the deterministic campaign outcome — the
+    // fields that must be bit-identical between an uninterrupted run
+    // and a killed-and-resumed one (the CI journal-resume job diffs
+    // them). Operational detail (engine stats, journal accounting,
+    // abort reasons) goes to stderr.
+    const core::IterativeResult &run = result.search;
     std::printf("target loss %.2f%%: %s after %zu assignments "
                 "(%zu iterations)\n", loss,
                 run.satisfied ? "met" : "NOT met",
                 run.totalSampled, run.steps.size());
-    if (!run.abortReason.empty())
-        std::printf("aborted: %s\n", run.abortReason.c_str());
     if (run.totalFailed != 0) {
         std::printf("failed measurements: %zu of %zu attempted\n",
                     run.totalFailed, run.totalAttempted);
     }
-    std::printf("final: best %.0f PPS, UPB %.0f PPS, loss %.2f%%\n",
-                run.final.bestObserved, run.final.pot.upb,
-                100.0 * run.steps.back().loss);
+    if (!run.steps.empty()) {
+        std::printf("final: best %.0f PPS, UPB %.0f PPS, "
+                    "loss %.2f%%\n",
+                    run.final.bestObserved, run.final.pot.upb,
+                    100.0 * run.steps.back().loss);
+    }
     if (run.final.bestAssignment) {
         std::printf("best assignment:    %s\n",
                     run.final.bestAssignment->toString().c_str());
     }
-    printEngineReport(stack);
-    return 0;
+
+    if (!run.abortReason.empty())
+        std::fprintf(stderr, "aborted (%s): %s\n",
+                     core::abortKindName(run.abortKind),
+                     run.abortReason.c_str());
+    if (!result.journalError.empty())
+        std::fprintf(stderr, "journal: %s\n",
+                     result.journalError.c_str());
+    if (!campaign.journalPath.empty()) {
+        std::fprintf(stderr, "journal: %s%llu replayed, "
+                     "%llu recorded",
+                     result.resumed ? "resumed; " : "",
+                     static_cast<unsigned long long>(
+                         result.replayedMeasurements),
+                     static_cast<unsigned long long>(
+                         result.recordedMeasurements));
+        if (result.journalTruncatedBytes != 0)
+            std::fprintf(stderr, " (%llu bytes of torn tail dropped)",
+                         static_cast<unsigned long long>(
+                             result.journalTruncatedBytes));
+        std::fprintf(stderr, "\n");
+    }
+    printEngineStats(stderr, stack, result.engineStats,
+                     campaign.memoize);
+    return campaignExitCode(result);
 }
 
 int
@@ -510,6 +672,8 @@ cmdHelp()
         "  iterate    --benchmark B [--loss PCT] [--ninit N] "
         "[--ndelta N]\n"
         "             [--max N] [--confident] [--cold-fits]\n"
+        "             [--journal PATH [--resume]] [--deadline-s S]\n"
+        "             [--max-measurements N] [--max-rounds N]\n"
         "  help\n\n"
         "measurement commands also take --threads N (0 = hardware "
         "concurrency)\nand --no-memoize (measure duplicate "
@@ -519,6 +683,15 @@ cmdHelp()
         "measurement faults (seeded by\n--fault-seed); --retries N "
         "bounds the recovery attempts per failed\nmeasurement "
         "(default 3).\n\n"
+        "durability: --journal PATH write-ahead-logs every "
+        "measurement; after a\ncrash, the same command with --resume "
+        "replays the journal and continues\nbit-identically. "
+        "--deadline-s / --max-measurements / --max-rounds stop\nthe "
+        "campaign gracefully at a round boundary with a final "
+        "checkpoint;\nso do SIGINT and SIGTERM.\n\n"
+        "iterate exit codes: 0 target met, 2 usage or journal "
+        "error,\n3 sample cap reached, 4 engine failure, "
+        "5 interrupted,\n6 deadline or budget exhausted.\n\n"
         "benchmarks: ipfwd-l1 ipfwd-mem analyzer aho stateful "
         "intadd intmul\n");
     return 0;
