@@ -61,6 +61,54 @@ Assignment::tasksByCore() const
     return by_core;
 }
 
+namespace
+{
+
+/**
+ * Counting-sort CSR grouping over a per-task group id. Tasks are
+ * visited in ascending id order, so each group's member list is
+ * ascending — matching the vector-of-vectors groupings above.
+ */
+template <typename GroupFn>
+void
+groupInto(std::size_t tasks, std::size_t groups, GroupFn group_of,
+          std::vector<std::uint32_t> &offsets,
+          std::vector<TaskId> &flat)
+{
+    offsets.assign(groups + 1, 0);
+    for (TaskId t = 0; t < tasks; ++t)
+        ++offsets[group_of(t) + 1];
+    for (std::size_t g = 1; g <= groups; ++g)
+        offsets[g] += offsets[g - 1];
+    flat.resize(tasks);
+    // Second pass advances offsets[g] as the write cursor of group g,
+    // leaving it at the start of group g + 1; the rotation restores
+    // the start offsets.
+    for (TaskId t = 0; t < tasks; ++t)
+        flat[offsets[group_of(t)]++] = t;
+    for (std::size_t g = groups; g > 0; --g)
+        offsets[g] = offsets[g - 1];
+    offsets[0] = 0;
+}
+
+} // anonymous namespace
+
+void
+Assignment::tasksByPipeInto(std::vector<std::uint32_t> &offsets,
+                            std::vector<TaskId> &flat) const
+{
+    groupInto(contexts_.size(), topology_.pipes(),
+              [this](TaskId t) { return pipeOf(t); }, offsets, flat);
+}
+
+void
+Assignment::tasksByCoreInto(std::vector<std::uint32_t> &offsets,
+                            std::vector<TaskId> &flat) const
+{
+    groupInto(contexts_.size(), topology_.cores,
+              [this](TaskId t) { return coreOf(t); }, offsets, flat);
+}
+
 std::string
 Assignment::canonicalKey() const
 {

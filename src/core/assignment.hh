@@ -81,6 +81,26 @@ class Assignment
     std::vector<std::vector<TaskId>> tasksByCore() const;
 
     /**
+     * Allocation-free grouping of tasks by chip-global pipe in CSR
+     * layout: after the call, group g spans
+     * flat[offsets[g], offsets[g + 1]) with tasks in ascending id
+     * order — the same member order tasksByPipe() produces. The
+     * buffers are resized in place, so a caller that reuses them
+     * across assignments allocates only until they reach steady-state
+     * capacity. This is the form the batch measurement hot path
+     * consumes (sim::ContentionSolver::solveInto).
+     *
+     * @param offsets Receives pipes() + 1 offsets.
+     * @param flat    Receives size() task ids.
+     */
+    void tasksByPipeInto(std::vector<std::uint32_t> &offsets,
+                         std::vector<TaskId> &flat) const;
+
+    /** CSR grouping by core; see tasksByPipeInto(). */
+    void tasksByCoreInto(std::vector<std::uint32_t> &offsets,
+                         std::vector<TaskId> &flat) const;
+
+    /**
      * Canonical key of the equivalence class under hardware symmetry:
      * two assignments get equal keys iff one can be transformed into
      * the other by permuting cores, permuting pipes within cores and

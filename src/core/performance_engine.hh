@@ -196,6 +196,25 @@ struct EngineStats
     std::uint64_t retries = 0;
     /** Assignment classes quarantined for persistent failure. */
     std::uint64_t quarantined = 0;
+    /** Contention solves executed by a simulator in the stack. */
+    std::uint64_t solves = 0;
+    /** Fixed-point iterations spent across those solves. */
+    std::uint64_t solverIterations = 0;
+    /** Measurements served by a pooled (reused) scratch workspace. */
+    std::uint64_t scratchReuses = 0;
+    /** Measurements that had to heap-allocate a workspace because
+     *  the pool was exhausted. */
+    std::uint64_t scratchFallbacks = 0;
+
+    /** @return mean fixed-point iterations per solve, or 0. */
+    double
+    solverIterationsPerSolve() const
+    {
+        return solves == 0
+            ? 0.0
+            : static_cast<double>(solverIterations) /
+                static_cast<double>(solves);
+    }
 
     /** @return cache hits / lookups, or 0 with no cache in the
      *  stack. */

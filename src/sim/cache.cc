@@ -103,5 +103,15 @@ SetAssociativeCache::flush()
         line.valid = false;
 }
 
+void
+SetAssociativeCache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    clock_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
 } // namespace sim
 } // namespace statsched

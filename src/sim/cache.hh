@@ -48,6 +48,15 @@ class SetAssociativeCache
     /** Invalidates all lines. */
     void flush();
 
+    /**
+     * Returns the cache to its just-constructed state: all lines
+     * invalid, LRU clock and access/miss counters zeroed. Exactly
+     * equivalent to destroying and re-constructing the cache with the
+     * same geometry, minus the allocation — the cycle simulator's
+     * scratch reuse depends on this equivalence.
+     */
+    void reset();
+
     /** @return accesses so far. */
     std::uint64_t accesses() const { return accesses_; }
 

@@ -1,14 +1,38 @@
 /**
  * @file
  * ContentionSolver implementation.
+ *
+ * Hot-path discipline: solveInto() and everything it calls must not
+ * allocate in steady state (tools/lint enforces this mechanically via
+ * statsched-sim-hot-alloc) and must replay the reference solver's
+ * floating-point operations in the exact same order, so results stay
+ * bit-identical while the work per solve drops. Three structural
+ * facts make that possible:
+ *
+ *  - shared-footprint dedup sums non-shared members in member order
+ *    first and shared structures in ascending id order second — the
+ *    iteration order of the std::map the reference uses — so a flat
+ *    sorted buffer reproduces its sums bit for bit;
+ *  - the chip-wide L2 footprint covers all tasks whatever the
+ *    assignment, so it (and with it every per-task bulk-table miss
+ *    fraction) is a workload constant, precomputed at construction;
+ *  - water-filling re-sorts its demand indices with std::sort each
+ *    round, exactly like the reference. Demands change across
+ *    fixed-point rounds, and for *tied* demands the grant a position
+ *    receives is not FP-invariant under reordering, so the sort
+ *    itself cannot be cached — only its buffers are. What *can* be
+ *    skipped is the entire sorted loop whenever the arbiter is
+ *    provably unsaturated: then every user is granted exactly its
+ *    demand and the waterfill is a bitwise no-op (grantsAllDemands
+ *    below). Most arbiters in most assignments take that path.
  */
 
 #include "sim/contention.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <numeric>
 
 #include "base/check.hh"
@@ -24,6 +48,9 @@ namespace
 /** Fraction of instruction fetches exposed to I-cache pressure. */
 constexpr double iFetchMissWeight = 0.05;
 
+/** Rank sentinel for tasks whose structure is not shared. */
+constexpr std::uint32_t kNoRank = 0xffffffffu;
+
 /**
  * Cache overflow fraction: how much of the working set spills out of
  * a cache of the given capacity. 0 when resident, asymptotically 1.
@@ -36,55 +63,97 @@ overflowFraction(double footprint_kb, double capacity_kb)
     return 1.0 - capacity_kb / footprint_kb;
 }
 
-/**
- * Sums footprints of a group of tasks counting each shared structure
- * (same non-zero id) once, at its largest member footprint.
- *
- * @param members     Task ids in the group.
- * @param footprint   Per-task footprint accessor.
- * @param share_id    Per-task sharing-id accessor.
- */
-template <typename FootprintFn, typename ShareFn>
-double
-sharedFootprint(const std::vector<core::TaskId> &members,
-                FootprintFn footprint, ShareFn share_id)
+/** Records footprint `fp` for shared id `id` in the dedup buffer at
+ *  the max over the group members seen so far. */
+void
+dedupShared(std::vector<std::pair<std::uint32_t, double>> &buf,
+            std::uint32_t id, double fp)
 {
-    double total = 0.0;
-    std::map<std::uint32_t, double> shared;
-    for (core::TaskId t : members) {
-        const std::uint32_t id = share_id(t);
-        if (id == 0) {
-            total += footprint(t);
-        } else {
-            auto [it, inserted] = shared.emplace(id, footprint(t));
-            if (!inserted)
-                it->second = std::max(it->second, footprint(t));
+    for (auto &[bid, bfp] : buf) {
+        if (bid == id) {
+            bfp = std::max(bfp, fp);
+            return;
         }
     }
-    for (const auto &[id, fp] : shared)
+    buf.emplace_back(id, fp);
+}
+
+/** Adds the dedup buffer's footprints to `total` in ascending-id
+ *  order — the iteration order of the reference's std::map. Ids are
+ *  unique, so the tie-free insertion sort below agrees with any
+ *  comparison sort. */
+double
+sumSharedAscending(
+    std::vector<std::pair<std::uint32_t, double>> &buf, double total)
+{
+    for (std::size_t i = 1; i < buf.size(); ++i) {
+        const auto key = buf[i];
+        std::size_t j = i;
+        for (; j > 0 && buf[j - 1].first > key.first; --j)
+            buf[j] = buf[j - 1];
+        buf[j] = key;
+    }
+    for (const auto &[id, fp] : buf)
         total += fp;
     return total;
 }
 
-} // anonymous namespace
+/**
+ * Sums footprints of a group of tasks counting each shared structure
+ * (same non-zero id) once, at its largest member footprint, using the
+ * caller's flat dedup buffer instead of a std::map. Shared ids are
+ * accumulated in ascending id order, reproducing the ordered-map
+ * iteration of the reference solver bit for bit.
+ *
+ * @param members   Task ids in the group.
+ * @param count     Number of members.
+ * @param footprint Per-task footprint accessor.
+ * @param share_id  Per-task sharing-id table.
+ * @param buf       Reused (id, max footprint) buffer.
+ */
+template <typename FootprintFn>
+double
+sharedFootprint(const core::TaskId *members, std::size_t count,
+                FootprintFn footprint,
+                const std::uint32_t *share_id,
+                std::vector<std::pair<std::uint32_t, double>> &buf)
+{
+    double total = 0.0;
+    buf.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+        const core::TaskId t = members[i];
+        const std::uint32_t id = share_id[t];
+        if (id == 0)
+            total += footprint(t);
+        else
+            dedupShared(buf, id, footprint(t));
+    }
+    return sumSharedAscending(buf, total);
+}
 
-std::vector<double>
-waterfill(const std::vector<double> &demands, double capacity)
+/**
+ * Water-filling core over caller buffers; alloc[i] receives the
+ * grant of demands[i]. Identical operation order to the public
+ * waterfill(), which wraps it.
+ */
+void
+waterfillInto(const double *demands, std::size_t count,
+              double capacity, std::vector<std::size_t> &order,
+              double *alloc)
 {
     SCHED_REQUIRE(capacity >= 0.0, "negative capacity");
-    std::vector<double> alloc(demands.size(), 0.0);
-    if (demands.empty())
-        return alloc;
+    if (count == 0)
+        return;
 
-    std::vector<std::size_t> order(demands.size());
+    order.resize(count);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
-              [&demands](std::size_t a, std::size_t b) {
+              [demands](std::size_t a, std::size_t b) {
                   return demands[a] < demands[b];
               });
 
     double remaining = capacity;
-    std::size_t left = demands.size();
+    std::size_t left = count;
     for (std::size_t idx : order) {
         const double fair = remaining / static_cast<double>(left);
         const double d = std::max(0.0, demands[idx]);
@@ -93,6 +162,44 @@ waterfill(const std::vector<double> &demands, double capacity)
         remaining -= granted;
         --left;
     }
+}
+
+/**
+ * True when water-filling demands totalling `demand_sum` against
+ * `capacity` provably grants every user its full demand — in which
+ * case the sorted fair-share loop is a bitwise no-op
+ * (alloc[i] == demands[i] exactly) and callers can skip the
+ * gather/sort entirely.
+ *
+ * Proof sketch: in the exact loop, user k (ascending demand order) is
+ * granted min(d_k, remaining/left) where remaining started at
+ * capacity and shrank by the grants so far. With the total S <=
+ * 0.99*capacity, the demands not yet granted at step k sum to at most
+ * remaining - 0.01*capacity, and d_k — the smallest of them — is at
+ * most their average, so the fair share remaining/left exceeds d_k by
+ * at least 0.01*capacity/count. That margin is astronomically larger
+ * than the rounding of the <= 64 FP operations feeding `remaining`
+ * and the sum itself (relative 1e-14), so min(d, fair) == d at every
+ * step. The 1% margin is what buys bit-safety; do not replace it
+ * with an exact comparison.
+ */
+bool
+grantsAllDemands(double demand_sum, double capacity)
+{
+    return demand_sum <= 0.99 * capacity;
+}
+
+} // anonymous namespace
+
+std::vector<double>
+waterfill(const std::vector<double> &demands, double capacity)
+{
+    // One-shot compatibility wrapper for tests and single callers;
+    // the batch path uses waterfillInto with scratch buffers.
+    std::vector<double> alloc(demands.size(), 0.0); // NOLINT(statsched-sim-hot-alloc): one-shot wrapper, not on the solve path
+    std::vector<std::size_t> order; // NOLINT(statsched-sim-hot-alloc): same wrapper, not on the solve path
+    waterfillInto(demands.data(), demands.size(), capacity, order,
+                  alloc.data());
     return alloc;
 }
 
@@ -108,203 +215,563 @@ ContentionSolver::ContentionSolver(const ChipConfig &config,
         SCHED_REQUIRE(t.instructionsPerPacket > 0.0,
                       "non-positive instructions per packet");
     }
+
+    const std::size_t n = tasks_.size();
+    baseCpi_.resize(n);
+    loadStoreFrac_.resize(n);
+    fpFrac_.resize(n);
+    cryptoFrac_.resize(n);
+    l1dPressureKb_.resize(n);
+    l1iFootprintKb_.resize(n);
+    sharedDataId_.resize(n);
+    codeId_.resize(n);
+    tableMiss_.resize(n);
+    memFrac_.resize(n);
+
+    for (std::size_t t = 0; t < n; ++t) {
+        const TaskProfile &p = tasks_[t];
+        baseCpi_[t] = 1.0 / p.issueDemand;
+        loadStoreFrac_[t] = p.loadStoreFraction;
+        fpFrac_[t] = p.fpFraction;
+        cryptoFrac_[t] = p.cryptoFraction;
+        // A bulk table thrashes at most about half the L1 (its lines
+        // are evicted at the access rate rather than pinning the
+        // whole cache), so its pressure contribution is capped.
+        l1dPressureKb_[t] = p.l1dFootprintKb +
+            std::min(p.tableKb, 0.5 * config_.l1dKb);
+        l1iFootprintKb_[t] = p.l1iFootprintKb;
+        sharedDataId_[t] = p.sharedDataId;
+        codeId_[t] = p.codeId;
+        tableMiss_[t] = p.randomAccessFraction *
+            overflowFraction(p.tableKb, config_.l1dKb);
+    }
+
+    // Chip-wide L2 pressure (shared structures counted once); bulk
+    // tables contribute their full size. The member set is *all*
+    // tasks for every assignment, so this is a workload constant.
+    std::vector<core::TaskId> all(n); // NOLINT(statsched-sim-hot-alloc): construction time, runs once per workload
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<std::pair<std::uint32_t, double>> shared_buf; // NOLINT(statsched-sim-hot-alloc): construction time, runs once per workload
+    const double l2_fp = sharedFootprint(
+        all.data(), n,
+        [this](core::TaskId t) {
+            return tasks_[t].l2FootprintKb + tasks_[t].tableKb;
+        },
+        sharedDataId_.data(), shared_buf);
+    l2MissProb_ = config_.l2BaseMissRate +
+        (1.0 - config_.l2BaseMissRate) *
+        overflowFraction(l2_fp, config_.l2Kb);
+
+    for (std::size_t t = 0; t < n; ++t) {
+        memFrac_[t] = tableMiss_[t] * l2MissProb_;
+        if (memFrac_[t] > 0.0)
+            memUsers_.push_back(static_cast<core::TaskId>(t));
+    }
+
+    // Dense ranks for the shared ids: rank r is the r-th smallest
+    // distinct non-zero id in the workload. Real workloads have a
+    // handful of distinct ids (one code image per benchmark stage, one
+    // shared table per instance), so per-(core, rank) dedup slots stay
+    // tiny and the solve never touches a sorted container.
+    const auto rankIds = [n](const std::vector<std::uint32_t> &ids,
+                             std::vector<std::uint32_t> &rank_of) {
+        std::vector<std::uint32_t> uniq; // NOLINT(statsched-sim-hot-alloc): construction time, runs once per workload
+        for (const std::uint32_t id : ids) {
+            if (id != 0)
+                uniq.push_back(id);
+        }
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()),
+                   uniq.end());
+        rank_of.resize(n);
+        for (std::size_t t = 0; t < n; ++t) {
+            rank_of[t] = ids[t] == 0
+                ? kNoRank
+                : static_cast<std::uint32_t>(
+                      std::lower_bound(uniq.begin(), uniq.end(),
+                                       ids[t]) -
+                      uniq.begin());
+        }
+        return static_cast<std::uint32_t>(uniq.size());
+    };
+    dataRanks_ = rankIds(sharedDataId_, dataRank_);
+    codeRanks_ = rankIds(codeId_, codeRank_);
+
+    // Ports no task uses (most workloads touch neither the FPU nor
+    // the crypto unit) are skipped by the solve outright: with no
+    // users they never constrain anything in the reference either.
+    bool used[3] = {false, false, false};
+    for (std::size_t t = 0; t < n; ++t) {
+        used[0] = used[0] || loadStoreFrac_[t] > 0.0;
+        used[1] = used[1] || fpFrac_[t] > 0.0;
+        used[2] = used[2] || cryptoFrac_[t] > 0.0;
+    }
+    for (std::uint8_t p = 0; p < 3; ++p) {
+        if (used[p])
+            activePorts_[activePortCount_++] = p;
+    }
 }
 
 ContentionResult
 ContentionSolver::solve(const core::Assignment &assignment) const
+{
+    Scratch scratch;
+    ContentionResult result;
+    solveInto(assignment, scratch, result);
+    return result;
+}
+
+void
+ContentionSolver::solveInto(const core::Assignment &assignment,
+                            Scratch &scratch,
+                            ContentionResult &result) const
 {
     SCHED_REQUIRE(assignment.size() == tasks_.size(),
                   "assignment/task-count mismatch");
     const core::Topology &topo = assignment.topology();
     const std::size_t n = tasks_.size();
 
-    const auto by_pipe = assignment.tasksByPipe();
-    const auto by_core = assignment.tasksByCore();
+    // --- Placement ids and per-arbiter user counts, all assignment
+    // constants of this solve. One unchecked division per task
+    // replaces the repeated checked topology lookups of
+    // Assignment::coreOf; the user counts feed grantsAllDemands every
+    // fixed-point round without being recounted (whether a task uses
+    // a port is a property of the task, not of its rate).
+    const std::vector<core::ContextId> &ctxs = assignment.contexts();
+    const std::size_t P = topo.pipes();
+    const std::size_t C = topo.cores;
+    scratch.pipeIdOf.resize(n);
+    scratch.coreIdOf.resize(n);
+    scratch.pipeCount.assign(P, 0);
+    scratch.portUsers.assign(3 * C, 0);
+    // Real topologies have power-of-two strand/pipe groupings
+    // (UltraSPARC T2: 4 strands/pipe, 2 pipes/core), turning the two
+    // placement divisions into shifts; unsigned division by a
+    // power of two is exact either way, so the results are identical.
+    // Shared structures are deduped through (rank, core) slots whose
+    // unclaimed value is +0.0: footprints are non-negative, so
+    // max-merging into a virgin slot yields the first member's value
+    // bitwise and no claimed/unclaimed distinction is ever needed.
+    // Ranks were assigned in ascending id order at construction, and
+    // the max-merge within a slot is order-independent.
+    scratch.dataMax.resize(C * dataRanks_, 0.0);
+    scratch.codeMax.resize(C * codeRanks_, 0.0);
+    scratch.dataSum.assign(C, 0.0);
+    scratch.codeSum.assign(C, 0.0);
 
-    // --- Cache pressure per core and chip-wide (assignment dependent,
-    // rate independent: computed once).
-    std::vector<double> l1d_miss_prob(topo.cores, 0.0);
-    std::vector<double> l1i_miss_prob(topo.cores, 0.0);
-    for (std::uint32_t c = 0; c < topo.cores; ++c) {
-        const auto &members = by_core[c];
-        if (members.empty())
-            continue;
-        // A bulk table thrashes at most about half the L1 (its lines
-        // are evicted at the access rate rather than pinning the
-        // whole cache), so its pressure contribution is capped.
-        const double d_fp = sharedFootprint(
-            members,
-            [this](core::TaskId t) {
-                return tasks_[t].l1dFootprintKb +
-                    std::min(tasks_[t].tableKb, 0.5 * config_.l1dKb);
-            },
-            [this](core::TaskId t) { return tasks_[t].sharedDataId; });
-        const double i_fp = sharedFootprint(
-            members,
-            [this](core::TaskId t) {
-                return tasks_[t].l1iFootprintKb;
-            },
-            [this](core::TaskId t) { return tasks_[t].codeId; });
+    const std::uint32_t spp = topo.strandsPerPipe;
+    const std::uint32_t ppc = topo.pipesPerCore;
+    const bool pow2 =
+        (spp & (spp - 1)) == 0 && (ppc & (ppc - 1)) == 0;
+    const int pipeShift = std::countr_zero(spp);
+    const int coreShift = std::countr_zero(ppc);
+    const double *const portFrac[3] = {loadStoreFrac_.data(),
+                                       fpFrac_.data(),
+                                       cryptoFrac_.data()};
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::uint32_t pipe =
+            pow2 ? ctxs[t] >> pipeShift : ctxs[t] / spp;
+        const std::uint32_t c =
+            pow2 ? pipe >> coreShift : pipe / ppc;
+        scratch.pipeIdOf[t] = pipe;
+        scratch.coreIdOf[t] = c;
+        ++scratch.pipeCount[pipe];
+        for (std::uint32_t ap = 0; ap < activePortCount_; ++ap) {
+            const std::size_t p = activePorts_[ap];
+            scratch.portUsers[p * C + c] +=
+                static_cast<std::uint32_t>(portFrac[p][t] > 0.0);
+        }
+        // Footprint accumulation rides the same pass: non-shared
+        // footprints sum in ascending task order (== the reference's
+        // member order within each core), shared ones max-merge into
+        // their (core, rank) slot.
+        const std::uint32_t dr = dataRank_[t];
+        if (dr == kNoRank) {
+            scratch.dataSum[c] += l1dPressureKb_[t];
+        } else {
+            const std::size_t slot = dr * C + c;
+            scratch.dataMax[slot] = std::max(scratch.dataMax[slot],
+                                             l1dPressureKb_[t]);
+        }
+        const std::uint32_t cr = codeRank_[t];
+        if (cr == kNoRank) {
+            scratch.codeSum[c] += l1iFootprintKb_[t];
+        } else {
+            const std::size_t slot = cr * C + c;
+            scratch.codeMax[slot] = std::max(scratch.codeMax[slot],
+                                             l1iFootprintKb_[t]);
+        }
+    }
+
+    // --- Cache pressure per core. Shared ranks are added rank-major:
+    // each core's additions still happen in ascending rank order ==
+    // ascending id order — the reference map's iteration order, bit
+    // for bit — while the C independent accumulation chains
+    // interleave instead of serializing on FP add latency. Unclaimed
+    // slots hold +0.0 (the invariant restored below), which is
+    // bitwise neutral on these non-negative sums, so the loops read
+    // every slot unconditionally — no data-dependent branches.
+    for (std::uint32_t r = 0; r < dataRanks_; ++r) {
+        const double *row = scratch.dataMax.data() +
+            static_cast<std::size_t>(r) * C;
+        for (std::size_t c = 0; c < C; ++c)
+            scratch.dataSum[c] += row[c];
+    }
+    for (std::uint32_t r = 0; r < codeRanks_; ++r) {
+        const double *row = scratch.codeMax.data() +
+            static_cast<std::size_t>(r) * C;
+        for (std::size_t c = 0; c < C; ++c)
+            scratch.codeSum[c] += row[c];
+    }
+    std::fill(scratch.dataMax.begin(), scratch.dataMax.end(), 0.0);
+    std::fill(scratch.codeMax.begin(), scratch.codeMax.end(), 0.0);
+    scratch.l1dMissProb.resize(C);
+    scratch.l1iMissProb.resize(C);
+    for (std::size_t c = 0; c < C; ++c) {
+        // Empty cores get the base rate where the reference leaves 0
+        // — unobservable, since the demand loop only reads the
+        // probabilities of occupied cores.
         // Hot working sets degrade gently just past capacity (LRU
         // keeps the hottest lines resident), hence the cubic shaping
         // of the overflow fraction.
-        const double d_ov = overflowFraction(d_fp, config_.l1dKb);
-        const double i_ov = overflowFraction(i_fp, config_.l1iKb);
-        l1d_miss_prob[c] = config_.l1BaseMissRate +
+        const double d_ov =
+            overflowFraction(scratch.dataSum[c], config_.l1dKb);
+        const double i_ov =
+            overflowFraction(scratch.codeSum[c], config_.l1iKb);
+        scratch.l1dMissProb[c] = config_.l1BaseMissRate +
             (1.0 - config_.l1BaseMissRate) * d_ov * d_ov * d_ov;
-        l1i_miss_prob[c] = config_.l1BaseMissRate +
+        scratch.l1iMissProb[c] = config_.l1BaseMissRate +
             (1.0 - config_.l1BaseMissRate) * i_ov * i_ov * i_ov;
     }
 
-    // Chip-wide L2 pressure (shared structures counted once); bulk
-    // tables contribute their full size.
-    std::vector<core::TaskId> all(n);
-    std::iota(all.begin(), all.end(), 0);
-    const double l2_fp = sharedFootprint(
-        all,
-        [this](core::TaskId t) {
-            return tasks_[t].l2FootprintKb + tasks_[t].tableKb;
-        },
-        [this](core::TaskId t) { return tasks_[t].sharedDataId; });
-    const double l2_miss_prob = config_.l2BaseMissRate +
-        (1.0 - config_.l2BaseMissRate) *
-        overflowFraction(l2_fp, config_.l2Kb);
-
-    // --- Per-task stall-inclusive issue demand.
-    ContentionResult result;
+    // --- Per-task stall-inclusive issue demand. Hot working-set
+    // misses (caused by core co-runners) are refills of recently used
+    // lines, which remain L2 resident — they pay the L1 miss penalty.
+    // Bulk-structure accesses miss the L1 according to how much of
+    // the structure a private L1 could hold (tableMiss_), and go to
+    // memory with the chip-wide L2 miss probability (memFrac_) —
+    // both precomputed at construction.
     result.l1dMissRate.resize(n);
     result.l2MissRate.resize(n);
-    std::vector<double> demand(n);
-    std::vector<double> mem_frac(n);   // off-chip accesses per instr
+    result.rates.resize(n);
+    scratch.demand.resize(n);
+    scratch.request.resize(n);
+
+    struct Port
+    {
+        const double *fraction;
+        double ChipConfig::*width;
+    };
+    const Port ports[] = {
+        {loadStoreFrac_.data(), &ChipConfig::lsuWidth},
+        {fpFrac_.data(), &ChipConfig::fpuWidth},
+        {cryptoFrac_.data(), &ChipConfig::cryptoWidth},
+    };
+
+    // The first fixed-point round's requests are exactly the
+    // intrinsic demands computed here, so the round-1 arbiter demand
+    // sums ride this pass for free; the loop only recomputes them
+    // from round 2 on (and ~1.2 rounds/solve is the steady-state
+    // average — most solves never pay for a separate pass at all).
+    scratch.pipeDemand.assign(P, 0.0);
+    scratch.portDemand.assign(3 * C, 0.0);
+    double memDemandR1 = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
-        const TaskProfile &p = tasks_[t];
-        const std::uint32_t c = assignment.coreOf(
-            static_cast<core::TaskId>(t));
+        const std::uint32_t c = scratch.coreIdOf[t];
 
-        // Hot working-set misses (caused by core co-runners) are
-        // refills of recently used lines, which remain L2 resident —
-        // they pay the L1 miss penalty. Bulk-structure accesses miss
-        // the L1 according to how much of the structure a private L1
-        // could hold, and go to memory with the chip-wide L2 miss
-        // probability.
-        const double d_miss = p.loadStoreFraction * l1d_miss_prob[c];
-        const double i_miss = iFetchMissWeight * l1i_miss_prob[c];
+        const double d_miss =
+            loadStoreFrac_[t] * scratch.l1dMissProb[c];
+        const double i_miss =
+            iFetchMissWeight * scratch.l1iMissProb[c];
         const double hot_miss = d_miss + i_miss;
-        const double table_miss = p.randomAccessFraction *
-            overflowFraction(p.tableKb, config_.l1dKb);
-        const double table_mem_miss = table_miss * l2_miss_prob;
 
-        result.l1dMissRate[t] = l1d_miss_prob[c];
-        result.l2MissRate[t] = l2_miss_prob;
-        mem_frac[t] = table_mem_miss;
+        result.l1dMissRate[t] = scratch.l1dMissProb[c];
+        result.l2MissRate[t] = l2MissProb_;
 
-        const double base_cpi = 1.0 / p.issueDemand;
         const double stall_cpi = config_.stallExposure *
-            ((hot_miss + table_miss - table_mem_miss) *
+            ((hot_miss + tableMiss_[t] - memFrac_[t]) *
              config_.l1MissPenalty +
-             table_mem_miss * config_.l2MissPenalty);
-        demand[t] = 1.0 / (base_cpi + stall_cpi);
-    }
+             memFrac_[t] * config_.l2MissPenalty);
+        const double demand = 1.0 / (baseCpi_[t] + stall_cpi);
+        scratch.demand[t] = demand;
+        // Both fixed-point working buffers start at the intrinsic
+        // demand (result.rates is the `rate` buffer; request is
+        // damped toward the converged rate each round).
+        result.rates[t] = demand;
+        scratch.request[t] = demand;
 
-    // --- Fixed point over the shared-port arbiters.
-    std::vector<double> rate(demand);
-    std::vector<double> request(demand);
+        // Non-users fold in as demand * (+0.0) == +0.0, which is
+        // bitwise neutral on a non-negative sum — the accumulation
+        // runs branch-free.
+        scratch.pipeDemand[scratch.pipeIdOf[t]] += demand;
+        for (std::uint32_t ap = 0; ap < activePortCount_; ++ap) {
+            const std::size_t p = activePorts_[ap];
+            scratch.portDemand[p * C + c] +=
+                demand * ports[p].fraction[t];
+        }
+        memDemandR1 += demand * memFrac_[t];
+    }
+    scratch.cap.resize(n);
+
+    // CSR task groupings (ascending task id within each group — the
+    // reference's member order) are only needed by saturated-round
+    // waterfills; they are built at most once per solve, on the first
+    // slow round, and fully-fast solves never pay for them.
+    bool csrBuilt = false;
+    const auto buildCsr = [n](const std::uint32_t *group_of,
+                              std::size_t groups,
+                              std::vector<std::uint32_t> &offsets,
+                              std::vector<core::TaskId> &flat) {
+        offsets.assign(groups + 1, 0);
+        for (std::size_t t = 0; t < n; ++t)
+            ++offsets[group_of[t] + 1];
+        for (std::size_t g = 1; g <= groups; ++g)
+            offsets[g] += offsets[g - 1];
+        flat.resize(n);
+        for (std::size_t t = 0; t < n; ++t)
+            flat[offsets[group_of[t]]++] =
+                static_cast<core::TaskId>(t);
+        for (std::size_t g = groups; g > 0; --g)
+            offsets[g] = offsets[g - 1];
+        offsets[0] = 0;
+    };
+
     int iter = 0;
     for (; iter < config_.solverIterations; ++iter) {
-        std::vector<double> cap(n,
-                                std::numeric_limits<double>::infinity());
+        // Round phase 1: every arbiter's total demand, in one fused
+        // pass. The sums only feed the saturation classification —
+        // never the grants — so their own rounding is covered by the
+        // 1% margin of grantsAllDemands. Round 1's sums were computed
+        // alongside the demands above (request == demand then), so
+        // only later rounds run the pass.
+        double memDemand = memDemandR1;
+        if (iter > 0) {
+            scratch.pipeDemand.assign(P, 0.0);
+            scratch.portDemand.assign(3 * C, 0.0);
+            memDemand = 0.0;
+            for (std::size_t t = 0; t < n; ++t) {
+                const double r = scratch.request[t];
+                scratch.pipeDemand[scratch.pipeIdOf[t]] += r;
+                const std::size_t c = scratch.coreIdOf[t];
+                for (std::uint32_t ap = 0; ap < activePortCount_;
+                     ++ap) {
+                    const std::size_t p = activePorts_[ap];
+                    scratch.portDemand[p * C + c] +=
+                        r * ports[p].fraction[t];
+                }
+            }
+            for (const core::TaskId t : memUsers_)
+                memDemand += scratch.request[t] * memFrac_[t];
+        }
 
-        // IntraPipe: issue bandwidth.
-        for (std::uint32_t pipe = 0; pipe < topo.pipes(); ++pipe) {
-            const auto &members = by_pipe[pipe];
-            if (members.empty())
+        // Round phase 2: classify every arbiter. A provably
+        // unsaturated group grants each user exactly its demand
+        // (grantsAllDemands), so when *every* group is unsaturated —
+        // the common case by far — the whole round collapses into the
+        // fused pass of phase 3. Empty groups have a zero sum and
+        // classify fast, which no later loop ever consults.
+        bool allFast = true;
+        scratch.pipeFast.assign(P, 0);
+        for (std::size_t pipe = 0; pipe < P; ++pipe) {
+            if (grantsAllDemands(scratch.pipeDemand[pipe],
+                                 config_.pipeIssueWidth))
+                scratch.pipeFast[pipe] = 1;
+            else
+                allFast = false;
+        }
+        scratch.portFast.assign(3 * C, 0);
+        for (std::uint32_t ap = 0; ap < activePortCount_; ++ap) {
+            const std::size_t p = activePorts_[ap];
+            const double width = config_.*(ports[p].width);
+            for (std::size_t c = 0; c < C; ++c) {
+                const std::size_t g = p * C + c;
+                if (grantsAllDemands(scratch.portDemand[g], width))
+                    scratch.portFast[g] = 1;
+                else
+                    allFast = false;
+            }
+        }
+        const bool memFast =
+            grantsAllDemands(memDemand, config_.memAccessWidth);
+        allFast = allFast && memFast;
+
+        double max_delta = 0.0;
+        if (allFast) {
+            // Round phase 3, fast case: every arbiter grants every
+            // user its request, so the grants, the combine with the
+            // intrinsic demand and the damped request update fuse
+            // into one pass with no cap buffer at all. min() is
+            // exact, so applying one task's grants together instead
+            // of arbiter-by-arbiter is bit-neutral, and (r*f)/f
+            // replays the reference's grant roundings; the combine
+            // runs in ascending task order exactly like the
+            // reference.
+            for (std::size_t t = 0; t < n; ++t) {
+                const double r = scratch.request[t];
+                double cap = r; // pipe grant: min(+inf, request)
+                for (std::uint32_t ap = 0; ap < activePortCount_;
+                     ++ap) {
+                    const double f =
+                        ports[activePorts_[ap]].fraction[t];
+                    if (f > 0.0)
+                        cap = std::min(cap, (r * f) / f);
+                }
+                const double mf = memFrac_[t];
+                if (mf > 0.0)
+                    cap = std::min(cap, (r * mf) / mf);
+                const double next = std::min(scratch.demand[t], cap);
+                max_delta = std::max(
+                    max_delta, std::fabs(next - result.rates[t]));
+                result.rates[t] = next;
+                scratch.request[t] = 0.5 * r + 0.5 * next;
+            }
+            if (max_delta < 1e-12)
+                break;
+            continue;
+        }
+
+        // Slow case: at least one arbiter is saturated. Grant
+        // against a cap buffer; each saturated group reads its
+        // members from the lazily-built CSR and runs the full
+        // waterfill.
+        if (!csrBuilt) {
+            buildCsr(scratch.pipeIdOf.data(), P, scratch.pipeOffsets,
+                     scratch.pipeTasks);
+            buildCsr(scratch.coreIdOf.data(), C, scratch.coreOffsets,
+                     scratch.coreTasks);
+            csrBuilt = true;
+        }
+        std::fill(scratch.cap.begin(), scratch.cap.end(),
+                  std::numeric_limits<double>::infinity());
+        for (std::size_t pipe = 0; pipe < P; ++pipe) {
+            const std::size_t count = scratch.pipeCount[pipe];
+            if (count == 0 || scratch.pipeFast[pipe])
                 continue;
-            std::vector<double> d;
-            d.reserve(members.size());
-            for (core::TaskId t : members)
-                d.push_back(request[t]);
-            const auto alloc = waterfill(d, config_.pipeIssueWidth);
-            for (std::size_t i = 0; i < members.size(); ++i) {
-                cap[members[i]] =
-                    std::min(cap[members[i]], alloc[i]);
+            const core::TaskId *members =
+                scratch.pipeTasks.data() + scratch.pipeOffsets[pipe];
+            scratch.wfDemand.resize(count);
+            scratch.wfAlloc.resize(count);
+            for (std::size_t i = 0; i < count; ++i)
+                scratch.wfDemand[i] = scratch.request[members[i]];
+            waterfillInto(scratch.wfDemand.data(), count,
+                          config_.pipeIssueWidth, scratch.wfOrder,
+                          scratch.wfAlloc.data());
+            for (std::size_t i = 0; i < count; ++i) {
+                const core::TaskId m = members[i];
+                scratch.cap[m] =
+                    std::min(scratch.cap[m], scratch.wfAlloc[i]);
+            }
+        }
+        for (std::size_t t = 0; t < n; ++t) {
+            if (scratch.pipeFast[scratch.pipeIdOf[t]]) {
+                scratch.cap[t] = std::min(scratch.cap[t],
+                                          scratch.request[t]);
             }
         }
 
-        // IntraCore: LSU / FPU / crypto ports.
-        struct Port
-        {
-            double TaskProfile::*fraction;
-            double ChipConfig::*width;
-        };
-        static const Port ports[] = {
-            {&TaskProfile::loadStoreFraction, &ChipConfig::lsuWidth},
-            {&TaskProfile::fpFraction, &ChipConfig::fpuWidth},
-            {&TaskProfile::cryptoFraction, &ChipConfig::cryptoWidth},
-        };
-        for (const Port &port : ports) {
-            for (std::uint32_t c = 0; c < topo.cores; ++c) {
-                const auto &members = by_core[c];
-                if (members.empty())
+        for (std::uint32_t ap = 0; ap < activePortCount_; ++ap) {
+            const std::size_t p = activePorts_[ap];
+            for (std::size_t c = 0; c < C; ++c) {
+                const std::uint32_t users =
+                    scratch.portUsers[p * C + c];
+                if (users == 0 || scratch.portFast[p * C + c])
                     continue;
-                std::vector<double> d;
-                std::vector<core::TaskId> users;
-                for (core::TaskId t : members) {
-                    const double f = tasks_[t].*(port.fraction);
+                // Saturated: full waterfill over this group.
+                const core::TaskId *members =
+                    scratch.coreTasks.data() + scratch.coreOffsets[c];
+                const std::size_t count =
+                    scratch.coreOffsets[c + 1] -
+                    scratch.coreOffsets[c];
+                scratch.wfUsers.clear();
+                scratch.wfDemand.clear();
+                for (std::size_t i = 0; i < count; ++i) {
+                    const core::TaskId t = members[i];
+                    const double f = ports[p].fraction[t];
                     if (f > 0.0) {
-                        users.push_back(t);
-                        d.push_back(request[t] * f);
+                        scratch.wfUsers.push_back(t);
+                        scratch.wfDemand.push_back(
+                            scratch.request[t] * f);
                     }
                 }
-                if (users.empty())
-                    continue;
-                const auto alloc =
-                    waterfill(d, config_.*(port.width));
-                for (std::size_t i = 0; i < users.size(); ++i) {
+                scratch.wfAlloc.resize(users);
+                waterfillInto(scratch.wfDemand.data(), users,
+                              config_.*(ports[p].width),
+                              scratch.wfOrder,
+                              scratch.wfAlloc.data());
+                for (std::size_t i = 0; i < users; ++i) {
                     const double f =
-                        tasks_[users[i]].*(port.fraction);
-                    cap[users[i]] =
-                        std::min(cap[users[i]], alloc[i] / f);
+                        ports[p].fraction[scratch.wfUsers[i]];
+                    scratch.cap[scratch.wfUsers[i]] = std::min(
+                        scratch.cap[scratch.wfUsers[i]],
+                        scratch.wfAlloc[i] / f);
+                }
+            }
+        }
+        // Fast-path port grant: alloc/f replays as (request*f)/f with
+        // the exact same roundings as the full loop; min() updates on
+        // distinct tasks commute, so per-task order is bit-neutral.
+        for (std::size_t t = 0; t < n; ++t) {
+            const std::size_t c = scratch.coreIdOf[t];
+            for (std::uint32_t ap = 0; ap < activePortCount_; ++ap) {
+                const std::size_t p = activePorts_[ap];
+                if (!scratch.portFast[p * C + c])
+                    continue;
+                const double f = ports[p].fraction[t];
+                if (f > 0.0) {
+                    scratch.cap[t] = std::min(
+                        scratch.cap[t],
+                        (scratch.request[t] * f) / f);
                 }
             }
         }
 
-        // InterCore: off-chip access budget.
-        {
-            std::vector<double> d;
-            std::vector<core::TaskId> users;
-            for (std::size_t t = 0; t < n; ++t) {
-                if (mem_frac[t] > 0.0) {
-                    users.push_back(static_cast<core::TaskId>(t));
-                    d.push_back(request[t] * mem_frac[t]);
+        // InterCore: off-chip access budget. The user set (tasks with
+        // memFrac_ > 0) is a workload constant, precomputed ascending
+        // at construction; cache-resident workloads skip the arbiter
+        // outright.
+        if (!memUsers_.empty()) {
+            const std::size_t users = memUsers_.size();
+            if (memFast) {
+                for (const core::TaskId t : memUsers_) {
+                    scratch.cap[t] = std::min(
+                        scratch.cap[t],
+                        (scratch.request[t] * memFrac_[t]) /
+                            memFrac_[t]);
                 }
-            }
-            if (!users.empty()) {
-                const auto alloc =
-                    waterfill(d, config_.memAccessWidth);
-                for (std::size_t i = 0; i < users.size(); ++i) {
-                    cap[users[i]] = std::min(
-                        cap[users[i]],
-                        alloc[i] / mem_frac[users[i]]);
+            } else {
+                scratch.wfDemand.resize(users);
+                for (std::size_t i = 0; i < users; ++i) {
+                    scratch.wfDemand[i] =
+                        scratch.request[memUsers_[i]] *
+                        memFrac_[memUsers_[i]];
+                }
+                scratch.wfAlloc.resize(users);
+                waterfillInto(scratch.wfDemand.data(), users,
+                              config_.memAccessWidth, scratch.wfOrder,
+                              scratch.wfAlloc.data());
+                for (std::size_t i = 0; i < users; ++i) {
+                    scratch.cap[memUsers_[i]] = std::min(
+                        scratch.cap[memUsers_[i]],
+                        scratch.wfAlloc[i] / memFrac_[memUsers_[i]]);
                 }
             }
         }
 
         // Combine with the intrinsic demand; damp the request update.
-        double max_delta = 0.0;
         for (std::size_t t = 0; t < n; ++t) {
-            const double next = std::min(demand[t], cap[t]);
+            const double next =
+                std::min(scratch.demand[t], scratch.cap[t]);
             max_delta = std::max(max_delta,
-                                 std::fabs(next - rate[t]));
-            rate[t] = next;
-            request[t] = 0.5 * request[t] + 0.5 * next;
+                                 std::fabs(next - result.rates[t]));
+            result.rates[t] = next;
+            scratch.request[t] =
+                0.5 * scratch.request[t] + 0.5 * next;
         }
         if (max_delta < 1e-12)
             break;
     }
 
-    result.rates = std::move(rate);
     result.iterations = iter;
-    return result;
 }
 
 } // namespace sim

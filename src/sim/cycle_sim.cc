@@ -1,6 +1,15 @@
 /**
  * @file
  * CycleSimEngine implementation.
+ *
+ * Batch-first layout: one measurement needs a full machine image —
+ * per-core caches, strand state, stage queues, pipe groupings — and
+ * constructing it fresh per call dominated small runs. Images live in
+ * a ScratchPool and are *reset in place* between measurements:
+ * SetAssociativeCache::reset() is exactly equivalent to
+ * reconstruction, strands are re-seeded from (seed, task) as before,
+ * and queues/cursors are zeroed — so a reused image is bit-identical
+ * to a fresh one, and any thread may run any batch item.
  */
 
 #include "sim/cycle_sim.hh"
@@ -11,6 +20,7 @@
 
 #include "base/check.hh"
 #include "sim/cache.hh"
+#include "sim/scratch_pool.hh"
 #include "stats/rng.hh"
 
 namespace statsched
@@ -51,53 +61,81 @@ struct Strand
 
 } // anonymous namespace
 
-CycleSimEngine::CycleSimEngine(Workload workload,
-                               const ChipConfig &config,
-                               const CycleSimOptions &options)
-    : workload_(std::move(workload)), config_(config),
-      options_(options)
+struct CycleSimEngine::Impl
 {
-    SCHED_REQUIRE(workload_.taskCount() > 0, "empty workload");
-    SCHED_REQUIRE(options_.cycles >= 1000,
-                  "simulate at least 1000 cycles");
-    SCHED_REQUIRE(options_.queueDepth >= 1, "empty stage queues");
-}
+    /**
+     * One reusable machine image. Caches are built on first use for
+     * the topology at hand and reset in place afterwards; everything
+     * else is reinitialised from scratch each measurement.
+     */
+    struct Machine
+    {
+        std::vector<SetAssociativeCache> l1d;
+        std::vector<SetAssociativeCache> l1i;
+        /** Zero or one entry; a vector only for default construction. */
+        std::vector<SetAssociativeCache> l2;
+        std::vector<Strand> strands;
+        std::vector<std::uint32_t> queueOcc;
+        std::vector<std::uint32_t> pipeOffsets;
+        std::vector<core::TaskId> pipeTasks;
+        std::vector<std::uint32_t> rr;
+    };
+
+    ScratchPool<Machine> pool;
+
+    /** Runs one measurement on a (possibly reused) machine image. */
+    static double run(const Workload &workload,
+                      const ChipConfig &config,
+                      const CycleSimOptions &options,
+                      const core::Assignment &assignment,
+                      Machine &m);
+};
 
 double
-CycleSimEngine::secondsPerMeasurement() const
+CycleSimEngine::Impl::run(const Workload &workload,
+                          const ChipConfig &config,
+                          const CycleSimOptions &options,
+                          const core::Assignment &assignment,
+                          Machine &m)
 {
-    return static_cast<double>(options_.cycles +
-                               options_.warmupCycles) /
-        (config_.clockGhz * 1e9);
-}
-
-double
-CycleSimEngine::measure(const core::Assignment &assignment)
-{
-    SCHED_REQUIRE(assignment.size() == workload_.taskCount(),
+    SCHED_REQUIRE(assignment.size() == workload.taskCount(),
                   "assignment/workload mismatch");
     const core::Topology &topo = assignment.topology();
-    const auto &tasks = workload_.tasks();
-    const auto &edges = workload_.edges();
+    const auto &tasks = workload.tasks();
+    const auto &edges = workload.edges();
 
     // --- Machine state.
     // T2-like cache geometry: 8 KB 4-way 16 B L1D, 16 KB 8-way 32 B
-    // L1I per core, 4 MB 16-way 64 B shared L2.
-    std::vector<SetAssociativeCache> l1d;
-    std::vector<SetAssociativeCache> l1i;
-    for (std::uint32_t c = 0; c < topo.cores; ++c) {
-        l1d.emplace_back(config_.l1dKb, 4, 16);
-        l1i.emplace_back(config_.l1iKb, 8, 32);
+    // L1I per core, 4 MB 16-way 64 B shared L2. Built once per image;
+    // reset() restores the just-constructed state thereafter.
+    if (m.l1d.size() != topo.cores) {
+        m.l1d.clear();
+        m.l1i.clear();
+        m.l2.clear();
+        for (std::uint32_t c = 0; c < topo.cores; ++c) {
+            m.l1d.emplace_back(config.l1dKb, 4, 16);
+            m.l1i.emplace_back(config.l1iKb, 8, 32);
+        }
+        m.l2.emplace_back(config.l2Kb, 16, 64);
+    } else {
+        for (auto &cache : m.l1d)
+            cache.reset();
+        for (auto &cache : m.l1i)
+            cache.reset();
+        m.l2[0].reset();
     }
-    SetAssociativeCache l2(config_.l2Kb, 16, 64);
+    std::vector<SetAssociativeCache> &l1d = m.l1d;
+    std::vector<SetAssociativeCache> &l1i = m.l1i;
+    SetAssociativeCache &l2 = m.l2[0];
 
-    // --- Strand state.
-    std::vector<Strand> strands(tasks.size());
+    // --- Strand state, rebuilt from the profiles each measurement.
+    m.strands.assign(tasks.size(), Strand{});
+    std::vector<Strand> &strands = m.strands;
     for (core::TaskId t = 0; t < tasks.size(); ++t) {
         Strand &s = strands[t];
         s.profile = &tasks[t];
         s.task = t;
-        s.rng = stats::Rng(options_.seed ^
+        s.rng = stats::Rng(options.seed ^
                            (0x9e37ull * (t + 1)));
         // Receive stages always hold a packet to work on.
         s.hasPacket = (tasks[t].role == StageRole::Receive);
@@ -106,14 +144,16 @@ CycleSimEngine::measure(const core::Assignment &assignment)
         strands[edges[e].first].outputEdge = e;
         strands[edges[e].second].inputEdge = e;
     }
-    std::vector<std::uint32_t> queue_occ(edges.size(), 0);
+    m.queueOcc.assign(edges.size(), 0);
+    std::vector<std::uint32_t> &queue_occ = m.queueOcc;
 
-    // Pipe membership and round-robin cursors.
-    const auto by_pipe = assignment.tasksByPipe();
-    std::vector<std::uint32_t> rr(topo.pipes(), 0);
+    // Pipe membership (CSR layout) and round-robin cursors.
+    assignment.tasksByPipeInto(m.pipeOffsets, m.pipeTasks);
+    m.rr.assign(topo.pipes(), 0);
+    std::vector<std::uint32_t> &rr = m.rr;
 
     const std::uint64_t total =
-        options_.warmupCycles + options_.cycles;
+        options.warmupCycles + options.cycles;
 
     auto line_address = [](std::uint64_t base, std::uint64_t offset) {
         return base + offset;
@@ -121,16 +161,19 @@ CycleSimEngine::measure(const core::Assignment &assignment)
 
     for (std::uint64_t cycle = 0; cycle < total; ++cycle) {
         for (std::uint32_t pipe = 0; pipe < topo.pipes(); ++pipe) {
-            const auto &members = by_pipe[pipe];
-            if (members.empty())
+            const core::TaskId *members =
+                m.pipeTasks.data() + m.pipeOffsets[pipe];
+            const std::size_t member_count =
+                m.pipeOffsets[pipe + 1] - m.pipeOffsets[pipe];
+            if (member_count == 0)
                 continue;
 
             // Round-robin pick of a ready strand.
             Strand *issued = nullptr;
-            for (std::size_t probe = 0; probe < members.size();
+            for (std::size_t probe = 0; probe < member_count;
                  ++probe) {
                 const std::size_t idx =
-                    (rr[pipe] + probe) % members.size();
+                    (rr[pipe] + probe) % member_count;
                 Strand &s = strands[members[idx]];
                 if (s.stallUntil > cycle)
                     continue;
@@ -154,7 +197,7 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                     continue;
                 issued = &s;
                 rr[pipe] = static_cast<std::uint32_t>(
-                    (idx + 1) % members.size());
+                    (idx + 1) % member_count);
                 break;
             }
             if (!issued)
@@ -168,7 +211,7 @@ CycleSimEngine::measure(const core::Assignment &assignment)
             // (sequential fetch locality) and probe the per-core
             // L1I for a fraction of instructions (the rest are
             // served by the fetch buffer).
-            if (s.rng.uniform() < options_.fetchProbeFraction) {
+            if (s.rng.uniform() < options.fetchProbeFraction) {
                 const std::uint64_t span = static_cast<std::uint64_t>(
                     p.l1iFootprintKb * 1024.0);
                 const std::uint64_t addr = line_address(
@@ -179,12 +222,12 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                     if (!l2.access(addr)) {
                         s.stallUntil = cycle +
                             static_cast<std::uint64_t>(
-                                config_.l2MissPenalty);
+                                config.l2MissPenalty);
                         continue;
                     }
                     s.stallUntil = cycle +
                         static_cast<std::uint64_t>(
-                            config_.l1MissPenalty);
+                            config.l1MissPenalty);
                     continue;
                 }
             }
@@ -204,11 +247,11 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                     if (!l2.access(addr)) {
                         s.stallUntil = cycle +
                             static_cast<std::uint64_t>(
-                                config_.l2MissPenalty);
+                                config.l2MissPenalty);
                     } else {
                         s.stallUntil = cycle +
                             static_cast<std::uint64_t>(
-                                config_.l1MissPenalty);
+                                config.l1MissPenalty);
                     }
                 }
             } else if (u < p.randomAccessFraction +
@@ -227,11 +270,11 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                     if (!l2.access(addr)) {
                         s.stallUntil = cycle +
                             static_cast<std::uint64_t>(
-                                config_.l2MissPenalty);
+                                config.l2MissPenalty);
                     } else {
                         s.stallUntil = cycle +
                             static_cast<std::uint64_t>(
-                                config_.l1MissPenalty);
+                                config.l1MissPenalty);
                     }
                 }
             }
@@ -247,7 +290,7 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                 // Packet boundary: hand off downstream.
                 if (s.outputEdge >= 0) {
                     if (queue_occ[s.outputEdge] >=
-                        options_.queueDepth) {
+                        options.queueDepth) {
                         // Output full: stay at the boundary and
                         // retry (backpressure).
                         s.instrInPacket = p.instructionsPerPacket;
@@ -256,7 +299,7 @@ CycleSimEngine::measure(const core::Assignment &assignment)
                     ++queue_occ[s.outputEdge];
                 }
                 s.instrInPacket = 0.0;
-                if (cycle >= options_.warmupCycles)
+                if (cycle >= options.warmupCycles)
                     ++s.packetsDone;
                 s.hasPacket =
                     (p.role == StageRole::Receive);
@@ -270,9 +313,70 @@ CycleSimEngine::measure(const core::Assignment &assignment)
         if (s.profile->role == StageRole::Transmit)
             transmitted += s.packetsDone;
     }
-    const double seconds = static_cast<double>(options_.cycles) /
-        (config_.clockGhz * 1e9);
+    const double seconds = static_cast<double>(options.cycles) /
+        (config.clockGhz * 1e9);
     return static_cast<double>(transmitted) / seconds;
+}
+
+CycleSimEngine::CycleSimEngine(Workload workload,
+                               const ChipConfig &config,
+                               const CycleSimOptions &options)
+    : workload_(std::move(workload)), config_(config),
+      options_(options), impl_(std::make_unique<Impl>())
+{
+    SCHED_REQUIRE(workload_.taskCount() > 0, "empty workload");
+    SCHED_REQUIRE(options_.cycles >= 1000,
+                  "simulate at least 1000 cycles");
+    SCHED_REQUIRE(options_.queueDepth >= 1, "empty stage queues");
+}
+
+CycleSimEngine::~CycleSimEngine() = default;
+
+double
+CycleSimEngine::secondsPerMeasurement() const
+{
+    return static_cast<double>(options_.cycles +
+                               options_.warmupCycles) /
+        (config_.clockGhz * 1e9);
+}
+
+double
+CycleSimEngine::measure(const core::Assignment &assignment)
+{
+    auto lease = impl_->pool.acquire();
+    return Impl::run(workload_, config_, options_, assignment,
+                     *lease);
+}
+
+void
+CycleSimEngine::measureBatch(std::span<const core::Assignment> batch,
+                             std::span<double> out)
+{
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
+    // One machine image for the whole serial batch.
+    auto lease = impl_->pool.acquire();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        out[i] = Impl::run(workload_, config_, options_, batch[i],
+                           *lease);
+    }
+}
+
+core::BatchKernel
+CycleSimEngine::parallelKernel(std::size_t batchSize)
+{
+    (void)batchSize;   // no per-measurement state to reserve
+    return [this](const core::Assignment &a, std::size_t) {
+        auto lease = impl_->pool.acquire();
+        return Impl::run(workload_, config_, options_, a, *lease);
+    };
+}
+
+void
+CycleSimEngine::collectStats(core::EngineStats &stats) const
+{
+    stats.scratchReuses += impl_->pool.reuses();
+    stats.scratchFallbacks += impl_->pool.fallbacks();
 }
 
 std::string

@@ -1,6 +1,14 @@
 /**
  * @file
  * SimulatedEngine implementation.
+ *
+ * Hot-path discipline: everything downstream of stageRatesInto() must
+ * stay allocation-free in steady state (tools/lint enforces this via
+ * statsched-sim-hot-alloc) and bit-identical to the frozen reference
+ * engine. Per-edge crossing penalties are precomputed at construction
+ * — whether an edge pays them still depends on the assignment, but
+ * the amount does not — and edges are replayed in workload order, so
+ * the per-task accumulation order matches the reference exactly.
  */
 
 #include "sim/engine.hh"
@@ -24,67 +32,120 @@ SimulatedEngine::SimulatedEngine(Workload workload,
     SCHED_REQUIRE(workload_.taskCount() > 0, "empty workload");
     SCHED_REQUIRE(options_.noiseRelStdDev >= 0.0,
                   "negative noise level");
+
+    cyclesPerSecond_ = config_.clockGhz * 1e9;
+
+    const auto &tasks = workload_.tasks();
+    instrPerPacket_.resize(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t)
+        instrPerPacket_[t] = tasks[t].instructionsPerPacket;
+
+    // Queue-locality penalty: an edge whose endpoints sit on
+    // different cores pays a crossbar round trip on every pointer.
+    // The extra per-packet stall is exposed in proportion to the
+    // endpoint's issue demand (a saturated strand cannot hide it) —
+    // quadratic, because a deep asynchronous queue hides the crossing
+    // latency behind slack unless the strand is close to issue
+    // saturation. The penalty amounts depend only on the profiles,
+    // so they are frozen here; the assignment only decides whether
+    // each edge pays them.
+    edgeCrossings_.reserve(workload_.edges().size());
+    for (const auto &[producer, consumer] : workload_.edges()) {
+        const double pd = tasks[producer].issueDemand;
+        const double cd = tasks[consumer].issueDemand;
+        edgeCrossings_.push_back(
+            {producer, consumer,
+             config_.queueCrossingCycles * pd * pd,
+             config_.queueCrossingCycles * cd * cd});
+    }
+}
+
+void
+SimulatedEngine::stageRatesInto(const core::Assignment &assignment,
+                                Scratch &scratch) const
+{
+    solver_.solveInto(assignment, scratch.solver, scratch.solved);
+
+    // The solver just cached every task's core id in its scratch;
+    // reuse it instead of re-deriving each endpoint's core through
+    // the checked topology lookups of Assignment::coreOf.
+    scratch.crossing.assign(workload_.taskCount(), 0.0);
+    const std::uint32_t *core_of = scratch.solver.coreIdOf.data();
+    for (const EdgeCrossing &edge : edgeCrossings_) {
+        if (core_of[edge.producer] != core_of[edge.consumer]) {
+            scratch.crossing[edge.producer] += edge.producerCycles;
+            scratch.crossing[edge.consumer] += edge.consumerCycles;
+        }
+    }
+
+    // Stage packet rates: per-packet time is the contended
+    // instruction time plus the exposed queue-crossing stalls.
+    const std::size_t n = workload_.taskCount();
+    scratch.stagePps.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const double cycles_per_packet =
+            instrPerPacket_[t] / scratch.solved.rates[t] +
+            scratch.crossing[t];
+        scratch.stagePps[t] = cyclesPerSecond_ / cycles_per_packet;
+    }
+}
+
+void
+SimulatedEngine::instanceThroughputsInto(
+    const core::Assignment &assignment, Scratch &scratch,
+    std::vector<double> &out) const
+{
+    stageRatesInto(assignment, scratch);
+    countSolve(scratch);
+
+    // Each pipeline runs at its bottleneck stage.
+    const std::size_t instances = workload_.instances().size();
+    out.resize(instances);
+    for (std::size_t i = 0; i < instances; ++i) {
+        const auto [first, last] = workload_.instanceTaskRange(i);
+        double pps = scratch.stagePps[first];
+        for (std::uint32_t t = first + 1; t <= last; ++t)
+            pps = std::min(pps, scratch.stagePps[t]);
+        out[i] = pps;
+    }
 }
 
 std::vector<double>
 SimulatedEngine::instanceThroughputs(
     const core::Assignment &assignment) const
 {
-    const auto solved = solver_.solve(assignment);
-    const double cycles_per_second = config_.clockGhz * 1e9;
-    const auto &tasks = workload_.tasks();
+    auto lease = pool_.acquire();
+    std::vector<double> out; // NOLINT(statsched-sim-hot-alloc): one-shot convenience wrapper; batch callers use instanceThroughputsInto
+    instanceThroughputsInto(assignment, *lease, out);
+    return out;
+}
 
-    // Queue-locality penalty: an edge whose endpoints sit on
-    // different cores pays a crossbar round trip on every pointer.
-    // The extra per-packet stall is exposed in proportion to the
-    // endpoint's issue demand (a saturated strand cannot hide it).
-    std::vector<double> crossing_cycles(workload_.taskCount(), 0.0);
-    for (const auto &[producer, consumer] : workload_.edges()) {
-        if (assignment.coreOf(producer) !=
-            assignment.coreOf(consumer)) {
-            // Quadratic in the issue demand: a deep asynchronous
-            // queue hides the crossing latency behind slack unless
-            // the strand is close to issue saturation.
-            const double pd = tasks[producer].issueDemand;
-            const double cd = tasks[consumer].issueDemand;
-            crossing_cycles[producer] +=
-                config_.queueCrossingCycles * pd * pd;
-            crossing_cycles[consumer] +=
-                config_.queueCrossingCycles * cd * cd;
-        }
-    }
+double
+SimulatedEngine::deterministicInto(const core::Assignment &assignment,
+                                   Scratch &scratch) const
+{
+    stageRatesInto(assignment, scratch);
 
-    // Stage packet rates: per-packet time is the contended
-    // instruction time plus the exposed queue-crossing stalls.
-    std::vector<double> stage_pps(workload_.taskCount());
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-        const double cycles_per_packet =
-            tasks[t].instructionsPerPacket / solved.rates[t] +
-            crossing_cycles[t];
-        stage_pps[t] = cycles_per_second / cycles_per_packet;
-    }
-
-    // Each pipeline runs at its bottleneck stage.
-    std::vector<double> instance_pps;
-    instance_pps.reserve(workload_.instances().size());
+    // Sum of per-instance bottlenecks, accumulated in instance order
+    // (the same order the per-instance vector would be summed in).
+    double total = 0.0;
     for (std::size_t i = 0; i < workload_.instances().size(); ++i) {
         const auto [first, last] = workload_.instanceTaskRange(i);
-        double pps = stage_pps[first];
+        double pps = scratch.stagePps[first];
         for (std::uint32_t t = first + 1; t <= last; ++t)
-            pps = std::min(pps, stage_pps[t]);
-        instance_pps.push_back(pps);
+            pps = std::min(pps, scratch.stagePps[t]);
+        total += pps;
     }
-    return instance_pps;
+    return total;
 }
 
 double
 SimulatedEngine::deterministic(const core::Assignment &assignment) const
 {
-    const auto per_instance = instanceThroughputs(assignment);
-    double total = 0.0;
-    for (double pps : per_instance)
-        total += pps;
-    return total;
+    auto lease = pool_.acquire();
+    const double value = deterministicInto(assignment, *lease);
+    countSolve(*lease);
+    return value;
 }
 
 double
@@ -111,7 +172,10 @@ SimulatedEngine::measure(const core::Assignment &assignment)
 {
     const std::uint64_t index =
         noiseCursor_.fetch_add(1, std::memory_order_relaxed);
-    return deterministic(assignment) * noiseFactorAt(index);
+    auto lease = pool_.acquire();
+    const double value = deterministicInto(assignment, *lease);
+    countSolve(*lease);
+    return value * noiseFactorAt(index);
 }
 
 void
@@ -120,9 +184,21 @@ SimulatedEngine::measureBatch(std::span<const core::Assignment> batch,
 {
     SCHED_REQUIRE(batch.size() == out.size(),
                   "batch/result size mismatch");
-    const auto kernel = parallelKernel(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i)
-        out[i] = kernel(batch[i], i);
+    // One workspace for the whole serial batch: the kernel closure is
+    // bypassed so the lease is acquired once, not per item.
+    const std::uint64_t base = noiseCursor_.fetch_add(
+        batch.size(), std::memory_order_relaxed);
+    auto lease = pool_.acquire();
+    std::uint64_t iterations = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        out[i] = deterministicInto(batch[i], *lease) *
+            noiseFactorAt(base + i);
+        iterations +=
+            static_cast<std::uint64_t>(lease->solved.iterations);
+    }
+    solves_.fetch_add(batch.size(), std::memory_order_relaxed);
+    solverIterations_.fetch_add(iterations,
+                                std::memory_order_relaxed);
 }
 
 core::BatchKernel
@@ -131,8 +207,21 @@ SimulatedEngine::parallelKernel(std::size_t batchSize)
     const std::uint64_t base =
         noiseCursor_.fetch_add(batchSize, std::memory_order_relaxed);
     return [this, base](const core::Assignment &a, std::size_t i) {
-        return deterministic(a) * noiseFactorAt(base + i);
+        auto lease = pool_.acquire();
+        const double value = deterministicInto(a, *lease);
+        countSolve(*lease);
+        return value * noiseFactorAt(base + i);
     };
+}
+
+void
+SimulatedEngine::collectStats(core::EngineStats &stats) const
+{
+    stats.solves += solves_.load(std::memory_order_relaxed);
+    stats.solverIterations +=
+        solverIterations_.load(std::memory_order_relaxed);
+    stats.scratchReuses += pool_.reuses();
+    stats.scratchFallbacks += pool_.fallbacks();
 }
 
 std::string

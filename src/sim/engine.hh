@@ -18,6 +18,18 @@
  * front, so evaluating the batch serially, chunked, or on many
  * threads (core::ParallelEngine) produces bit-identical results, and
  * measure() itself is safe to call concurrently.
+ *
+ * Batch-first layout: the engine is the hot path of every campaign,
+ * so per-measurement work that does not depend on the assignment —
+ * instructions per packet, cycles per second, the queue-crossing
+ * penalty each edge would pay if split across cores — is precomputed
+ * at construction, and the per-measurement remainder runs
+ * allocation-free against a pooled per-thread Scratch workspace
+ * (sim::ScratchPool). The kernels published by parallelKernel() lease
+ * a workspace per evaluation, so core::ParallelEngine workers neither
+ * contend nor allocate in steady state, with outputs bit-identical to
+ * the serial path and to the frozen pre-refactor engine
+ * (sim/reference_solver.hh).
  */
 
 #ifndef STATSCHED_SIM_ENGINE_HH
@@ -29,6 +41,7 @@
 
 #include "core/performance_engine.hh"
 #include "sim/contention.hh"
+#include "sim/scratch_pool.hh"
 #include "sim/workload.hh"
 #include "stats/rng.hh"
 
@@ -58,6 +71,21 @@ struct EngineOptions
 class SimulatedEngine : public core::PerformanceEngine
 {
   public:
+    /**
+     * Per-thread measurement workspace: the solver scratch plus the
+     * engine's own stage-rate buffers. Reused across measurements;
+     * never shared between concurrent evaluations.
+     */
+    struct Scratch
+    {
+        ContentionSolver::Scratch solver;
+        ContentionResult solved;
+        /** Exposed queue-crossing cycles per task. */
+        std::vector<double> crossing;
+        /** Bottleneck candidate packet rate per stage. */
+        std::vector<double> stagePps;
+    };
+
     /**
      * @param workload Workload to schedule (copied).
      * @param config   Chip configuration.
@@ -89,6 +117,12 @@ class SimulatedEngine : public core::PerformanceEngine
         return options_.secondsPerMeasurement;
     }
 
+    /**
+     * Contributes solver and scratch-pool counters (solves, fixed-
+     * point iterations, workspace reuses/fallbacks).
+     */
+    void collectStats(core::EngineStats &stats) const override;
+
     /** @return the workload driving this engine. */
     const Workload &workload() const { return workload_; }
 
@@ -99,9 +133,39 @@ class SimulatedEngine : public core::PerformanceEngine
     std::vector<double>
     instanceThroughputs(const core::Assignment &assignment) const;
 
+    /**
+     * Allocation-free variant of instanceThroughputs(): fills `out`
+     * (resized in place) using only the caller's workspace. Batch
+     * consumers reuse one Scratch + output buffer across calls.
+     */
+    void instanceThroughputsInto(const core::Assignment &assignment,
+                                 Scratch &scratch,
+                                 std::vector<double> &out) const;
+
   private:
     /** Multiplicative noise factor of measurement `index`. */
     double noiseFactorAt(std::uint64_t index) const;
+
+    /** Solves and fills scratch.stagePps; shared by the Into paths.
+     *  Does not touch the stats counters — callers account solves
+     *  themselves (the serial batch loop folds a whole batch into two
+     *  atomic adds instead of two per item). */
+    void stageRatesInto(const core::Assignment &assignment,
+                        Scratch &scratch) const;
+
+    /** Noise-free total PPS using the caller's workspace; uncounted
+     *  like stageRatesInto(). */
+    double deterministicInto(const core::Assignment &assignment,
+                             Scratch &scratch) const;
+
+    /** Adds one stageRatesInto() outcome to the stats counters. */
+    void countSolve(const Scratch &scratch) const
+    {
+        solves_.fetch_add(1, std::memory_order_relaxed);
+        solverIterations_.fetch_add(
+            static_cast<std::uint64_t>(scratch.solved.iterations),
+            std::memory_order_relaxed);
+    }
 
     Workload workload_;
     ChipConfig config_;
@@ -109,6 +173,27 @@ class SimulatedEngine : public core::PerformanceEngine
     ContentionSolver solver_;
     /** Next unassigned measurement index (noise substream id). */
     std::atomic<std::uint64_t> noiseCursor_{0};
+
+    /** Queue-crossing penalty an edge pays iff it spans cores. */
+    struct EdgeCrossing
+    {
+        core::TaskId producer;
+        core::TaskId consumer;
+        double producerCycles;
+        double consumerCycles;
+    };
+
+    // --- Assignment-independent tables, built once.
+    double cyclesPerSecond_ = 0.0;
+    std::vector<double> instrPerPacket_;
+    std::vector<EdgeCrossing> edgeCrossings_;
+
+    /** Per-thread workspaces for the measurement hot path. */
+    mutable ScratchPool<Scratch> pool_;
+    /** Contention solves executed (all channels). */
+    mutable std::atomic<std::uint64_t> solves_{0};
+    /** Fixed-point iterations across those solves. */
+    mutable std::atomic<std::uint64_t> solverIterations_{0};
 };
 
 } // namespace sim

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Frozen pre-refactor contention solver (see reference_solver.hh).
+ *
+ * The bodies below are verbatim copies of the original
+ * ContentionSolver::solve() and SimulatedEngine::instanceThroughputs()
+ * as of the batch refactor, with member references replaced by
+ * parameters. Any behavioural edit here invalidates the bit-identity
+ * oracle — change the production path instead and prove it against
+ * this one.
+ */
+
+#include "sim/reference_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "base/check.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Fraction of instruction fetches exposed to I-cache pressure. */
+constexpr double iFetchMissWeight = 0.05;
+
+double
+overflowFraction(double footprint_kb, double capacity_kb)
+{
+    if (footprint_kb <= capacity_kb)
+        return 0.0;
+    return 1.0 - capacity_kb / footprint_kb;
+}
+
+template <typename FootprintFn, typename ShareFn>
+double
+sharedFootprint(const std::vector<core::TaskId> &members,
+                FootprintFn footprint, ShareFn share_id)
+{
+    double total = 0.0;
+    std::map<std::uint32_t, double> shared;
+    for (core::TaskId t : members) {
+        const std::uint32_t id = share_id(t);
+        if (id == 0) {
+            total += footprint(t);
+        } else {
+            auto [it, inserted] = shared.emplace(id, footprint(t));
+            if (!inserted)
+                it->second = std::max(it->second, footprint(t));
+        }
+    }
+    for (const auto &[id, fp] : shared)
+        total += fp;
+    return total;
+}
+
+/** The original waterfill, frozen together with its callers. */
+std::vector<double>
+referenceWaterfill(const std::vector<double> &demands, double capacity)
+{
+    std::vector<double> alloc(demands.size(), 0.0);
+    if (demands.empty())
+        return alloc;
+
+    std::vector<std::size_t> order(demands.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&demands](std::size_t a, std::size_t b) {
+                  return demands[a] < demands[b];
+              });
+
+    double remaining = capacity;
+    std::size_t left = demands.size();
+    for (std::size_t idx : order) {
+        const double fair = remaining / static_cast<double>(left);
+        const double d = std::max(0.0, demands[idx]);
+        const double granted = std::min(d, fair);
+        alloc[idx] = granted;
+        remaining -= granted;
+        --left;
+    }
+    return alloc;
+}
+
+} // anonymous namespace
+
+ContentionResult
+referenceSolve(const ChipConfig &config,
+               const std::vector<TaskProfile> &tasks,
+               const core::Assignment &assignment)
+{
+    SCHED_REQUIRE(assignment.size() == tasks.size(),
+                  "assignment/task-count mismatch");
+    const core::Topology &topo = assignment.topology();
+    const std::size_t n = tasks.size();
+
+    const auto by_pipe = assignment.tasksByPipe();
+    const auto by_core = assignment.tasksByCore();
+
+    // --- Cache pressure per core and chip-wide (assignment dependent,
+    // rate independent: computed once).
+    std::vector<double> l1d_miss_prob(topo.cores, 0.0);
+    std::vector<double> l1i_miss_prob(topo.cores, 0.0);
+    for (std::uint32_t c = 0; c < topo.cores; ++c) {
+        const auto &members = by_core[c];
+        if (members.empty())
+            continue;
+        const double d_fp = sharedFootprint(
+            members,
+            [&](core::TaskId t) {
+                return tasks[t].l1dFootprintKb +
+                    std::min(tasks[t].tableKb, 0.5 * config.l1dKb);
+            },
+            [&](core::TaskId t) { return tasks[t].sharedDataId; });
+        const double i_fp = sharedFootprint(
+            members,
+            [&](core::TaskId t) {
+                return tasks[t].l1iFootprintKb;
+            },
+            [&](core::TaskId t) { return tasks[t].codeId; });
+        const double d_ov = overflowFraction(d_fp, config.l1dKb);
+        const double i_ov = overflowFraction(i_fp, config.l1iKb);
+        l1d_miss_prob[c] = config.l1BaseMissRate +
+            (1.0 - config.l1BaseMissRate) * d_ov * d_ov * d_ov;
+        l1i_miss_prob[c] = config.l1BaseMissRate +
+            (1.0 - config.l1BaseMissRate) * i_ov * i_ov * i_ov;
+    }
+
+    std::vector<core::TaskId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    const double l2_fp = sharedFootprint(
+        all,
+        [&](core::TaskId t) {
+            return tasks[t].l2FootprintKb + tasks[t].tableKb;
+        },
+        [&](core::TaskId t) { return tasks[t].sharedDataId; });
+    const double l2_miss_prob = config.l2BaseMissRate +
+        (1.0 - config.l2BaseMissRate) *
+        overflowFraction(l2_fp, config.l2Kb);
+
+    // --- Per-task stall-inclusive issue demand.
+    ContentionResult result;
+    result.l1dMissRate.resize(n);
+    result.l2MissRate.resize(n);
+    std::vector<double> demand(n);
+    std::vector<double> mem_frac(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        const TaskProfile &p = tasks[t];
+        const std::uint32_t c = assignment.coreOf(
+            static_cast<core::TaskId>(t));
+
+        const double d_miss = p.loadStoreFraction * l1d_miss_prob[c];
+        const double i_miss = iFetchMissWeight * l1i_miss_prob[c];
+        const double hot_miss = d_miss + i_miss;
+        const double table_miss = p.randomAccessFraction *
+            overflowFraction(p.tableKb, config.l1dKb);
+        const double table_mem_miss = table_miss * l2_miss_prob;
+
+        result.l1dMissRate[t] = l1d_miss_prob[c];
+        result.l2MissRate[t] = l2_miss_prob;
+        mem_frac[t] = table_mem_miss;
+
+        const double base_cpi = 1.0 / p.issueDemand;
+        const double stall_cpi = config.stallExposure *
+            ((hot_miss + table_miss - table_mem_miss) *
+             config.l1MissPenalty +
+             table_mem_miss * config.l2MissPenalty);
+        demand[t] = 1.0 / (base_cpi + stall_cpi);
+    }
+
+    // --- Fixed point over the shared-port arbiters.
+    std::vector<double> rate(demand);
+    std::vector<double> request(demand);
+    int iter = 0;
+    for (; iter < config.solverIterations; ++iter) {
+        std::vector<double> cap(n,
+                                std::numeric_limits<double>::infinity());
+
+        // IntraPipe: issue bandwidth.
+        for (std::uint32_t pipe = 0; pipe < topo.pipes(); ++pipe) {
+            const auto &members = by_pipe[pipe];
+            if (members.empty())
+                continue;
+            std::vector<double> d;
+            d.reserve(members.size());
+            for (core::TaskId t : members)
+                d.push_back(request[t]);
+            const auto alloc =
+                referenceWaterfill(d, config.pipeIssueWidth);
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                cap[members[i]] =
+                    std::min(cap[members[i]], alloc[i]);
+            }
+        }
+
+        // IntraCore: LSU / FPU / crypto ports.
+        struct Port
+        {
+            double TaskProfile::*fraction;
+            double ChipConfig::*width;
+        };
+        static const Port ports[] = {
+            {&TaskProfile::loadStoreFraction, &ChipConfig::lsuWidth},
+            {&TaskProfile::fpFraction, &ChipConfig::fpuWidth},
+            {&TaskProfile::cryptoFraction, &ChipConfig::cryptoWidth},
+        };
+        for (const Port &port : ports) {
+            for (std::uint32_t c = 0; c < topo.cores; ++c) {
+                const auto &members = by_core[c];
+                if (members.empty())
+                    continue;
+                std::vector<double> d;
+                std::vector<core::TaskId> users;
+                for (core::TaskId t : members) {
+                    const double f = tasks[t].*(port.fraction);
+                    if (f > 0.0) {
+                        users.push_back(t);
+                        d.push_back(request[t] * f);
+                    }
+                }
+                if (users.empty())
+                    continue;
+                const auto alloc =
+                    referenceWaterfill(d, config.*(port.width));
+                for (std::size_t i = 0; i < users.size(); ++i) {
+                    const double f =
+                        tasks[users[i]].*(port.fraction);
+                    cap[users[i]] =
+                        std::min(cap[users[i]], alloc[i] / f);
+                }
+            }
+        }
+
+        // InterCore: off-chip access budget.
+        {
+            std::vector<double> d;
+            std::vector<core::TaskId> users;
+            for (std::size_t t = 0; t < n; ++t) {
+                if (mem_frac[t] > 0.0) {
+                    users.push_back(static_cast<core::TaskId>(t));
+                    d.push_back(request[t] * mem_frac[t]);
+                }
+            }
+            if (!users.empty()) {
+                const auto alloc =
+                    referenceWaterfill(d, config.memAccessWidth);
+                for (std::size_t i = 0; i < users.size(); ++i) {
+                    cap[users[i]] = std::min(
+                        cap[users[i]],
+                        alloc[i] / mem_frac[users[i]]);
+                }
+            }
+        }
+
+        // Combine with the intrinsic demand; damp the request update.
+        double max_delta = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            const double next = std::min(demand[t], cap[t]);
+            max_delta = std::max(max_delta,
+                                 std::fabs(next - rate[t]));
+            rate[t] = next;
+            request[t] = 0.5 * request[t] + 0.5 * next;
+        }
+        if (max_delta < 1e-12)
+            break;
+    }
+
+    result.rates = std::move(rate);
+    result.iterations = iter;
+    return result;
+}
+
+std::vector<double>
+referenceInstanceThroughputs(const Workload &workload,
+                             const ChipConfig &config,
+                             const core::Assignment &assignment)
+{
+    const auto solved =
+        referenceSolve(config, workload.tasks(), assignment);
+    const double cycles_per_second = config.clockGhz * 1e9;
+    const auto &tasks = workload.tasks();
+
+    std::vector<double> crossing_cycles(workload.taskCount(), 0.0);
+    for (const auto &[producer, consumer] : workload.edges()) {
+        if (assignment.coreOf(producer) !=
+            assignment.coreOf(consumer)) {
+            const double pd = tasks[producer].issueDemand;
+            const double cd = tasks[consumer].issueDemand;
+            crossing_cycles[producer] +=
+                config.queueCrossingCycles * pd * pd;
+            crossing_cycles[consumer] +=
+                config.queueCrossingCycles * cd * cd;
+        }
+    }
+
+    std::vector<double> stage_pps(workload.taskCount());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        const double cycles_per_packet =
+            tasks[t].instructionsPerPacket / solved.rates[t] +
+            crossing_cycles[t];
+        stage_pps[t] = cycles_per_second / cycles_per_packet;
+    }
+
+    std::vector<double> instance_pps;
+    instance_pps.reserve(workload.instances().size());
+    for (std::size_t i = 0; i < workload.instances().size(); ++i) {
+        const auto [first, last] = workload.instanceTaskRange(i);
+        double pps = stage_pps[first];
+        for (std::uint32_t t = first + 1; t <= last; ++t)
+            pps = std::min(pps, stage_pps[t]);
+        instance_pps.push_back(pps);
+    }
+    return instance_pps;
+}
+
+double
+referenceDeterministic(const Workload &workload,
+                       const ChipConfig &config,
+                       const core::Assignment &assignment)
+{
+    const auto per_instance =
+        referenceInstanceThroughputs(workload, config, assignment);
+    double total = 0.0;
+    for (double pps : per_instance)
+        total += pps;
+    return total;
+}
+
+} // namespace sim
+} // namespace statsched

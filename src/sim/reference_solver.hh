@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Frozen straight-line reference of the contention model.
+ *
+ * This is the pre-batch-refactor solver and throughput computation,
+ * kept verbatim as an executable specification: it allocates freely,
+ * uses std::map for shared-footprint dedup and re-derives every
+ * assignment-independent quantity on each call. The production path
+ * (sim/contention.hh + sim/engine.hh) is required to be bit-identical
+ * to these functions for every workload, assignment and seed — the
+ * property tests (tests/sim/test_batch_identity.cc) and the
+ * throughput benchmark (bench/bench_sim_throughput.cc) both compare
+ * against this oracle, and the benchmark reports its measurements/sec
+ * as the pre-refactor baseline.
+ *
+ * Do not optimize this file. Its slowness is the point.
+ */
+
+#ifndef STATSCHED_SIM_REFERENCE_SOLVER_HH
+#define STATSCHED_SIM_REFERENCE_SOLVER_HH
+
+#include <vector>
+
+#include "core/assignment.hh"
+#include "sim/chip_config.hh"
+#include "sim/contention.hh"
+#include "sim/task_profile.hh"
+#include "sim/workload.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * The original ContentionSolver::solve(), as a free function.
+ *
+ * @param config     Chip capacities and penalties.
+ * @param tasks      Task profiles, indexed by TaskId.
+ * @param assignment Assignment of all tasks.
+ */
+ContentionResult
+referenceSolve(const ChipConfig &config,
+               const std::vector<TaskProfile> &tasks,
+               const core::Assignment &assignment);
+
+/**
+ * The original SimulatedEngine::instanceThroughputs(): per-instance
+ * noiseless PPS through the reference solver.
+ */
+std::vector<double>
+referenceInstanceThroughputs(const Workload &workload,
+                             const ChipConfig &config,
+                             const core::Assignment &assignment);
+
+/**
+ * The original SimulatedEngine::deterministic(): total noiseless PPS
+ * through the reference solver.
+ */
+double referenceDeterministic(const Workload &workload,
+                              const ChipConfig &config,
+                              const core::Assignment &assignment);
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_REFERENCE_SOLVER_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lock-free pool of per-thread scratch workspaces.
+ *
+ * The batch measurement hot path (sim::SimulatedEngine's kernels
+ * running under core::ParallelEngine) needs one solver workspace per
+ * concurrent evaluation. A ScratchPool keeps a fixed array of
+ * cache-line-aligned slots; each acquiring thread starts its slot scan
+ * at a thread-local hint, so in steady state every worker lands on
+ * "its" slot on the first probe and batch evaluation neither contends
+ * nor allocates. If every slot is busy (more concurrent acquirers
+ * than slots), acquire() falls back to a heap-allocated workspace —
+ * correct, just slower — and counts the event, so the engine report
+ * shows when a pool is undersized.
+ *
+ * Results must not depend on which slot (or fallback) a thread gets:
+ * workspaces are interchangeable by construction, since every consumer
+ * (ContentionSolver::solveInto and friends) resizes and overwrites
+ * its buffers before reading them.
+ */
+
+#ifndef STATSCHED_SIM_SCRATCH_POOL_HH
+#define STATSCHED_SIM_SCRATCH_POOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "base/check.hh"
+
+namespace statsched
+{
+namespace sim
+{
+
+/**
+ * Fixed-size pool of reusable T workspaces with RAII leases.
+ *
+ * Thread-safe; a Lease is not (use it from the acquiring thread).
+ */
+template <typename T>
+class ScratchPool
+{
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<bool> busy{false};
+        T item{};
+    };
+
+  public:
+    /**
+     * @param slots Slot count; the default comfortably covers one
+     *              slot per hardware thread plus caller overlap.
+     */
+    explicit ScratchPool(std::size_t slots = defaultSlotCount())
+        : slots_(std::make_unique<Slot[]>(slots)), count_(slots)
+    {
+        SCHED_REQUIRE(slots > 0, "empty scratch pool");
+    }
+
+    /** Owns one workspace until destruction. Move-only. */
+    class Lease
+    {
+      public:
+        Lease(Slot *slot, std::unique_ptr<T> fallback)
+            : slot_(slot), fallback_(std::move(fallback))
+        {
+        }
+
+        Lease(Lease &&other) noexcept
+            : slot_(other.slot_), fallback_(std::move(other.fallback_))
+        {
+            other.slot_ = nullptr;
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        Lease &operator=(Lease &&) = delete;
+
+        ~Lease()
+        {
+            if (slot_)
+                slot_->busy.store(false, std::memory_order_release);
+        }
+
+        T &operator*() { return slot_ ? slot_->item : *fallback_; }
+        T *operator->() { return &**this; }
+
+        /** @return true if this lease holds a pooled slot rather
+         *  than a fallback allocation. */
+        bool pooled() const { return slot_ != nullptr; }
+
+      private:
+        Slot *slot_;
+        std::unique_ptr<T> fallback_;
+    };
+
+    /**
+     * Acquires a workspace: a pooled slot when one is free (the
+     * common case), a heap fallback otherwise.
+     */
+    Lease
+    acquire()
+    {
+        const std::size_t start = threadHint() % count_;
+        for (std::size_t i = 0; i < count_; ++i) {
+            Slot &slot = slots_[(start + i) % count_];
+            // Cheap relaxed probe first: losing threads skip busy
+            // slots without writing their cache line.
+            if (slot.busy.load(std::memory_order_relaxed))
+                continue;
+            if (!slot.busy.exchange(true, std::memory_order_acquire)) {
+                reuses_.fetch_add(1, std::memory_order_relaxed);
+                return Lease(&slot, nullptr);
+            }
+        }
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return Lease(nullptr, std::make_unique<T>());
+    }
+
+    /** @return number of slots. */
+    std::size_t size() const { return count_; }
+
+    /** @return acquisitions served by a pooled (reused) slot. */
+    std::uint64_t
+    reuses() const
+    {
+        return reuses_.load(std::memory_order_relaxed);
+    }
+
+    /** @return acquisitions that had to heap-allocate a workspace. */
+    std::uint64_t
+    fallbacks() const
+    {
+        return fallbacks_.load(std::memory_order_relaxed);
+    }
+
+    /** @return the default slot count for this machine. */
+    static std::size_t
+    defaultSlotCount()
+    {
+        const std::size_t hw = std::thread::hardware_concurrency();
+        return std::max<std::size_t>(2 * hw, 16);
+    }
+
+  private:
+    /**
+     * Stable per-thread slot preference: threads get distinct hints
+     * in arrival order, so steady-state workers never collide.
+     */
+    static std::size_t
+    threadHint()
+    {
+        static std::atomic<std::size_t> next{0};
+        thread_local const std::size_t hint =
+            next.fetch_add(1, std::memory_order_relaxed);
+        return hint;
+    }
+
+    std::unique_ptr<Slot[]> slots_;
+    std::size_t count_;
+    std::atomic<std::uint64_t> reuses_{0};
+    std::atomic<std::uint64_t> fallbacks_{0};
+};
+
+} // namespace sim
+} // namespace statsched
+
+#endif // STATSCHED_SIM_SCRATCH_POOL_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Bit-identity of the batch-first measurement path.
+ *
+ * The frozen pre-refactor solver (sim/reference_solver.hh) is the
+ * oracle: the production ContentionSolver/SimulatedEngine must
+ * reproduce it to the last bit for every assignment — through the
+ * allocation-free solveInto() with a reused Scratch, through the
+ * serial batch path, and through core::ParallelEngine at any thread
+ * count. Every comparison here is exact (EXPECT_EQ on doubles);
+ * "close enough" would defeat the purpose, because the statistical
+ * method's replayability contract is bit-level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel_engine.hh"
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/contention.hh"
+#include "sim/cycle_sim.hh"
+#include "sim/engine.hh"
+#include "sim/reference_solver.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+
+std::vector<core::Assignment>
+sampleAssignments(const Workload &w, std::uint64_t seed,
+                  std::size_t count)
+{
+    core::RandomAssignmentSampler sampler(
+        core::Topology::ultraSparcT2(), w.taskCount(), seed,
+        core::SamplingMethod::PartialFisherYates);
+    return sampler.drawSample(count);
+}
+
+void
+expectResultsEqual(const ContentionResult &expected,
+                   const ContentionResult &actual)
+{
+    ASSERT_EQ(expected.rates.size(), actual.rates.size());
+    for (std::size_t t = 0; t < expected.rates.size(); ++t) {
+        EXPECT_EQ(expected.rates[t], actual.rates[t]) << "task " << t;
+        EXPECT_EQ(expected.l1dMissRate[t], actual.l1dMissRate[t]);
+        EXPECT_EQ(expected.l2MissRate[t], actual.l2MissRate[t]);
+    }
+    EXPECT_EQ(expected.iterations, actual.iterations);
+}
+
+TEST(BatchIdentity, SolveMatchesReferenceAcrossBenchmarks)
+{
+    for (Benchmark b :
+         {Benchmark::IpfwdL1, Benchmark::IpfwdMem,
+          Benchmark::AhoCorasick, Benchmark::Stateful,
+          Benchmark::PacketAnalyzer, Benchmark::IpsecEsp}) {
+        const Workload w = makeWorkload(b, 8);
+        const ChipConfig config;
+        const ContentionSolver solver(config, w.tasks());
+        for (const auto &a :
+             sampleAssignments(w, 7001 + static_cast<int>(b), 8)) {
+            expectResultsEqual(referenceSolve(config, w.tasks(), a),
+                               solver.solve(a));
+        }
+    }
+}
+
+TEST(BatchIdentity, ReusedScratchMatchesFreshSolves)
+{
+    // One Scratch + one ContentionResult carried across many
+    // different assignments must leave no residue: every solve is
+    // identical to a solve on a brand-new workspace.
+    const Workload w = makeWorkload(Benchmark::Stateful, 8);
+    const ChipConfig config;
+    const ContentionSolver solver(config, w.tasks());
+    ContentionSolver::Scratch reused;
+    ContentionResult result;
+    for (const auto &a : sampleAssignments(w, 424242, 32)) {
+        solver.solveInto(a, reused, result);
+        expectResultsEqual(solver.solve(a), result);
+    }
+}
+
+TEST(BatchIdentity, DeterministicMatchesReferenceEngine)
+{
+    for (Benchmark b : {Benchmark::IpfwdL1, Benchmark::IpfwdMem,
+                        Benchmark::PacketAnalyzer}) {
+        const Workload w = makeWorkload(b, 8);
+        const ChipConfig config;
+        EngineOptions noiseless;
+        noiseless.noiseRelStdDev = 0.0;
+        const SimulatedEngine engine(w, config, noiseless);
+        for (const auto &a :
+             sampleAssignments(w, 909 + static_cast<int>(b), 8)) {
+            EXPECT_EQ(referenceDeterministic(w, config, a),
+                      engine.deterministic(a));
+        }
+    }
+}
+
+TEST(BatchIdentity, InstanceThroughputsIntoMatchesReference)
+{
+    const Workload w = makeWorkload(Benchmark::IpfwdMem, 8);
+    const ChipConfig config;
+    EngineOptions noiseless;
+    noiseless.noiseRelStdDev = 0.0;
+    const SimulatedEngine engine(w, config, noiseless);
+    SimulatedEngine::Scratch scratch;
+    std::vector<double> reused_out;
+    for (const auto &a : sampleAssignments(w, 5150, 16)) {
+        engine.instanceThroughputsInto(a, scratch, reused_out);
+        const auto expected =
+            referenceInstanceThroughputs(w, config, a);
+        ASSERT_EQ(expected.size(), reused_out.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(expected[i], reused_out[i]) << "instance " << i;
+    }
+}
+
+/** Measures one batch on a fresh noisy engine through a
+ *  ParallelEngine with the given thread count. */
+std::vector<double>
+measureNoisyBatch(const std::vector<core::Assignment> &batch,
+                  unsigned threads)
+{
+    Workload w = makeWorkload(Benchmark::IpfwdL1, 8);
+    SimulatedEngine engine(w);   // default noise on
+    core::ParallelEngine parallel(engine, threads);
+    std::vector<double> out(batch.size());
+    parallel.measureBatch(batch, out);
+    return out;
+}
+
+TEST(BatchIdentity, NoisyBatchesBitIdenticalAcrossThreadCounts)
+{
+    const Workload w = makeWorkload(Benchmark::IpfwdL1, 8);
+    const auto batch = sampleAssignments(w, 31337, 64);
+
+    // Serial reference: plain measureBatch on a fresh engine.
+    std::vector<double> serial(batch.size());
+    {
+        Workload w2 = makeWorkload(Benchmark::IpfwdL1, 8);
+        SimulatedEngine engine(w2);
+        engine.measureBatch(batch, serial);
+    }
+
+    for (unsigned threads : {1u, 4u, 16u}) {
+        const auto out = measureNoisyBatch(batch, threads);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(serial[i], out[i])
+                << "item " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(BatchIdentity, CycleSimParallelMatchesSerial)
+{
+    const Workload w = makeWorkload(Benchmark::IpfwdMem, 4);
+    const auto batch = sampleAssignments(w, 2468, 8);
+    CycleSimOptions opt;
+    opt.cycles = 20000;
+    opt.warmupCycles = 5000;
+
+    // Serial reference: measure() calls on a fresh engine.
+    std::vector<double> serial;
+    {
+        Workload w2 = makeWorkload(Benchmark::IpfwdMem, 4);
+        CycleSimEngine engine(w2, {}, opt);
+        for (const auto &a : batch)
+            serial.push_back(engine.measure(a));
+    }
+
+    for (unsigned threads : {4u, 16u}) {
+        Workload w2 = makeWorkload(Benchmark::IpfwdMem, 4);
+        CycleSimEngine engine(w2, {}, opt);
+        core::ParallelEngine parallel(engine, threads);
+        std::vector<double> out(batch.size());
+        parallel.measureBatch(batch, out);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(serial[i], out[i])
+                << "item " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(BatchIdentity, EngineReportsSolverAndScratchStats)
+{
+    Workload w = makeWorkload(Benchmark::IpfwdL1, 8);
+    SimulatedEngine engine(w);
+    const auto batch = sampleAssignments(w, 1212, 16);
+    std::vector<double> out(batch.size());
+    engine.measureBatch(batch, out);
+
+    core::EngineStats stats;
+    engine.collectStats(stats);
+    EXPECT_EQ(16u, stats.solves);
+    // iterations counts the refinement rounds past the initial pass;
+    // lightly contended assignments legitimately converge at 0, but
+    // across 16 random draws at least one needs a refinement round.
+    EXPECT_GE(stats.solverIterations, 1u);
+    EXPECT_GT(stats.solverIterationsPerSolve(), 0.0);
+    EXPECT_LT(stats.solverIterationsPerSolve(), 100.0);
+    // The serial batch leases one pooled workspace; nothing falls
+    // back to the heap.
+    EXPECT_GE(stats.scratchReuses, 1u);
+    EXPECT_EQ(0u, stats.scratchFallbacks);
+}
+
+} // anonymous namespace

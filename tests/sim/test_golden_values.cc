@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Golden-value pins for the simulated engines.
+ *
+ * The values below were captured from the engine as it stood BEFORE
+ * the batch-first refactor (the same code now frozen verbatim in
+ * sim/reference_solver.hh) with %.17g formatting, which round-trips
+ * IEEE doubles exactly. Every comparison is EXPECT_EQ on doubles —
+ * bit identity, not tolerance: the refactored engine is specified to
+ * reproduce the original to the last ulp for every workload, seed
+ * and thread count. If an intentional model change ever breaks these
+ * pins, re-capture them in the same commit and say so; an unintended
+ * mismatch is a determinism regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampler.hh"
+#include "sim/benchmarks.hh"
+#include "sim/cycle_sim.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+using namespace statsched::sim;
+
+struct GoldenCase
+{
+    Benchmark benchmark;
+    std::uint32_t instances;
+    std::uint64_t samplerSeed;
+    double expected[3];
+};
+
+/** Captured 2026-08-07 from the pre-refactor SimulatedEngine
+ *  (default ChipConfig, noise off, PartialFisherYates sampler on the
+ *  UltraSPARC T2 topology, three consecutive draws). */
+const GoldenCase kDeterministicGolden[] = {
+    {Benchmark::IpfwdL1, 2, 11,
+     {1610631.3292891947, 1610631.3292891947, 1617028.5219884655}},
+    {Benchmark::IpfwdL1, 8, 22,
+     {6032946.5316286599, 6059883.853029795, 5719964.2880232055}},
+    {Benchmark::IpfwdMem, 8, 33,
+     {5006465.250890784, 4754231.4229623917, 5085651.6955215428}},
+    {Benchmark::AhoCorasick, 4, 44,
+     {361673.7312095738, 362256.63903206686, 362799.76389530872}},
+    {Benchmark::Stateful, 8, 55,
+     {3561819.8998719328, 3579477.0910600945, 3069040.0920082536}},
+    {Benchmark::IpsecEsp, 8, 66,
+     {1823119.8701436191, 1777404.9410265314, 1796881.8578746337}},
+    {Benchmark::PacketAnalyzer, 16, 77,
+     {5894400.3486542804, 5037100.6867950307, 5891348.0253846031}},
+    {Benchmark::IpfwdIntAdd, 20, 88,
+     {5451220.7642083839, 6394311.1666419161, 5888422.8585179504}},
+};
+
+TEST(GoldenValues, DeterministicEngineMatchesPreRefactorCapture)
+{
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+    for (const GoldenCase &c : kDeterministicGolden) {
+        Workload w = makeWorkload(c.benchmark, c.instances);
+        EngineOptions noiseless;
+        noiseless.noiseRelStdDev = 0.0;
+        SimulatedEngine engine(w, {}, noiseless);
+        core::RandomAssignmentSampler sampler(
+            t2, w.taskCount(), c.samplerSeed,
+            core::SamplingMethod::PartialFisherYates);
+        for (int k = 0; k < 3; ++k) {
+            const core::Assignment a = sampler.draw();
+            EXPECT_EQ(c.expected[k], engine.deterministic(a))
+                << benchmarkName(c.benchmark) << " x" << c.instances
+                << " draw " << k;
+        }
+    }
+}
+
+/** Captured alongside the deterministic pins: IPFwd-L1 x8 with the
+ *  default EngineOptions (noise 5e-4, seed 0x5eed), sampler seed 99,
+ *  one measureBatch of 8 on a fresh engine. Pins the noise substream
+ *  layout (per measurement index) as well as the model. */
+const double kNoisyBatchGolden[8] = {
+    5743361.200088108,  5422295.3880718164, 6258918.8098191647,
+    5195916.5793650281, 5683491.0684964806, 5583004.0374348406,
+    5559663.2088271622, 5493018.3484914666,
+};
+
+TEST(GoldenValues, NoisyBatchMatchesPreRefactorCapture)
+{
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+    Workload w = makeWorkload(Benchmark::IpfwdL1, 8);
+    SimulatedEngine engine(w);
+    core::RandomAssignmentSampler sampler(
+        t2, w.taskCount(), 99,
+        core::SamplingMethod::PartialFisherYates);
+    const auto batch = sampler.drawSample(8);
+    std::vector<double> out(batch.size());
+    engine.measureBatch(batch, out);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(kNoisyBatchGolden[i], out[i]) << "item " << i;
+}
+
+struct CycleGoldenCase
+{
+    Benchmark benchmark;
+    std::uint32_t instances;
+    std::uint64_t samplerSeed;
+    double expected[2];
+};
+
+/** Captured from the pre-refactor CycleSimEngine (20000 cycles,
+ *  5000 warmup, default seed, default ChipConfig; two draws). */
+const CycleGoldenCase kCycleGolden[] = {
+    {Benchmark::IpfwdL1, 2, 101, {140000.0, 140000.0}},
+    {Benchmark::IpfwdMem, 4, 202, {560000.0, 490000.0}},
+    {Benchmark::Stateful, 8, 303, {840000.0, 700000.0}},
+};
+
+TEST(GoldenValues, CycleSimMatchesPreRefactorCapture)
+{
+    const core::Topology t2 = core::Topology::ultraSparcT2();
+    for (const CycleGoldenCase &c : kCycleGolden) {
+        Workload w = makeWorkload(c.benchmark, c.instances);
+        CycleSimOptions opt;
+        opt.cycles = 20000;
+        opt.warmupCycles = 5000;
+        CycleSimEngine engine(w, {}, opt);
+        core::RandomAssignmentSampler sampler(
+            t2, w.taskCount(), c.samplerSeed,
+            core::SamplingMethod::PartialFisherYates);
+        for (int k = 0; k < 2; ++k) {
+            const core::Assignment a = sampler.draw();
+            EXPECT_EQ(c.expected[k], engine.measure(a))
+                << benchmarkName(c.benchmark) << " draw " << k;
+        }
+    }
+}
+
+} // anonymous namespace

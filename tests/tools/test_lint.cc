@@ -334,9 +334,60 @@ TEST(Lint, CatalogueCoversEveryRuleId)
          {"statsched-wallclock", "statsched-ambient-rng",
           "statsched-unordered-iteration", "statsched-raw-assert",
           "statsched-stdout", "statsched-include-guard",
-          "statsched-include-own-first", "statsched-nolint-reason"}) {
+          "statsched-include-own-first", "statsched-nolint-reason",
+          "statsched-sim-hot-alloc"}) {
         EXPECT_TRUE(fired(ids, expected)) << expected;
     }
+}
+
+TEST(Lint, SimHotAllocFiresOnMapAndVectorAndNew)
+{
+    const std::string snippet =
+        "#include \"sim/contention.hh\"\n"
+        "void f() {\n"
+        "    std::map<int, double> shared;\n"
+        "    std::vector<double> demand(n, 0.0);\n"
+        "    auto *p = new double[8];\n"
+        "}\n";
+    const auto rules = firedRules("src/sim/contention.cc", snippet);
+    EXPECT_EQ(3, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-sim-hot-alloc")));
+}
+
+TEST(Lint, SimHotAllocSuppressibleWithReason)
+{
+    const std::string snippet =
+        "#include \"sim/contention.hh\"\n"
+        "std::vector<core::TaskId> all(n);"
+        " // NOLINT(statsched-sim-hot-alloc): construction time\n";
+    EXPECT_TRUE(firedRules("src/sim/contention.cc", snippet).empty());
+}
+
+TEST(Lint, SimHotAllocScopedToSolverAndEngineOnly)
+{
+    // The same allocation is legal in the frozen reference solver,
+    // in the rest of src/sim and elsewhere in the library: the rule
+    // polices only the production hot path.
+    const std::string map_line = "std::map<int, double> shared;\n";
+    for (const char *path :
+         {"src/sim/reference_solver.cc", "src/sim/cycle_sim.cc",
+          "src/core/assignment.cc", "src/stats/ecdf.cc"}) {
+        EXPECT_FALSE(fired(firedRules(path,
+                                      "#include \"x/y.hh\"\n" +
+                                          std::string(map_line)),
+                           "statsched-sim-hot-alloc"))
+            << path;
+    }
+}
+
+TEST(Lint, SimHotAllocIgnoresDeferredDeclarations)
+{
+    // A default-constructed vector allocates nothing by itself; the
+    // rule targets constructions that allocate on the spot.
+    const std::string snippet =
+        "#include \"sim/engine.hh\"\n"
+        "struct Scratch { std::vector<double> demand; };\n";
+    EXPECT_TRUE(firedRules("src/sim/engine.cc", snippet).empty());
 }
 
 /**

@@ -35,6 +35,7 @@ const char *const kStdout = "statsched-stdout";
 const char *const kIncludeGuard = "statsched-include-guard";
 const char *const kIncludeOwnFirst = "statsched-include-own-first";
 const char *const kNolintReason = "statsched-nolint-reason";
+const char *const kSimHotAlloc = "statsched-sim-hot-alloc";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -57,6 +58,20 @@ isDeterministicModule(const std::string &path)
     return startsWith(path, "src/core/") ||
         startsWith(path, "src/stats/") ||
         startsWith(path, "src/sim/") || startsWith(path, "src/num/");
+}
+
+/**
+ * The simulator measurement hot path: the contention solver and the
+ * engine that drives it, where per-measurement heap allocation is
+ * banned (sim/contention.hh documents the Scratch discipline). The
+ * frozen reference solver is deliberately out of scope — its
+ * allocations are the baseline being beaten.
+ */
+bool
+isSimHotPath(const std::string &path)
+{
+    return startsWith(path, "src/sim/contention.") ||
+        startsWith(path, "src/sim/engine.");
 }
 
 /** Library code: everything under src/. */
@@ -257,6 +272,7 @@ enum class RuleScope
     Library,       //!< all of src/
     Deterministic, //!< src/core, src/stats, src/sim, src/num
     ClockManaged,  //!< src/ minus the clock-exempt modules
+    SimHotPath,    //!< src/sim/contention.*, src/sim/engine.*
 };
 
 /** Rules that match single stripped lines with a regex. */
@@ -278,6 +294,8 @@ ruleApplies(RuleScope scope, const std::string &path)
         return isDeterministicModule(path);
     case RuleScope::ClockManaged:
         return !isClockExempt(path);
+    case RuleScope::SimHotPath:
+        return isSimHotPath(path);
     }
     return true;
 }
@@ -315,6 +333,15 @@ lineRules()
              "stdout write in library code; report through return "
              "values or stderr logging (base/logging.hh)",
              RuleScope::Library});
+        r.push_back(
+            {kSimHotAlloc,
+             std::regex(
+                 R"((\bstd::map\s*<)|(\bstd::multimap\s*<)|(\bstd::unordered_map\s*<)|(\bstd::unordered_set\s*<)|(\bnew\s+[A-Za-z_])|(\b(malloc|calloc|realloc)\s*\()|(\bstd::vector\s*<[^;=]*>\s+[A-Za-z_]\w*\s*[({=]))"),
+             "allocation on the simulator hot path; use the "
+             "preallocated Scratch buffers (sim/contention.hh), or "
+             "suppress with a reason if this is construction-time or "
+             "off the solve path",
+             RuleScope::SimHotPath});
         return r;
     }();
     return rules;
@@ -489,6 +516,11 @@ ruleCatalogue()
         {kNolintReason,
          "every NOLINT suppression names its rule and justifies "
          "itself with a reason"},
+        {kSimHotAlloc,
+         "the contention solver and simulated engine are the "
+         "innermost loop of every campaign and must not allocate or "
+         "touch node-based maps per solve; per-measurement state "
+         "lives in reusable Scratch workspaces"},
     };
     return catalogue;
 }

@@ -30,6 +30,12 @@
  *                                  first
  *   statsched-nolint-reason        every NOLINT suppression carries a
  *                                  reason
+ *   statsched-sim-hot-alloc        no heap allocation or node-based
+ *                                  maps on the simulator measurement
+ *                                  hot path (src/sim/contention.*,
+ *                                  src/sim/engine.*); per-measurement
+ *                                  state lives in reusable Scratch
+ *                                  workspaces
  *
  * Suppression syntax, on the offending line:
  *

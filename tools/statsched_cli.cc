@@ -263,6 +263,20 @@ printEngineStats(std::FILE *out, const EngineStack &stack,
                      static_cast<unsigned long long>(
                          stats.quarantined));
     }
+    if (stats.solves != 0) {
+        std::fprintf(out,
+                     "solver:             %12llu solves, "
+                     "%.1f fixed-point iterations each\n",
+                     static_cast<unsigned long long>(stats.solves),
+                     stats.solverIterationsPerSolve());
+        std::fprintf(out,
+                     "scratch workspaces: %12llu reused  "
+                     "(%llu pool-exhausted fallbacks)\n",
+                     static_cast<unsigned long long>(
+                         stats.scratchReuses),
+                     static_cast<unsigned long long>(
+                         stats.scratchFallbacks));
+    }
     std::fprintf(out,
                  "modeled time:       %11.1f min "
                  "(at %.1f s per real measurement)\n",
