@@ -1,0 +1,46 @@
+# Sharding determinism gate, run by ctest (cli_shard_identity).
+#
+# Runs the same iterate campaign in-process (--shards 0) and sharded
+# (--shards 1 and 2, real statsched_worker subprocesses) and asserts
+# that stdout is byte-identical and the exit codes agree — the
+# ShardedEngine bit-identity contract, checked end to end through the
+# real pipe transport. Fault injection is on so the outcome channel
+# (failed measurements, retries above the shard layer) is exercised
+# across the wire too.
+#
+# Usage: cmake -DCLI=<statsched_cli> -DWORK_DIR=<scratch>
+#              -P check_shard_identity.cmake
+
+if(NOT CLI OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DCLI=... and -DWORK_DIR=...")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(CAMPAIGN iterate --benchmark aho --loss 10 --ninit 300
+    --ndelta 100 --max 2000 --fault-rate 5 --threads 2)
+
+foreach(shards 0 1 2)
+    execute_process(
+        COMMAND ${CLI} ${CAMPAIGN} --shards ${shards}
+        OUTPUT_FILE "${WORK_DIR}/out_${shards}.txt"
+        ERROR_FILE "${WORK_DIR}/err_${shards}.txt"
+        RESULT_VARIABLE code)
+    if(shards EQUAL 0)
+        set(reference_code ${code})
+    elseif(NOT code EQUAL reference_code)
+        message(FATAL_ERROR "--shards ${shards} exited ${code}, "
+            "in-process exited ${reference_code}")
+    endif()
+endforeach()
+
+foreach(shards 1 2)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${WORK_DIR}/out_0.txt" "${WORK_DIR}/out_${shards}.txt"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR "--shards ${shards} stdout differs from "
+            "the in-process run (${WORK_DIR}/out_${shards}.txt vs "
+            "${WORK_DIR}/out_0.txt)")
+    endif()
+endforeach()

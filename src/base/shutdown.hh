@@ -10,6 +10,21 @@
  * it directly — the campaign runner receives it as an injected
  * `stopRequested` callback (see core/campaign.hh), so tests can
  * script interruption deterministically without touching signals.
+ *
+ * Handlers are installed with sigaction() and deliberately WITHOUT
+ * SA_RESTART: a coordinator blocked in a pipe read on a shard worker
+ * (core/sharded_engine.hh) must observe Ctrl-C as an EINTR return
+ * from the read, not sleep through it until the worker happens to
+ * produce bytes. Every blocking syscall in the process therefore has
+ * explicit EINTR semantics: base::Subprocess reads report
+ * ReadStatus::Interrupted and their callers re-check
+ * shutdownRequested() before retrying.
+ *
+ * Escalation: the FIRST signal of a kind requests the graceful drain.
+ * The SECOND signal of the same kind restores the default disposition
+ * and re-raises itself, so the process dies immediately with the
+ * conventional signal exit status — an operator whose drain is stuck
+ * never needs SIGKILL.
  */
 
 #ifndef STATSCHED_BASE_SHUTDOWN_HH
@@ -26,10 +41,25 @@ namespace detail
 {
 /** The only state a signal handler may touch. */
 inline volatile std::sig_atomic_t g_shutdownRequested = 0;
+/** Per-kind second-signal escalation state. */
+inline volatile std::sig_atomic_t g_sigintSeen = 0;
+inline volatile std::sig_atomic_t g_sigtermSeen = 0;
 
 extern "C" inline void
-shutdownSignalHandler(int)
+shutdownSignalHandler(int sig)
 {
+    volatile std::sig_atomic_t &seen =
+        sig == SIGINT ? g_sigintSeen : g_sigtermSeen;
+    if (seen) {
+        // Second request of this kind: the operator wants out NOW.
+        // Restore the default disposition and re-raise, so the
+        // process reports the conventional killed-by-signal status.
+        // std::signal and std::raise are async-signal-safe.
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+        return;
+    }
+    seen = 1;
     g_shutdownRequested = 1;
 }
 } // namespace detail
@@ -48,24 +78,34 @@ requestShutdown()
     detail::g_shutdownRequested = 1;
 }
 
-/** Clears the flag (tests re-using one process). */
+/** Clears the flag and the escalation state (tests re-using one
+ *  process). */
 inline void
 resetShutdown()
 {
     detail::g_shutdownRequested = 0;
+    detail::g_sigintSeen = 0;
+    detail::g_sigtermSeen = 0;
 }
 
 /**
- * Routes SIGINT and SIGTERM to the shutdown flag. Call once from the
- * driver before starting a campaign; the second signal of the same
- * kind falls back to the default disposition is NOT installed — the
- * handler stays armed, so a stuck drain still requires SIGKILL.
+ * Routes SIGINT and SIGTERM to the shutdown flag via sigaction(),
+ * explicitly WITHOUT SA_RESTART: blocking reads return EINTR when a
+ * shutdown signal lands, so a coordinator waiting on a silent shard
+ * worker reacts to Ctrl-C immediately. Call once from the driver
+ * before starting a campaign. The second signal of the same kind
+ * hard-exits (see file comment); a mixed pair (SIGINT then SIGTERM)
+ * keeps draining until either kind repeats.
  */
 inline void
 installShutdownHandlers()
 {
-    std::signal(SIGINT, detail::shutdownSignalHandler);
-    std::signal(SIGTERM, detail::shutdownSignalHandler);
+    struct sigaction action = {};
+    action.sa_handler = detail::shutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: reads must see EINTR
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
 }
 
 } // namespace base

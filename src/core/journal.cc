@@ -555,14 +555,15 @@ JournalingEngine::serveReplayedBatch(
         }
     }
 
-    // Fast-forward the inner engines' per-measurement index cursors:
-    // creating a batch kernel reserves exactly batch.size() indices
-    // (the reservation contract in performance_engine.hh), and
-    // discarding it unevaluated consumes no randomness beyond that.
-    // After the queue drains, fresh measurements continue the noise
-    // and fault streams exactly where the original run left them.
-    OutcomeKernel reservation = inner_.outcomeKernel(batch.size());
-    (void)reservation;
+    // Fast-forward the inner engines' per-measurement index cursors
+    // (the reservation contract in performance_engine.hh): after the
+    // queue drains, fresh measurements continue the noise and fault
+    // streams exactly where the original run left them. This also
+    // keeps a ShardedEngine below in lock-step — its global cursor
+    // advances here and its workers lazily fast-forward on their next
+    // request, so a sharded campaign resumes bit-identically under
+    // any shard count.
+    inner_.reserveMeasurementIndices(batch.size());
 
     for (std::size_t i = 0; i < batch.size(); ++i)
         out[i] = group.measurements[i].outcome;

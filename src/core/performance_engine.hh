@@ -35,9 +35,11 @@
  *
  * Sanctioned decorator ordering (outermost first):
  *
- *   Metered(Memoizing(Resilient(Parallel(FaultInjecting(inner)))))
+ *   Metered(Memoizing(Resilient(Sharded?(Parallel(FaultInjecting(inner))))))
  *
- * with any subset of the middle layers present. The stats contract
+ * with any subset of the middle layers present (core::ShardedEngine
+ * fans batches out to worker processes; when journaling, the journal
+ * sits directly above it — see core/journal.hh). The stats contract
  * depends on two ordering rules:
  *
  *  - MeteredEngine sits ABOVE MemoizingEngine. The meter charges
@@ -205,6 +207,23 @@ struct EngineStats
     /** Measurements that had to heap-allocate a workspace because
      *  the pool was exhausted. */
     std::uint64_t scratchFallbacks = 0;
+    /** Measurements served by remote shard workers
+     *  (core::ShardedEngine). */
+    std::uint64_t shardedMeasurements = 0;
+    /** Shard failure events: workers that died, hung past their
+     *  deadline, or corrupted the protocol. */
+    std::uint64_t shardFailures = 0;
+    /** Measurements re-issued to another shard (or in-process) after
+     *  their original shard failed. */
+    std::uint64_t shardReissues = 0;
+    /** Replacement shard workers spawned after a failure. */
+    std::uint64_t shardRespawns = 0;
+    /** Shard slots quarantined for repeated failure (no further
+     *  respawn attempts). */
+    std::uint64_t shardsQuarantined = 0;
+    /** Batches measured (fully or partly) by the in-process engine
+     *  because no shard could serve them. */
+    std::uint64_t shardDegradedBatches = 0;
 
     /** @return mean fixed-point iterations per solve, or 0. */
     double
@@ -327,6 +346,30 @@ class PerformanceEngine
         return [kernel](const Assignment &a, std::size_t i) {
             return MeasurementOutcome::classify(kernel(a, i));
         };
+    }
+
+    /**
+     * Reserves and discards `count` measurement indices without
+     * measuring anything: afterwards the engine's per-index state
+     * (noise cursor, fault cursor) stands exactly `count` indices
+     * further, as if a batch of that size had been measured.
+     *
+     * This is how replay-style decorators (core::JournalingEngine,
+     * core::ShardedEngine) fast-forward the stack below them past
+     * measurements that were already performed elsewhere. The default
+     * requests and discards an outcome kernel, which reserves the
+     * indices per the outcomeKernel() contract; engines without
+     * kernels keep no per-index state, so the discarded empty kernel
+     * is the correct no-op. Engines that track indices without
+     * publishing kernels must override.
+     */
+    virtual void
+    reserveMeasurementIndices(std::size_t count)
+    {
+        if (count == 0)
+            return;
+        OutcomeKernel reservation = outcomeKernel(count);
+        (void)reservation;
     }
 
     /** @return a short description for reports. */

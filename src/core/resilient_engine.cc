@@ -43,6 +43,9 @@ ResilientEngine::ResilientEngine(PerformanceEngine &inner,
     SCHED_REQUIRE(options.backoffBaseSeconds >= 0.0 &&
                   options.backoffFactor >= 1.0,
                   "backoff must not shrink");
+    SCHED_REQUIRE(options.backoffCapSeconds >=
+                  options.backoffBaseSeconds,
+                  "backoff cap below its base");
     SCHED_REQUIRE(options.screenRelDeviation > 0.0,
                   "screening deviation must be positive");
     SCHED_REQUIRE(options.quarantineAfter >= 1,
@@ -95,7 +98,8 @@ ResilientEngine::runWithRetries(std::span<const Assignment> batch,
             retries_.fetch_add(pending.size(),
                                std::memory_order_relaxed);
             backoff += static_cast<double>(pending.size()) * wait;
-            wait *= options_.backoffFactor;
+            wait = std::min(wait * options_.backoffFactor,
+                            options_.backoffCapSeconds);
         }
     }
 

@@ -68,6 +68,11 @@ struct ResilientOptions
     double backoffBaseSeconds = 0.5;
     /** Backoff multiplier per further retry. */
     double backoffFactor = 2.0;
+    /** Upper bound on one backoff wait. The uncapped geometric series
+     *  overflows to infinity near attempt 1000 and poisons the
+     *  modeled-time accounting long before that; five modeled minutes
+     *  is already far beyond any sane retry spacing. */
+    double backoffCapSeconds = 300.0;
     /** Median-of-k width; 0 or 1 disables outlier screening. */
     std::uint32_t screenWidth = 0;
     /** Relative deviation from the batch median that triggers

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Worker-side shard protocol servant.
+ *
+ * ShardWorker is the engine-facing half of the shard protocol
+ * (core/shard_protocol.hh): it consumes coordinator frames, evaluates
+ * EvalRequest groups against a local measurement engine, and produces
+ * response frames. It is transport-agnostic byte-in/byte-out — the
+ * statsched_worker binary pumps it from a stdin/stdout pipe, and the
+ * in-process loopback backends used by the deterministic chaos tests
+ * pump it from memory — so the protocol state machine is tested
+ * without spawning a single process.
+ *
+ * Determinism contract. The worker mirrors the coordinator's global
+ * measurement cursor: every EvalRequest names the (cursorBase,
+ * batchSize) window its items live in, and the worker aligns its
+ * engine to that window before evaluating:
+ *
+ *  - A request for the currently open window reuses the open kernel.
+ *    This is what makes re-issue invisible: when a sibling shard dies
+ *    mid-batch, the survivors receive additional items of the SAME
+ *    window and evaluate them through the SAME reserved kernel, so
+ *    the re-issued outcomes are bit-identical to what the dead shard
+ *    would have produced.
+ *
+ *  - A request for a later window fast-forwards the engine: indices
+ *    up to cursorBase are reserved and discarded
+ *    (PerformanceEngine::reserveMeasurementIndices), then a kernel of
+ *    batchSize is reserved. This is how a replacement worker spawned
+ *    mid-campaign — whose engine cursor starts at zero — joins an
+ *    in-flight measurement stream at the right index.
+ *
+ *  - A request for an earlier window is a protocol violation (the
+ *    per-index streams only move forward); the worker reports
+ *    WorkerError and stops.
+ */
+
+#ifndef STATSCHED_CORE_SHARD_WORKER_HH
+#define STATSCHED_CORE_SHARD_WORKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/performance_engine.hh"
+#include "core/shard_protocol.hh"
+#include "core/topology.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+/**
+ * Protocol servant over one local measurement engine.
+ */
+class ShardWorker
+{
+  public:
+    /**
+     * @param engine     Engine evaluating the assignments (not
+     *                   owned). Must publish outcome kernels.
+     * @param topology   Processor shape assignments target.
+     * @param tasks      Workload size (contexts per assignment).
+     * @param configHash Engine-configuration fingerprint echoed in
+     *                   the Hello (see shardConfigFingerprint()).
+     */
+    ShardWorker(PerformanceEngine &engine, const Topology &topology,
+                std::uint32_t tasks, std::uint64_t configHash);
+
+    /** @return the Hello frame to send before serving requests. */
+    std::vector<std::uint8_t> helloBytes() const;
+
+    /**
+     * Consumes raw coordinator bytes and appends any response bytes
+     * to `out`.
+     *
+     * @return false when serving must stop: a Shutdown frame arrived
+     *         (clean) or a protocol violation was detected (see
+     *         protocolError()).
+     */
+    bool consume(const std::uint8_t *data, std::size_t size,
+                 std::vector<std::uint8_t> &out);
+
+    /** @return true when consume() stopped on a violation. */
+    bool protocolError() const { return protocolError_; }
+
+    /** @return the violation description when protocolError(). */
+    const std::string &errorDetail() const { return errorDetail_; }
+
+    /** @return measurement indices consumed (reserved) so far. */
+    std::uint64_t consumedIndices() const { return consumed_; }
+
+    /** @return EvalRequest groups served so far. */
+    std::uint64_t servedRequests() const { return served_; }
+
+  private:
+    /** @return false to stop serving (shutdown or violation). */
+    bool handleFrame(const ShardFrame &frame,
+                     std::vector<std::uint8_t> &out);
+
+    /** Evaluates the completed request group into response frames. */
+    bool serveRequest(std::vector<std::uint8_t> &out);
+
+    /** Aligns the engine cursor/kernel to (cursorBase, batchSize). */
+    bool alignKernel(std::uint64_t cursorBase,
+                     std::uint32_t batchSize);
+
+    /** Latches a violation and emits a WorkerError frame. */
+    bool fail(const std::string &detail,
+              std::vector<std::uint8_t> &out);
+
+    PerformanceEngine &engine_;
+    Topology topology_;
+    std::uint32_t tasks_;
+    std::uint64_t configHash_;
+
+    ShardFrameParser parser_;
+
+    // In-flight request group (header seen, items accumulating).
+    bool inRequest_ = false;
+    ShardEvalRequest request_;
+    std::vector<ShardEvalItem> items_;
+
+    // Engine cursor mirror and the open kernel window.
+    std::uint64_t consumed_ = 0;
+    std::uint64_t openBase_ = 0;
+    std::uint32_t openSize_ = 0;
+    OutcomeKernel kernel_;
+
+    std::uint64_t served_ = 0;
+    bool protocolError_ = false;
+    std::string errorDetail_;
+};
+
+} // namespace core
+} // namespace statsched
+
+#endif // STATSCHED_CORE_SHARD_WORKER_HH

@@ -1,0 +1,581 @@
+/**
+ * @file
+ * ShardedEngine implementation: fan-out, failure detection, re-issue,
+ * backoff/quarantine, and the subprocess pipe backend.
+ */
+
+#include "core/sharded_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "base/check.hh"
+#include "base/clock.hh"
+#include "base/subprocess.hh"
+#include "core/assignment.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+ShardedEngine::ShardedEngine(PerformanceEngine &inner,
+                             ShardBackendFactory factory,
+                             const ShardedOptions &options)
+    : inner_(inner), factory_(std::move(factory)), options_(options)
+{
+    SCHED_REQUIRE(options_.clock != nullptr,
+                  "sharded engine needs a clock");
+    SCHED_REQUIRE(options_.shards >= 1,
+                  "sharded engine needs at least one shard slot");
+    SCHED_REQUIRE(static_cast<bool>(factory_),
+                  "sharded engine needs a backend factory");
+    SCHED_REQUIRE(options_.requestDeadlineSeconds > 0.0,
+                  "request deadline must be positive");
+    SCHED_REQUIRE(options_.heartbeatTimeoutSeconds > 0.0,
+                  "heartbeat timeout must be positive");
+    SCHED_REQUIRE(options_.backoffBaseSeconds > 0.0,
+                  "respawn backoff base must be positive");
+    SCHED_REQUIRE(options_.backoffFactor >= 1.0,
+                  "respawn backoff factor must be >= 1");
+    SCHED_REQUIRE(
+        options_.backoffCapSeconds >= options_.backoffBaseSeconds,
+        "respawn backoff cap below its base");
+    SCHED_REQUIRE(options_.quarantineThreshold >= 1,
+                  "quarantine threshold must be >= 1");
+    slots_.resize(options_.shards);
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        slots_[s].index = s;
+}
+
+ShardedEngine::~ShardedEngine() { shutdownWorkers(); }
+
+double
+ShardedEngine::measure(const Assignment &assignment)
+{
+    return measureOutcome(assignment).valueOrNaN();
+}
+
+MeasurementOutcome
+ShardedEngine::measureOutcome(const Assignment &assignment)
+{
+    MeasurementOutcome outcome;
+    measureBatchOutcome(std::span<const Assignment>(&assignment, 1),
+                        std::span<MeasurementOutcome>(&outcome, 1));
+    return outcome;
+}
+
+void
+ShardedEngine::measureBatch(std::span<const Assignment> batch,
+                            std::span<double> out)
+{
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
+    std::vector<MeasurementOutcome> outcomes(batch.size());
+    measureBatchOutcome(batch, outcomes);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        out[i] = outcomes[i].valueOrNaN();
+}
+
+void
+ShardedEngine::reserveMeasurementIndices(std::size_t count)
+{
+    // Journal replay path: advance the global cursor only. Workers
+    // fast-forward on their first fresh request, and the inner engine
+    // fast-forwards when (if ever) a degraded batch needs it.
+    cursor_ += count;
+}
+
+void
+ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
+                                   std::span<MeasurementOutcome> out)
+{
+    SCHED_REQUIRE(batch.size() == out.size(),
+                  "batch/result size mismatch");
+    const std::size_t batchSize = batch.size();
+    if (batchSize == 0)
+        return;
+    const std::uint64_t base = cursor_;
+    cursor_ += batchSize;
+
+    std::vector<bool> resolved(batchSize, false);
+    std::vector<std::size_t> work(batchSize);
+    std::iota(work.begin(), work.end(), std::size_t{0});
+
+    while (!work.empty()) {
+        std::vector<Slot *> live;
+        live.reserve(slots_.size());
+        for (Slot &slot : slots_) {
+            if (ensureLive(slot))
+                live.push_back(&slot);
+        }
+        if (live.empty())
+            break; // every slot down or gated: serve in-process
+
+        // Contiguous partition of the remaining work across the live
+        // slots. (The split affects only WHO computes an item, never
+        // its value, so any partition is bit-identical.)
+        const std::size_t per =
+            (work.size() + live.size() - 1) / live.size();
+        std::size_t offset = 0;
+        for (Slot *slot : live) {
+            slot->pending.clear();
+            slot->inflight = 0;
+            const std::size_t n =
+                std::min(per, work.size() - offset);
+            slot->pending.assign(work.begin() + offset,
+                                 work.begin() + offset + n);
+            offset += n;
+        }
+        work.clear();
+
+        // Send every slot its request group first, then collect the
+        // responses: the shards compute their partitions in parallel.
+        for (Slot *slot : live) {
+            if (slot->pending.empty())
+                continue;
+            if (!sendRequest(*slot, batch, base, batchSize)) {
+                shardReissues_ += slot->pending.size();
+                work.insert(work.end(), slot->pending.begin(),
+                            slot->pending.end());
+                slot->pending.clear();
+                failSlot(*slot);
+            }
+        }
+        for (Slot *slot : live) {
+            if (slot->inflight == 0)
+                continue;
+            if (awaitResponse(*slot, out, resolved)) {
+                slot->failures = 0;
+                slot->respawnDelay = 0.0;
+                slot->lastContact = options_.clock->nowSeconds();
+            } else {
+                for (const std::size_t idx : slot->pending) {
+                    if (!resolved[idx]) {
+                        ++shardReissues_;
+                        work.push_back(idx);
+                    }
+                }
+                failSlot(*slot);
+            }
+            slot->pending.clear();
+            slot->inflight = 0;
+        }
+        // Re-issued work loops back to the survivors (or to a slot
+        // whose respawn gate has opened); when nothing is live the
+        // loop exits to the in-process fallback below.
+    }
+
+    bool complete = true;
+    for (std::size_t i = 0; i < batchSize; ++i) {
+        if (!resolved[i]) {
+            complete = false;
+            break;
+        }
+    }
+    if (!complete) {
+        ++degradedBatches_;
+        serveLocally(batch, out, resolved, base);
+    }
+}
+
+bool
+ShardedEngine::ensureLive(Slot &slot)
+{
+    if (slot.quarantined)
+        return false;
+    const double now = options_.clock->nowSeconds();
+    if (slot.backend) {
+        // Heartbeat an idle backend before trusting it with work, so
+        // a worker that died between batches fails here instead of
+        // after a full request deadline.
+        if (now - slot.lastContact >= options_.heartbeatSeconds) {
+            if (!ping(slot)) {
+                failSlot(slot);
+                return false;
+            }
+        }
+        return true;
+    }
+    if (now < slot.earliestRespawn)
+        return false; // backoff gate still closed
+
+    std::unique_ptr<ShardBackend> backend = factory_(slot.index);
+    std::string error;
+    if (!backend || !backend->start(error)) {
+        failSlot(slot);
+        return false;
+    }
+    slot.backend = std::move(backend);
+    if (slot.spawnedOnce)
+        ++shardRespawns_;
+    slot.spawnedOnce = true;
+    if (!handshake(slot)) {
+        failSlot(slot);
+        return false;
+    }
+    return true;
+}
+
+bool
+ShardedEngine::awaitFrame(Slot &slot, ShardFrame &frame,
+                          double timeoutSeconds)
+{
+    const double deadline =
+        options_.clock->nowSeconds() + timeoutSeconds;
+    while (true) {
+        const double now = options_.clock->nowSeconds();
+        if (now >= deadline)
+            return false;
+        const ShardBackend::RecvStatus status =
+            slot.backend->receive(frame, deadline - now);
+        switch (status) {
+          case ShardBackend::RecvStatus::Frame:
+            return true;
+          case ShardBackend::RecvStatus::Timeout:
+            // A Timeout that consumed no clock time can never make
+            // progress (a scripted backend under a ManualClock);
+            // treat it as the deadline expiring instead of spinning.
+            if (options_.clock->nowSeconds() <= now)
+                return false;
+            break;
+          case ShardBackend::RecvStatus::Closed:
+          case ShardBackend::RecvStatus::Corrupt:
+            return false;
+        }
+    }
+}
+
+bool
+ShardedEngine::handshake(Slot &slot)
+{
+    ShardFrame frame;
+    if (!awaitFrame(slot, frame, options_.requestDeadlineSeconds))
+        return false;
+    ShardHello hello;
+    if (!decodeHello(frame, hello))
+        return false;
+    const ShardHello &want = options_.expected;
+    if (hello.version != want.version ||
+        hello.configHash != want.configHash ||
+        hello.cores != want.cores ||
+        hello.pipesPerCore != want.pipesPerCore ||
+        hello.strandsPerPipe != want.strandsPerPipe ||
+        hello.tasks != want.tasks)
+        return false; // misconfigured worker: never trust its values
+    slot.lastContact = options_.clock->nowSeconds();
+    return true;
+}
+
+bool
+ShardedEngine::ping(Slot &slot)
+{
+    const std::uint32_t nonce = nextNonce_++;
+    std::vector<std::uint8_t> bytes;
+    appendPing(bytes, nonce);
+    if (!slot.backend->send(bytes.data(), bytes.size()))
+        return false;
+    ShardFrame frame;
+    if (!awaitFrame(slot, frame, options_.heartbeatTimeoutSeconds))
+        return false;
+    std::uint32_t echoed = 0;
+    if (frame.type != static_cast<std::uint8_t>(ShardMsg::Pong) ||
+        !decodePingPong(frame, echoed) || echoed != nonce)
+        return false;
+    slot.lastContact = options_.clock->nowSeconds();
+    return true;
+}
+
+bool
+ShardedEngine::sendRequest(Slot &slot,
+                           std::span<const Assignment> batch,
+                           std::uint64_t base, std::size_t batchSize)
+{
+    ShardEvalRequest request;
+    request.reqId = nextReqId_++;
+    request.cursorBase = base;
+    request.batchSize = static_cast<std::uint32_t>(batchSize);
+    request.itemCount =
+        static_cast<std::uint32_t>(slot.pending.size());
+
+    std::vector<std::uint8_t> bytes;
+    appendEvalRequest(bytes, request);
+    for (const std::size_t idx : slot.pending) {
+        ShardEvalItem item;
+        item.localIndex = static_cast<std::uint32_t>(idx);
+        item.contexts = batch[idx].contexts();
+        appendEvalItem(bytes, item);
+    }
+    if (!slot.backend->send(bytes.data(), bytes.size()))
+        return false;
+    slot.inflight = request.reqId;
+    return true;
+}
+
+bool
+ShardedEngine::awaitResponse(Slot &slot,
+                             std::span<MeasurementOutcome> out,
+                             std::vector<bool> &resolved)
+{
+    // Which batch positions this slot owes us.
+    std::vector<bool> owed(out.size(), false);
+    for (const std::size_t idx : slot.pending)
+        owed[idx] = true;
+
+    ShardFrame frame;
+    if (!awaitFrame(slot, frame, options_.requestDeadlineSeconds))
+        return false;
+    ShardEvalResponse response;
+    if (!decodeEvalResponse(frame, response) ||
+        response.reqId != slot.inflight ||
+        response.itemCount != slot.pending.size())
+        return false;
+
+    for (std::uint32_t i = 0; i < response.itemCount; ++i) {
+        if (!awaitFrame(slot, frame,
+                        options_.requestDeadlineSeconds))
+            return false;
+        ShardEvalOutcome outcome;
+        if (!decodeEvalOutcome(frame, outcome))
+            return false;
+        const std::size_t idx = outcome.localIndex;
+        if (idx >= out.size() || !owed[idx] || resolved[idx])
+            return false; // an outcome we never asked for
+        out[idx] = outcome.outcome;
+        resolved[idx] = true;
+        ++shardedMeasurements_;
+    }
+    return true;
+}
+
+void
+ShardedEngine::serveLocally(std::span<const Assignment> batch,
+                            std::span<MeasurementOutcome> out,
+                            const std::vector<bool> &resolved,
+                            std::uint64_t base)
+{
+    const std::size_t batchSize = batch.size();
+    SCHED_REQUIRE(innerConsumed_ <= base,
+                  "inner engine ran ahead of the shard cursor");
+    // Fast-forward the in-process engine to this batch's window, then
+    // serve the holes at their original indices — bit-identical to
+    // what the shards would have produced.
+    inner_.reserveMeasurementIndices(
+        static_cast<std::size_t>(base - innerConsumed_));
+    innerConsumed_ = base + batchSize;
+
+    bool anyResolved = false;
+    for (std::size_t i = 0; i < batchSize; ++i) {
+        if (resolved[i]) {
+            anyResolved = true;
+            break;
+        }
+    }
+    if (!anyResolved) {
+        // Whole batch: take the inner batch path (a ParallelEngine
+        // below fans it out across threads).
+        inner_.measureBatchOutcome(batch, out);
+        return;
+    }
+    OutcomeKernel kernel = inner_.outcomeKernel(batchSize);
+    if (kernel) {
+        for (std::size_t i = 0; i < batchSize; ++i) {
+            if (!resolved[i])
+                out[i] = kernel(batch[i], i);
+        }
+        return;
+    }
+    // Kernel-less engines keep no per-index state (see
+    // reserveMeasurementIndices()), so serial holes are safe.
+    for (std::size_t i = 0; i < batchSize; ++i) {
+        if (!resolved[i])
+            out[i] = inner_.measureOutcome(batch[i]);
+    }
+}
+
+void
+ShardedEngine::failSlot(Slot &slot)
+{
+    if (slot.backend) {
+        slot.backend->terminate();
+        slot.backend.reset();
+    }
+    ++shardFailures_;
+    ++slot.failures;
+    slot.respawnDelay = slot.respawnDelay == 0.0
+        ? options_.backoffBaseSeconds
+        : std::min(slot.respawnDelay * options_.backoffFactor,
+                   options_.backoffCapSeconds);
+    slot.earliestRespawn =
+        options_.clock->nowSeconds() + slot.respawnDelay;
+    if (!slot.quarantined &&
+        slot.failures >= options_.quarantineThreshold) {
+        slot.quarantined = true;
+        ++shardsQuarantined_;
+    }
+}
+
+void
+ShardedEngine::shutdownWorkers()
+{
+    std::vector<std::uint8_t> bytes;
+    appendShutdown(bytes);
+    for (Slot &slot : slots_) {
+        if (!slot.backend)
+            continue;
+        // Best-effort polite stop, then an unconditional reap.
+        slot.backend->send(bytes.data(), bytes.size());
+        slot.backend->terminate();
+        slot.backend.reset();
+    }
+}
+
+std::size_t
+ShardedEngine::liveShardCount() const
+{
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.backend ? 1 : 0;
+    return n;
+}
+
+std::size_t
+ShardedEngine::quarantinedShardCount() const
+{
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.quarantined ? 1 : 0;
+    return n;
+}
+
+bool
+ShardedEngine::fullyDegraded() const
+{
+    return quarantinedShardCount() == slots_.size();
+}
+
+void
+ShardedEngine::disruptShard(std::size_t index)
+{
+    SCHED_REQUIRE(index < slots_.size(), "shard index out of range");
+    if (slots_[index].backend)
+        slots_[index].backend->terminate();
+    // The slot still believes the backend is live; the death is
+    // discovered by heartbeat or request failure, like any external
+    // SIGKILL.
+}
+
+void
+ShardedEngine::collectStats(EngineStats &stats) const
+{
+    stats.shardedMeasurements += shardedMeasurements_;
+    stats.shardFailures += shardFailures_;
+    stats.shardReissues += shardReissues_;
+    stats.shardRespawns += shardRespawns_;
+    stats.shardsQuarantined += shardsQuarantined_;
+    stats.shardDegradedBatches += degradedBatches_;
+    inner_.collectStats(stats);
+}
+
+// --- Subprocess pipe backend ------------------------------------
+
+namespace
+{
+
+/**
+ * ShardBackend over a statsched_worker subprocess: frames flow over
+ * the child's stdin/stdout pipes (base::Subprocess), and receive
+ * deadlines read the injected clock in bounded poll slices so a
+ * Ctrl-C (EINTR) never wedges the coordinator.
+ */
+class ProcessShardBackend : public ShardBackend
+{
+  public:
+    ProcessShardBackend(std::vector<std::string> argv,
+                        base::Clock &clock)
+        : argv_(std::move(argv)), clock_(clock)
+    {
+    }
+
+    bool
+    start(std::string &error) override
+    {
+        return process_.spawn(argv_, error);
+    }
+
+    bool
+    send(const std::uint8_t *data, std::size_t size) override
+    {
+        return process_.writeAll(data, size);
+    }
+
+    RecvStatus
+    receive(ShardFrame &frame, double maxWaitSeconds) override
+    {
+        if (parser_.corrupt())
+            return RecvStatus::Corrupt;
+        if (parser_.next(frame))
+            return RecvStatus::Frame;
+        const double deadline =
+            clock_.nowSeconds() + maxWaitSeconds;
+        while (true) {
+            const double remaining =
+                deadline - clock_.nowSeconds();
+            if (remaining <= 0.0)
+                return RecvStatus::Timeout;
+            // Poll in <= 1 s slices: an EINTR or a short read never
+            // extends the wait past the caller's deadline.
+            const int waitMs = static_cast<int>(std::min(
+                1000.0, std::ceil(remaining * 1000.0)));
+            std::uint8_t buffer[4096];
+            const base::Subprocess::ReadResult result =
+                process_.read(buffer, sizeof buffer,
+                              std::max(1, waitMs));
+            switch (result.status) {
+              case base::Subprocess::ReadStatus::Data:
+                parser_.feed(buffer, result.bytes);
+                if (parser_.corrupt())
+                    return RecvStatus::Corrupt;
+                if (parser_.next(frame))
+                    return RecvStatus::Frame;
+                break; // partial frame: keep reading
+              case base::Subprocess::ReadStatus::Timeout:
+              case base::Subprocess::ReadStatus::Interrupted:
+                break; // the deadline check governs
+              case base::Subprocess::ReadStatus::Eof:
+              case base::Subprocess::ReadStatus::Error:
+                return RecvStatus::Closed;
+            }
+        }
+    }
+
+    void
+    terminate() override
+    {
+        process_.kill();
+        process_.wait();
+    }
+
+  private:
+    std::vector<std::string> argv_;
+    base::Clock &clock_;
+    base::Subprocess process_;
+    ShardFrameParser parser_;
+};
+
+} // anonymous namespace
+
+ShardBackendFactory
+makeProcessShardFactory(std::vector<std::string> argv,
+                        base::Clock &clock)
+{
+    return [argv, &clock](std::size_t) {
+        return std::unique_ptr<ShardBackend>(
+            new ProcessShardBackend(argv, clock));
+    };
+}
+
+} // namespace core
+} // namespace statsched

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Graceful-shutdown tests: sigaction installation without SA_RESTART,
+ * first-signal drain, second-signal hard exit, mixed-kind escalation.
+ * Signal delivery runs inside gtest death-test children so the test
+ * process itself never changes disposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <unistd.h>
+
+#include "base/shutdown.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+TEST(Shutdown, ManualRequestAndResetRoundTrip)
+{
+    base::resetShutdown();
+    EXPECT_FALSE(base::shutdownRequested());
+    base::requestShutdown();
+    EXPECT_TRUE(base::shutdownRequested());
+    base::resetShutdown();
+    EXPECT_FALSE(base::shutdownRequested());
+}
+
+TEST(Shutdown, HandlersInstalledWithoutSaRestart)
+{
+    // The EINTR discipline of the whole tree rides on this flag: a
+    // coordinator blocked in a pipe read must observe Ctrl-C as an
+    // interrupted syscall, not sleep through it (SA_RESTART).
+    base::installShutdownHandlers();
+    for (const int sig : {SIGINT, SIGTERM}) {
+        struct sigaction installed = {};
+        ASSERT_EQ(sigaction(sig, nullptr, &installed), 0);
+        EXPECT_EQ(installed.sa_handler,
+                  &base::detail::shutdownSignalHandler)
+            << "signal " << sig;
+        EXPECT_EQ(installed.sa_flags & SA_RESTART, 0)
+            << "signal " << sig;
+    }
+}
+
+TEST(ShutdownDeathTest, FirstSignalSetsTheFlagAndProcessSurvives)
+{
+    EXPECT_EXIT(
+        {
+            base::resetShutdown();
+            base::installShutdownHandlers();
+            std::raise(SIGTERM);
+            _exit(base::shutdownRequested() ? 0 : 1);
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
+TEST(ShutdownDeathTest, SecondSignalOfAKindHardExits)
+{
+    // An operator whose drain is stuck never needs SIGKILL: the
+    // second signal restores the default disposition and re-raises,
+    // so the process dies with the conventional signal status.
+    EXPECT_EXIT(
+        {
+            base::resetShutdown();
+            base::installShutdownHandlers();
+            std::raise(SIGTERM);
+            std::raise(SIGTERM);
+            _exit(0); // never reached
+        },
+        ::testing::KilledBySignal(SIGTERM), "");
+
+    EXPECT_EXIT(
+        {
+            base::resetShutdown();
+            base::installShutdownHandlers();
+            std::raise(SIGINT);
+            std::raise(SIGINT);
+            _exit(0); // never reached
+        },
+        ::testing::KilledBySignal(SIGINT), "");
+}
+
+TEST(ShutdownDeathTest, MixedSignalKindsKeepDraining)
+{
+    // SIGINT then SIGTERM is one operator pressing Ctrl-C and one
+    // orchestrator sending a polite stop — both first of their kind,
+    // so the drain continues until either kind repeats.
+    EXPECT_EXIT(
+        {
+            base::resetShutdown();
+            base::installShutdownHandlers();
+            std::raise(SIGINT);
+            std::raise(SIGTERM);
+            _exit(base::shutdownRequested() ? 0 : 1);
+        },
+        ::testing::ExitedWithCode(0), "");
+}
+
+} // anonymous namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Subprocess wrapper tests: pipe round-trips, exit-status reporting
+ * (including death-by-signal and exec failure), read timeouts, EINTR
+ * reporting under the no-SA_RESTART shutdown handlers, and the
+ * destructor's leak-proof reaping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <pthread.h>
+#include <sys/types.h>
+
+#include "base/shutdown.hh"
+#include "base/subprocess.hh"
+
+namespace
+{
+
+using statsched::base::Subprocess;
+using ReadStatus = Subprocess::ReadStatus;
+
+/** Reads until `n` bytes arrived or a non-Data status shows up. */
+std::string
+readExactly(Subprocess &process, std::size_t n)
+{
+    std::string data;
+    char buffer[4096];
+    while (data.size() < n) {
+        const auto result =
+            process.read(buffer, sizeof buffer, 2000);
+        if (result.status != ReadStatus::Data)
+            break;
+        data.append(buffer, result.bytes);
+    }
+    return data;
+}
+
+TEST(Subprocess, EchoRoundTripAndCleanExit)
+{
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"cat"}, error)) << error;
+    EXPECT_TRUE(process.running());
+    EXPECT_GT(process.pid(), 0);
+
+    const std::string message = "hello across the pipe";
+    ASSERT_TRUE(process.writeAll(message.data(), message.size()));
+    EXPECT_EQ(readExactly(process, message.size()), message);
+
+    // EOF on stdin stops cat; its stdout then reports Eof.
+    process.closeStdin();
+    char buffer[64];
+    Subprocess::ReadResult result;
+    do {
+        result = process.read(buffer, sizeof buffer, 2000);
+    } while (result.status == ReadStatus::Data);
+    EXPECT_EQ(result.status, ReadStatus::Eof);
+    EXPECT_EQ(process.wait(), 0);
+    EXPECT_FALSE(process.running());
+}
+
+TEST(Subprocess, ExitCodeIsReported)
+{
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"sh", "-c", "exit 7"}, error))
+        << error;
+    EXPECT_EQ(process.wait(), 7);
+    // wait() is idempotent.
+    EXPECT_EQ(process.wait(), 7);
+}
+
+TEST(Subprocess, KillReportsDeathBySignal)
+{
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+    process.kill();
+    EXPECT_EQ(process.wait(), 128 + SIGKILL);
+}
+
+TEST(Subprocess, ExecFailureReportsShellConvention127)
+{
+    Subprocess process;
+    std::string error;
+    // fork/exec pattern: the spawn succeeds, the exec fails in the
+    // child, which exits 127 (the shell's command-not-found code).
+    ASSERT_TRUE(process.spawn(
+        {"statsched-no-such-binary-exists"}, error));
+    char buffer[16];
+    Subprocess::ReadResult result;
+    do {
+        result = process.read(buffer, sizeof buffer, 2000);
+    } while (result.status == ReadStatus::Data);
+    EXPECT_EQ(result.status, ReadStatus::Eof);
+    EXPECT_EQ(process.wait(), 127);
+}
+
+TEST(Subprocess, SpawnRejectsEmptyArgvAndDoubleSpawn)
+{
+    Subprocess process;
+    std::string error;
+    EXPECT_FALSE(process.spawn({}, error));
+    EXPECT_FALSE(error.empty());
+
+    ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+    EXPECT_FALSE(process.spawn({"cat"}, error));
+    process.kill();
+    process.wait();
+}
+
+TEST(Subprocess, ReadTimesOutOnASilentChild)
+{
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+    char buffer[16];
+    const auto result = process.read(buffer, sizeof buffer, 50);
+    EXPECT_EQ(result.status, ReadStatus::Timeout);
+    EXPECT_TRUE(process.running());
+    process.kill();
+    EXPECT_EQ(process.wait(), 128 + SIGKILL);
+}
+
+TEST(Subprocess, ReadReportsInterruptedWhenAShutdownSignalLands)
+{
+    // The whole point of installing the handlers without SA_RESTART:
+    // a blocking read on a silent worker observes Ctrl-C as an
+    // Interrupted result instead of sleeping through it.
+    statsched::base::resetShutdown();
+    statsched::base::installShutdownHandlers();
+
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+
+    const pthread_t reader = pthread_self();
+    std::thread interrupter([reader] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        pthread_kill(reader, SIGINT);
+    });
+    char buffer[16];
+    const auto result = process.read(buffer, sizeof buffer, 10000);
+    interrupter.join();
+
+    EXPECT_EQ(result.status, ReadStatus::Interrupted);
+    EXPECT_TRUE(statsched::base::shutdownRequested());
+    statsched::base::resetShutdown();
+    process.kill();
+    process.wait();
+}
+
+TEST(Subprocess, DestructorKillsAndReapsARunningChild)
+{
+    pid_t pid = -1;
+    {
+        Subprocess process;
+        std::string error;
+        ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+        pid = process.pid();
+        ASSERT_GT(pid, 0);
+    }
+    // The child is gone — killed AND reaped (a zombie would still
+    // answer signal 0).
+    errno = 0;
+    EXPECT_EQ(::kill(pid, 0), -1);
+    EXPECT_EQ(errno, ESRCH);
+}
+
+TEST(Subprocess, MoveTransfersOwnership)
+{
+    Subprocess a;
+    std::string error;
+    ASSERT_TRUE(a.spawn({"cat"}, error)) << error;
+    const pid_t pid = a.pid();
+
+    Subprocess b(std::move(a));
+    EXPECT_FALSE(a.running());
+    EXPECT_TRUE(b.running());
+    EXPECT_EQ(b.pid(), pid);
+
+    const std::string message = "moved";
+    ASSERT_TRUE(b.writeAll(message.data(), message.size()));
+    EXPECT_EQ(readExactly(b, message.size()), message);
+    b.kill();
+    b.wait();
+}
+
+} // anonymous namespace

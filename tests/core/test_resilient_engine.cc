@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/check.hh"
 #include "core/estimator.hh"
 #include "core/fault_injection.hh"
 #include "core/iterative.hh"
@@ -216,6 +218,115 @@ TEST(ResilientEngine, MedianOfKScreeningRepairsSilentOutliers)
     EXPECT_EQ(outcomes[3].attempts, 3u);
     EXPECT_EQ(resilient.screenedCount(), 1u);
     EXPECT_EQ(resilient.retryCount(), 2u);
+}
+
+TEST(ResilientEngine, BackoffStaysFiniteAtHighAttemptCounts)
+{
+    // An uncapped geometric series overflows to infinity near
+    // attempt 1000 and poisons the modeled-time accounting; the cap
+    // bounds every wait.
+    FlakyEngine dead(std::numeric_limits<std::uint32_t>::max());
+    ResilientOptions options;
+    options.maxAttempts = 2000;
+    options.backoffBaseSeconds = 0.5;
+    options.backoffFactor = 2.0;
+    options.backoffCapSeconds = 4.0;
+    ResilientEngine resilient(dead, options);
+
+    const auto a = drawBatch(1)[0];
+    const MeasurementOutcome outcome = resilient.measureOutcome(a);
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.attempts, 2000u);
+
+    core::EngineStats stats;
+    resilient.collectStats(stats);
+    EXPECT_TRUE(std::isfinite(stats.modeledSeconds));
+    // Waits: 0.5, 1, 2, then 4 for each of the remaining 1996
+    // retried rounds (1999 retries total, the last attempt is not
+    // followed by a wait).
+    EXPECT_NEAR(stats.modeledSeconds, 0.5 + 1.0 + 2.0 + 1996 * 4.0,
+                1e-9);
+}
+
+TEST(ResilientEngine, RejectsDegenerateOptions)
+{
+    FlakyEngine flaky(0);
+    {
+        ResilientOptions options;
+        options.maxAttempts = 0; // zero attempts can measure nothing
+        EXPECT_THROW(ResilientEngine r(flaky, options),
+                     ContractViolation);
+    }
+    {
+        ResilientOptions options;
+        options.quarantineAfter = 0; // would quarantine everything
+        EXPECT_THROW(ResilientEngine r(flaky, options),
+                     ContractViolation);
+    }
+    {
+        ResilientOptions options;
+        options.backoffCapSeconds = 0.1;
+        options.backoffBaseSeconds = 0.5; // cap below base
+        EXPECT_THROW(ResilientEngine r(flaky, options),
+                     ContractViolation);
+    }
+}
+
+TEST(ResilientEngine, SingleAttemptBudgetNeverRetries)
+{
+    FlakyEngine flaky(1000);
+    ResilientOptions options;
+    options.maxAttempts = 1;
+    options.quarantineAfter = 2;
+    ResilientEngine resilient(flaky, options);
+
+    const auto batch = drawBatch(4);
+    std::vector<MeasurementOutcome> outcomes(batch.size());
+    resilient.measureBatchOutcome(batch, outcomes);
+    for (const auto &outcome : outcomes) {
+        EXPECT_FALSE(outcome.ok());
+        EXPECT_EQ(outcome.attempts, 1u);
+    }
+    EXPECT_EQ(resilient.retryCount(), 0u);
+    EXPECT_EQ(flaky.attempts(), batch.size());
+
+    // The second exhaustion of each class reaches quarantineAfter.
+    resilient.measureBatchOutcome(batch, outcomes);
+    EXPECT_EQ(resilient.quarantineSize(), batch.size());
+}
+
+TEST(ResilientEngine, ImmediateQuarantineInteractsWithBatchReissue)
+{
+    // quarantineAfter = 1 plus a batch holding the same doomed class
+    // twice: both items exhaust in the SAME batch, which must count
+    // as exhaustions (not re-measurements of a quarantined class)
+    // and quarantine the class exactly once.
+    FlakyEngine flaky(1000);
+    ResilientOptions options;
+    options.maxAttempts = 2;
+    options.quarantineAfter = 1;
+    ResilientEngine resilient(flaky, options);
+
+    const auto a = drawBatch(1)[0];
+    std::vector<core::Assignment> batch{a, a};
+    std::vector<MeasurementOutcome> outcomes(batch.size());
+    resilient.measureBatchOutcome(batch, outcomes);
+    for (const auto &outcome : outcomes)
+        EXPECT_EQ(outcome.status, MeasureStatus::Errored);
+    EXPECT_TRUE(resilient.isQuarantined(a));
+    EXPECT_EQ(resilient.quarantineSize(), 1u);
+    const std::uint64_t attempts = flaky.attempts();
+    EXPECT_EQ(attempts, 4u); // 2 items x 2 attempts, then quarantine
+
+    // The follow-up batch is rejected without touching the engine.
+    resilient.measureBatchOutcome(batch, outcomes);
+    for (const auto &outcome : outcomes)
+        EXPECT_EQ(outcome.status, MeasureStatus::Quarantined);
+    EXPECT_EQ(flaky.attempts(), attempts);
+
+    core::EngineStats stats;
+    resilient.collectStats(stats);
+    EXPECT_EQ(stats.quarantined, 1u);
 }
 
 /** The sanctioned simulated stack with fault injection. */

@@ -28,8 +28,8 @@ countingKernel(std::shared_ptr<std::uint64_t> counter)
 TEST(Pipeline, InlineRunDeliversRequestedPackets)
 {
     auto counter = std::make_shared<std::uint64_t>(0);
-    Pipeline pipe({}, countingKernel(counter));
-    const PipelineStats stats = pipe.runInline(1000);
+    Pipeline pipeline({}, countingKernel(counter));
+    const PipelineStats stats = pipeline.runInline(1000);
     EXPECT_GE(stats.transmitted, 1000u);
     EXPECT_EQ(stats.processed, *counter);
     EXPECT_GE(stats.received, stats.processed);
@@ -41,11 +41,11 @@ TEST(Pipeline, DroppedPacketsDoNotReachTransmit)
 {
     // Kernel drops every second packet.
     auto flag = std::make_shared<bool>(false);
-    Pipeline pipe({}, [flag](Packet &) {
+    Pipeline pipeline({}, [flag](Packet &) {
         *flag = !*flag;
         return *flag;
     });
-    const PipelineStats stats = pipe.runInline(500);
+    const PipelineStats stats = pipeline.runInline(500);
     EXPECT_GE(stats.dropped, 490u);
     EXPECT_NEAR(static_cast<double>(stats.dropped),
                 static_cast<double>(stats.processed), 32.0);
@@ -55,10 +55,10 @@ TEST(Pipeline, RealForwardingKernelEndToEnd)
 {
     auto table = std::make_shared<Ipv4ForwardingTable>(
         IpfwdMode::L1Resident, 16, 3);
-    Pipeline pipe({}, [table](Packet &p) {
+    Pipeline pipeline({}, [table](Packet &p) {
         return table->forward(p);
     });
-    const PipelineStats stats = pipe.runInline(2000);
+    const PipelineStats stats = pipeline.runInline(2000);
     EXPECT_GE(stats.transmitted, 2000u);
     EXPECT_EQ(stats.dropped, 0u);   // generator TTLs are >= 32
     EXPECT_EQ(table->lookupCount(), stats.processed);
@@ -67,28 +67,28 @@ TEST(Pipeline, RealForwardingKernelEndToEnd)
 TEST(Pipeline, ThreadedStagesStopCleanly)
 {
     auto counter = std::make_shared<std::uint64_t>(0);
-    Pipeline pipe({}, countingKernel(counter));
+    Pipeline pipeline({}, countingKernel(counter));
 
-    std::thread r([&pipe]() {
-        while (!pipe.stopRequested())
-            pipe.receiveStep(32);
+    std::thread r([&pipeline]() {
+        while (!pipeline.stopRequested())
+            pipeline.receiveStep(32);
     });
-    std::thread p([&pipe]() {
-        while (!pipe.stopRequested())
-            pipe.processStep(32);
+    std::thread p([&pipeline]() {
+        while (!pipeline.stopRequested())
+            pipeline.processStep(32);
     });
-    std::thread t([&pipe]() {
-        while (!pipe.stopRequested())
-            pipe.transmitStep(32);
+    std::thread t([&pipeline]() {
+        while (!pipeline.stopRequested())
+            pipeline.transmitStep(32);
     });
 
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    pipe.requestStop();
+    pipeline.requestStop();
     r.join();
     p.join();
     t.join();
 
-    const PipelineStats stats = pipe.stats();
+    const PipelineStats stats = pipeline.stats();
     EXPECT_GT(stats.transmitted, 0u);
     EXPECT_GE(stats.received, stats.processed);
     EXPECT_GE(stats.processed + stats.dropped, stats.transmitted);
@@ -97,12 +97,12 @@ TEST(Pipeline, ThreadedStagesStopCleanly)
 TEST(Pipeline, BackpressureBoundsQueueGrowth)
 {
     auto counter = std::make_shared<std::uint64_t>(0);
-    Pipeline pipe({}, countingKernel(counter), 64);
+    Pipeline pipeline({}, countingKernel(counter), 64);
     // Run only the receive stage: the R->P queue fills and receive
     // saturates at the queue capacity.
     std::size_t total = 0;
     for (int i = 0; i < 100; ++i)
-        total += pipe.receiveStep(32);
+        total += pipeline.receiveStep(32);
     EXPECT_LE(total, 64u);
 }
 

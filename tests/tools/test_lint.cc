@@ -335,9 +335,104 @@ TEST(Lint, CatalogueCoversEveryRuleId)
           "statsched-unordered-iteration", "statsched-raw-assert",
           "statsched-stdout", "statsched-include-guard",
           "statsched-include-own-first", "statsched-nolint-reason",
-          "statsched-sim-hot-alloc"}) {
+          "statsched-sim-hot-alloc", "statsched-no-raw-process"}) {
         EXPECT_TRUE(fired(ids, expected)) << expected;
     }
+}
+
+TEST(Lint, NoRawProcessFiresEverywhere)
+{
+    // Unlike the library-only rules, raw process control is banned
+    // in tools, tests and benches too — every child goes through
+    // base::Subprocess.
+    const std::string snippet =
+        "#include <unistd.h>\n"
+        "int f() {\n"
+        "    int fds[2];\n"
+        "    pipe(fds);\n"
+        "    pid_t child = fork();\n"
+        "    int status = 0;\n"
+        "    waitpid(child, &status, 0);\n"
+        "    return status;\n"
+        "}\n";
+    for (const char *path :
+         {"src/core/foo.cc", "tools/runner.cc",
+          "tests/core/test_foo.cc", "bench/bench_foo.cc"}) {
+        const auto rules = firedRules(path, snippet);
+        EXPECT_EQ(3,
+                  std::count(rules.begin(), rules.end(),
+                             std::string("statsched-no-raw-process")))
+            << path;
+    }
+}
+
+TEST(Lint, NoRawProcessFiresOnExecAndPopenAndSystem)
+{
+    const std::string snippet =
+        "#include <cstdlib>\n"
+        "void f(const char *cmd) {\n"
+        "    execvp(cmd, nullptr);\n"
+        "    popen(cmd, \"r\");\n"
+        "    std::system(cmd);\n"
+        "}\n";
+    const auto rules = firedRules("tools/runner.cc", snippet);
+    EXPECT_EQ(3, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-no-raw-process")));
+}
+
+TEST(Lint, NoRawProcessExemptInSubprocessWrapper)
+{
+    // src/base/subprocess.* is the sanctioned home of these calls.
+    const std::string snippet =
+        "#include \"base/subprocess.hh\"\n"
+        "void f() {\n"
+        "    int fds[2];\n"
+        "    pipe(fds);\n"
+        "    fork();\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/base/subprocess.cc", snippet),
+                       "statsched-no-raw-process"));
+    EXPECT_FALSE(fired(firedRules("src/base/subprocess.hh", snippet),
+                       "statsched-no-raw-process"));
+}
+
+TEST(Lint, NoRawProcessSuppressibleWithReason)
+{
+    const std::string snippet =
+        "#include <cstdlib>\n"
+        "int f() { return std::system(\"stty sane\"); }"
+        " // NOLINT(statsched-no-raw-process): terminal reset, no"
+        " child to manage\n";
+    EXPECT_TRUE(firedRules("tools/runner.cc", snippet).empty());
+}
+
+TEST(Lint, NoRawProcessIgnoresLookalikes)
+{
+    // A local named `pipe` being constructed is not the pipe(2)
+    // syscall, and system_clock is not system(3).
+    const std::string snippet =
+        "#include \"net/pipeline.hh\"\n"
+        "void f() {\n"
+        "    Pipeline pipe({}, kernel());\n"
+        "    auto t = std::chrono::system_clock::now();\n"
+        "    (void)t;\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("tests/net/test_foo.cc", snippet),
+                       "statsched-no-raw-process"));
+}
+
+TEST(Lint, NolintInsideStringLiteralIsInert)
+{
+    // Directive-shaped text in a string literal (such as this very
+    // test file's fixtures) neither suppresses rules nor trips the
+    // reason check.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "const char *kDoc = \"// NOLINT(statsched-ambient-rng)\";"
+        " int g() { return rand(); }\n";
+    const auto rules = firedRules("src/core/foo.cc", snippet);
+    EXPECT_TRUE(fired(rules, "statsched-ambient-rng"));
+    EXPECT_FALSE(fired(rules, "statsched-nolint-reason"));
 }
 
 TEST(Lint, SimHotAllocFiresOnMapAndVectorAndNew)

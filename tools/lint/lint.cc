@@ -36,6 +36,7 @@ const char *const kIncludeGuard = "statsched-include-guard";
 const char *const kIncludeOwnFirst = "statsched-include-own-first";
 const char *const kNolintReason = "statsched-nolint-reason";
 const char *const kSimHotAlloc = "statsched-sim-hot-alloc";
+const char *const kNoRawProcess = "statsched-no-raw-process";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -163,6 +164,71 @@ splitLines(const std::string &content)
 }
 
 /**
+ * Lines with string/char literals blanked but comments kept — the
+ * view NOLINT directives are parsed from. Directives live in
+ * comments; directive-shaped text inside a string literal (a lint
+ * test fixture, a help message) must stay inert.
+ */
+std::vector<std::string>
+stripStringsOnly(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    bool in_block_comment = false;
+
+    std::istringstream stream(content);
+    while (std::getline(stream, line)) {
+        std::string out(line.size(), ' ');
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (in_block_comment) {
+                out[i] = line[i];
+                if (line[i] == '*' && i + 1 < line.size() &&
+                    line[i + 1] == '/') {
+                    out[i + 1] = '/';
+                    in_block_comment = false;
+                    ++i;
+                }
+                continue;
+            }
+            const char c = line[i];
+            if (c == '/' && i + 1 < line.size()) {
+                if (line[i + 1] == '/') {
+                    // Copy the comment verbatim to the end.
+                    for (std::size_t j = i; j < line.size(); ++j)
+                        out[j] = line[j];
+                    break;
+                }
+                if (line[i + 1] == '*') {
+                    out[i] = '/';
+                    out[i + 1] = '*';
+                    in_block_comment = true;
+                    ++i;
+                    continue;
+                }
+            }
+            if (c == '"' || c == '\'') {
+                const char quote = c;
+                out[i] = quote;
+                ++i;
+                while (i < line.size()) {
+                    if (line[i] == '\\') {
+                        ++i;
+                    } else if (line[i] == quote) {
+                        out[i] = quote;
+                        break;
+                    }
+                    ++i;
+                }
+                continue;
+            }
+            out[i] = c;
+        }
+        lines.push_back(std::move(out));
+    }
+    return lines;
+}
+
+/**
  * Per-line suppression state parsed from NOLINT directives.
  */
 struct Suppression
@@ -266,13 +332,15 @@ canonicalGuard(std::string path)
     return guard;
 }
 
-/** Where a line rule applies within src/. */
+/** Where a line rule applies. */
 enum class RuleScope
 {
     Library,       //!< all of src/
     Deterministic, //!< src/core, src/stats, src/sim, src/num
     ClockManaged,  //!< src/ minus the clock-exempt modules
     SimHotPath,    //!< src/sim/contention.*, src/sim/engine.*
+    Process,       //!< every scanned file except the sanctioned
+                   //!< process wrapper (src/base/subprocess.hh)
 };
 
 /** Rules that match single stripped lines with a regex. */
@@ -289,13 +357,15 @@ ruleApplies(RuleScope scope, const std::string &path)
 {
     switch (scope) {
     case RuleScope::Library:
-        return true; // applyLineRules already filtered to src/
+        return isLibrary(path);
     case RuleScope::Deterministic:
         return isDeterministicModule(path);
     case RuleScope::ClockManaged:
-        return !isClockExempt(path);
+        return isLibrary(path) && !isClockExempt(path);
     case RuleScope::SimHotPath:
         return isSimHotPath(path);
+    case RuleScope::Process:
+        return !startsWith(path, "src/base/subprocess.");
     }
     return true;
 }
@@ -342,6 +412,15 @@ lineRules()
              "suppress with a reason if this is construction-time or "
              "off the solve path",
              RuleScope::SimHotPath});
+        r.push_back(
+            {kNoRawProcess,
+             std::regex(
+                 R"((\bfork\s*\()|(\bvfork\s*\()|(\bexec[lv]p?e?\s*\()|(\bexecvpe\s*\()|(\bposix_spawnp?\s*\()|(\bwaitpid\s*\()|(\bwait3\s*\()|(\bwait4\s*\()|(\bpipe2?\s*\(\s*[A-Za-z_&])|(\bpopen\s*\()|(\bsystem\s*\())"),
+             "raw process-control call; spawn and manage children "
+             "through base::Subprocess (src/base/subprocess.hh), the "
+             "one audited home for fork/exec/pipe/waitpid lifecycle "
+             "bugs",
+             RuleScope::Process});
         return r;
     }();
     return rules;
@@ -350,13 +429,13 @@ lineRules()
 void
 applyLineRules(const std::string &path,
                const std::vector<std::string> &stripped,
-               const std::vector<std::string> &raw,
+               const std::vector<std::string> &directives,
                std::vector<Finding> &findings)
 {
+    // Process-scoped rules reach every scanned file (tools, tests
+    // and benches spawn workers too); the rest of the machinery only
+    // looks at src/.
     const bool deterministic = isDeterministicModule(path);
-    const bool library = isLibrary(path);
-    if (!library)
-        return;
 
     // Iteration over unordered containers is only detectable with
     // the declared names in hand.
@@ -381,7 +460,7 @@ applyLineRules(const std::string &path,
     }
 
     for (std::size_t i = 0; i < stripped.size(); ++i) {
-        const Suppression sup = parseNolint(raw[i]);
+        const Suppression sup = parseNolint(directives[i]);
         if (sup.missingReason) {
             findings.push_back(
                 {path, i + 1, kNolintReason,
@@ -412,7 +491,7 @@ applyLineRules(const std::string &path,
 void
 applyHeaderGuardRule(const std::string &path,
                      const std::vector<std::string> &stripped,
-                     const std::vector<std::string> &raw,
+                     const std::vector<std::string> &directives,
                      std::vector<Finding> &findings)
 {
     if (!endsWith(path, ".hh"))
@@ -433,7 +512,8 @@ applyHeaderGuardRule(const std::string &path,
             has_define = true;
     }
     if (!has_ifndef || !has_define) {
-        if (!parseNolint(raw.empty() ? std::string() : raw[0])
+        if (!parseNolint(directives.empty() ? std::string()
+                                            : directives[0])
                  .rules.count(kIncludeGuard)) {
             findings.push_back(
                 {path, has_ifndef ? ifndef_line + 1 : 1,
@@ -448,6 +528,7 @@ applyHeaderGuardRule(const std::string &path,
 void
 applyOwnHeaderFirstRule(const std::string &path,
                         const std::vector<std::string> &raw,
+                        const std::vector<std::string> &directives,
                         std::vector<Finding> &findings)
 {
     if (!endsWith(path, ".cc") || !isLibrary(path))
@@ -467,7 +548,8 @@ applyOwnHeaderFirstRule(const std::string &path,
         if (!std::regex_search(raw[i], m, include_pattern))
             continue;
         if (m[1].str() != expected &&
-            parseNolint(raw[i]).rules.count(kIncludeOwnFirst) == 0) {
+            parseNolint(directives[i]).rules.count(kIncludeOwnFirst) ==
+                0) {
             findings.push_back(
                 {path, i + 1, kIncludeOwnFirst,
                  "first include must be this file's own header \"" +
@@ -521,6 +603,10 @@ ruleCatalogue()
          "innermost loop of every campaign and must not allocate or "
          "touch node-based maps per solve; per-measurement state "
          "lives in reusable Scratch workspaces"},
+        {kNoRawProcess,
+         "fork/exec/waitpid/pipe and their relatives live only in "
+         "the sanctioned base::Subprocess wrapper; everything else "
+         "— tools and tests included — spawns children through it"},
     };
     return catalogue;
 }
@@ -532,10 +618,15 @@ lintContent(const std::string &path, const std::string &content)
     const std::vector<std::string> raw = splitLines(content);
     const std::vector<std::string> stripped =
         stripCommentsAndStrings(content);
+    // NOLINT directives are parsed from a strings-blanked view:
+    // directives live in comments, and directive-shaped text inside
+    // a string literal (a lint-test fixture) must stay inert.
+    const std::vector<std::string> directives =
+        stripStringsOnly(content);
 
-    applyLineRules(path, stripped, raw, findings);
-    applyHeaderGuardRule(path, stripped, raw, findings);
-    applyOwnHeaderFirstRule(path, raw, findings);
+    applyLineRules(path, stripped, directives, findings);
+    applyHeaderGuardRule(path, stripped, directives, findings);
+    applyOwnHeaderFirstRule(path, raw, directives, findings);
     return findings;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,8 @@
 #include "core/memoizing_engine.hh"
 #include "core/parallel_engine.hh"
 #include "core/resilient_engine.hh"
+#include "core/shard_protocol.hh"
+#include "core/sharded_engine.hh"
 #include "num/duration.hh"
 #include "sim/benchmarks.hh"
 #include "sim/engine.hh"
@@ -262,6 +265,35 @@ printEngineStats(std::FILE *out, const EngineStack &stack,
                      static_cast<unsigned long long>(stats.retries),
                      static_cast<unsigned long long>(
                          stats.quarantined));
+    }
+    if (stats.shardedMeasurements != 0 || stats.shardFailures != 0 ||
+        stats.shardReissues != 0 || stats.shardRespawns != 0 ||
+        stats.shardsQuarantined != 0 ||
+        stats.shardDegradedBatches != 0) {
+        std::fprintf(out,
+                     "shard workers:      %12llu measurements "
+                     "served remotely\n",
+                     static_cast<unsigned long long>(
+                         stats.shardedMeasurements));
+        std::fprintf(out,
+                     "shard health:       %12llu failures  "
+                     "(%llu re-issued, %llu respawned, "
+                     "%llu quarantined)\n",
+                     static_cast<unsigned long long>(
+                         stats.shardFailures),
+                     static_cast<unsigned long long>(
+                         stats.shardReissues),
+                     static_cast<unsigned long long>(
+                         stats.shardRespawns),
+                     static_cast<unsigned long long>(
+                         stats.shardsQuarantined));
+        if (stats.shardDegradedBatches != 0) {
+            std::fprintf(out,
+                         "shard degraded:     %12llu batches served "
+                         "in-process\n",
+                         static_cast<unsigned long long>(
+                             stats.shardDegradedBatches));
+        }
     }
     if (stats.solves != 0) {
         std::fprintf(out,
@@ -534,6 +566,13 @@ cmdIterate(int argc, char **argv)
     args.addOption("max-measurements", "0",
                    "measurement budget (0 = none)");
     args.addOption("max-rounds", "0", "round budget (0 = none)");
+    args.addOption("shards", "0",
+                   "measurement worker processes (0 = in-process)");
+    args.addOption("shard-deadline-s", "30",
+                   "per-request worker deadline in seconds");
+    args.addOption("worker", "",
+                   "worker binary (default: statsched_worker next "
+                   "to this binary)");
     parseOrDie(args, "iterate", argc, argv);
 
     const double loss = args.getDouble("loss");
@@ -549,6 +588,13 @@ cmdIterate(int argc, char **argv)
     const long maxRounds = args.getInt("max-rounds");
     if (deadline < 0 || maxMeasurements < 0 || maxRounds < 0) {
         std::fprintf(stderr, "iterate: budgets must be >= 0\n");
+        return 2;
+    }
+    const long shards = args.getInt("shards");
+    const double shardDeadline = args.getDouble("shard-deadline-s");
+    if (shards < 0 || shardDeadline <= 0) {
+        std::fprintf(stderr, "iterate: '--shards' must be >= 0 and "
+                     "'--shard-deadline-s' positive\n");
         return 2;
     }
 
@@ -605,8 +651,58 @@ cmdIterate(int argc, char **argv)
     base::installShutdownHandlers();
     campaign.stopRequested = [] { return base::shutdownRequested(); };
 
+    // --shards N fans measurement batches out to N statsched_worker
+    // subprocesses below the journal (Sharded over the substrate);
+    // results are bit-identical for every N, so the shard flags stay
+    // out of the campaign identity hash, and a journal written
+    // sharded resumes unsharded (and vice versa).
+    const std::uint32_t tasks = stack.sim().workload().taskCount();
+    std::unique_ptr<core::ShardedEngine> sharded;
+    if (shards > 0) {
+        std::string workerPath = args.get("worker");
+        if (workerPath.empty()) {
+            workerPath = (std::filesystem::path(argv[0])
+                              .parent_path() /
+                          "statsched_worker")
+                             .string();
+        }
+        const std::string engineConfig = args.get("benchmark") + "|" +
+            args.get("instances") + "|" + args.get("fault-rate") +
+            "|" + args.get("fault-garbage") + "|" +
+            args.get("fault-outlier") + "|" +
+            args.get("fault-hang") + "|" + args.get("fault-seed");
+        const std::uint64_t fingerprint =
+            core::shardConfigFingerprint(engineConfig);
+        const std::vector<std::string> workerArgv = {
+            workerPath,
+            "--benchmark", args.get("benchmark"),
+            "--instances", args.get("instances"),
+            "--fault-rate", args.get("fault-rate"),
+            "--fault-garbage", args.get("fault-garbage"),
+            "--fault-outlier", args.get("fault-outlier"),
+            "--fault-hang", args.get("fault-hang"),
+            "--fault-seed", args.get("fault-seed"),
+            "--config-hash", std::to_string(fingerprint),
+        };
+        core::ShardedOptions sharding;
+        sharding.shards = static_cast<std::size_t>(shards);
+        sharding.requestDeadlineSeconds = shardDeadline;
+        sharding.expected.configHash = fingerprint;
+        sharding.expected.cores = topo.cores;
+        sharding.expected.pipesPerCore = topo.pipesPerCore;
+        sharding.expected.strandsPerPipe = topo.strandsPerPipe;
+        sharding.expected.tasks = tasks;
+        sharding.clock = &clock;
+        sharded = std::make_unique<core::ShardedEngine>(
+            stack.substrate(),
+            core::makeProcessShardFactory(workerArgv, clock),
+            sharding);
+    }
+    core::PerformanceEngine &substrate =
+        sharded ? *sharded : stack.substrate();
+
     const core::CampaignResult result = core::runCampaign(
-        stack.substrate(), topo, stack.sim().workload().taskCount(),
+        substrate, topo, tasks,
         static_cast<std::uint64_t>(args.getInt("seed")), campaign);
 
     if (!result.ran) {
@@ -688,6 +784,8 @@ cmdHelp()
         "             [--max N] [--confident] [--cold-fits]\n"
         "             [--journal PATH [--resume]] [--deadline-s S]\n"
         "             [--max-measurements N] [--max-rounds N]\n"
+        "             [--shards N [--worker PATH] "
+        "[--shard-deadline-s S]]\n"
         "  help\n\n"
         "measurement commands also take --threads N (0 = hardware "
         "concurrency)\nand --no-memoize (measure duplicate "
@@ -703,6 +801,13 @@ cmdHelp()
         "--deadline-s / --max-measurements / --max-rounds stop\nthe "
         "campaign gracefully at a round boundary with a final "
         "checkpoint;\nso do SIGINT and SIGTERM.\n\n"
+        "sharding: --shards N fans measurement batches out to N "
+        "statsched_worker\nprocesses (bit-identical results for any "
+        "N, including 0). Dead or hung\nworkers are re-issued, "
+        "respawned with backoff, then quarantined; with\nevery "
+        "worker quarantined the campaign degrades to in-process "
+        "measuring.\nWorker exit codes: 0 clean stop, 2 usage, "
+        "3 protocol error.\n\n"
         "iterate exit codes: 0 target met, 2 usage or journal "
         "error,\n3 sample cap reached, 4 engine failure, "
         "5 interrupted,\n6 deadline or budget exhausted.\n\n"

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * statsched_worker — shard measurement worker.
+ *
+ * Spawned by `statsched_cli iterate --shards N` (via
+ * core::makeProcessShardFactory), one process per shard slot. The
+ * worker builds the same in-process measurement substrate the
+ * coordinator would use — FaultInjecting?(Simulated), from the same
+ * engine flags — and serves the shard protocol over stdin/stdout:
+ * frames in, frames out, nothing else on stdout (diagnostics go to
+ * stderr, which is inherited from the coordinator).
+ *
+ * No ParallelEngine here: shard-level parallelism comes from the
+ * number of workers, and the protocol evaluates items through batch
+ * kernels, which are index-pure either way.
+ *
+ * Lifetime is governed by the coordinator, not by signals: the worker
+ * serves until stdin reaches EOF (coordinator exited or released the
+ * slot), a Shutdown frame arrives, or the coordinator breaks
+ * protocol. SIGINT at the terminal reaches the whole foreground
+ * process group, so the worker installs the standard handlers and
+ * *continues serving* on EINTR — the coordinator drains the round and
+ * closes the pipes, which is the orderly stop. A second signal of the
+ * same kind still hard-kills a wedged worker (base/shutdown.hh).
+ *
+ * Exit codes: 0 clean stop (EOF or Shutdown), 2 usage error,
+ * 3 protocol error.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "base/cli.hh"
+#include "base/shutdown.hh"
+#include "core/fault_injection.hh"
+#include "core/shard_worker.hh"
+#include "core/topology.hh"
+#include "sim/benchmarks.hh"
+#include "sim/engine.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+/** Writes all of `bytes` to stdout, retrying EINTR and short
+ *  writes. @return false when the coordinator end is gone. */
+bool
+writeFrames(const std::vector<std::uint8_t> &bytes)
+{
+    const std::uint8_t *p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = ::write(STDOUT_FILENO, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+sim::Benchmark
+parseBenchmark(const std::string &name)
+{
+    using sim::Benchmark;
+    if (name == "ipfwd-l1")
+        return Benchmark::IpfwdL1;
+    if (name == "ipfwd-mem")
+        return Benchmark::IpfwdMem;
+    if (name == "analyzer")
+        return Benchmark::PacketAnalyzer;
+    if (name == "aho")
+        return Benchmark::AhoCorasick;
+    if (name == "stateful")
+        return Benchmark::Stateful;
+    if (name == "intadd")
+        return Benchmark::IpfwdIntAdd;
+    if (name == "intmul")
+        return Benchmark::IpfwdIntMul;
+    std::fprintf(stderr, "statsched_worker: unknown benchmark '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    base::OptionParser args;
+    args.addOption("benchmark", "ipfwd-l1", "workload kernel");
+    args.addOption("instances", "8", "pipeline instances");
+    args.addOption("fault-rate", "0",
+                   "injected transient failure percent");
+    args.addOption("fault-garbage", "0",
+                   "injected NaN reading percent");
+    args.addOption("fault-outlier", "0",
+                   "injected silent outlier percent");
+    args.addOption("fault-hang", "0", "injected modeled hang percent");
+    args.addOption("fault-seed", "1024023", "fault injection seed");
+    args.addOption("config-hash", "0",
+                   "coordinator's engine-configuration fingerprint, "
+                   "echoed in the Hello");
+    if (!args.parse(argc, argv, 1)) {
+        std::fprintf(stderr,
+                     "statsched_worker: %s\noptions:\n%s",
+                     args.error().c_str(), args.usage().c_str());
+        return 2;
+    }
+
+    const long instances = args.getInt("instances");
+    if (instances <= 0) {
+        std::fprintf(stderr,
+                     "statsched_worker: '--instances' must be "
+                     "positive\n");
+        return 2;
+    }
+    core::FaultOptions faults;
+    faults.transientRate = args.getDouble("fault-rate") / 100.0;
+    faults.garbageRate = args.getDouble("fault-garbage") / 100.0;
+    faults.outlierRate = args.getDouble("fault-outlier") / 100.0;
+    faults.hangRate = args.getDouble("fault-hang") / 100.0;
+    faults.seed =
+        static_cast<std::uint64_t>(args.getInt("fault-seed"));
+    if (faults.totalRate() > 1.0) {
+        std::fprintf(stderr, "statsched_worker: fault rates add up "
+                     "to more than 100%%\n");
+        return 2;
+    }
+    const std::uint64_t configHash =
+        std::strtoull(args.get("config-hash").c_str(), nullptr, 10);
+
+    sim::SimulatedEngine simulated(
+        sim::makeWorkload(parseBenchmark(args.get("benchmark")),
+                          static_cast<std::uint32_t>(instances)));
+    std::unique_ptr<core::FaultInjectingEngine> faulty;
+    core::PerformanceEngine *engine = &simulated;
+    if (faults.totalRate() > 0.0) {
+        faulty = std::make_unique<core::FaultInjectingEngine>(
+            *engine, faults);
+        engine = faulty.get();
+    }
+
+    const core::Topology topo = core::Topology::ultraSparcT2();
+    core::ShardWorker worker(
+        *engine, topo, simulated.workload().taskCount(), configHash);
+
+    base::installShutdownHandlers();
+
+    if (!writeFrames(worker.helloBytes()))
+        return 0; // coordinator already gone; nothing to report
+
+    std::vector<std::uint8_t> responses;
+    std::uint8_t buffer[4096];
+    while (true) {
+        const ssize_t n =
+            ::read(STDIN_FILENO, buffer, sizeof buffer);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // coordinator decides our lifetime, not ^C
+            std::fprintf(stderr,
+                         "statsched_worker: stdin read failed\n");
+            return 3;
+        }
+        if (n == 0)
+            return 0; // EOF: orderly stop
+        responses.clear();
+        const bool serving = worker.consume(
+            buffer, static_cast<std::size_t>(n), responses);
+        if (!responses.empty() && !writeFrames(responses))
+            return worker.protocolError() ? 3 : 0;
+        if (!serving) {
+            if (worker.protocolError()) {
+                std::fprintf(stderr, "statsched_worker: %s\n",
+                             worker.errorDetail().c_str());
+                return 3;
+            }
+            return 0; // Shutdown frame
+        }
+    }
+}
