@@ -1,0 +1,48 @@
+# Keeps docs/LINT_RULES.md in lockstep with the rule catalogue that
+# statsched_lint actually enforces (tools/lint/lint.cc).
+#
+# Check mode (the `lint_rules_doc` ctest):
+#   cmake -DLINT_BIN=<statsched_lint> -DDOC=<docs/LINT_RULES.md> \
+#         -P check_lint_rules_doc.cmake
+#
+# Generate mode (run after editing the catalogue):
+#   cmake -DLINT_BIN=build/tools/lint/statsched_lint \
+#         -DDOC=docs/LINT_RULES.md -DMODE=generate \
+#         -P cmake/check_lint_rules_doc.cmake
+
+if(NOT DEFINED LINT_BIN OR NOT DEFINED DOC)
+    message(FATAL_ERROR
+            "usage: cmake -DLINT_BIN=<statsched_lint> -DDOC=<doc.md> "
+            "[-DMODE=generate] -P check_lint_rules_doc.cmake")
+endif()
+
+execute_process(COMMAND ${LINT_BIN} --markdown-rules
+                OUTPUT_VARIABLE generated
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "${LINT_BIN} --markdown-rules failed (exit ${status})")
+endif()
+
+if(DEFINED MODE AND MODE STREQUAL "generate")
+    file(WRITE ${DOC} "${generated}")
+    message(STATUS "wrote ${DOC}")
+    return()
+endif()
+
+if(NOT EXISTS ${DOC})
+    message(FATAL_ERROR
+            "${DOC} does not exist; generate it with:\n"
+            "  cmake -DLINT_BIN=${LINT_BIN} -DDOC=${DOC} "
+            "-DMODE=generate -P cmake/check_lint_rules_doc.cmake")
+endif()
+
+file(READ ${DOC} committed)
+if(NOT committed STREQUAL generated)
+    message(FATAL_ERROR
+            "${DOC} is out of date with the rule catalogue in "
+            "tools/lint/lint.cc.\nRegenerate it with:\n"
+            "  cmake -DLINT_BIN=${LINT_BIN} -DDOC=${DOC} "
+            "-DMODE=generate -P cmake/check_lint_rules_doc.cmake")
+endif()
+message(STATUS "${DOC} matches the rule catalogue")

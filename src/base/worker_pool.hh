@@ -22,13 +22,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/sync.hh"
 
 namespace statsched
 {
@@ -82,10 +82,10 @@ class WorkerPool
     ~WorkerPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stopping_ = true;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         for (auto &worker : workers_)
             worker.join();
     }
@@ -121,17 +121,16 @@ class WorkerPool
         job->task = &task;
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             job_ = job;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
 
         runChunks(*job);
 
-        std::unique_lock<std::mutex> lock(mutex_);
-        finished_.wait(lock, [&] {
-            return job->done.load(std::memory_order_acquire) == job->n;
-        });
+        MutexLock lock(mutex_);
+        while (job->done.load(std::memory_order_acquire) != job->n)
+            finished_.wait(mutex_);
         // Clear the published job so destruction cannot race a worker
         // that never woke for it.
         job_.reset();
@@ -171,8 +170,8 @@ class WorkerPool
             if (finished == job.n) {
                 // Pair the notification with the mutex so the waiter
                 // cannot miss it between predicate check and sleep.
-                { std::lock_guard<std::mutex> lock(mutex_); }
-                finished_.notify_all();
+                { MutexLock lock(mutex_); }
+                finished_.notifyAll();
             }
         }
     }
@@ -184,10 +183,9 @@ class WorkerPool
         for (;;) {
             std::shared_ptr<Job> job;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [&] {
-                    return stopping_ || (job_ && job_ != seen);
-                });
+                MutexLock lock(mutex_);
+                while (!stopping_ && (!job_ || job_ == seen))
+                    wake_.wait(mutex_);
                 if (stopping_)
                     return;
                 job = job_;
@@ -197,14 +195,15 @@ class WorkerPool
         }
     }
 
-    unsigned threads_;
+    const unsigned threads_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::condition_variable finished_;
-    std::shared_ptr<Job> job_;       //!< current job, guarded by mutex_
-    bool stopping_ = false;
-    std::vector<std::thread> workers_;
+    Mutex mutex_{"base::WorkerPool::mutex_"};
+    CondVar wake_;
+    CondVar finished_;
+    /** Current job; workers snapshot it under the lock. */
+    std::shared_ptr<Job> job_ SCHED_GUARDED_BY(mutex_);
+    bool stopping_ SCHED_GUARDED_BY(mutex_) = false;
+    std::vector<std::thread> workers_; // NOLINT(statsched-unguarded-member): populated by the constructor before any worker can observe it, joined by the destructor after every worker stopped; never mutated while shared
 };
 
 } // namespace base

@@ -20,7 +20,7 @@ MemoizingEngine::measure(const Assignment &assignment)
 {
     const std::string key = assignment.canonicalKey();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -38,7 +38,7 @@ MemoizingEngine::measure(const Assignment &assignment)
     // forever even after the inner engine recovers.
     if (!std::isfinite(value))
         return value;
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return cache_.emplace(key, value).first->second;
 }
 
@@ -64,7 +64,7 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
     std::uint64_t hit_count = 0;
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             keys[i] = batch[i].canonicalKey();
             const auto cached = cache_.find(keys[i]);
@@ -101,7 +101,7 @@ MemoizingEngine::measureBatch(std::span<const Assignment> batch,
     // misses in first-occurrence order. Failed readings (NaN from a
     // quarantined or errored outcome below) are handed back but never
     // cached — a poisoned entry would mark the class invalid forever.
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (slot[i] != kHit)
             out[i] = values[slot[i]];
@@ -117,7 +117,7 @@ MemoizingEngine::measureOutcome(const Assignment &assignment)
 {
     const std::string key = assignment.canonicalKey();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -130,7 +130,7 @@ MemoizingEngine::measureOutcome(const Assignment &assignment)
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (!outcome.ok())
         return outcome;
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     MeasurementOutcome result = outcome;
     result.value = cache_.emplace(key, outcome.value).first->second;
     return result;
@@ -157,7 +157,7 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
     std::uint64_t hit_count = 0;
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             keys[i] = batch[i].canonicalKey();
             const auto cached = cache_.find(keys[i]);
@@ -190,7 +190,7 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
     // Duplicates of a failed first occurrence share the failed
     // outcome; only successful readings are published to the cache,
     // in first-occurrence order.
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         if (slot[i] != kHit)
             out[i] = outcomes[slot[i]];
@@ -204,14 +204,14 @@ MemoizingEngine::measureBatchOutcome(std::span<const Assignment> batch,
 std::size_t
 MemoizingEngine::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return cache_.size();
 }
 
 void
 MemoizingEngine::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     cache_.clear();
 }
 

@@ -30,10 +30,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "base/sync.hh"
 #include "core/performance_engine.hh"
 
 namespace statsched
@@ -126,8 +126,14 @@ class MemoizingEngine : public PerformanceEngine
 
   private:
     PerformanceEngine &inner_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, double> cache_;
+    mutable base::Mutex mutex_{"core::MemoizingEngine::mutex_"};
+    /** Measured value per canonical class. */
+    std::unordered_map<std::string, double> cache_
+        SCHED_GUARDED_BY(mutex_);
+    // Hit/miss tallies are documented-atomic: bumped outside the
+    // cache lock on purpose (the measure paths count while the inner
+    // engine runs unlocked), and each is an independent monotonic
+    // counter with no cross-member invariant to snapshot.
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
 };

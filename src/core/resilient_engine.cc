@@ -95,8 +95,10 @@ ResilientEngine::runWithRetries(std::span<const Assignment> batch,
         pending = std::move(still_failed);
 
         if (!pending.empty() && attempt < options_.maxAttempts) {
-            retries_.fetch_add(pending.size(),
-                               std::memory_order_relaxed);
+            {
+                base::MutexLock lock(mutex_);
+                retries_ += pending.size();
+            }
             backoff += static_cast<double>(pending.size()) * wait;
             wait = std::min(wait * options_.backoffFactor,
                             options_.backoffCapSeconds);
@@ -106,7 +108,7 @@ ResilientEngine::runWithRetries(std::span<const Assignment> batch,
     for (const std::size_t idx : pending)
         recordExhaustion(batch[idx]);
     if (backoff > 0.0) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         backoffSeconds_ += backoff;
     }
 }
@@ -159,7 +161,6 @@ ResilientEngine::screenOutliers(std::span<const Assignment> batch,
         // suspect readings rather than replacing them with less.
         return;
     }
-    retries_.fetch_add(sub.size(), std::memory_order_relaxed);
 
     for (std::size_t s = 0; s < suspects.size(); ++s) {
         const std::size_t idx = suspects[s];
@@ -171,19 +172,21 @@ ResilientEngine::screenOutliers(std::span<const Assignment> batch,
         }
         out[idx].value = medianOf(std::move(readings));
         out[idx].attempts += k - 1;
-        screened_.fetch_add(1, std::memory_order_relaxed);
     }
+    base::MutexLock lock(mutex_);
+    retries_ += sub.size();
+    screened_ += suspects.size();
 }
 
 void
 ResilientEngine::recordExhaustion(const Assignment &assignment)
 {
     const std::string key = assignment.canonicalKey();
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     const std::uint32_t count = ++exhaustions_[key];
     if (count >= options_.quarantineAfter &&
         quarantine_.insert(key).second) {
-        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        ++quarantined_;
     }
 }
 
@@ -200,7 +203,7 @@ ResilientEngine::measureBatchOutcome(std::span<const Assignment> batch,
     std::vector<std::size_t> live;
     live.reserve(batch.size());
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             if (quarantine_.count(batch[i].canonicalKey()) != 0) {
                 out[i] = MeasurementOutcome::failure(
@@ -260,17 +263,16 @@ ResilientEngine::measureBatch(std::span<const Assignment> batch,
 void
 ResilientEngine::collectStats(EngineStats &stats) const
 {
-    stats.retries += retries_.load(std::memory_order_relaxed);
-    stats.quarantined +=
-        quarantined_.load(std::memory_order_relaxed);
-    // Extra attempts occupy the testbed like first attempts do; the
-    // meter above only charged the requested measurements.
-    stats.modeledSeconds +=
-        static_cast<double>(
-            retries_.load(std::memory_order_relaxed)) *
-        inner_.secondsPerMeasurement();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        // One lock, one snapshot: the retry tally, its modeled cost
+        // and the backoff total all come from the same instant.
+        base::MutexLock lock(mutex_);
+        stats.retries += retries_;
+        stats.quarantined += quarantined_;
+        // Extra attempts occupy the testbed like first attempts do;
+        // the meter above only charged the requested measurements.
+        stats.modeledSeconds += static_cast<double>(retries_) *
+            inner_.secondsPerMeasurement();
         stats.modeledSeconds += backoffSeconds_;
     }
     inner_.collectStats(stats);
@@ -279,14 +281,14 @@ ResilientEngine::collectStats(EngineStats &stats) const
 bool
 ResilientEngine::isQuarantined(const Assignment &assignment) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return quarantine_.count(assignment.canonicalKey()) != 0;
 }
 
 std::size_t
 ResilientEngine::quarantineSize() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     return quarantine_.size();
 }
 

@@ -43,13 +43,12 @@
 #ifndef STATSCHED_CORE_RESILIENT_ENGINE_HH
 #define STATSCHED_CORE_RESILIENT_ENGINE_HH
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/sync.hh"
 #include "core/performance_engine.hh"
 
 namespace statsched
@@ -135,14 +134,16 @@ class ResilientEngine : public PerformanceEngine
     std::uint64_t
     retryCount() const
     {
-        return retries_.load(std::memory_order_relaxed);
+        base::MutexLock lock(mutex_);
+        return retries_;
     }
 
     /** @return readings replaced by a median-of-k re-measurement. */
     std::uint64_t
     screenedCount() const
     {
-        return screened_.load(std::memory_order_relaxed);
+        base::MutexLock lock(mutex_);
+        return screened_;
     }
 
   private:
@@ -159,19 +160,25 @@ class ResilientEngine : public PerformanceEngine
     void recordExhaustion(const Assignment &assignment);
 
     PerformanceEngine &inner_;
-    ResilientOptions options_;
+    const ResilientOptions options_;
 
-    mutable std::mutex mutex_;
+    mutable base::Mutex mutex_{"core::ResilientEngine::mutex_"};
     /** Quarantined canonical classes. */
-    std::unordered_set<std::string> quarantine_;
+    std::unordered_set<std::string> quarantine_
+        SCHED_GUARDED_BY(mutex_);
     /** Full exhaustions per class, for the quarantine threshold. */
-    std::unordered_map<std::string, std::uint32_t> exhaustions_;
+    std::unordered_map<std::string, std::uint32_t> exhaustions_
+        SCHED_GUARDED_BY(mutex_);
 
-    std::atomic<std::uint64_t> retries_{0};
-    std::atomic<std::uint64_t> screened_{0};
-    std::atomic<std::uint64_t> quarantined_{0};
-    /** Modeled backoff seconds accumulated; guarded by mutex_. */
-    double backoffSeconds_ = 0.0;
+    // Health counters share the quarantine lock (they used to be
+    // loose atomics next to a mutex-guarded backoffSeconds_, so
+    // collectStats() could pair a retry tally with a backoff total
+    // from a different instant): one lock, one consistent snapshot.
+    std::uint64_t retries_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t screened_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t quarantined_ SCHED_GUARDED_BY(mutex_) = 0;
+    /** Modeled backoff seconds accumulated. */
+    double backoffSeconds_ SCHED_GUARDED_BY(mutex_) = 0.0;
 };
 
 } // namespace core

@@ -45,6 +45,7 @@ ShardedEngine::ShardedEngine(PerformanceEngine &inner,
         "respawn backoff cap below its base");
     SCHED_REQUIRE(options_.quarantineThreshold >= 1,
                   "quarantine threshold must be >= 1");
+    base::MutexLock lock(mutex_);
     slots_.resize(options_.shards);
     for (std::size_t s = 0; s < slots_.size(); ++s)
         slots_[s].index = s;
@@ -85,6 +86,7 @@ ShardedEngine::reserveMeasurementIndices(std::size_t count)
     // Journal replay path: advance the global cursor only. Workers
     // fast-forward on their first fresh request, and the inner engine
     // fast-forwards when (if ever) a degraded batch needs it.
+    base::MutexLock lock(mutex_);
     cursor_ += count;
 }
 
@@ -97,6 +99,9 @@ ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
     const std::size_t batchSize = batch.size();
     if (batchSize == 0)
         return;
+    // The lock spans the whole fan-out round: slot state, the cursor
+    // and the re-issue bookkeeping form one atomic coordination step.
+    base::MutexLock lock(mutex_);
     const std::uint64_t base = cursor_;
     cursor_ += batchSize;
 
@@ -420,6 +425,7 @@ ShardedEngine::failSlot(Slot &slot)
 void
 ShardedEngine::shutdownWorkers()
 {
+    base::MutexLock lock(mutex_);
     std::vector<std::uint8_t> bytes;
     appendShutdown(bytes);
     for (Slot &slot : slots_) {
@@ -435,6 +441,7 @@ ShardedEngine::shutdownWorkers()
 std::size_t
 ShardedEngine::liveShardCount() const
 {
+    base::MutexLock lock(mutex_);
     std::size_t n = 0;
     for (const Slot &slot : slots_)
         n += slot.backend ? 1 : 0;
@@ -442,7 +449,7 @@ ShardedEngine::liveShardCount() const
 }
 
 std::size_t
-ShardedEngine::quarantinedShardCount() const
+ShardedEngine::quarantinedShardCountLocked() const
 {
     std::size_t n = 0;
     for (const Slot &slot : slots_)
@@ -450,15 +457,24 @@ ShardedEngine::quarantinedShardCount() const
     return n;
 }
 
+std::size_t
+ShardedEngine::quarantinedShardCount() const
+{
+    base::MutexLock lock(mutex_);
+    return quarantinedShardCountLocked();
+}
+
 bool
 ShardedEngine::fullyDegraded() const
 {
-    return quarantinedShardCount() == slots_.size();
+    base::MutexLock lock(mutex_);
+    return quarantinedShardCountLocked() == slots_.size();
 }
 
 void
 ShardedEngine::disruptShard(std::size_t index)
 {
+    base::MutexLock lock(mutex_);
     SCHED_REQUIRE(index < slots_.size(), "shard index out of range");
     if (slots_[index].backend)
         slots_[index].backend->terminate();
@@ -470,12 +486,15 @@ ShardedEngine::disruptShard(std::size_t index)
 void
 ShardedEngine::collectStats(EngineStats &stats) const
 {
-    stats.shardedMeasurements += shardedMeasurements_;
-    stats.shardFailures += shardFailures_;
-    stats.shardReissues += shardReissues_;
-    stats.shardRespawns += shardRespawns_;
-    stats.shardsQuarantined += shardsQuarantined_;
-    stats.shardDegradedBatches += degradedBatches_;
+    {
+        base::MutexLock lock(mutex_);
+        stats.shardedMeasurements += shardedMeasurements_;
+        stats.shardFailures += shardFailures_;
+        stats.shardReissues += shardReissues_;
+        stats.shardRespawns += shardRespawns_;
+        stats.shardsQuarantined += shardsQuarantined_;
+        stats.shardDegradedBatches += degradedBatches_;
+    }
     inner_.collectStats(stats);
 }
 

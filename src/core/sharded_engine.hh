@@ -71,6 +71,7 @@
 #include <string>
 #include <vector>
 
+#include "base/sync.hh"
 #include "core/performance_engine.hh"
 #include "core/shard_protocol.hh"
 #include "core/topology.hh"
@@ -259,11 +260,11 @@ class ShardedEngine : public PerformanceEngine
 
     /** Tears down the slot's backend and records the failure:
      *  failure counters, respawn backoff gate, quarantine. */
-    void failSlot(Slot &slot);
+    void failSlot(Slot &slot) SCHED_REQUIRES(mutex_);
 
     /** Ensures the slot has a started, handshaken, fresh-enough
      *  backend; respects the respawn gate. @return true when live. */
-    bool ensureLive(Slot &slot);
+    bool ensureLive(Slot &slot) SCHED_REQUIRES(mutex_);
 
     /**
      * Receives the slot's next frame within `timeoutSeconds`.
@@ -272,51 +273,65 @@ class ShardedEngine : public PerformanceEngine
      *         time (a wait that cannot make progress).
      */
     bool awaitFrame(Slot &slot, ShardFrame &frame,
-                    double timeoutSeconds);
+                    double timeoutSeconds) SCHED_REQUIRES(mutex_);
 
     /** Receives and validates the worker Hello. */
-    bool handshake(Slot &slot);
+    bool handshake(Slot &slot) SCHED_REQUIRES(mutex_);
 
     /** Heartbeat ping over an idle backend. */
-    bool ping(Slot &slot);
+    bool ping(Slot &slot) SCHED_REQUIRES(mutex_);
 
     /** Sends the slot's pending items as one request group. */
     bool sendRequest(Slot &slot,
                      std::span<const Assignment> batch,
-                     std::uint64_t base, std::size_t batchSize);
+                     std::uint64_t base, std::size_t batchSize)
+        SCHED_REQUIRES(mutex_);
 
     /** Awaits the slot's response group and fills `out`. */
     bool awaitResponse(Slot &slot,
                        std::span<MeasurementOutcome> out,
-                       std::vector<bool> &resolved);
+                       std::vector<bool> &resolved)
+        SCHED_REQUIRES(mutex_);
 
     /** Fast-forwards the inner engine to `base` and measures the
      *  still-unresolved indices in-process. */
     void serveLocally(std::span<const Assignment> batch,
                       std::span<MeasurementOutcome> out,
                       const std::vector<bool> &resolved,
-                      std::uint64_t base);
+                      std::uint64_t base) SCHED_REQUIRES(mutex_);
+
+    /** quarantinedShardCount() body, for callers already locked. */
+    std::size_t quarantinedShardCountLocked() const
+        SCHED_REQUIRES(mutex_);
 
     PerformanceEngine &inner_;
-    ShardBackendFactory factory_;
-    ShardedOptions options_;
+    const ShardBackendFactory factory_;
+    const ShardedOptions options_;
 
-    std::vector<Slot> slots_;
+    /**
+     * One lock serializes the whole coordinator. The upper stack
+     * already takes the batch path single-file, but that was an
+     * unchecked convention; now concurrent callers are merely slow
+     * instead of corrupting slot state, and the compile-time analysis
+     * proves every helper runs under the lock.
+     */
+    mutable base::Mutex mutex_{"core::ShardedEngine::mutex_"};
+
+    std::vector<Slot> slots_ SCHED_GUARDED_BY(mutex_);
     /** Global measurement cursor: next unassigned index. */
-    std::uint64_t cursor_ = 0;
+    std::uint64_t cursor_ SCHED_GUARDED_BY(mutex_) = 0;
     /** Indices already consumed on the inner engine. */
-    std::uint64_t innerConsumed_ = 0;
-    std::uint32_t nextReqId_ = 1;
-    std::uint32_t nextNonce_ = 1;
+    std::uint64_t innerConsumed_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint32_t nextReqId_ SCHED_GUARDED_BY(mutex_) = 1;
+    std::uint32_t nextNonce_ SCHED_GUARDED_BY(mutex_) = 1;
 
-    // Health counters (serialized by the upper stack; the journal
-    // and resilient layers above take the batch path single-file).
-    std::uint64_t shardedMeasurements_ = 0;
-    std::uint64_t shardFailures_ = 0;
-    std::uint64_t shardReissues_ = 0;
-    std::uint64_t shardRespawns_ = 0;
-    std::uint64_t shardsQuarantined_ = 0;
-    std::uint64_t degradedBatches_ = 0;
+    // Health counters, under the same lock as the slots they count.
+    std::uint64_t shardedMeasurements_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardFailures_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardReissues_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardRespawns_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardsQuarantined_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t degradedBatches_ SCHED_GUARDED_BY(mutex_) = 0;
 };
 
 /**

@@ -9,14 +9,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/check.hh"
 #include "base/logging.hh"
+#include "base/sync.hh"
 #include "net/aho_corasick.hh"
 #include "net/analyzer.hh"
 #include "net/flow_table.hh"
@@ -135,18 +134,20 @@ pinSelfTo(unsigned cpu)
  */
 struct RunState
 {
-    std::vector<std::unique_ptr<net::Pipeline>> pipelines;
+    std::vector<std::unique_ptr<net::Pipeline>> pipelines; // NOLINT(statsched-unguarded-member): filled before the stage threads spawn and read after join/abandon; the threads only touch the raw Pipeline* they were handed
     std::atomic<std::size_t> active{0};
-    std::mutex mutex;
-    std::condition_variable cv;
+    base::Mutex mutex{"hw::RunState::mutex"};
+    base::CondVar cv;
 
     /** Called by each stage thread on exit. */
     void
     stageDone()
     {
         if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> lock(mutex);
-            cv.notify_all();
+            // Pair the notification with the mutex so the watchdog
+            // cannot miss it between its predicate check and sleep.
+            { base::MutexLock lock(mutex); }
+            cv.notifyAll();
         }
     }
 };
@@ -245,15 +246,21 @@ PinnedThreadEngine::measureOutcome(const core::Assignment &assignment)
         pipe->requestStop();
 
     if (options_.watchdogMillis > 0) {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        const bool reaped = state->cv.wait_for(
-            lock,
-            std::chrono::milliseconds(options_.watchdogMillis),
-            [&state] {
-                return state->active.load(
-                           std::memory_order_acquire) == 0;
-            });
-        lock.unlock();
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.watchdogMillis);
+        bool reaped = true;
+        {
+            base::MutexLock lock(state->mutex);
+            while (state->active.load(std::memory_order_acquire) !=
+                   0) {
+                if (state->cv.waitUntil(state->mutex, deadline) ==
+                    std::cv_status::timeout) {
+                    reaped = state->active.load(
+                                 std::memory_order_acquire) == 0;
+                    break;
+                }
+            }
+        }
         if (!reaped) {
             // A stage is wedged. Abandon the run: the threads keep
             // the pipelines alive through `state`, so detaching is

@@ -335,7 +335,10 @@ TEST(Lint, CatalogueCoversEveryRuleId)
           "statsched-unordered-iteration", "statsched-raw-assert",
           "statsched-stdout", "statsched-include-guard",
           "statsched-include-own-first", "statsched-nolint-reason",
-          "statsched-sim-hot-alloc", "statsched-no-raw-process"}) {
+          "statsched-sim-hot-alloc", "statsched-no-raw-process",
+          "statsched-raw-sync-primitive",
+          "statsched-unguarded-member", "statsched-detached-thread",
+          "statsched-float-reduction-order"}) {
         EXPECT_TRUE(fired(ids, expected)) << expected;
     }
 }
@@ -483,6 +486,249 @@ TEST(Lint, SimHotAllocIgnoresDeferredDeclarations)
         "#include \"sim/engine.hh\"\n"
         "struct Scratch { std::vector<double> demand; };\n";
     EXPECT_TRUE(firedRules("src/sim/engine.cc", snippet).empty());
+}
+
+TEST(Lint, RawSyncPrimitiveFiresEverywhere)
+{
+    // The std synchronization vocabulary is banned outside
+    // src/base/sync.hh — in tests and tools too, so every lock in
+    // the tree is visible to the lock-order checker.
+    const std::string snippet =
+        "#include <mutex>\n"
+        "#include <condition_variable>\n"
+        "void f() {\n"
+        "    std::mutex m;\n"
+        "    std::condition_variable cv;\n"
+        "    std::lock_guard<std::mutex> lock(m);\n"
+        "}\n";
+    for (const char *path :
+         {"src/core/foo.cc", "tools/runner.cc",
+          "tests/core/test_foo.cc", "bench/bench_foo.cc"}) {
+        const auto rules = firedRules(path, snippet);
+        // Two banned includes, four std:: sync mentions.
+        EXPECT_EQ(6, std::count(
+                         rules.begin(), rules.end(),
+                         std::string("statsched-raw-sync-primitive")))
+            << path;
+    }
+}
+
+TEST(Lint, RawSyncPrimitiveExemptInSyncHeader)
+{
+    const std::string snippet =
+        "#include <condition_variable>\n"
+        "#include <mutex>\n"
+        "class Mutex { std::mutex m_; };\n";
+    EXPECT_FALSE(fired(firedRules("src/base/sync.hh", snippet),
+                       "statsched-raw-sync-primitive"));
+}
+
+TEST(Lint, RawSyncPrimitiveFiresAcrossLineBreaks)
+{
+    // A declaration split over lines defeats any per-line regex; the
+    // token stream sees one `std :: mutex` sequence regardless.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "class Foo {\n"
+        "    std::\n"
+        "        mutex guard_;\n"
+        "};\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.cc", snippet),
+                      "statsched-raw-sync-primitive"));
+}
+
+TEST(Lint, RawSyncPrimitiveSuppressibleWithReason)
+{
+    const std::string snippet =
+        "#include \"base/foo.hh\"\n"
+        "std::mutex m;"
+        " // NOLINT(statsched-raw-sync-primitive): bootstrap before"
+        " base::Mutex exists\n";
+    EXPECT_TRUE(firedRules("src/base/foo.cc", snippet).empty());
+}
+
+TEST(Lint, DetachedThreadFiresOutsideHw)
+{
+    const std::string snippet =
+        "#include <thread>\n"
+        "void f() {\n"
+        "    std::thread worker([] {});\n"
+        "    worker.detach();\n"
+        "}\n";
+    for (const char *path :
+         {"src/core/foo.cc", "tools/runner.cc",
+          "tests/core/test_foo.cc"}) {
+        EXPECT_TRUE(fired(firedRules(path, snippet),
+                          "statsched-detached-thread"))
+            << path;
+    }
+}
+
+TEST(Lint, DetachedThreadAllowedInHwWatchdog)
+{
+    const std::string snippet =
+        "#include \"hw/foo.hh\"\n"
+        "#include <thread>\n"
+        "void f(std::thread &t) { t.detach(); }\n";
+    EXPECT_FALSE(fired(firedRules("src/hw/foo.cc", snippet),
+                       "statsched-detached-thread"));
+}
+
+TEST(Lint, UnguardedMemberFiresInMutexOwningClass)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include \"base/sync.hh\"\n"
+        "class Cache {\n"
+        "  private:\n"
+        "    base::Mutex mutex_{\"core::Cache::mutex_\"};\n"
+        "    double total_ = 0.0;\n"
+        "    std::vector<int> entries_;\n"
+        "};\n";
+    const auto rules = firedRules("src/core/foo.hh", snippet);
+    EXPECT_EQ(2, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-unguarded-member")));
+}
+
+TEST(Lint, UnguardedMemberCleanWhenProtected)
+{
+    // Every protection story the rule recognizes: the lock itself,
+    // annotated members (any top-level parenthesized group, which
+    // SCHED_GUARDED_BY is), atomics, const, references/pointers
+    // (SCHED_PT_GUARDED_BY territory) and statics.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include \"base/sync.hh\"\n"
+        "class Cache {\n"
+        "    base::Mutex mutex_{\"m\"};\n"
+        "    base::CondVar ready_;\n"
+        "    std::uint64_t hits_ SCHED_GUARDED_BY(mutex_) = 0;\n"
+        "    std::map<int, int> deep_\n"
+        "        SCHED_GUARDED_BY(mutex_);\n"
+        "    std::atomic<std::uint64_t> misses_{0};\n"
+        "    const std::size_t capacity_ = 8;\n"
+        "    Engine &inner_;\n"
+        "    static int instances_;\n"
+        "};\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.hh", snippet),
+                       "statsched-unguarded-member"));
+}
+
+TEST(Lint, UnguardedMemberIgnoresClassesWithoutAMutex)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "class Plain {\n"
+        "    double total_ = 0.0;\n"
+        "    std::vector<int> entries_;\n"
+        "};\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.hh", snippet),
+                       "statsched-unguarded-member"));
+}
+
+TEST(Lint, UnguardedMemberScopesToTheOwningClassOnly)
+{
+    // The nested worker struct owns no lock; its members are free.
+    // The outer class owns one; its unguarded member is not.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include \"base/sync.hh\"\n"
+        "class Pool {\n"
+        "    struct Job {\n"
+        "        std::size_t n = 0;\n"
+        "        double result = 0.0;\n"
+        "    };\n"
+        "    base::Mutex mutex_{\"m\"};\n"
+        "    double pending_ = 0.0;\n"
+        "};\n";
+    const auto rules = firedRules("src/core/foo.hh", snippet);
+    EXPECT_EQ(1, std::count(rules.begin(), rules.end(),
+                            std::string("statsched-unguarded-member")));
+}
+
+TEST(Lint, UnguardedMemberSuppressibleWithReason)
+{
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "#include \"base/sync.hh\"\n"
+        "class Pool {\n"
+        "    base::Mutex mutex_{\"m\"};\n"
+        "    std::vector<std::thread> workers_;"
+        " // NOLINT(statsched-unguarded-member): written before"
+        " sharing, joined after\n"
+        "};\n";
+    const auto rules = firedRules("src/core/foo.hh", snippet);
+    EXPECT_FALSE(fired(rules, "statsched-unguarded-member"));
+    EXPECT_FALSE(fired(rules, "statsched-nolint-reason"));
+}
+
+TEST(Lint, FloatReductionOrderFiresInKernelFactory)
+{
+    // The lambda a parallelKernel() factory returns runs on every
+    // pool thread; accumulating into the captured object races and
+    // reorders floating-point addition.
+    const std::string snippet =
+        "#include \"core/foo.hh\"\n"
+        "BatchKernel Foo::parallelKernel(std::size_t n) {\n"
+        "    return [this](const Assignment &a, std::size_t i) {\n"
+        "        total_ += evaluate(a, i);\n"
+        "        return total_;\n"
+        "    };\n"
+        "}\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.cc", snippet),
+                      "statsched-float-reduction-order"));
+}
+
+TEST(Lint, FloatReductionOrderFiresInWorkerPoolTask)
+{
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "double f(base::WorkerPool &pool, std::size_t n) {\n"
+        "    double total = 0.0;\n"
+        "    pool.run(n, 1, [&](std::size_t b, std::size_t e) {\n"
+        "        total += work(b, e);\n"
+        "    });\n"
+        "    return total;\n"
+        "}\n";
+    EXPECT_TRUE(fired(firedRules("src/stats/foo.cc", snippet),
+                      "statsched-float-reduction-order"));
+}
+
+TEST(Lint, FloatReductionOrderCleanOnIndexedSlots)
+{
+    // The repo convention: per-index slots, merged after the join.
+    // Indexed writes and locals declared inside the lambda are both
+    // order-free.
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "void f(base::WorkerPool &pool, std::span<double> out) {\n"
+        "    pool.run(out.size(), 1,\n"
+        "             [&](std::size_t b, std::size_t e) {\n"
+        "        for (std::size_t i = b; i < e; ++i) {\n"
+        "            double acc = 0.0;\n"
+        "            acc += work(i);\n"
+        "            out[i] += acc;\n"
+        "        }\n"
+        "    });\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/stats/foo.cc", snippet),
+                       "statsched-float-reduction-order"));
+}
+
+TEST(Lint, FloatReductionOrderIgnoresSequentialCode)
+{
+    // Outside kernel factories and pool.run() arguments, compound
+    // accumulation is ordinary sequential code.
+    const std::string snippet =
+        "#include \"stats/foo.hh\"\n"
+        "double f(std::span<const double> xs) {\n"
+        "    double total = 0.0;\n"
+        "    for (const double x : xs)\n"
+        "        total += x;\n"
+        "    return total;\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/stats/foo.cc", snippet),
+                       "statsched-float-reduction-order"));
 }
 
 /**

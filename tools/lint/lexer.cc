@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lexer implementation; see lexer.hh for the contract.
+ */
+
+#include "lexer.hh"
+
+#include <array>
+#include <cctype>
+
+namespace statsched
+{
+namespace lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/**
+ * Multi-character punctuators, longest first within each tier so the
+ * greedy match below never splits `<<=` into `<<` `=` or `::` into
+ * `:` `:`. Single characters are the fallback, so the tables only
+ * list lengths 3 and 2.
+ */
+constexpr std::array<const char *, 5> kPunct3 = {
+    "<<=", ">>=", "->*", "...", "<=>",
+};
+
+constexpr std::array<const char *, 19> kPunct2 = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+};
+
+/** @return the punctuator length at line[pos]: 3, 2 or 1. */
+std::size_t
+punctLengthAt(const std::string &line, std::size_t pos)
+{
+    const std::size_t left = line.size() - pos;
+    if (left >= 3) {
+        for (const char *p : kPunct3) {
+            if (line.compare(pos, 3, p) == 0)
+                return 3;
+        }
+    }
+    if (left >= 2) {
+        for (const char *p : kPunct2) {
+            if (line.compare(pos, 2, p) == 0)
+                return 2;
+        }
+    }
+    return 1;
+}
+
+/**
+ * Folds a numeric literal starting at line[pos] into one token.
+ * Handles hex/binary prefixes, digit separators, a fractional dot and
+ * signed exponents (`1.5e-3`, `0x1p+2`); suffixes like `u`/`f` ride
+ * along as identifier characters. Over-matching inside a malformed
+ * literal is harmless — no rule inspects number text.
+ */
+std::size_t
+numberEndFrom(const std::string &line, std::size_t pos)
+{
+    std::size_t end = pos + 1;
+    while (end < line.size()) {
+        const char c = line[end];
+        if (isIdentChar(c) || c == '\'') {
+            ++end;
+            continue;
+        }
+        if (c == '.' && end + 1 < line.size() &&
+            isDigit(line[end + 1])) {
+            ++end;
+            continue;
+        }
+        if ((c == '+' || c == '-') && end > pos) {
+            const char prev = line[end - 1];
+            if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                prev == 'P') {
+                ++end;
+                continue;
+            }
+        }
+        break;
+    }
+    return end;
+}
+
+} // anonymous namespace
+
+std::vector<Token>
+lexTokens(const std::vector<std::string> &strippedLines)
+{
+    std::vector<Token> tokens;
+    for (std::size_t ln = 0; ln < strippedLines.size(); ++ln) {
+        const std::string &line = strippedLines[ln];
+        std::size_t pos = 0;
+        while (pos < line.size()) {
+            const char c = line[pos];
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos;
+                continue;
+            }
+            if (isIdentStart(c)) {
+                std::size_t end = pos + 1;
+                while (end < line.size() && isIdentChar(line[end]))
+                    ++end;
+                tokens.push_back({TokenKind::Identifier,
+                                  line.substr(pos, end - pos),
+                                  ln + 1});
+                pos = end;
+                continue;
+            }
+            if (isDigit(c) ||
+                (c == '.' && pos + 1 < line.size() &&
+                 isDigit(line[pos + 1]))) {
+                const std::size_t end = numberEndFrom(line, pos);
+                tokens.push_back({TokenKind::Number,
+                                  line.substr(pos, end - pos),
+                                  ln + 1});
+                pos = end;
+                continue;
+            }
+            const std::size_t len = punctLengthAt(line, pos);
+            tokens.push_back({TokenKind::Punct,
+                              line.substr(pos, len), ln + 1});
+            pos += len;
+        }
+    }
+    return tokens;
+}
+
+} // namespace lint
+} // namespace statsched

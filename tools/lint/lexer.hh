@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Token stream over the comment/string-stripped view of a source file.
+ *
+ * The line rules in lint.cc match one line at a time, which is fine
+ * for "this call is banned" checks but useless for anything that needs
+ * structure: which class a member belongs to, whether a `.detach(`
+ * spans a line break, whether a compound assignment sits inside a
+ * parallel kernel lambda. The token rules work on this stream instead.
+ *
+ * This is deliberately not a C++ parser. It is a lexer with just
+ * enough fidelity for the rules that consume it:
+ *
+ *  - Input is the stripped view produced by lint.cc (string and
+ *    comment *contents* already blanked to spaces, quote characters
+ *    kept), so tokens never come from literals or prose.
+ *  - Identifiers and keywords are one kind; the rules compare text.
+ *  - Numbers are folded into single tokens (including `1.5e-3` and
+ *    digit separators) so `1.5` is never mistaken for a member access.
+ *  - Punctuation is split greedily, longest first, so `+=`, `::` and
+ *    `->` arrive as single tokens and `>>` never masquerades as two
+ *    template closers the rules have to reassemble.
+ *
+ * Every token carries the 1-based line it started on; findings point
+ * at real lines and same-line NOLINT suppression keeps working.
+ */
+
+#ifndef STATSCHED_TOOLS_LINT_LEXER_HH
+#define STATSCHED_TOOLS_LINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace statsched
+{
+namespace lint
+{
+
+/** Coarse token classification; the rules mostly compare text. */
+enum class TokenKind
+{
+    Identifier, ///< Identifier or keyword: [A-Za-z_][A-Za-z0-9_]*.
+    Number,     ///< Numeric literal, exponent and separators folded in.
+    Punct,      ///< Operator or punctuator, longest-match.
+};
+
+/** One token of the stripped source. */
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    /** 1-based source line the token starts on. */
+    std::size_t line;
+};
+
+/**
+ * Lexes the comment/string-stripped lines of one file into a token
+ * stream. `strippedLines[i]` is line i + 1 of the file with comment
+ * and string contents blanked (see stripCommentsAndStrings in
+ * lint.cc); the residual quote characters lex as ordinary punctuation.
+ */
+std::vector<Token> lexTokens(
+    const std::vector<std::string> &strippedLines);
+
+} // namespace lint
+} // namespace statsched
+
+#endif // STATSCHED_TOOLS_LINT_LEXER_HH

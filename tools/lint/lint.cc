@@ -18,6 +18,8 @@
 #include <set>
 #include <sstream>
 
+#include "lexer.hh"
+
 namespace statsched
 {
 namespace lint
@@ -37,6 +39,11 @@ const char *const kIncludeOwnFirst = "statsched-include-own-first";
 const char *const kNolintReason = "statsched-nolint-reason";
 const char *const kSimHotAlloc = "statsched-sim-hot-alloc";
 const char *const kNoRawProcess = "statsched-no-raw-process";
+const char *const kRawSyncPrimitive = "statsched-raw-sync-primitive";
+const char *const kUnguardedMember = "statsched-unguarded-member";
+const char *const kDetachedThread = "statsched-detached-thread";
+const char *const kFloatReductionOrder =
+    "statsched-float-reduction-order";
 
 bool
 startsWith(const std::string &s, const std::string &prefix)
@@ -559,6 +566,704 @@ applyOwnHeaderFirstRule(const std::string &path,
     }
 }
 
+// ==== Token-stream rules ===========================================
+//
+// The rules below consume the lexer.hh token stream instead of single
+// stripped lines, so they can follow structure the line rules cannot:
+// statements spanning lines, class-member ownership, lambda bodies.
+// They are heuristics over tokens, not a C++ parser; each documents
+// the shapes it deliberately does not chase.
+
+bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokenKind::Identifier && t.text == text;
+}
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokenKind::Punct && t.text == text;
+}
+
+/** Emits a finding unless a same-line NOLINT suppresses the rule. */
+void
+emitToken(const std::string &path, std::size_t line, const char *rule,
+          std::string message,
+          const std::vector<std::string> &directives,
+          std::vector<Finding> &findings)
+{
+    if (line >= 1 && line <= directives.size() &&
+        parseNolint(directives[line - 1]).rules.count(rule) != 0)
+        return;
+    findings.push_back({path, line, rule, std::move(message)});
+}
+
+/** @return the index just past the closer matching toks[open].
+ *  Unbalanced input yields toks.size(), which every caller treats as
+ *  "statement runs to end of file" — safe on malformed sources. */
+std::size_t
+skipBalanced(const std::vector<Token> &toks, std::size_t open,
+             const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (isPunct(toks[i], opener))
+            ++depth;
+        else if (isPunct(toks[i], closer) && --depth == 0)
+            return i + 1;
+    }
+    return toks.size();
+}
+
+/** Skips a template parameter list (`i` at the `template` keyword) so
+ *  `template <class T>` never looks like a class definition. */
+std::size_t
+skipTemplateParams(const std::vector<Token> &toks, std::size_t i)
+{
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !isPunct(toks[j], "<"))
+        return j;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+        if (isPunct(toks[j], "<")) {
+            ++depth;
+        } else if (isPunct(toks[j], "<<")) {
+            depth += 2;
+        } else if (isPunct(toks[j], ">")) {
+            if (--depth <= 0)
+                return j + 1;
+        } else if (isPunct(toks[j], ">>")) {
+            depth -= 2;
+            if (depth <= 0)
+                return j + 1;
+        }
+    }
+    return j;
+}
+
+/** ALL_CAPS identifiers are attribute macros to the class-name
+ *  heuristic (SCHED_SCOPED_CAPABILITY and friends), not names. */
+bool
+isMacroCase(const std::string &text)
+{
+    bool has_alpha = false;
+    for (const char c : text) {
+        if (std::islower(static_cast<unsigned char>(c)) != 0)
+            return false;
+        if (std::isupper(static_cast<unsigned char>(c)) != 0)
+            has_alpha = true;
+    }
+    return has_alpha;
+}
+
+/**
+ * statsched-raw-sync-primitive: the std synchronization vocabulary —
+ * mutexes, condition variables and their RAII lockers — may appear
+ * only inside src/base/sync.hh, which wraps it once with lock-order
+ * checking and Clang thread-safety annotations. Everything else, tests
+ * and tools included, locks through base::Mutex / base::CondVar /
+ * base::MutexLock.
+ */
+void
+applyRawSyncRule(const std::string &path,
+                 const std::vector<Token> &toks,
+                 const std::vector<std::string> &directives,
+                 std::vector<Finding> &findings)
+{
+    if (path == "src/base/sync.hh")
+        return;
+    static const std::set<std::string> primitives = {
+        "mutex", "timed_mutex", "recursive_mutex",
+        "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+        "condition_variable", "condition_variable_any", "lock_guard",
+        "unique_lock", "scoped_lock", "shared_lock",
+    };
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isIdent(toks[i], "std") && isPunct(toks[i + 1], "::") &&
+            toks[i + 2].kind == TokenKind::Identifier &&
+            primitives.count(toks[i + 2].text) != 0) {
+            emitToken(path, toks[i].line, kRawSyncPrimitive,
+                      "std::" + toks[i + 2].text +
+                          " outside src/base/sync.hh; lock through "
+                          "base::Mutex / base::CondVar / "
+                          "base::MutexLock so the lock-order checker "
+                          "and thread-safety annotations see the "
+                          "acquisition",
+                      directives, findings);
+        }
+        if (isPunct(toks[i], "#") && isIdent(toks[i + 1], "include") &&
+            isPunct(toks[i + 2], "<") && i + 4 < toks.size() &&
+            toks[i + 3].kind == TokenKind::Identifier &&
+            (toks[i + 3].text == "mutex" ||
+             toks[i + 3].text == "condition_variable" ||
+             toks[i + 3].text == "shared_mutex") &&
+            isPunct(toks[i + 4], ">")) {
+            emitToken(path, toks[i].line, kRawSyncPrimitive,
+                      "<" + toks[i + 3].text +
+                          "> included outside src/base/sync.hh; "
+                          "include \"base/sync.hh\" instead",
+                      directives, findings);
+        }
+    }
+}
+
+/**
+ * statsched-detached-thread: `.detach(` anywhere except src/hw, where
+ * the watchdog abandons wedged measurement runs and keeps their state
+ * alive through shared_ptr precisely so detaching is safe. A detached
+ * thread elsewhere outlives its owner's invariants silently.
+ */
+void
+applyDetachedThreadRule(const std::string &path,
+                        const std::vector<Token> &toks,
+                        const std::vector<std::string> &directives,
+                        std::vector<Finding> &findings)
+{
+    if (startsWith(path, "src/hw/"))
+        return;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (isPunct(toks[i], ".") && isIdent(toks[i + 1], "detach") &&
+            isPunct(toks[i + 2], "(")) {
+            emitToken(path, toks[i + 1].line, kDetachedThread,
+                      "thread detached outside the sanctioned src/hw "
+                      "watchdog; join it, or route abandonment "
+                      "through state the thread keeps alive itself "
+                      "(see hw::PinnedThreadEngine)",
+                      directives, findings);
+        }
+    }
+}
+
+/**
+ * statsched-unguarded-member: inside a class that directly owns a
+ * base::Mutex, every mutable data member must be tied to a protection
+ * story the reader can see: SCHED_GUARDED_BY(lock), std::atomic,
+ * const — or a same-line NOLINT explaining the lifecycle that makes
+ * an unguarded member safe.
+ *
+ * Heuristic boundaries, on purpose: a member statement carrying any
+ * top-level parenthesized group is skipped (that covers function
+ * declarations and definitions, and every annotation macro — an
+ * annotated member is by definition not a finding); references and
+ * pointers are exempt (the *pointee* discipline is
+ * SCHED_PT_GUARDED_BY's job, and references are bound before
+ * sharing); statics live outside instance state. Anonymous-struct
+ * declarators, bitfields and multi-declarator lines are not chased.
+ */
+class MemberGuardScanner
+{
+  public:
+    MemberGuardScanner(const std::string &path,
+                       const std::vector<Token> &toks,
+                       const std::vector<std::string> &directives,
+                       std::vector<Finding> &findings)
+        : path_(path), toks_(toks), directives_(directives),
+          findings_(findings)
+    {}
+
+    void
+    run()
+    {
+        scanRegion(0, toks_.size());
+    }
+
+  private:
+    struct Candidate
+    {
+        std::string name;
+        std::size_t line;
+    };
+
+    /** Walks [begin, end) finding class definitions at any nesting
+     *  depth outside class bodies (namespaces, functions). */
+    void
+    scanRegion(std::size_t begin, std::size_t end)
+    {
+        for (std::size_t i = begin; i < end && i < toks_.size();) {
+            const Token &t = toks_[i];
+            if (isIdent(t, "template")) {
+                i = skipTemplateParams(toks_, i);
+            } else if (isIdent(t, "enum")) {
+                i = skipEnum(i);
+            } else if (isIdent(t, "class") || isIdent(t, "struct") ||
+                       isIdent(t, "union")) {
+                i = parseClassHead(i);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /** Skips an enum so `enum class` never looks like a class head
+     *  and enumerators never look like members. */
+    std::size_t
+    skipEnum(std::size_t i) const
+    {
+        std::size_t j = i + 1;
+        while (j < toks_.size() && !isPunct(toks_[j], "{") &&
+               !isPunct(toks_[j], ";"))
+            ++j;
+        if (j < toks_.size() && isPunct(toks_[j], "{"))
+            return skipBalanced(toks_, j, "{", "}");
+        return j;
+    }
+
+    /** `i` at class/struct/union; returns the index just past the
+     *  definition (or past `;` for a forward declaration). */
+    std::size_t
+    parseClassHead(std::size_t i)
+    {
+        const std::size_t n = toks_.size();
+        std::size_t j = i + 1;
+        std::string name = "(anonymous)";
+        bool named = false;
+        while (j < n) {
+            const Token &t = toks_[j];
+            if (isPunct(t, "{") || isPunct(t, ";") || isPunct(t, ":"))
+                break;
+            if (!named && t.kind == TokenKind::Identifier) {
+                if (j + 1 < n && isPunct(toks_[j + 1], "(")) {
+                    // alignas(...) or a parameterized attribute macro
+                    // such as SCHED_CAPABILITY("mutex").
+                    j = skipBalanced(toks_, j + 1, "(", ")");
+                    continue;
+                }
+                if (!isMacroCase(t.text)) {
+                    name = t.text;
+                    named = true;
+                }
+            }
+            ++j;
+        }
+        // Base clause: scan on to the body, tolerating template
+        // arguments (and their parentheses) in base names.
+        while (j < n && !isPunct(toks_[j], "{") &&
+               !isPunct(toks_[j], ";"))
+            ++j;
+        if (j >= n)
+            return j;
+        if (isPunct(toks_[j], ";"))
+            return j + 1; // forward declaration (or friend decl)
+        return parseClassBody(j + 1, name);
+    }
+
+    /** `i` just past a class body's `{`; collects data members,
+     *  decides mutex ownership, emits findings. Returns the index
+     *  just past the closing `}`. */
+    std::size_t
+    parseClassBody(std::size_t i, const std::string &className)
+    {
+        const std::size_t n = toks_.size();
+        bool ownsMutex = false;
+        std::vector<Candidate> candidates;
+
+        while (i < n && !isPunct(toks_[i], "}")) {
+            const Token &t = toks_[i];
+            if ((isIdent(t, "public") || isIdent(t, "private") ||
+                 isIdent(t, "protected")) &&
+                i + 1 < n && isPunct(toks_[i + 1], ":")) {
+                i += 2;
+            } else if (isIdent(t, "template")) {
+                i = skipTemplateParams(toks_, i);
+            } else if (isIdent(t, "enum")) {
+                i = skipEnum(i);
+            } else if (isIdent(t, "class") || isIdent(t, "struct") ||
+                       isIdent(t, "union")) {
+                i = parseClassHead(i);
+                if (i < n && isPunct(toks_[i], ";"))
+                    ++i; // `struct Job { ... };`
+            } else if (isIdent(t, "friend") || isIdent(t, "using") ||
+                       isIdent(t, "typedef") ||
+                       isIdent(t, "static_assert")) {
+                while (i < n && !isPunct(toks_[i], ";"))
+                    ++i;
+                if (i < n)
+                    ++i;
+            } else {
+                i = parseMemberStatement(i, ownsMutex, candidates);
+            }
+        }
+        if (i < n)
+            ++i; // past '}'
+
+        if (ownsMutex) {
+            for (const Candidate &c : candidates) {
+                emitToken(
+                    path_, c.line, kUnguardedMember,
+                    "member `" + c.name + "` of `" + className +
+                        "`, which owns a base::Mutex, has no "
+                        "declared protection; annotate it "
+                        "SCHED_GUARDED_BY(<lock>), make it "
+                        "const/atomic, or suppress with the "
+                        "lifecycle reason it is safe unguarded",
+                    directives_, findings_);
+            }
+        }
+        return i;
+    }
+
+    /** Parses one member statement; updates mutex ownership and the
+     *  candidate list; returns the index just past the statement. */
+    std::size_t
+    parseMemberStatement(std::size_t i, bool &ownsMutex,
+                         std::vector<Candidate> &candidates)
+    {
+        const std::size_t n = toks_.size();
+        const std::size_t start = i;
+        bool topParens = false;
+        bool functionBody = false;
+        int angle = 0;
+
+        while (i < n) {
+            const Token &t = toks_[i];
+            if (isPunct(t, ";"))
+                break;
+            if (isPunct(t, "}")) // malformed; rejoin the body loop
+                return i;
+            if (isPunct(t, "{")) {
+                const std::size_t close =
+                    skipBalanced(toks_, i, "{", "}");
+                if (close < n && isPunct(toks_[close], ";")) {
+                    i = close; // brace initializer: x_{0};
+                    continue;
+                }
+                functionBody = true; // in-class definition
+                i = close;
+                break;
+            }
+            if (angle == 0 && isPunct(t, "(")) {
+                topParens = true;
+                i = skipBalanced(toks_, i, "(", ")");
+                continue;
+            }
+            if (isPunct(t, "<") && i > start &&
+                toks_[i - 1].kind == TokenKind::Identifier) {
+                ++angle;
+            } else if (isPunct(t, ">") && angle > 0) {
+                --angle;
+            } else if (isPunct(t, ">>") && angle > 0) {
+                angle = angle >= 2 ? angle - 2 : 0;
+            }
+            ++i;
+        }
+        const std::size_t end = i; // at ';' or just past a body
+        if (i < n && isPunct(toks_[i], ";"))
+            ++i;
+        if (end == start)
+            return i; // stray ';'
+
+        // Ownership: a by-value member whose type names Mutex. The
+        // wrapper's own internals (std::mutex) spell it lowercase, so
+        // sync.hh itself never registers as a lock owner.
+        bool mentionsMutex = false;
+        bool refOrPtr = false;
+        bool exempt = false;
+        for (std::size_t k = start; k < end; ++k) {
+            const Token &t = toks_[k];
+            if (t.kind == TokenKind::Identifier) {
+                if (t.text == "Mutex")
+                    mentionsMutex = true;
+                if (t.text == "Mutex" || t.text == "CondVar" ||
+                    t.text == "const" || t.text == "constexpr" ||
+                    t.text == "atomic" || t.text == "static" ||
+                    t.text == "operator")
+                    exempt = true;
+            } else if (isPunct(t, "&") || isPunct(t, "*") ||
+                       isPunct(t, "&&")) {
+                refOrPtr = true;
+            }
+        }
+        if (mentionsMutex && !refOrPtr && !topParens && !functionBody)
+            ownsMutex = true;
+        if (topParens || functionBody || exempt || refOrPtr)
+            return i;
+
+        // Declared name: the identifier before the initializer or
+        // the terminating ';', behind any array extent.
+        std::size_t stop = end;
+        for (std::size_t k = start; k < end; ++k) {
+            if (isPunct(toks_[k], "=") || isPunct(toks_[k], "{")) {
+                stop = k;
+                break;
+            }
+        }
+        std::size_t k = stop;
+        while (k > start && isPunct(toks_[k - 1], "]")) {
+            int depth = 0;
+            while (k > start) {
+                --k;
+                if (isPunct(toks_[k], "]"))
+                    ++depth;
+                else if (isPunct(toks_[k], "[") && --depth == 0)
+                    break;
+            }
+        }
+        if (k <= start + 1 ||
+            toks_[k - 1].kind != TokenKind::Identifier)
+            return i; // no `type name` shape — not a data member
+        candidates.push_back({toks_[k - 1].text, toks_[k - 1].line});
+        return i;
+    }
+
+    const std::string &path_;
+    const std::vector<Token> &toks_;
+    const std::vector<std::string> &directives_;
+    std::vector<Finding> &findings_;
+};
+
+/**
+ * statsched-float-reduction-order: inside a parallel execution
+ * context — the lambda a parallelKernel()/outcomeKernel() factory
+ * returns, or a chunk task handed to WorkerPool::run() — a compound
+ * assignment (`+=` and friends) whose target is captured from outside
+ * the lambda accumulates across threads in interleaving order.
+ * Floating-point addition is not associative, so the result depends
+ * on the schedule; the repo's convention is per-index slots
+ * (out[i] = ...) merged after the join. Indexed targets and the
+ * lambda's own locals/parameters are therefore clean.
+ *
+ * Locals are recognized by declaration shape (`type name`, `&name`,
+ * `*name`, `>name`), which over-approximates: an expression like
+ * `a * b` marks `b` local. That errs toward silence, never noise.
+ */
+class ReductionOrderScanner
+{
+  public:
+    ReductionOrderScanner(const std::string &path,
+                          const std::vector<Token> &toks,
+                          const std::vector<std::string> &directives,
+                          std::vector<Finding> &findings)
+        : path_(path), toks_(toks), directives_(directives),
+          findings_(findings)
+    {}
+
+    void
+    run()
+    {
+        const std::size_t n = toks_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            // Bodies of kernel factories: any lambda they build runs
+            // under ParallelEngine's fan-out.
+            if (toks_[i].kind == TokenKind::Identifier &&
+                (toks_[i].text == "parallelKernel" ||
+                 toks_[i].text == "outcomeKernel") &&
+                i + 1 < n && isPunct(toks_[i + 1], "(")) {
+                std::size_t j = skipBalanced(toks_, i + 1, "(", ")");
+                while (j < n &&
+                       toks_[j].kind == TokenKind::Identifier)
+                    ++j; // const / override / noexcept
+                if (j < n && isPunct(toks_[j], "{")) {
+                    scanParallelRegion(
+                        j + 1, skipBalanced(toks_, j, "{", "}") - 1);
+                }
+                continue;
+            }
+            // Chunk tasks handed straight to a worker pool.
+            if (isPunct(toks_[i], ".") && i + 2 < n &&
+                isIdent(toks_[i + 1], "run") &&
+                isPunct(toks_[i + 2], "(")) {
+                scanParallelRegion(
+                    i + 3,
+                    skipBalanced(toks_, i + 2, "(", ")") - 1);
+            }
+        }
+    }
+
+  private:
+    /** Scans [begin, end) for lambda introducers. */
+    void
+    scanParallelRegion(std::size_t begin, std::size_t end)
+    {
+        for (std::size_t k = begin; k < end && k < toks_.size();) {
+            if (isPunct(toks_[k], "[") && isLambdaIntro(k)) {
+                std::set<std::string> locals;
+                k = analyzeLambda(k, end, locals);
+            } else {
+                ++k;
+            }
+        }
+    }
+
+    /** `[` introduces a lambda when the previous token cannot end an
+     *  expression (otherwise it is an index or an attribute). */
+    bool
+    isLambdaIntro(std::size_t k) const
+    {
+        if (k == 0)
+            return true;
+        const Token &p = toks_[k - 1];
+        if (p.kind == TokenKind::Identifier)
+            return p.text == "return" || p.text == "co_return";
+        if (p.kind == TokenKind::Number)
+            return false;
+        return p.text == "(" || p.text == "," || p.text == "{" ||
+            p.text == ";" || p.text == "=" || p.text == "&&" ||
+            p.text == "||" || p.text == "?" || p.text == ":";
+    }
+
+    /** Analyzes one lambda; `locals` arrives with the enclosing
+     *  lambda's names (by value — each lambda extends its own copy)
+     *  and gains this one's parameters. Returns the index just past
+     *  the body, or just past `[` when the shape is not a lambda. */
+    std::size_t
+    analyzeLambda(std::size_t start, std::size_t limit,
+                  std::set<std::string> locals)
+    {
+        const std::size_t n = toks_.size();
+        std::size_t j = skipBalanced(toks_, start, "[", "]");
+        if (j < n && isPunct(toks_[j], "(")) {
+            const std::size_t close = skipBalanced(toks_, j, "(", ")");
+            collectParamNames(j, close - 1, locals);
+            j = close;
+        }
+        while (j < n && !isPunct(toks_[j], "{")) {
+            if (isIdent(toks_[j], "mutable") ||
+                isIdent(toks_[j], "noexcept")) {
+                ++j;
+                continue;
+            }
+            if (isPunct(toks_[j], "->")) { // trailing return type
+                while (j < n && !isPunct(toks_[j], "{"))
+                    ++j;
+                break;
+            }
+            return start + 1; // attribute or stray bracket pair
+        }
+        if (j >= n || j >= limit)
+            return start + 1;
+        const std::size_t bodyEnd = skipBalanced(toks_, j, "{", "}");
+        scanBody(j + 1, bodyEnd - 1, locals);
+        return bodyEnd;
+    }
+
+    /** Records the parameter names in the `(`..`)` range
+     *  [open, close]: the identifier right before each top-level `,`
+     *  and before `)`. */
+    void
+    collectParamNames(std::size_t open, std::size_t close,
+                      std::set<std::string> &locals) const
+    {
+        int depth = 0;
+        for (std::size_t k = open + 1; k <= close && k < toks_.size();
+             ++k) {
+            const Token &t = toks_[k];
+            if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{"))
+                ++depth;
+            else if (isPunct(t, ")") || isPunct(t, "]") ||
+                     isPunct(t, "}"))
+                --depth;
+            const bool boundary =
+                (depth == 0 && isPunct(t, ",")) || k == close;
+            if (boundary && k > open + 1 &&
+                toks_[k - 1].kind == TokenKind::Identifier)
+                locals.insert(toks_[k - 1].text);
+        }
+    }
+
+    /** Walks a lambda body: grows the local set, recurses into nested
+     *  lambdas, and checks every compound assignment. */
+    void
+    scanBody(std::size_t begin, std::size_t end,
+             std::set<std::string> &locals)
+    {
+        for (std::size_t k = begin; k < end && k < toks_.size();) {
+            const Token &t = toks_[k];
+            if (isPunct(t, "[") && isLambdaIntro(k)) {
+                k = analyzeLambda(k, end, locals);
+                continue;
+            }
+            if (t.kind == TokenKind::Identifier && k > begin) {
+                const Token &p = toks_[k - 1];
+                const bool afterType =
+                    p.kind == TokenKind::Identifier &&
+                    !isStatementKeyword(p.text) &&
+                    (k < begin + 2 ||
+                     (!isPunct(toks_[k - 2], ".") &&
+                      !isPunct(toks_[k - 2], "->")));
+                if (afterType || isPunct(p, ">") || isPunct(p, "&") ||
+                    isPunct(p, "*") || isPunct(p, "&&"))
+                    locals.insert(t.text);
+            }
+            if (t.kind == TokenKind::Punct &&
+                (t.text == "+=" || t.text == "-=" ||
+                 t.text == "*=" || t.text == "/=")) {
+                checkCompound(k, begin, locals);
+            }
+            ++k;
+        }
+    }
+
+    static bool
+    isStatementKeyword(const std::string &text)
+    {
+        return text == "return" || text == "co_return" ||
+            text == "throw" || text == "case" || text == "goto" ||
+            text == "new" || text == "delete" || text == "sizeof" ||
+            text == "typeid" || text == "co_await" ||
+            text == "co_yield" || text == "else";
+    }
+
+    /** Judges the left-hand side of the compound assignment at
+     *  `opIdx`. */
+    void
+    checkCompound(std::size_t opIdx, std::size_t bodyBegin,
+                  const std::set<std::string> &locals)
+    {
+        if (opIdx == bodyBegin)
+            return;
+        if (isPunct(toks_[opIdx - 1], "]"))
+            return; // per-index slot: out[i] += is order-free
+        std::size_t b = opIdx - 1;
+        // Hop member chains (state.total, p->sum) back to the base.
+        while (b > bodyBegin &&
+               toks_[b].kind == TokenKind::Identifier &&
+               (isPunct(toks_[b - 1], ".") ||
+                isPunct(toks_[b - 1], "->"))) {
+            if (b - 1 == bodyBegin)
+                return;
+            b -= 2;
+            if (isPunct(toks_[b], "]"))
+                return; // arr[i].field += is still per-index
+        }
+        if (toks_[b].kind != TokenKind::Identifier)
+            return; // (*p) += and stranger shapes: benefit of doubt
+        const std::string &base = toks_[b].text;
+        if (base != "this" && locals.count(base) != 0)
+            return;
+        emitToken(path_, toks_[opIdx].line, kFloatReductionOrder,
+                  "compound accumulation into `" + base +
+                      "` shared across this parallel lambda's "
+                      "threads; floating-point reduction order "
+                      "follows the schedule — write per-index slots "
+                      "(out[i] = ...) and merge after the join",
+                  directives_, findings_);
+    }
+
+    const std::string &path_;
+    const std::vector<Token> &toks_;
+    const std::vector<std::string> &directives_;
+    std::vector<Finding> &findings_;
+};
+
+void
+applyTokenRules(const std::string &path,
+                const std::vector<std::string> &stripped,
+                const std::vector<std::string> &directives,
+                std::vector<Finding> &findings)
+{
+    const std::vector<Token> toks = lexTokens(stripped);
+    applyRawSyncRule(path, toks, directives, findings);
+    applyDetachedThreadRule(path, toks, directives, findings);
+    // The structural rules only police library code; tests routinely
+    // declare scratch classes and sequential lambdas that would drown
+    // the signal.
+    if (isLibrary(path)) {
+        MemberGuardScanner(path, toks, directives, findings).run();
+        ReductionOrderScanner(path, toks, directives, findings).run();
+    }
+}
+
 } // anonymous namespace
 
 std::string
@@ -607,6 +1312,27 @@ ruleCatalogue()
          "fork/exec/waitpid/pipe and their relatives live only in "
          "the sanctioned base::Subprocess wrapper; everything else "
          "— tools and tests included — spawns children through it"},
+        {kRawSyncPrimitive,
+         "std mutexes, condition variables and lockers appear only "
+         "inside src/base/sync.hh; everything else locks through "
+         "base::Mutex / base::CondVar / base::MutexLock so the "
+         "runtime lock-order checker and Clang thread-safety "
+         "analysis see every acquisition in the tree"},
+        {kUnguardedMember,
+         "a class owning a base::Mutex declares how each mutable "
+         "member is protected — SCHED_GUARDED_BY, atomic, const — "
+         "or suppresses with the lifecycle reason it is safe "
+         "unguarded"},
+        {kDetachedThread,
+         "detached threads silently outlive their owner's "
+         "invariants; only the src/hw watchdog, whose run state "
+         "stays alive through shared_ptr precisely for "
+         "abandonment, may detach"},
+        {kFloatReductionOrder,
+         "parallel kernels and worker-pool chunk tasks write "
+         "per-index slots merged after the join; in-place compound "
+         "accumulation makes floating-point results depend on the "
+         "thread schedule, breaking the bit-identity contract"},
     };
     return catalogue;
 }
@@ -627,6 +1353,7 @@ lintContent(const std::string &path, const std::string &content)
     applyLineRules(path, stripped, directives, findings);
     applyHeaderGuardRule(path, stripped, directives, findings);
     applyOwnHeaderFirstRule(path, raw, directives, findings);
+    applyTokenRules(path, stripped, directives, findings);
     return findings;
 }
 

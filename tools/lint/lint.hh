@@ -7,9 +7,14 @@
  * its measurement stack: ParallelEngine batches, fault injection and
  * bootstrap replicates are all specified to be bit-identical across
  * thread counts, which no general-purpose linter can check for us.
- * This tool enforces the repo-specific rules mechanically, at the
- * token/regex level (no libclang dependency), so CI can prove the
- * conventions instead of trusting them:
+ * This tool enforces the repo-specific rules mechanically (no
+ * libclang dependency), so CI can prove the conventions instead of
+ * trusting them. Two rule engines share the catalogue: line rules
+ * regex-match single comment/string-stripped lines, and token rules
+ * (lexer.hh) walk a token stream, which lets them follow statements
+ * across line breaks, class-member ownership and lambda bodies.
+ *
+ * Line rules:
  *
  *   statsched-wallclock            no wall-clock reads in
  *                                  deterministic modules
@@ -36,6 +41,29 @@
  *                                  src/sim/engine.*); per-measurement
  *                                  state lives in reusable Scratch
  *                                  workspaces
+ *   statsched-no-raw-process       no raw fork/exec/pipe/waitpid
+ *                                  anywhere; children go through
+ *                                  base::Subprocess
+ *
+ * Token rules:
+ *
+ *   statsched-raw-sync-primitive   std::mutex, condition variables
+ *                                  and std lockers only inside
+ *                                  src/base/sync.hh; everything else
+ *                                  uses base::Mutex / base::CondVar /
+ *                                  base::MutexLock
+ *   statsched-unguarded-member     a class owning a base::Mutex
+ *                                  annotates every mutable member
+ *                                  (SCHED_GUARDED_BY / atomic /
+ *                                  const) or justifies it
+ *   statsched-detached-thread      no thread.detach() outside the
+ *                                  sanctioned src/hw watchdog
+ *   statsched-float-reduction-order
+ *                                  no compound accumulation into
+ *                                  captured state inside parallel
+ *                                  kernel / worker-pool lambdas;
+ *                                  write per-index slots and merge
+ *                                  after the join
  *
  * Suppression syntax, on the offending line:
  *

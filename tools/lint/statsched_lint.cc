@@ -4,12 +4,18 @@
  * and reports findings as "file:line: [rule-id] message".
  *
  * Usage:
- *   statsched_lint [--root <dir>] [--list-rules] [file...]
+ *   statsched_lint [--root <dir>] [--list-rules] [--markdown-rules]
+ *                  [file...]
  *
  * With no files, the whole tree under --root (default ".") is
  * scanned: src/, tools/, bench/, tests/ and examples/. Exit status
  * is 0 when the tree is clean and 1 when any finding is reported, so
  * the binary doubles as a ctest (`ctest -L lint`) and a CI gate.
+ *
+ * --markdown-rules renders the rule catalogue as the exact content of
+ * docs/LINT_RULES.md; the `lint_rules_doc` ctest fails when the
+ * committed file drifts from this output (see
+ * cmake/check_lint_rules_doc.cmake for the regeneration command).
  */
 
 #include "lint.hh"
@@ -67,6 +73,34 @@ lintPaths(const std::string &root,
     return 0;
 }
 
+/** Renders the catalogue as docs/LINT_RULES.md (byte-exact). */
+void
+printMarkdownRules()
+{
+    std::printf(
+        "# statsched_lint rule catalogue\n"
+        "\n"
+        "<!-- Generated file. Do not edit by hand: run\n"
+        "     cmake -DLINT_BIN=build/tools/lint/statsched_lint"
+        " -DDOC=docs/LINT_RULES.md \\\n"
+        "       -DMODE=generate -P"
+        " cmake/check_lint_rules_doc.cmake\n"
+        "     after changing the catalogue in tools/lint/lint.cc."
+        " The lint_rules_doc\n"
+        "     ctest fails when this file drifts from"
+        " `statsched_lint --markdown-rules`. -->\n"
+        "\n"
+        "Repo-specific rules enforced by `statsched_lint` (ctest"
+        " label `lint`,\n"
+        "CI job `statsched_lint`). Suppress a finding on its own"
+        " line with\n"
+        "`// NOLINT(<rule-id>): <reason>` — the reason is"
+        " mandatory.\n");
+    for (const auto &rule : statsched::lint::ruleCatalogue())
+        std::printf("\n## `%s`\n\n%s\n", rule.id.c_str(),
+                    rule.rationale.c_str());
+}
+
 } // anonymous namespace
 
 int
@@ -84,6 +118,10 @@ main(int argc, char **argv)
                             rule.rationale.c_str());
             return 0;
         }
+        if (arg == "--markdown-rules") {
+            printMarkdownRules();
+            return 0;
+        }
         if (arg == "--root") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -96,7 +134,7 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: statsched_lint [--root <dir>] "
-                "[--list-rules] [file...]\n");
+                "[--list-rules] [--markdown-rules] [file...]\n");
             return 0;
         }
         paths.push_back(arg);
