@@ -201,6 +201,58 @@ class Subprocess
     }
 
     /**
+     * Bounded variant of writeAll(): writes all `size` bytes, but
+     * gives up when the pipe accepts no byte for `stallTimeoutMs`
+     * milliseconds. A SIGSTOPped or wedged child stops draining its
+     * stdin; once the pipe buffer fills, the unbounded writeAll()
+     * blocks the parent forever — the one hole a receive deadline
+     * cannot cover. The budget is per-progress (it resets whenever
+     * a byte lands), so a slow-but-live reader is never failed.
+     *
+     * The fd is switched to O_NONBLOCK for the duration and restored
+     * after: poll(POLLOUT) on a pipe only promises room for SOME
+     * bytes, so a blocking write() past that room would re-wedge.
+     *
+     * @return false on timeout or any pipe error.
+     */
+    bool
+    writeAll(const void *data, std::size_t size, int stallTimeoutMs)
+    {
+        if (stdinFd_ < 0)
+            return false;
+        const int flags = ::fcntl(stdinFd_, F_GETFL);
+        if (flags < 0)
+            return false;
+        ::fcntl(stdinFd_, F_SETFL, flags | O_NONBLOCK);
+        const char *p = static_cast<const char *>(data);
+        bool ok = true;
+        while (size > 0) {
+            struct pollfd pfd = {};
+            pfd.fd = stdinFd_;
+            pfd.events = POLLOUT;
+            const int ready = ::poll(&pfd, 1, stallTimeoutMs);
+            if (ready < 0 && errno == EINTR)
+                continue;
+            if (ready <= 0) {
+                ok = false; // stalled out (or poll error)
+                break;
+            }
+            const ssize_t n = ::write(stdinFd_, p, size);
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)
+                    continue;
+                ok = false;
+                break;
+            }
+            p += n;
+            size -= static_cast<std::size_t>(n);
+        }
+        ::fcntl(stdinFd_, F_SETFL, flags);
+        return ok;
+    }
+
+    /**
      * Reads up to `capacity` bytes from the child's stdout, waiting
      * at most `timeoutMs` milliseconds for the first byte.
      *
@@ -250,6 +302,17 @@ class Subprocess
     {
         if (running())
             ::kill(pid_, SIGKILL);
+    }
+
+    /** Sends `sig` to the child without reaping it — the chaos
+     *  harness uses this for SIGTERM/SIGSTOP/SIGCONT injection.
+     *  @return false when there is no live child or kill failed. */
+    bool
+    signalChild(int sig)
+    {
+        if (!running())
+            return false;
+        return ::kill(pid_, sig) == 0;
     }
 
     /**

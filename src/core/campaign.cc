@@ -38,6 +38,19 @@ runCampaign(PerformanceEngine &engine, const Topology &topology,
     // silently produce statistics of a run that never happened.
     std::optional<JournalingEngine> journaling;
     if (!options.journalPath.empty()) {
+        JournalConfig journalConfig;
+        journalConfig.onError = options.journalOnError;
+        journalConfig.segmentBytes = options.journalSegmentBytes;
+        journalConfig.sinkFactory = options.journalSinkFactory;
+        if (options.health != nullptr) {
+            Health *health = options.health;
+            journalConfig.onDegrade =
+                [health](const std::string &detail) {
+                    health->transition("journal",
+                                       HealthLevel::Degraded,
+                                       detail);
+                };
+        }
         if (options.resume) {
             JournalRecovery recovery =
                 recoverJournal(options.journalPath);
@@ -57,12 +70,14 @@ runCampaign(PerformanceEngine &engine, const Topology &topology,
             result.journalTruncatedBytes = recovery.truncatedBytes;
             journaling.emplace(
                 engine, MeasurementJournal(options.journalPath,
-                                           recovery.validBytes));
+                                           recovery,
+                                           std::move(journalConfig)));
             journaling->queueReplay(std::move(recovery.batches));
         } else {
             journaling.emplace(
                 engine,
-                MeasurementJournal(options.journalPath, header));
+                MeasurementJournal(options.journalPath, header,
+                                   std::move(journalConfig)));
         }
     }
 
@@ -89,8 +104,20 @@ runCampaign(PerformanceEngine &engine, const Topology &topology,
     IterativeOptions iterative = options.iterative;
     iterative.stopCheck =
         [&](std::size_t round) -> IterativeStop {
-        if (journaling)
+        if (journaling) {
             journaling->setRound(static_cast<std::uint32_t>(round));
+            // Periodic Progress checkpoint at every round boundary:
+            // operator telemetry for a crashed run, and the material
+            // segment compaction reclaims (no-op while replaying —
+            // the original run already journaled these rounds).
+            if (round > 0 && !journaling->replaying()) {
+                JournalCheckpoint progress;
+                progress.kind = CheckpointKind::Progress;
+                progress.round = static_cast<std::uint32_t>(round);
+                progress.attempted = metered.stats().measurements;
+                journaling->checkpoint(progress);
+            }
+        }
         if (options.stopRequested && options.stopRequested())
             return {AbortKind::Interrupted,
                     "shutdown requested; sampled state checkpointed"};
@@ -127,9 +154,24 @@ runCampaign(PerformanceEngine &engine, const Topology &topology,
             journaling->replayedMeasurements();
         result.recordedMeasurements =
             journaling->recordedMeasurements();
+        result.journalDegraded = journaling->journalDegraded();
+        result.unjournaledMeasurements =
+            journaling->unjournaledMeasurements();
+        result.journalSegmentsRotated =
+            journaling->journal().segmentsRotated();
+        result.journalCompactedBytes =
+            journaling->journal().compactedBytes();
         if (journaling->mismatch())
             result.journalError = "journal replay diverged: " +
                 journaling->mismatchDetail();
+        else if (journaling->journalFailed()) {
+            result.journalError = "journal media failure: " +
+                journaling->journal().errorDetail();
+            if (options.health != nullptr)
+                options.health->transition(
+                    "journal", HealthLevel::Failing,
+                    journaling->journal().errorDetail());
+        }
 
         // Final checkpoint: even an aborted campaign leaves a synced
         // summary of how far it got, and the Complete/Aborted kind
@@ -144,6 +186,20 @@ runCampaign(PerformanceEngine &engine, const Topology &topology,
         checkpoint.best = result.search.final.bestObserved;
         journaling->checkpoint(checkpoint);
     }
+
+    // Estimator health: only the FINAL estimate matters (early
+    // rounds are Degraded by construction — too little tail data —
+    // and an aborted campaign never reached its stop condition, so
+    // its estimate is incomplete rather than unhealthy).
+    if (options.health != nullptr && !result.aborted() &&
+        result.search.final.pot.status != stats::EstimateStatus::Ok)
+        options.health->transition(
+            "estimator", HealthLevel::Degraded,
+            std::string(estimateStatusName(
+                result.search.final.pot.status)) +
+                (result.search.final.pot.invalidReason.empty()
+                     ? std::string()
+                     : ": " + result.search.final.pot.invalidReason));
     return result;
 }
 

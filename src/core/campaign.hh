@@ -36,6 +36,7 @@
 #include <functional>
 #include <string>
 
+#include "core/health.hh"
 #include "core/iterative.hh"
 #include "core/journal.hh"
 #include "core/resilient_engine.hh"
@@ -70,6 +71,22 @@ struct CampaignOptions
      *  uses the same engine/search configuration; callers hash
      *  whatever steers their measurements (see the CLI). */
     std::uint64_t configHash = 0;
+
+    /** What a journal media failure (ENOSPC, EIO) means: Abort ends
+     *  the campaign cleanly with the durable prefix intact; Degrade
+     *  drops to memory-only recording and completes with exact
+     *  results but reduced durability. Operational only — not part
+     *  of the campaign identity hash. */
+    JournalErrorPolicy journalOnError = JournalErrorPolicy::Abort;
+    /** Rotate journal segments at this size (0 = single file). */
+    std::uint64_t journalSegmentBytes = 0;
+    /** Sink source for journal files; empty means real files. Tests
+     *  and the chaos harness inject fault-injecting factories. */
+    base::io::SinkFactory journalSinkFactory;
+
+    /** Health aggregate receiving journal/shard/estimator
+     *  transitions; optional, not owned. */
+    Health *health = nullptr;
 
     /** Wall-clock budget in seconds; 0 disables. Requires `clock`. */
     double deadlineSeconds = 0.0;
@@ -116,8 +133,19 @@ struct CampaignResult
     /** Bytes of untrustworthy journal tail dropped by recovery. */
     std::uint64_t journalTruncatedBytes = 0;
     /** Non-empty on journal problems: unusable/mismatched journal
-     *  (ran == false) or replay divergence (ran == true). */
+     *  (ran == false), replay divergence, or a media failure under
+     *  policy Abort (ran == true). */
     std::string journalError;
+    /** True when the journal degraded to memory-only recording
+     *  (policy Degrade) — results are exact, durability is not. */
+    bool journalDegraded = false;
+    /** Measurements that never reached the journal after it
+     *  degraded. */
+    std::uint64_t unjournaledMeasurements = 0;
+    /** Journal segment rotations performed this run. */
+    std::uint64_t journalSegmentsRotated = 0;
+    /** Bytes reclaimed by compacting sealed journal segments. */
+    std::uint64_t journalCompactedBytes = 0;
 
     /** @return true when the campaign stopped on an external stop
      *  condition (not convergence, not the sample cap). */

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Campaign health aggregate implementation.
+ */
+
+#include "core/health.hh"
+
+namespace statsched
+{
+namespace core
+{
+
+const char *
+healthLevelName(HealthLevel level)
+{
+    switch (level) {
+      case HealthLevel::Ok:
+        return "ok";
+      case HealthLevel::Degraded:
+        return "degraded";
+      case HealthLevel::Failing:
+        return "failing";
+    }
+    return "?";
+}
+
+void
+Health::transition(const std::string &component, HealthLevel level,
+                   const std::string &detail)
+{
+    HealthTransition change;
+    bool changed = false;
+    {
+        base::MutexLock lock(mutex_);
+        Component *entry = nullptr;
+        for (Component &c : components_) {
+            if (c.name == component) {
+                entry = &c;
+                break;
+            }
+        }
+        if (entry == nullptr) {
+            components_.push_back(Component{component,
+                                            HealthLevel::Ok, ""});
+            entry = &components_.back();
+        }
+        if (entry->level != level) {
+            change.component = component;
+            change.from = entry->level;
+            change.to = level;
+            change.detail = detail;
+            entry->level = level;
+            entry->detail = detail;
+            changed = true;
+        }
+    }
+    // Listener runs outside the lock so it may log, print, or call
+    // back into this Health without deadlocking.
+    if (changed && listener_)
+        listener_(change);
+}
+
+HealthLevel
+Health::level(const std::string &component) const
+{
+    base::MutexLock lock(mutex_);
+    for (const Component &c : components_) {
+        if (c.name == component)
+            return c.level;
+    }
+    return HealthLevel::Ok;
+}
+
+HealthLevel
+Health::worst() const
+{
+    base::MutexLock lock(mutex_);
+    HealthLevel worst = HealthLevel::Ok;
+    for (const Component &c : components_) {
+        if (static_cast<std::uint8_t>(c.level) >
+            static_cast<std::uint8_t>(worst))
+            worst = c.level;
+    }
+    return worst;
+}
+
+std::vector<Health::Component>
+Health::components() const
+{
+    base::MutexLock lock(mutex_);
+    return components_;
+}
+
+} // namespace core
+} // namespace statsched

@@ -7,10 +7,7 @@
 
 #include <array>
 #include <cstring>
-#include <filesystem>
 #include <utility>
-
-#include <unistd.h>
 
 #include "base/check.hh"
 #include "base/logging.hh"
@@ -169,74 +166,43 @@ serializeHeader(const JournalHeader &header)
     return bytes;
 }
 
-} // anonymous namespace
-
-std::uint32_t
-journalCrc32(const void *data, std::size_t size, std::uint32_t seed)
+/** Record-level scan of one journal file (header + records). */
+struct SegmentScan
 {
-    // IEEE 802.3 reflected CRC32, bytewise table; the table is built
-    // once on first use.
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
+    bool headerValid = false;
+    JournalHeader header;
+    std::vector<JournalBatch> batches;
+    std::vector<JournalCheckpoint> checkpoints;
+    std::uint64_t validBytes = 0; //!< trusted prefix of this file
+    std::uint64_t totalBytes = 0; //!< file size as read
+    std::string error;            //!< unusable header, if any
 
-    const std::uint8_t *bytes = static_cast<const std::uint8_t *>(data);
-    std::uint32_t crc = seed ^ 0xffffffffu;
-    for (std::size_t i = 0; i < size; ++i)
-        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
-}
-
-std::uint64_t
-journalKeyHash(const Assignment &assignment)
-{
-    // FNV-1a over the canonical key, so symmetric assignments hash
-    // equal — the same equivalence notion the memoization cache uses.
-    const std::string key = assignment.canonicalKey();
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const char c : key) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-JournalRecovery
-recoverJournal(const std::string &path)
-{
-    JournalRecovery recovery;
-
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr) {
-        recovery.error = "journal does not exist or is unreadable";
-        return recovery;
-    }
-    recovery.fileExists = true;
-
-    std::vector<std::uint8_t> bytes;
+    /** @return true when every byte of the file is trusted (no torn
+     *  tail) — the condition for trusting a successor segment. */
+    bool
+    clean() const
     {
-        std::array<std::uint8_t, 1 << 16> chunk;
-        std::size_t n = 0;
-        while ((n = std::fread(chunk.data(), 1, chunk.size(), file)) >
-               0)
-            bytes.insert(bytes.end(), chunk.begin(),
-                         chunk.begin() + n);
-        std::fclose(file);
+        return headerValid && validBytes == totalBytes;
     }
+};
+
+/**
+ * Validates one journal file: header, then records with group-commit
+ * semantics (validBytes only advances at complete batch groups and
+ * checkpoints). Shared by recovery and segment compaction.
+ */
+SegmentScan
+scanSegment(const std::vector<std::uint8_t> &bytes)
+{
+    SegmentScan scan;
+    scan.totalBytes = bytes.size();
 
     // Header: fixed size, trailing CRC over everything before it. A
     // bad header means the file is not ours (or the very first write
     // was torn) — unusable either way.
     if (bytes.size() < kHeaderSize) {
-        recovery.error = "journal shorter than its header";
-        return recovery;
+        scan.error = "journal shorter than its header";
+        return scan;
     }
     {
         ByteReader r(bytes.data(), kHeaderSize);
@@ -244,31 +210,31 @@ recoverJournal(const std::string &path)
         for (char c : kMagic)
             magicOk &= r.u8() == static_cast<std::uint8_t>(c);
         if (!magicOk) {
-            recovery.error = "journal magic mismatch";
-            return recovery;
+            scan.error = "journal magic mismatch";
+            return scan;
         }
         const std::uint32_t version = r.u32();
         if (version != kJournalVersion) {
-            recovery.error = "unsupported journal version " +
+            scan.error = "unsupported journal version " +
                 std::to_string(version);
-            return recovery;
+            return scan;
         }
-        recovery.header.seed = r.u64();
-        recovery.header.cores = r.u32();
-        recovery.header.pipesPerCore = r.u32();
-        recovery.header.strandsPerPipe = r.u32();
-        recovery.header.tasks = r.u32();
-        recovery.header.configHash = r.u64();
+        scan.header.seed = r.u64();
+        scan.header.cores = r.u32();
+        scan.header.pipesPerCore = r.u32();
+        scan.header.strandsPerPipe = r.u32();
+        scan.header.tasks = r.u32();
+        scan.header.configHash = r.u64();
         const std::uint32_t storedCrc = r.u32();
         const std::uint32_t computedCrc =
             journalCrc32(bytes.data(), kHeaderSize - 4);
         if (storedCrc != computedCrc) {
-            recovery.error = "journal header checksum mismatch";
-            return recovery;
+            scan.error = "journal header checksum mismatch";
+            return scan;
         }
     }
-    recovery.headerValid = true;
-    recovery.validBytes = kHeaderSize;
+    scan.headerValid = true;
+    scan.validBytes = kHeaderSize;
 
     // Records. The commit unit is the complete batch group: a
     // BatchBegin plus exactly `count` Measurement records. validBytes
@@ -354,7 +320,7 @@ recoverJournal(const std::string &path)
             cp.attempted = r.u64();
             cp.sampled = r.u64();
             cp.best = r.f64();
-            recovery.checkpoints.push_back(cp);
+            scan.checkpoints.push_back(cp);
             break;
           }
           default:
@@ -367,64 +333,312 @@ recoverJournal(const std::string &path)
 
         offset += frame;
         if (groupOpen && openRemaining == 0) {
-            recovery.batches.push_back(std::move(openGroup));
+            scan.batches.push_back(std::move(openGroup));
             groupOpen = false;
-            recovery.validBytes = offset;
+            scan.validBytes = offset;
         } else if (!groupOpen) {
-            recovery.validBytes = offset; // checkpoint committed
+            scan.validBytes = offset; // checkpoint committed
         }
     }
 
-    recovery.truncatedBytes =
-        static_cast<std::uint64_t>(bytes.size()) - recovery.validBytes;
+    return scan;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+journalCrc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    // IEEE 802.3 reflected CRC32, bytewise table; the table is built
+    // once on first use.
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    const std::uint8_t *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint64_t
+journalKeyHash(const Assignment &assignment)
+{
+    // FNV-1a over the canonical key, so symmetric assignments hash
+    // equal — the same equivalence notion the memoization cache uses.
+    const std::string key = assignment.canonicalKey();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+const char *
+journalErrorPolicyName(JournalErrorPolicy policy)
+{
+    switch (policy) {
+      case JournalErrorPolicy::Abort:
+        return "abort";
+      case JournalErrorPolicy::Degrade:
+        return "degrade";
+    }
+    return "?";
+}
+
+std::string
+journalSegmentPath(const std::string &base, std::uint32_t index)
+{
+    std::string suffix = std::to_string(index);
+    while (suffix.size() < 3)
+        suffix.insert(suffix.begin(), '0');
+    return base + "." + suffix;
+}
+
+JournalRecovery
+recoverJournal(const std::string &path)
+{
+    JournalRecovery recovery;
+    std::vector<std::uint8_t> bytes;
+
+    // A plain file at the exact path is a single-file journal, even
+    // when a stale segment chain also exists — the plain file is what
+    // the last writer committed to.
+    if (base::io::readFileBytes(path, bytes).ok()) {
+        recovery.fileExists = true;
+        recovery.segmented = false;
+        recovery.activeSegment = path;
+        recovery.activeSegmentIndex = 0;
+        SegmentScan scan = scanSegment(bytes);
+        if (!scan.headerValid) {
+            recovery.error = scan.error;
+            return recovery;
+        }
+        recovery.headerValid = true;
+        recovery.header = scan.header;
+        recovery.batches = std::move(scan.batches);
+        recovery.checkpoints = std::move(scan.checkpoints);
+        recovery.validBytes = scan.validBytes;
+        recovery.truncatedBytes = scan.totalBytes - scan.validBytes;
+        recovery.segmentFiles.push_back(path);
+        return recovery;
+    }
+
+    if (!base::io::fileExists(journalSegmentPath(path, 0))) {
+        recovery.error = "journal does not exist or is unreadable";
+        return recovery;
+    }
+
+    // Segment chain: every segment carries the full identity header;
+    // trust stops at the first torn, foreign or unreadable segment —
+    // anything after the trust horizon was written by a writer whose
+    // predecessor state we cannot vouch for.
+    recovery.segmented = true;
+    for (std::uint32_t i = 0;; ++i) {
+        const std::string segPath = journalSegmentPath(path, i);
+        if (!base::io::readFileBytes(segPath, bytes).ok()) {
+            if (base::io::fileExists(segPath))
+                recovery.staleSegments.push_back(segPath);
+            break; // end of chain (or unreadable: stop trusting)
+        }
+        recovery.fileExists = true;
+        SegmentScan scan = scanSegment(bytes);
+        const bool trusted = scan.headerValid &&
+            (i == 0 || scan.header == recovery.header);
+        if (i == 0 && !trusted) {
+            recovery.error = scan.error.empty()
+                ? "journal header mismatch"
+                : scan.error;
+            return recovery;
+        }
+        if (!trusted) {
+            recovery.staleSegments.push_back(segPath);
+            for (std::uint32_t j = i + 1;
+                 base::io::fileExists(journalSegmentPath(path, j));
+                 ++j)
+                recovery.staleSegments.push_back(
+                    journalSegmentPath(path, j));
+            break;
+        }
+        if (i == 0) {
+            recovery.headerValid = true;
+            recovery.header = scan.header;
+        }
+        for (JournalBatch &b : scan.batches)
+            recovery.batches.push_back(std::move(b));
+        for (const JournalCheckpoint &cp : scan.checkpoints)
+            recovery.checkpoints.push_back(cp);
+        recovery.segmentFiles.push_back(segPath);
+        recovery.activeSegment = segPath;
+        recovery.activeSegmentIndex = i;
+        recovery.validBytes = scan.validBytes;
+        recovery.truncatedBytes += scan.totalBytes - scan.validBytes;
+        if (!scan.clean()) {
+            // Torn tail mid-chain: successors were appended after
+            // bytes we just distrusted — they are stale, not valid.
+            for (std::uint32_t j = i + 1;
+                 base::io::fileExists(journalSegmentPath(path, j));
+                 ++j)
+                recovery.staleSegments.push_back(
+                    journalSegmentPath(path, j));
+            break;
+        }
+    }
     return recovery;
 }
 
 MeasurementJournal::MeasurementJournal(const std::string &path,
-                                       const JournalHeader &header)
-    : path_(path)
+                                       const JournalHeader &header,
+                                       JournalConfig config)
+    : config_(std::move(config)), basePath_(path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr)
-        STATSCHED_FATAL("cannot create journal at " + path);
-    const std::vector<std::uint8_t> bytes = serializeHeader(header);
-    if (std::fwrite(bytes.data(), 1, bytes.size(), file_) !=
-        bytes.size())
-        STATSCHED_FATAL("cannot write journal header to " + path);
-    bytesWritten_ = bytes.size();
-    sync();
+    if (!config_.sinkFactory)
+        config_.sinkFactory = base::io::fileSinkFactory();
+    headerBytes_ = serializeHeader(header);
+    segmented_ = config_.segmentBytes > 0;
+    activePath_ = segmented_ ? journalSegmentPath(path, 0) : path;
+    if (segmented_) {
+        // A fresh segmented journal must not leave segments from a
+        // previous campaign behind the new chain head — recovery
+        // would splice their records onto ours.
+        for (std::uint32_t i = 1;
+             base::io::fileExists(journalSegmentPath(path, i)); ++i)
+            base::io::removeFile(journalSegmentPath(path, i));
+    }
+    openActive(/*truncate=*/true);
+    if (recording() &&
+        writeChecked(headerBytes_.data(), headerBytes_.size()))
+        sync();
 }
 
 MeasurementJournal::MeasurementJournal(const std::string &path,
                                        std::uint64_t validBytes)
-    : path_(path)
+    : basePath_(path), activePath_(path)
 {
+    config_.sinkFactory = base::io::fileSinkFactory();
     // Physically drop the untrustworthy tail before appending: a
     // later recovery must never see the old bytes behind new records.
-    std::error_code ec;
-    std::filesystem::resize_file(path, validBytes, ec);
-    if (ec)
-        STATSCHED_FATAL("cannot truncate journal " + path + " to its "
-                    "valid prefix: " + ec.message());
-    file_ = std::fopen(path.c_str(), "ab");
-    if (file_ == nullptr)
-        STATSCHED_FATAL("cannot reopen journal at " + path);
+    const base::io::IoResult truncated =
+        base::io::truncateFile(path, validBytes);
+    if (!truncated.ok()) {
+        handleIoFailure(truncated);
+        return;
+    }
+    openActive(/*truncate=*/false);
+    segmentBytes_ = validBytes;
+}
+
+MeasurementJournal::MeasurementJournal(const std::string &path,
+                                       const JournalRecovery &recovery,
+                                       JournalConfig config)
+    : config_(std::move(config)), basePath_(path)
+{
+    if (!config_.sinkFactory)
+        config_.sinkFactory = base::io::fileSinkFactory();
+    headerBytes_ = serializeHeader(recovery.header);
+    // Continue in the mode found on disk: a single-file journal stays
+    // single-file even when the resumed run asks for segments (the
+    // two layouts must never coexist at one path).
+    segmented_ = recovery.segmented;
+    segmentIndex_ = recovery.activeSegmentIndex;
+    activePath_ = recovery.activeSegment.empty()
+        ? path
+        : recovery.activeSegment;
+    for (const std::string &stale : recovery.staleSegments)
+        base::io::removeFile(stale);
+    const base::io::IoResult truncated =
+        base::io::truncateFile(activePath_, recovery.validBytes);
+    if (!truncated.ok()) {
+        handleIoFailure(truncated);
+        return;
+    }
+    openActive(/*truncate=*/false);
+    segmentBytes_ = recovery.validBytes;
 }
 
 MeasurementJournal::MeasurementJournal(
     MeasurementJournal &&other) noexcept
-    : file_(std::exchange(other.file_, nullptr)),
-      path_(std::move(other.path_)),
+    : config_(std::move(other.config_)),
+      sink_(std::move(other.sink_)),
+      basePath_(std::move(other.basePath_)),
+      activePath_(std::move(other.activePath_)),
+      segmented_(other.segmented_),
+      segmentIndex_(other.segmentIndex_),
+      segmentBytes_(other.segmentBytes_),
+      headerBytes_(std::move(other.headerBytes_)),
+      degraded_(other.degraded_),
+      failed_(other.failed_),
+      errorDetail_(std::move(other.errorDetail_)),
+      droppedRecords_(other.droppedRecords_),
+      rotations_(other.rotations_),
+      compactedBytes_(other.compactedBytes_),
       bytesWritten_(other.bytesWritten_)
 {
 }
 
-MeasurementJournal::~MeasurementJournal()
+void
+MeasurementJournal::openActive(bool truncate)
 {
-    if (file_ != nullptr) {
-        std::fflush(file_);
-        std::fclose(file_);
+    base::io::IoResult result;
+    sink_ = config_.sinkFactory(activePath_, truncate, result);
+    if (!sink_)
+        handleIoFailure(result);
+}
+
+void
+MeasurementJournal::handleIoFailure(const base::io::IoResult &result)
+{
+    if (degraded_ || failed_)
+        return; // already latched
+    errorDetail_ = activePath_ + ": " + result.detail;
+    sink_.reset();
+    if (config_.onError == JournalErrorPolicy::Degrade) {
+        degraded_ = true;
+        warn("journal degraded to memory-only recording (" +
+             errorDetail_ + "); results stay exact, durability from "
+             "this point is lost");
+        if (config_.onDegrade)
+            config_.onDegrade(errorDetail_);
+    } else {
+        failed_ = true;
+        warn("journal media failure (" + errorDetail_ +
+             "); policy abort: refusing to continue unjournaled");
     }
+}
+
+bool
+MeasurementJournal::writeChecked(const std::uint8_t *data,
+                                 std::size_t size)
+{
+    base::io::IoResult result;
+    const std::uint8_t *p = data;
+    std::size_t left = size;
+    // Bounded immediate retries of the unwritten remainder (the
+    // injected Clock has no sleep, and a full disk does not heal in
+    // microseconds — the policy, not a timer, decides what a
+    // persistent failure means). Retrying only the remainder keeps
+    // the byte stream consistent: no frame prefix is ever duplicated.
+    for (std::uint32_t attempt = 0; attempt <= config_.writeRetries;
+         ++attempt) {
+        result = sink_->write(p, left);
+        bytesWritten_ += result.bytesWritten;
+        segmentBytes_ += result.bytesWritten;
+        if (result.ok())
+            return true;
+        p += result.bytesWritten;
+        left -= result.bytesWritten;
+    }
+    handleIoFailure(result);
+    return false;
 }
 
 void
@@ -432,7 +646,10 @@ MeasurementJournal::writeRecord(std::uint8_t type,
                                 const std::uint8_t *payload,
                                 std::size_t size)
 {
-    SCHED_REQUIRE(file_ != nullptr, "journal already moved from");
+    if (!recording()) {
+        ++droppedRecords_;
+        return;
+    }
     SCHED_REQUIRE(size <= 0xffff, "journal record payload too large");
     std::vector<std::uint8_t> frame;
     frame.reserve(3 + size + 4);
@@ -441,17 +658,104 @@ MeasurementJournal::writeRecord(std::uint8_t type,
     w.u16(static_cast<std::uint16_t>(size));
     frame.insert(frame.end(), payload, payload + size);
     w.u32(journalCrc32(frame.data(), frame.size()));
-    if (std::fwrite(frame.data(), 1, frame.size(), file_) !=
-        frame.size())
-        STATSCHED_FATAL("journal write failed at " + path_ +
-                    " (disk full?)");
-    bytesWritten_ += frame.size();
+    writeChecked(frame.data(), frame.size());
+}
+
+void
+MeasurementJournal::rotateSegment()
+{
+    // Seal the active segment: everything in it must be durable
+    // before a successor exists, or recovery could trust a successor
+    // whose predecessor still had bytes in flight.
+    const base::io::IoResult sealed = sink_->sync();
+    if (!sealed.ok()) {
+        handleIoFailure(sealed);
+        return;
+    }
+    sink_.reset();
+    compactSealedSegment(activePath_);
+    ++segmentIndex_;
+    ++rotations_;
+    activePath_ = journalSegmentPath(basePath_, segmentIndex_);
+    openActive(/*truncate=*/true);
+    if (!recording())
+        return;
+    segmentBytes_ = 0;
+    if (writeChecked(headerBytes_.data(), headerBytes_.size())) {
+        const base::io::IoResult synced = sink_->sync();
+        if (!synced.ok())
+            handleIoFailure(synced);
+    }
+}
+
+void
+MeasurementJournal::compactSealedSegment(const std::string &path)
+{
+    // Best-effort space reclaim on a segment that will never be
+    // appended again: interior Progress checkpoints are operator
+    // telemetry, not replay substance — drop them. Batch groups are
+    // always kept (replay needs every one). Any failure abandons the
+    // rewrite and keeps the original: compaction is an optimization,
+    // never a correctness step.
+    std::vector<std::uint8_t> bytes;
+    if (!base::io::readFileBytes(path, bytes).ok())
+        return;
+    SegmentScan scan = scanSegment(bytes);
+    if (!scan.clean())
+        return;
+
+    std::vector<std::uint8_t> out(bytes.begin(),
+                                  bytes.begin() + kHeaderSize);
+    std::size_t offset = kHeaderSize;
+    while (offset < bytes.size()) {
+        const std::uint8_t type = bytes[offset];
+        const std::uint16_t size =
+            static_cast<std::uint16_t>(bytes[offset + 1]) |
+            static_cast<std::uint16_t>(bytes[offset + 2]) << 8;
+        const std::size_t frame = 3u + size + 4u;
+        bool keep = true;
+        if (type == kRecordCheckpoint && size == kCheckpointSize) {
+            const std::uint8_t kind = bytes[offset + 3];
+            keep = kind !=
+                static_cast<std::uint8_t>(CheckpointKind::Progress);
+        }
+        if (keep)
+            out.insert(out.end(), bytes.begin() + offset,
+                       bytes.begin() + offset + frame);
+        offset += frame;
+    }
+    if (out.size() == bytes.size())
+        return; // nothing to reclaim
+
+    const std::string tmp = path + ".tmp";
+    {
+        base::io::IoResult result;
+        std::unique_ptr<base::io::Sink> sink =
+            config_.sinkFactory(tmp, /*truncate=*/true, result);
+        if (!sink)
+            return;
+        if (!sink->write(out.data(), out.size()).ok() ||
+            !sink->sync().ok()) {
+            sink.reset();
+            base::io::removeFile(tmp);
+            return;
+        }
+    }
+    if (!base::io::renameFile(tmp, path).ok()) {
+        base::io::removeFile(tmp);
+        return;
+    }
+    compactedBytes_ += bytes.size() - out.size();
 }
 
 void
 MeasurementJournal::beginBatch(std::uint32_t round,
                                std::uint32_t count)
 {
+    // Rotation only between groups, so no group ever spans segments.
+    if (recording() && segmented_ &&
+        segmentBytes_ >= config_.segmentBytes)
+        rotateSegment();
     std::vector<std::uint8_t> payload;
     payload.reserve(kBatchBeginSize);
     ByteWriter w(payload);
@@ -478,6 +782,9 @@ void
 MeasurementJournal::appendCheckpoint(
     const JournalCheckpoint &checkpoint)
 {
+    if (recording() && segmented_ &&
+        segmentBytes_ >= config_.segmentBytes)
+        rotateSegment();
     std::vector<std::uint8_t> payload;
     payload.reserve(kCheckpointSize);
     ByteWriter w(payload);
@@ -492,12 +799,15 @@ MeasurementJournal::appendCheckpoint(
 void
 MeasurementJournal::sync()
 {
-    SCHED_REQUIRE(file_ != nullptr, "journal already moved from");
-    if (std::fflush(file_) != 0)
-        STATSCHED_FATAL("journal flush failed at " + path_);
-    // fsync, not just fflush: the write-ahead property must hold
-    // across power loss, not only across process death.
-    ::fsync(::fileno(file_));
+    if (!recording())
+        return;
+    // fsync, not a userspace flush: the write-ahead property must
+    // hold across power loss, not only across process death — and a
+    // failed fsync means the records are NOT durable, which is
+    // exactly as serious as a failed write.
+    const base::io::IoResult result = sink_->sync();
+    if (!result.ok())
+        handleIoFailure(result);
 }
 
 JournalingEngine::JournalingEngine(PerformanceEngine &inner,
@@ -523,6 +833,23 @@ JournalingEngine::failBatch(std::span<MeasurementOutcome> out,
         mismatch_ = true;
         mismatchDetail_ = std::move(detail);
         warn("journal replay diverged: " + mismatchDetail_);
+    }
+    for (MeasurementOutcome &o : out)
+        o = MeasurementOutcome::failure(MeasureStatus::Errored);
+}
+
+void
+JournalingEngine::failUnjournaledBatch(
+    std::span<MeasurementOutcome> out)
+{
+    // Policy Abort after a media failure: the write-ahead property
+    // forbids handing upward what is not durable, so the batch fails
+    // and the search above aborts cleanly. The durable prefix is
+    // intact and the campaign resumable once space returns.
+    if (!ioFailureWarned_) {
+        ioFailureWarned_ = true;
+        warn("journal unavailable, failing measurements: " +
+             journal_.errorDetail());
     }
     for (MeasurementOutcome &o : out)
         o = MeasurementOutcome::failure(MeasureStatus::Errored);
@@ -589,6 +916,10 @@ JournalingEngine::measureBatchOutcome(
         serveReplayedBatch(batch, out);
         return;
     }
+    if (journal_.failed()) {
+        failUnjournaledBatch(out);
+        return;
+    }
 
     inner_.measureBatchOutcome(batch, out);
 
@@ -601,7 +932,17 @@ JournalingEngine::measureBatchOutcome(
     for (std::size_t i = 0; i < batch.size(); ++i)
         journal_.appendMeasurement(journalKeyHash(batch[i]), out[i]);
     journal_.sync();
-    recorded_ += batch.size();
+    if (journal_.failed()) {
+        // The media died under this very batch (policy Abort):
+        // discard the measured outcomes rather than hand upward what
+        // never became durable.
+        failUnjournaledBatch(out);
+        return;
+    }
+    if (journal_.degraded())
+        unjournaled_ += batch.size();
+    else
+        recorded_ += batch.size();
 }
 
 double

@@ -43,6 +43,33 @@
  *    recovery and re-measured fresh — with the same reserved indices
  *    it would have used originally, hence the same readings.
  *
+ * Failure policy. All file I/O goes through base::io::Sink (checked
+ * writes, checked fsync). When the medium fails (ENOSPC, EIO) the
+ * journal never takes the process down; JournalErrorPolicy decides
+ * what a write failure means:
+ *
+ *  - Abort (default): the journal latches failed(); the
+ *    JournalingEngine refuses to hand un-journaled outcomes upward,
+ *    so the campaign aborts cleanly with the durable prefix intact
+ *    and resumable.
+ *
+ *  - Degrade: the journal latches degraded(), drops its sink and
+ *    becomes a memory-only recorder (appends count droppedRecords()
+ *    and do nothing else). The campaign runs to completion with
+ *    bit-identical results; only durability is lost, and only from
+ *    the failure point on — recovery still trusts the longest durable
+ *    prefix.
+ *
+ * Segment rotation. With JournalConfig::segmentBytes > 0 the journal
+ * is a chain journal.000, journal.001, ... instead of one file. Each
+ * segment opens with the full identity header; rotation happens at
+ * batch-group boundaries once the active segment exceeds the
+ * threshold, and the sealed segment is compacted (interior Progress
+ * checkpoints are dropped; batch groups — the replay substance — are
+ * always kept). recoverJournal() walks the chain, validates every
+ * header against segment 0, and stops trusting at the first torn or
+ * foreign segment.
+ *
  * File format (all integers little-endian):
  *
  *   header   := "SJNL" version:u32 seed:u64 cores:u32 pipesPerCore:u32
@@ -65,11 +92,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/io.hh"
 #include "core/performance_engine.hh"
 #include "core/topology.hh"
 
@@ -165,12 +194,62 @@ struct JournalCheckpoint
     double best = 0.0;           //!< best observed performance
 };
 
+/** What a journal write failure means for the campaign. */
+enum class JournalErrorPolicy : std::uint8_t
+{
+    /** Latch failed(); the JournalingEngine fails every subsequent
+     *  batch so the search aborts cleanly, resumable from the durable
+     *  prefix. Never hands un-journaled outcomes upward. */
+    Abort = 0,
+    /** Latch degraded(); drop to memory-only recording (appends
+     *  become counted no-ops) and let the campaign run to completion
+     *  with full results but reduced durability. */
+    Degrade,
+};
+
+/** @return "abort" / "degrade". */
+const char *journalErrorPolicyName(JournalErrorPolicy policy);
+
+/**
+ * Durability and failure-handling knobs for MeasurementJournal.
+ */
+struct JournalConfig
+{
+    JournalErrorPolicy onError = JournalErrorPolicy::Abort;
+
+    /** Rotate to a new segment once the active one exceeds this many
+     *  bytes (0 = single-file journal, no rotation). Checked at
+     *  batch-group boundaries, so groups never span segments. */
+    std::uint64_t segmentBytes = 0;
+
+    /** Extra immediate attempts to push the unwritten remainder of a
+     *  record before declaring the sink broken. The injected Clock
+     *  has no sleep — and a full disk does not heal in microseconds —
+     *  so the backoff is bounded retries, not timed waits; the error
+     *  policy decides what happens when they run out. */
+    std::uint32_t writeRetries = 2;
+
+    /** Sink source for the journal file and every rotated segment;
+     *  empty means real files (base::io::fileSinkFactory()). Tests
+     *  and the chaos harness inject fault-injecting factories here. */
+    base::io::SinkFactory sinkFactory;
+
+    /** Invoked once, with a failure description, when the policy is
+     *  Degrade and the journal drops to memory-only recording. Wired
+     *  to the campaign Health aggregate. */
+    std::function<void(const std::string &)> onDegrade;
+};
+
+/** @return the on-disk path of segment `index` ("<base>.007"). */
+std::string journalSegmentPath(const std::string &base,
+                               std::uint32_t index);
+
 /**
  * Result of reading a journal back from disk. Only the longest prefix
  * of intact, complete batch groups is reported; everything after it
  * (torn record, CRC mismatch, incomplete group) is counted in
- * `truncatedBytes` and must be discarded by rewriting the file down
- * to `validBytes` before appending.
+ * `truncatedBytes` and must be discarded by rewriting the active file
+ * down to `validBytes` before appending.
  */
 struct JournalRecovery
 {
@@ -179,13 +258,30 @@ struct JournalRecovery
     JournalHeader header;
     std::vector<JournalBatch> batches;
     std::vector<JournalCheckpoint> checkpoints;
-    /** Byte length of the trustworthy prefix (header included). */
+    /** Byte length of the trustworthy prefix of the ACTIVE file
+     *  (header included). For single-file journals the active file is
+     *  the journal itself; for segmented ones it is the last trusted
+     *  segment. */
     std::uint64_t validBytes = 0;
-    /** Bytes beyond the trustworthy prefix that recovery dropped. */
+    /** Bytes beyond trustworthy prefixes that recovery dropped (not
+     *  counting whole stale segments, which are listed below). */
     std::uint64_t truncatedBytes = 0;
     /** Non-empty when the journal is unusable (missing, bad magic,
      *  corrupt header); tail truncation is NOT an error. */
     std::string error;
+
+    /** True when the journal is a segment chain (<path>.000, ...). */
+    bool segmented = false;
+    /** Trusted files, in chain order (single-file: just the path). */
+    std::vector<std::string> segmentFiles;
+    /** The file appends continue into. */
+    std::string activeSegment;
+    /** Chain index of activeSegment (0 for single-file journals). */
+    std::uint32_t activeSegmentIndex = 0;
+    /** Segment files AFTER the trust horizon (torn predecessor,
+     *  foreign header, ...); resume must delete them before
+     *  appending, or a later recovery would read stale records. */
+    std::vector<std::string> staleSegments;
 
     /** @return journaled measurements across all complete groups. */
     std::uint64_t
@@ -199,41 +295,61 @@ struct JournalRecovery
 };
 
 /**
- * Reads a journal and validates it record by record.
+ * Reads a journal (single file or segment chain) and validates it
+ * record by record.
  *
  * Never throws on corrupt input: torn and corrupt tails are truncated
- * into `truncatedBytes`, unusable files are reported through `error`.
+ * into `truncatedBytes`, untrusted segments are listed as stale, and
+ * unusable files are reported through `error`.
  */
 JournalRecovery recoverJournal(const std::string &path);
 
 /**
- * Append-side of the journal: owns the file handle, frames records,
+ * Append-side of the journal: owns the sink, frames records,
  * checksums them, and fsyncs at batch boundaries so a SIGKILL can
  * lose at most the in-flight batch (which recovery then drops).
+ *
+ * Media failures never terminate the process; they latch failed() or
+ * degraded() per the configured JournalErrorPolicy (see the file
+ * comment), after which every append is a counted no-op.
  */
 class MeasurementJournal
 {
   public:
-    /** Creates (or overwrites) `path` with a fresh header.
-     *  @throws std::runtime_error when the file cannot be written. */
+    /** Creates (or overwrites) the journal at `path` with a fresh
+     *  header — a single file, or a segment chain when
+     *  config.segmentBytes > 0. Open failures latch the policy
+     *  outcome instead of throwing. */
     MeasurementJournal(const std::string &path,
-                       const JournalHeader &header);
+                       const JournalHeader &header,
+                       JournalConfig config = {});
 
     /**
-     * Reopens `path` for appending after recovery: the file is first
-     * truncated to `validBytes` so the untrustworthy tail can never
-     * be read back by a later recovery.
-     * @throws std::runtime_error when the file cannot be opened.
+     * Reopens a single-file journal for appending after recovery: the
+     * file is first truncated to `validBytes` so the untrustworthy
+     * tail can never be read back by a later recovery.
      */
     MeasurementJournal(const std::string &path,
                        std::uint64_t validBytes);
 
+    /**
+     * Reopens a recovered journal (single-file or segmented) for
+     * appending: deletes stale segments, truncates the active file to
+     * the trusted prefix, and continues the chain in the mode
+     * recovery found on disk (a single-file journal stays
+     * single-file even if config asks for segments).
+     */
+    MeasurementJournal(const std::string &path,
+                       const JournalRecovery &recovery,
+                       JournalConfig config);
+
     MeasurementJournal(const MeasurementJournal &) = delete;
     MeasurementJournal &operator=(const MeasurementJournal &) = delete;
     MeasurementJournal(MeasurementJournal &&other) noexcept;
-    ~MeasurementJournal();
+    ~MeasurementJournal() = default;
 
-    /** Opens a batch group of `count` upcoming measurements. */
+    /** Opens a batch group of `count` upcoming measurements. May
+     *  rotate segments first (group boundaries only). */
     void beginBatch(std::uint32_t round, std::uint32_t count);
 
     /** Appends one measurement of the open batch group. */
@@ -243,19 +359,67 @@ class MeasurementJournal
     /** Appends a checkpoint record (between batch groups). */
     void appendCheckpoint(const JournalCheckpoint &checkpoint);
 
-    /** Flushes buffered records to the OS and fsyncs to media. */
+    /** Fsyncs appended records to media; failures follow the error
+     *  policy (an unsynced record is not durable, so a failed fsync
+     *  is exactly as bad as a failed write). */
     void sync();
+
+    /** @return true while appends actually reach the sink. */
+    bool recording() const
+    {
+        return sink_ != nullptr && !degraded_ && !failed_;
+    }
+
+    /** @return true once a media failure degraded the journal to
+     *  memory-only recording (policy Degrade); latched. */
+    bool degraded() const { return degraded_; }
+
+    /** @return true once a media failure stopped the journal under
+     *  policy Abort; latched. */
+    bool failed() const { return failed_; }
+
+    /** @return description of the latched media failure. */
+    const std::string &errorDetail() const { return errorDetail_; }
+
+    /** @return records dropped after degradation/failure. */
+    std::uint64_t droppedRecords() const { return droppedRecords_; }
+
+    /** @return segment rotations performed so far. */
+    std::uint64_t segmentsRotated() const { return rotations_; }
+
+    /** @return bytes reclaimed by compacting sealed segments. */
+    std::uint64_t compactedBytes() const { return compactedBytes_; }
 
     /** @return bytes written to the journal so far (header included
      *  for fresh journals; relative to reopen for resumed ones). */
     std::uint64_t bytesWritten() const { return bytesWritten_; }
 
   private:
+    void openActive(bool truncate);
     void writeRecord(std::uint8_t type, const std::uint8_t *payload,
                      std::size_t size);
+    bool writeChecked(const std::uint8_t *data, std::size_t size);
+    void handleIoFailure(const base::io::IoResult &result);
+    void rotateSegment();
+    void compactSealedSegment(const std::string &path);
 
-    std::FILE *file_ = nullptr;
-    std::string path_;
+    JournalConfig config_;
+    std::unique_ptr<base::io::Sink> sink_;
+    std::string basePath_;   //!< journal path as configured
+    std::string activePath_; //!< file currently appended to
+    bool segmented_ = false;
+    std::uint32_t segmentIndex_ = 0;
+    /** Bytes in the active segment (header included); drives
+     *  rotation. */
+    std::uint64_t segmentBytes_ = 0;
+    /** Serialized identity header, re-written into every segment. */
+    std::vector<std::uint8_t> headerBytes_;
+    bool degraded_ = false;
+    bool failed_ = false;
+    std::string errorDetail_;
+    std::uint64_t droppedRecords_ = 0;
+    std::uint64_t rotations_ = 0;
+    std::uint64_t compactedBytes_ = 0;
     std::uint64_t bytesWritten_ = 0;
 };
 
@@ -278,6 +442,12 @@ std::uint64_t journalKeyHash(const Assignment &assignment);
  * between the re-driven search and the journal (different batch size
  * or assignment keys) latches the mismatch flag and fails the batch;
  * it indicates a configuration change, not a recoverable condition.
+ *
+ * Journal media failures follow the journal's error policy: under
+ * Abort every batch after the failure is failed (outcomes are never
+ * handed upward without durability), under Degrade outcomes keep
+ * flowing and unjournaledMeasurements() counts what memory-only
+ * recording cost.
  *
  * Publishes no kernels: callers above always take the batch path, so
  * every measurement is journaled.
@@ -308,6 +478,13 @@ class JournalingEngine : public PerformanceEngine
     /** @return measurements measured fresh and journaled so far. */
     std::uint64_t recordedMeasurements() const { return recorded_; }
 
+    /** @return measurements handed upward without durability after
+     *  the journal degraded (policy Degrade). */
+    std::uint64_t unjournaledMeasurements() const
+    {
+        return unjournaled_;
+    }
+
     /** @return true when replay detected divergence from the journal;
      *  latched, never cleared. */
     bool mismatch() const { return mismatch_; }
@@ -315,6 +492,17 @@ class JournalingEngine : public PerformanceEngine
     /** @return human-readable divergence description when
      *  mismatch(). */
     const std::string &mismatchDetail() const { return mismatchDetail_; }
+
+    /** @return true once a journal media failure stopped recording
+     *  under policy Abort. */
+    bool journalFailed() const { return journal_.failed(); }
+
+    /** @return true once the journal degraded to memory-only
+     *  recording under policy Degrade. */
+    bool journalDegraded() const { return journal_.degraded(); }
+
+    /** @return the wrapped journal (stats and error detail). */
+    const MeasurementJournal &journal() const { return journal_; }
 
     /** Journals a checkpoint and fsyncs (no-op while replaying: the
      *  record is already on disk from the original run). */
@@ -347,6 +535,7 @@ class JournalingEngine : public PerformanceEngine
                             std::span<MeasurementOutcome> out);
     void failBatch(std::span<MeasurementOutcome> out,
                    std::string detail);
+    void failUnjournaledBatch(std::span<MeasurementOutcome> out);
 
     PerformanceEngine &inner_;
     MeasurementJournal journal_;
@@ -354,7 +543,9 @@ class JournalingEngine : public PerformanceEngine
     std::uint32_t round_ = 0;
     std::uint64_t replayed_ = 0;
     std::uint64_t recorded_ = 0;
+    std::uint64_t unjournaled_ = 0;
     bool mismatch_ = false;
+    bool ioFailureWarned_ = false;
     std::string mismatchDetail_;
 };
 

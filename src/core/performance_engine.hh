@@ -224,6 +224,13 @@ struct EngineStats
     /** Batches measured (fully or partly) by the in-process engine
      *  because no shard could serve them. */
     std::uint64_t shardDegradedBatches = 0;
+    /** Measurements duplicated to a second backend for auditing. */
+    std::uint64_t shardAudits = 0;
+    /** Audit duplicates whose value bits disagreed with the
+     *  primary result. */
+    std::uint64_t shardAuditMismatches = 0;
+    /** Shard slots convicted of value corruption by arbitration. */
+    std::uint64_t shardConvictions = 0;
 
     /** @return mean fixed-point iterations per solve, or 0. */
     double

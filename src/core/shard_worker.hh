@@ -92,6 +92,15 @@ class ShardWorker
     /** @return measurement indices consumed (reserved) so far. */
     std::uint64_t consumedIndices() const { return consumed_; }
 
+    /** @return true when no request group is in flight and no
+     *  coordinator bytes are buffered — the safe point for a
+     *  graceful SIGTERM drain (nothing owed, nothing half-read). */
+    bool
+    idle() const
+    {
+        return !inRequest_ && parser_.buffered() == 0;
+    }
+
     /** @return EvalRequest groups served so far. */
     std::uint64_t servedRequests() const { return served_; }
 

@@ -8,18 +8,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <utility>
 
 #include "base/check.hh"
 #include "base/clock.hh"
+#include "base/logging.hh"
 #include "base/subprocess.hh"
 #include "core/assignment.hh"
+#include "core/health.hh"
 
 namespace statsched
 {
 namespace core
 {
+
+namespace
+{
+
+/**
+ * Deterministic audit selection: a splitmix64-style finalizer over
+ * the GLOBAL measurement index, so the audited index set is a pure
+ * function of (seed, fraction) — bit-identical at any shard count and
+ * across re-issue rounds.
+ */
+bool
+auditSelected(std::uint64_t seed, double fraction,
+              std::uint64_t globalIndex)
+{
+    if (fraction <= 0.0)
+        return false;
+    if (fraction >= 1.0)
+        return true;
+    std::uint64_t x =
+        globalIndex + 0x9e3779b97f4a7c15ULL * (seed + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53 < fraction;
+}
+
+/**
+ * Exact-bits outcome equality. Measurement is deterministic, so an
+ * honest duplicate matches in every bit; comparing through the bit
+ * pattern (not operator==) also catches NaN-for-NaN substitutions.
+ */
+bool
+outcomeBitsEqual(const MeasurementOutcome &a,
+                 const MeasurementOutcome &b)
+{
+    std::uint64_t ab = 0;
+    std::uint64_t bb = 0;
+    std::memcpy(&ab, &a.value, sizeof ab);
+    std::memcpy(&bb, &b.value, sizeof bb);
+    return ab == bb && a.status == b.status &&
+           a.attempts == b.attempts;
+}
+
+void
+addConvicted(std::vector<std::size_t> &convicted, std::size_t slot)
+{
+    if (std::find(convicted.begin(), convicted.end(), slot) ==
+        convicted.end())
+        convicted.push_back(slot);
+}
+
+} // anonymous namespace
 
 ShardedEngine::ShardedEngine(PerformanceEngine &inner,
                              ShardBackendFactory factory,
@@ -104,10 +161,14 @@ ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
     base::MutexLock lock(mutex_);
     const std::uint64_t base = cursor_;
     cursor_ += batchSize;
+    localKernel_ = nullptr;
+    localKernelReady_ = false;
 
     std::vector<bool> resolved(batchSize, false);
     std::vector<std::size_t> work(batchSize);
     std::iota(work.begin(), work.end(), std::size_t{0});
+    AuditBook audit;
+    audit.reset(batchSize);
 
     while (!work.empty()) {
         std::vector<Slot *> live;
@@ -127,6 +188,7 @@ ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
         std::size_t offset = 0;
         for (Slot *slot : live) {
             slot->pending.clear();
+            slot->audits.clear();
             slot->inflight = 0;
             const std::size_t n =
                 std::min(per, work.size() - offset);
@@ -136,23 +198,46 @@ ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
         }
         work.clear();
 
+        // Audit assignment: each selected index is duplicated to the
+        // NEXT live slot, so the duplicate always comes from a
+        // different backend. Needs two live slots — with one there is
+        // nobody independent to ask.
+        if (options_.auditFraction > 0.0 && live.size() >= 2) {
+            for (std::size_t s = 0; s < live.size(); ++s) {
+                for (const std::size_t idx : live[s]->pending) {
+                    if (audit.state[idx] != AuditBook::None)
+                        continue;
+                    if (!auditSelected(options_.auditSeed,
+                                       options_.auditFraction,
+                                       base + idx))
+                        continue;
+                    Slot *auditor = live[(s + 1) % live.size()];
+                    auditor->audits.push_back(idx);
+                    audit.state[idx] = AuditBook::Pending;
+                    audit.auditor[idx] = auditor->index;
+                    ++shardAudits_;
+                }
+            }
+        }
+
         // Send every slot its request group first, then collect the
         // responses: the shards compute their partitions in parallel.
         for (Slot *slot : live) {
-            if (slot->pending.empty())
+            if (slot->pending.empty() && slot->audits.empty())
                 continue;
             if (!sendRequest(*slot, batch, base, batchSize)) {
                 shardReissues_ += slot->pending.size();
                 work.insert(work.end(), slot->pending.begin(),
                             slot->pending.end());
                 slot->pending.clear();
+                resetSlotAudits(*slot, audit);
                 failSlot(*slot);
             }
         }
         for (Slot *slot : live) {
             if (slot->inflight == 0)
                 continue;
-            if (awaitResponse(*slot, out, resolved)) {
+            if (awaitResponse(*slot, out, resolved, audit)) {
                 slot->failures = 0;
                 slot->respawnDelay = 0.0;
                 slot->lastContact = options_.clock->nowSeconds();
@@ -163,11 +248,18 @@ ShardedEngine::measureBatchOutcome(std::span<const Assignment> batch,
                         work.push_back(idx);
                     }
                 }
+                resetSlotAudits(*slot, audit);
                 failSlot(*slot);
             }
             slot->pending.clear();
+            slot->audits.clear();
             slot->inflight = 0;
         }
+
+        // Compare the duplicates that arrived this round; a mismatch
+        // convicts the corrupt backend and pushes its discarded
+        // results back into `work` for re-issue to the survivors.
+        arbitrateAudits(batch, out, resolved, audit, work, base);
         // Re-issued work loops back to the survivors (or to a slot
         // whose respawn gate has opened); when nothing is live the
         // loop exits to the in-process fallback below.
@@ -302,12 +394,21 @@ ShardedEngine::sendRequest(Slot &slot,
     request.reqId = nextReqId_++;
     request.cursorBase = base;
     request.batchSize = static_cast<std::uint32_t>(batchSize);
-    request.itemCount =
-        static_cast<std::uint32_t>(slot.pending.size());
+    request.itemCount = static_cast<std::uint32_t>(
+        slot.pending.size() + slot.audits.size());
 
     std::vector<std::uint8_t> bytes;
     appendEvalRequest(bytes, request);
     for (const std::size_t idx : slot.pending) {
+        ShardEvalItem item;
+        item.localIndex = static_cast<std::uint32_t>(idx);
+        item.contexts = batch[idx].contexts();
+        appendEvalItem(bytes, item);
+    }
+    // Audit duplicates ride the same request group: the worker serves
+    // them from the same aligned kernel window, so an honest
+    // duplicate is bit-identical to the primary by construction.
+    for (const std::size_t idx : slot.audits) {
         ShardEvalItem item;
         item.localIndex = static_cast<std::uint32_t>(idx);
         item.contexts = batch[idx].contexts();
@@ -322,12 +423,17 @@ ShardedEngine::sendRequest(Slot &slot,
 bool
 ShardedEngine::awaitResponse(Slot &slot,
                              std::span<MeasurementOutcome> out,
-                             std::vector<bool> &resolved)
+                             std::vector<bool> &resolved,
+                             AuditBook &audit)
 {
-    // Which batch positions this slot owes us.
-    std::vector<bool> owed(out.size(), false);
+    // Which batch positions this slot owes us: bit 0 = primary
+    // result, bit 1 = audit duplicate. An index is never both for
+    // the same slot (the auditor is always a different backend).
+    std::vector<std::uint8_t> owed(out.size(), 0);
     for (const std::size_t idx : slot.pending)
-        owed[idx] = true;
+        owed[idx] |= 1;
+    for (const std::size_t idx : slot.audits)
+        owed[idx] |= 2;
 
     ShardFrame frame;
     if (!awaitFrame(slot, frame, options_.requestDeadlineSeconds))
@@ -335,7 +441,8 @@ ShardedEngine::awaitResponse(Slot &slot,
     ShardEvalResponse response;
     if (!decodeEvalResponse(frame, response) ||
         response.reqId != slot.inflight ||
-        response.itemCount != slot.pending.size())
+        response.itemCount !=
+            slot.pending.size() + slot.audits.size())
         return false;
 
     for (std::uint32_t i = 0; i < response.itemCount; ++i) {
@@ -346,13 +453,171 @@ ShardedEngine::awaitResponse(Slot &slot,
         if (!decodeEvalOutcome(frame, outcome))
             return false;
         const std::size_t idx = outcome.localIndex;
-        if (idx >= out.size() || !owed[idx] || resolved[idx])
+        if (idx >= out.size())
             return false; // an outcome we never asked for
-        out[idx] = outcome.outcome;
-        resolved[idx] = true;
-        ++shardedMeasurements_;
+        if ((owed[idx] & 1) != 0 && !resolved[idx]) {
+            out[idx] = outcome.outcome;
+            resolved[idx] = true;
+            audit.primary[idx] = slot.index;
+            ++shardedMeasurements_;
+            owed[idx] &= static_cast<std::uint8_t>(~1);
+        } else if ((owed[idx] & 2) != 0 &&
+                   audit.state[idx] == AuditBook::Pending) {
+            audit.outcome[idx] = outcome.outcome;
+            audit.state[idx] = AuditBook::Have;
+            owed[idx] &= static_cast<std::uint8_t>(~2);
+        } else {
+            return false; // an outcome we never asked for
+        }
     }
     return true;
+}
+
+void
+ShardedEngine::resetSlotAudits(Slot &slot, AuditBook &audit)
+{
+    // The duplicate never arrived (or can no longer be trusted):
+    // return the index to None so a later round may re-select it.
+    for (const std::size_t idx : slot.audits) {
+        if (audit.state[idx] == AuditBook::Pending &&
+            audit.auditor[idx] == slot.index) {
+            audit.state[idx] = AuditBook::None;
+            audit.auditor[idx] = AuditBook::kNoSlot;
+        }
+    }
+    slot.audits.clear();
+}
+
+void
+ShardedEngine::arbitrateAudits(std::span<const Assignment> batch,
+                               std::span<MeasurementOutcome> out,
+                               std::vector<bool> &resolved,
+                               AuditBook &audit,
+                               std::vector<std::size_t> &work,
+                               std::uint64_t base)
+{
+    const std::size_t batchSize = batch.size();
+    std::vector<std::size_t> convicted;
+    std::vector<std::uint8_t> arbitrated(batchSize, 0);
+
+    for (std::size_t idx = 0; idx < batchSize; ++idx) {
+        if (audit.state[idx] != AuditBook::Have || !resolved[idx])
+            continue; // duplicate without a primary: keep for later
+        if (audit.primary[idx] == audit.auditor[idx]) {
+            // A re-issue landed the primary on its own auditor —
+            // self-agreement carries no information.
+            audit.state[idx] = AuditBook::Done;
+            continue;
+        }
+        if (outcomeBitsEqual(out[idx], audit.outcome[idx])) {
+            audit.state[idx] = AuditBook::Done;
+            continue;
+        }
+        // Two backends disagree on a deterministic value: at least
+        // one is corrupt. The in-process engine is the trusted
+        // arbiter — convict whichever side(s) disagree with it.
+        ++shardAuditMismatches_;
+        const MeasurementOutcome truth =
+            localOutcome(batch[idx], idx, base, batchSize);
+        const bool primaryLied = !outcomeBitsEqual(out[idx], truth);
+        const bool auditorLied =
+            !outcomeBitsEqual(audit.outcome[idx], truth);
+        warn(
+            "core: audit mismatch at measurement index " +
+            std::to_string(base + idx) + " between shard slot " +
+            std::to_string(audit.primary[idx]) + " and slot " +
+            std::to_string(audit.auditor[idx]));
+        out[idx] = truth;
+        arbitrated[idx] = 1;
+        audit.state[idx] = AuditBook::Done;
+        if (primaryLied)
+            addConvicted(convicted, audit.primary[idx]);
+        if (auditorLied)
+            addConvicted(convicted, audit.auditor[idx]);
+    }
+    if (convicted.empty())
+        return;
+
+    for (const std::size_t slotIndex : convicted) {
+        Slot &offender = slots_[slotIndex];
+        ++shardConvictions_;
+        ++offender.convictions;
+        // The ladder position is the conviction count: the served
+        // request that delivered the corrupt values reset `failures`
+        // to zero, but corruption is not forgiven by protocol-level
+        // success, so a persistent corruptor still reaches
+        // quarantine after quarantineThreshold convictions.
+        offender.failures = offender.convictions - 1;
+        warn("core: shard slot " + std::to_string(slotIndex) +
+             " convicted of value corruption; discarding its "
+             "results and failing the slot");
+        if (options_.health != nullptr)
+            options_.health->transition(
+                "shards", HealthLevel::Degraded,
+                "shard slot " + std::to_string(slotIndex) +
+                    " convicted of value corruption (conviction " +
+                    std::to_string(offender.convictions) + ")");
+        // Every primary the offender returned this batch is suspect
+        // unless ground truth replaced it (arbitrated) or an
+        // independent, unconvicted auditor confirmed it bit-for-bit.
+        for (std::size_t idx = 0; idx < batchSize; ++idx) {
+            if (!resolved[idx] || audit.primary[idx] != slotIndex ||
+                arbitrated[idx] != 0)
+                continue;
+            const bool confirmed =
+                audit.state[idx] == AuditBook::Done &&
+                audit.auditor[idx] != AuditBook::kNoSlot &&
+                audit.auditor[idx] != slotIndex &&
+                std::find(convicted.begin(), convicted.end(),
+                          audit.auditor[idx]) == convicted.end();
+            if (confirmed)
+                continue;
+            resolved[idx] = false;
+            audit.primary[idx] = AuditBook::kNoSlot;
+            ++shardReissues_;
+            work.push_back(idx);
+        }
+        // Duplicates the offender produced are equally worthless.
+        for (std::size_t idx = 0; idx < batchSize; ++idx) {
+            if (audit.auditor[idx] == slotIndex &&
+                (audit.state[idx] == AuditBook::Pending ||
+                 audit.state[idx] == AuditBook::Have)) {
+                audit.state[idx] = AuditBook::None;
+                audit.auditor[idx] = AuditBook::kNoSlot;
+            }
+        }
+        offender.pending.clear();
+        offender.audits.clear();
+        failSlot(offender);
+    }
+}
+
+void
+ShardedEngine::ensureLocalKernel(std::uint64_t base,
+                                 std::size_t batchSize)
+{
+    if (localKernelReady_)
+        return;
+    SCHED_REQUIRE(innerConsumed_ <= base,
+                  "inner engine ran ahead of the shard cursor");
+    inner_.reserveMeasurementIndices(
+        static_cast<std::size_t>(base - innerConsumed_));
+    innerConsumed_ = base + batchSize;
+    localKernel_ = inner_.outcomeKernel(batchSize);
+    localKernelReady_ = true;
+}
+
+MeasurementOutcome
+ShardedEngine::localOutcome(const Assignment &assignment,
+                            std::size_t i, std::uint64_t base,
+                            std::size_t batchSize)
+{
+    ensureLocalKernel(base, batchSize);
+    if (localKernel_)
+        return localKernel_(assignment, i);
+    // Kernel-less engines keep no per-index state (see
+    // reserveMeasurementIndices()), so a direct call is safe.
+    return inner_.measureOutcome(assignment);
 }
 
 void
@@ -362,15 +627,6 @@ ShardedEngine::serveLocally(std::span<const Assignment> batch,
                             std::uint64_t base)
 {
     const std::size_t batchSize = batch.size();
-    SCHED_REQUIRE(innerConsumed_ <= base,
-                  "inner engine ran ahead of the shard cursor");
-    // Fast-forward the in-process engine to this batch's window, then
-    // serve the holes at their original indices — bit-identical to
-    // what the shards would have produced.
-    inner_.reserveMeasurementIndices(
-        static_cast<std::size_t>(base - innerConsumed_));
-    innerConsumed_ = base + batchSize;
-
     bool anyResolved = false;
     for (std::size_t i = 0; i < batchSize; ++i) {
         if (resolved[i]) {
@@ -378,25 +634,25 @@ ShardedEngine::serveLocally(std::span<const Assignment> batch,
             break;
         }
     }
-    if (!anyResolved) {
-        // Whole batch: take the inner batch path (a ParallelEngine
-        // below fans it out across threads).
+    if (!anyResolved && !localKernelReady_) {
+        // Whole batch and the window is still unreserved: take the
+        // inner batch path (a ParallelEngine below fans it out
+        // across threads).
+        SCHED_REQUIRE(innerConsumed_ <= base,
+                      "inner engine ran ahead of the shard cursor");
+        inner_.reserveMeasurementIndices(
+            static_cast<std::size_t>(base - innerConsumed_));
+        innerConsumed_ = base + batchSize;
         inner_.measureBatchOutcome(batch, out);
         return;
     }
-    OutcomeKernel kernel = inner_.outcomeKernel(batchSize);
-    if (kernel) {
-        for (std::size_t i = 0; i < batchSize; ++i) {
-            if (!resolved[i])
-                out[i] = kernel(batch[i], i);
-        }
-        return;
-    }
-    // Kernel-less engines keep no per-index state (see
-    // reserveMeasurementIndices()), so serial holes are safe.
+    // Serve the holes at their original indices from the shared
+    // window kernel (audit arbitration may have materialized it
+    // already — the window is reserved exactly once per batch) —
+    // bit-identical to what the shards would have produced.
     for (std::size_t i = 0; i < batchSize; ++i) {
         if (!resolved[i])
-            out[i] = inner_.measureOutcome(batch[i]);
+            out[i] = localOutcome(batch[i], i, base, batchSize);
     }
 }
 
@@ -419,6 +675,20 @@ ShardedEngine::failSlot(Slot &slot)
         slot.failures >= options_.quarantineThreshold) {
         slot.quarantined = true;
         ++shardsQuarantined_;
+        if (options_.health != nullptr) {
+            options_.health->transition(
+                "shards", HealthLevel::Degraded,
+                "shard slot " + std::to_string(slot.index) +
+                    " quarantined after " +
+                    std::to_string(slot.failures) +
+                    " consecutive failures");
+            if (quarantinedShardCountLocked() == slots_.size())
+                options_.health->transition(
+                    "shards", HealthLevel::Failing,
+                    "all " + std::to_string(slots_.size()) +
+                        " shard slots quarantined; measuring "
+                        "in-process");
+        }
     }
 }
 
@@ -494,6 +764,9 @@ ShardedEngine::collectStats(EngineStats &stats) const
         stats.shardRespawns += shardRespawns_;
         stats.shardsQuarantined += shardsQuarantined_;
         stats.shardDegradedBatches += degradedBatches_;
+        stats.shardAudits += shardAudits_;
+        stats.shardAuditMismatches += shardAuditMismatches_;
+        stats.shardConvictions += shardConvictions_;
     }
     inner_.collectStats(stats);
 }
@@ -513,8 +786,10 @@ class ProcessShardBackend : public ShardBackend
 {
   public:
     ProcessShardBackend(std::vector<std::string> argv,
-                        base::Clock &clock)
-        : argv_(std::move(argv)), clock_(clock)
+                        base::Clock &clock, double sendStallSeconds)
+        : argv_(std::move(argv)), clock_(clock),
+          sendStallMs_(static_cast<int>(std::max(
+              1.0, std::ceil(sendStallSeconds * 1000.0))))
     {
     }
 
@@ -527,7 +802,12 @@ class ProcessShardBackend : public ShardBackend
     bool
     send(const std::uint8_t *data, std::size_t size) override
     {
-        return process_.writeAll(data, size);
+        // Stall-bounded: a frozen (SIGSTOPped) worker stops draining
+        // its stdin, and an unbounded write would wedge the whole
+        // coordinator once the pipe buffer fills — the send-side twin
+        // of the receive deadline. A stalled send surfaces as a slot
+        // failure and the batch is re-issued.
+        return process_.writeAll(data, size, sendStallMs_);
     }
 
     RecvStatus
@@ -580,6 +860,7 @@ class ProcessShardBackend : public ShardBackend
   private:
     std::vector<std::string> argv_;
     base::Clock &clock_;
+    const int sendStallMs_;
     base::Subprocess process_;
     ShardFrameParser parser_;
 };
@@ -588,11 +869,25 @@ class ProcessShardBackend : public ShardBackend
 
 ShardBackendFactory
 makeProcessShardFactory(std::vector<std::string> argv,
-                        base::Clock &clock)
+                        base::Clock &clock, double sendStallSeconds)
 {
-    return [argv, &clock](std::size_t) {
+    return [argv, &clock, sendStallSeconds](std::size_t) {
         return std::unique_ptr<ShardBackend>(
-            new ProcessShardBackend(argv, clock));
+            new ProcessShardBackend(argv, clock,
+                                    sendStallSeconds));
+    };
+}
+
+ShardBackendFactory
+makeProcessShardFactory(
+    std::function<std::vector<std::string>(std::size_t)> argvForSlot,
+    base::Clock &clock, double sendStallSeconds)
+{
+    return [argvForSlot = std::move(argvForSlot), &clock,
+            sendStallSeconds](std::size_t index) {
+        return std::unique_ptr<ShardBackend>(
+            new ProcessShardBackend(argvForSlot(index), clock,
+                                    sendStallSeconds));
     };
 }
 

@@ -45,6 +45,22 @@
  *    aborting, and the results stay bit-identical because the inner
  *    engine is fast-forwarded to the same cursor before serving.
  *
+ *  - Byzantine (wrong-VALUE) workers are caught by audit duplication:
+ *    a seeded fraction of indices — a pure function of (auditSeed,
+ *    global index), bit-identical at any shard count — is issued to a
+ *    second live backend in the same cursor window. Measurement is
+ *    bit-identical by construction, so ANY value-bits disagreement
+ *    proves corruption; the coordinator then computes the in-process
+ *    ground truth for the disputed index, convicts whichever
+ *    backend(s) disagree with it, discards every unaudited result the
+ *    offender returned this batch (re-issued to survivors), and feeds
+ *    the conviction into the same failure ladder as a crash — repeat
+ *    offenders are quarantined. Detection is probabilistic per batch
+ *    (a backend corrupting k results in a batch is caught with
+ *    probability 1 - (1 - f)^k for audit fraction f) but inevitable
+ *    for a persistent corruptor; only collusion producing identical
+ *    forged bits would evade it.
+ *
  * All waiting and backoff arithmetic reads an injected base::Clock,
  * so the chaos tests drive every failure path deterministically with
  * a ManualClock and scripted backends.
@@ -86,6 +102,8 @@ class Clock;
 
 namespace core
 {
+
+class Health;
 
 /**
  * Transport to one shard worker. Implementations: the subprocess
@@ -161,6 +179,19 @@ struct ShardedOptions
     ShardHello expected;
     /** Clock driving deadlines, heartbeats and backoff; required. */
     base::Clock *clock = nullptr;
+
+    /** Fraction of indices audit-duplicated to a second backend
+     *  (0 disables auditing; needs >= 2 live slots to take effect).
+     *  Purely operational: the audited run's results are
+     *  bit-identical to an unaudited one. */
+    double auditFraction = 0.0;
+    /** Seed of the audit selection function (use the campaign seed so
+     *  the audited index set is reproducible). */
+    std::uint64_t auditSeed = 0;
+
+    /** Health aggregate receiving shard transitions (quarantine,
+     *  full degradation); optional, not owned. */
+    Health *health = nullptr;
 };
 
 /**
@@ -246,6 +277,11 @@ class ShardedEngine : public PerformanceEngine
         bool spawnedOnce = false;
         /** Consecutive failures; reset by any served request. */
         std::uint32_t failures = 0;
+        /** Lifetime audit convictions. Protocol successes do NOT
+         *  reset these — a Byzantine worker completes every exchange
+         *  flawlessly — so repeat offenders climb the quarantine
+         *  ladder anyway. */
+        std::uint32_t convictions = 0;
         /** Respawn gate: no spawn attempt before this clock time. */
         double earliestRespawn = 0.0;
         /** Next respawn delay (capped exponential). */
@@ -254,8 +290,41 @@ class ShardedEngine : public PerformanceEngine
         double lastContact = 0.0;
         /** Batch indices assigned and not yet resolved. */
         std::vector<std::size_t> pending;
+        /** Batch indices this slot re-measures as an auditor (same
+         *  request group as `pending`, after it). */
+        std::vector<std::size_t> audits;
         /** Request id awaiting a response; 0 = none in flight. */
         std::uint32_t inflight = 0;
+    };
+
+    /** Per-batch audit bookkeeping, indexed by batch position. */
+    struct AuditBook
+    {
+        enum State : std::uint8_t
+        {
+            None = 0, //!< not selected / auditor died before replying
+            Pending,  //!< issued to an auditor, reply outstanding
+            Have,     //!< duplicate outcome received, not yet compared
+            Done,     //!< compared (or arbitrated); never re-audited
+        };
+        std::vector<std::uint8_t> state;
+        std::vector<MeasurementOutcome> outcome;
+        /** Slot index of the auditor (valid when state != None). */
+        std::vector<std::size_t> auditor;
+        /** Slot index that resolved the primary result. */
+        std::vector<std::size_t> primary;
+
+        void
+        reset(std::size_t batchSize)
+        {
+            state.assign(batchSize, None);
+            outcome.assign(batchSize, MeasurementOutcome{});
+            auditor.assign(batchSize, kNoSlot);
+            primary.assign(batchSize, kNoSlot);
+        }
+
+        static constexpr std::size_t kNoSlot =
+            static_cast<std::size_t>(-1);
     };
 
     /** Tears down the slot's backend and records the failure:
@@ -281,16 +350,50 @@ class ShardedEngine : public PerformanceEngine
     /** Heartbeat ping over an idle backend. */
     bool ping(Slot &slot) SCHED_REQUIRES(mutex_);
 
-    /** Sends the slot's pending items as one request group. */
+    /** Sends the slot's pending + audit items as one request group. */
     bool sendRequest(Slot &slot,
                      std::span<const Assignment> batch,
                      std::uint64_t base, std::size_t batchSize)
         SCHED_REQUIRES(mutex_);
 
-    /** Awaits the slot's response group and fills `out`. */
+    /** Awaits the slot's response group, fills `out` for primary
+     *  items and `audit` for duplicated ones. */
     bool awaitResponse(Slot &slot,
                        std::span<MeasurementOutcome> out,
-                       std::vector<bool> &resolved)
+                       std::vector<bool> &resolved, AuditBook &audit)
+        SCHED_REQUIRES(mutex_);
+
+    /** Drops a failed slot's outstanding audit duplicates back to
+     *  None so a later round may re-audit the index. */
+    void resetSlotAudits(Slot &slot, AuditBook &audit)
+        SCHED_REQUIRES(mutex_);
+
+    /**
+     * Compares every received audit duplicate against its primary
+     * result; on a value-bits mismatch arbitrates via the in-process
+     * ground truth, convicts the corrupt slot(s), discards their
+     * unaudited primaries into `work` for re-issue, and fails them
+     * through the normal ladder.
+     */
+    void arbitrateAudits(std::span<const Assignment> batch,
+                         std::span<MeasurementOutcome> out,
+                         std::vector<bool> &resolved,
+                         AuditBook &audit,
+                         std::vector<std::size_t> &work,
+                         std::uint64_t base) SCHED_REQUIRES(mutex_);
+
+    /** Materializes the inner engine's kernel for the window
+     *  [base, base + batchSize), fast-forwarding it first; shared by
+     *  serveLocally() and audit arbitration so the window is reserved
+     *  exactly once per batch. */
+    void ensureLocalKernel(std::uint64_t base, std::size_t batchSize)
+        SCHED_REQUIRES(mutex_);
+
+    /** In-process ground truth for batch position `i` of the current
+     *  window — bit-identical to what an honest worker returns. */
+    MeasurementOutcome localOutcome(const Assignment &assignment,
+                                    std::size_t i, std::uint64_t base,
+                                    std::size_t batchSize)
         SCHED_REQUIRES(mutex_);
 
     /** Fast-forwards the inner engine to `base` and measures the
@@ -325,6 +428,11 @@ class ShardedEngine : public PerformanceEngine
     std::uint32_t nextReqId_ SCHED_GUARDED_BY(mutex_) = 1;
     std::uint32_t nextNonce_ SCHED_GUARDED_BY(mutex_) = 1;
 
+    /** Inner-engine kernel for the current batch window; valid only
+     *  while localKernelReady_ (reset at every batch entry). */
+    OutcomeKernel localKernel_ SCHED_GUARDED_BY(mutex_);
+    bool localKernelReady_ SCHED_GUARDED_BY(mutex_) = false;
+
     // Health counters, under the same lock as the slots they count.
     std::uint64_t shardedMeasurements_ SCHED_GUARDED_BY(mutex_) = 0;
     std::uint64_t shardFailures_ SCHED_GUARDED_BY(mutex_) = 0;
@@ -332,6 +440,9 @@ class ShardedEngine : public PerformanceEngine
     std::uint64_t shardRespawns_ SCHED_GUARDED_BY(mutex_) = 0;
     std::uint64_t shardsQuarantined_ SCHED_GUARDED_BY(mutex_) = 0;
     std::uint64_t degradedBatches_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardAudits_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardAuditMismatches_ SCHED_GUARDED_BY(mutex_) = 0;
+    std::uint64_t shardConvictions_ SCHED_GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -340,10 +451,26 @@ class ShardedEngine : public PerformanceEngine
  *         speaking the pipe protocol over its stdin/stdout.
  * @param clock Clock the pipe backend's receive deadlines read; must
  *              outlive every backend (use the campaign clock).
+ * @param sendStallSeconds Bound on a send that makes no progress — a
+ *              frozen (SIGSTOPped) worker stops draining its stdin,
+ *              and without this bound the coordinator would block
+ *              forever in write() once the pipe fills. Pair it with
+ *              ShardedOptions::requestDeadlineSeconds.
  */
 ShardBackendFactory
 makeProcessShardFactory(std::vector<std::string> argv,
-                        base::Clock &clock);
+                        base::Clock &clock,
+                        double sendStallSeconds = 30.0);
+
+/**
+ * Per-slot variant: `argvForSlot(index)` builds the command line for
+ * each slot (and respawn of it). The chaos harness uses this to give
+ * ONE slot a corrupting worker while the rest stay honest.
+ */
+ShardBackendFactory
+makeProcessShardFactory(
+    std::function<std::vector<std::string>(std::size_t)> argvForSlot,
+    base::Clock &clock, double sendStallSeconds = 30.0);
 
 } // namespace core
 } // namespace statsched

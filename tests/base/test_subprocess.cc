@@ -159,6 +159,56 @@ TEST(Subprocess, ReadReportsInterruptedWhenAShutdownSignalLands)
     process.wait();
 }
 
+TEST(Subprocess, BoundedWriteFailsInsteadOfWedgingOnAFrozenChild)
+{
+    // A child that never reads its stdin: once the pipe buffer
+    // fills, the unbounded writeAll() would block forever. The
+    // stall-bounded overload must give up instead — this is the
+    // coordinator-side defense against a SIGSTOPped shard worker.
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"sleep", "30"}, error)) << error;
+
+    const std::vector<char> payload(4 << 20, 'x'); // >> pipe buffer
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(
+        process.writeAll(payload.data(), payload.size(), 200));
+    const auto elapsed = std::chrono::duration_cast<
+        std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    // One stall window (plus scheduling slack), not the 30 s nap.
+    EXPECT_LT(elapsed.count(), 5000);
+    EXPECT_TRUE(process.running());
+    process.kill();
+    EXPECT_EQ(process.wait(), 128 + SIGKILL);
+}
+
+TEST(Subprocess, BoundedWriteDeliversEverythingToALiveReader)
+{
+    Subprocess process;
+    std::string error;
+    ASSERT_TRUE(process.spawn({"cat"}, error)) << error;
+
+    // Larger than the pipe buffer, so the write must interleave
+    // with the child's drain — progress keeps resetting the stall
+    // budget and every byte arrives.
+    std::string payload(1 << 20, '.');
+    for (std::size_t i = 0; i < payload.size(); i += 4096)
+        payload[i] = static_cast<char>('a' + (i / 4096) % 26);
+
+    std::string echoed;
+    std::thread writer([&process, &payload] {
+        EXPECT_TRUE(process.writeAll(payload.data(), payload.size(),
+                                     2000));
+        process.closeStdin();
+    });
+    echoed = readExactly(process, payload.size());
+    writer.join();
+
+    EXPECT_EQ(echoed, payload);
+    EXPECT_EQ(process.wait(), 0);
+}
+
 TEST(Subprocess, DestructorKillsAndReapsARunningChild)
 {
     pid_t pid = -1;

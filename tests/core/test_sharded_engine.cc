@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/clock.hh"
+#include "core/health.hh"
 #include "core/sampler.hh"
 #include "core/shard_worker.hh"
 #include "core/sharded_engine.hh"
@@ -62,6 +63,89 @@ struct SlotScript
     /** Deliver this many frames, then fall silent (hang); -1 =
      *  unlimited. The Hello is frame one. */
     int deliverFrames = -1;
+    /** Byzantine worker: compute honestly, then corrupt the value
+     *  bits of every Ok outcome before replying. Frames and CRCs stay
+     *  valid — only audit duplication can catch it. */
+    bool garbageValues = false;
+};
+
+/** Test-local Byzantine decorator, mirroring the worker binary's
+ *  --garbage-values mode: valid protocol, wrong value bits. */
+class GarbageEngine : public core::PerformanceEngine
+{
+  public:
+    explicit GarbageEngine(core::PerformanceEngine &inner)
+        : inner_(inner)
+    {
+    }
+
+    double
+    measure(const Assignment &assignment) override
+    {
+        return measureOutcome(assignment).valueOrNaN();
+    }
+
+    MeasurementOutcome
+    measureOutcome(const Assignment &assignment) override
+    {
+        return corrupt(inner_.measureOutcome(assignment));
+    }
+
+    void
+    measureBatchOutcome(std::span<const Assignment> batch,
+                        std::span<MeasurementOutcome> out) override
+    {
+        inner_.measureBatchOutcome(batch, out);
+        for (MeasurementOutcome &o : out)
+            o = corrupt(o);
+    }
+
+    core::OutcomeKernel
+    outcomeKernel(std::size_t batchSize) override
+    {
+        core::OutcomeKernel kernel = inner_.outcomeKernel(batchSize);
+        if (!kernel)
+            return kernel;
+        return [kernel](const Assignment &assignment,
+                        std::size_t index) {
+            return corrupt(kernel(assignment, index));
+        };
+    }
+
+    void
+    reserveMeasurementIndices(std::size_t count) override
+    {
+        inner_.reserveMeasurementIndices(count);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    void
+    collectStats(core::EngineStats &stats) const override
+    {
+        inner_.collectStats(stats);
+    }
+
+  private:
+    static MeasurementOutcome
+    corrupt(MeasurementOutcome outcome)
+    {
+        if (!outcome.ok())
+            return outcome;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &outcome.value, sizeof bits);
+        bits ^= 0xffffffULL;
+        std::memcpy(&outcome.value, &bits, sizeof bits);
+        return outcome;
+    }
+
+    core::PerformanceEngine &inner_;
 };
 
 /**
@@ -87,8 +171,13 @@ class LoopbackBackend : public ShardBackend
             return false;
         }
         engine_ = std::make_unique<sim::SimulatedEngine>(workload());
+        core::PerformanceEngine *engine = engine_.get();
+        if (script_.garbageValues) {
+            garbage_ = std::make_unique<GarbageEngine>(*engine);
+            engine = garbage_.get();
+        }
         worker_ = std::make_unique<core::ShardWorker>(
-            *engine_, t2, workload().taskCount(), kConfigHash);
+            *engine, t2, workload().taskCount(), kConfigHash);
         const auto hello = worker_->helloBytes();
         parser_.feed(hello.data(), hello.size());
         return true;
@@ -131,6 +220,7 @@ class LoopbackBackend : public ShardBackend
     base::ManualClock &clock_;
     SlotScript script_;
     std::unique_ptr<sim::SimulatedEngine> engine_;
+    std::unique_ptr<GarbageEngine> garbage_;
     std::unique_ptr<core::ShardWorker> worker_;
     core::ShardFrameParser parser_;
     int delivered_ = 0;
@@ -533,10 +623,134 @@ TEST(ShardedEngine, KillAtEveryRoundBoundaryStaysBitIdentical)
             EXPECT_EQ(stats.shardDegradedBatches, 0u) << where;
             // A kill after the last batch is never probed again, so
             // it is only discovered (and counted) mid-campaign.
-            if (killAt + 1 < batches.size())
+            if (killAt + 1 < batches.size()) {
                 EXPECT_EQ(stats.shardFailures, 1u) << where;
+            }
         }
     }
+}
+
+TEST(ShardedEngine, AuditDuplicationHasNoFalsePositives)
+{
+    // Honest fleet + auditing: duplicates are issued, every duplicate
+    // agrees bit-for-bit, nobody is convicted, nothing is re-issued,
+    // and the audited index set is a pure function of (seed, index) —
+    // identical at any shard count.
+    const auto batches = batchSequence();
+    const auto expected = referenceOutcomes(batches);
+
+    std::uint64_t auditsAtTwoShards = 0;
+    for (const std::size_t shards : {2u, 4u}) {
+        Fleet fleet;
+        sim::SimulatedEngine inner(workload());
+        ShardedOptions options = fleet.options(shards);
+        options.auditFraction = 0.5;
+        options.auditSeed = 42;
+        ShardedEngine sharded(inner, fleet.factory(), options);
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            std::vector<MeasurementOutcome> out(batches[b].size());
+            sharded.measureBatchOutcome(batches[b], out);
+            expectSameOutcomes(out, expected[b],
+                               "audited honest shards=" +
+                                   std::to_string(shards));
+        }
+
+        core::EngineStats stats;
+        sharded.collectStats(stats);
+        EXPECT_GT(stats.shardAudits, 0u);
+        EXPECT_EQ(stats.shardAuditMismatches, 0u);
+        EXPECT_EQ(stats.shardConvictions, 0u);
+        EXPECT_EQ(stats.shardReissues, 0u);
+        if (shards == 2u)
+            auditsAtTwoShards = stats.shardAudits;
+        else
+            EXPECT_EQ(stats.shardAudits, auditsAtTwoShards);
+    }
+}
+
+TEST(ShardedEngine, AuditConvictsAGarbageShardBitIdentically)
+{
+    // Slot 1 is Byzantine on every spawn: honest protocol, corrupted
+    // value bits. Half the indices carry audit duplicates, so the
+    // first batch it touches convicts it; its unaudited results are
+    // discarded and re-measured, and the merged stream never differs
+    // from the in-process reference. Repeated convictions climb the
+    // quarantine ladder even though every protocol exchange succeeds.
+    std::vector<std::vector<Assignment>> batches;
+    for (std::uint64_t i = 0; i < 6; ++i)
+        batches.push_back(drawBatch(6, 100 + i));
+    const auto expected = referenceOutcomes(batches);
+
+    std::vector<core::HealthTransition> transitions;
+    core::Health health([&transitions](
+                            const core::HealthTransition &t) {
+        transitions.push_back(t);
+    });
+
+    Fleet fleet;
+    fleet.scripts[1] = {SlotScript{false, -1, true}};
+    sim::SimulatedEngine inner(workload());
+    ShardedOptions options = fleet.options(2);
+    options.auditFraction = 0.5;
+    options.auditSeed = 7;
+    options.health = &health;
+    ShardedEngine sharded(inner, fleet.factory(), options);
+
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        std::vector<MeasurementOutcome> out(batches[b].size());
+        sharded.measureBatchOutcome(batches[b], out);
+        expectSameOutcomes(out, expected[b],
+                           "garbage shard batch " +
+                               std::to_string(b));
+        fleet.clock.advance(10.0); // open the respawn gate each round
+    }
+
+    core::EngineStats stats;
+    sharded.collectStats(stats);
+    EXPECT_GT(stats.shardAudits, 0u);
+    EXPECT_GT(stats.shardAuditMismatches, 0u);
+    // Three convictions (one per respawn) reach the quarantine
+    // threshold; after that the offender is never spawned again.
+    EXPECT_GE(stats.shardConvictions, 3u);
+    EXPECT_EQ(stats.shardsQuarantined, 1u);
+    EXPECT_GT(stats.shardReissues, 0u);
+    EXPECT_EQ(sharded.quarantinedShardCount(), 1u);
+    EXPECT_EQ(sharded.liveShardCount(), 1u);
+
+    // The first conviction degraded shard health immediately — not
+    // only at quarantine — and it stays degraded.
+    ASSERT_FALSE(transitions.empty());
+    EXPECT_EQ(transitions[0].component, "shards");
+    EXPECT_EQ(transitions[0].to, core::HealthLevel::Degraded);
+    EXPECT_NE(transitions[0].detail.find("convicted"),
+              std::string::npos);
+    EXPECT_EQ(health.level("shards"), core::HealthLevel::Degraded);
+}
+
+TEST(ShardedEngine, AuditNeedsASecondLiveSlot)
+{
+    // One live slot has nobody to disagree with: auditing is skipped
+    // (a duplicate on the same backend adds no information), and the
+    // campaign proceeds normally.
+    const auto batch = drawBatch(5, 99);
+    sim::SimulatedEngine reference(workload());
+    std::vector<MeasurementOutcome> want(batch.size());
+    reference.measureBatchOutcome(batch, want);
+
+    Fleet fleet;
+    sim::SimulatedEngine inner(workload());
+    ShardedOptions options = fleet.options(1);
+    options.auditFraction = 1.0;
+    options.auditSeed = 7;
+    ShardedEngine sharded(inner, fleet.factory(), options);
+    std::vector<MeasurementOutcome> got(batch.size());
+    sharded.measureBatchOutcome(batch, got);
+    expectSameOutcomes(got, want, "single-slot campaign");
+
+    core::EngineStats stats;
+    sharded.collectStats(stats);
+    EXPECT_EQ(stats.shardAudits, 0u);
+    EXPECT_EQ(stats.shardConvictions, 0u);
 }
 
 TEST(ShardedEngine, RejectsAMisconfiguredWorkerAtHandshake)

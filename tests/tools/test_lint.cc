@@ -336,7 +336,7 @@ TEST(Lint, CatalogueCoversEveryRuleId)
           "statsched-stdout", "statsched-include-guard",
           "statsched-include-own-first", "statsched-nolint-reason",
           "statsched-sim-hot-alloc", "statsched-no-raw-process",
-          "statsched-raw-sync-primitive",
+          "statsched-raw-file-io", "statsched-raw-sync-primitive",
           "statsched-unguarded-member", "statsched-detached-thread",
           "statsched-float-reduction-order"}) {
         EXPECT_TRUE(fired(ids, expected)) << expected;
@@ -397,6 +397,72 @@ TEST(Lint, NoRawProcessExemptInSubprocessWrapper)
                        "statsched-no-raw-process"));
     EXPECT_FALSE(fired(firedRules("src/base/subprocess.hh", snippet),
                        "statsched-no-raw-process"));
+}
+
+TEST(Lint, RawFileIoFiresInCoreOnly)
+{
+    // src/core routes all file bytes through base::io sinks; the
+    // same calls are legitimate in src/base (where the sink layer
+    // lives), in tools and in tests.
+    const std::string snippet =
+        "#include <cstdio>\n"
+        "#include <unistd.h>\n"
+        "void f(int fd, const void *p, size_t n) {\n"
+        "    FILE *out = fopen(\"x\", \"w\");\n"
+        "    fwrite(p, 1, n, out);\n"
+        "    fclose(out);\n"
+        "    ::write(fd, p, n);\n"
+        "    ::fsync(fd);\n"
+        "}\n";
+    const auto core = firedRules("src/core/foo.cc", snippet);
+    EXPECT_EQ(5, std::count(core.begin(), core.end(),
+                            std::string("statsched-raw-file-io")));
+    for (const char *path :
+         {"src/base/io.hh", "tools/runner.cc",
+          "tests/core/test_foo.cc"}) {
+        EXPECT_FALSE(fired(firedRules(path, snippet),
+                           "statsched-raw-file-io"))
+            << path;
+    }
+}
+
+TEST(Lint, RawFileIoFiresOnFileStreams)
+{
+    const std::string snippet =
+        "#include <fstream>\n"
+        "void f() { std::ofstream out(\"x\"); }\n";
+    EXPECT_TRUE(fired(firedRules("src/core/foo.cc", snippet),
+                      "statsched-raw-file-io"));
+}
+
+TEST(Lint, RawFileIoIgnoresSinkLayerCalls)
+{
+    // base::io qualified names contain the banned stems as prefixes
+    // (readFileBytes, truncateFile, renameFile) — none may fire.
+    const std::string snippet =
+        "#include \"base/io.hh\"\n"
+        "void f(statsched::base::io::Sink &sink) {\n"
+        "    std::vector<std::uint8_t> bytes;\n"
+        "    base::io::readFileBytes(\"x\", bytes);\n"
+        "    base::io::truncateFile(\"x\", 4);\n"
+        "    base::io::renameFile(\"x\", \"y\");\n"
+        "    base::io::removeFile(\"x\");\n"
+        "    sink.write(bytes.data(), bytes.size());\n"
+        "    sink.sync();\n"
+        "}\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.cc", snippet),
+                       "statsched-raw-file-io"));
+}
+
+TEST(Lint, RawFileIoSuppressibleWithReason)
+{
+    const std::string snippet =
+        "#include <unistd.h>\n"
+        "void f(int fd) { ::fsync(fd); }"
+        " // NOLINT(statsched-raw-file-io): borrowed fd owned by the"
+        " caller's sink\n";
+    EXPECT_FALSE(fired(firedRules("src/core/foo.cc", snippet),
+                       "statsched-raw-file-io"));
 }
 
 TEST(Lint, NoRawProcessSuppressibleWithReason)

@@ -39,6 +39,7 @@ const char *const kIncludeOwnFirst = "statsched-include-own-first";
 const char *const kNolintReason = "statsched-nolint-reason";
 const char *const kSimHotAlloc = "statsched-sim-hot-alloc";
 const char *const kNoRawProcess = "statsched-no-raw-process";
+const char *const kRawFileIo = "statsched-raw-file-io";
 const char *const kRawSyncPrimitive = "statsched-raw-sync-primitive";
 const char *const kUnguardedMember = "statsched-unguarded-member";
 const char *const kDetachedThread = "statsched-detached-thread";
@@ -348,6 +349,7 @@ enum class RuleScope
     SimHotPath,    //!< src/sim/contention.*, src/sim/engine.*
     Process,       //!< every scanned file except the sanctioned
                    //!< process wrapper (src/base/subprocess.hh)
+    CoreIo,        //!< src/core/ — file I/O routes through base::io
 };
 
 /** Rules that match single stripped lines with a regex. */
@@ -373,6 +375,8 @@ ruleApplies(RuleScope scope, const std::string &path)
         return isSimHotPath(path);
     case RuleScope::Process:
         return !startsWith(path, "src/base/subprocess.");
+    case RuleScope::CoreIo:
+        return startsWith(path, "src/core/");
     }
     return true;
 }
@@ -428,6 +432,15 @@ lineRules()
              "one audited home for fork/exec/pipe/waitpid lifecycle "
              "bugs",
              RuleScope::Process});
+        r.push_back(
+            {kRawFileIo,
+             std::regex(
+                 R"((\bFILE\s*\*)|(\bf(open|reopen|dopen|write|read|flush|close|sync|datasync|ileno|seeko?|tello?|gets|getc|putc|puts)\s*\()|(\bstd::(ofstream|ifstream|fstream|filebuf)\b)|(::(write|read|open|close|pwrite|pread|truncate|ftruncate|unlink|rename)\s*\())"),
+             "raw file I/O in src/core; route writes through the "
+             "base::io sink layer (src/base/io.hh), where the "
+             "EINTR/short-write/fsync discipline and fault injection "
+             "live",
+             RuleScope::CoreIo});
         return r;
     }();
     return rules;
@@ -1312,6 +1325,11 @@ ruleCatalogue()
          "fork/exec/waitpid/pipe and their relatives live only in "
          "the sanctioned base::Subprocess wrapper; everything else "
          "— tools and tests included — spawns children through it"},
+        {kRawFileIo,
+         "src/core never touches a file descriptor or FILE* "
+         "directly; the journal and everything else route through "
+         "base::io sinks, the one audited home for EINTR loops, "
+         "short-write handling, checked fsync and fault injection"},
         {kRawSyncPrimitive,
          "std mutexes, condition variables and lockers appear only "
          "inside src/base/sync.hh; everything else locks through "

@@ -44,6 +44,10 @@
  *   statsched-no-raw-process       no raw fork/exec/pipe/waitpid
  *                                  anywhere; children go through
  *                                  base::Subprocess
+ *   statsched-raw-file-io          no raw file I/O (FILE*, fwrite,
+ *                                  ::write/::fsync, fstreams) in
+ *                                  src/core; all file bytes route
+ *                                  through base::io sinks
  *
  * Token rules:
  *

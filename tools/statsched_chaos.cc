@@ -1,0 +1,645 @@
+/**
+ * @file
+ * statsched_chaos — environment-hostility orchestrator.
+ *
+ * The robustness claims of the measurement stack (journal recovery,
+ * shard re-issue, Byzantine conviction, graceful drain) are easy to
+ * state and easy to silently regress, because none of the unit tests
+ * exercise real processes dying at real syscall boundaries. This tool
+ * closes that gap: it runs full statsched_cli campaigns as
+ * subprocesses, injects one calamity per scenario — SIGKILL mid-
+ * campaign, SIGSTOP of a shard worker, a disk that fills mid-journal,
+ * a worker that lies about its values — and asserts the one property
+ * every layer promises: the final stdout report is byte-identical to
+ * the undisturbed run, and the exit code tells the truth about how
+ * the campaign got there (0/3 clean, 7 completed degraded).
+ *
+ * Scenarios (one per ctest entry, label "chaos"):
+ *
+ *   disk-full      journal sink fails at a byte offset; degrade
+ *                  policy completes bit-identically with exit 7 and a
+ *                  "health: journal" transition, abort policy exits 2,
+ *                  and a resume against the latched journal finishes
+ *                  clean.
+ *   garbage-shard  one of two shard workers corrupts every value;
+ *                  audit duplication convicts it, the run stays
+ *                  bit-identical, exit 7, "health: shards".
+ *   kill-resume    SIGKILL the coordinator mid-campaign (exit 137),
+ *                  resume from the torn journal, same final report.
+ *   stop-hang      SIGSTOP one shard worker; the request deadline
+ *                  declares it hung, work is re-issued, the campaign
+ *                  completes bit-identically.
+ *   term-drain     SIGTERM an idle worker directly; it drains and
+ *                  exits 0 instead of dying mid-protocol.
+ *   all            every scenario above, in order.
+ *
+ * Children are spawned through base::Subprocess (via `/bin/sh -c
+ * "exec ..."` so stderr can be captured to a file while stdout stays
+ * on the pipe for the bit-identity diff). Raw ::kill appears here for
+ * SIGSTOP of a scanned /proc pid — the worker is a grandchild, so
+ * Subprocess::signalChild cannot reach it.
+ *
+ * Exit codes: 0 all expectations held, 1 at least one failed,
+ * 2 usage error.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+
+#include "base/cli.hh"
+#include "base/io.hh"
+#include "base/subprocess.hh"
+
+namespace
+{
+
+using namespace statsched;
+
+void
+sleepMs(long ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = (ms % 1000) * 1000000L;
+    ::nanosleep(&ts, nullptr);
+}
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** @return the file's size in bytes, or -1 when it does not exist. */
+long
+fileSize(const std::string &path)
+{
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<long>(st.st_size);
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    base::io::readFileBytes(path, bytes);
+    return std::string(bytes.begin(), bytes.end());
+}
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+/** Single-quotes `arg` for /bin/sh. */
+std::string
+shellQuote(const std::string &arg)
+{
+    std::string quoted = "'";
+    for (const char c : arg) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+/**
+ * One campaign process. The command is wrapped in `/bin/sh -c
+ * "exec ..."` — exec keeps the child's pid equal to the campaign's
+ * pid (so signals and /proc ppid scans hit the right process) while
+ * the shell redirects stderr to a file the scenarios can grep for
+ * health transitions. stdout stays on the Subprocess pipe, captured
+ * byte-exactly for the identity diffs.
+ */
+class CliProcess
+{
+  public:
+    bool
+    start(const std::vector<std::string> &argv,
+          const std::string &stderrPath, std::string &error)
+    {
+        std::string cmd = "exec";
+        for (const std::string &arg : argv) {
+            cmd += ' ';
+            cmd += shellQuote(arg);
+        }
+        if (!stderrPath.empty()) {
+            cmd += " 2> ";
+            cmd += shellQuote(stderrPath);
+        }
+        return child_.spawn({"/bin/sh", "-c", cmd}, error);
+    }
+
+    pid_t pid() const { return child_.pid(); }
+
+    base::Subprocess &proc() { return child_; }
+
+    /** Drains stdout into `out` until EOF, then reaps.
+     *  @return the exit code (128 + N for death by signal N). */
+    int
+    finish(std::string &out)
+    {
+        char buffer[4096];
+        while (true) {
+            const base::Subprocess::ReadResult r =
+                child_.read(buffer, sizeof buffer, 1000);
+            switch (r.status) {
+              case base::Subprocess::ReadStatus::Data:
+                out.append(buffer, r.bytes);
+                break;
+              case base::Subprocess::ReadStatus::Eof:
+                return child_.wait();
+              case base::Subprocess::ReadStatus::Timeout:
+              case base::Subprocess::ReadStatus::Interrupted:
+                break; // child still running (or signal); keep going
+              case base::Subprocess::ReadStatus::Error:
+                return child_.wait();
+            }
+        }
+    }
+
+  private:
+    base::Subprocess child_;
+};
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string out;
+};
+
+/** Paths and scoreboard shared by every scenario. */
+struct Context
+{
+    std::string cli;
+    std::string worker;
+    std::string workdir;
+    int failures = 0;
+
+    void
+    expect(bool ok, const std::string &what)
+    {
+        std::fprintf(stderr, "chaos: %s  %s\n", ok ? "ok  " : "FAIL",
+                     what.c_str());
+        if (!ok)
+            ++failures;
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return workdir + "/" + name;
+    }
+};
+
+/** Runs a campaign to completion. */
+RunResult
+runCli(Context &ctx, const std::vector<std::string> &args,
+       const std::string &stderrPath)
+{
+    std::vector<std::string> argv;
+    argv.push_back(ctx.cli);
+    argv.insert(argv.end(), args.begin(), args.end());
+    CliProcess p;
+    std::string error;
+    RunResult result;
+    if (!p.start(argv, stderrPath, error)) {
+        std::fprintf(stderr, "chaos: spawn failed: %s\n",
+                     error.c_str());
+        return result;
+    }
+    result.exitCode = p.finish(result.out);
+    return result;
+}
+
+/** The fast campaign: deterministic, target met (exit 0), one
+ *  ninit batch — small enough to run several times per scenario. */
+std::vector<std::string>
+fastCampaign()
+{
+    return {"iterate",  "--benchmark", "aho",   "--loss",
+            "10",       "--ninit",     "300",   "--ndelta",
+            "100",      "--max",       "2000",  "--threads", "2"};
+}
+
+/** The long campaign: deterministically runs to its sample cap
+ *  (documented exit 3) over a couple of seconds — wide enough a
+ *  window for mid-campaign signal injection. */
+std::vector<std::string>
+longCampaign()
+{
+    return {"iterate",      "--benchmark", "ipfwd-l1", "--ninit",
+            "2000",         "--ndelta",    "500",      "--max",
+            "20000",        "--loss",      "0.1",      "--fault-rate",
+            "10",           "--threads",   "2"};
+}
+
+std::vector<std::string>
+withArgs(std::vector<std::string> base,
+         const std::vector<std::string> &extra)
+{
+    base.insert(base.end(), extra.begin(), extra.end());
+    return base;
+}
+
+/** @return pids of live statsched_worker processes whose parent is
+ *  `parent`, scanned from /proc (the workers are grandchildren of
+ *  this tool, so Subprocess cannot name them). */
+std::vector<pid_t>
+workerChildrenOf(pid_t parent)
+{
+    std::vector<pid_t> pids;
+    DIR *dir = ::opendir("/proc");
+    if (dir == nullptr)
+        return pids;
+    while (struct dirent *entry = ::readdir(dir)) {
+        const char *name = entry->d_name;
+        if (name[0] < '0' || name[0] > '9')
+            continue;
+        const std::string stat =
+            readWholeFile(std::string("/proc/") + name + "/stat");
+        // Format: pid (comm) state ppid ... — comm may itself
+        // contain parentheses, so parse from the LAST ')'.
+        const std::size_t open = stat.find('(');
+        const std::size_t close = stat.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            continue;
+        const std::string comm =
+            stat.substr(open + 1, close - open - 1);
+        // /proc truncates comm to 15 characters.
+        if (comm.rfind("statsched_work", 0) != 0)
+            continue;
+        int ppid = -1;
+        char state = '?';
+        if (std::sscanf(stat.c_str() + close + 1, " %c %d", &state,
+                        &ppid) != 2)
+            continue;
+        if (ppid == parent)
+            pids.push_back(
+                static_cast<pid_t>(std::atol(name)));
+    }
+    ::closedir(dir);
+    return pids;
+}
+
+// --- scenarios ------------------------------------------------------
+
+/**
+ * The journal's medium fills mid-campaign. Degrade policy: the run
+ * completes bit-identically, exits 7 and reports the journal health
+ * transition; a later resume against the latched (valid-prefix)
+ * journal completes clean. Abort policy: the same fault is fatal,
+ * documented exit 2.
+ */
+void
+scenarioDiskFull(Context &ctx)
+{
+    std::fprintf(stderr, "chaos: --- disk-full ---\n");
+    const RunResult baseline =
+        runCli(ctx, fastCampaign(), ctx.path("baseline.err"));
+    ctx.expect(baseline.exitCode == 0, "baseline campaign exits 0");
+
+    base::io::removeFile(ctx.path("degrade.journal"));
+    const RunResult degraded = runCli(
+        ctx,
+        withArgs(fastCampaign(),
+                 {"--journal", ctx.path("degrade.journal"),
+                  "--journal-fault-at", "2048", "--journal-on-error",
+                  "degrade"}),
+        ctx.path("degrade.err"));
+    ctx.expect(degraded.exitCode == 7,
+               "disk-full under degrade policy exits 7 "
+               "(completed degraded)");
+    ctx.expect(degraded.out == baseline.out,
+               "degraded run's report is byte-identical to the "
+               "baseline");
+    const std::string degradeErr =
+        readWholeFile(ctx.path("degrade.err"));
+    ctx.expect(contains(degradeErr, "health: journal"),
+               "stderr reports the journal health transition");
+    ctx.expect(contains(degradeErr, "DEGRADED"),
+               "stderr reports the degraded completion summary");
+
+    const RunResult resumed = runCli(
+        ctx,
+        withArgs(fastCampaign(),
+                 {"--journal", ctx.path("degrade.journal"),
+                  "--resume"}),
+        ctx.path("resume.err"));
+    ctx.expect(resumed.exitCode == 0,
+               "resume against the latched journal exits 0");
+    ctx.expect(resumed.out == baseline.out,
+               "resumed run's report matches the baseline");
+
+    base::io::removeFile(ctx.path("abort.journal"));
+    const RunResult aborted = runCli(
+        ctx,
+        withArgs(fastCampaign(),
+                 {"--journal", ctx.path("abort.journal"),
+                  "--journal-fault-at", "2048", "--journal-on-error",
+                  "abort"}),
+        ctx.path("abort.err"));
+    ctx.expect(aborted.exitCode == 2,
+               "disk-full under abort policy exits 2");
+}
+
+/**
+ * One of two shard workers computes honestly, then corrupts every
+ * value's bits before replying — valid frames, valid CRCs, wrong
+ * VALUES. Audit duplication must convict it and the final report
+ * must match the unsharded baseline bit for bit.
+ */
+void
+scenarioGarbageShard(Context &ctx)
+{
+    std::fprintf(stderr, "chaos: --- garbage-shard ---\n");
+    const RunResult baseline =
+        runCli(ctx, fastCampaign(), ctx.path("baseline.err"));
+    ctx.expect(baseline.exitCode == 0, "baseline campaign exits 0");
+
+    const RunResult garbage = runCli(
+        ctx,
+        withArgs(fastCampaign(),
+                 {"--shards", "2", "--worker", ctx.worker,
+                  "--audit-fraction", "0.25", "--chaos-garbage-shard",
+                  "1"}),
+        ctx.path("garbage.err"));
+    ctx.expect(garbage.exitCode == 7,
+               "campaign with a Byzantine shard exits 7 "
+               "(completed degraded)");
+    ctx.expect(garbage.out == baseline.out,
+               "report with a convicted Byzantine shard is "
+               "byte-identical to the baseline");
+    const std::string garbageErr =
+        readWholeFile(ctx.path("garbage.err"));
+    ctx.expect(contains(garbageErr, "health: shards"),
+               "stderr reports the shards health transition");
+}
+
+/**
+ * SIGKILL lands mid-campaign (no warning, no flush — the journal is
+ * torn at an arbitrary byte). Resume must replay the durable prefix
+ * and finish with the exact report of the undisturbed run.
+ */
+void
+scenarioKillResume(Context &ctx)
+{
+    std::fprintf(stderr, "chaos: --- kill-resume ---\n");
+    base::io::removeFile(ctx.path("full.journal"));
+    const RunResult full = runCli(
+        ctx,
+        withArgs(longCampaign(),
+                 {"--journal", ctx.path("full.journal")}),
+        ctx.path("full.err"));
+    ctx.expect(full.exitCode == 3,
+               "uninterrupted long campaign exits 3 (sample cap)");
+
+    base::io::removeFile(ctx.path("torn.journal"));
+    CliProcess victim;
+    std::string error;
+    std::vector<std::string> argv;
+    argv.push_back(ctx.cli);
+    for (const std::string &arg :
+         withArgs(longCampaign(),
+                  {"--journal", ctx.path("torn.journal")}))
+        argv.push_back(arg);
+    if (!victim.start(argv, ctx.path("torn.err"), error)) {
+        ctx.expect(false, "spawn victim campaign: " + error);
+        return;
+    }
+    // Kill only once the journal proves the campaign is mid-flight;
+    // the budget below is far beyond the campaign's normal runtime,
+    // so a miss means the journal never grew — itself a failure.
+    const std::int64_t deadline = nowMs() + 30000;
+    bool midFlight = false;
+    while (nowMs() < deadline) {
+        if (fileSize(ctx.path("torn.journal")) >= 16384) {
+            midFlight = true;
+            break;
+        }
+        sleepMs(5);
+    }
+    ctx.expect(midFlight, "journal grew past the kill threshold "
+                          "while the campaign ran");
+    victim.proc().kill();
+    std::string tornOut;
+    const int tornExit = victim.finish(tornOut);
+    ctx.expect(tornExit == 137,
+               "SIGKILLed campaign reports death by signal 9");
+
+    const RunResult resumed = runCli(
+        ctx,
+        withArgs(longCampaign(),
+                 {"--journal", ctx.path("torn.journal"), "--resume"}),
+        ctx.path("resumed.err"));
+    ctx.expect(resumed.exitCode == 3,
+               "resumed campaign exits 3 (sample cap)");
+    ctx.expect(resumed.out == full.out,
+               "resumed report is byte-identical to the "
+               "uninterrupted run");
+    ctx.expect(contains(readWholeFile(ctx.path("resumed.err")),
+                        "journal: resumed"),
+               "stderr confirms measurements were replayed");
+}
+
+/**
+ * SIGSTOP freezes one shard worker without killing it — the nastiest
+ * failure mode, because the process exists but never answers. The
+ * coordinator's request deadline must declare it hung, re-issue its
+ * work and finish bit-identically.
+ */
+void
+scenarioStopHang(Context &ctx)
+{
+    std::fprintf(stderr, "chaos: --- stop-hang ---\n");
+    const RunResult full =
+        runCli(ctx, longCampaign(), ctx.path("full.err"));
+    ctx.expect(full.exitCode == 3,
+               "uninterrupted long campaign exits 3 (sample cap)");
+
+    CliProcess victim;
+    std::string error;
+    std::vector<std::string> argv;
+    argv.push_back(ctx.cli);
+    for (const std::string &arg :
+         withArgs(longCampaign(),
+                  {"--shards", "2", "--worker", ctx.worker,
+                   "--shard-deadline-s", "2"}))
+        argv.push_back(arg);
+    if (!victim.start(argv, ctx.path("stopped.err"), error)) {
+        ctx.expect(false, "spawn sharded campaign: " + error);
+        return;
+    }
+    // Find a live worker grandchild and freeze it. The worker is
+    // not our child, so raw ::kill is the only reach.
+    const std::int64_t deadline = nowMs() + 10000;
+    pid_t frozen = -1;
+    while (nowMs() < deadline) {
+        const std::vector<pid_t> workers =
+            workerChildrenOf(victim.pid());
+        if (!workers.empty()) {
+            frozen = workers.front();
+            break;
+        }
+        sleepMs(5);
+    }
+    ctx.expect(frozen > 0, "found a shard worker to freeze");
+    if (frozen > 0)
+        ::kill(frozen, SIGSTOP);
+    std::string out;
+    const int exitCode = victim.finish(out);
+    ctx.expect(exitCode == 3,
+               "campaign with a frozen worker exits 3 (sample cap)");
+    ctx.expect(out == full.out,
+               "report with a frozen worker is byte-identical to "
+               "the unsharded run");
+    // The coordinator SIGKILLs the hung slot's process on teardown
+    // (SIGKILL acts on stopped processes), so nothing leaks; this
+    // just documents the expectation.
+    if (frozen > 0)
+        ::kill(frozen, SIGCONT);
+}
+
+/**
+ * SIGTERM to an idle worker: it must drain (no half-written frame)
+ * and exit 0 — the shutdown path the coordinator relies on when the
+ * operator Ctrl-C's a foreground campaign.
+ */
+void
+scenarioTermDrain(Context &ctx)
+{
+    std::fprintf(stderr, "chaos: --- term-drain ---\n");
+    base::Subprocess worker;
+    std::string error;
+    if (!worker.spawn({ctx.worker, "--benchmark", "aho"}, error)) {
+        ctx.expect(false, "spawn worker: " + error);
+        return;
+    }
+    // Wait for the Hello so the signal lands on a serving, idle
+    // worker rather than one still constructing its engine.
+    char buffer[512];
+    bool hello = false;
+    const std::int64_t deadline = nowMs() + 10000;
+    while (nowMs() < deadline) {
+        const base::Subprocess::ReadResult r =
+            worker.read(buffer, sizeof buffer, 500);
+        if (r.status == base::Subprocess::ReadStatus::Data) {
+            hello = true;
+            break;
+        }
+        if (r.status == base::Subprocess::ReadStatus::Eof)
+            break;
+    }
+    ctx.expect(hello, "worker sent its Hello");
+    ctx.expect(worker.signalChild(SIGTERM),
+               "SIGTERM delivered to the worker");
+    // Drain to EOF; the worker owes nothing, so this is quick.
+    while (true) {
+        const base::Subprocess::ReadResult r =
+            worker.read(buffer, sizeof buffer, 1000);
+        if (r.status == base::Subprocess::ReadStatus::Data)
+            continue;
+        if (r.status == base::Subprocess::ReadStatus::Timeout ||
+            r.status == base::Subprocess::ReadStatus::Interrupted)
+            continue;
+        break; // Eof or Error: the worker is gone
+    }
+    ctx.expect(worker.wait() == 0,
+               "worker drained and exited 0 on SIGTERM");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    base::OptionParser args;
+    args.addOption("cli", "", "path to the statsched_cli binary");
+    args.addOption("worker", "",
+                   "path to the statsched_worker binary");
+    args.addOption("workdir", "",
+                   "scratch directory for journals and captures");
+    args.addOption("scenario", "all",
+                   "disk-full | garbage-shard | kill-resume | "
+                   "stop-hang | term-drain | all");
+    if (!args.parse(argc, argv, 1)) {
+        std::fprintf(stderr, "statsched_chaos: %s\noptions:\n%s",
+                     args.error().c_str(), args.usage().c_str());
+        return 2;
+    }
+
+    Context ctx;
+    ctx.cli = args.get("cli");
+    ctx.worker = args.get("worker");
+    ctx.workdir = args.get("workdir");
+    const std::string scenario = args.get("scenario");
+    if (ctx.cli.empty() || ctx.worker.empty() ||
+        ctx.workdir.empty()) {
+        std::fprintf(stderr, "statsched_chaos: --cli, --worker and "
+                             "--workdir are required\n");
+        return 2;
+    }
+    if (::mkdir(ctx.workdir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::fprintf(stderr,
+                     "statsched_chaos: cannot create workdir '%s'\n",
+                     ctx.workdir.c_str());
+        return 2;
+    }
+
+    bool known = false;
+    if (scenario == "disk-full" || scenario == "all") {
+        scenarioDiskFull(ctx);
+        known = true;
+    }
+    if (scenario == "garbage-shard" || scenario == "all") {
+        scenarioGarbageShard(ctx);
+        known = true;
+    }
+    if (scenario == "kill-resume" || scenario == "all") {
+        scenarioKillResume(ctx);
+        known = true;
+    }
+    if (scenario == "stop-hang" || scenario == "all") {
+        scenarioStopHang(ctx);
+        known = true;
+    }
+    if (scenario == "term-drain" || scenario == "all") {
+        scenarioTermDrain(ctx);
+        known = true;
+    }
+    if (!known) {
+        std::fprintf(stderr,
+                     "statsched_chaos: unknown scenario '%s'\n",
+                     scenario.c_str());
+        return 2;
+    }
+
+    if (ctx.failures > 0) {
+        std::fprintf(stderr, "chaos: %d expectation(s) FAILED\n",
+                     ctx.failures);
+        return 1;
+    }
+    std::fprintf(stderr, "chaos: all expectations held\n");
+    return 0;
+}

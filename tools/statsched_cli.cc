@@ -295,6 +295,17 @@ printEngineStats(std::FILE *out, const EngineStack &stack,
                              stats.shardDegradedBatches));
         }
     }
+    if (stats.shardAudits != 0) {
+        std::fprintf(out,
+                     "shard audits:       %12llu duplicated  "
+                     "(%llu mismatches, %llu convictions)\n",
+                     static_cast<unsigned long long>(
+                         stats.shardAudits),
+                     static_cast<unsigned long long>(
+                         stats.shardAuditMismatches),
+                     static_cast<unsigned long long>(
+                         stats.shardConvictions));
+    }
     if (stats.solves != 0) {
         std::fprintf(out,
                      "solver:             %12llu solves, "
@@ -561,6 +572,21 @@ cmdIterate(int argc, char **argv)
                    "crash-safe measurement journal path");
     args.addFlag("resume",
                  "resume a campaign from its --journal file");
+    args.addOption("journal-on-error", "abort",
+                   "journal media failure policy: abort | degrade "
+                   "(drop to memory-only recording)");
+    args.addOption("journal-segment-bytes", "0",
+                   "rotate journal segments at this size "
+                   "(0 = single file)");
+    args.addOption("journal-fault-at", "0",
+                   "chaos: fail journal writes after N bytes "
+                   "(0 = off)");
+    args.addOption("audit-fraction", "0",
+                   "fraction of sharded measurements duplicated to a "
+                   "second worker for Byzantine auditing (0..1)");
+    args.addOption("chaos-garbage-shard", "-1",
+                   "chaos: give this shard slot a value-corrupting "
+                   "worker (-1 = none)");
     args.addOption("deadline-s", "0",
                    "wall-clock budget in seconds (0 = none)");
     args.addOption("max-measurements", "0",
@@ -597,6 +623,36 @@ cmdIterate(int argc, char **argv)
                      "'--shard-deadline-s' positive\n");
         return 2;
     }
+    const std::string onErrorName = args.get("journal-on-error");
+    core::JournalErrorPolicy onError;
+    if (onErrorName == "abort") {
+        onError = core::JournalErrorPolicy::Abort;
+    } else if (onErrorName == "degrade") {
+        onError = core::JournalErrorPolicy::Degrade;
+    } else {
+        std::fprintf(stderr, "iterate: '--journal-on-error' must be "
+                     "'abort' or 'degrade' (got %s)\n",
+                     onErrorName.c_str());
+        return 2;
+    }
+    const long segmentBytes = args.getInt("journal-segment-bytes");
+    const long journalFaultAt = args.getInt("journal-fault-at");
+    if (segmentBytes < 0 || journalFaultAt < 0) {
+        std::fprintf(stderr, "iterate: journal sizes must be >= 0\n");
+        return 2;
+    }
+    const double auditFraction = args.getDouble("audit-fraction");
+    if (auditFraction < 0.0 || auditFraction > 1.0) {
+        std::fprintf(stderr, "iterate: '--audit-fraction' must be "
+                     "in [0, 1]\n");
+        return 2;
+    }
+    const long garbageShard = args.getInt("chaos-garbage-shard");
+    if (garbageShard >= shards) {
+        std::fprintf(stderr, "iterate: '--chaos-garbage-shard' must "
+                     "name a slot below '--shards'\n");
+        return 2;
+    }
 
     // The campaign runner owns the upper decorators (so its journal
     // can sit between them and the measurement substrate); the CLI
@@ -618,6 +674,19 @@ cmdIterate(int argc, char **argv)
 
     campaign.journalPath = args.get("journal");
     campaign.resume = args.flag("resume");
+    // Failure-domain knobs: operational only, deliberately OUT of the
+    // campaign identity hash — a resumed run may change its error
+    // policy, segmentation or auditing without losing its journal.
+    campaign.journalOnError = onError;
+    campaign.journalSegmentBytes =
+        static_cast<std::uint64_t>(segmentBytes);
+    if (journalFaultAt > 0) {
+        auto plan = std::make_shared<base::io::FaultPlan>();
+        plan->failAfterBytes =
+            static_cast<std::uint64_t>(journalFaultAt);
+        campaign.journalSinkFactory =
+            base::io::faultInjectingFileSinkFactory(std::move(plan));
+    }
     campaign.deadlineSeconds = deadline;
     campaign.maxMeasurements =
         static_cast<std::uint64_t>(maxMeasurements);
@@ -650,6 +719,18 @@ cmdIterate(int argc, char **argv)
     campaign.clock = &clock;
     base::installShutdownHandlers();
     campaign.stopRequested = [] { return base::shutdownRequested(); };
+
+    // Health aggregate: every component transition prints to stderr
+    // the moment it happens, and the worst level at exit decides
+    // between 0 and the "completed degraded" code 7.
+    core::Health health([](const core::HealthTransition &change) {
+        std::fprintf(stderr, "health: %s %s -> %s (%s)\n",
+                     change.component.c_str(),
+                     core::healthLevelName(change.from),
+                     core::healthLevelName(change.to),
+                     change.detail.c_str());
+    });
+    campaign.health = &health;
 
     // --shards N fans measurement batches out to N statsched_worker
     // subprocesses below the journal (Sharded over the substrate);
@@ -693,10 +774,30 @@ cmdIterate(int argc, char **argv)
         sharding.expected.strandsPerPipe = topo.strandsPerPipe;
         sharding.expected.tasks = tasks;
         sharding.clock = &clock;
+        sharding.auditFraction = auditFraction;
+        sharding.auditSeed =
+            static_cast<std::uint64_t>(args.getInt("seed"));
+        sharding.health = &health;
+        core::ShardBackendFactory backendFactory;
+        if (garbageShard >= 0) {
+            // Chaos: one slot gets a Byzantine worker. Its corrupted
+            // values carry valid frames and CRCs — only the audit
+            // layer can tell it from an honest one.
+            backendFactory = core::makeProcessShardFactory(
+                [workerArgv, garbageShard](std::size_t index) {
+                    std::vector<std::string> argv = workerArgv;
+                    if (index ==
+                        static_cast<std::size_t>(garbageShard))
+                        argv.push_back("--garbage-values");
+                    return argv;
+                },
+                clock, shardDeadline);
+        } else {
+            backendFactory = core::makeProcessShardFactory(
+                workerArgv, clock, shardDeadline);
+        }
         sharded = std::make_unique<core::ShardedEngine>(
-            stack.substrate(),
-            core::makeProcessShardFactory(workerArgv, clock),
-            sharding);
+            stack.substrate(), std::move(backendFactory), sharding);
     }
     core::PerformanceEngine &substrate =
         sharded ? *sharded : stack.substrate();
@@ -755,11 +856,41 @@ cmdIterate(int argc, char **argv)
             std::fprintf(stderr, " (%llu bytes of torn tail dropped)",
                          static_cast<unsigned long long>(
                              result.journalTruncatedBytes));
+        if (result.journalSegmentsRotated != 0)
+            std::fprintf(stderr, " (%llu segment rotations, "
+                         "%llu bytes compacted)",
+                         static_cast<unsigned long long>(
+                             result.journalSegmentsRotated),
+                         static_cast<unsigned long long>(
+                             result.journalCompactedBytes));
+        if (result.journalDegraded)
+            std::fprintf(stderr, "; DEGRADED to memory-only "
+                         "(%llu measurements unjournaled)",
+                         static_cast<unsigned long long>(
+                             result.unjournaledMeasurements));
         std::fprintf(stderr, "\n");
     }
     printEngineStats(stderr, stack, result.engineStats,
                      campaign.memoize);
-    return campaignExitCode(result);
+
+    int code = campaignExitCode(result);
+    if (code == 0 && health.worst() != core::HealthLevel::Ok) {
+        // The search met its target, but some component ran degraded
+        // (journal on memory only, shards quarantined/convicted, weak
+        // final estimate). The results are exact; the distinct code
+        // tells scripts the environment was not.
+        std::fprintf(stderr, "health: completed DEGRADED —");
+        for (const core::Health::Component &component :
+             health.components()) {
+            if (component.level != core::HealthLevel::Ok)
+                std::fprintf(stderr, " %s=%s",
+                             component.name.c_str(),
+                             core::healthLevelName(component.level));
+        }
+        std::fprintf(stderr, "\n");
+        code = 7;
+    }
+    return code;
 }
 
 int
@@ -800,17 +931,25 @@ cmdHelp()
         "replays the journal and continues\nbit-identically. "
         "--deadline-s / --max-measurements / --max-rounds stop\nthe "
         "campaign gracefully at a round boundary with a final "
-        "checkpoint;\nso do SIGINT and SIGTERM.\n\n"
+        "checkpoint;\nso do SIGINT and SIGTERM. "
+        "--journal-segment-bytes N rotates segments\nand compacts "
+        "sealed ones; --journal-on-error degrade completes the\nrun "
+        "on memory-only recording after ENOSPC/EIO instead of "
+        "aborting.\n\n"
         "sharding: --shards N fans measurement batches out to N "
         "statsched_worker\nprocesses (bit-identical results for any "
         "N, including 0). Dead or hung\nworkers are re-issued, "
         "respawned with backoff, then quarantined; with\nevery "
         "worker quarantined the campaign degrades to in-process "
-        "measuring.\nWorker exit codes: 0 clean stop, 2 usage, "
+        "measuring.\n--audit-fraction F duplicates a seeded F of "
+        "indices to a second worker\nand convicts backends returning "
+        "corrupt values. Worker exit codes:\n0 clean stop, 2 usage, "
         "3 protocol error.\n\n"
         "iterate exit codes: 0 target met, 2 usage or journal "
         "error,\n3 sample cap reached, 4 engine failure, "
-        "5 interrupted,\n6 deadline or budget exhausted.\n\n"
+        "5 interrupted,\n6 deadline or budget exhausted, 7 completed "
+        "with degraded health\n(results exact; journal or shards "
+        "impaired).\n\n"
         "benchmarks: ipfwd-l1 ipfwd-mem analyzer aho stateful "
         "intadd intmul\n");
     return 0;

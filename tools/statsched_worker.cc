@@ -17,23 +17,37 @@
  * Lifetime is governed by the coordinator, not by signals: the worker
  * serves until stdin reaches EOF (coordinator exited or released the
  * slot), a Shutdown frame arrives, or the coordinator breaks
- * protocol. SIGINT at the terminal reaches the whole foreground
+ * protocol. SIGINT/SIGTERM at the terminal reach the whole foreground
  * process group, so the worker installs the standard handlers and
- * *continues serving* on EINTR — the coordinator drains the round and
- * closes the pipes, which is the orderly stop. A second signal of the
- * same kind still hard-kills a wedged worker (base/shutdown.hh).
+ * drains gracefully: an in-flight request group is finished and its
+ * response flushed, and the worker exits 0 only once idle — the
+ * coordinator never sees a half-answered request. stdin is polled in
+ * bounded slices rather than blocked on outright, so a signal that
+ * lands while the worker is NOT inside read() (the classic
+ * check-then-block race) is still observed within one slice. A
+ * second signal of the same kind hard-kills a wedged worker
+ * (base/shutdown.hh).
  *
- * Exit codes: 0 clean stop (EOF or Shutdown), 2 usage error,
- * 3 protocol error.
+ * --garbage-values turns the worker into a Byzantine backend for the
+ * chaos harness: it computes honestly, then flips mantissa bits of
+ * every Ok value before replying — wrong VALUES behind valid frames
+ * and CRCs, the one corruption the transport layer cannot catch.
+ * Audit duplication in the coordinator exists to convict exactly
+ * this worker.
+ *
+ * Exit codes: 0 clean stop (EOF, Shutdown, or signal drain),
+ * 2 usage error, 3 protocol error.
  */
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "base/cli.hh"
@@ -68,6 +82,92 @@ writeFrames(const std::vector<std::uint8_t> &bytes)
     }
     return true;
 }
+
+/**
+ * Byzantine decorator: measures honestly through the inner engine,
+ * then corrupts the value bits of every Ok outcome. The corruption
+ * (XOR of low mantissa bits) keeps the value finite, plausible and
+ * deterministic — indistinguishable from an honest reading without a
+ * second opinion, which is exactly what the coordinator's audit
+ * duplication provides.
+ */
+class GarbageValuesEngine : public core::PerformanceEngine
+{
+  public:
+    explicit GarbageValuesEngine(core::PerformanceEngine &inner)
+        : inner_(inner)
+    {
+    }
+
+    double
+    measure(const core::Assignment &assignment) override
+    {
+        return measureOutcome(assignment).valueOrNaN();
+    }
+
+    core::MeasurementOutcome
+    measureOutcome(const core::Assignment &assignment) override
+    {
+        return corrupt(inner_.measureOutcome(assignment));
+    }
+
+    void
+    measureBatchOutcome(
+        std::span<const core::Assignment> batch,
+        std::span<core::MeasurementOutcome> out) override
+    {
+        inner_.measureBatchOutcome(batch, out);
+        for (core::MeasurementOutcome &outcome : out)
+            outcome = corrupt(outcome);
+    }
+
+    core::OutcomeKernel
+    outcomeKernel(std::size_t batchSize) override
+    {
+        core::OutcomeKernel kernel = inner_.outcomeKernel(batchSize);
+        if (!kernel)
+            return kernel;
+        return [kernel](const core::Assignment &assignment,
+                        std::size_t index) {
+            return corrupt(kernel(assignment, index));
+        };
+    }
+
+    void
+    reserveMeasurementIndices(std::size_t count) override
+    {
+        inner_.reserveMeasurementIndices(count);
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    double
+    secondsPerMeasurement() const override
+    {
+        return inner_.secondsPerMeasurement();
+    }
+
+    void
+    collectStats(core::EngineStats &stats) const override
+    {
+        inner_.collectStats(stats);
+    }
+
+  private:
+    static core::MeasurementOutcome
+    corrupt(core::MeasurementOutcome outcome)
+    {
+        if (!outcome.ok())
+            return outcome;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &outcome.value, sizeof bits);
+        bits ^= 0xffffffULL; // low mantissa: finite, same magnitude
+        std::memcpy(&outcome.value, &bits, sizeof bits);
+        return outcome;
+    }
+
+    core::PerformanceEngine &inner_;
+};
 
 sim::Benchmark
 parseBenchmark(const std::string &name)
@@ -111,6 +211,9 @@ main(int argc, char **argv)
     args.addOption("config-hash", "0",
                    "coordinator's engine-configuration fingerprint, "
                    "echoed in the Hello");
+    args.addFlag("garbage-values",
+                 "chaos mode: corrupt every Ok value's bits before "
+                 "replying (Byzantine worker)");
     if (!args.parse(argc, argv, 1)) {
         std::fprintf(stderr,
                      "statsched_worker: %s\noptions:\n%s",
@@ -150,6 +253,11 @@ main(int argc, char **argv)
             *engine, faults);
         engine = faulty.get();
     }
+    std::unique_ptr<GarbageValuesEngine> garbage;
+    if (args.flag("garbage-values")) {
+        garbage = std::make_unique<GarbageValuesEngine>(*engine);
+        engine = garbage.get();
+    }
 
     const core::Topology topo = core::Topology::ultraSparcT2();
     core::ShardWorker worker(
@@ -163,11 +271,38 @@ main(int argc, char **argv)
     std::vector<std::uint8_t> responses;
     std::uint8_t buffer[4096];
     while (true) {
+        // Bounded poll slices: a shutdown signal may land at ANY
+        // point of this loop, not only inside read(), so the drain
+        // check must re-run on a timer — a flag set between the
+        // check and the blocking call would otherwise be lost until
+        // the next request arrives.
+        struct pollfd pfd = {};
+        pfd.fd = STDIN_FILENO;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        // Graceful drain: exit only when idle — an in-flight
+        // request group is finished and flushed first, so the
+        // coordinator is never left owed a response.
+        if (base::shutdownRequested() && worker.idle()) {
+            std::fprintf(stderr,
+                         "statsched_worker: shutdown signal, "
+                         "drained and exiting\n");
+            return 0;
+        }
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue; // drain check re-runs at the loop top
+            std::fprintf(stderr,
+                         "statsched_worker: stdin poll failed\n");
+            return 3;
+        }
+        if (ready == 0)
+            continue; // idle slice; keep watching for shutdown
         const ssize_t n =
             ::read(STDIN_FILENO, buffer, sizeof buffer);
         if (n < 0) {
             if (errno == EINTR)
-                continue; // coordinator decides our lifetime, not ^C
+                continue; // drain check re-runs at the loop top
             std::fprintf(stderr,
                          "statsched_worker: stdin read failed\n");
             return 3;
@@ -179,6 +314,14 @@ main(int argc, char **argv)
             buffer, static_cast<std::size_t>(n), responses);
         if (!responses.empty() && !writeFrames(responses))
             return worker.protocolError() ? 3 : 0;
+        if (serving && base::shutdownRequested() && worker.idle()) {
+            // The signal landed while a request was in flight; the
+            // response above is flushed, so this is the safe point.
+            std::fprintf(stderr,
+                         "statsched_worker: shutdown signal, drained "
+                         "and exiting\n");
+            return 0;
+        }
         if (!serving) {
             if (worker.protocolError()) {
                 std::fprintf(stderr, "statsched_worker: %s\n",
